@@ -1,0 +1,19 @@
+//! # baseline — comparators for the Graphitti evaluation
+//!
+//! The paper positions Graphitti against prior relational-annotation systems (Bhagwat et
+//! al. VLDB'04, MONDRIAN ICDE'06) which store annotations in flat relational tables and
+//! answer queries by joins and scans, with no a-graph join index and no substructure
+//! indexes.  To measure what the a-graph and the interval / R-tree indexes buy, this
+//! crate provides two comparators:
+//!
+//! * [`relational`] — a [`relational::RelationalAnnotationStore`]: annotations and their
+//!   referents live in plain relational tables, and the paper's example queries are
+//!   answered by predicate scans and manual joins;
+//! * [`naive`] — a [`naive::NaiveReferentIndex`]: a Graphitti-shaped referent lookup that
+//!   linear-scans instead of using the interval / R-tree indexes (the index ablation).
+
+pub mod naive;
+pub mod relational;
+
+pub use naive::NaiveReferentIndex;
+pub use relational::{RelationalAnnotationStore, RelAnnotationId};

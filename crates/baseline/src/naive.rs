@@ -1,0 +1,173 @@
+//! A linear-scan referent index — the ablation baseline for the interval / R-tree
+//! indexes.
+//!
+//! It stores referents in a flat vector and answers overlap / next / region queries by
+//! scanning every entry.  Functionally identical results to the indexed version, but
+//! `O(n)` per query, so the ablation benchmark can show the index speedup.
+
+use interval_index::Interval;
+use spatial_index::Rect;
+
+/// A stored interval entry.
+#[derive(Debug, Clone, Copy)]
+struct IntervalEntry {
+    domain_hash: u64,
+    interval: Interval,
+    payload: u64,
+}
+
+/// A stored region entry.
+#[derive(Debug, Clone, Copy)]
+struct RegionEntry {
+    system_hash: u64,
+    rect: Rect,
+    payload: u64,
+}
+
+/// A flat, unindexed referent store that scans linearly.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveReferentIndex {
+    intervals: Vec<IntervalEntry>,
+    regions: Vec<RegionEntry>,
+    // keep the display names for parity with the indexed collections
+    domains: Vec<String>,
+    systems: Vec<String>,
+}
+
+/// A cheap deterministic string hash (FNV-1a) so domain comparison is a u64 compare in
+/// the hot scan loop, matching the indexed version's per-domain routing cost model.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl NaiveReferentIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        NaiveReferentIndex::default()
+    }
+
+    /// Number of stored interval entries.
+    pub fn interval_len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Number of stored region entries.
+    pub fn region_len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total stored entries.
+    pub fn len(&self) -> usize {
+        self.intervals.len() + self.regions.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert an interval referent.
+    pub fn insert_interval(&mut self, domain: &str, interval: Interval, payload: u64) {
+        if !self.domains.iter().any(|d| d == domain) {
+            self.domains.push(domain.to_string());
+        }
+        self.intervals.push(IntervalEntry { domain_hash: fnv1a(domain), interval, payload });
+    }
+
+    /// Insert a region referent.
+    pub fn insert_region(&mut self, system: &str, rect: Rect, payload: u64) {
+        if !self.systems.iter().any(|s| s == system) {
+            self.systems.push(system.to_string());
+        }
+        self.regions.push(RegionEntry { system_hash: fnv1a(system), rect, payload });
+    }
+
+    /// Overlap query by linear scan within a domain; returns payloads sorted ascending.
+    pub fn overlapping_intervals(&self, domain: &str, query: Interval) -> Vec<u64> {
+        let dh = fnv1a(domain);
+        let mut out: Vec<u64> = self
+            .intervals
+            .iter()
+            .filter(|e| e.domain_hash == dh && e.interval.if_overlap(&query))
+            .map(|e| e.payload)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `next` by linear scan within a domain.
+    pub fn next_interval(&self, domain: &str, after: Interval) -> Option<u64> {
+        let dh = fnv1a(domain);
+        self.intervals
+            .iter()
+            .filter(|e| e.domain_hash == dh && e.interval.start >= after.end)
+            .min_by_key(|e| (e.interval.start, e.interval.end, e.payload))
+            .map(|e| e.payload)
+    }
+
+    /// Region overlap query by linear scan within a coordinate system.
+    pub fn overlapping_regions(&self, system: &str, query: Rect) -> Vec<u64> {
+        let sh = fnv1a(system);
+        let mut out: Vec<u64> = self
+            .regions
+            .iter()
+            .filter(|e| e.system_hash == sh && e.rect.if_overlap(&query))
+            .map(|e| e.payload)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> NaiveReferentIndex {
+        let mut n = NaiveReferentIndex::new();
+        n.insert_interval("chr1", Interval::new(0, 100), 1);
+        n.insert_interval("chr1", Interval::new(50, 150), 2);
+        n.insert_interval("chr2", Interval::new(0, 100), 3);
+        n.insert_region("cs", Rect::rect2(0.0, 0.0, 10.0, 10.0), 10);
+        n.insert_region("cs", Rect::rect2(5.0, 5.0, 15.0, 15.0), 11);
+        n
+    }
+
+    #[test]
+    fn counts() {
+        let n = populated();
+        assert_eq!(n.interval_len(), 3);
+        assert_eq!(n.region_len(), 2);
+        assert_eq!(n.len(), 5);
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn overlap_matches_domain() {
+        let n = populated();
+        assert_eq!(n.overlapping_intervals("chr1", Interval::new(60, 70)), vec![1, 2]);
+        assert_eq!(n.overlapping_intervals("chr2", Interval::new(60, 70)), vec![3]);
+        assert!(n.overlapping_intervals("chrX", Interval::new(0, 10)).is_empty());
+    }
+
+    #[test]
+    fn next_scan() {
+        let mut n = populated();
+        n.insert_interval("chr1", Interval::new(200, 260), 4);
+        // after [0,100): entries starting at >= 100 are only payload 4 ([200,260))
+        assert_eq!(n.next_interval("chr1", Interval::new(0, 100)), Some(4));
+        assert!(n.next_interval("chr1", Interval::new(0, 300)).is_none());
+    }
+
+    #[test]
+    fn region_scan() {
+        let n = populated();
+        assert_eq!(n.overlapping_regions("cs", Rect::rect2(6.0, 6.0, 7.0, 7.0)), vec![10, 11]);
+        assert!(n.overlapping_regions("other", Rect::rect2(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+}

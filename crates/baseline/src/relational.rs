@@ -1,0 +1,369 @@
+//! A relational-only annotation store — the prior-art comparator.
+//!
+//! Annotations, their interval referents and their cited terms live in three flat
+//! relational tables.  Queries are answered the way a relational annotation system would:
+//! predicate scans plus manual joins, with no a-graph join index and no substructure
+//! indexes.  It returns the *same answers* as Graphitti for the example queries, so the
+//! baseline benchmark measures only the difference in machinery.
+
+use relstore::{Catalog, Column, ColumnType, Predicate, RowId, Schema, Value};
+
+/// Identifier of an annotation in the relational baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelAnnotationId(pub u64);
+
+/// A relational-only annotation store.
+#[derive(Debug)]
+pub struct RelationalAnnotationStore {
+    catalog: Catalog,
+    next_ann: u64,
+}
+
+impl Default for RelationalAnnotationStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RelationalAnnotationStore {
+    /// Create an empty store with its three tables.
+    pub fn new() -> Self {
+        let mut catalog = Catalog::new();
+        catalog
+            .create_table(
+                "annotation",
+                Schema::new(vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("title", ColumnType::Text),
+                    Column::new("comment", ColumnType::Text),
+                    Column::new("creator", ColumnType::Text),
+                ]),
+            )
+            .expect("create annotation table");
+        catalog
+            .create_table(
+                "referent",
+                Schema::new(vec![
+                    Column::new("ann_id", ColumnType::Int),
+                    Column::new("object_id", ColumnType::Int),
+                    Column::new("start", ColumnType::Int),
+                    Column::new("end", ColumnType::Int),
+                ]),
+            )
+            .expect("create referent table");
+        catalog
+            .create_table(
+                "ann_term",
+                Schema::new(vec![
+                    Column::new("ann_id", ColumnType::Int),
+                    Column::new("concept_id", ColumnType::Int),
+                ]),
+            )
+            .expect("create ann_term table");
+        RelationalAnnotationStore { catalog, next_ann: 0 }
+    }
+
+    /// Number of stored annotations.
+    pub fn annotation_count(&self) -> usize {
+        self.catalog.table("annotation").map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Number of referent rows.
+    pub fn referent_count(&self) -> usize {
+        self.catalog.table("referent").map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Insert an annotation and its interval referents / cited terms. Returns its id.
+    pub fn insert(
+        &mut self,
+        title: &str,
+        comment: &str,
+        creator: &str,
+        referents: &[(u64, u64, u64)], // (object_id, start, end)
+        terms: &[u64],
+    ) -> RelAnnotationId {
+        let id = RelAnnotationId(self.next_ann);
+        self.next_ann += 1;
+        self.catalog
+            .table_mut("annotation")
+            .unwrap()
+            .insert(vec![
+                Value::Int(id.0 as i64),
+                Value::text(title),
+                Value::text(comment),
+                Value::text(creator),
+            ])
+            .unwrap();
+        for &(object, start, end) in referents {
+            self.catalog
+                .table_mut("referent")
+                .unwrap()
+                .insert(vec![
+                    Value::Int(id.0 as i64),
+                    Value::Int(object as i64),
+                    Value::Int(start as i64),
+                    Value::Int(end as i64),
+                ])
+                .unwrap();
+        }
+        for &term in terms {
+            self.catalog
+                .table_mut("ann_term")
+                .unwrap()
+                .insert(vec![Value::Int(id.0 as i64), Value::Int(term as i64)])
+                .unwrap();
+        }
+        id
+    }
+
+    /// Create a secondary index on the referent table's object_id (so the baseline can
+    /// optionally be given the same indexing the query planner would use — off by
+    /// default to model the naive prior art).
+    pub fn index_referent_object(&mut self) {
+        let _ = self
+            .catalog
+            .table_mut("referent")
+            .unwrap()
+            .create_index("by_object", "object_id");
+    }
+
+    /// Annotations whose comment contains a phrase (case-insensitive substring) — by a
+    /// full scan of the annotation table.
+    pub fn annotations_containing(&self, phrase: &str) -> Vec<RelAnnotationId> {
+        let t = self.catalog.table("annotation").unwrap();
+        t.scan(&Predicate::contains("comment", phrase))
+            .into_iter()
+            .filter_map(|rid| t.get_value(rid, "id").and_then(Value::as_int))
+            .map(|i| RelAnnotationId(i as u64))
+            .collect()
+    }
+
+    /// Annotations citing a specific term — by a scan of the ann_term table.
+    pub fn annotations_citing(&self, term: u64) -> Vec<RelAnnotationId> {
+        let t = self.catalog.table("ann_term").unwrap();
+        t.scan(&Predicate::eq("concept_id", Value::Int(term as i64)))
+            .into_iter()
+            .filter_map(|rid| t.get_value(rid, "ann_id").and_then(Value::as_int))
+            .map(|i| RelAnnotationId(i as u64))
+            .collect()
+    }
+
+    /// Objects that have at least `count` consecutive, non-overlapping intervals (within
+    /// `max_gap`) each annotated by an annotation whose comment contains `phrase`.
+    ///
+    /// This is the relational-baseline evaluation of the protease example query: it
+    /// joins annotation ⋈ referent by scanning, groups referents by object, and computes
+    /// the chain — all without the a-graph or an interval tree.
+    pub fn objects_with_consecutive_intervals(
+        &self,
+        phrase: &str,
+        count: usize,
+        max_gap: u64,
+    ) -> Vec<u64> {
+        use std::collections::BTreeMap;
+        // 1. find qualifying annotation ids (scan).
+        let qualifying: std::collections::HashSet<u64> = self
+            .annotations_containing(phrase)
+            .into_iter()
+            .map(|a| a.0)
+            .collect();
+        // 2. join with referents (scan) grouping intervals by object.
+        let referent = self.catalog.table("referent").unwrap();
+        let mut by_object: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+        for rid in referent.scan(&Predicate::True) {
+            let row = referent.get(rid).unwrap();
+            let ann = row[0].as_int().unwrap() as u64;
+            if !qualifying.contains(&ann) {
+                continue;
+            }
+            let object = row[1].as_int().unwrap() as u64;
+            let start = row[2].as_int().unwrap() as u64;
+            let end = row[3].as_int().unwrap() as u64;
+            by_object.entry(object).or_default().push((start, end));
+        }
+        // 3. per object, compute the longest consecutive chain.
+        by_object
+            .into_iter()
+            .filter(|(_, ivs)| longest_chain(ivs, max_gap) >= count)
+            .map(|(obj, _)| obj)
+            .collect()
+    }
+
+    /// Transitively related annotations: all annotations reachable from `start` by
+    /// repeatedly hopping "shares a referent object+interval" — the relational-baseline
+    /// evaluation of the a-graph's connection structure.
+    ///
+    /// With no a-graph join index, the baseline must compute this with an **iterative
+    /// self-join** over the referent table: at each round it finds referents of the
+    /// current annotation frontier, then finds other annotations on those same referents,
+    /// until the set stops growing. This is the machinery the a-graph replaces with a
+    /// single BFS.
+    pub fn transitively_related(&self, start: RelAnnotationId) -> Vec<RelAnnotationId> {
+        use std::collections::HashSet;
+        let referent = self.catalog.table("referent").unwrap();
+        // materialise referent rows once (object, start, end, ann)
+        let rows: Vec<(u64, u64, u64, u64)> = referent
+            .scan(&Predicate::True)
+            .into_iter()
+            .map(|rid| {
+                let r = referent.get(rid).unwrap();
+                (
+                    r[1].as_int().unwrap() as u64,
+                    r[2].as_int().unwrap() as u64,
+                    r[3].as_int().unwrap() as u64,
+                    r[0].as_int().unwrap() as u64,
+                )
+            })
+            .collect();
+
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(start.0);
+        let mut frontier = vec![start.0];
+        while let Some(ann) = frontier.pop() {
+            // referents of `ann` (self-join pass 1: scan)
+            let my_refs: Vec<(u64, u64, u64)> = rows
+                .iter()
+                .filter(|(_, _, _, a)| *a == ann)
+                .map(|(o, s, e, _)| (*o, *s, *e))
+                .collect();
+            // other annotations on those same referents (self-join pass 2: scan)
+            for (o, s, e) in my_refs {
+                for (ro, rs, re, a) in &rows {
+                    if *ro == o && *rs == s && *re == e && !seen.contains(a) {
+                        seen.insert(*a);
+                        frontier.push(*a);
+                    }
+                }
+            }
+        }
+        seen.remove(&start.0);
+        let mut out: Vec<RelAnnotationId> = seen.into_iter().map(RelAnnotationId).collect();
+        out.sort();
+        out
+    }
+
+    /// Direct access to the underlying catalogue (for diagnostics / parity checks).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Row id of an annotation in the annotation table (for join verification in tests).
+    pub fn annotation_row(&self, id: RelAnnotationId) -> Option<RowId> {
+        let t = self.catalog.table("annotation")?;
+        t.scan(&Predicate::eq("id", Value::Int(id.0 as i64))).into_iter().next()
+    }
+}
+
+fn longest_chain(intervals: &[(u64, u64)], max_gap: u64) -> usize {
+    if intervals.is_empty() {
+        return 0;
+    }
+    let mut ivs: Vec<(u64, u64)> = intervals.to_vec();
+    ivs.sort_by_key(|&(s, e)| (e, s));
+    let mut best = 0;
+    for start in 0..ivs.len() {
+        let mut chain = 1;
+        let mut last_end = ivs[start].1;
+        for &(s, e) in ivs.iter().skip(start + 1) {
+            if s >= last_end && s - last_end <= max_gap {
+                chain += 1;
+                last_end = e;
+            }
+        }
+        best = best.max(chain);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> RelationalAnnotationStore {
+        let mut s = RelationalAnnotationStore::new();
+        // object 1: four consecutive protease intervals
+        for i in 0..4u64 {
+            let start = i * 100;
+            s.insert(
+                &format!("a{i}"),
+                "contains protease motif",
+                "gupta",
+                &[(1, start, start + 50)],
+                &[7],
+            );
+        }
+        // object 2: one protease + one non-protease
+        s.insert("b0", "protease here", "x", &[(2, 0, 50)], &[]);
+        s.insert("b1", "nothing special", "x", &[(2, 100, 150)], &[]);
+        s
+    }
+
+    #[test]
+    fn counts() {
+        let s = store();
+        assert_eq!(s.annotation_count(), 6);
+        assert_eq!(s.referent_count(), 6);
+    }
+
+    #[test]
+    fn phrase_scan() {
+        let s = store();
+        assert_eq!(s.annotations_containing("protease").len(), 5);
+        assert_eq!(s.annotations_containing("motif").len(), 4);
+        assert!(s.annotations_containing("zzz").is_empty());
+    }
+
+    #[test]
+    fn cites_term_scan() {
+        let s = store();
+        assert_eq!(s.annotations_citing(7).len(), 4);
+        assert!(s.annotations_citing(99).is_empty());
+    }
+
+    #[test]
+    fn consecutive_interval_join() {
+        let s = store();
+        // object 1 has 4 consecutive protease intervals
+        assert_eq!(
+            s.objects_with_consecutive_intervals("protease", 4, 60),
+            vec![1]
+        );
+        // requiring 5 finds none
+        assert!(s.objects_with_consecutive_intervals("protease", 5, 60).is_empty());
+        // object 2 has only one protease interval
+        assert_eq!(
+            s.objects_with_consecutive_intervals("protease", 1, 60),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn optional_index_does_not_change_answers() {
+        let mut s = store();
+        let before = s.objects_with_consecutive_intervals("protease", 4, 60);
+        s.index_referent_object();
+        let after = s.objects_with_consecutive_intervals("protease", 4, 60);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn annotation_row_lookup() {
+        let s = store();
+        assert!(s.annotation_row(RelAnnotationId(0)).is_some());
+        assert!(s.annotation_row(RelAnnotationId(999)).is_none());
+    }
+
+    #[test]
+    fn transitive_related_via_shared_referents() {
+        // a0 -- (obj1,0,10) -- a1 -- (obj1,20,30) -- a2 ; a3 is unrelated
+        let mut s = RelationalAnnotationStore::new();
+        let a0 = s.insert("a0", "c", "x", &[(1, 0, 10)], &[]);
+        let a1 = s.insert("a1", "c", "x", &[(1, 0, 10), (1, 20, 30)], &[]);
+        let a2 = s.insert("a2", "c", "x", &[(1, 20, 30)], &[]);
+        let _a3 = s.insert("a3", "c", "x", &[(2, 0, 10)], &[]);
+        assert_eq!(s.transitively_related(a0), vec![a1, a2]);
+        assert_eq!(s.transitively_related(a2), vec![a0, a1]);
+        // a3 relates to nobody
+        assert!(s.transitively_related(_a3).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Experiment A4 — content keyword index vs. linear deep-text scan.
+//!
+//! The annotation-content store keeps a keyword inverted index so phrase/keyword queries
+//! do not scan every document's text. This ablation compares indexed keyword lookup
+//! against a linear scan that lowercases and searches each document's deep text.
+//! Reproducible shape: the index turns an `O(docs × text)` scan into an `O(hits)` lookup,
+//! so the speedup grows with the collection size for selective keywords.
+
+use bench::{table_header, table_row};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlstore::{ContentStore, DublinCore};
+
+fn build_store(n: usize) -> ContentStore {
+    let mut s = ContentStore::new();
+    for i in 0..n {
+        // one in ten documents mentions the rare keyword "protease"
+        let body = if i % 10 == 0 {
+            "this region contains a protease cleavage motif of interest".to_string()
+        } else {
+            format!("routine observation number {i} with no special features")
+        };
+        s.insert(DublinCore::new().title(format!("ann {i}")).description(body).to_document());
+    }
+    s
+}
+
+/// Linear scan: verify every document's deep text (what the store avoids via the index).
+fn linear_scan(store: &ContentStore, needle: &str) -> usize {
+    let lowered = needle.to_lowercase();
+    store
+        .ids()
+        .into_iter()
+        .filter(|id| {
+            store
+                .get(*id)
+                .map(|d| d.root.deep_text().to_lowercase().contains(&lowered))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+fn bench_content(c: &mut Criterion) {
+    let sizes = [1_000usize, 5_000, 20_000];
+
+    table_header(
+        "A4: content keyword index vs. linear scan (correctness)",
+        &["docs", "index_hits", "scan_hits", "agree"],
+    );
+    for &n in &sizes {
+        let s = build_store(n);
+        let idx = s.with_keyword("protease").len();
+        let scan = linear_scan(&s, "protease");
+        table_row(&[n.to_string(), idx.to_string(), scan.to_string(), (idx == scan).to_string()]);
+    }
+
+    let mut group = c.benchmark_group("A4_content_search");
+    for &n in &sizes {
+        let s = build_store(n);
+        group.bench_with_input(BenchmarkId::new("keyword_index", n), &n, |b, _| {
+            b.iter(|| s.with_keyword("protease").len());
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            b.iter(|| linear_scan(&s, "protease"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_content);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment A2 — "keep the number of index structures small".
+//!
+//! The paper shares one interval tree per chromosome (not per sequence) and one R-tree
+//! per coordinate system (not per image). This ablation compares the *grouped* layout
+//! (few large trees) against a *per-object* layout (many tiny trees) on the same
+//! referents. Reproducible shape: grouped queries touch one tree and are competitive,
+//! while the per-object layout pays a dispatch cost proportional to the number of
+//! objects for cross-object queries.
+
+use bench::{table_header, table_row};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use interval_index::{DomainIntervals, Interval};
+
+/// Grouped: one domain shared by all objects.
+fn grouped(objects: u64, per_object: u64) -> DomainIntervals {
+    let mut d = DomainIntervals::new();
+    let mut payload = 0u64;
+    for _o in 0..objects {
+        for i in 0..per_object {
+            let start = (payload * 13) % 1_000_000;
+            d.insert("shared", Interval::new(start, start + 30), payload);
+            payload += 1;
+            let _ = i;
+        }
+    }
+    d
+}
+
+/// Per-object: one domain per object.
+fn per_object(objects: u64, per_object: u64) -> DomainIntervals {
+    let mut d = DomainIntervals::new();
+    let mut payload = 0u64;
+    for o in 0..objects {
+        let domain = format!("obj-{o}");
+        for _i in 0..per_object {
+            let start = (payload * 13) % 1_000_000;
+            d.insert(&domain, Interval::new(start, start + 30), payload);
+            payload += 1;
+        }
+    }
+    d
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let objects = 500u64;
+    let per = 20u64;
+    let probe = Interval::new(100_000, 100_500);
+
+    let g = grouped(objects, per);
+    let p = per_object(objects, per);
+
+    table_header(
+        "A2: index grouping",
+        &["layout", "structures", "total_intervals"],
+    );
+    table_row(&["grouped".into(), g.domain_count().to_string(), g.len().to_string()]);
+    table_row(&["per_object".into(), p.domain_count().to_string(), p.len().to_string()]);
+
+    let mut group = c.benchmark_group("A2_index_grouping");
+
+    // grouped: a single overlap query on the shared tree
+    group.bench_with_input(BenchmarkId::new("grouped_single_domain", objects), &objects, |b, _| {
+        b.iter(|| g.overlapping("shared", probe).len());
+    });
+
+    // per-object: to answer the same cross-object query, every per-object tree must be
+    // consulted (overlapping_all_domains)
+    group.bench_with_input(BenchmarkId::new("per_object_all_domains", objects), &objects, |b, _| {
+        b.iter(|| p.overlapping_all_domains(probe).len());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Experiment A1 — index ablation: interval-tree / R-tree vs. linear scan.
+//!
+//! Reproduces the design choice DESIGN.md calls out: the substructure indexes make
+//! overlap lookup `O(log n + k)`, while the naive linear-scan baseline is `O(n)`. Sweeps
+//! the referent count and benches both on the same data. Reproducible shape: the indexed
+//! structure wins by a factor that grows with n.
+
+use bench::{table_header, table_row};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use baseline::NaiveReferentIndex;
+use interval_index::{DomainIntervals, Interval};
+use spatial_index::{CoordinateSystems, Rect};
+
+const DOMAIN: &str = "chr-demo";
+const SYSTEM: &str = "cs-demo";
+
+fn build_interval(n: u64) -> (DomainIntervals, NaiveReferentIndex) {
+    let mut indexed = DomainIntervals::new();
+    let mut naive = NaiveReferentIndex::new();
+    for i in 0..n {
+        let start = (i * 37) % 1_000_000;
+        let iv = Interval::new(start, start + 40);
+        indexed.insert(DOMAIN, iv, i);
+        naive.insert_interval(DOMAIN, iv, i);
+    }
+    (indexed, naive)
+}
+
+fn build_region(n: u64) -> (CoordinateSystems, NaiveReferentIndex) {
+    let mut indexed = CoordinateSystems::new();
+    let mut naive = NaiveReferentIndex::new();
+    for i in 0..n {
+        let x = (i as f64 * 3.0) % 10_000.0;
+        let r = Rect::rect2(x, x, x + 20.0, x + 20.0);
+        indexed.insert(SYSTEM, r, i);
+        naive.insert_region(SYSTEM, r, i);
+    }
+    (indexed, naive)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let sizes = [1_000u64, 10_000, 50_000];
+    let probe = Interval::new(500_000, 500_200);
+
+    table_header("A1: index vs. linear scan (correctness)", &["n", "interval_hits_match", "region_hits_match"]);
+    for &n in &sizes {
+        let (idx, naive) = build_interval(n);
+        let mut a: Vec<u64> = idx.overlapping(DOMAIN, probe).iter().map(|e| e.payload).collect();
+        let mut b = naive.overlapping_intervals(DOMAIN, probe);
+        a.sort_unstable();
+        b.sort_unstable();
+        let (cs, rnaive) = build_region(n);
+        let rprobe = Rect::rect2(5_000.0, 5_000.0, 5_200.0, 5_200.0);
+        let mut ra: Vec<u64> = cs.overlapping(SYSTEM, rprobe).iter().map(|e| e.payload).collect();
+        let mut rb = rnaive.overlapping_regions(SYSTEM, rprobe);
+        ra.sort_unstable();
+        rb.sort_unstable();
+        table_row(&[n.to_string(), (a == b).to_string(), (ra == rb).to_string()]);
+    }
+
+    let mut group = c.benchmark_group("A1_interval_overlap");
+    for &n in &sizes {
+        let (idx, naive) = build_interval(n);
+        group.bench_with_input(BenchmarkId::new("interval_tree", n), &n, |b, _| {
+            b.iter(|| idx.overlapping(DOMAIN, probe).len());
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            b.iter(|| naive.overlapping_intervals(DOMAIN, probe).len());
+        });
+    }
+    group.finish();
+
+    let rprobe = Rect::rect2(5_000.0, 5_000.0, 5_200.0, 5_200.0);
+    let mut rgroup = c.benchmark_group("A1_region_overlap");
+    for &n in &sizes {
+        let (cs, naive) = build_region(n);
+        rgroup.bench_with_input(BenchmarkId::new("r_tree", n), &n, |b, _| {
+            b.iter(|| cs.overlapping(SYSTEM, rprobe).len());
+        });
+        rgroup.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            b.iter(|| naive.overlapping_regions(SYSTEM, rprobe).len());
+        });
+    }
+    rgroup.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Experiment F1 — Figure 1: a-graph construction for the interdisciplinary study.
+//!
+//! Sweeps the annotation count and measures (a) the throughput of building the a-graph
+//! (register + annotate) and (b) discovery of indirectly-related annotations (two
+//! contents sharing a referent). The paper's Figure 1 is the scenario picture; the
+//! reproducible *shape* is that construction cost grows roughly linearly with the number
+//! of annotations and that shared referents induce indirect relations.
+
+use bench::{table_header, table_row};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::influenza::{self, InfluenzaConfig};
+
+fn config(annotations: usize) -> InfluenzaConfig {
+    InfluenzaConfig {
+        seed: 2008,
+        sequences: (annotations / 10).max(20),
+        annotations,
+        segments: 8,
+        shared_referent_prob: 0.3,
+        protease_prob: 0.3,
+        ..InfluenzaConfig::default()
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let sizes = [1_000usize, 5_000, 10_000];
+
+    table_header(
+        "F1: a-graph construction (Figure 1 scenario)",
+        &["annotations", "objects", "referents", "agraph_nodes", "indirect_links"],
+    );
+    for &a in &sizes {
+        let sys = influenza::build(&config(a));
+        let mut indirect = 0usize;
+        for ann in sys.annotations() {
+            indirect += sys.related_annotations(ann.id).len();
+        }
+        table_row(&[
+            a.to_string(),
+            sys.object_count().to_string(),
+            sys.referent_count().to_string(),
+            sys.agraph().node_count().to_string(),
+            (indirect / 2).to_string(),
+        ]);
+    }
+
+    let mut group = c.benchmark_group("F1_agraph_construction");
+    for &a in &sizes {
+        let cfg = config(a);
+        group.bench_with_input(BenchmarkId::from_parameter(a), &cfg, |b, cfg| {
+            b.iter(|| influenza::build(cfg));
+        });
+    }
+    group.finish();
+
+    let sys = influenza::build(&config(5_000));
+    let ids: Vec<_> = sys.annotations().iter().map(|x| x.id).take(200).collect();
+    c.bench_function("F1_related_annotation_lookup", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &id in &ids {
+                total += sys.related_annotations(id).len();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment F2 — Figure 2: the annotation-tab workflow.
+//!
+//! Measures end-to-end annotation creation per data type: search the relational store →
+//! mark a substructure (interval / region / block-set) → attach an ontology reference →
+//! commit the XML content. The reproducible shape is that per-annotation cost is
+//! dominated by content indexing and is roughly constant across data types.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphitti_core::{DataType, Graphitti, Marker};
+
+fn annotate_sequence(n: usize) -> Graphitti {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("seq", DataType::DnaSequence, 100_000, "chr1");
+    let term = sys.ontology_mut().add_concept("Motif");
+    for i in 0..n {
+        let start = (i as u64 * 37) % 99_000;
+        let _ = sys
+            .annotate()
+            .title("motif")
+            .comment("observed protease cleavage motif region")
+            .creator("bencher")
+            .mark(seq, Marker::interval(start, start + 30))
+            .cite_term(term)
+            .commit();
+    }
+    sys
+}
+
+fn annotate_image(n: usize) -> Graphitti {
+    let mut sys = Graphitti::new();
+    let img = sys.register_image("img", 10_000, 10_000, "confocal", "cs");
+    let term = sys.ontology_mut().add_concept("Region");
+    for i in 0..n {
+        let x = (i as f64 * 11.0) % 9_000.0;
+        let _ = sys
+            .annotate()
+            .comment("region of interest with elevated expression")
+            .creator("bencher")
+            .mark(img, Marker::region(x, x, x + 50.0, x + 50.0))
+            .cite_term(term)
+            .commit();
+    }
+    sys
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F2_annotate_workflow");
+    group.bench_function("sequence_interval_1000", |b| {
+        b.iter(|| annotate_sequence(1_000));
+    });
+    group.bench_function("image_region_1000", |b| {
+        b.iter(|| annotate_image(1_000));
+    });
+    group.finish();
+
+    // single-annotation latency
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("seq", DataType::DnaSequence, 100_000, "chr1");
+    let term = sys.ontology_mut().add_concept("Motif");
+    let mut i = 0u64;
+    c.bench_function("F2_single_annotation_commit", |b| {
+        b.iter(|| {
+            i += 1;
+            let start = (i * 37) % 99_000;
+            sys.annotate()
+                .comment("protease motif")
+                .creator("bencher")
+                .mark(seq, Marker::interval(start, start + 30))
+                .cite_term(term)
+                .commit()
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

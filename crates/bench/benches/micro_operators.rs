@@ -1,0 +1,108 @@
+//! Experiment M1 — microbenchmarks of every published operator.
+//!
+//! Times each operator named in Section II: substructure `ifOverlap` / `next` /
+//! `intersect`, ontology `CI` / `CRI` / `CmRI` / `mCmRI` / `SubTree` / subtree
+//! difference, and a-graph `path` / `connect`. These establish the per-operation cost
+//! floor the higher-level experiments build on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use agraph::{EdgeLabel, MultiGraph, NodeKind};
+use datagen::ontology_gen;
+use interval_index::{Interval, IntervalTree};
+use ontology::RelationType;
+use spatial_index::{Rect, RTree};
+
+fn interval_tree(n: u64) -> IntervalTree {
+    let mut t = IntervalTree::new();
+    for i in 0..n {
+        let s = (i * 37) % 1_000_000;
+        t.insert(Interval::new(s, s + 40), i);
+    }
+    t
+}
+
+fn rtree(n: u64) -> RTree {
+    let mut t = RTree::new();
+    for i in 0..n {
+        let x = (i as f64 * 3.0) % 10_000.0;
+        t.insert(Rect::rect2(x, x, x + 20.0, x + 20.0), i);
+    }
+    t
+}
+
+fn star_graph(arms: usize) -> (MultiGraph, Vec<agraph::NodeId>) {
+    let mut g = MultiGraph::new();
+    let hub = g.add_node(NodeKind::Referent, "hub");
+    let contents: Vec<_> = (0..arms)
+        .map(|i| {
+            let c = g.add_node(NodeKind::Content, format!("ann{i}"));
+            g.add_edge(c, hub, EdgeLabel::annotates()).unwrap();
+            c
+        })
+        .collect();
+    (g, contents)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    // substructure operators
+    let a = Interval::new(1000, 2000);
+    let b = Interval::new(1500, 2500);
+    c.bench_function("M1_ifOverlap_interval", |bch| bch.iter(|| a.if_overlap(&b)));
+    c.bench_function("M1_intersect_interval", |bch| bch.iter(|| a.intersect(&b)));
+
+    let ra = Rect::rect2(0.0, 0.0, 100.0, 100.0);
+    let rb = Rect::rect2(50.0, 50.0, 150.0, 150.0);
+    c.bench_function("M1_ifOverlap_rect", |bch| bch.iter(|| ra.if_overlap(&rb)));
+    c.bench_function("M1_intersect_rect", |bch| bch.iter(|| ra.intersect(&rb)));
+
+    let tree = interval_tree(10_000);
+    c.bench_function("M1_next_interval_tree", |bch| {
+        bch.iter(|| tree.next_after(Interval::new(500_000, 500_040)))
+    });
+    c.bench_function("M1_overlap_interval_tree", |bch| {
+        bch.iter(|| tree.overlapping(Interval::new(500_000, 500_200)).len())
+    });
+
+    let rt = rtree(10_000);
+    c.bench_function("M1_overlap_rtree", |bch| {
+        bch.iter(|| rt.overlapping(Rect::rect2(5_000.0, 5_000.0, 5_200.0, 5_200.0)).len())
+    });
+    c.bench_function("M1_nearest_rtree", |bch| {
+        bch.iter(|| rt.nearest([5_000.0, 5_000.0, 0.0]))
+    });
+
+    // ontology operators
+    let (mut onto, _root, all) = ontology_gen::balanced_tree(4, 4);
+    ontology_gen::populate_leaves(&mut onto, &all, 2);
+    let root = all[0];
+    let child = all[1];
+    c.bench_function("M1_CI", |bch| bch.iter(|| onto.ci(root).len()));
+    c.bench_function("M1_CRI", |bch| {
+        bch.iter(|| onto.cri(root, &RelationType::IsA).len())
+    });
+    c.bench_function("M1_CmRI", |bch| {
+        bch.iter(|| onto.cm_ri(&[root], &[RelationType::IsA]).len())
+    });
+    c.bench_function("M1_mCmRI", |bch| {
+        bch.iter(|| onto.m_cm_ri(&[root, child], &[RelationType::IsA]).len())
+    });
+    c.bench_function("M1_SubTree", |bch| {
+        bch.iter(|| onto.subtree(root, &RelationType::IsA).len())
+    });
+    c.bench_function("M1_SubTree_difference", |bch| {
+        bch.iter(|| onto.subtree_difference(root, child, &RelationType::IsA).len())
+    });
+
+    // a-graph operators
+    let (g, contents) = star_graph(1_000);
+    c.bench_function("M1_path", |bch| {
+        bch.iter(|| g.path(contents[0], contents[999]))
+    });
+    c.bench_function("M1_connect", |bch| {
+        bch.iter(|| g.connect(&[contents[0], contents[500], contents[999]]).map(|cs| cs.size()))
+    });
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

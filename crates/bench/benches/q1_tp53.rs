@@ -1,0 +1,53 @@
+//! Experiment Q1 — the TP53 example query (§I).
+//!
+//! "Find annotations that contain the term 'protein TP53' and have paths to all mouse
+//! brain images having at least 2 regions annotated with ontology term 'Deep Cerebellar
+//! nuclei'." Sweeps the image count and measures query latency. Reproducible shape: the
+//! keyword + ontology subqueries prune first, so latency grows sub-linearly in the image
+//! count.
+
+use bench::{neuro_workload, table_header, table_row};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphitti_query::{Executor, GraphConstraint, OntologyFilter, Query, Target};
+use spatial_index::Rect;
+
+fn bench_q1(c: &mut Criterion) {
+    let sizes = [50usize, 100, 200];
+
+    table_header(
+        "Q1: protein TP53 with >=2 DCN regions",
+        &["images", "annotations", "matching_objects", "pages"],
+    );
+
+    let mut group = c.benchmark_group("Q1_tp53");
+    for &images in &sizes {
+        let workload = neuro_workload(images, 8, 2008);
+        let sys = &workload.system;
+        let canvas = Rect::rect2(0.0, 0.0, 1_000.0, 1_000.0);
+        let query = Query::new(Target::ConnectionGraphs)
+            .with_phrase("protein TP53")
+            .with_ontology(OntologyFilter::CitesTerm(workload.concepts.deep_cerebellar_nuclei))
+            .with_constraint(GraphConstraint::MinRegionCount {
+                count: 2,
+                within: canvas,
+                system: workload.systems[0].clone(),
+            });
+
+        let result = Executor::new(sys).run(&query);
+        table_row(&[
+            images.to_string(),
+            sys.annotation_count().to_string(),
+            result.objects.len().to_string(),
+            result.page_count().to_string(),
+        ]);
+
+        group.bench_with_input(BenchmarkId::from_parameter(images), &images, |b, _| {
+            let exec = Executor::new(sys);
+            b.iter(|| exec.run(&query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q1);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment Q2 — the protease example query (§III).
+//!
+//! "Annotated sequences of all proteins belonging to an ontological class, where 4
+//! consecutive non-overlapping intervals in the sequence have annotations with the
+//! keyword 'protease' in each." Sweeps the sequence/annotation count and measures query
+//! latency. Reproducible shape: the content subquery ("protease") drives, and the
+//! consecutive-interval graph constraint is evaluated per candidate object.
+
+use bench::{influenza_system, table_header, table_row};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphitti_query::{Executor, GraphConstraint, Query, Target};
+
+fn bench_q2(c: &mut Criterion) {
+    let sizes = [1_000usize, 5_000, 10_000];
+
+    table_header(
+        "Q2: protease sequences with >=4 consecutive intervals",
+        &["annotations", "matching_objects"],
+    );
+
+    let mut group = c.benchmark_group("Q2_protease");
+    for &a in &sizes {
+        let sys = influenza_system(a, 2008);
+        let query = Query::new(Target::Referents)
+            .with_phrase("protease")
+            .with_constraint(GraphConstraint::ConsecutiveIntervals { count: 4, max_gap: 2_000 });
+        let result = Executor::new(&sys).run(&query);
+        table_row(&[a.to_string(), result.objects.len().to_string()]);
+
+        group.bench_with_input(BenchmarkId::from_parameter(a), &a, |b, _| {
+            let exec = Executor::new(&sys);
+            b.iter(|| exec.run(&query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q2);
+criterion_main!(benches);

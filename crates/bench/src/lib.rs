@@ -1,0 +1,63 @@
+//! Shared helpers for the Graphitti benchmark harness.
+//!
+//! Each bench target under `benches/` reproduces one experiment from DESIGN.md's
+//! per-experiment index. This library provides the workload builders and reporting
+//! helpers they share.
+
+use datagen::influenza::{self, InfluenzaConfig};
+use datagen::neuro::{self, NeuroConfig, NeuroWorkload};
+use graphitti_core::Graphitti;
+
+/// Build an influenza system with the given annotation count (Figure 1 sweep).
+pub fn influenza_system(annotations: usize, seed: u64) -> Graphitti {
+    influenza::build(&InfluenzaConfig {
+        seed,
+        sequences: (annotations / 10).max(20),
+        annotations,
+        segments: 8,
+        shared_referent_prob: 0.3,
+        protease_prob: 0.3,
+        ..InfluenzaConfig::default()
+    })
+}
+
+/// Build a neuroscience workload with the given image count.
+pub fn neuro_workload(images: usize, regions_per_image: usize, seed: u64) -> NeuroWorkload {
+    neuro::build(&NeuroConfig {
+        seed,
+        images,
+        regions_per_image,
+        coordinate_systems: 3,
+        dcn_prob: 0.4,
+        tp53_prob: 0.25,
+        canvas: 1_000.0,
+    })
+}
+
+/// Print a titled table header for the experiment's printed summary.
+pub fn table_header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", columns.join("\t"));
+}
+
+/// Print one row of the experiment summary.
+pub fn table_row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn influenza_helper_builds() {
+        let sys = influenza_system(100, 1);
+        assert!(sys.annotation_count() > 0);
+    }
+
+    #[test]
+    fn neuro_helper_builds() {
+        let w = neuro_workload(10, 4, 1);
+        assert_eq!(w.images.len(), 10);
+    }
+}

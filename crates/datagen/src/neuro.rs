@@ -1,0 +1,182 @@
+//! The neuroscience brain-atlas workload.
+//!
+//! Mirrors the demo's neuroscience application: many brain images registered against a
+//! shared coordinate system (so they share one R-tree), with region annotations, some
+//! citing the `DeepCerebellarNuclei` ontology term used by the TP53 example query.
+
+use graphitti_core::{Graphitti, Marker, ObjectId};
+
+use crate::ontology_gen::{self, NeuroConcepts};
+use crate::rng::WorkloadRng;
+
+/// Configuration for the neuroscience workload.
+#[derive(Debug, Clone)]
+pub struct NeuroConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of brain images.
+    pub images: usize,
+    /// Region annotations per image.
+    pub regions_per_image: usize,
+    /// Number of distinct coordinate systems (resolutions) to spread images over.
+    pub coordinate_systems: usize,
+    /// Probability a region annotation cites the `DeepCerebellarNuclei` term.
+    pub dcn_prob: f64,
+    /// Image canvas width / height.
+    pub canvas: f64,
+    /// Probability a region annotation's content mentions "protein TP53".
+    pub tp53_prob: f64,
+}
+
+impl Default for NeuroConfig {
+    fn default() -> Self {
+        NeuroConfig {
+            seed: 0xB3A1,
+            images: 100,
+            regions_per_image: 8,
+            coordinate_systems: 3,
+            dcn_prob: 0.4,
+            canvas: 1000.0,
+            tp53_prob: 0.2,
+        }
+    }
+}
+
+impl NeuroConfig {
+    /// A small configuration for tests.
+    pub fn small() -> Self {
+        NeuroConfig {
+            seed: 2,
+            images: 6,
+            regions_per_image: 4,
+            coordinate_systems: 2,
+            dcn_prob: 0.5,
+            canvas: 500.0,
+            tp53_prob: 0.3,
+        }
+    }
+}
+
+/// The result of building a neuroscience workload: the system plus the named concepts so
+/// callers (benches, examples, tests) can query by the `DeepCerebellarNuclei` term.
+pub struct NeuroWorkload {
+    /// The populated system.
+    pub system: Graphitti,
+    /// Named neuro-anatomy concepts.
+    pub concepts: NeuroConcepts,
+    /// The image objects created.
+    pub images: Vec<ObjectId>,
+    /// The coordinate-system names used.
+    pub systems: Vec<String>,
+}
+
+/// Build the neuroscience workload.
+pub fn build(config: &NeuroConfig) -> NeuroWorkload {
+    let mut sys = Graphitti::new();
+    let mut rng = WorkloadRng::new(config.seed);
+
+    let (onto, concepts) = ontology_gen::neuro_anatomy();
+    *sys.ontology_mut() = onto;
+
+    let ncs = config.coordinate_systems.max(1);
+    let systems: Vec<String> = (0..ncs).map(|i| format!("mouse-brain-cs-{i}")).collect();
+
+    let mut images = Vec::with_capacity(config.images);
+    for i in 0..config.images {
+        let cs = &systems[i % ncs];
+        let img = sys.register_image(
+            format!("brain-image-{i}"),
+            config.canvas as u64,
+            config.canvas as u64,
+            "confocal",
+            cs.clone(),
+        );
+        images.push(img);
+
+        for _ in 0..config.regions_per_image {
+            let w = rng.range_f64(20.0, 120.0);
+            let h = rng.range_f64(20.0, 120.0);
+            let x = rng.range_f64(0.0, config.canvas - w);
+            let y = rng.range_f64(0.0, config.canvas - h);
+            let cites_dcn = rng.chance(config.dcn_prob);
+            let mentions_tp53 = rng.chance(config.tp53_prob);
+
+            let comment = if mentions_tp53 {
+                "strong staining for protein TP53 in this region"
+            } else {
+                "background expression level"
+            };
+            let mut builder = sys
+                .annotate()
+                .title("region annotation")
+                .comment(comment)
+                .creator("martone")
+                .mark(img, Marker::region(x, y, x + w, y + h));
+            if cites_dcn {
+                builder = builder
+                    .subject("Deep Cerebellar nuclei")
+                    .cite_term(concepts.deep_cerebellar_nuclei);
+            }
+            let _ = builder.commit();
+        }
+    }
+
+    NeuroWorkload { system: sys, concepts, images, systems }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphitti_query::{Executor, GraphConstraint, OntologyFilter, Query, Target};
+    use spatial_index::Rect;
+
+    #[test]
+    fn builds_small_workload() {
+        let w = build(&NeuroConfig::small());
+        assert_eq!(w.images.len(), 6);
+        assert!(w.system.annotation_count() > 0);
+        // images share <= coordinate_systems R-trees
+        let (_, spatial) = w.system.index_structure_count();
+        assert!(spatial <= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build(&NeuroConfig::small());
+        let b = build(&NeuroConfig::small());
+        assert_eq!(a.system.annotation_count(), b.system.annotation_count());
+        assert_eq!(a.system.referent_count(), b.system.referent_count());
+    }
+
+    #[test]
+    fn dcn_term_is_queryable() {
+        let mut cfg = NeuroConfig::small();
+        cfg.images = 20;
+        cfg.dcn_prob = 0.8;
+        let w = build(&cfg);
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_ontology(OntologyFilter::CitesTerm(w.concepts.deep_cerebellar_nuclei));
+        let res = Executor::new(&w.system).run(&q);
+        assert!(!res.objects.is_empty());
+    }
+
+    #[test]
+    fn min_region_count_finds_dense_images() {
+        let mut cfg = NeuroConfig::small();
+        cfg.images = 10;
+        cfg.regions_per_image = 6;
+        cfg.dcn_prob = 1.0; // every region cites DCN
+        let w = build(&cfg);
+        let big = Rect::rect2(0.0, 0.0, cfg.canvas, cfg.canvas);
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_ontology(OntologyFilter::CitesTerm(w.concepts.deep_cerebellar_nuclei))
+            .with_constraint(GraphConstraint::MinRegionCount {
+                count: 2,
+                within: big,
+                system: w.systems[0].clone(),
+            });
+        let res = Executor::new(&w.system).run(&q);
+        // every image has >= 2 DCN regions, so all images (on any cs) qualify by count
+        assert!(!res.objects.is_empty());
+    }
+}

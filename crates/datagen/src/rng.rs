@@ -1,0 +1,106 @@
+//! A tiny seeded RNG wrapper used by the generators.
+//!
+//! We use `rand`'s `SmallRng` seeded from a `u64` so that every workload is fully
+//! reproducible from its seed — important for benchmarks and for regression tests that
+//! assert on generated structure.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for workload generation.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng {
+    inner: SmallRng,
+}
+
+impl WorkloadRng {
+    /// Create an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        WorkloadRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// A uniform integer in `[low, high)`.
+    pub fn range_u64(&mut self, low: u64, high: u64) -> u64 {
+        if high <= low {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// A uniform integer in `[low, high)`.
+    pub fn range_usize(&mut self, low: usize, high: usize) -> usize {
+        if high <= low {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// A uniform float in `[low, high)`.
+    pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+        if high <= low {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// A boolean true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Pick one element index of a slice of length `len` (must be > 0).
+    pub fn pick(&mut self, len: usize) -> usize {
+        self.range_usize(0, len)
+    }
+
+    /// Choose a random element from a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        let i = self.pick(items.len());
+        &items[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = WorkloadRng::new(42);
+        let mut b = WorkloadRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1000), b.range_u64(0, 1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_bounded() {
+        let mut r = WorkloadRng::new(1);
+        for _ in 0..1000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.range_f64(0.0, 1.0);
+            assert!((0.0..1.0).contains(&f));
+            let u = r.range_usize(5, 6);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let mut r = WorkloadRng::new(7);
+        assert_eq!(r.range_u64(5, 5), 5);
+        assert_eq!(r.range_u64(9, 2), 9);
+        assert_eq!(r.range_f64(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn choose_and_pick() {
+        let mut r = WorkloadRng::new(3);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(r.choose(&items)));
+            assert!(r.pick(3) < 3);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! A unified heterogeneous workload spanning both studies in one system.
+//!
+//! This is the scenario the paper's introduction motivates: "DNA sequences, molecular
+//! interaction graphs, 3D models of proteins, images showing expressions of a protein,
+//! would all get annotated … sometimes an annotation will depict a newly discovered
+//! correlation between two different pieces of data." The generator registers influenza
+//! sequences and neuroscience images into one [`Graphitti`] and creates **cross-type**
+//! annotations that mark a sequence interval *and* an image region together, exercising
+//! the a-graph's heterogeneous linking.
+
+use graphitti_core::{DataType, Graphitti, Marker, ObjectId};
+use ontology::ConceptId;
+
+use crate::ontology_gen;
+use crate::rng::WorkloadRng;
+
+/// Configuration for the unified workload.
+#[derive(Debug, Clone)]
+pub struct UnifiedConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of sequences.
+    pub sequences: usize,
+    /// Number of images.
+    pub images: usize,
+    /// Single-type annotations per study.
+    pub annotations: usize,
+    /// Cross-type (sequence↔image correlation) annotations.
+    pub cross_annotations: usize,
+}
+
+impl Default for UnifiedConfig {
+    fn default() -> Self {
+        UnifiedConfig {
+            seed: 0xC0FFEE,
+            sequences: 40,
+            images: 40,
+            annotations: 200,
+            cross_annotations: 40,
+        }
+    }
+}
+
+impl UnifiedConfig {
+    /// A small config for tests.
+    pub fn small() -> Self {
+        UnifiedConfig {
+            seed: 3,
+            sequences: 6,
+            images: 6,
+            annotations: 30,
+            cross_annotations: 6,
+        }
+    }
+}
+
+/// A unified workload: a populated system plus the objects and the correlation concept.
+pub struct UnifiedWorkload {
+    /// The populated system.
+    pub system: Graphitti,
+    /// Sequence objects.
+    pub sequences: Vec<ObjectId>,
+    /// Image objects.
+    pub images: Vec<ObjectId>,
+    /// The ontology concept used to tag cross-type correlations.
+    pub correlation_concept: ConceptId,
+}
+
+/// Build the unified workload.
+pub fn build(config: &UnifiedConfig) -> UnifiedWorkload {
+    let mut sys = Graphitti::new();
+    let mut rng = WorkloadRng::new(config.seed);
+
+    // Ontology combining anatomy + a "Correlation" marker concept.
+    let (onto, _concepts) = ontology_gen::neuro_anatomy();
+    *sys.ontology_mut() = onto;
+    let correlation = sys.ontology_mut().add_concept("CrossModalCorrelation");
+
+    let sequences: Vec<ObjectId> = (0..config.sequences)
+        .map(|i| {
+            sys.register_sequence(
+                format!("protein-seq-{i}"),
+                DataType::ProteinSequence,
+                rng.range_u64(300, 1500),
+                format!("chr{}", i % 4),
+            )
+        })
+        .collect();
+
+    let images: Vec<ObjectId> = (0..config.images)
+        .map(|i| {
+            sys.register_image(
+                format!("expression-image-{i}"),
+                1000,
+                1000,
+                "confocal",
+                "mouse-brain-cs",
+            )
+        })
+        .collect();
+
+    // Single-type annotations.
+    for a in 0..config.annotations {
+        if rng.chance(0.5) && !sequences.is_empty() {
+            let seq = *rng.choose(&sequences);
+            let start = rng.range_u64(0, 250);
+            let _ = sys
+                .annotate()
+                .title(format!("seq-ann-{a}"))
+                .comment("protein domain of interest")
+                .creator("bencher")
+                .mark(seq, Marker::interval(start, start + 40))
+                .commit();
+        } else if !images.is_empty() {
+            let img = *rng.choose(&images);
+            let x = rng.range_f64(0.0, 900.0);
+            let _ = sys
+                .annotate()
+                .title(format!("img-ann-{a}"))
+                .comment("elevated protein expression region")
+                .creator("bencher")
+                .mark(img, Marker::region(x, x, x + 50.0, x + 50.0))
+                .commit();
+        }
+    }
+
+    // Cross-type correlation annotations: one annotation links a sequence interval and an
+    // image region, citing the correlation concept — the heterogeneous a-graph edge.
+    for a in 0..config.cross_annotations {
+        if sequences.is_empty() || images.is_empty() {
+            break;
+        }
+        let seq = *rng.choose(&sequences);
+        let img = *rng.choose(&images);
+        let start = rng.range_u64(0, 250);
+        let x = rng.range_f64(0.0, 900.0);
+        let _ = sys
+            .annotate()
+            .title(format!("correlation-{a}"))
+            .comment("sequence motif correlates with the expression pattern in this region")
+            .creator("gupta")
+            .mark(seq, Marker::interval(start, start + 30))
+            .mark(img, Marker::region(x, x, x + 40.0, x + 40.0))
+            .cite_term(correlation)
+            .commit();
+    }
+
+    UnifiedWorkload { system: sys, sequences, images, correlation_concept: correlation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_heterogeneous_system() {
+        let w = build(&UnifiedConfig::small());
+        assert_eq!(w.sequences.len(), 6);
+        assert_eq!(w.images.len(), 6);
+        // both index families are populated
+        let (intervals, spatial) = w.system.index_structure_count();
+        assert!(intervals > 0 && spatial > 0);
+    }
+
+    #[test]
+    fn cross_annotations_link_two_types() {
+        let mut cfg = UnifiedConfig::small();
+        cfg.cross_annotations = 10;
+        cfg.annotations = 0;
+        let w = build(&cfg);
+        // a correlation annotation has referents on two different object types
+        let cross = w
+            .system
+            .annotations()
+            .iter()
+            .find(|a| a.terms.contains(&w.correlation_concept));
+        assert!(cross.is_some());
+        let ann = cross.unwrap();
+        let types: Vec<DataType> = ann
+            .referents
+            .iter()
+            .filter_map(|&r| w.system.referent(r))
+            .filter_map(|r| w.system.object(r.object))
+            .map(|o| o.data_type)
+            .collect();
+        assert!(types.contains(&DataType::ProteinSequence));
+        assert!(types.contains(&DataType::Image));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build(&UnifiedConfig::small());
+        let b = build(&UnifiedConfig::small());
+        assert_eq!(a.system.annotation_count(), b.system.annotation_count());
+        assert_eq!(a.system.referent_count(), b.system.referent_count());
+    }
+}

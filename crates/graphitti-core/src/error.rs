@@ -1,0 +1,84 @@
+//! Error type for the Graphitti core system.
+
+use std::fmt;
+
+use crate::system::ObjectId;
+use crate::types::{DataType, Dimensionality};
+
+/// Errors raised by the Graphitti facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Referenced an object that does not exist.
+    UnknownObject(ObjectId),
+    /// A marker's dimensionality did not match the object's data type.
+    MarkerKindMismatch {
+        /// The object's data type.
+        data_type: DataType,
+        /// The object's dimensionality.
+        expected: Dimensionality,
+        /// The marker's dimensionality.
+        got: Dimensionality,
+    },
+    /// An annotation was committed with no referents and no ontology terms, which would
+    /// leave a dangling content node with nothing to link.
+    EmptyAnnotation,
+    /// A marker fell outside the object's extent.
+    MarkerOutOfBounds {
+        /// The object it was applied to.
+        object: ObjectId,
+        /// A human-readable description of the violation.
+        detail: String,
+    },
+    /// An underlying relational-store error.
+    Relational(String),
+    /// An underlying a-graph error.
+    Graph(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownObject(id) => write!(f, "unknown object {id:?}"),
+            CoreError::MarkerKindMismatch { data_type, expected, got } => write!(
+                f,
+                "marker mismatch for {data_type:?}: expected {expected:?}, got {got:?}"
+            ),
+            CoreError::EmptyAnnotation => {
+                write!(f, "annotation has no referents and no ontology terms")
+            }
+            CoreError::MarkerOutOfBounds { object, detail } => {
+                write!(f, "marker out of bounds on {object:?}: {detail}")
+            }
+            CoreError::Relational(m) => write!(f, "relational store error: {m}"),
+            CoreError::Graph(m) => write!(f, "a-graph error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<relstore::RelError> for CoreError {
+    fn from(e: relstore::RelError) -> Self {
+        CoreError::Relational(e.to_string())
+    }
+}
+
+impl From<agraph::GraphError> for CoreError {
+    fn from(e: agraph::GraphError) -> Self {
+        CoreError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(CoreError::EmptyAnnotation.to_string().contains("no referents"));
+        let re: CoreError = relstore::RelError::NoSuchTable("t".into()).into();
+        assert!(re.to_string().contains("relational"));
+        let ge: CoreError = agraph::GraphError::TooFewTerminals(1).into();
+        assert!(ge.to_string().contains("a-graph"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # graphitti-core — the annotation model and system facade
+//!
+//! This crate is the paper's primary contribution: an annotation platform where a
+//! scientist creates and searches annotations on *heterogeneous* data.  It treats an
+//! annotation as a "linker object" connecting annotation content (the comment) to one
+//! or more annotation referents (marked substructures of data objects) and to ontology
+//! terms, inducing the **a-graph** — the connection structure that associates
+//! substructures of all other data types.
+//!
+//! The module layout:
+//!
+//! * [`types`] — the heterogeneous data-type taxonomy and per-type schemas;
+//! * [`marker`] — the substructure markers (interval, region, volume, block-set) the
+//!   annotation tab uses, and the `SubX` substructure abstraction with the paper's
+//!   `ifOverlap` / `next` / `intersect` operators;
+//! * [`referent`] — a referent: a marked substructure of a specific object;
+//! * [`annotation`] — the annotation content model and the fluent annotation builder;
+//! * [`system`] — [`Graphitti`], the facade that owns the relational store, the content
+//!   store, the interval / R-tree indexes, the ontology and the a-graph, and implements
+//!   register / annotate / explore.
+//!
+//! See the crate `README` and `examples/` for end-to-end usage.
+
+pub mod annotation;
+pub mod error;
+pub mod marker;
+pub mod referent;
+pub mod snapshot;
+pub mod system;
+pub mod types;
+
+pub use annotation::{Annotation, AnnotationBuilder, AnnotationId};
+pub use error::CoreError;
+pub use marker::{Marker, SubX};
+pub use referent::{Referent, ReferentId};
+pub use snapshot::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, Snapshot};
+pub use system::{Entity, Graphitti, ObjectId, ObjectInfo};
+pub use types::{DataType, Dimensionality};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+// Re-export the substrate crates so downstream code can name their types through core.
+pub use agraph;
+pub use interval_index;
+pub use ontology;
+pub use relstore;
+pub use spatial_index;
+pub use xmlstore;

@@ -1,0 +1,144 @@
+//! Property tests for the core system: SubX operator laws, and snapshot round-trip
+//! invariance over randomly constructed systems.
+
+use graphitti_core::{DataType, Graphitti, Marker, SubX};
+use proptest::prelude::*;
+
+fn arb_interval_marker() -> impl Strategy<Value = Marker> {
+    (0u64..1000, 1u64..100).prop_map(|(s, len)| Marker::interval(s, s + len))
+}
+
+fn arb_block_marker() -> impl Strategy<Value = Marker> {
+    prop::collection::vec(0u64..50, 1..8).prop_map(Marker::block_set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ifoverlap_is_symmetric(a in arb_interval_marker(), b in arb_interval_marker()) {
+        prop_assert_eq!(a.if_overlap(&b), b.if_overlap(&a));
+    }
+
+    #[test]
+    fn intersect_implies_overlap(a in arb_interval_marker(), b in arb_interval_marker()) {
+        let overlap = a.if_overlap(&b);
+        let inter = a.intersect(&b);
+        prop_assert_eq!(inter.is_some(), overlap);
+    }
+
+    #[test]
+    fn block_intersect_is_subset(a in arb_block_marker(), b in arb_block_marker()) {
+        if let Some(Marker::BlockSet(inter)) = a.intersect(&b) {
+            if let (Marker::BlockSet(av), Marker::BlockSet(bv)) = (&a, &b) {
+                for id in &inter {
+                    prop_assert!(av.contains(id) && bv.contains(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_kind_never_overlaps(a in arb_interval_marker(), b in arb_block_marker()) {
+        prop_assert!(!a.if_overlap(&b));
+        prop_assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn next_is_after(
+        markers in prop::collection::vec(arb_interval_marker(), 1..20),
+        probe in arb_interval_marker(),
+    ) {
+        if let Some(nxt) = probe.next_in(&markers) {
+            if let (Marker::Interval(p), Marker::Interval(n)) = (&probe, nxt) {
+                prop_assert!(n.start >= p.end);
+            }
+        }
+    }
+}
+
+/// Build a small random system of sequence annotations, some sharing referents.
+fn build_random(seed: u64, n_objects: usize, n_anns: usize, share: bool) -> Graphitti {
+    // deterministic pseudo-random via a simple LCG seeded by `seed`
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+
+    let mut sys = Graphitti::new();
+    let objs: Vec<_> = (0..n_objects.max(1))
+        .map(|i| sys.register_sequence(format!("s{i}"), DataType::DnaSequence, 10_000, format!("chr{}", i % 3)))
+        .collect();
+    let mut referent_pool = Vec::new();
+    for a in 0..n_anns {
+        let obj = objs[(next() as usize) % objs.len()];
+        let mut builder = sys.annotate().comment(format!("annotation {a} protease")).creator("t");
+        if share && !referent_pool.is_empty() && next() % 2 == 0 {
+            let rid = referent_pool[(next() as usize) % referent_pool.len()];
+            builder = builder.mark_existing(rid);
+            let _ = builder.commit();
+        } else {
+            let start = (next() % 9000) as u64;
+            builder = builder.mark(obj, Marker::interval(start, start + 30));
+            if let Ok(aid) = builder.commit() {
+                if let Some(ann) = sys.annotation(aid) {
+                    if let Some(&rid) = ann.referents.first() {
+                        referent_pool.push(rid);
+                    }
+                }
+            }
+        }
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn snapshot_roundtrip_is_invariant(
+        seed in any::<u64>(),
+        n_objects in 1usize..6,
+        n_anns in 0usize..40,
+        share in any::<bool>(),
+    ) {
+        let sys = build_random(seed, n_objects, n_anns, share);
+        let snap = sys.snapshot();
+        let rebuilt = Graphitti::from_snapshot(&snap).unwrap();
+        // the rebuilt system produces an identical snapshot
+        prop_assert_eq!(rebuilt.snapshot(), snap);
+        prop_assert_eq!(rebuilt.object_count(), sys.object_count());
+        prop_assert_eq!(rebuilt.annotation_count(), sys.annotation_count());
+        prop_assert_eq!(rebuilt.referent_count(), sys.referent_count());
+    }
+
+    #[test]
+    fn related_annotations_are_symmetric(
+        seed in any::<u64>(),
+        n_anns in 2usize..40,
+    ) {
+        let sys = build_random(seed, 3, n_anns, true);
+        for ann in sys.annotations() {
+            for other in sys.related_annotations(ann.id) {
+                // if a relates to b (shared referent), b relates to a
+                prop_assert!(sys.related_annotations(other).contains(&ann.id));
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_closure_contains_direct(
+        seed in any::<u64>(),
+        n_anns in 2usize..40,
+    ) {
+        let sys = build_random(seed, 3, n_anns, true);
+        for ann in sys.annotations() {
+            let direct = sys.related_annotations(ann.id);
+            let transitive = sys.transitively_related_annotations(ann.id);
+            for d in direct {
+                prop_assert!(transitive.contains(&d));
+            }
+        }
+    }
+}

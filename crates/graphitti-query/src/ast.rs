@@ -1,0 +1,231 @@
+//! The query model.
+//!
+//! A [`Query`] bundles three families of subqueries — over annotation *content*, over
+//! *referents* (type-specific substructure predicates) and over the *ontology* — plus
+//! graph constraints that the different partial results must jointly satisfy, and a
+//! target describing what to return.
+
+use graphitti_core::DataType;
+use interval_index::Interval;
+use ontology::{ConceptId, RelationType};
+use spatial_index::Rect;
+use xmlstore::PathExpr;
+
+/// What a query returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Annotation contents (XML documents / fragments).
+    AnnotationContents,
+    /// Annotation referents (heterogeneous substructures).
+    Referents,
+    /// Connection subgraphs of the a-graph (one result page per connected subgraph).
+    ConnectionGraphs,
+}
+
+/// A subquery over annotation content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentFilter {
+    /// The content's full text contains this phrase (case-insensitive substring).
+    Phrase(String),
+    /// The content's text contains every one of these keywords.
+    Keywords(Vec<String>),
+    /// A path/XQuery-lite expression matches the content document.
+    Path(PathExpr),
+}
+
+/// A subquery over referents — the paper's "type-specific predicates".
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReferentFilter {
+    /// Referents of objects of this data type.
+    OfType(DataType),
+    /// Interval referents within a coordinate domain overlapping the query interval.
+    IntervalOverlaps {
+        /// Coordinate domain (chromosome, alignment id, …); `None` searches all.
+        domain: Option<String>,
+        /// The query interval.
+        interval: Interval,
+    },
+    /// Region referents within a coordinate system overlapping the query rectangle.
+    RegionOverlaps {
+        /// Coordinate system; `None` searches all.
+        system: Option<String>,
+        /// The query rectangle / box.
+        rect: Rect,
+    },
+    /// Referents marked by a block-set containing any of these ids.
+    BlockContains(Vec<u64>),
+}
+
+/// A subquery over the ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OntologyFilter {
+    /// Annotations citing a term that is an instance of this concept, reached by the
+    /// given relations (defaults to is-a / part-of when empty).
+    InClass {
+        /// The ontology concept whose instances qualify.
+        concept: ConceptId,
+        /// Relations to follow when expanding the class (empty → is-a + part-of).
+        relations: Vec<RelationType>,
+    },
+    /// Annotations citing exactly this term.
+    CitesTerm(ConceptId),
+}
+
+/// Graph-level constraints a result must satisfy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphConstraint {
+    /// The result must contain at least `count` referents that form a chain of
+    /// *consecutive, non-overlapping* intervals (within `max_gap`), each annotated —
+    /// the protease example query's "4 consecutive non-overlapping intervals".
+    ConsecutiveIntervals {
+        /// Required number of intervals in the chain.
+        count: usize,
+        /// Maximum gap allowed between consecutive intervals.
+        max_gap: u64,
+    },
+    /// The result's object must carry at least `count` region referents overlapping
+    /// `within` — the TP53 query's "≥ 2 regions annotated".
+    MinRegionCount {
+        /// Minimum number of qualifying regions.
+        count: usize,
+        /// The region they must fall within (use a very large rect for "anywhere").
+        within: Rect,
+        /// The coordinate system to search.
+        system: String,
+    },
+    /// Every pair of terminal subquery results must be connected in the a-graph within
+    /// `max_len` hops (the path-expression backbone of the TP53 query).
+    PathExists {
+        /// Maximum path length (edges).
+        max_len: usize,
+    },
+}
+
+/// A complete query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// What to return.
+    pub target: Target,
+    /// Content subqueries (ANDed).
+    pub content: Vec<ContentFilter>,
+    /// Referent subqueries (ANDed).
+    pub referents: Vec<ReferentFilter>,
+    /// Ontology subqueries (ANDed).
+    pub ontology: Vec<OntologyFilter>,
+    /// Graph constraints (ANDed).
+    pub constraints: Vec<GraphConstraint>,
+}
+
+impl Query {
+    /// Start building a query with the given target.
+    pub fn new(target: Target) -> Self {
+        Query {
+            target,
+            content: Vec::new(),
+            referents: Vec::new(),
+            ontology: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Builder: require an annotation-content phrase.
+    pub fn with_phrase(mut self, phrase: impl Into<String>) -> Self {
+        self.content.push(ContentFilter::Phrase(phrase.into()));
+        self
+    }
+
+    /// Builder: require all keywords.
+    pub fn with_keywords<I, S>(mut self, keywords: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.content
+            .push(ContentFilter::Keywords(keywords.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Builder: require a content path expression match.
+    pub fn with_path(mut self, expr: PathExpr) -> Self {
+        self.content.push(ContentFilter::Path(expr));
+        self
+    }
+
+    /// Builder: add a referent filter.
+    pub fn with_referent(mut self, filter: ReferentFilter) -> Self {
+        self.referents.push(filter);
+        self
+    }
+
+    /// Builder: add an ontology filter.
+    pub fn with_ontology(mut self, filter: OntologyFilter) -> Self {
+        self.ontology.push(filter);
+        self
+    }
+
+    /// Builder: add a graph constraint.
+    pub fn with_constraint(mut self, constraint: GraphConstraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Total number of subqueries (content + referent + ontology).
+    pub fn subquery_count(&self) -> usize {
+        self.content.len() + self.referents.len() + self.ontology.len()
+    }
+
+    /// True when the query has no subqueries (matches everything of the target kind).
+    pub fn is_unconstrained(&self) -> bool {
+        self.subquery_count() == 0 && self.constraints.is_empty()
+    }
+
+    /// Convenience: a query returning the markers' type, if a single `OfType` referent
+    /// filter pins it.
+    pub fn pinned_type(&self) -> Option<DataType> {
+        self.referents.iter().find_map(|f| match f {
+            ReferentFilter::OfType(t) => Some(*t),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_query() {
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_phrase("protein TP53")
+            .with_referent(ReferentFilter::OfType(DataType::Image))
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(3)))
+            .with_constraint(GraphConstraint::PathExists { max_len: 4 });
+        assert_eq!(q.target, Target::ConnectionGraphs);
+        assert_eq!(q.subquery_count(), 3);
+        assert_eq!(q.content.len(), 1);
+        assert_eq!(q.referents.len(), 1);
+        assert_eq!(q.ontology.len(), 1);
+        assert_eq!(q.constraints.len(), 1);
+        assert_eq!(q.pinned_type(), Some(DataType::Image));
+        assert!(!q.is_unconstrained());
+    }
+
+    #[test]
+    fn unconstrained_query() {
+        let q = Query::new(Target::Referents);
+        assert!(q.is_unconstrained());
+        assert_eq!(q.subquery_count(), 0);
+        assert_eq!(q.pinned_type(), None);
+    }
+
+    #[test]
+    fn with_marker_helpers() {
+        let q = Query::new(Target::Referents).with_referent(ReferentFilter::IntervalOverlaps {
+            domain: Some("chr7".into()),
+            interval: Interval::new(0, 100),
+        });
+        assert_eq!(q.referents.len(), 1);
+        // Markers are built via graphitti_core; ensure they are available to callers.
+        let _ = graphitti_core::Marker::interval(0, 100);
+    }
+}

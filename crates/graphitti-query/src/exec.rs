@@ -1,0 +1,803 @@
+//! The query executor.
+//!
+//! The executor realises the paper's pipeline: it builds a [`Plan`] (separating and
+//! ordering subqueries), evaluates each subquery against the matching store, and
+//! collates the partial results by connecting them through the a-graph into
+//! type-extended connection subgraphs, enforcing the graph constraints.
+//!
+//! Candidate sets are represented as concrete entity ids (annotation / referent /
+//! object), and the final collation walks the a-graph to assemble the witness subgraphs
+//! that become result pages.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use agraph::{NodeId, PathSearch, Subgraph};
+use graphitti_core::{AnnotationId, Entity, Graphitti, Marker, ObjectId, ReferentId};
+use interval_index::Interval;
+use ontology::{ConceptId, RelationType};
+
+use crate::ast::{
+    ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
+};
+use crate::plan::Plan;
+use crate::result::{QueryResult, ResultPage};
+
+/// The query executor, borrowing a [`Graphitti`] system immutably.
+pub struct Executor<'g> {
+    system: &'g Graphitti,
+}
+
+impl<'g> Executor<'g> {
+    /// Create an executor over a system.
+    pub fn new(system: &'g Graphitti) -> Self {
+        Executor { system }
+    }
+
+    /// Build the plan for a query without executing it (for EXPLAIN-style inspection).
+    pub fn plan(&self, query: &Query) -> Plan {
+        Plan::build(query)
+    }
+
+    /// Execute a query and return its result.
+    pub fn run(&self, query: &Query) -> QueryResult {
+        let plan = Plan::build(query);
+        // The plan's order guides which subquery drives; for correctness we compute all
+        // candidate sets (they are ANDed) and then collate. Ordering affects cost, not
+        // the result set.
+        let _ = &plan;
+
+        // Evaluate annotation-producing subqueries (content ∩ ontology).
+        let content_anns = self.eval_content(query);
+        let (onto_anns, onto_concepts) = self.eval_ontology(query);
+
+        let annotation_candidates = intersect_opt(content_anns, onto_anns.clone());
+
+        // Evaluate referent-producing subqueries.
+        let referent_candidates = self.eval_referents(query);
+
+        // Collate into qualifying objects / annotations / referents, applying graph
+        // constraints, then build result pages. The ontology-only annotation set is
+        // passed separately so constraints like "N regions annotated with term T" count
+        // regions by the ontology condition, not by the (stricter) content filter.
+        self.collate(query, annotation_candidates, referent_candidates, onto_anns, &onto_concepts)
+    }
+
+    // --- subquery evaluation ---
+
+    /// Evaluate content filters. Returns `None` when there are none (unconstrained),
+    /// else the set of annotation ids whose content satisfies *all* filters.
+    fn eval_content(&self, query: &Query) -> Option<HashSet<AnnotationId>> {
+        if query.content.is_empty() {
+            return None;
+        }
+        let store = self.system.content_store();
+        // map from doc id to annotation id
+        let doc_to_ann: HashMap<_, _> = self
+            .system
+            .annotations()
+            .iter()
+            .map(|a| (a.doc_id, a.id))
+            .collect();
+
+        let mut acc: Option<HashSet<AnnotationId>> = None;
+        for filter in &query.content {
+            let matching: HashSet<AnnotationId> = match filter {
+                ContentFilter::Phrase(p) => store
+                    .containing_phrase(p)
+                    .into_iter()
+                    .filter_map(|d| doc_to_ann.get(&d).copied())
+                    .collect(),
+                ContentFilter::Keywords(ks) => {
+                    let refs: Vec<&str> = ks.iter().map(String::as_str).collect();
+                    store
+                        .with_all_keywords(&refs)
+                        .into_iter()
+                        .filter_map(|d| doc_to_ann.get(&d).copied())
+                        .collect()
+                }
+                ContentFilter::Path(expr) => store
+                    .select(expr)
+                    .into_iter()
+                    .filter_map(|d| doc_to_ann.get(&d).copied())
+                    .collect(),
+            };
+            acc = Some(match acc {
+                None => matching,
+                Some(prev) => prev.intersection(&matching).copied().collect(),
+            });
+        }
+        acc
+    }
+
+    /// Evaluate ontology filters. Returns the annotation set (annotations citing a
+    /// qualifying term) and the expanded set of qualifying concepts.
+    fn eval_ontology(&self, query: &Query) -> (Option<HashSet<AnnotationId>>, HashSet<ConceptId>) {
+        if query.ontology.is_empty() {
+            return (None, HashSet::new());
+        }
+        let onto = self.system.ontology();
+        let mut all_concepts: HashSet<ConceptId> = HashSet::new();
+        let mut acc: Option<HashSet<AnnotationId>> = None;
+
+        for filter in &query.ontology {
+            let qualifying_concepts: HashSet<ConceptId> = match filter {
+                OntologyFilter::CitesTerm(c) => {
+                    let mut s = HashSet::new();
+                    s.insert(*c);
+                    s
+                }
+                OntologyFilter::InClass { concept, relations } => {
+                    let rels: Vec<RelationType> = if relations.is_empty() {
+                        vec![RelationType::IsA, RelationType::PartOf]
+                    } else {
+                        relations.clone()
+                    };
+                    // the class expands to the concept plus everything under it
+                    let mut s: HashSet<ConceptId> = HashSet::new();
+                    for r in &rels {
+                        for c in onto.subtree(*concept, r) {
+                            s.insert(c);
+                        }
+                    }
+                    s.insert(*concept);
+                    s
+                }
+            };
+            all_concepts.extend(&qualifying_concepts);
+
+            // annotations citing any qualifying concept
+            let anns: HashSet<AnnotationId> = self
+                .system
+                .annotations()
+                .iter()
+                .filter(|a| a.terms.iter().any(|t| qualifying_concepts.contains(t)))
+                .map(|a| a.id)
+                .collect();
+            acc = Some(match acc {
+                None => anns,
+                Some(prev) => prev.intersection(&anns).copied().collect(),
+            });
+        }
+        (acc, all_concepts)
+    }
+
+    /// Evaluate referent filters. Returns `None` when there are none, else the set of
+    /// referent ids satisfying *all* filters.
+    fn eval_referents(&self, query: &Query) -> Option<HashSet<ReferentId>> {
+        if query.referents.is_empty() {
+            return None;
+        }
+        let mut acc: Option<HashSet<ReferentId>> = None;
+        for filter in &query.referents {
+            let matching: HashSet<ReferentId> = self.eval_one_referent_filter(filter);
+            acc = Some(match acc {
+                None => matching,
+                Some(prev) => prev.intersection(&matching).copied().collect(),
+            });
+        }
+        acc
+    }
+
+    fn eval_one_referent_filter(&self, filter: &ReferentFilter) -> HashSet<ReferentId> {
+        match filter {
+            ReferentFilter::OfType(t) => self
+                .system
+                .referents()
+                .iter()
+                .filter(|r| self.system.object(r.object).map(|o| o.data_type == *t).unwrap_or(false))
+                .map(|r| r.id)
+                .collect(),
+            ReferentFilter::IntervalOverlaps { domain, interval } => match domain {
+                Some(d) => self.system.overlapping_intervals(d, *interval).into_iter().collect(),
+                None => self
+                    .system
+                    .intervals()
+                    .overlapping_all_domains(*interval)
+                    .into_iter()
+                    .map(|(_, e)| ReferentId(e.payload))
+                    .collect(),
+            },
+            ReferentFilter::RegionOverlaps { system, rect } => match system {
+                Some(s) => self.system.overlapping_regions(s, *rect).into_iter().collect(),
+                None => self
+                    .system
+                    .spatial()
+                    .overlapping_all_systems(*rect)
+                    .into_iter()
+                    .map(|(_, e)| ReferentId(e.payload))
+                    .collect(),
+            },
+            ReferentFilter::BlockContains(ids) => {
+                let want: HashSet<u64> = ids.iter().copied().collect();
+                self.system
+                    .referents()
+                    .iter()
+                    .filter(|r| match &r.marker {
+                        Marker::BlockSet(set) => set.iter().any(|id| want.contains(id)),
+                        _ => false,
+                    })
+                    .map(|r| r.id)
+                    .collect()
+            }
+        }
+    }
+
+    // --- collation ---
+
+    fn collate(
+        &self,
+        query: &Query,
+        annotation_candidates: Option<HashSet<AnnotationId>>,
+        referent_candidates: Option<HashSet<ReferentId>>,
+        onto_anns: Option<HashSet<AnnotationId>>,
+        _onto_concepts: &HashSet<ConceptId>,
+    ) -> QueryResult {
+        // Resolve the effective annotation set.
+        let annotations: Vec<AnnotationId> = match annotation_candidates {
+            Some(set) => sorted_vec(set),
+            None => self.system.annotations().iter().map(|a| a.id).collect(),
+        };
+
+        // Referents: either the explicit candidates, or (when none) all referents of the
+        // qualifying annotations.
+        let referents: Vec<ReferentId> = match &referent_candidates {
+            Some(set) => {
+                // keep only those linked to a qualifying annotation if annotation set is
+                // constrained
+                if query.content.is_empty() && query.ontology.is_empty() {
+                    sorted_vec(set.clone())
+                } else {
+                    let ann_set: HashSet<AnnotationId> = annotations.iter().copied().collect();
+                    let mut out = BTreeSet::new();
+                    for &aid in &annotations {
+                        if let Some(a) = self.system.annotation(aid) {
+                            for &rid in &a.referents {
+                                if set.contains(&rid) {
+                                    out.insert(rid);
+                                }
+                            }
+                        }
+                    }
+                    let _ = ann_set;
+                    out.into_iter().collect()
+                }
+            }
+            None => {
+                let mut out = BTreeSet::new();
+                for &aid in &annotations {
+                    if let Some(a) = self.system.annotation(aid) {
+                        out.extend(a.referents.iter().copied());
+                    }
+                }
+                out.into_iter().collect()
+            }
+        };
+
+        // Objects involved.
+        let mut objects: BTreeSet<ObjectId> = BTreeSet::new();
+        for &rid in &referents {
+            if let Some(r) = self.system.referent(rid) {
+                objects.insert(r.object);
+            }
+        }
+
+        // The annotation set used to decide whether a referent is "annotated with term
+        // T": the ontology-only set when the query has ontology filters, otherwise the
+        // primary annotation set.
+        let constraint_anns: Vec<AnnotationId> = match &onto_anns {
+            Some(set) => sorted_vec(set.clone()),
+            None => annotations.clone(),
+        };
+
+        // Apply graph constraints, narrowing objects / annotations.
+        let mut objects: Vec<ObjectId> = objects.into_iter().collect();
+        for c in &query.constraints {
+            objects = self.apply_constraint(c, &objects, &annotations, &constraint_anns, &referents);
+        }
+
+        // Build result pages: one connection subgraph per connected witness component.
+        let pages = self.build_pages(&annotations, &referents, &objects, query);
+
+        // Flat result lists depend on the target.
+        let (flat_anns, flat_refs, flat_objs) = match query.target {
+            Target::AnnotationContents => {
+                // annotations whose witness survived (those attached to surviving objects,
+                // or all qualifying annotations when no referent/constraint narrowing)
+                let surviving = self.annotations_touching_objects(&annotations, &objects, query);
+                (surviving, Vec::new(), objects.clone())
+            }
+            Target::Referents => {
+                let surviving_refs = self.referents_on_objects(&referents, &objects);
+                (Vec::new(), surviving_refs, objects.clone())
+            }
+            Target::ConnectionGraphs => (annotations.clone(), referents.clone(), objects.clone()),
+        };
+
+        QueryResult { pages, annotations: flat_anns, referents: flat_refs, objects: flat_objs }
+    }
+
+    fn annotations_touching_objects(
+        &self,
+        annotations: &[AnnotationId],
+        objects: &[ObjectId],
+        query: &Query,
+    ) -> Vec<AnnotationId> {
+        if query.referents.is_empty() && query.constraints.is_empty() {
+            return annotations.to_vec();
+        }
+        let obj_set: HashSet<ObjectId> = objects.iter().copied().collect();
+        annotations
+            .iter()
+            .copied()
+            .filter(|&aid| {
+                self.system
+                    .annotation(aid)
+                    .map(|a| {
+                        a.referents.iter().any(|&rid| {
+                            self.system
+                                .referent(rid)
+                                .map(|r| obj_set.contains(&r.object))
+                                .unwrap_or(false)
+                        })
+                    })
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    fn referents_on_objects(&self, referents: &[ReferentId], objects: &[ObjectId]) -> Vec<ReferentId> {
+        let obj_set: HashSet<ObjectId> = objects.iter().copied().collect();
+        referents
+            .iter()
+            .copied()
+            .filter(|&rid| {
+                self.system
+                    .referent(rid)
+                    .map(|r| obj_set.contains(&r.object))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    fn apply_constraint(
+        &self,
+        constraint: &GraphConstraint,
+        objects: &[ObjectId],
+        annotations: &[AnnotationId],
+        constraint_anns: &[AnnotationId],
+        referents: &[ReferentId],
+    ) -> Vec<ObjectId> {
+        let ann_set: HashSet<AnnotationId> = annotations.iter().copied().collect();
+        let constraint_ann_set: HashSet<AnnotationId> = constraint_anns.iter().copied().collect();
+        let ref_set: HashSet<ReferentId> = referents.iter().copied().collect();
+        match constraint {
+            GraphConstraint::ConsecutiveIntervals { count, max_gap } => objects
+                .iter()
+                .copied()
+                .filter(|&obj| {
+                    self.has_consecutive_intervals(obj, *count, *max_gap, &ann_set, &ref_set)
+                })
+                .collect(),
+            GraphConstraint::MinRegionCount { count, within, system } => objects
+                .iter()
+                .copied()
+                .filter(|&obj| {
+                    self.region_count_on_object(obj, *within, system, &constraint_ann_set) >= *count
+                })
+                .collect(),
+            GraphConstraint::PathExists { max_len } => {
+                // keep objects reachable from at least one qualifying annotation within
+                // max_len hops in the a-graph
+                objects
+                    .iter()
+                    .copied()
+                    .filter(|&obj| self.object_reachable_from_annotations(obj, annotations, *max_len))
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether `object` has at least `count` interval referents — each annotated by a
+    /// qualifying annotation — forming a consecutive, non-overlapping chain.
+    fn has_consecutive_intervals(
+        &self,
+        object: ObjectId,
+        count: usize,
+        max_gap: u64,
+        ann_set: &HashSet<AnnotationId>,
+        ref_set: &HashSet<ReferentId>,
+    ) -> bool {
+        // collect qualifying interval referents on this object
+        let mut intervals: Vec<Interval> = Vec::new();
+        for rid in self.system.referents_of_object(object) {
+            if !ref_set.is_empty() && !ref_set.contains(&rid) {
+                continue;
+            }
+            // must be annotated by a qualifying annotation
+            let annotated = self
+                .system
+                .annotations_of_referent(rid)
+                .iter()
+                .any(|a| ann_set.contains(a));
+            if !annotated {
+                continue;
+            }
+            if let Some(r) = self.system.referent(rid) {
+                if let Marker::Interval(iv) = r.marker {
+                    intervals.push(iv);
+                }
+            }
+        }
+        longest_consecutive_chain(&mut intervals, max_gap) >= count
+    }
+
+    fn region_count_on_object(
+        &self,
+        object: ObjectId,
+        within: spatial_index::Rect,
+        _system: &str,
+        ann_set: &HashSet<AnnotationId>,
+    ) -> usize {
+        let mut count = 0;
+        for rid in self.system.referents_of_object(object) {
+            let annotated = self
+                .system
+                .annotations_of_referent(rid)
+                .iter()
+                .any(|a| ann_set.contains(a));
+            if !annotated {
+                continue;
+            }
+            if let Some(r) = self.system.referent(rid) {
+                if let Marker::Region(rect) | Marker::Volume(rect) = r.marker {
+                    if rect.if_overlap(&within) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    fn object_reachable_from_annotations(
+        &self,
+        object: ObjectId,
+        annotations: &[AnnotationId],
+        max_len: usize,
+    ) -> bool {
+        let Some(onode) = self.system.object_node(object) else { return false };
+        let search = PathSearch::new().max_len(max_len);
+        annotations.iter().any(|&aid| {
+            self.system
+                .annotation_node(aid)
+                .map(|anode| search.exists(self.system.agraph(), anode, onode))
+                .unwrap_or(false)
+        })
+    }
+
+    fn build_pages(
+        &self,
+        annotations: &[AnnotationId],
+        referents: &[ReferentId],
+        objects: &[ObjectId],
+        _query: &Query,
+    ) -> Vec<ResultPage> {
+        // Gather all witness node ids.
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let obj_set: HashSet<ObjectId> = objects.iter().copied().collect();
+
+        // Keep only referents/annotations touching surviving objects (when objects are
+        // constrained).
+        let keep_ref = |rid: ReferentId| -> bool {
+            if obj_set.is_empty() {
+                true
+            } else {
+                self.system
+                    .referent(rid)
+                    .map(|r| obj_set.contains(&r.object))
+                    .unwrap_or(false)
+            }
+        };
+
+        for &aid in annotations {
+            // include the annotation only if it touches a surviving object (or no object
+            // constraint is active)
+            let touches = obj_set.is_empty()
+                || self
+                    .system
+                    .annotation(aid)
+                    .map(|a| a.referents.iter().any(|&r| keep_ref(r)))
+                    .unwrap_or(false);
+            if touches {
+                if let Some(n) = self.system.annotation_node(aid) {
+                    nodes.push(n);
+                }
+                if let Some(a) = self.system.annotation(aid) {
+                    for &t in &a.terms {
+                        if let Some(tn) = self.system.term_node(t) {
+                            nodes.push(tn);
+                        }
+                    }
+                }
+            }
+        }
+        for &rid in referents {
+            if keep_ref(rid) {
+                if let Some(n) = self.system.referent_node(rid) {
+                    nodes.push(n);
+                }
+            }
+        }
+        for &oid in objects {
+            if let Some(n) = self.system.object_node(oid) {
+                nodes.push(n);
+            }
+        }
+        nodes.sort();
+        nodes.dedup();
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+
+        // Build the induced subgraph, then split into connected components — each is a
+        // result page.
+        let induced = Subgraph::induced(self.system.agraph(), nodes.iter().copied());
+        let components = self.components_of(&induced);
+        components
+            .into_iter()
+            .map(|comp| self.page_from_nodes(comp))
+            .filter(|p| !p.subgraph.subgraph.is_empty())
+            .collect()
+    }
+
+    /// Weakly connected components of an induced subgraph, restricted to its own nodes.
+    fn components_of(&self, sub: &Subgraph) -> Vec<Vec<NodeId>> {
+        let node_set: HashSet<NodeId> = sub.nodes.iter().copied().collect();
+        // adjacency within the subgraph
+        let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &e in &sub.edges {
+            if let Some(rec) = self.system.agraph().edge(e) {
+                adj.entry(rec.from).or_default().push(rec.to);
+                adj.entry(rec.to).or_default().push(rec.from);
+            }
+        }
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut comps = Vec::new();
+        for &start in &sub.nodes {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                comp.push(n);
+                if let Some(neighbors) = adj.get(&n) {
+                    for &m in neighbors {
+                        if node_set.contains(&m) && !seen.contains(&m) {
+                            stack.push(m);
+                        }
+                    }
+                }
+            }
+            comp.sort();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    fn page_from_nodes(&self, nodes: Vec<NodeId>) -> ResultPage {
+        let subgraph = Subgraph::induced(self.system.agraph(), nodes.iter().copied());
+        let terminals = nodes.clone();
+        let mut annotations = Vec::new();
+        let mut referents = Vec::new();
+        let mut objects = Vec::new();
+        let mut terms = Vec::new();
+        for &n in &nodes {
+            match self.system.entity_of(n) {
+                Some(Entity::Annotation(a)) => annotations.push(a),
+                Some(Entity::Referent(r)) => referents.push(r),
+                Some(Entity::Object(o)) => objects.push(o),
+                Some(Entity::Term(t)) => terms.push(t),
+                None => {}
+            }
+        }
+        ResultPage {
+            subgraph: agraph::ConnectionSubgraph { terminals, subgraph },
+            annotations,
+            referents,
+            objects,
+            terms,
+        }
+    }
+}
+
+/// Length of the longest chain of consecutive, non-overlapping intervals (within
+/// `max_gap`) obtainable from the given set. Greedy after sorting by start then end —
+/// which is optimal for interval chaining by earliest finish.
+fn longest_consecutive_chain(intervals: &mut [Interval], max_gap: u64) -> usize {
+    if intervals.is_empty() {
+        return 0;
+    }
+    intervals.sort_by_key(|i| (i.end, i.start));
+    // greedy: pick earliest-finishing, then next whose start >= last end and gap ok
+    let mut best = 0usize;
+    // Try starting the chain from each interval to be safe for the gap constraint.
+    for start_idx in 0..intervals.len() {
+        let mut chain = 1usize;
+        let mut last = intervals[start_idx];
+        for cand in intervals.iter().skip(start_idx + 1) {
+            if cand.start >= last.end && cand.start - last.end <= max_gap {
+                chain += 1;
+                last = *cand;
+            }
+        }
+        best = best.max(chain);
+    }
+    best
+}
+
+fn intersect_opt<T: Eq + std::hash::Hash + Clone>(
+    a: Option<HashSet<T>>,
+    b: Option<HashSet<T>>,
+) -> Option<HashSet<T>> {
+    match (a, b) {
+        (None, None) => None,
+        (Some(s), None) | (None, Some(s)) => Some(s),
+        (Some(x), Some(y)) => Some(x.intersection(&y).cloned().collect()),
+    }
+}
+
+fn sorted_vec<T: Ord>(set: HashSet<T>) -> Vec<T> {
+    let mut v: Vec<T> = set.into_iter().collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphitti_core::{DataType, Marker};
+
+    fn seq_system() -> (Graphitti, ObjectId) {
+        let mut sys = Graphitti::new();
+        let seq = sys.register_sequence("seg4", DataType::DnaSequence, 2000, "chr-flu");
+        (sys, seq)
+    }
+
+    #[test]
+    fn phrase_query_returns_matching_annotations() {
+        let (mut sys, seq) = seq_system();
+        sys.annotate()
+            .comment("polybasic protease cleavage site")
+            .mark(seq, Marker::interval(100, 150))
+            .commit()
+            .unwrap();
+        sys.annotate()
+            .comment("a routine synonymous mutation")
+            .mark(seq, Marker::interval(200, 250))
+            .commit()
+            .unwrap();
+        let q = Query::new(Target::AnnotationContents).with_phrase("protease cleavage");
+        let res = Executor::new(&sys).run(&q);
+        assert_eq!(res.annotations.len(), 1);
+    }
+
+    #[test]
+    fn referent_type_query() {
+        let (mut sys, seq) = seq_system();
+        sys.annotate().comment("x").mark(seq, Marker::interval(0, 10)).commit().unwrap();
+        let q = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::OfType(DataType::DnaSequence));
+        let res = Executor::new(&sys).run(&q);
+        assert_eq!(res.referents.len(), 1);
+        // no DNA referents of an image type
+        let q2 = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::OfType(DataType::Image));
+        assert!(Executor::new(&sys).run(&q2).referents.is_empty());
+    }
+
+    #[test]
+    fn consecutive_intervals_constraint() {
+        let (mut sys, seq) = seq_system();
+        // four consecutive, disjoint protease intervals on the same sequence
+        for i in 0..4 {
+            let start = i * 100;
+            sys.annotate()
+                .comment("contains protease motif")
+                .mark(seq, Marker::interval(start, start + 50))
+                .commit()
+                .unwrap();
+        }
+        // one non-protease interval elsewhere
+        sys.annotate()
+            .comment("unrelated")
+            .mark(seq, Marker::interval(1000, 1050))
+            .commit()
+            .unwrap();
+
+        let q = Query::new(Target::Referents)
+            .with_phrase("protease")
+            .with_constraint(GraphConstraint::ConsecutiveIntervals { count: 4, max_gap: 60 });
+        let res = Executor::new(&sys).run(&q);
+        assert_eq!(res.objects, vec![seq]);
+
+        // requiring 5 fails
+        let q5 = Query::new(Target::Referents)
+            .with_phrase("protease")
+            .with_constraint(GraphConstraint::ConsecutiveIntervals { count: 5, max_gap: 60 });
+        assert!(Executor::new(&sys).run(&q5).objects.is_empty());
+    }
+
+    #[test]
+    fn min_region_count_constraint() {
+        let mut sys = Graphitti::new();
+        let img = sys.register_image("brain", 1000, 1000, "confocal", "cs25");
+        let dcn = sys.ontology_mut().add_concept("DeepCerebellarNuclei");
+        // two regions annotated with the DCN term
+        for i in 0..2 {
+            let x = (i as f64) * 100.0;
+            sys.annotate()
+                .comment("region")
+                .mark(img, Marker::region(x, 0.0, x + 50.0, 50.0))
+                .cite_term(dcn)
+                .commit()
+                .unwrap();
+        }
+        let big = spatial_index::Rect::rect2(0.0, 0.0, 1000.0, 1000.0);
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_ontology(OntologyFilter::CitesTerm(dcn))
+            .with_constraint(GraphConstraint::MinRegionCount {
+                count: 2,
+                within: big,
+                system: "cs25".into(),
+            });
+        let res = Executor::new(&sys).run(&q);
+        assert_eq!(res.objects, vec![img]);
+        // require 3 -> empty
+        let q3 = Query::new(Target::ConnectionGraphs)
+            .with_ontology(OntologyFilter::CitesTerm(dcn))
+            .with_constraint(GraphConstraint::MinRegionCount {
+                count: 3,
+                within: big,
+                system: "cs25".into(),
+            });
+        assert!(Executor::new(&sys).run(&q3).objects.is_empty());
+    }
+
+    #[test]
+    fn connection_graph_pages() {
+        let (mut sys, seq) = seq_system();
+        let a = sys.annotate().comment("protease one").mark(seq, Marker::interval(0, 10)).commit().unwrap();
+        let q = Query::new(Target::ConnectionGraphs).with_phrase("protease");
+        let res = Executor::new(&sys).run(&q);
+        assert!(res.page_count() >= 1);
+        assert!(res.pages[0].contains_annotation(a));
+        assert!(res.pages[0].contains_object(seq));
+    }
+
+    #[test]
+    fn longest_chain_helper() {
+        let mut ivs = vec![
+            Interval::new(0, 10),
+            Interval::new(10, 20),
+            Interval::new(20, 30),
+            Interval::new(5, 15), // overlaps, breaks a chain if chosen
+        ];
+        assert_eq!(longest_consecutive_chain(&mut ivs, 0), 3);
+        let mut gapped = vec![Interval::new(0, 10), Interval::new(15, 25)];
+        assert_eq!(longest_consecutive_chain(&mut gapped, 0), 1);
+        assert_eq!(longest_consecutive_chain(&mut gapped, 5), 2);
+    }
+
+    #[test]
+    fn unconstrained_query_returns_everything() {
+        let (mut sys, seq) = seq_system();
+        sys.annotate().comment("x").mark(seq, Marker::interval(0, 10)).commit().unwrap();
+        let q = Query::new(Target::AnnotationContents);
+        let res = Executor::new(&sys).run(&q);
+        assert_eq!(res.annotations.len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # graphitti-query — the query language, planner and executor
+//!
+//! "Queries in Graphitti are essentially graph queries that resemble SPARQL expressions
+//! extended to handle (i) XQuery-like path expressions on a-graphs, (ii) type-specific
+//! predicates on interval trees, (iii) XQuery fragments to retrieve fragments of
+//! annotation.  The result of a query can be (a) a collection of heterogeneous
+//! substructures, (b) fragments of XML documents and (c) connection subgraphs.  The
+//! query processor operates by separating subqueries that belong to the different types
+//! of data elements, finding a feasible order among these subqueries, and collating
+//! partial results from these subqueries into a set of type-extended connection
+//! subgraphs."
+//!
+//! This crate implements exactly that pipeline:
+//!
+//! * [`ast`] — the query model: a [`ast::Query`] is a target plus content, referent and
+//!   ontology subqueries and graph constraints;
+//! * [`plan`] — subquery separation and feasible (selectivity-based) ordering;
+//! * [`exec`] — the executor that evaluates ordered subqueries and collates partial
+//!   results by connecting them through the a-graph;
+//! * [`result`] — the result model: connection subgraphs organised into result pages;
+//! * [`parse`] — a small textual query DSL producing a [`ast::Query`].
+//!
+//! See `exec::Executor` for the entry point and the crate tests / the `bench` crate for
+//! the two worked example queries from the paper.
+
+pub mod ast;
+pub mod exec;
+pub mod parse;
+pub mod plan;
+pub mod result;
+
+pub use ast::{
+    ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
+};
+pub use exec::Executor;
+pub use parse::{parse_query, ParseError};
+pub use plan::{Plan, SubQuery, SubQueryKind};
+pub use result::{QueryResult, ResultPage};

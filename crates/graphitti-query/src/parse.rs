@@ -1,0 +1,420 @@
+//! A small textual query DSL.
+//!
+//! The demo's GUI query form "translates directly to a query expression"; this module is
+//! a compact textual surface for that expression, so queries can be written, stored and
+//! replayed without constructing the [`Query`] AST by hand.
+//!
+//! Grammar (case-insensitive keywords, clauses separated by `AND`):
+//!
+//! ```text
+//! SELECT (contents | referents | graphs)
+//! [ WHERE <clause> (AND <clause>)* ]
+//!
+//! clause :=
+//!     content contains "<phrase>"
+//!   | content keywords <word>+
+//!   | content path <path-expression>
+//!   | referent type <tag>                       ; dna, rna, protein, msa, image, model, ...
+//!   | referent interval <domain> <start> <end>
+//!   | referent region <system> <x0> <y0> <x1> <y1>
+//!   | ontology term <concept-id>
+//!   | ontology class <concept-id>
+//!   | constraint consecutive <count> <gap>
+//!   | constraint regions <count> <system> <x0> <y0> <x1> <y1>
+//!   | constraint path <max-len>
+//! ```
+
+use graphitti_core::DataType;
+use interval_index::Interval;
+use ontology::ConceptId;
+use spatial_index::Rect;
+use xmlstore::PathExpr;
+
+use crate::ast::{
+    ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
+};
+
+/// An error parsing the query DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// A human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>) -> ParseError {
+        ParseError { message: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parse a query from the textual DSL.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input);
+    let mut i = 0;
+
+    expect_keyword(&tokens, &mut i, "select")?;
+    let target = match next(&tokens, &mut i)?.to_ascii_lowercase().as_str() {
+        "contents" | "content" => Target::AnnotationContents,
+        "referents" | "referent" => Target::Referents,
+        "graphs" | "graph" => Target::ConnectionGraphs,
+        other => return Err(ParseError::new(format!("unknown target '{other}'"))),
+    };
+    let mut query = Query::new(target);
+
+    if i >= tokens.len() {
+        return Ok(query);
+    }
+    expect_keyword(&tokens, &mut i, "where")?;
+
+    loop {
+        parse_clause(&tokens, &mut i, &mut query)?;
+        match tokens.get(i) {
+            None => break,
+            Some(t) if t.eq_ignore_ascii_case("and") => {
+                i += 1;
+            }
+            Some(t) => return Err(ParseError::new(format!("expected AND or end, found '{t}'"))),
+        }
+    }
+    Ok(query)
+}
+
+fn parse_clause(tokens: &[String], i: &mut usize, query: &mut Query) -> Result<()> {
+    let head = next(tokens, i)?.to_ascii_lowercase();
+    match head.as_str() {
+        "content" => parse_content(tokens, i, query),
+        "referent" => parse_referent(tokens, i, query),
+        "ontology" => parse_ontology(tokens, i, query),
+        "constraint" => parse_constraint(tokens, i, query),
+        other => Err(ParseError::new(format!("unknown clause '{other}'"))),
+    }
+}
+
+fn parse_content(tokens: &[String], i: &mut usize, query: &mut Query) -> Result<()> {
+    let kind = next(tokens, i)?.to_ascii_lowercase();
+    match kind.as_str() {
+        "contains" => {
+            let phrase = next(tokens, i)?;
+            query.content.push(ContentFilter::Phrase(unquote(&phrase)));
+        }
+        "keywords" => {
+            let mut words = Vec::new();
+            while let Some(t) = tokens.get(*i) {
+                if is_clause_boundary(t) {
+                    break;
+                }
+                words.push(unquote(t));
+                *i += 1;
+            }
+            if words.is_empty() {
+                return Err(ParseError::new("content keywords needs at least one word"));
+            }
+            query.content.push(ContentFilter::Keywords(words));
+        }
+        "path" => {
+            let expr = next(tokens, i)?;
+            let parsed = PathExpr::parse(&unquote(&expr))
+                .map_err(|e| ParseError::new(format!("bad path expression: {e}")))?;
+            query.content.push(ContentFilter::Path(parsed));
+        }
+        other => return Err(ParseError::new(format!("unknown content predicate '{other}'"))),
+    }
+    Ok(())
+}
+
+fn parse_referent(tokens: &[String], i: &mut usize, query: &mut Query) -> Result<()> {
+    let kind = next(tokens, i)?.to_ascii_lowercase();
+    match kind.as_str() {
+        "type" => {
+            let tag = next(tokens, i)?.to_ascii_lowercase();
+            let ty = DataType::from_tag(&tag)
+                .ok_or_else(|| ParseError::new(format!("unknown data type tag '{tag}'")))?;
+            query.referents.push(ReferentFilter::OfType(ty));
+        }
+        "interval" => {
+            let domain = next(tokens, i)?;
+            let start = parse_u64(tokens, i)?;
+            let end = parse_u64(tokens, i)?;
+            let interval = Interval::checked(start, end)
+                .ok_or_else(|| ParseError::new("inverted interval in query"))?;
+            query.referents.push(ReferentFilter::IntervalOverlaps {
+                domain: Some(unquote(&domain)),
+                interval,
+            });
+        }
+        "region" => {
+            let system = next(tokens, i)?;
+            let x0 = parse_f64(tokens, i)?;
+            let y0 = parse_f64(tokens, i)?;
+            let x1 = parse_f64(tokens, i)?;
+            let y1 = parse_f64(tokens, i)?;
+            query.referents.push(ReferentFilter::RegionOverlaps {
+                system: Some(unquote(&system)),
+                rect: Rect::rect2(x0, y0, x1, y1),
+            });
+        }
+        other => return Err(ParseError::new(format!("unknown referent predicate '{other}'"))),
+    }
+    Ok(())
+}
+
+fn parse_ontology(tokens: &[String], i: &mut usize, query: &mut Query) -> Result<()> {
+    let kind = next(tokens, i)?.to_ascii_lowercase();
+    let id = parse_u64(tokens, i)? as u32;
+    match kind.as_str() {
+        "term" => query.ontology.push(OntologyFilter::CitesTerm(ConceptId(id))),
+        "class" => query.ontology.push(OntologyFilter::InClass {
+            concept: ConceptId(id),
+            relations: Vec::new(),
+        }),
+        other => return Err(ParseError::new(format!("unknown ontology predicate '{other}'"))),
+    }
+    Ok(())
+}
+
+fn parse_constraint(tokens: &[String], i: &mut usize, query: &mut Query) -> Result<()> {
+    let kind = next(tokens, i)?.to_ascii_lowercase();
+    match kind.as_str() {
+        "consecutive" => {
+            let count = parse_u64(tokens, i)? as usize;
+            let gap = parse_u64(tokens, i)?;
+            query
+                .constraints
+                .push(GraphConstraint::ConsecutiveIntervals { count, max_gap: gap });
+        }
+        "regions" => {
+            let count = parse_u64(tokens, i)? as usize;
+            let system = next(tokens, i)?;
+            let x0 = parse_f64(tokens, i)?;
+            let y0 = parse_f64(tokens, i)?;
+            let x1 = parse_f64(tokens, i)?;
+            let y1 = parse_f64(tokens, i)?;
+            query.constraints.push(GraphConstraint::MinRegionCount {
+                count,
+                within: Rect::rect2(x0, y0, x1, y1),
+                system: unquote(&system),
+            });
+        }
+        "path" => {
+            let max_len = parse_u64(tokens, i)? as usize;
+            query.constraints.push(GraphConstraint::PathExists { max_len });
+        }
+        other => return Err(ParseError::new(format!("unknown constraint '{other}'"))),
+    }
+    Ok(())
+}
+
+// --- tokenizer & helpers ---
+
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' || c == '\'' {
+            let quote = c;
+            chars.next();
+            let mut s = String::from(quote);
+            for ch in chars.by_ref() {
+                s.push(ch);
+                if ch == quote {
+                    break;
+                }
+            }
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '"' || ch == '\'' {
+                    break;
+                }
+                s.push(ch);
+                chars.next();
+            }
+            tokens.push(s);
+        }
+    }
+    tokens
+}
+
+fn unquote(s: &str) -> String {
+    let bytes = s.as_bytes();
+    if s.len() >= 2
+        && (bytes[0] == b'"' || bytes[0] == b'\'')
+        && bytes[bytes.len() - 1] == bytes[0]
+    {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+fn is_clause_boundary(token: &str) -> bool {
+    matches!(
+        token.to_ascii_lowercase().as_str(),
+        "and" | "content" | "referent" | "ontology" | "constraint"
+    )
+}
+
+fn next(tokens: &[String], i: &mut usize) -> Result<String> {
+    let t = tokens
+        .get(*i)
+        .cloned()
+        .ok_or_else(|| ParseError::new("unexpected end of query"))?;
+    *i += 1;
+    Ok(t)
+}
+
+fn expect_keyword(tokens: &[String], i: &mut usize, keyword: &str) -> Result<()> {
+    let t = next(tokens, i)?;
+    if t.eq_ignore_ascii_case(keyword) {
+        Ok(())
+    } else {
+        Err(ParseError::new(format!("expected '{keyword}', found '{t}'")))
+    }
+}
+
+fn parse_u64(tokens: &[String], i: &mut usize) -> Result<u64> {
+    let t = next(tokens, i)?;
+    t.parse::<u64>()
+        .map_err(|_| ParseError::new(format!("expected an integer, found '{t}'")))
+}
+
+fn parse_f64(tokens: &[String], i: &mut usize) -> Result<f64> {
+    let t = next(tokens, i)?;
+    t.parse::<f64>()
+        .map_err(|_| ParseError::new(format!("expected a number, found '{t}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse_query("SELECT graphs").unwrap();
+        assert_eq!(q.target, Target::ConnectionGraphs);
+        assert!(q.is_unconstrained());
+    }
+
+    #[test]
+    fn content_phrase() {
+        let q = parse_query(r#"SELECT contents WHERE content contains "protein TP53""#).unwrap();
+        assert_eq!(q.target, Target::AnnotationContents);
+        assert_eq!(q.content, vec![ContentFilter::Phrase("protein TP53".into())]);
+    }
+
+    #[test]
+    fn content_keywords_multiple() {
+        let q = parse_query("SELECT referents WHERE content keywords protease cleavage site").unwrap();
+        assert_eq!(
+            q.content,
+            vec![ContentFilter::Keywords(vec![
+                "protease".into(),
+                "cleavage".into(),
+                "site".into()
+            ])]
+        );
+    }
+
+    #[test]
+    fn referent_type_and_interval() {
+        let q = parse_query(
+            "SELECT referents WHERE referent type dna AND referent interval chr7 100 250",
+        )
+        .unwrap();
+        assert_eq!(q.referents.len(), 2);
+        assert_eq!(q.referents[0], ReferentFilter::OfType(DataType::DnaSequence));
+        match &q.referents[1] {
+            ReferentFilter::IntervalOverlaps { domain, interval } => {
+                assert_eq!(domain.as_deref(), Some("chr7"));
+                assert_eq!(*interval, Interval::new(100, 250));
+            }
+            _ => panic!("wrong filter"),
+        }
+    }
+
+    #[test]
+    fn referent_region() {
+        let q = parse_query(
+            "SELECT graphs WHERE referent region mouse-25um 0 0 100 100",
+        )
+        .unwrap();
+        match &q.referents[0] {
+            ReferentFilter::RegionOverlaps { system, rect } => {
+                assert_eq!(system.as_deref(), Some("mouse-25um"));
+                assert_eq!(*rect, Rect::rect2(0.0, 0.0, 100.0, 100.0));
+            }
+            _ => panic!("wrong filter"),
+        }
+    }
+
+    #[test]
+    fn ontology_and_constraints() {
+        let q = parse_query(
+            "SELECT graphs WHERE ontology class 3 AND constraint consecutive 4 60 AND constraint path 5",
+        )
+        .unwrap();
+        assert_eq!(
+            q.ontology,
+            vec![OntologyFilter::InClass { concept: ConceptId(3), relations: vec![] }]
+        );
+        assert_eq!(q.constraints.len(), 2);
+        assert_eq!(
+            q.constraints[0],
+            GraphConstraint::ConsecutiveIntervals { count: 4, max_gap: 60 }
+        );
+        assert_eq!(q.constraints[1], GraphConstraint::PathExists { max_len: 5 });
+    }
+
+    #[test]
+    fn content_path_expression() {
+        let q = parse_query(
+            r#"SELECT contents WHERE content path "//dc:subject[contains(text(), 'nuclei')]""#,
+        )
+        .unwrap();
+        assert!(matches!(q.content[0], ContentFilter::Path(_)));
+    }
+
+    #[test]
+    fn full_tp53_query_parses() {
+        let q = parse_query(
+            r#"SELECT graphs WHERE content contains "protein TP53" AND ontology term 7 AND constraint regions 2 cs25 0 0 1000 1000"#,
+        )
+        .unwrap();
+        assert_eq!(q.content.len(), 1);
+        assert_eq!(q.ontology.len(), 1);
+        assert_eq!(q.constraints.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT bogus").is_err());
+        assert!(parse_query("SELECT graphs content contains \"x\"").is_err()); // missing WHERE
+        assert!(parse_query("SELECT graphs WHERE referent type nope").is_err());
+        assert!(parse_query("SELECT graphs WHERE content keywords").is_err());
+        assert!(parse_query("SELECT graphs WHERE constraint consecutive four 60").is_err());
+        assert!(parse_query("SELECT graphs WHERE bogus clause").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_executor_shape() {
+        // Just ensure a parsed query has the expected structure to feed the executor.
+        let q = parse_query("SELECT referents WHERE content contains \"protease\" AND constraint consecutive 4 60").unwrap();
+        assert_eq!(q.target, Target::Referents);
+        assert_eq!(q.subquery_count(), 1);
+        assert_eq!(q.constraints.len(), 1);
+    }
+}

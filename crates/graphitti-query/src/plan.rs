@@ -1,0 +1,241 @@
+//! Subquery separation and feasible ordering.
+//!
+//! The processor "separates subqueries that belong to the different types of data
+//! elements, finding a feasible order among these subqueries".  This module turns a
+//! [`Query`] into a [`Plan`]: a list of [`SubQuery`]s, each tagged with its data-element
+//! kind, sorted by estimated selectivity so that the most selective subquery runs first
+//! and prunes the candidate set before the less selective ones are evaluated.
+
+use crate::ast::{ContentFilter, OntologyFilter, Query, ReferentFilter};
+
+/// Which data-element store a subquery addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubQueryKind {
+    /// Annotation-content store (XML / keyword indexes).
+    Content,
+    /// Referent indexes (interval trees / R-trees).
+    Referent,
+    /// Ontology store.
+    Ontology,
+}
+
+/// One separated subquery with a selectivity estimate.
+#[derive(Debug, Clone)]
+pub struct SubQuery {
+    /// Which store it addresses.
+    pub kind: SubQueryKind,
+    /// Index of the filter within its family in the original query.
+    pub index: usize,
+    /// Estimated selectivity in `[0, 1]`; smaller means more selective (runs earlier).
+    pub selectivity: f64,
+    /// A short human-readable description for the planner's explain output.
+    pub description: String,
+}
+
+/// A planned query: ordered subqueries.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Subqueries in feasible (most-selective-first) execution order.
+    pub order: Vec<SubQuery>,
+}
+
+impl Plan {
+    /// Build a plan from a query, separating and ordering its subqueries.
+    pub fn build(query: &Query) -> Plan {
+        let mut subs: Vec<SubQuery> = Vec::new();
+
+        for (i, f) in query.content.iter().enumerate() {
+            subs.push(SubQuery {
+                kind: SubQueryKind::Content,
+                index: i,
+                selectivity: content_selectivity(f),
+                description: content_desc(f),
+            });
+        }
+        for (i, f) in query.referents.iter().enumerate() {
+            subs.push(SubQuery {
+                kind: SubQueryKind::Referent,
+                index: i,
+                selectivity: referent_selectivity(f),
+                description: referent_desc(f),
+            });
+        }
+        for (i, f) in query.ontology.iter().enumerate() {
+            subs.push(SubQuery {
+                kind: SubQueryKind::Ontology,
+                index: i,
+                selectivity: ontology_selectivity(f),
+                description: ontology_desc(f),
+            });
+        }
+
+        // Feasible order: ascending selectivity (most selective first). Stable so that
+        // ties keep their declaration order, which keeps plans deterministic.
+        subs.sort_by(|a, b| {
+            a.selectivity
+                .partial_cmp(&b.selectivity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Plan { order: subs }
+    }
+
+    /// The kinds of the subqueries in execution order.
+    pub fn kinds(&self) -> Vec<SubQueryKind> {
+        self.order.iter().map(|s| s.kind).collect()
+    }
+
+    /// The most selective subquery, if any (the "driving" subquery).
+    pub fn driver(&self) -> Option<&SubQuery> {
+        self.order.first()
+    }
+
+    /// A human-readable explain string.
+    pub fn explain(&self) -> String {
+        let mut s = String::from("Plan (most selective first):\n");
+        for (i, sub) in self.order.iter().enumerate() {
+            s.push_str(&format!(
+                "  {}. [{:?}] {} (sel={:.3})\n",
+                i + 1,
+                sub.kind,
+                sub.description,
+                sub.selectivity
+            ));
+        }
+        s
+    }
+}
+
+fn content_selectivity(f: &ContentFilter) -> f64 {
+    match f {
+        // a multi-word phrase is very selective; a single keyword less so
+        ContentFilter::Phrase(p) => {
+            let words = p.split_whitespace().count().max(1);
+            (0.1 / words as f64).max(0.01)
+        }
+        ContentFilter::Keywords(k) => (0.15 / k.len().max(1) as f64).max(0.02),
+        ContentFilter::Path(_) => 0.12,
+    }
+}
+
+fn referent_selectivity(f: &ReferentFilter) -> f64 {
+    match f {
+        ReferentFilter::OfType(_) => 0.4,
+        ReferentFilter::IntervalOverlaps { domain, .. } => {
+            if domain.is_some() {
+                0.08
+            } else {
+                0.25
+            }
+        }
+        ReferentFilter::RegionOverlaps { system, .. } => {
+            if system.is_some() {
+                0.1
+            } else {
+                0.3
+            }
+        }
+        ReferentFilter::BlockContains(ids) => (0.05 * ids.len().max(1) as f64).min(0.4),
+    }
+}
+
+fn ontology_selectivity(f: &OntologyFilter) -> f64 {
+    match f {
+        OntologyFilter::InClass { .. } => 0.2,
+        OntologyFilter::CitesTerm(_) => 0.07,
+    }
+}
+
+fn content_desc(f: &ContentFilter) -> String {
+    match f {
+        ContentFilter::Phrase(p) => format!("content contains phrase {p:?}"),
+        ContentFilter::Keywords(k) => format!("content contains keywords {k:?}"),
+        ContentFilter::Path(_) => "content matches path expression".to_string(),
+    }
+}
+
+fn referent_desc(f: &ReferentFilter) -> String {
+    match f {
+        ReferentFilter::OfType(t) => format!("referents of type {t:?}"),
+        ReferentFilter::IntervalOverlaps { domain, interval } => {
+            format!("interval overlaps {interval} in domain {domain:?}")
+        }
+        ReferentFilter::RegionOverlaps { system, .. } => format!("region overlaps in {system:?}"),
+        ReferentFilter::BlockContains(ids) => format!("block set contains {ids:?}"),
+    }
+}
+
+fn ontology_desc(f: &OntologyFilter) -> String {
+    match f {
+        OntologyFilter::InClass { concept, .. } => format!("in ontology class {concept:?}"),
+        OntologyFilter::CitesTerm(c) => format!("cites term {c:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Query, Target};
+    use graphitti_core::DataType;
+    use interval_index::Interval;
+    use ontology::ConceptId;
+
+    #[test]
+    fn separates_by_kind() {
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_phrase("protein TP53")
+            .with_referent(ReferentFilter::OfType(DataType::Image))
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(1)));
+        let plan = Plan::build(&q);
+        assert_eq!(plan.order.len(), 3);
+        let kinds = plan.kinds();
+        assert!(kinds.contains(&SubQueryKind::Content));
+        assert!(kinds.contains(&SubQueryKind::Referent));
+        assert!(kinds.contains(&SubQueryKind::Ontology));
+    }
+
+    #[test]
+    fn most_selective_runs_first() {
+        let q = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::OfType(DataType::DnaSequence)) // 0.4
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(1))) // 0.07
+            .with_phrase("a b c d"); // ~0.025
+        let plan = Plan::build(&q);
+        // phrase is most selective, then cites-term, then of-type
+        assert_eq!(plan.driver().unwrap().kind, SubQueryKind::Content);
+        assert_eq!(plan.order[1].kind, SubQueryKind::Ontology);
+        assert_eq!(plan.order[2].kind, SubQueryKind::Referent);
+        // selectivities are non-decreasing
+        for w in plan.order.windows(2) {
+            assert!(w[0].selectivity <= w[1].selectivity);
+        }
+    }
+
+    #[test]
+    fn domain_pinned_interval_is_more_selective() {
+        let pinned = referent_selectivity(&ReferentFilter::IntervalOverlaps {
+            domain: Some("chr7".into()),
+            interval: Interval::new(0, 10),
+        });
+        let unpinned = referent_selectivity(&ReferentFilter::IntervalOverlaps {
+            domain: None,
+            interval: Interval::new(0, 10),
+        });
+        assert!(pinned < unpinned);
+    }
+
+    #[test]
+    fn explain_is_human_readable() {
+        let q = Query::new(Target::AnnotationContents).with_phrase("x");
+        let plan = Plan::build(&q);
+        let explain = plan.explain();
+        assert!(explain.contains("Plan"));
+        assert!(explain.contains("Content"));
+    }
+
+    #[test]
+    fn empty_query_has_empty_plan() {
+        let plan = Plan::build(&Query::new(Target::Referents));
+        assert!(plan.order.is_empty());
+        assert!(plan.driver().is_none());
+    }
+}

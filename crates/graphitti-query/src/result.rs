@@ -1,0 +1,148 @@
+//! The query result model.
+//!
+//! Results are organised the way the demo's query tab organises them: "in cases where
+//! subgraphs of the a-graph are returned as a result, each connected subgraph forms a
+//! result page".  A [`QueryResult`] therefore holds a list of [`ResultPage`]s, each a
+//! connection subgraph together with the decoded entities it contains, plus flat
+//! convenience lists for the content- and referent-targeted queries.
+
+use agraph::{ConnectionSubgraph, NodeId};
+use graphitti_core::{AnnotationId, ObjectId, ReferentId};
+use ontology::ConceptId;
+use serde::Serialize;
+
+/// One result page: a connected witness subgraph and the entities it contains.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResultPage {
+    /// The connection subgraph for this page.
+    pub subgraph: ConnectionSubgraph,
+    /// Annotation contents in the page.
+    pub annotations: Vec<AnnotationId>,
+    /// Referents in the page.
+    pub referents: Vec<ReferentId>,
+    /// Objects in the page.
+    pub objects: Vec<ObjectId>,
+    /// Ontology terms in the page.
+    pub terms: Vec<ConceptId>,
+}
+
+impl ResultPage {
+    /// Total number of nodes in the page's subgraph.
+    pub fn size(&self) -> usize {
+        self.subgraph.size()
+    }
+
+    /// Whether the page contains a given annotation.
+    pub fn contains_annotation(&self, id: AnnotationId) -> bool {
+        self.annotations.contains(&id)
+    }
+
+    /// Whether the page contains a given object.
+    pub fn contains_object(&self, id: ObjectId) -> bool {
+        self.objects.contains(&id)
+    }
+}
+
+/// The result of running a query.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct QueryResult {
+    /// Result pages (connection subgraphs), one per connected witness component.
+    pub pages: Vec<ResultPage>,
+    /// Flat annotation list (for `AnnotationContents` target).
+    pub annotations: Vec<AnnotationId>,
+    /// Flat referent list (for `Referents` target).
+    pub referents: Vec<ReferentId>,
+    /// Flat object list (objects selected by the query).
+    pub objects: Vec<ObjectId>,
+}
+
+impl QueryResult {
+    /// An empty result.
+    pub fn empty() -> Self {
+        QueryResult::default()
+    }
+
+    /// Number of result pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the result is empty (no pages and no flat results).
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+            && self.annotations.is_empty()
+            && self.referents.is_empty()
+            && self.objects.is_empty()
+    }
+
+    /// The total node footprint across all pages.
+    pub fn total_nodes(&self) -> usize {
+        self.pages.iter().map(ResultPage::size).sum()
+    }
+
+    /// Serialise the result to JSON (the query tab's result export).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("query result serialises")
+    }
+
+    /// All node ids appearing anywhere in the result pages (deduplicated).
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> =
+            self.pages.iter().flat_map(|p| p.subgraph.subgraph.nodes.iter().copied()).collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agraph::Subgraph;
+
+    fn page(objs: Vec<ObjectId>) -> ResultPage {
+        ResultPage {
+            subgraph: ConnectionSubgraph {
+                terminals: vec![NodeId(0), NodeId(1)],
+                subgraph: Subgraph { nodes: vec![NodeId(0), NodeId(1)], edges: vec![] },
+            },
+            annotations: vec![AnnotationId(0)],
+            referents: vec![],
+            objects: objs,
+            terms: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = QueryResult::empty();
+        assert!(r.is_empty());
+        assert_eq!(r.page_count(), 0);
+        assert_eq!(r.total_nodes(), 0);
+        assert!(r.all_nodes().is_empty());
+    }
+
+    #[test]
+    fn result_aggregates() {
+        let mut r = QueryResult::empty();
+        r.pages.push(page(vec![ObjectId(5)]));
+        r.objects.push(ObjectId(5));
+        assert!(!r.is_empty());
+        assert_eq!(r.page_count(), 1);
+        assert_eq!(r.total_nodes(), 2);
+        assert_eq!(r.all_nodes(), vec![NodeId(0), NodeId(1)]);
+        assert!(r.pages[0].contains_object(ObjectId(5)));
+        assert!(r.pages[0].contains_annotation(AnnotationId(0)));
+        assert_eq!(r.pages[0].size(), 2);
+    }
+
+    #[test]
+    fn result_serializes_to_json() {
+        let mut r = QueryResult::empty();
+        r.pages.push(page(vec![ObjectId(5)]));
+        r.objects.push(ObjectId(5));
+        let json = r.to_json();
+        assert!(json.contains("pages"));
+        assert!(json.contains("objects"));
+    }
+}

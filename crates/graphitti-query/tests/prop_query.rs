@@ -1,0 +1,103 @@
+//! Property tests for the query engine: determinism, plan feasibility, and
+//! monotonicity of filtering (adding a conjunct never grows the result).
+
+use graphitti_core::{DataType, Graphitti, Marker};
+use graphitti_query::{Executor, Query, ReferentFilter, Target};
+use proptest::prelude::*;
+
+/// A deterministic small system of protease / non-protease interval annotations.
+fn build(seed: u64, n: usize) -> Graphitti {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        state >> 33
+    };
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("seq", DataType::DnaSequence, 100_000, "chr1");
+    let img = sys.register_image("img", 1000, 1000, "confocal", "cs");
+    for i in 0..n {
+        let protease = next() % 2 == 0;
+        let comment = if protease { "protease motif here" } else { "quiet region" };
+        if next() % 3 == 0 {
+            let x = (next() % 900) as f64;
+            let _ = sys
+                .annotate()
+                .comment(comment)
+                .mark(img, Marker::region(x, x, x + 30.0, x + 30.0))
+                .commit();
+        } else {
+            let start = (next() % 99000) as u64;
+            let _ = sys
+                .annotate()
+                .comment(comment)
+                .mark(seq, Marker::interval(start, start + 40))
+                .commit();
+        }
+        let _ = i;
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn query_is_deterministic(seed in any::<u64>(), n in 0usize..60) {
+        let sys = build(seed, n);
+        let q = Query::new(Target::AnnotationContents).with_phrase("protease");
+        let r1 = Executor::new(&sys).run(&q);
+        let r2 = Executor::new(&sys).run(&q);
+        prop_assert_eq!(r1.annotations, r2.annotations);
+        prop_assert_eq!(r1.objects, r2.objects);
+    }
+
+    #[test]
+    fn plan_is_selectivity_ordered(seed in any::<u64>(), n in 1usize..40) {
+        let sys = build(seed, n);
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_phrase("protease motif")
+            .with_referent(ReferentFilter::OfType(DataType::DnaSequence));
+        let plan = Executor::new(&sys).plan(&q);
+        for w in plan.order.windows(2) {
+            prop_assert!(w[0].selectivity <= w[1].selectivity);
+        }
+    }
+
+    #[test]
+    fn adding_conjunct_never_grows_results(seed in any::<u64>(), n in 1usize..50) {
+        let sys = build(seed, n);
+        let broad = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::OfType(DataType::DnaSequence));
+        let narrow = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::OfType(DataType::DnaSequence))
+            .with_phrase("protease");
+        let rb = Executor::new(&sys).run(&broad);
+        let rn = Executor::new(&sys).run(&narrow);
+        prop_assert!(rn.referents.len() <= rb.referents.len());
+    }
+
+    #[test]
+    fn phrase_results_actually_contain_phrase(seed in any::<u64>(), n in 0usize..60) {
+        let sys = build(seed, n);
+        let q = Query::new(Target::AnnotationContents).with_phrase("protease");
+        let res = Executor::new(&sys).run(&q);
+        for aid in res.annotations {
+            let ann = sys.annotation(aid).unwrap();
+            let text = ann.comment().unwrap_or("").to_lowercase();
+            prop_assert!(text.contains("protease"));
+        }
+    }
+
+    #[test]
+    fn referent_type_filter_only_returns_that_type(seed in any::<u64>(), n in 0usize..60) {
+        let sys = build(seed, n);
+        let q = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::OfType(DataType::Image));
+        let res = Executor::new(&sys).run(&q);
+        for rid in res.referents {
+            let r = sys.referent(rid).unwrap();
+            let ty = sys.object(r.object).unwrap().data_type;
+            prop_assert_eq!(ty, DataType::Image);
+        }
+    }
+}

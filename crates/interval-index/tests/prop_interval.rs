@@ -1,0 +1,101 @@
+//! Property tests: the interval tree must agree with a brute-force scan, and the
+//! algebraic operators must satisfy their invariants.
+
+use interval_index::{Interval, IntervalTree};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u64..1000, 1u64..50).prop_map(|(s, len)| Interval::new(s, s + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn overlap_is_symmetric(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(a.if_overlap(&b), b.if_overlap(&a));
+    }
+
+    #[test]
+    fn intersect_is_contained_and_consistent(a in arb_interval(), b in arb_interval()) {
+        let i = a.intersect(&b);
+        prop_assert_eq!(!i.is_empty(), a.if_overlap(&b));
+        if !i.is_empty() {
+            prop_assert!(a.contains(&i) || a == i);
+            prop_assert!(b.contains(&i) || b == i);
+            prop_assert!(i.len() <= a.len() && i.len() <= b.len());
+        }
+    }
+
+    #[test]
+    fn hull_contains_both(a in arb_interval(), b in arb_interval()) {
+        let h = a.hull(&b);
+        prop_assert!(h.contains(&a));
+        prop_assert!(h.contains(&b));
+    }
+
+    #[test]
+    fn tree_overlap_matches_bruteforce(
+        spans in prop::collection::vec(arb_interval(), 0..200),
+        query in arb_interval(),
+    ) {
+        let mut tree = IntervalTree::new();
+        for (i, iv) in spans.iter().enumerate() {
+            tree.insert(*iv, i as u64);
+        }
+        let mut expected: Vec<u64> = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.if_overlap(&query))
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut got: Vec<u64> = tree.overlapping(query).iter().map(|e| e.payload).collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tree_next_matches_bruteforce(
+        spans in prop::collection::vec(arb_interval(), 1..150),
+        after in arb_interval(),
+    ) {
+        let mut tree = IntervalTree::new();
+        for (i, iv) in spans.iter().enumerate() {
+            tree.insert(*iv, i as u64);
+        }
+        let expected = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, iv)| iv.start >= after.end)
+            .map(|(i, iv)| (iv.start, iv.end, i as u64))
+            .min();
+        let got = tree.next_after(after).map(|e| (e.interval.start, e.interval.end, e.payload));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tree_remove_then_query_consistent(
+        spans in prop::collection::vec(arb_interval(), 1..100),
+        remove_idx in 0usize..100,
+        query in arb_interval(),
+    ) {
+        let mut tree = IntervalTree::new();
+        for (i, iv) in spans.iter().enumerate() {
+            tree.insert(*iv, i as u64);
+        }
+        let idx = remove_idx % spans.len();
+        prop_assert!(tree.remove(spans[idx], idx as u64));
+        prop_assert_eq!(tree.len(), spans.len() - 1);
+        let mut expected: Vec<u64> = spans
+            .iter()
+            .enumerate()
+            .filter(|(i, iv)| *i != idx && iv.if_overlap(&query))
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut got: Vec<u64> = tree.overlapping(query).iter().map(|e| e.payload).collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ontology — an OntoQuest-style ontology store
+//!
+//! "In Graphitti we use OntoQuest where ontologies are modeled as graphs whose nodes
+//! correspond to terms and edges are domain-specific quantified binary relationships
+//! between term pairs.  An annotation only points to ontology nodes."
+//!
+//! This crate reimplements the published OntoQuest operation set over an in-memory
+//! labelled graph of concepts, instances and relations:
+//!
+//! * `CI(c)` — all instances of a concept;
+//! * `CRI(c, r)` — instances of a concept reachable by relation `r`;
+//! * `CmRI(c, R⁺)` — instances of `c` restricted to a set of relation types;
+//! * `mCmRI(C⁺, R⁺)` — instances reachable from a set of concepts using only edges in
+//!   `R⁺`;
+//! * `SubTree(X, R)` — the subtree under `X` restricted to relation `R`;
+//! * `SubTree(X, R) − SubTree(Y, R)` — subtree difference.
+//!
+//! ```
+//! use ontology::{Ontology, RelationType};
+//!
+//! let mut o = Ontology::new();
+//! let anatomy = o.add_concept("BrainRegion");
+//! let cerebellum = o.add_concept("Cerebellum");
+//! o.add_relation(anatomy, cerebellum, RelationType::IsA);
+//! let img = o.add_instance(cerebellum, "image-42");
+//! assert_eq!(o.ci(anatomy), vec![img]); // instances flow up the is-a hierarchy
+//! ```
+
+pub mod graph;
+pub mod ops;
+
+pub use graph::{ConceptId, InstanceId, Ontology, RelationType};

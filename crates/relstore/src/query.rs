@@ -1,0 +1,292 @@
+//! Relational query operators: projection, ordering, limit, aggregation and hash joins.
+//!
+//! The paper stores type-specific metadata in relations and the query processor's
+//! relational subqueries scan and join them. This module gives the relational store the
+//! small algebra those subqueries need beyond a single-table predicate scan: ordering,
+//! top-k, group-free aggregates and an equi-join between two tables.
+
+use crate::predicate::Predicate;
+use crate::table::Table;
+use crate::value::Value;
+
+/// A sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Scan a table, then sort the resulting rows by a column.
+pub fn scan_ordered(
+    table: &Table,
+    predicate: &Predicate,
+    column: &str,
+    order: Order,
+) -> Vec<Vec<Value>> {
+    let idx = match table.schema().column_index(column) {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    let mut rows: Vec<Vec<Value>> = table.select(predicate).into_iter().map(|(_, r)| r).collect();
+    rows.sort_by(|a, b| {
+        let cmp = a[idx].compare(&b[idx]);
+        match order {
+            Order::Asc => cmp,
+            Order::Desc => cmp.reverse(),
+        }
+    });
+    rows
+}
+
+/// Scan, order and keep only the first `k` rows (top-k).
+pub fn scan_top_k(
+    table: &Table,
+    predicate: &Predicate,
+    column: &str,
+    order: Order,
+    k: usize,
+) -> Vec<Vec<Value>> {
+    let mut rows = scan_ordered(table, predicate, column, order);
+    rows.truncate(k);
+    rows
+}
+
+/// Count rows matching a predicate.
+pub fn count(table: &Table, predicate: &Predicate) -> usize {
+    table.count(predicate)
+}
+
+/// Sum an integer column over matching rows (NULL and non-int values skipped).
+pub fn sum_int(table: &Table, predicate: &Predicate, column: &str) -> i64 {
+    let Some(idx) = table.schema().column_index(column) else { return 0 };
+    table
+        .select(predicate)
+        .into_iter()
+        .filter_map(|(_, row)| row.get(idx).and_then(Value::as_int))
+        .sum()
+}
+
+/// Average of an integer/float column over matching rows, or `None` when no rows match.
+pub fn avg(table: &Table, predicate: &Predicate, column: &str) -> Option<f64> {
+    let idx = table.schema().column_index(column)?;
+    let values: Vec<f64> = table
+        .select(predicate)
+        .into_iter()
+        .filter_map(|(_, row)| row.get(idx).and_then(Value::as_float))
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Minimum and maximum of a column over matching rows.
+pub fn min_max(table: &Table, predicate: &Predicate, column: &str) -> Option<(Value, Value)> {
+    let idx = table.schema().column_index(column)?;
+    let mut rows = table.select(predicate).into_iter().filter_map(|(_, r)| r.into_iter().nth(idx));
+    let first = rows.next()?;
+    let (mut lo, mut hi) = (first.clone(), first);
+    for v in rows {
+        if v.compare(&lo) == std::cmp::Ordering::Less {
+            lo = v.clone();
+        }
+        if v.compare(&hi) == std::cmp::Ordering::Greater {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Distinct values of a column over matching rows, in ascending order.
+pub fn distinct(table: &Table, predicate: &Predicate, column: &str) -> Vec<Value> {
+    let Some(idx) = table.schema().column_index(column) else { return Vec::new() };
+    let mut values: Vec<Value> = table
+        .select(predicate)
+        .into_iter()
+        .filter_map(|(_, row)| row.into_iter().nth(idx))
+        .collect();
+    values.sort_by(|a, b| a.compare(b));
+    values.dedup();
+    values
+}
+
+/// Group matching rows by a column and count each group. Returns `(value, count)` pairs
+/// in ascending value order — the `GROUP BY col` / `COUNT(*)` the processor needs for
+/// aggregate subqueries.
+pub fn group_by_count(table: &Table, predicate: &Predicate, column: &str) -> Vec<(Value, usize)> {
+    let Some(idx) = table.schema().column_index(column) else { return Vec::new() };
+    let mut rows: Vec<Value> = table
+        .select(predicate)
+        .into_iter()
+        .filter_map(|(_, row)| row.into_iter().nth(idx))
+        .collect();
+    rows.sort_by(|a, b| a.compare(b));
+    let mut out: Vec<(Value, usize)> = Vec::new();
+    for v in rows {
+        match out.last_mut() {
+            Some((last, count)) if last.compare(&v) == std::cmp::Ordering::Equal => *count += 1,
+            _ => out.push((v, 1)),
+        }
+    }
+    out
+}
+
+/// An equi-join of two tables on `left.left_col = right.right_col`, returning the
+/// concatenation of the matching rows (left columns followed by right columns).
+///
+/// Implemented as a hash join: the right table is hashed on its join column, then the
+/// left table is probed. This is the join the relational-annotation baseline performs
+/// by hand.
+pub fn hash_join(
+    left: &Table,
+    left_pred: &Predicate,
+    left_col: &str,
+    right: &Table,
+    right_pred: &Predicate,
+    right_col: &str,
+) -> Vec<Vec<Value>> {
+    use std::collections::HashMap;
+    let (Some(li), Some(ri)) = (
+        left.schema().column_index(left_col),
+        right.schema().column_index(right_col),
+    ) else {
+        return Vec::new();
+    };
+
+    // hash the (smaller) right side by join-key display
+    let mut index: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
+    for (_, row) in right.select(right_pred) {
+        index.entry(key_of(&row[ri])).or_default().push(row);
+    }
+
+    let mut out = Vec::new();
+    for (_, lrow) in left.select(left_pred) {
+        if let Some(matches) = index.get(&key_of(&lrow[li])) {
+            for rrow in matches {
+                let mut joined = lrow.clone();
+                joined.extend(rrow.iter().cloned());
+                out.push(joined);
+            }
+        }
+    }
+    out
+}
+
+fn key_of(v: &Value) -> String {
+    match v {
+        Value::Null => "\0".into(),
+        Value::Int(i) => format!("i{i}"),
+        Value::Float(x) => format!("f{x}"),
+        Value::Text(t) => format!("t{t}"),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Blob(b) => format!("x{}", b.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Column, ColumnType, Schema};
+
+    fn seqs() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("name", ColumnType::Text),
+            Column::new("length", ColumnType::Int),
+        ]);
+        let mut t = Table::new("seq", schema);
+        t.insert(vec![Value::Int(1), Value::text("a"), Value::Int(300)]).unwrap();
+        t.insert(vec![Value::Int(2), Value::text("b"), Value::Int(100)]).unwrap();
+        t.insert(vec![Value::Int(3), Value::text("c"), Value::Int(200)]).unwrap();
+        t
+    }
+
+    fn annots() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("seq_id", ColumnType::Int),
+            Column::new("note", ColumnType::Text),
+        ]);
+        let mut t = Table::new("ann", schema);
+        t.insert(vec![Value::Int(1), Value::text("first")]).unwrap();
+        t.insert(vec![Value::Int(1), Value::text("second")]).unwrap();
+        t.insert(vec![Value::Int(3), Value::text("third")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn ordering() {
+        let t = seqs();
+        let asc = scan_ordered(&t, &Predicate::True, "length", Order::Asc);
+        let lens: Vec<i64> = asc.iter().map(|r| r[2].as_int().unwrap()).collect();
+        assert_eq!(lens, vec![100, 200, 300]);
+        let desc = scan_ordered(&t, &Predicate::True, "length", Order::Desc);
+        let lens: Vec<i64> = desc.iter().map(|r| r[2].as_int().unwrap()).collect();
+        assert_eq!(lens, vec![300, 200, 100]);
+    }
+
+    #[test]
+    fn top_k() {
+        let t = seqs();
+        let top2 = scan_top_k(&t, &Predicate::True, "length", Order::Desc, 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0][2].as_int(), Some(300));
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = seqs();
+        assert_eq!(count(&t, &Predicate::True), 3);
+        assert_eq!(sum_int(&t, &Predicate::True, "length"), 600);
+        assert_eq!(avg(&t, &Predicate::True, "length"), Some(200.0));
+        let (lo, hi) = min_max(&t, &Predicate::True, "length").unwrap();
+        assert_eq!(lo, Value::Int(100));
+        assert_eq!(hi, Value::Int(300));
+        assert!(avg(&t, &Predicate::eq("id", Value::Int(999)), "length").is_none());
+    }
+
+    #[test]
+    fn equi_join() {
+        let s = seqs();
+        let a = annots();
+        let joined = hash_join(&s, &Predicate::True, "id", &a, &Predicate::True, "seq_id");
+        // seq 1 matches 2 annotations, seq 3 matches 1, seq 2 matches none
+        assert_eq!(joined.len(), 3);
+        // each joined row is seq columns (3) + ann columns (2)
+        assert!(joined.iter().all(|r| r.len() == 5));
+        // filtered join: only long sequences
+        let long = hash_join(
+            &s,
+            &Predicate::gt("length", Value::Int(150)),
+            "id",
+            &a,
+            &Predicate::True,
+            "seq_id",
+        );
+        // seq 1 (300) -> 2 anns, seq 3 (200) -> 1 ann
+        assert_eq!(long.len(), 3);
+    }
+
+    #[test]
+    fn join_missing_column() {
+        let s = seqs();
+        let a = annots();
+        assert!(hash_join(&s, &Predicate::True, "nope", &a, &Predicate::True, "seq_id").is_empty());
+    }
+
+    #[test]
+    fn distinct_values() {
+        let a = annots();
+        // seq_id values are 1, 1, 3 -> distinct 1, 3
+        assert_eq!(distinct(&a, &Predicate::True, "seq_id"), vec![Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn group_by_count_aggregates() {
+        let a = annots();
+        let groups = group_by_count(&a, &Predicate::True, "seq_id");
+        assert_eq!(groups, vec![(Value::Int(1), 2), (Value::Int(3), 1)]);
+    }
+}

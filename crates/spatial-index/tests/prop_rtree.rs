@@ -1,0 +1,136 @@
+//! Property tests: the R-tree must agree with a brute-force scan and preserve its
+//! structural invariants under arbitrary insertion orders and removals.
+
+use proptest::prelude::*;
+use spatial_index::{Rect, RTree};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..500.0, 0.0f64..500.0, 1.0f64..40.0, 1.0f64..40.0)
+        .prop_map(|(x, y, w, h)| Rect::rect2(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rect_overlap_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.if_overlap(&b), b.if_overlap(&a));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+        } else {
+            prop_assert!(!a.if_overlap(&b));
+        }
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a) && u.contains(&b));
+    }
+
+    #[test]
+    fn rtree_overlap_matches_bruteforce(
+        rects in prop::collection::vec(arb_rect(), 0..150),
+        query in arb_rect(),
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i as u64);
+        }
+        tree.check_invariants().unwrap();
+        let mut expected: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.if_overlap(&query))
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut got: Vec<u64> = tree.overlapping(query).iter().map(|e| e.payload).collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rtree_nearest_matches_bruteforce(
+        rects in prop::collection::vec(arb_rect(), 1..100),
+        px in 0.0f64..600.0,
+        py in 0.0f64..600.0,
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i as u64);
+        }
+        let p = [px, py, 0.0];
+        let expected = rects
+            .iter()
+            .map(|r| r.distance2_to_point(p))
+            .fold(f64::INFINITY, f64::min);
+        let got = tree.nearest(p).unwrap().rect.distance2_to_point(p);
+        prop_assert!((got - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bulk_load_matches_bruteforce(
+        rects in prop::collection::vec(arb_rect(), 0..200),
+        query in arb_rect(),
+    ) {
+        let entries: Vec<(Rect, u64)> =
+            rects.iter().enumerate().map(|(i, r)| (*r, i as u64)).collect();
+        let tree = RTree::bulk_load(entries);
+        prop_assert_eq!(tree.len(), rects.len());
+        let mut expected: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.if_overlap(&query))
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut got: Vec<u64> = tree.overlapping(query).iter().map(|e| e.payload).collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn k_nearest_matches_bruteforce(
+        rects in prop::collection::vec(arb_rect(), 1..100),
+        px in 0.0f64..600.0,
+        py in 0.0f64..600.0,
+        k in 1usize..10,
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i as u64);
+        }
+        let p = [px, py, 0.0];
+        let mut dists: Vec<f64> = rects.iter().map(|r| r.distance2_to_point(p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let knn = tree.k_nearest(p, k);
+        prop_assert_eq!(knn.len(), k.min(rects.len()));
+        for (i, e) in knn.iter().enumerate() {
+            prop_assert!((e.rect.distance2_to_point(p) - dists[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rtree_remove_keeps_consistency(
+        rects in prop::collection::vec(arb_rect(), 1..80),
+        remove_idx in 0usize..80,
+        query in arb_rect(),
+    ) {
+        let mut tree = RTree::new();
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i as u64);
+        }
+        let idx = remove_idx % rects.len();
+        prop_assert!(tree.remove(rects[idx], idx as u64));
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), rects.len() - 1);
+        let mut expected: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| *i != idx && r.if_overlap(&query))
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut got: Vec<u64> = tree.overlapping(query).iter().map(|e| e.payload).collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+}

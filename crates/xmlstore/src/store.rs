@@ -1,0 +1,357 @@
+//! The annotation-content collection store.
+//!
+//! "The collection of all annotations constitutes a database of XML documents" — this
+//! module is that database.  Documents are stored by dense id with two inverted
+//! indexes:
+//!
+//! * a **keyword index** over every text token in a document (supports the substring /
+//!   keyword conditions of queries such as *annotations containing "protein TP53"*), and
+//! * an **element-path index** mapping `element-name → documents containing it`, which
+//!   prunes path-expression evaluation across the collection.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Document;
+use crate::path::PathExpr;
+
+/// Identifier of a stored annotation document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(pub u64);
+
+/// The XML document collection with its inverted indexes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ContentStore {
+    docs: BTreeMap<DocId, Document>,
+    keyword_index: HashMap<String, BTreeSet<DocId>>,
+    element_index: HashMap<String, BTreeSet<DocId>>,
+    next_id: u64,
+}
+
+impl ContentStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        ContentStore::default()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Insert a document and return its id.
+    pub fn insert(&mut self, doc: Document) -> DocId {
+        let id = DocId(self.next_id);
+        self.next_id += 1;
+        for kw in doc.keywords() {
+            self.keyword_index.entry(kw).or_default().insert(id);
+        }
+        for element in doc.root.descendants() {
+            self.element_index
+                .entry(element.name.clone())
+                .or_default()
+                .insert(id);
+        }
+        self.docs.insert(id, doc);
+        id
+    }
+
+    /// Remove a document; returns it if it existed.
+    pub fn remove(&mut self, id: DocId) -> Option<Document> {
+        let doc = self.docs.remove(&id)?;
+        for kw in doc.keywords() {
+            if let Some(set) = self.keyword_index.get_mut(&kw) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.keyword_index.remove(&kw);
+                }
+            }
+        }
+        for element in doc.root.descendants() {
+            if let Some(set) = self.element_index.get_mut(&element.name) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.element_index.remove(&element.name);
+                }
+            }
+        }
+        Some(doc)
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(&id)
+    }
+
+    /// Replace a document in place (re-indexing it). Returns false when the id is
+    /// unknown.
+    pub fn update(&mut self, id: DocId, doc: Document) -> bool {
+        if !self.docs.contains_key(&id) {
+            return false;
+        }
+        self.remove(id);
+        // re-insert under the same id
+        for kw in doc.keywords() {
+            self.keyword_index.entry(kw).or_default().insert(id);
+        }
+        for element in doc.root.descendants() {
+            self.element_index
+                .entry(element.name.clone())
+                .or_default()
+                .insert(id);
+        }
+        self.docs.insert(id, doc);
+        true
+    }
+
+    /// All stored document ids in ascending order.
+    pub fn ids(&self) -> Vec<DocId> {
+        self.docs.keys().copied().collect()
+    }
+
+    /// Documents whose text contains the keyword (single lowercase token, exact match
+    /// against the keyword index).
+    pub fn with_keyword(&self, keyword: &str) -> Vec<DocId> {
+        self.keyword_index
+            .get(&keyword.to_lowercase())
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Documents containing **all** the given keywords.
+    pub fn with_all_keywords(&self, keywords: &[&str]) -> Vec<DocId> {
+        if keywords.is_empty() {
+            return self.ids();
+        }
+        let mut sets: Vec<&BTreeSet<DocId>> = Vec::with_capacity(keywords.len());
+        for kw in keywords {
+            match self.keyword_index.get(&kw.to_lowercase()) {
+                Some(s) => sets.push(s),
+                None => return Vec::new(),
+            }
+        }
+        // intersect starting from the smallest set
+        sets.sort_by_key(|s| s.len());
+        let (first, rest) = sets.split_first().expect("non-empty");
+        first
+            .iter()
+            .copied()
+            .filter(|id| rest.iter().all(|s| s.contains(id)))
+            .collect()
+    }
+
+    /// Documents whose full text contains `phrase` as a (case-insensitive) substring.
+    /// The keyword index narrows the candidates first; documents are then verified.
+    pub fn containing_phrase(&self, phrase: &str) -> Vec<DocId> {
+        let lowered = phrase.to_lowercase();
+        let tokens: Vec<&str> = lowered
+            .split(|c: char| !c.is_alphanumeric() && c != '.' && c != '_' && c != '-')
+            .filter(|t| !t.is_empty())
+            .collect();
+        let candidates = if tokens.is_empty() {
+            self.ids()
+        } else {
+            self.with_all_keywords(&tokens)
+        };
+        candidates
+            .into_iter()
+            .filter(|id| {
+                self.docs[id]
+                    .root
+                    .deep_text()
+                    .to_lowercase()
+                    .contains(&lowered)
+            })
+            .collect()
+    }
+
+    /// Documents containing at least one element with the given name.
+    pub fn with_element(&self, element_name: &str) -> Vec<DocId> {
+        self.element_index
+            .get(element_name)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Evaluate a path expression across the collection, returning matching document
+    /// ids.  When the expression's last step names an element, the element-path index
+    /// prunes the candidate set before evaluation.
+    pub fn select(&self, expr: &PathExpr) -> Vec<DocId> {
+        let candidates: Vec<DocId> = match expr.steps.last().map(|s| &s.name) {
+            Some(crate::path::NameTest::Named(name)) => self.with_element(name),
+            _ => self.ids(),
+        };
+        candidates
+            .into_iter()
+            .filter(|id| expr.matches(&self.docs[id]))
+            .collect()
+    }
+
+    /// Evaluate a path expression and return `(doc, values)` for every matching
+    /// document — the "XQuery fragment retrieval" operation of the query processor.
+    pub fn select_values(&self, expr: &PathExpr) -> Vec<(DocId, Vec<String>)> {
+        self.select(expr)
+            .into_iter()
+            .map(|id| (id, expr.eval_strings(&self.docs[&id])))
+            .collect()
+    }
+
+    /// Number of documents matching a path expression (the XQuery `count()` of a
+    /// collection query).
+    pub fn count_matching(&self, expr: &PathExpr) -> usize {
+        self.select(expr).len()
+    }
+
+    /// Evaluate a *union* of path expressions across the collection: documents matching
+    /// any of the expressions (deduplicated, ascending id order).
+    pub fn select_union(&self, exprs: &[PathExpr]) -> Vec<DocId> {
+        let mut set: BTreeSet<DocId> = BTreeSet::new();
+        for expr in exprs {
+            set.extend(self.select(expr));
+        }
+        set.into_iter().collect()
+    }
+
+    /// Number of distinct indexed keywords (diagnostics).
+    pub fn keyword_count(&self) -> usize {
+        self.keyword_index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dublin::DublinCore;
+    use crate::parse::parse_document;
+
+    fn store() -> (ContentStore, DocId, DocId, DocId) {
+        let mut s = ContentStore::new();
+        let a = s.insert(
+            DublinCore::new()
+                .title("TP53 expression in cerebellum")
+                .description("strong staining for protein TP53 in the Deep Cerebellar nuclei")
+                .creator("martone")
+                .to_document(),
+        );
+        let b = s.insert(
+            DublinCore::new()
+                .title("protease motif")
+                .description("protease cleavage site found in segment 4")
+                .creator("gupta")
+                .to_document(),
+        );
+        let c = s.insert(
+            parse_document("<annotation><note priority=\"low\">routine follow-up</note></annotation>")
+                .unwrap(),
+        );
+        (s, a, b, c)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let (mut s, a, b, c) = store();
+        assert_eq!(s.len(), 3);
+        assert!(s.get(a).is_some());
+        assert!(s.remove(b).is_some());
+        assert_eq!(s.len(), 2);
+        assert!(s.get(b).is_none());
+        assert!(s.remove(b).is_none());
+        assert!(!s.is_empty());
+        assert_eq!(s.ids(), vec![a, c]);
+    }
+
+    #[test]
+    fn keyword_search() {
+        let (s, a, b, _) = store();
+        assert_eq!(s.with_keyword("tp53"), vec![a]);
+        assert_eq!(s.with_keyword("TP53"), vec![a]);
+        assert_eq!(s.with_keyword("protease"), vec![b]);
+        assert!(s.with_keyword("nonexistent").is_empty());
+        assert_eq!(s.with_all_keywords(&["protein", "tp53"]), vec![a]);
+        assert!(s.with_all_keywords(&["protein", "protease"]).is_empty());
+        assert_eq!(s.with_all_keywords(&[]).len(), 3);
+    }
+
+    #[test]
+    fn phrase_search_requires_adjacency() {
+        let (s, a, _, _) = store();
+        assert_eq!(s.containing_phrase("protein TP53"), vec![a]);
+        assert_eq!(s.containing_phrase("Deep Cerebellar nuclei"), vec![a]);
+        assert!(s.containing_phrase("TP53 protein").is_empty());
+    }
+
+    #[test]
+    fn element_index() {
+        let (s, _, _, c) = store();
+        assert_eq!(s.with_element("note"), vec![c]);
+        assert_eq!(s.with_element("dc:title").len(), 2);
+        assert!(s.with_element("missing").is_empty());
+    }
+
+    #[test]
+    fn select_by_path_expression() {
+        let (s, a, b, c) = store();
+        let expr = PathExpr::parse("//dc:description[contains(text(), 'protease')]").unwrap();
+        assert_eq!(s.select(&expr), vec![b]);
+        let expr2 = PathExpr::parse("//note[@priority='low']").unwrap();
+        assert_eq!(s.select(&expr2), vec![c]);
+        let expr3 = PathExpr::parse("//dc:creator").unwrap();
+        assert_eq!(s.select(&expr3), vec![a, b]);
+    }
+
+    #[test]
+    fn select_values_returns_fragments() {
+        let (s, a, _, _) = store();
+        let expr = PathExpr::parse("//dc:title/text()").unwrap();
+        let values = s.select_values(&expr);
+        assert_eq!(values.len(), 2);
+        let (id, texts) = &values[0];
+        assert_eq!(*id, a);
+        assert_eq!(texts[0], "TP53 expression in cerebellum");
+    }
+
+    #[test]
+    fn remove_cleans_indexes() {
+        let (mut s, a, _, _) = store();
+        assert!(!s.with_keyword("tp53").is_empty());
+        s.remove(a);
+        assert!(s.with_keyword("tp53").is_empty());
+        assert!(s.with_keyword("cerebellum").is_empty());
+    }
+
+    #[test]
+    fn update_reindexes() {
+        let (mut s, a, _, _) = store();
+        let new_doc = DublinCore::new().title("replaced title about kinases").to_document();
+        assert!(s.update(a, new_doc));
+        assert!(s.with_keyword("tp53").is_empty());
+        assert_eq!(s.with_keyword("kinases"), vec![a]);
+        assert!(!s.update(DocId(999), DublinCore::new().to_document()));
+    }
+
+    #[test]
+    fn keyword_count_diagnostic() {
+        let (s, ..) = store();
+        assert!(s.keyword_count() > 10);
+    }
+
+    #[test]
+    fn count_and_union() {
+        let (s, a, b, _) = store();
+        let creators = PathExpr::parse("//dc:creator").unwrap();
+        assert_eq!(s.count_matching(&creators), 2);
+        let titles = PathExpr::parse("//dc:title").unwrap();
+        let notes = PathExpr::parse("//note").unwrap();
+        let union = s.select_union(&[titles, notes]);
+        assert_eq!(union.len(), 3); // two titled docs + one note doc
+        let protease = PathExpr::parse("//dc:description[contains(text(), 'protease')]").unwrap();
+        assert_eq!(s.select_union(&[protease]), vec![b]);
+        let _ = a;
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: serialize → parse must round-trip arbitrary element trees, and the
+//! keyword index must agree with a direct text scan.
+
+use proptest::prelude::*;
+use xmlstore::{parse_document, ContentStore, Document, DublinCore, Element};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}(:[a-z][a-z0-9]{0,6})?"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // printable text including characters that require escaping
+    "[ -~]{0,24}".prop_map(|s| s.replace(']', " "))
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (arb_name(), arb_text(), prop::collection::vec((arb_name(), arb_text()), 0..3))
+        .prop_map(|(name, text, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                // attribute names must be unique to round-trip deterministically
+                if e.attr(&k).is_none() {
+                    e.set_attr(k, v);
+                }
+            }
+            if !text.trim().is_empty() {
+                e.push_text(text);
+            }
+            e
+        });
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, prop::collection::vec(arb_element(depth - 1), 0..3))
+            .prop_map(|(mut e, children)| {
+                for c in children {
+                    e.children.push(xmlstore::XmlNode::Element(c));
+                }
+                e
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_roundtrip(root in arb_element(3)) {
+        let doc = Document::new(root);
+        let xml = doc.to_xml();
+        let parsed = parse_document(&xml).expect("own output must parse");
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn keyword_index_matches_scan(
+        descriptions in prop::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,5}", 1..20),
+        probe in "[a-z]{1,8}",
+    ) {
+        let mut store = ContentStore::new();
+        let mut docs = Vec::new();
+        for d in &descriptions {
+            let doc = DublinCore::new().description(d.clone()).to_document();
+            let id = store.insert(doc.clone());
+            docs.push((id, doc));
+        }
+        let mut expected: Vec<_> = docs
+            .iter()
+            .filter(|(_, doc)| {
+                doc.root
+                    .deep_text()
+                    .split_whitespace()
+                    .any(|w| w == probe)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        let mut got = store.with_keyword(&probe);
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dublin_core_roundtrip(
+        title in "[A-Za-z0-9][A-Za-z0-9 ]{0,29}",
+        desc in "([A-Za-z0-9][A-Za-z0-9 .,]{0,59})?",
+        subjects in prop::collection::vec("[a-z]{1,12}", 0..4),
+    ) {
+        let mut dc = DublinCore::new().title(title).description(desc);
+        for s in subjects {
+            dc = dc.subject(s);
+        }
+        let xml = dc.to_document().to_xml();
+        let parsed = parse_document(&xml).unwrap();
+        prop_assert_eq!(DublinCore::from_document(&parsed), dc);
+    }
+}

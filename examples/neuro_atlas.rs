@@ -1,0 +1,63 @@
+//! The neuroscience brain-atlas application (query tab, TP53 example query).
+//!
+//! Run with `cargo run --example neuro_atlas`.
+//!
+//! Builds a synthetic brain-atlas workload — many images sharing a coordinate system,
+//! with region annotations citing anatomy ontology terms — then runs the TP53 example
+//! query (Q1): annotations mentioning "protein TP53" whose images have at least two
+//! regions annotated with the "Deep Cerebellar nuclei" term.
+
+use graphitti::query::{Executor, GraphConstraint, OntologyFilter, Query, Target};
+use graphitti::spatial::Rect;
+use graphitti::workloads::neuro::{self, NeuroConfig};
+
+fn main() {
+    let config = NeuroConfig {
+        seed: 2008,
+        images: 80,
+        regions_per_image: 8,
+        coordinate_systems: 3,
+        dcn_prob: 0.45,
+        tp53_prob: 0.25,
+        canvas: 1_000.0,
+    };
+    let workload = neuro::build(&config);
+    let sys = &workload.system;
+
+    println!("Neuroscience atlas workload:");
+    println!("  images       : {}", workload.images.len());
+    println!("  annotations  : {}", sys.annotation_count());
+    println!("  referents    : {}", sys.referent_count());
+    let (_, r_trees) = sys.index_structure_count();
+    println!("  R-trees (one per coordinate system): {r_trees}");
+
+    // Q1: the TP53 example query.
+    let canvas = Rect::rect2(0.0, 0.0, config.canvas, config.canvas);
+    let q = Query::new(Target::ConnectionGraphs)
+        .with_phrase("protein TP53")
+        .with_ontology(OntologyFilter::CitesTerm(workload.concepts.deep_cerebellar_nuclei))
+        .with_constraint(GraphConstraint::MinRegionCount {
+            count: 2,
+            within: canvas,
+            system: workload.systems[0].clone(),
+        });
+    let result = Executor::new(sys).run(&q);
+    println!(
+        "\nQ1 (protein TP53 + >=2 DCN regions): {} object(s), {} result page(s)",
+        result.objects.len(),
+        result.page_count()
+    );
+
+    // Correlated-data viewing: for the first matching image, show its other annotations.
+    if let Some(&obj) = result.objects.first() {
+        let anns = sys.annotations_of_object(obj);
+        println!(
+            "\ncorrelated data for {:?}: {} annotation(s) on this image",
+            obj,
+            anns.len()
+        );
+    }
+
+    println!("\n{}", Executor::new(sys).plan(&q).explain());
+    println!("neuro atlas example complete.");
+}

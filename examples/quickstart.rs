@@ -1,0 +1,73 @@
+//! Quickstart: register a sequence, annotate an interval, query it back.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! This mirrors the smallest meaningful Graphitti workflow: register one heterogeneous
+//! data object, attach an annotation to a marked substructure of it, then run a query
+//! and explore the resulting connection structure.
+
+use graphitti::core::{DataType, Graphitti, Marker};
+use graphitti::query::{Executor, Query, Target};
+
+fn main() {
+    // 1. Create the system and register a DNA sequence under a coordinate domain.
+    let mut sys = Graphitti::new();
+    let ha_segment = sys.register_sequence(
+        "H5N1-HA-segment4",
+        DataType::DnaSequence,
+        1_800,
+        "influenza-segment-4",
+    );
+    println!("registered object {:?}", ha_segment);
+
+    // 2. Annotate the polybasic cleavage site (an interval of the sequence) and cite an
+    //    ontology term.
+    let protease = sys.ontology_mut().add_concept("Protease");
+    let annotation = sys
+        .annotate()
+        .title("polybasic cleavage site")
+        .comment("multiple basic residues — a marker of high pathogenicity; protease target")
+        .creator("condit")
+        .subject("protease")
+        .mark(ha_segment, Marker::interval(1_020, 1_062))
+        .cite_term(protease)
+        .commit()
+        .expect("commit annotation");
+    println!("committed annotation {:?}", annotation);
+
+    // 3. A second scientist annotates an overlapping region — now the object carries two
+    //    annotations.
+    sys.annotate()
+        .title("conserved motif")
+        .comment("conserved across the H5 clade")
+        .creator("gupta")
+        .mark(ha_segment, Marker::interval(1_040, 1_080))
+        .commit()
+        .unwrap();
+
+    // 4. Query: connection graphs for annotations mentioning "protease".
+    let query = Query::new(Target::ConnectionGraphs).with_phrase("protease");
+    let result = Executor::new(&sys).run(&query);
+    println!(
+        "\nquery 'protease' -> {} result page(s), {} total node(s)",
+        result.page_count(),
+        result.total_nodes()
+    );
+    for (i, page) in result.pages.iter().enumerate() {
+        println!(
+            "  page {}: {} annotation(s), {} referent(s), {} object(s), {} term(s)",
+            i + 1,
+            page.annotations.len(),
+            page.referents.len(),
+            page.objects.len(),
+            page.terms.len()
+        );
+    }
+
+    // 5. Explore: what other annotations touch this sequence?
+    let others = sys.annotations_of_object(ha_segment);
+    println!("\nannotations on {}: {:?}", "H5N1-HA-segment4", others);
+    assert_eq!(others.len(), 2);
+
+    println!("\nquickstart complete.");
+}

@@ -1,0 +1,52 @@
+//! # Graphitti
+//!
+//! An annotation management system for heterogeneous scientific objects — a Rust
+//! reproduction of the ICDE 2008 demonstration paper *"Graphitti: An Annotation
+//! Management System for Heterogeneous Objects"* (Gupta, Condit, Gupta; SDSC / UCSD).
+//!
+//! This facade crate re-exports every subsystem so applications can depend on a single
+//! crate:
+//!
+//! * [`core`] — the annotation model and the [`core::Graphitti`] facade,
+//! * [`query`] — the graph query language, planner and executor,
+//! * [`agraph`] — the directed labelled multigraph ("labelled join index"),
+//! * [`intervals`] — interval trees for 1-D substructures,
+//! * [`spatial`] — R-trees for 2-D/3-D substructures,
+//! * [`xml`] — the XML annotation-content store and path-expression engine,
+//! * [`relational`] — the in-memory relational store for type-specific metadata,
+//! * [`onto`] — the OntoQuest-style ontology store,
+//! * [`workloads`] — synthetic scientific workloads (influenza study, brain atlas),
+//! * [`baselines`] — the relational-annotation baseline and unindexed ablation variant.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete annotate-then-query walk-through. In
+//! short:
+//!
+//! ```
+//! use graphitti::core::{Graphitti, DataType, Marker};
+//!
+//! let mut sys = Graphitti::new();
+//! // register a DNA sequence and annotate an interval of it
+//! let seq = sys.register_sequence("H5N1-segment-4", DataType::DnaSequence, 1_800, "chr-demo");
+//! let ann = sys
+//!     .annotate()
+//!     .title("putative cleavage site")
+//!     .comment("polybasic cleavage site observed in HA")
+//!     .creator("condit")
+//!     .mark(seq, Marker::interval(1_020, 1_062))
+//!     .commit()
+//!     .unwrap();
+//! assert!(sys.annotation(ann).is_some());
+//! ```
+
+pub use agraph;
+pub use baseline as baselines;
+pub use datagen as workloads;
+pub use graphitti_core as core;
+pub use graphitti_query as query;
+pub use interval_index as intervals;
+pub use ontology as onto;
+pub use relstore as relational;
+pub use spatial_index as spatial;
+pub use xmlstore as xml;

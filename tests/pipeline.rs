@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the full annotate → index → query pipeline.
+//!
+//! These exercise the public `graphitti` facade the way an application would, spanning
+//! the core system, all substrate stores and the query engine.
+
+use graphitti::core::{DataType, Graphitti, Marker};
+use graphitti::query::{
+    parse_query, Executor, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
+};
+use graphitti::spatial::Rect;
+
+/// Build a small mixed system: one sequence and one image, each annotated.
+fn mixed_system() -> Graphitti {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("seg4", DataType::DnaSequence, 2_000, "chr-flu");
+    let img = sys.register_image("brain", 1_000, 1_000, "confocal", "cs");
+    let dcn = sys.ontology_mut().add_concept("DeepCerebellarNuclei");
+
+    sys.annotate()
+        .title("cleavage")
+        .comment("polybasic protease cleavage site")
+        .creator("condit")
+        .mark(seq, Marker::interval(1_000, 1_050))
+        .commit()
+        .unwrap();
+
+    sys.annotate()
+        .title("region")
+        .comment("strong staining for protein TP53")
+        .creator("martone")
+        .mark(img, Marker::region(100.0, 100.0, 200.0, 200.0))
+        .cite_term(dcn)
+        .commit()
+        .unwrap();
+
+    sys
+}
+
+#[test]
+fn annotate_then_query_contents() {
+    let sys = mixed_system();
+    let q = Query::new(Target::AnnotationContents).with_phrase("protease cleavage");
+    let res = Executor::new(&sys).run(&q);
+    assert_eq!(res.annotations.len(), 1);
+}
+
+#[test]
+fn referent_type_filter_spans_stores() {
+    let sys = mixed_system();
+    let q = Query::new(Target::Referents).with_referent(ReferentFilter::OfType(DataType::Image));
+    let res = Executor::new(&sys).run(&q);
+    assert_eq!(res.referents.len(), 1);
+    let q2 = Query::new(Target::Referents).with_referent(ReferentFilter::OfType(DataType::DnaSequence));
+    assert_eq!(Executor::new(&sys).run(&q2).referents.len(), 1);
+}
+
+#[test]
+fn q1_tp53_end_to_end() {
+    let mut sys = Graphitti::new();
+    let img = sys.register_image("brain", 1_000, 1_000, "confocal", "cs");
+    let dcn = sys.ontology_mut().add_concept("DeepCerebellarNuclei");
+    // two DCN regions + one TP53 annotation on the same image
+    for i in 0..2 {
+        let x = (i as f64) * 300.0;
+        sys.annotate()
+            .comment("region")
+            .mark(img, Marker::region(x, 0.0, x + 100.0, 100.0))
+            .cite_term(dcn)
+            .commit()
+            .unwrap();
+    }
+    sys.annotate()
+        .comment("strong staining for protein TP53 here")
+        .mark(img, Marker::region(0.0, 0.0, 50.0, 50.0))
+        .cite_term(dcn)
+        .commit()
+        .unwrap();
+
+    let canvas = Rect::rect2(0.0, 0.0, 1_000.0, 1_000.0);
+    let q = Query::new(Target::ConnectionGraphs)
+        .with_phrase("protein TP53")
+        .with_ontology(OntologyFilter::CitesTerm(dcn))
+        .with_constraint(GraphConstraint::MinRegionCount {
+            count: 2,
+            within: canvas,
+            system: "cs".into(),
+        });
+    let res = Executor::new(&sys).run(&q);
+    assert_eq!(res.objects, vec![img]);
+}
+
+#[test]
+fn q2_protease_end_to_end() {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("seq", DataType::ProteinSequence, 5_000, "chrP");
+    for i in 0..4 {
+        let start = i * 200;
+        sys.annotate()
+            .comment("contains protease cleavage site")
+            .mark(seq, Marker::interval(start, start + 80))
+            .commit()
+            .unwrap();
+    }
+    let q = Query::new(Target::Referents)
+        .with_phrase("protease")
+        .with_constraint(GraphConstraint::ConsecutiveIntervals { count: 4, max_gap: 200 });
+    let res = Executor::new(&sys).run(&q);
+    assert_eq!(res.objects, vec![seq]);
+}
+
+#[test]
+fn textual_dsl_matches_builder() {
+    let sys = mixed_system();
+    let parsed = parse_query(r#"SELECT contents WHERE content contains "protease cleavage""#).unwrap();
+    let built = Query::new(Target::AnnotationContents).with_phrase("protease cleavage");
+    let r1 = Executor::new(&sys).run(&parsed);
+    let r2 = Executor::new(&sys).run(&built);
+    assert_eq!(r1.annotations, r2.annotations);
+}
+
+#[test]
+fn connection_graph_has_witness_structure() {
+    let sys = mixed_system();
+    let q = Query::new(Target::ConnectionGraphs).with_phrase("protease");
+    let res = Executor::new(&sys).run(&q);
+    assert!(res.page_count() >= 1);
+    // the page should contain the annotation, its referent and the sequence object
+    let page = &res.pages[0];
+    assert!(!page.annotations.is_empty());
+    assert!(!page.referents.is_empty());
+    assert!(!page.objects.is_empty());
+}
+
+#[test]
+fn exploration_correlates_annotations() {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("seq", DataType::DnaSequence, 1_000, "chr1");
+    let a1 = sys.annotate().comment("first").mark(seq, Marker::interval(0, 50)).commit().unwrap();
+    let a2 = sys.annotate().comment("second").mark(seq, Marker::interval(60, 110)).commit().unwrap();
+    let on_obj = sys.annotations_of_object(seq);
+    assert_eq!(on_obj, vec![a1, a2]);
+}
+
+#[test]
+fn shared_referent_creates_related_annotations() {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("seq", DataType::DnaSequence, 1_000, "chr1");
+    let a1 = sys.annotate().comment("first").mark(seq, Marker::interval(0, 50)).commit().unwrap();
+    let rid = sys.annotation(a1).unwrap().referents[0];
+    let a2 = sys.annotate().comment("second view").mark_existing(rid).commit().unwrap();
+    assert_eq!(sys.related_annotations(a1), vec![a2]);
+    assert_eq!(sys.related_annotations(a2), vec![a1]);
+}
