@@ -69,7 +69,7 @@ impl<'g> Bfs<'g> {
 
     /// Run the traversal to completion, collecting every visited node with its depth.
     pub fn collect_depths(self) -> HashMap<NodeId, usize> {
-        self.map(|(n, d)| (n, d)).collect()
+        self.collect()
     }
 }
 

@@ -1,13 +1,17 @@
-//! Experiment A1 — index ablation: interval-tree / R-tree vs. linear scan.
+//! Experiment A1 — index ablation: interval-tree / R-tree vs. linear scan, and the
+//! plan-driven pipelined executor vs. the scan-and-intersect reference executor.
 //!
 //! Reproduces the design choice DESIGN.md calls out: the substructure indexes make
 //! overlap lookup `O(log n + k)`, while the naive linear-scan baseline is `O(n)`. Sweeps
 //! the referent count and benches both on the same data. Reproducible shape: the indexed
-//! structure wins by a factor that grows with n.
+//! structure wins by a factor that grows with n.  The query-level ablation runs the same
+//! queries through both executors — identical collation, so the gap isolates what the
+//! persistent inverted indexes and the seed-then-verify pipeline buy.
 
 use bench::{table_header, table_row};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use baseline::NaiveReferentIndex;
+use graphitti_query::{Executor, OntologyFilter, Query, ReferenceExecutor, Target};
 use interval_index::{DomainIntervals, Interval};
 use spatial_index::{CoordinateSystems, Rect};
 
@@ -84,5 +88,41 @@ fn bench_ablation(c: &mut Criterion) {
     rgroup.finish();
 }
 
-criterion_group!(benches, bench_ablation);
+/// Whole-query ablation: the pipelined executor (seeding from persistent inverted
+/// indexes, verifying candidates by probes) against the scan-and-intersect reference.
+fn bench_query_pipeline(c: &mut Criterion) {
+    let sizes = [50usize, 100, 200];
+
+    table_header(
+        "A1: pipelined vs. scan-all executor (correctness)",
+        &["images", "annotations", "results_match"],
+    );
+
+    let mut group = c.benchmark_group("A1_query_execution");
+    for &images in &sizes {
+        let workload = bench::neuro_workload(images, 8, 2008);
+        let sys = &workload.system;
+        let query = Query::new(Target::ConnectionGraphs)
+            .with_phrase("protein TP53")
+            .with_ontology(OntologyFilter::CitesTerm(workload.concepts.deep_cerebellar_nuclei));
+
+        let fast = Executor::new(sys);
+        let slow = ReferenceExecutor::new(sys);
+        table_row(&[
+            images.to_string(),
+            sys.annotation_count().to_string(),
+            (fast.run(&query) == slow.run(&query)).to_string(),
+        ]);
+
+        group.bench_with_input(BenchmarkId::new("pipelined", images), &images, |b, _| {
+            b.iter(|| fast.run(&query));
+        });
+        group.bench_with_input(BenchmarkId::new("scan_all", images), &images, |b, _| {
+            b.iter(|| slow.run(&query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_query_pipeline);
 criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Merge the per-bench-binary JSON files the criterion shim writes under
+//! `target/criterion-json/` into one machine-readable summary (`BENCH_query.json` by
+//! default), so the performance trajectory is comparable across PRs.
+//!
+//! Usage: `cargo run -p bench --bin bench_summary [-- <input-dir> [<output-file>]]`
+//! after `cargo bench`.  Entries are sorted by `(bench, name)` for stable diffs.
+
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = criterion::workspace_root();
+    let input_dir = args
+        .first()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join("target").join("criterion-json"));
+    let output = args
+        .get(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join("BENCH_query.json"));
+    let (input_dir, output) = (input_dir.display().to_string(), output.display().to_string());
+    let input_dir = input_dir.as_str();
+    let output = output.as_str();
+
+    let mut entries: Vec<(String, String, f64)> = Vec::new();
+    let dir = Path::new(input_dir);
+    let read_dir = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) => {
+            eprintln!("bench_summary: cannot read {input_dir}: {e} (run `cargo bench` first)");
+            std::process::exit(1);
+        }
+    };
+    for entry in read_dir.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_summary: skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        let parsed = match jsonlite::Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench_summary: skipping {}: {e:?}", path.display());
+                continue;
+            }
+        };
+        let Some(arr) = parsed.as_arr() else { continue };
+        for item in arr {
+            let bench = item.get("bench").and_then(|j| j.as_str()).unwrap_or("");
+            let name = item.get("name").and_then(|j| j.as_str()).unwrap_or("");
+            let ns = item.get("ns_per_iter").and_then(|j| j.as_f64()).unwrap_or(f64::NAN);
+            if !bench.is_empty() && !name.is_empty() {
+                entries.push((bench.to_string(), name.to_string(), ns));
+            }
+        }
+    }
+    entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+
+    let json = jsonlite::Json::obj([
+        ("schema", jsonlite::Json::str("graphitti-bench-summary/v1")),
+        ("entries", jsonlite::Json::u64(entries.len() as u64)),
+        (
+            "results",
+            jsonlite::Json::Arr(
+                entries
+                    .iter()
+                    .map(|(bench, name, ns)| {
+                        jsonlite::Json::obj([
+                            ("bench", jsonlite::Json::str(bench.clone())),
+                            ("name", jsonlite::Json::str(name.clone())),
+                            ("ns_per_iter", jsonlite::Json::Num(*ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(output, json.pretty() + "\n") {
+        eprintln!("bench_summary: cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench_summary: wrote {} results to {output}", entries.len());
+}

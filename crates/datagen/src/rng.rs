@@ -1,22 +1,28 @@
-//! A tiny seeded RNG wrapper used by the generators.
+//! A tiny seeded RNG used by the generators.
 //!
-//! We use `rand`'s `SmallRng` seeded from a `u64` so that every workload is fully
-//! reproducible from its seed — important for benchmarks and for regression tests that
-//! assert on generated structure.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! The workspace builds offline, so instead of `rand` this is a self-contained
+//! splitmix64 generator. Every workload is fully reproducible from its seed —
+//! important for benchmarks and for regression tests that assert on generated
+//! structure.
 
 /// A deterministic RNG for workload generation.
 #[derive(Debug, Clone)]
 pub struct WorkloadRng {
-    inner: SmallRng,
+    state: u64,
 }
 
 impl WorkloadRng {
     /// Create an RNG from a seed.
     pub fn new(seed: u64) -> Self {
-        WorkloadRng { inner: SmallRng::seed_from_u64(seed) }
+        WorkloadRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
     /// A uniform integer in `[low, high)`.
@@ -24,15 +30,12 @@ impl WorkloadRng {
         if high <= low {
             return low;
         }
-        self.inner.gen_range(low..high)
+        low + self.next_u64() % (high - low)
     }
 
     /// A uniform integer in `[low, high)`.
     pub fn range_usize(&mut self, low: usize, high: usize) -> usize {
-        if high <= low {
-            return low;
-        }
-        self.inner.gen_range(low..high)
+        self.range_u64(low as u64, high as u64) as usize
     }
 
     /// A uniform float in `[low, high)`.
@@ -40,12 +43,13 @@ impl WorkloadRng {
         if high <= low {
             return low;
         }
-        self.inner.gen_range(low..high)
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
     }
 
     /// A boolean true with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.range_f64(0.0, 1.0) < p.clamp(0.0, 1.0)
     }
 
     /// Pick one element index of a slice of length `len` (must be > 0).

@@ -15,6 +15,9 @@
 //!   `ifOverlap` / `next` / `intersect` operators;
 //! * [`referent`] — a referent: a marked substructure of a specific object;
 //! * [`annotation`] — the annotation content model and the fluent annotation builder;
+//! * [`indexes`] — the inverted secondary indexes (term postings, doc → annotation,
+//!   type / block → referents) and workload [`Stats`], maintained incrementally so the
+//!   query planner and executor never scan the registries;
 //! * [`system`] — [`Graphitti`], the facade that owns the relational store, the content
 //!   store, the interval / R-tree indexes, the ontology and the a-graph, and implements
 //!   register / annotate / explore.
@@ -23,6 +26,7 @@
 
 pub mod annotation;
 pub mod error;
+pub mod indexes;
 pub mod marker;
 pub mod referent;
 pub mod snapshot;
@@ -31,6 +35,7 @@ pub mod types;
 
 pub use annotation::{Annotation, AnnotationBuilder, AnnotationId};
 pub use error::CoreError;
+pub use indexes::{Indexes, Stats};
 pub use marker::{Marker, SubX};
 pub use referent::{Referent, ReferentId};
 pub use snapshot::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, Snapshot};

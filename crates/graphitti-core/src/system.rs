@@ -17,6 +17,7 @@ use xmlstore::ContentStore;
 
 use crate::annotation::{Annotation, AnnotationBuilder, AnnotationId, AnnotationSpec};
 use crate::error::CoreError;
+use crate::indexes::{Indexes, Stats};
 use crate::marker::Marker;
 use crate::referent::{Referent, ReferentId};
 use crate::types::{DataType, Dimensionality};
@@ -83,6 +84,9 @@ pub struct Graphitti {
     /// Secondary index: object → its referents, so exploration is O(k) not O(all
     /// referents).
     object_referents: HashMap<ObjectId, Vec<ReferentId>>,
+    /// Inverted secondary indexes + workload statistics, maintained incrementally at
+    /// register / annotate time (never rebuilt per query).
+    indexes: Indexes,
 }
 
 impl Graphitti {
@@ -126,6 +130,18 @@ impl Graphitti {
     /// The a-graph.
     pub fn agraph(&self) -> &MultiGraph {
         &self.agraph
+    }
+
+    /// The inverted secondary indexes (term postings, doc → annotation, type / block →
+    /// referents), used by the query engine's pipelined executor.
+    pub fn indexes(&self) -> &Indexes {
+        &self.indexes
+    }
+
+    /// Workload statistics (counts per term / type / domain), used by the query planner
+    /// for selectivity estimation.
+    pub fn stats(&self) -> &Stats {
+        self.indexes.stats()
     }
 
     // --- counts ---
@@ -186,6 +202,7 @@ impl Graphitti {
         self.node_entity.insert(node, Entity::Object(id));
         self.object_node.insert(id, node);
         self.objects.push(ObjectInfo { id, data_type, name, row: row_id, domain, node });
+        self.indexes.on_object_registered();
         Ok(id)
     }
 
@@ -343,6 +360,7 @@ impl Graphitti {
                 .add_edge(content_node, tnode, EdgeLabel::cites_term())?;
         }
 
+        self.indexes.on_annotation_committed(id, doc_id, &referent_ids, &spec.terms);
         self.annotations.push(Annotation {
             id,
             content: spec.content,
@@ -394,6 +412,7 @@ impl Graphitti {
         self.agraph.add_edge(rnode, info.node, EdgeLabel::part_of())?;
 
         self.object_referents.entry(object).or_default().push(rid);
+        self.indexes.on_referent_added(&referent, info.data_type);
         self.referents.push(referent);
         Ok(rid)
     }
@@ -471,19 +490,10 @@ impl Graphitti {
         self.object_referents.get(&object).cloned().unwrap_or_default()
     }
 
-    /// The annotations that link a given referent.
+    /// The annotations that link a given referent. Answered in O(k) from the
+    /// referent → annotations index (no a-graph traversal).
     pub fn annotations_of_referent(&self, referent: ReferentId) -> Vec<AnnotationId> {
-        let Some(&rnode) = self.referent_node.get(&referent) else {
-            return Vec::new();
-        };
-        self.agraph
-            .contents_of_referent(rnode)
-            .into_iter()
-            .filter_map(|n| match self.entity_of(n) {
-                Some(Entity::Annotation(a)) => Some(a),
-                _ => None,
-            })
-            .collect()
+        self.indexes.annotations_of_referent(referent).to_vec()
     }
 
     /// All annotations that touch an object (through any of its referents) — "what other

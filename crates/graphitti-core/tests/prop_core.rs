@@ -79,7 +79,7 @@ fn build_random(seed: u64, n_objects: usize, n_anns: usize, share: bool) -> Grap
             builder = builder.mark_existing(rid);
             let _ = builder.commit();
         } else {
-            let start = (next() % 9000) as u64;
+            let start = next() % 9000;
             builder = builder.mark(obj, Marker::interval(start, start + 30));
             if let Ok(aid) = builder.commit() {
                 if let Some(ann) = sys.annotation(aid) {

@@ -1,15 +1,27 @@
-//! The query executor.
+//! The plan-driven pipelined query executor.
 //!
-//! The executor realises the paper's pipeline: it builds a [`Plan`] (separating and
-//! ordering subqueries), evaluates each subquery against the matching store, and
-//! collates the partial results by connecting them through the a-graph into
-//! type-extended connection subgraphs, enforcing the graph constraints.
+//! The executor realises the paper's pipeline in three stages:
 //!
-//! Candidate sets are represented as concrete entity ids (annotation / referent /
-//! object), and the final collation walks the a-graph to assemble the witness subgraphs
-//! that become result pages.
+//! 1. **Seed** — build a [`Plan`] (separating subqueries and ordering them by
+//!    selectivity estimated from live statistics) and evaluate the *most selective*
+//!    subquery of each family first, producing the seed candidate set straight from a
+//!    persistent inverted index (term postings, type / block postings, interval tree,
+//!    R-tree, keyword index) — never by scanning the registries.
+//! 2. **Verify** — every later subquery *verifies* the surviving candidates with
+//!    per-candidate membership probes (binary searches on posting lists, `O(log n)`
+//!    keyword-index probes, `O(1)` marker checks) instead of recomputing its full
+//!    matching set.  Candidate sets are sorted `Vec`s of dense ids and posting-list
+//!    intersection uses a galloping merge (see [`crate::setops`]).
+//! 3. **Collate** — connect the pruned partial results through the a-graph into
+//!    type-extended connection subgraphs, enforcing graph constraints; neighbor
+//!    expansion starts from the pruned set, so collation cost tracks the result size,
+//!    not the corpus size.
+//!
+//! The pre-index scan-and-intersect implementation is preserved as
+//! [`crate::reference::ReferenceExecutor`]; it is the correctness oracle for the
+//! randomized equivalence tests and the baseline for the index-ablation benchmarks.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::HashMap;
 
 use agraph::{NodeId, PathSearch, Subgraph};
 use graphitti_core::{AnnotationId, Entity, Graphitti, Marker, ObjectId, ReferentId};
@@ -19,8 +31,9 @@ use ontology::{ConceptId, RelationType};
 use crate::ast::{
     ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
 };
-use crate::plan::Plan;
+use crate::plan::{Plan, SubQueryKind};
 use crate::result::{QueryResult, ResultPage};
+use crate::setops;
 
 /// The query executor, borrowing a [`Graphitti`] system immutably.
 pub struct Executor<'g> {
@@ -35,160 +48,143 @@ impl<'g> Executor<'g> {
 
     /// Build the plan for a query without executing it (for EXPLAIN-style inspection).
     pub fn plan(&self, query: &Query) -> Plan {
-        Plan::build(query)
+        Plan::build(query, self.system)
     }
 
     /// Execute a query and return its result.
+    ///
+    /// Subqueries run in the plan's selectivity order: the first subquery of each
+    /// family (annotation-producing: content / ontology; referent-producing: referent)
+    /// seeds that family's candidate set from the indexes, and every later subquery
+    /// verifies the candidates in place.
     pub fn run(&self, query: &Query) -> QueryResult {
-        let plan = Plan::build(query);
-        // The plan's order guides which subquery drives; for correctness we compute all
-        // candidate sets (they are ANDed) and then collate. Ordering affects cost, not
-        // the result set.
-        let _ = &plan;
+        let plan = Plan::build(query, self.system);
 
-        // Evaluate annotation-producing subqueries (content ∩ ontology).
-        let content_anns = self.eval_content(query);
-        let (onto_anns, onto_concepts) = self.eval_ontology(query);
+        // The `MinRegionCount` constraint counts regions "annotated with term T" by the
+        // *ontology* conditions alone; when the query also has content filters that set
+        // differs from `ann_cands`, so keep each ontology filter's qualifying set as the
+        // pipeline computes it (no other constraint kind consumes it).
+        let needs_onto_only = !query.ontology.is_empty()
+            && !query.content.is_empty()
+            && query
+                .constraints
+                .iter()
+                .any(|c| matches!(c, GraphConstraint::MinRegionCount { .. }));
+        let mut onto_sets: Vec<Option<Vec<AnnotationId>>> = vec![None; query.ontology.len()];
 
-        let annotation_candidates = intersect_opt(content_anns, onto_anns.clone());
+        // Candidate sets, sorted and deduplicated. `None` = family unconstrained.
+        let mut ann_cands: Option<Vec<AnnotationId>> = None;
+        let mut ref_cands: Option<Vec<ReferentId>> = None;
 
-        // Evaluate referent-producing subqueries.
-        let referent_candidates = self.eval_referents(query);
-
-        // Collate into qualifying objects / annotations / referents, applying graph
-        // constraints, then build result pages. The ontology-only annotation set is
-        // passed separately so constraints like "N regions annotated with term T" count
-        // regions by the ontology condition, not by the (stricter) content filter.
-        self.collate(query, annotation_candidates, referent_candidates, onto_anns, &onto_concepts)
-    }
-
-    // --- subquery evaluation ---
-
-    /// Evaluate content filters. Returns `None` when there are none (unconstrained),
-    /// else the set of annotation ids whose content satisfies *all* filters.
-    fn eval_content(&self, query: &Query) -> Option<HashSet<AnnotationId>> {
-        if query.content.is_empty() {
-            return None;
-        }
-        let store = self.system.content_store();
-        // map from doc id to annotation id
-        let doc_to_ann: HashMap<_, _> = self
-            .system
-            .annotations()
-            .iter()
-            .map(|a| (a.doc_id, a.id))
-            .collect();
-
-        let mut acc: Option<HashSet<AnnotationId>> = None;
-        for filter in &query.content {
-            let matching: HashSet<AnnotationId> = match filter {
-                ContentFilter::Phrase(p) => store
-                    .containing_phrase(p)
-                    .into_iter()
-                    .filter_map(|d| doc_to_ann.get(&d).copied())
-                    .collect(),
-                ContentFilter::Keywords(ks) => {
-                    let refs: Vec<&str> = ks.iter().map(String::as_str).collect();
-                    store
-                        .with_all_keywords(&refs)
-                        .into_iter()
-                        .filter_map(|d| doc_to_ann.get(&d).copied())
-                        .collect()
+        for sub in &plan.order {
+            match sub.kind {
+                SubQueryKind::Content => {
+                    let f = &query.content[sub.index];
+                    ann_cands = Some(match ann_cands.take() {
+                        None => self.seed_content(f),
+                        Some(c) if c.is_empty() => c,
+                        Some(c) => self.verify_content(c, f),
+                    });
                 }
-                ContentFilter::Path(expr) => store
-                    .select(expr)
-                    .into_iter()
-                    .filter_map(|d| doc_to_ann.get(&d).copied())
-                    .collect(),
-            };
-            acc = Some(match acc {
-                None => matching,
-                Some(prev) => prev.intersection(&matching).copied().collect(),
-            });
-        }
-        acc
-    }
-
-    /// Evaluate ontology filters. Returns the annotation set (annotations citing a
-    /// qualifying term) and the expanded set of qualifying concepts.
-    fn eval_ontology(&self, query: &Query) -> (Option<HashSet<AnnotationId>>, HashSet<ConceptId>) {
-        if query.ontology.is_empty() {
-            return (None, HashSet::new());
-        }
-        let onto = self.system.ontology();
-        let mut all_concepts: HashSet<ConceptId> = HashSet::new();
-        let mut acc: Option<HashSet<AnnotationId>> = None;
-
-        for filter in &query.ontology {
-            let qualifying_concepts: HashSet<ConceptId> = match filter {
-                OntologyFilter::CitesTerm(c) => {
-                    let mut s = HashSet::new();
-                    s.insert(*c);
-                    s
-                }
-                OntologyFilter::InClass { concept, relations } => {
-                    let rels: Vec<RelationType> = if relations.is_empty() {
-                        vec![RelationType::IsA, RelationType::PartOf]
-                    } else {
-                        relations.clone()
-                    };
-                    // the class expands to the concept plus everything under it
-                    let mut s: HashSet<ConceptId> = HashSet::new();
-                    for r in &rels {
-                        for c in onto.subtree(*concept, r) {
-                            s.insert(c);
+                SubQueryKind::Ontology => {
+                    let f = &query.ontology[sub.index];
+                    ann_cands = Some(match ann_cands.take() {
+                        None => {
+                            let set = self.qualifying_annotations(f);
+                            if needs_onto_only {
+                                onto_sets[sub.index] = Some(set.clone());
+                            }
+                            set
                         }
-                    }
-                    s.insert(*concept);
-                    s
+                        Some(c) if c.is_empty() => c,
+                        Some(c) => {
+                            let set = self.qualifying_annotations(f);
+                            let narrowed = setops::intersect_sorted(&c, &set);
+                            if needs_onto_only {
+                                onto_sets[sub.index] = Some(set);
+                            }
+                            narrowed
+                        }
+                    });
                 }
-            };
-            all_concepts.extend(&qualifying_concepts);
-
-            // annotations citing any qualifying concept
-            let anns: HashSet<AnnotationId> = self
-                .system
-                .annotations()
-                .iter()
-                .filter(|a| a.terms.iter().any(|t| qualifying_concepts.contains(t)))
-                .map(|a| a.id)
-                .collect();
-            acc = Some(match acc {
-                None => anns,
-                Some(prev) => prev.intersection(&anns).copied().collect(),
-            });
+                SubQueryKind::Referent => {
+                    let f = &query.referents[sub.index];
+                    ref_cands = Some(match ref_cands.take() {
+                        None => self.seed_referents(f),
+                        Some(c) if c.is_empty() => c,
+                        Some(c) => self.verify_referents(c, f),
+                    });
+                }
+            }
         }
-        (acc, all_concepts)
+
+        // Intersect the cached per-filter sets into the ontology-only annotation set;
+        // filters the pipeline short-circuited past (empty candidates) are filled in
+        // from their postings here.
+        let constraint_anns: Option<Vec<AnnotationId>> = if needs_onto_only {
+            let mut acc: Option<Vec<AnnotationId>> = None;
+            for (i, f) in query.ontology.iter().enumerate() {
+                let set = onto_sets[i]
+                    .take()
+                    .unwrap_or_else(|| self.qualifying_annotations(f));
+                acc = Some(match acc {
+                    None => set,
+                    Some(prev) => setops::intersect_sorted(&prev, &set),
+                });
+            }
+            acc
+        } else {
+            None
+        };
+
+        Collator::new(self.system).collate(query, ann_cands, ref_cands, constraint_anns)
     }
 
-    /// Evaluate referent filters. Returns `None` when there are none, else the set of
-    /// referent ids satisfying *all* filters.
-    fn eval_referents(&self, query: &Query) -> Option<HashSet<ReferentId>> {
-        if query.referents.is_empty() {
-            return None;
-        }
-        let mut acc: Option<HashSet<ReferentId>> = None;
-        for filter in &query.referents {
-            let matching: HashSet<ReferentId> = self.eval_one_referent_filter(filter);
-            acc = Some(match acc {
-                None => matching,
-                Some(prev) => prev.intersection(&matching).copied().collect(),
-            });
-        }
-        acc
+    // --- seed: first subquery of a family, answered wholly from an index ---
+
+    /// Annotations whose content matches a filter, mapped back through the persistent
+    /// `doc → annotation` index (no per-query map rebuild).
+    fn seed_content(&self, filter: &ContentFilter) -> Vec<AnnotationId> {
+        let store = self.system.content_store();
+        let idx = self.system.indexes();
+        let docs = match filter {
+            ContentFilter::Phrase(p) => store.containing_phrase(p),
+            ContentFilter::Keywords(ks) => {
+                let refs: Vec<&str> = ks.iter().map(String::as_str).collect();
+                store.with_all_keywords(&refs)
+            }
+            ContentFilter::Path(expr) => store.select(expr),
+        };
+        let mut anns: Vec<AnnotationId> =
+            docs.into_iter().filter_map(|d| idx.annotation_of_doc(d)).collect();
+        anns.sort_unstable();
+        anns.dedup();
+        anns
     }
 
-    fn eval_one_referent_filter(&self, filter: &ReferentFilter) -> HashSet<ReferentId> {
+    /// The sorted set of annotations citing any concept qualifying under an ontology
+    /// filter — a union of term posting lists.
+    fn qualifying_annotations(&self, filter: &OntologyFilter) -> Vec<AnnotationId> {
+        let idx = self.system.indexes();
         match filter {
-            ReferentFilter::OfType(t) => self
-                .system
-                .referents()
-                .iter()
-                .filter(|r| self.system.object(r.object).map(|o| o.data_type == *t).unwrap_or(false))
-                .map(|r| r.id)
-                .collect(),
+            OntologyFilter::CitesTerm(c) => idx.annotations_citing(*c).to_vec(),
+            OntologyFilter::InClass { concept, relations } => {
+                let concepts = expand_class(self.system.ontology(), *concept, relations);
+                let postings: Vec<&[AnnotationId]> =
+                    concepts.iter().map(|&c| idx.annotations_citing(c)).collect();
+                setops::union_sorted(&postings)
+            }
+        }
+    }
+
+    /// Referents matching a filter, answered from the matching index: type postings,
+    /// interval tree, R-tree or block postings.
+    fn seed_referents(&self, filter: &ReferentFilter) -> Vec<ReferentId> {
+        let idx = self.system.indexes();
+        let mut out: Vec<ReferentId> = match filter {
+            ReferentFilter::OfType(t) => idx.referents_of_type(*t).to_vec(),
             ReferentFilter::IntervalOverlaps { domain, interval } => match domain {
-                Some(d) => self.system.overlapping_intervals(d, *interval).into_iter().collect(),
+                Some(d) => self.system.overlapping_intervals(d, *interval),
                 None => self
                     .system
                     .intervals()
@@ -198,7 +194,7 @@ impl<'g> Executor<'g> {
                     .collect(),
             },
             ReferentFilter::RegionOverlaps { system, rect } => match system {
-                Some(s) => self.system.overlapping_regions(s, *rect).into_iter().collect(),
+                Some(s) => self.system.overlapping_regions(s, *rect),
                 None => self
                     .system
                     .spatial()
@@ -208,101 +204,180 @@ impl<'g> Executor<'g> {
                     .collect(),
             },
             ReferentFilter::BlockContains(ids) => {
-                let want: HashSet<u64> = ids.iter().copied().collect();
-                self.system
-                    .referents()
-                    .iter()
-                    .filter(|r| match &r.marker {
-                        Marker::BlockSet(set) => set.iter().any(|id| want.contains(id)),
-                        _ => false,
-                    })
-                    .map(|r| r.id)
-                    .collect()
+                let postings: Vec<&[ReferentId]> =
+                    ids.iter().map(|&id| idx.referents_with_block(id)).collect();
+                setops::union_sorted(&postings)
             }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    // --- verify: later subqueries probe surviving candidates in place ---
+
+    /// Keep only the candidate annotations whose content document satisfies the filter
+    /// (per-document index probes, no set materialisation).
+    fn verify_content(&self, cands: Vec<AnnotationId>, filter: &ContentFilter) -> Vec<AnnotationId> {
+        let store = self.system.content_store();
+        let keyword_refs: Vec<&str> = match filter {
+            ContentFilter::Keywords(ks) => ks.iter().map(String::as_str).collect(),
+            _ => Vec::new(),
+        };
+        cands
+            .into_iter()
+            .filter(|&aid| {
+                let Some(ann) = self.system.annotation(aid) else { return false };
+                match filter {
+                    ContentFilter::Phrase(p) => store.doc_contains_phrase(ann.doc_id, p),
+                    ContentFilter::Keywords(_) => {
+                        store.doc_has_all_keywords(ann.doc_id, &keyword_refs)
+                    }
+                    ContentFilter::Path(expr) => store.doc_matches(ann.doc_id, expr),
+                }
+            })
+            .collect()
+    }
+
+    /// Keep only the candidate referents satisfying the filter, using `O(1)` marker /
+    /// domain checks per candidate.
+    fn verify_referents(&self, cands: Vec<ReferentId>, filter: &ReferentFilter) -> Vec<ReferentId> {
+        cands
+            .into_iter()
+            .filter(|&rid| self.referent_matches(rid, filter))
+            .collect()
+    }
+
+    /// Whether one referent satisfies a referent filter.  Mirrors the semantics of the
+    /// index searches in [`Self::seed_referents`] exactly (the interval tree and R-tree
+    /// both report `if_overlap` hits).
+    fn referent_matches(&self, rid: ReferentId, filter: &ReferentFilter) -> bool {
+        let Some(r) = self.system.referent(rid) else { return false };
+        match filter {
+            ReferentFilter::OfType(t) => self
+                .system
+                .object(r.object)
+                .map(|o| o.data_type == *t)
+                .unwrap_or(false),
+            ReferentFilter::IntervalOverlaps { domain, interval } => {
+                if domain.as_deref().is_some_and(|d| d != r.domain) {
+                    return false;
+                }
+                matches!(&r.marker, Marker::Interval(iv) if iv.if_overlap(interval))
+            }
+            ReferentFilter::RegionOverlaps { system, rect } => {
+                if system.as_deref().is_some_and(|s| s != r.domain) {
+                    return false;
+                }
+                matches!(&r.marker, Marker::Region(rr) | Marker::Volume(rr) if rr.if_overlap(rect))
+            }
+            ReferentFilter::BlockContains(ids) => match &r.marker {
+                Marker::BlockSet(set) => set.iter().any(|id| ids.contains(id)),
+                _ => false,
+            },
         }
     }
 
-    // --- collation ---
+}
 
-    fn collate(
+/// Collation: the shared back half of query execution.  Takes the pruned candidate
+/// sets, narrows them against each other, applies graph constraints, and builds result
+/// pages by connecting the witnesses through the a-graph.  Used by both the pipelined
+/// [`Executor`] and the scan-all [`crate::reference::ReferenceExecutor`], so the two
+/// can only differ in how candidates are *found*, never in how they are collated.
+pub(crate) struct Collator<'g> {
+    system: &'g Graphitti,
+}
+
+impl<'g> Collator<'g> {
+    pub(crate) fn new(system: &'g Graphitti) -> Self {
+        Collator { system }
+    }
+
+    /// Collate candidate sets into a [`QueryResult`].
+    ///
+    /// * `ann_cands` — sorted annotations satisfying all content + ontology filters
+    ///   (`None` = unconstrained).
+    /// * `ref_cands` — sorted referents satisfying all referent filters.
+    /// * `constraint_anns` — sorted annotations satisfying the *ontology* filters only,
+    ///   used by constraints like "N regions annotated with term T"; `None` means the
+    ///   resolved annotation set already has that meaning.
+    pub(crate) fn collate(
         &self,
         query: &Query,
-        annotation_candidates: Option<HashSet<AnnotationId>>,
-        referent_candidates: Option<HashSet<ReferentId>>,
-        onto_anns: Option<HashSet<AnnotationId>>,
-        _onto_concepts: &HashSet<ConceptId>,
+        ann_cands: Option<Vec<AnnotationId>>,
+        ref_cands: Option<Vec<ReferentId>>,
+        constraint_anns: Option<Vec<AnnotationId>>,
     ) -> QueryResult {
         // Resolve the effective annotation set.
-        let annotations: Vec<AnnotationId> = match annotation_candidates {
-            Some(set) => sorted_vec(set),
-            None => self.system.annotations().iter().map(|a| a.id).collect(),
+        let annotations: Vec<AnnotationId> = match ann_cands {
+            Some(set) => set,
+            None => (0..self.system.annotation_count() as u64).map(AnnotationId).collect(),
         };
 
-        // Referents: either the explicit candidates, or (when none) all referents of the
-        // qualifying annotations.
-        let referents: Vec<ReferentId> = match &referent_candidates {
+        // Referents: either the explicit candidates narrowed to those linked from a
+        // qualifying annotation, or (when unconstrained) all referents of the
+        // qualifying annotations.  Neighbor expansion starts from the *pruned*
+        // annotation set, so this is O(candidates), not O(corpus).
+        let referents: Vec<ReferentId> = match &ref_cands {
             Some(set) => {
-                // keep only those linked to a qualifying annotation if annotation set is
-                // constrained
                 if query.content.is_empty() && query.ontology.is_empty() {
-                    sorted_vec(set.clone())
+                    set.clone()
                 } else {
-                    let ann_set: HashSet<AnnotationId> = annotations.iter().copied().collect();
-                    let mut out = BTreeSet::new();
+                    let mut out: Vec<ReferentId> = Vec::new();
                     for &aid in &annotations {
                         if let Some(a) = self.system.annotation(aid) {
                             for &rid in &a.referents {
-                                if set.contains(&rid) {
-                                    out.insert(rid);
+                                if setops::contains_sorted(set, &rid) {
+                                    out.push(rid);
                                 }
                             }
                         }
                     }
-                    let _ = ann_set;
-                    out.into_iter().collect()
+                    out.sort_unstable();
+                    out.dedup();
+                    out
                 }
             }
             None => {
-                let mut out = BTreeSet::new();
+                let mut out: Vec<ReferentId> = Vec::new();
                 for &aid in &annotations {
                     if let Some(a) = self.system.annotation(aid) {
                         out.extend(a.referents.iter().copied());
                     }
                 }
-                out.into_iter().collect()
+                out.sort_unstable();
+                out.dedup();
+                out
             }
         };
 
         // Objects involved.
-        let mut objects: BTreeSet<ObjectId> = BTreeSet::new();
+        let mut objects: Vec<ObjectId> = Vec::new();
         for &rid in &referents {
             if let Some(r) = self.system.referent(rid) {
-                objects.insert(r.object);
+                objects.push(r.object);
             }
         }
+        objects.sort_unstable();
+        objects.dedup();
 
-        // The annotation set used to decide whether a referent is "annotated with term
-        // T": the ontology-only set when the query has ontology filters, otherwise the
-        // primary annotation set.
-        let constraint_anns: Vec<AnnotationId> = match &onto_anns {
-            Some(set) => sorted_vec(set.clone()),
+        let constraint_anns: Vec<AnnotationId> = match constraint_anns {
+            Some(set) => set,
             None => annotations.clone(),
         };
 
-        // Apply graph constraints, narrowing objects / annotations.
-        let mut objects: Vec<ObjectId> = objects.into_iter().collect();
+        // Apply graph constraints, narrowing objects.
         for c in &query.constraints {
             objects = self.apply_constraint(c, &objects, &annotations, &constraint_anns, &referents);
         }
 
         // Build result pages: one connection subgraph per connected witness component.
-        let pages = self.build_pages(&annotations, &referents, &objects, query);
+        let pages = self.build_pages(&annotations, &referents, &objects);
 
         // Flat result lists depend on the target.
         let (flat_anns, flat_refs, flat_objs) = match query.target {
             Target::AnnotationContents => {
-                // annotations whose witness survived (those attached to surviving objects,
-                // or all qualifying annotations when no referent/constraint narrowing)
                 let surviving = self.annotations_touching_objects(&annotations, &objects, query);
                 (surviving, Vec::new(), objects.clone())
             }
@@ -325,7 +400,6 @@ impl<'g> Executor<'g> {
         if query.referents.is_empty() && query.constraints.is_empty() {
             return annotations.to_vec();
         }
-        let obj_set: HashSet<ObjectId> = objects.iter().copied().collect();
         annotations
             .iter()
             .copied()
@@ -336,7 +410,7 @@ impl<'g> Executor<'g> {
                         a.referents.iter().any(|&rid| {
                             self.system
                                 .referent(rid)
-                                .map(|r| obj_set.contains(&r.object))
+                                .map(|r| setops::contains_sorted(objects, &r.object))
                                 .unwrap_or(false)
                         })
                     })
@@ -346,14 +420,13 @@ impl<'g> Executor<'g> {
     }
 
     fn referents_on_objects(&self, referents: &[ReferentId], objects: &[ObjectId]) -> Vec<ReferentId> {
-        let obj_set: HashSet<ObjectId> = objects.iter().copied().collect();
         referents
             .iter()
             .copied()
             .filter(|&rid| {
                 self.system
                     .referent(rid)
-                    .map(|r| obj_set.contains(&r.object))
+                    .map(|r| setops::contains_sorted(objects, &r.object))
                     .unwrap_or(false)
             })
             .collect()
@@ -367,22 +440,19 @@ impl<'g> Executor<'g> {
         constraint_anns: &[AnnotationId],
         referents: &[ReferentId],
     ) -> Vec<ObjectId> {
-        let ann_set: HashSet<AnnotationId> = annotations.iter().copied().collect();
-        let constraint_ann_set: HashSet<AnnotationId> = constraint_anns.iter().copied().collect();
-        let ref_set: HashSet<ReferentId> = referents.iter().copied().collect();
         match constraint {
             GraphConstraint::ConsecutiveIntervals { count, max_gap } => objects
                 .iter()
                 .copied()
                 .filter(|&obj| {
-                    self.has_consecutive_intervals(obj, *count, *max_gap, &ann_set, &ref_set)
+                    self.has_consecutive_intervals(obj, *count, *max_gap, annotations, referents)
                 })
                 .collect(),
             GraphConstraint::MinRegionCount { count, within, system } => objects
                 .iter()
                 .copied()
                 .filter(|&obj| {
-                    self.region_count_on_object(obj, *within, system, &constraint_ann_set) >= *count
+                    self.region_count_on_object(obj, *within, system, constraint_anns) >= *count
                 })
                 .collect(),
             GraphConstraint::PathExists { max_len } => {
@@ -404,13 +474,13 @@ impl<'g> Executor<'g> {
         object: ObjectId,
         count: usize,
         max_gap: u64,
-        ann_set: &HashSet<AnnotationId>,
-        ref_set: &HashSet<ReferentId>,
+        ann_set: &[AnnotationId],
+        ref_set: &[ReferentId],
     ) -> bool {
         // collect qualifying interval referents on this object
         let mut intervals: Vec<Interval> = Vec::new();
         for rid in self.system.referents_of_object(object) {
-            if !ref_set.is_empty() && !ref_set.contains(&rid) {
+            if !ref_set.is_empty() && !setops::contains_sorted(ref_set, &rid) {
                 continue;
             }
             // must be annotated by a qualifying annotation
@@ -418,7 +488,7 @@ impl<'g> Executor<'g> {
                 .system
                 .annotations_of_referent(rid)
                 .iter()
-                .any(|a| ann_set.contains(a));
+                .any(|a| setops::contains_sorted(ann_set, a));
             if !annotated {
                 continue;
             }
@@ -436,7 +506,7 @@ impl<'g> Executor<'g> {
         object: ObjectId,
         within: spatial_index::Rect,
         _system: &str,
-        ann_set: &HashSet<AnnotationId>,
+        ann_set: &[AnnotationId],
     ) -> usize {
         let mut count = 0;
         for rid in self.system.referents_of_object(object) {
@@ -444,7 +514,7 @@ impl<'g> Executor<'g> {
                 .system
                 .annotations_of_referent(rid)
                 .iter()
-                .any(|a| ann_set.contains(a));
+                .any(|a| setops::contains_sorted(ann_set, a));
             if !annotated {
                 continue;
             }
@@ -480,21 +550,19 @@ impl<'g> Executor<'g> {
         annotations: &[AnnotationId],
         referents: &[ReferentId],
         objects: &[ObjectId],
-        _query: &Query,
     ) -> Vec<ResultPage> {
         // Gather all witness node ids.
         let mut nodes: Vec<NodeId> = Vec::new();
-        let obj_set: HashSet<ObjectId> = objects.iter().copied().collect();
 
         // Keep only referents/annotations touching surviving objects (when objects are
         // constrained).
         let keep_ref = |rid: ReferentId| -> bool {
-            if obj_set.is_empty() {
+            if objects.is_empty() {
                 true
             } else {
                 self.system
                     .referent(rid)
-                    .map(|r| obj_set.contains(&r.object))
+                    .map(|r| setops::contains_sorted(objects, &r.object))
                     .unwrap_or(false)
             }
         };
@@ -502,7 +570,7 @@ impl<'g> Executor<'g> {
         for &aid in annotations {
             // include the annotation only if it touches a surviving object (or no object
             // constraint is active)
-            let touches = obj_set.is_empty()
+            let touches = objects.is_empty()
                 || self
                     .system
                     .annotation(aid)
@@ -535,62 +603,65 @@ impl<'g> Executor<'g> {
         }
         nodes.sort();
         nodes.dedup();
+        nodes.retain(|&n| self.system.agraph().node_alive(n));
         if nodes.is_empty() {
             return Vec::new();
         }
 
-        // Build the induced subgraph, then split into connected components — each is a
-        // result page.
-        let induced = Subgraph::induced(self.system.agraph(), nodes.iter().copied());
-        let components = self.components_of(&induced);
-        components
-            .into_iter()
-            .map(|comp| self.page_from_nodes(comp))
-            .filter(|p| !p.subgraph.subgraph.is_empty())
-            .collect()
-    }
-
-    /// Weakly connected components of an induced subgraph, restricted to its own nodes.
-    fn components_of(&self, sub: &Subgraph) -> Vec<Vec<NodeId>> {
-        let node_set: HashSet<NodeId> = sub.nodes.iter().copied().collect();
-        // adjacency within the subgraph
-        let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        for &e in &sub.edges {
-            if let Some(rec) = self.system.agraph().edge(e) {
-                adj.entry(rec.from).or_default().push(rec.to);
-                adj.entry(rec.to).or_default().push(rec.from);
-            }
-        }
-        let mut seen: HashSet<NodeId> = HashSet::new();
-        let mut comps = Vec::new();
-        for &start in &sub.nodes {
-            if seen.contains(&start) {
-                continue;
-            }
-            let mut stack = vec![start];
-            let mut comp = Vec::new();
-            while let Some(n) = stack.pop() {
-                if !seen.insert(n) {
-                    continue;
-                }
-                comp.push(n);
-                if let Some(neighbors) = adj.get(&n) {
-                    for &m in neighbors {
-                        if node_set.contains(&m) && !seen.contains(&m) {
-                            stack.push(m);
-                        }
+        // Induce the witness subgraph ONCE: an edge is internal when both endpoints are
+        // witness nodes (binary search on the sorted node list — no hashing).  Union
+        // internal edges to find weakly connected components, then partition nodes and
+        // edges per component in a single pass.  Each component is one result page; the
+        // page's subgraph is exactly the induced subgraph of its nodes, so no per-page
+        // re-induction is needed.
+        let agraph = self.system.agraph();
+        let mut edges: Vec<(agraph::EdgeId, usize, usize)> = Vec::new();
+        let mut dsu = Dsu::new(nodes.len());
+        for (i, &n) in nodes.iter().enumerate() {
+            for &e in agraph.out_edges(n) {
+                if let Some(rec) = agraph.edge(e) {
+                    if let Ok(j) = nodes.binary_search(&rec.to) {
+                        edges.push((e, i, j));
+                        dsu.union(i, j);
                     }
                 }
             }
-            comp.sort();
-            comps.push(comp);
         }
-        comps
+
+        // Components keyed by their minimal node (nodes are sorted, so the first node
+        // seen for a root is the minimum): pages come out ordered by smallest node id,
+        // matching a DFS over the sorted node list.
+        let mut comp_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut comp_nodes: Vec<Vec<NodeId>> = Vec::new();
+        let mut node_comp: Vec<usize> = vec![0; nodes.len()];
+        for (i, &n) in nodes.iter().enumerate() {
+            let root = dsu.find(i);
+            let c = *comp_of_root.entry(root).or_insert_with(|| {
+                comp_nodes.push(Vec::new());
+                comp_nodes.len() - 1
+            });
+            comp_nodes[c].push(n);
+            node_comp[i] = c;
+        }
+        let mut comp_edges: Vec<Vec<agraph::EdgeId>> = vec![Vec::new(); comp_nodes.len()];
+        for (e, i, _) in edges {
+            comp_edges[node_comp[i]].push(e);
+        }
+
+        comp_nodes
+            .into_iter()
+            .zip(comp_edges)
+            .map(|(nodes, mut edges)| {
+                edges.sort_unstable();
+                edges.dedup();
+                self.page_from_component(nodes, edges)
+            })
+            .collect()
     }
 
-    fn page_from_nodes(&self, nodes: Vec<NodeId>) -> ResultPage {
-        let subgraph = Subgraph::induced(self.system.agraph(), nodes.iter().copied());
-        let terminals = nodes.clone();
+    /// Assemble one result page from a connected component's (sorted) nodes and its
+    /// internal edges.
+    fn page_from_component(&self, nodes: Vec<NodeId>, edges: Vec<agraph::EdgeId>) -> ResultPage {
         let mut annotations = Vec::new();
         let mut referents = Vec::new();
         let mut objects = Vec::new();
@@ -605,7 +676,10 @@ impl<'g> Executor<'g> {
             }
         }
         ResultPage {
-            subgraph: agraph::ConnectionSubgraph { terminals, subgraph },
+            subgraph: agraph::ConnectionSubgraph {
+                terminals: nodes.clone(),
+                subgraph: Subgraph { nodes, edges },
+            },
             annotations,
             referents,
             objects,
@@ -614,10 +688,69 @@ impl<'g> Executor<'g> {
     }
 }
 
+/// A small union-find (path halving + union by size) over dense indices, used to split
+/// the witness subgraph into connected components without hashing.
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// Expand an ontology class to the sorted set of qualifying concepts: the concept plus
+/// everything under it by the given relations (is-a + part-of when unspecified).  The
+/// single definition of "in class" shared by the executor, the planner's cardinality
+/// estimator and the reference executor — so the three can never disagree on which
+/// terms a class covers.
+pub(crate) fn expand_class(
+    onto: &ontology::Ontology,
+    concept: ConceptId,
+    relations: &[RelationType],
+) -> Vec<ConceptId> {
+    let rels: &[RelationType] = if relations.is_empty() {
+        &[RelationType::IsA, RelationType::PartOf]
+    } else {
+        relations
+    };
+    let mut out: Vec<ConceptId> = Vec::new();
+    for r in rels {
+        out.extend(onto.subtree(concept, r));
+    }
+    out.push(concept);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// Length of the longest chain of consecutive, non-overlapping intervals (within
 /// `max_gap`) obtainable from the given set. Greedy after sorting by start then end —
 /// which is optimal for interval chaining by earliest finish.
-fn longest_consecutive_chain(intervals: &mut [Interval], max_gap: u64) -> usize {
+pub(crate) fn longest_consecutive_chain(intervals: &mut [Interval], max_gap: u64) -> usize {
     if intervals.is_empty() {
         return 0;
     }
@@ -639,26 +772,10 @@ fn longest_consecutive_chain(intervals: &mut [Interval], max_gap: u64) -> usize 
     best
 }
 
-fn intersect_opt<T: Eq + std::hash::Hash + Clone>(
-    a: Option<HashSet<T>>,
-    b: Option<HashSet<T>>,
-) -> Option<HashSet<T>> {
-    match (a, b) {
-        (None, None) => None,
-        (Some(s), None) | (None, Some(s)) => Some(s),
-        (Some(x), Some(y)) => Some(x.intersection(&y).cloned().collect()),
-    }
-}
-
-fn sorted_vec<T: Ord>(set: HashSet<T>) -> Vec<T> {
-    let mut v: Vec<T> = set.into_iter().collect();
-    v.sort();
-    v
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceExecutor;
     use graphitti_core::{DataType, Marker};
 
     fn seq_system() -> (Graphitti, ObjectId) {
@@ -765,6 +882,69 @@ mod tests {
                 system: "cs25".into(),
             });
         assert!(Executor::new(&sys).run(&q3).objects.is_empty());
+    }
+
+    #[test]
+    fn mixed_content_and_ontology_constraint_uses_ontology_only_set() {
+        // The constraint "N regions annotated with term T" must count regions by the
+        // ontology condition, not by the (stricter) content filter.
+        let mut sys = Graphitti::new();
+        let img = sys.register_image("brain", 1000, 1000, "confocal", "cs25");
+        let dcn = sys.ontology_mut().add_concept("DCN");
+        // one region carries the phrase AND the term; a second only the term
+        sys.annotate()
+            .comment("protein TP53 found here")
+            .mark(img, Marker::region(0.0, 0.0, 50.0, 50.0))
+            .cite_term(dcn)
+            .commit()
+            .unwrap();
+        sys.annotate()
+            .comment("plain region")
+            .mark(img, Marker::region(100.0, 0.0, 150.0, 50.0))
+            .cite_term(dcn)
+            .commit()
+            .unwrap();
+        let big = spatial_index::Rect::rect2(0.0, 0.0, 1000.0, 1000.0);
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_phrase("protein TP53")
+            .with_ontology(OntologyFilter::CitesTerm(dcn))
+            .with_constraint(GraphConstraint::MinRegionCount {
+                count: 2,
+                within: big,
+                system: "cs25".into(),
+            });
+        // both regions cite the term, so the constraint passes even though only one
+        // matches the phrase
+        let res = Executor::new(&sys).run(&q);
+        assert_eq!(res.objects, vec![img]);
+        let reference = ReferenceExecutor::new(&sys).run(&q);
+        assert_eq!(res, reference);
+    }
+
+    #[test]
+    fn pipelined_seeds_from_most_selective_family_member() {
+        // Regardless of which family member seeds, results must match the reference.
+        let (mut sys, seq) = seq_system();
+        let rare = sys.ontology_mut().add_concept("Rare");
+        let common = sys.ontology_mut().add_concept("Common");
+        for i in 0..10u64 {
+            let mut b = sys
+                .annotate()
+                .comment(if i == 3 { "needle phrase" } else { "haystack text" })
+                .mark(seq, Marker::interval(i * 100, i * 100 + 40))
+                .cite_term(common);
+            if i == 3 {
+                b = b.cite_term(rare);
+            }
+            b.commit().unwrap();
+        }
+        let q = Query::new(Target::AnnotationContents)
+            .with_phrase("haystack")
+            .with_ontology(OntologyFilter::CitesTerm(rare));
+        let res = Executor::new(&sys).run(&q);
+        let reference = ReferenceExecutor::new(&sys).run(&q);
+        assert_eq!(res, reference);
+        assert!(res.annotations.is_empty()); // rare ann says "needle", not "haystack"
     }
 
     #[test]

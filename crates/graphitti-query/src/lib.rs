@@ -14,9 +14,16 @@
 //!
 //! * [`ast`] — the query model: a [`ast::Query`] is a target plus content, referent and
 //!   ontology subqueries and graph constraints;
-//! * [`plan`] — subquery separation and feasible (selectivity-based) ordering;
-//! * [`exec`] — the executor that evaluates ordered subqueries and collates partial
-//!   results by connecting them through the a-graph;
+//! * [`plan`] — subquery separation and feasible ordering, with selectivity estimated
+//!   from the system's live statistics ([`graphitti_core::Stats`]);
+//! * [`exec`] — the plan-driven pipelined executor: the most selective subquery seeds
+//!   the candidate set from a persistent inverted index, later subqueries verify the
+//!   survivors by membership probes, and collation connects the pruned set through the
+//!   a-graph;
+//! * [`setops`] — sorted candidate-set operations (galloping intersection, membership
+//!   probes, posting-list union);
+//! * [`reference`] — the scan-and-intersect reference executor: the correctness oracle
+//!   for randomized equivalence tests and the index-free ablation baseline;
 //! * [`result`] — the result model: connection subgraphs organised into result pages;
 //! * [`parse`] — a small textual query DSL producing a [`ast::Query`].
 //!
@@ -27,7 +34,9 @@ pub mod ast;
 pub mod exec;
 pub mod parse;
 pub mod plan;
+pub mod reference;
 pub mod result;
+pub mod setops;
 
 pub use ast::{
     ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
@@ -35,4 +44,5 @@ pub use ast::{
 pub use exec::Executor;
 pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};
+pub use reference::ReferenceExecutor;
 pub use result::{QueryResult, ResultPage};

@@ -4,7 +4,21 @@
 //! elements, finding a feasible order among these subqueries".  This module turns a
 //! [`Query`] into a [`Plan`]: a list of [`SubQuery`]s, each tagged with its data-element
 //! kind, sorted by estimated selectivity so that the most selective subquery runs first
-//! and prunes the candidate set before the less selective ones are evaluated.
+//! and *seeds* the candidate set, while every later subquery merely *verifies* the
+//! surviving candidates (see [`crate::exec`] for the seed → verify → collate pipeline).
+//!
+//! Selectivity is estimated from the system's live statistics — document frequencies in
+//! the content store's keyword index, per-term citation counts, per-type / per-domain
+//! referent counts from [`graphitti_core::Stats`] — not from hard-coded guesses.  Each
+//! estimate is the fraction of the subquery family's universe (annotations for content /
+//! ontology subqueries, referents for referent subqueries) that the subquery is expected
+//! to keep, computed as `estimated_rows / universe`.  The estimates are upper bounds
+//! (e.g. a phrase can match at most the documents containing its rarest token), which
+//! is exactly what ordering needs: a subquery with a small upper bound is guaranteed
+//! to produce a small seed set.
+
+use graphitti_core::Graphitti;
+use xmlstore::{NameTest, PathExpr};
 
 use crate::ast::{ContentFilter, OntologyFilter, Query, ReferentFilter};
 
@@ -13,9 +27,9 @@ use crate::ast::{ContentFilter, OntologyFilter, Query, ReferentFilter};
 pub enum SubQueryKind {
     /// Annotation-content store (XML / keyword indexes).
     Content,
-    /// Referent indexes (interval trees / R-trees).
+    /// Referent indexes (interval trees / R-trees / block postings).
     Referent,
-    /// Ontology store.
+    /// Ontology store (term postings).
     Ontology,
 }
 
@@ -26,6 +40,8 @@ pub struct SubQuery {
     pub kind: SubQueryKind,
     /// Index of the filter within its family in the original query.
     pub index: usize,
+    /// Estimated number of rows (annotations or referents) the subquery matches.
+    pub estimated_rows: usize,
     /// Estimated selectivity in `[0, 1]`; smaller means more selective (runs earlier).
     pub selectivity: f64,
     /// A short human-readable description for the planner's explain output.
@@ -40,31 +56,40 @@ pub struct Plan {
 }
 
 impl Plan {
-    /// Build a plan from a query, separating and ordering its subqueries.
-    pub fn build(query: &Query) -> Plan {
+    /// Build a plan for a query over a concrete system, separating its subqueries and
+    /// ordering them by ascending estimated selectivity computed from the system's
+    /// live statistics.
+    pub fn build(query: &Query, system: &Graphitti) -> Plan {
+        let est = Estimator::new(system);
         let mut subs: Vec<SubQuery> = Vec::new();
 
         for (i, f) in query.content.iter().enumerate() {
+            let rows = est.content_rows(f);
             subs.push(SubQuery {
                 kind: SubQueryKind::Content,
                 index: i,
-                selectivity: content_selectivity(f),
+                estimated_rows: rows,
+                selectivity: est.fraction(rows, est.annotations),
                 description: content_desc(f),
             });
         }
         for (i, f) in query.referents.iter().enumerate() {
+            let rows = est.referent_rows(f);
             subs.push(SubQuery {
                 kind: SubQueryKind::Referent,
                 index: i,
-                selectivity: referent_selectivity(f),
+                estimated_rows: rows,
+                selectivity: est.fraction(rows, est.referents),
                 description: referent_desc(f),
             });
         }
         for (i, f) in query.ontology.iter().enumerate() {
+            let rows = est.ontology_rows(f);
             subs.push(SubQuery {
                 kind: SubQueryKind::Ontology,
                 index: i,
-                selectivity: ontology_selectivity(f),
+                estimated_rows: rows,
+                selectivity: est.fraction(rows, est.annotations),
                 description: ontology_desc(f),
             });
         }
@@ -84,7 +109,8 @@ impl Plan {
         self.order.iter().map(|s| s.kind).collect()
     }
 
-    /// The most selective subquery, if any (the "driving" subquery).
+    /// The most selective subquery, if any (the "driving" subquery that seeds the
+    /// candidate set).
     pub fn driver(&self) -> Option<&SubQuery> {
         self.order.first()
     }
@@ -94,55 +120,112 @@ impl Plan {
         let mut s = String::from("Plan (most selective first):\n");
         for (i, sub) in self.order.iter().enumerate() {
             s.push_str(&format!(
-                "  {}. [{:?}] {} (sel={:.3})\n",
+                "  {}. [{:?}] {} (sel={:.3}, ~{} rows)\n",
                 i + 1,
                 sub.kind,
                 sub.description,
-                sub.selectivity
+                sub.selectivity,
+                sub.estimated_rows,
             ));
         }
         s
     }
 }
 
-fn content_selectivity(f: &ContentFilter) -> f64 {
-    match f {
-        // a multi-word phrase is very selective; a single keyword less so
-        ContentFilter::Phrase(p) => {
-            let words = p.split_whitespace().count().max(1);
-            (0.1 / words as f64).max(0.01)
+/// Cardinality estimation over a system's live statistics.
+struct Estimator<'g> {
+    system: &'g Graphitti,
+    /// Annotation universe size (content / ontology subqueries select annotations).
+    annotations: usize,
+    /// Referent universe size (referent subqueries select referents).
+    referents: usize,
+}
+
+impl<'g> Estimator<'g> {
+    fn new(system: &'g Graphitti) -> Self {
+        let stats = system.stats();
+        Estimator { system, annotations: stats.annotations, referents: stats.referents }
+    }
+
+    /// `rows / universe`, clamped to `[0, 1]`; an empty universe estimates 0 (nothing
+    /// can match).
+    fn fraction(&self, rows: usize, universe: usize) -> f64 {
+        if universe == 0 {
+            0.0
+        } else {
+            (rows as f64 / universe as f64).clamp(0.0, 1.0)
         }
-        ContentFilter::Keywords(k) => (0.15 / k.len().max(1) as f64).max(0.02),
-        ContentFilter::Path(_) => 0.12,
+    }
+
+    /// Upper bound on the documents a content filter matches, from the keyword /
+    /// element document-frequency indexes.
+    fn content_rows(&self, f: &ContentFilter) -> usize {
+        let store = self.system.content_store();
+        match f {
+            // A phrase can match at most the documents containing its rarest token.
+            ContentFilter::Phrase(p) => xmlstore::keyword_tokens(p)
+                .map(|t| store.keyword_df(t))
+                .min()
+                .unwrap_or(store.len()),
+            // Keyword conjunction: bounded by the rarest keyword.
+            ContentFilter::Keywords(ks) => ks
+                .iter()
+                .map(|k| store.keyword_df(k))
+                .min()
+                .unwrap_or(store.len()),
+            // A path expression matches at most the documents containing its most
+            // specific named element.
+            ContentFilter::Path(expr) => path_rows(store, expr),
+        }
+    }
+
+    /// Upper bound on the referents a referent filter matches, from the per-type /
+    /// per-domain counts and the block postings.
+    fn referent_rows(&self, f: &ReferentFilter) -> usize {
+        let stats = self.system.stats();
+        match f {
+            ReferentFilter::OfType(t) => stats.type_count(*t),
+            ReferentFilter::IntervalOverlaps { domain, .. } => {
+                stats.interval_count(domain.as_deref())
+            }
+            ReferentFilter::RegionOverlaps { system, .. } => {
+                stats.region_count(system.as_deref())
+            }
+            ReferentFilter::BlockContains(ids) => ids
+                .iter()
+                .map(|&id| self.system.indexes().referents_with_block(id).len())
+                .sum(),
+        }
+    }
+
+    /// Upper bound on the annotations an ontology filter matches: the summed citation
+    /// counts of every qualifying term.
+    fn ontology_rows(&self, f: &OntologyFilter) -> usize {
+        let stats = self.system.stats();
+        match f {
+            OntologyFilter::CitesTerm(c) => stats.term_citation_count(*c),
+            OntologyFilter::InClass { concept, relations } => {
+                crate::exec::expand_class(self.system.ontology(), *concept, relations)
+                    .iter()
+                    .map(|&t| stats.term_citation_count(t))
+                    .sum()
+            }
+        }
     }
 }
 
-fn referent_selectivity(f: &ReferentFilter) -> f64 {
-    match f {
-        ReferentFilter::OfType(_) => 0.4,
-        ReferentFilter::IntervalOverlaps { domain, .. } => {
-            if domain.is_some() {
-                0.08
-            } else {
-                0.25
-            }
-        }
-        ReferentFilter::RegionOverlaps { system, .. } => {
-            if system.is_some() {
-                0.1
-            } else {
-                0.3
-            }
-        }
-        ReferentFilter::BlockContains(ids) => (0.05 * ids.len().max(1) as f64).min(0.4),
-    }
-}
-
-fn ontology_selectivity(f: &OntologyFilter) -> f64 {
-    match f {
-        OntologyFilter::InClass { .. } => 0.2,
-        OntologyFilter::CitesTerm(_) => 0.07,
-    }
+/// Document-count upper bound for a path expression: the smallest element
+/// document-frequency among its named steps (a match must contain every named element
+/// on the path), or the whole store for an all-wildcard path.
+fn path_rows(store: &xmlstore::ContentStore, expr: &PathExpr) -> usize {
+    expr.steps
+        .iter()
+        .filter_map(|s| match &s.name {
+            NameTest::Named(n) => Some(store.element_df(n)),
+            NameTest::Any => None,
+        })
+        .min()
+        .unwrap_or(store.len())
 }
 
 fn content_desc(f: &ContentFilter) -> String {
@@ -175,17 +258,50 @@ fn ontology_desc(f: &OntologyFilter) -> String {
 mod tests {
     use super::*;
     use crate::ast::{Query, Target};
-    use graphitti_core::DataType;
+    use graphitti_core::{DataType, Marker};
     use interval_index::Interval;
     use ontology::ConceptId;
 
+    /// A small system with a known shape: many "common" annotations, one "rare" one,
+    /// DNA intervals in two domains, and image regions.
+    fn sample_system() -> (Graphitti, ConceptId, ConceptId) {
+        let mut sys = Graphitti::new();
+        let seq1 = sys.register_sequence("s1", DataType::DnaSequence, 10_000, "chr1");
+        let seq7 = sys.register_sequence("s7", DataType::DnaSequence, 10_000, "chr7");
+        let img = sys.register_image("img", 1000, 1000, "confocal", "cs");
+        let rare = sys.ontology_mut().add_concept("RareTerm");
+        let common = sys.ontology_mut().add_concept("CommonTerm");
+        for i in 0..8u64 {
+            sys.annotate()
+                .comment("a perfectly ordinary observation")
+                .mark(seq1, Marker::interval(i * 100, i * 100 + 50))
+                .cite_term(common)
+                .commit()
+                .unwrap();
+        }
+        sys.annotate()
+            .comment("an exceptional singular finding")
+            .mark(seq7, Marker::interval(0, 50))
+            .cite_term(rare)
+            .commit()
+            .unwrap();
+        sys.annotate()
+            .comment("ordinary region")
+            .mark(img, Marker::region(0.0, 0.0, 10.0, 10.0))
+            .cite_term(common)
+            .commit()
+            .unwrap();
+        (sys, rare, common)
+    }
+
     #[test]
     fn separates_by_kind() {
+        let (sys, rare, _) = sample_system();
         let q = Query::new(Target::ConnectionGraphs)
-            .with_phrase("protein TP53")
+            .with_phrase("singular finding")
             .with_referent(ReferentFilter::OfType(DataType::Image))
-            .with_ontology(OntologyFilter::CitesTerm(ConceptId(1)));
-        let plan = Plan::build(&q);
+            .with_ontology(OntologyFilter::CitesTerm(rare));
+        let plan = Plan::build(&q, &sys);
         assert_eq!(plan.order.len(), 3);
         let kinds = plan.kinds();
         assert!(kinds.contains(&SubQueryKind::Content));
@@ -194,17 +310,31 @@ mod tests {
     }
 
     #[test]
-    fn most_selective_runs_first() {
+    fn selectivity_reflects_real_frequencies() {
+        let (sys, rare, common) = sample_system();
+        let q = Query::new(Target::AnnotationContents)
+            .with_ontology(OntologyFilter::CitesTerm(common))
+            .with_ontology(OntologyFilter::CitesTerm(rare));
+        let plan = Plan::build(&q, &sys);
+        // the rare term (1 citation) must drive; the common one (9 citations) follows
+        assert_eq!(plan.driver().unwrap().description, format!("cites term {rare:?}"));
+        assert_eq!(plan.driver().unwrap().estimated_rows, 1);
+        assert_eq!(plan.order[1].estimated_rows, 9);
+        for w in plan.order.windows(2) {
+            assert!(w[0].selectivity <= w[1].selectivity);
+        }
+    }
+
+    #[test]
+    fn rare_phrase_beats_broad_type_filter() {
+        let (sys, _, common) = sample_system();
         let q = Query::new(Target::Referents)
-            .with_referent(ReferentFilter::OfType(DataType::DnaSequence)) // 0.4
-            .with_ontology(OntologyFilter::CitesTerm(ConceptId(1))) // 0.07
-            .with_phrase("a b c d"); // ~0.025
-        let plan = Plan::build(&q);
-        // phrase is most selective, then cites-term, then of-type
+            .with_referent(ReferentFilter::OfType(DataType::DnaSequence)) // 9 of 10 refs
+            .with_ontology(OntologyFilter::CitesTerm(common)) // 9 of 10 anns
+            .with_phrase("exceptional singular"); // 1 doc
+        let plan = Plan::build(&q, &sys);
         assert_eq!(plan.driver().unwrap().kind, SubQueryKind::Content);
-        assert_eq!(plan.order[1].kind, SubQueryKind::Ontology);
-        assert_eq!(plan.order[2].kind, SubQueryKind::Referent);
-        // selectivities are non-decreasing
+        assert_eq!(plan.driver().unwrap().estimated_rows, 1);
         for w in plan.order.windows(2) {
             assert!(w[0].selectivity <= w[1].selectivity);
         }
@@ -212,30 +342,60 @@ mod tests {
 
     #[test]
     fn domain_pinned_interval_is_more_selective() {
-        let pinned = referent_selectivity(&ReferentFilter::IntervalOverlaps {
+        let (sys, _, _) = sample_system();
+        let pinned = Query::new(Target::Referents).with_referent(ReferentFilter::IntervalOverlaps {
             domain: Some("chr7".into()),
             interval: Interval::new(0, 10),
         });
-        let unpinned = referent_selectivity(&ReferentFilter::IntervalOverlaps {
+        let unpinned = Query::new(Target::Referents).with_referent(ReferentFilter::IntervalOverlaps {
             domain: None,
             interval: Interval::new(0, 10),
         });
-        assert!(pinned < unpinned);
+        let ps = Plan::build(&pinned, &sys).order[0].selectivity;
+        let us = Plan::build(&unpinned, &sys).order[0].selectivity;
+        // chr7 holds 1 of the 9 intervals
+        assert!(ps < us, "pinned {ps} vs unpinned {us}");
+    }
+
+    #[test]
+    fn unknown_term_estimates_zero_rows() {
+        let (sys, _, _) = sample_system();
+        let q = Query::new(Target::AnnotationContents)
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(999)));
+        let plan = Plan::build(&q, &sys);
+        assert_eq!(plan.order[0].estimated_rows, 0);
+        assert_eq!(plan.order[0].selectivity, 0.0);
     }
 
     #[test]
     fn explain_is_human_readable() {
-        let q = Query::new(Target::AnnotationContents).with_phrase("x");
-        let plan = Plan::build(&q);
+        let (sys, _, _) = sample_system();
+        let q = Query::new(Target::AnnotationContents).with_phrase("ordinary");
+        let plan = Plan::build(&q, &sys);
         let explain = plan.explain();
         assert!(explain.contains("Plan"));
         assert!(explain.contains("Content"));
+        assert!(explain.contains("rows"));
     }
 
     #[test]
     fn empty_query_has_empty_plan() {
-        let plan = Plan::build(&Query::new(Target::Referents));
+        let sys = Graphitti::new();
+        let plan = Plan::build(&Query::new(Target::Referents), &sys);
         assert!(plan.order.is_empty());
         assert!(plan.driver().is_none());
+    }
+
+    #[test]
+    fn empty_system_plans_without_panicking() {
+        let sys = Graphitti::new();
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_phrase("anything")
+            .with_referent(ReferentFilter::OfType(DataType::Image));
+        let plan = Plan::build(&q, &sys);
+        assert_eq!(plan.order.len(), 2);
+        for s in &plan.order {
+            assert_eq!(s.selectivity, 0.0);
+        }
     }
 }

@@ -26,7 +26,7 @@ fn build(seed: u64, n: usize) -> Graphitti {
                 .mark(img, Marker::region(x, x, x + 30.0, x + 30.0))
                 .commit();
         } else {
-            let start = (next() % 99000) as u64;
+            let start = next() % 99000;
             let _ = sys
                 .annotate()
                 .comment(comment)
@@ -58,6 +58,41 @@ proptest! {
             .with_phrase("protease motif")
             .with_referent(ReferentFilter::OfType(DataType::DnaSequence));
         let plan = Executor::new(&sys).plan(&q);
+        for w in plan.order.windows(2) {
+            prop_assert!(w[0].selectivity <= w[1].selectivity);
+        }
+    }
+
+    #[test]
+    fn random_plans_are_selectivity_ordered_and_complete(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        phrases in prop::collection::vec(0usize..4, 0..3),
+        types in prop::collection::vec(0usize..2, 0..3),
+        terms in prop::collection::vec(0u32..5, 0..3),
+    ) {
+        use graphitti_query::OntologyFilter;
+        use ontology::ConceptId;
+        const PHRASES: [&str; 4] = ["protease", "quiet region", "motif here", "absent words"];
+        const TYPES: [DataType; 2] = [DataType::DnaSequence, DataType::Image];
+        let sys = build(seed, n);
+        let mut q = Query::new(Target::ConnectionGraphs);
+        for p in &phrases {
+            q = q.with_phrase(PHRASES[*p]);
+        }
+        for t in &types {
+            q = q.with_referent(ReferentFilter::OfType(TYPES[*t]));
+        }
+        for t in &terms {
+            q = q.with_ontology(OntologyFilter::CitesTerm(ConceptId(*t)));
+        }
+        let plan = Executor::new(&sys).plan(&q);
+        // every subquery appears exactly once …
+        prop_assert_eq!(plan.order.len(), q.subquery_count());
+        // … estimates are valid fractions, and the order is ascending selectivity
+        for s in &plan.order {
+            prop_assert!((0.0..=1.0).contains(&s.selectivity), "bad fraction {}", s.selectivity);
+        }
         for w in plan.order.windows(2) {
             prop_assert!(w[0].selectivity <= w[1].selectivity);
         }

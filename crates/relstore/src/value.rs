@@ -46,22 +46,7 @@ pub enum Value {
     /// Boolean value.
     Bool(bool),
     /// Raw bytes value.
-    Blob(#[serde(with = "serde_bytes_compat")] Bytes),
-}
-
-mod serde_bytes_compat {
-    //! serde helpers so `Bytes` serializes as a plain byte vector.
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
+    Blob(Bytes),
 }
 
 impl Value {

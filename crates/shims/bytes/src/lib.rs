@@ -1,0 +1,137 @@
+//! Minimal in-workspace stand-in for the `bytes` crate (offline build).
+//!
+//! Provides the small slice-of-bytes surface the workspace uses: a cheaply-clonable,
+//! immutable byte buffer with `Deref<Target = [u8]>`, conversions from vectors and
+//! slices, and `to_vec`. Reference counting uses `Arc` so clones share storage like the
+//! real crate.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-clonable immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy a static slice into a buffer (the real crate is zero-copy here; ours copies
+    /// once, which is fine for test payloads).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { data: Arc::new(bytes.to_vec()) }
+    }
+
+    /// Copy the contents out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.as_ref().clone()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// View as a slice. Mirrors the real `bytes` crate's inherent method, so the
+    /// name is kept despite shadowing `AsRef::as_ref` (which is also implemented).
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::new(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes { data: Arc::new(v.to_vec()) }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes { data: Arc::new(v.as_bytes().to_vec()) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes { data: Arc::new(v.into_bytes()) }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes { data: Arc::new(iter.into_iter().collect()) }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7e => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone_share() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn deref_and_conversions() {
+        let b = Bytes::from("abc");
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(Bytes::from_static(b"xy").to_vec(), b"xy".to_vec());
+        let d = format!("{:?}", Bytes::from(vec![b'a', 0x01]));
+        assert_eq!(d, "b\"a\\x01\"");
+    }
+}

@@ -1,0 +1,549 @@
+//! Minimal in-workspace property-testing stand-in for `proptest` (offline build).
+//!
+//! Implements the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! * [`Strategy`] with `prop_map` / `boxed`, implemented for integer and float ranges,
+//!   tuples (arity 2–4), `&'static str` regex-ish patterns, and [`BoxedStrategy`],
+//! * `prop::collection::vec`, [`any`] for `bool` and the unsigned integers,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` (plain assertions).
+//!
+//! Sampling is deterministic: each test function derives its RNG seed from its own
+//! name, so failures reproduce without a persistence file. There is no shrinking — a
+//! failing case panics with the standard assertion message.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Re-exports matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic split-mix style RNG used by all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed an RNG (test harness use).
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Configuration block accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { sample: Rc::new(move |rng| self.sample(rng)) }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased strategy (the result of [`Strategy::boxed`]).
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as f64;
+                let hi = self.end as f64;
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// `&'static str` literals act as regex-ish string strategies (see [`pattern`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// Namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for vectors with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, 0..10)` — vectors of `element` values.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+}
+
+/// Length bounds for collection strategies (half-open, like `0..10`).
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub start: usize,
+    /// Exclusive upper bound.
+    pub end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange { start: r.start, end: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { start: n, end: n + 1 }
+    }
+}
+
+pub mod pattern {
+    //! A tiny generator for the regex-ish string patterns the tests use: literals,
+    //! character classes (`[a-z0-9 .,]`), groups, and the `{m,n}`, `?`, `*`, `+`
+    //! quantifiers. No alternation (none of the workspace patterns need it).
+
+    use crate::TestRng;
+
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// Sample a string matching `pat`.
+    pub fn sample(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut pos = 0;
+        let seq = parse_seq(&chars, &mut pos, true);
+        let mut out = String::new();
+        emit(&Node::Group(seq), rng, &mut out);
+        out
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, top: bool) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() {
+            let c = chars[*pos];
+            match c {
+                ')' if !top => {
+                    *pos += 1;
+                    return seq;
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, false);
+                    seq.push(maybe_quantified(Node::Group(inner), chars, pos));
+                }
+                '[' => {
+                    *pos += 1;
+                    let class = parse_class(chars, pos);
+                    seq.push(maybe_quantified(Node::Class(class), chars, pos));
+                }
+                '\\' => {
+                    *pos += 1;
+                    let lit = chars.get(*pos).copied().unwrap_or('\\');
+                    *pos += 1;
+                    seq.push(maybe_quantified(Node::Lit(lit), chars, pos));
+                }
+                _ => {
+                    *pos += 1;
+                    seq.push(maybe_quantified(Node::Lit(c), chars, pos));
+                }
+            }
+        }
+        seq
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let lo = chars[*pos];
+            *pos += 1;
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+                let hi = chars[*pos + 1];
+                *pos += 2;
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        *pos += 1; // consume ']'
+        ranges
+    }
+
+    fn maybe_quantified(node: Node, chars: &[char], pos: &mut usize) -> Node {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 1, 8)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    min.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize = min.parse().unwrap_or(0);
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut max = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        max.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max.parse().unwrap_or(min + 8)
+                } else {
+                    min
+                };
+                *pos += 1; // consume '}'
+                Node::Repeat(Box::new(node), min, max)
+            }
+            _ => node,
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|&(lo, hi)| (hi as u64 - lo as u64) + 1).sum();
+                let mut pick = rng.below(total.max(1));
+                for &(lo, hi) in ranges {
+                    let span = (hi as u64 - lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or(lo));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Group(seq) => {
+                for n in seq {
+                    emit(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let span = (max - min + 1) as u64;
+                let count = min + rng.below(span) as usize;
+                for _ in 0..count {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a hash of a string, used to derive per-test RNG seeds.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assert a condition inside a property (plain `assert!` — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The property-test entry macro. Each enclosed `#[test] fn name(x in strategy, ...)`
+/// becomes a normal test that samples its strategies `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for __case in 0..config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let v = (3usize..10).sample(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (1.0f64..2.0).sample(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn patterns_match_shape() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let s = pattern::sample("[a-c]{2,4}", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 4);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = pattern::sample("x(:[0-9]{1,2})?", &mut rng);
+            assert!(t.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = TestRng::new(11);
+        let strat = prop::collection::vec((0u64..5, any::<bool>()), 1..4)
+            .prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = strat.sample(&mut rng);
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_arguments(a in 0u64..10, b in prop::collection::vec(0u64..3, 0..5)) {
+            prop_assert!(a < 10);
+            prop_assert!(b.len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(x in any::<u8>()) {
+            let wide = x as u64;
+            prop_assert!(wide < 256);
+        }
+    }
+}

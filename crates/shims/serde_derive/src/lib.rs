@@ -1,0 +1,336 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-workspace
+//! serde stand-in.
+//!
+//! Built directly on `proc_macro` (no `syn`/`quote` — the workspace builds offline).
+//! Supports the shapes this workspace actually derives on: non-generic structs with
+//! named fields, tuple structs, unit structs, and enums whose variants are unit, tuple
+//! or struct-like. Encodings follow serde's defaults:
+//!
+//! * named struct → JSON object keyed by field name
+//! * newtype struct → the inner value, transparently
+//! * tuple struct (arity ≥ 2) → JSON array
+//! * unit variant → `"Variant"`; other variants → `{"Variant": payload}` (externally
+//!   tagged)
+//!
+//! `#[serde(...)]` attributes are accepted and ignored (none remain in the workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape).parse().expect("generated Deserialize impl parses")
+}
+
+// --- parsing ---
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (deriving on `{name}`)");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    };
+    (name, shape)
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list at top-level commas (commas inside `<...>` type arguments
+/// belong to the type, not the list; bracketed groups are atomic token trees already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    split_top_level(stream).into_iter().filter(|c| !c.is_empty()).count()
+}
+
+fn variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, got {other}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(named_fields(g.stream()))
+                }
+                None => VariantKind::Unit,
+                other => panic!("unsupported variant body for `{name}`: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// --- code generation ---
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Json::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Json::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Json::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Json::Str({vn:?}.to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::tagged({vn:?}, ::serde::Serialize::to_value(__f0))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::tagged({vn:?}, ::serde::Json::Arr(vec![{}]))",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::tagged({vn:?}, ::serde::Json::Obj(vec![{}]))",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Json {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(__v, {f:?})?)?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::tuple(__v, {n})?; Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __items = ::serde::tuple(__inner, {n})?; \
+                                 return Ok({name}::{vn}({})); }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::field(__inner, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => return Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n\
+                     match __s {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some((__tag, __inner)) = ::serde::variant(__v) {{\n\
+                     match __tag {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 Err(::serde::DeError::custom(format!(\"no variant of {name} matches {{:?}}\", __v)))",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

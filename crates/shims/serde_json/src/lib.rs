@@ -1,0 +1,69 @@
+//! Minimal in-workspace stand-in for `serde_json` over the jsonlite value model
+//! (offline build). Provides the entry points the workspace uses: `to_string`,
+//! `to_string_pretty`, `from_str`, `to_value`/`from_value`, and an `Error` type.
+
+use std::fmt;
+
+pub use jsonlite::Json as Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Error {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().compact())
+}
+
+/// Serialise a value to pretty (two-space indented) JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().pretty())
+}
+
+/// Parse a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let parsed = jsonlite::Json::parse(s).map_err(|e| Error::new(e.to_string()))?;
+    T::from_value(&parsed).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Convert a serialisable value into a JSON tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a JSON tree into a concrete type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(|e| Error::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_strings() {
+        let v = vec![1u64, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert!(from_str::<Vec<u64>>("{nope").is_err());
+    }
+}

@@ -25,9 +25,9 @@ pub mod store;
 
 pub use dublin::{DublinCore, DC_ELEMENTS};
 pub use error::XmlError;
-pub use model::{Document, Element, XmlNode};
+pub use model::{keyword_tokens, Document, Element, XmlNode};
 pub use parse::parse_document;
-pub use path::{PathExpr, Step};
+pub use path::{NameTest, PathExpr, Predicate, Selector, Step};
 pub use store::{ContentStore, DocId};
 
 /// Convenience result alias.

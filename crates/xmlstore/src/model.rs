@@ -7,6 +7,16 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Split text into the tokens the keyword index stores: maximal runs of alphanumerics
+/// plus `.` `_` `-`.  Every consumer of the keyword index (document indexing, phrase
+/// search, per-document probes, the query planner's document-frequency estimates) must
+/// tokenize through this one function so their notions of "keyword" can never drift
+/// apart.  Lowercasing is the caller's concern.
+pub fn keyword_tokens(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_alphanumeric() && c != '.' && c != '_' && c != '-')
+        .filter(|t| !t.is_empty())
+}
+
 /// A node in an element's child list.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum XmlNode {
@@ -228,13 +238,7 @@ impl Document {
             for child in &element.children {
                 match child {
                     XmlNode::Text(t) => {
-                        for w in t
-                            .to_lowercase()
-                            .split(|c: char| {
-                                !c.is_alphanumeric() && c != '.' && c != '_' && c != '-'
-                            })
-                            .filter(|w| !w.is_empty())
-                        {
+                        for w in keyword_tokens(&t.to_lowercase()) {
                             words.push(w.to_string());
                         }
                     }

@@ -150,10 +150,7 @@ impl ContentStore {
     /// The keyword index narrows the candidates first; documents are then verified.
     pub fn containing_phrase(&self, phrase: &str) -> Vec<DocId> {
         let lowered = phrase.to_lowercase();
-        let tokens: Vec<&str> = lowered
-            .split(|c: char| !c.is_alphanumeric() && c != '.' && c != '_' && c != '-')
-            .filter(|t| !t.is_empty())
-            .collect();
+        let tokens: Vec<&str> = crate::keyword_tokens(&lowered).collect();
         let candidates = if tokens.is_empty() {
             self.ids()
         } else {
@@ -221,6 +218,55 @@ impl ContentStore {
     /// Number of distinct indexed keywords (diagnostics).
     pub fn keyword_count(&self) -> usize {
         self.keyword_index.len()
+    }
+
+    // --- membership probes and document frequencies ---
+    //
+    // The pipelined query executor verifies *candidate* documents against later
+    // subqueries instead of recomputing full matching sets, and the planner estimates
+    // selectivity from document frequencies. Both need per-document probes that cost
+    // O(log n) index lookups, not collection scans.
+
+    /// Document frequency of a keyword: how many documents contain the token.
+    pub fn keyword_df(&self, keyword: &str) -> usize {
+        self.keyword_index.get(&keyword.to_lowercase()).map_or(0, BTreeSet::len)
+    }
+
+    /// Document frequency of an element name: how many documents contain the element.
+    pub fn element_df(&self, element_name: &str) -> usize {
+        self.element_index.get(element_name).map_or(0, BTreeSet::len)
+    }
+
+    /// Whether document `id` contains the keyword (single index probe).
+    pub fn doc_has_keyword(&self, id: DocId, keyword: &str) -> bool {
+        self.keyword_index
+            .get(&keyword.to_lowercase())
+            .is_some_and(|set| set.contains(&id))
+    }
+
+    /// Whether document `id` contains **all** the given keywords.
+    pub fn doc_has_all_keywords(&self, id: DocId, keywords: &[&str]) -> bool {
+        keywords.iter().all(|kw| self.doc_has_keyword(id, kw))
+    }
+
+    /// Whether document `id`'s full text contains `phrase` as a case-insensitive
+    /// substring. Token probes against the keyword index short-circuit before the
+    /// substring check, mirroring [`containing_phrase`](Self::containing_phrase).
+    pub fn doc_contains_phrase(&self, id: DocId, phrase: &str) -> bool {
+        let lowered = phrase.to_lowercase();
+        let tokens: Vec<&str> = crate::keyword_tokens(&lowered).collect();
+        if !tokens.iter().all(|t| self.doc_has_keyword(id, t)) {
+            return false;
+        }
+        match self.docs.get(&id) {
+            Some(doc) => doc.root.deep_text().to_lowercase().contains(&lowered),
+            None => false,
+        }
+    }
+
+    /// Whether document `id` matches a path expression.
+    pub fn doc_matches(&self, id: DocId, expr: &PathExpr) -> bool {
+        self.docs.get(&id).is_some_and(|doc| expr.matches(doc))
     }
 }
 

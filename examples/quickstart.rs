@@ -66,7 +66,7 @@ fn main() {
 
     // 5. Explore: what other annotations touch this sequence?
     let others = sys.annotations_of_object(ha_segment);
-    println!("\nannotations on {}: {:?}", "H5N1-HA-segment4", others);
+    println!("\nannotations on H5N1-HA-segment4: {:?}", others);
     assert_eq!(others.len(), 2);
 
     println!("\nquickstart complete.");
