@@ -1,0 +1,242 @@
+//! Experiment T1 — concurrent query serving throughput.
+//!
+//! N client threads replay the paper's example query mixes (fig3 connection-graph
+//! query + Q1 TP53 on the neuroscience workload; Q2 protease on the influenza
+//! workload) against a [`QueryService`], sweeping the worker-pool size and the result
+//! cache.  Reports queries/second and end-to-end p50/p95/p99 latency per
+//! configuration, and asserts every served result is byte-identical to the
+//! single-threaded pipelined [`Executor`] before any timing starts.
+//!
+//! This bench owns its measurement loop (wall-clock over a fixed query count, not
+//! ns/iter sampling), so it bypasses the criterion shim's `Bencher` and writes its
+//! JSON directly in the same per-bench format, extended with throughput fields
+//! (`qps`, `p50_ns`, `p95_ns`, `p99_ns`, `clients`, `workers`, `cache`, `cores`).
+//! `bench_summary` routes entries carrying `qps` into `BENCH_throughput.json`.
+//!
+//! Pass `--quick` (as CI does) for a smoke run: 2 worker configs, fewer clients and
+//! rounds.
+
+use std::time::Instant;
+
+use bench::{influenza_system, neuro_workload, table_header, table_row};
+use graphitti_core::Graphitti;
+use graphitti_query::{
+    Executor, GraphConstraint, OntologyFilter, Query, QueryService, ServiceConfig, Target,
+};
+use spatial_index::Rect;
+
+/// One workload + query mix to replay.
+struct Scenario {
+    name: &'static str,
+    system: Graphitti,
+    mix: Vec<Query>,
+}
+
+/// One measured configuration's outcome.
+struct Measurement {
+    scenario: &'static str,
+    workers: usize,
+    cache: usize,
+    clients: usize,
+    queries: usize,
+    qps: f64,
+    mean_ns: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+}
+
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    let images = if quick { 30 } else { 100 };
+    let neuro = neuro_workload(images, 8, 2008);
+    let canvas = Rect::rect2(0.0, 0.0, 1_000.0, 1_000.0);
+    let dcn = neuro.concepts.deep_cerebellar_nuclei;
+    let fig3 = Query::new(Target::ConnectionGraphs)
+        .with_phrase("protein TP53")
+        .with_ontology(OntologyFilter::CitesTerm(dcn));
+    let q1 = Query::new(Target::ConnectionGraphs)
+        .with_phrase("protein TP53")
+        .with_ontology(OntologyFilter::CitesTerm(dcn))
+        .with_constraint(GraphConstraint::MinRegionCount {
+            count: 2,
+            within: canvas,
+            system: neuro.systems[0].clone(),
+        });
+    let dcn_browse = Query::new(Target::ConnectionGraphs).with_ontology(OntologyFilter::CitesTerm(dcn));
+
+    let annotations = if quick { 500 } else { 2_000 };
+    let influenza = influenza_system(annotations, 2008);
+    let q2 = Query::new(Target::Referents)
+        .with_phrase("protease")
+        .with_constraint(GraphConstraint::ConsecutiveIntervals { count: 4, max_gap: 2_000 });
+
+    vec![
+        Scenario { name: "fig3_q1_mix", system: neuro.system, mix: vec![fig3, q1, dcn_browse] },
+        Scenario { name: "q2_protease", system: influenza, mix: vec![q2] },
+    ]
+}
+
+/// Replay the mix from `clients` threads for `rounds` rounds each; returns collected
+/// end-to-end latencies and the wall-clock qps.
+fn drive(service: &QueryService, mix: &[Query], clients: usize, rounds: usize) -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * rounds * mix.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds * mix.len());
+                    for _ in 0..rounds {
+                        // stagger the replay order per client so the pool sees an
+                        // interleaved mix, not lockstep waves of one query
+                        for i in 0..mix.len() {
+                            let q = mix[(i + client) % mix.len()].clone();
+                            let t0 = Instant::now();
+                            std::hint::black_box(service.run(q));
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread panicked"));
+        }
+    });
+    let qps = latencies.len() as f64 / start.elapsed().as_secs_f64();
+    (qps, latencies)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+fn measure(
+    scenario: &Scenario,
+    workers: usize,
+    cache: usize,
+    clients: usize,
+    rounds: usize,
+) -> Measurement {
+    let config = ServiceConfig::default()
+        .with_workers(workers)
+        .with_cache_capacity(cache);
+    let service = QueryService::new(scenario.system.snapshot(), config);
+
+    // Correctness gate: every mix query must come back byte-identical to the
+    // single-threaded pipelined executor (this also warms the pool and, when enabled,
+    // the cache).
+    let exec = Executor::new(&scenario.system);
+    for q in &scenario.mix {
+        let expected = exec.run(q);
+        let served = service.run(q.clone());
+        assert_eq!(
+            served.to_json(),
+            expected.to_json(),
+            "service diverged from Executor on {} with workers={workers}",
+            scenario.name
+        );
+    }
+
+    let (qps, mut latencies) = drive(&service, &scenario.mix, clients, rounds);
+    latencies.sort_unstable();
+    let mean_ns = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
+    Measurement {
+        scenario: scenario.name,
+        workers,
+        cache,
+        clients,
+        queries: latencies.len(),
+        qps,
+        mean_ns,
+        p50_ns: percentile(&latencies, 50.0),
+        p95_ns: percentile(&latencies, 95.0),
+        p99_ns: percentile(&latencies, 99.0),
+    }
+}
+
+fn write_json(measurements: &[Measurement], cores: usize) {
+    let entries = jsonlite::Json::Arr(
+        measurements
+            .iter()
+            .map(|m| {
+                jsonlite::Json::obj([
+                    ("bench", jsonlite::Json::str("throughput")),
+                    (
+                        "name",
+                        jsonlite::Json::str(format!(
+                            "T1_throughput/{}/workers={}/cache={}",
+                            m.scenario,
+                            m.workers,
+                            if m.cache > 0 { "on" } else { "off" }
+                        )),
+                    ),
+                    ("ns_per_iter", jsonlite::Json::Num(m.mean_ns)),
+                    ("qps", jsonlite::Json::Num(m.qps)),
+                    ("p50_ns", jsonlite::Json::u64(m.p50_ns)),
+                    ("p95_ns", jsonlite::Json::u64(m.p95_ns)),
+                    ("p99_ns", jsonlite::Json::u64(m.p99_ns)),
+                    ("clients", jsonlite::Json::u64(m.clients as u64)),
+                    ("workers", jsonlite::Json::u64(m.workers as u64)),
+                    ("cache", jsonlite::Json::u64(m.cache as u64)),
+                    ("queries", jsonlite::Json::u64(m.queries as u64)),
+                    ("cores", jsonlite::Json::u64(cores as u64)),
+                ])
+            })
+            .collect(),
+    );
+    let path = std::env::var("BENCH_JSON").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        let dir = criterion::workspace_root().join("target").join("criterion-json");
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("throughput.json")
+    });
+    if let Err(e) = std::fs::write(&path, entries.pretty() + "\n") {
+        eprintln!("throughput: cannot write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let clients = if quick { 3 } else { 8 };
+    let rounds = if quick { 20 } else { 120 };
+
+    table_header(
+        &format!("T1: concurrent serving throughput ({cores} core(s))"),
+        &["scenario", "workers", "cache", "clients", "qps", "p50", "p95", "p99"],
+    );
+
+    let mut measurements = Vec::new();
+    for scenario in scenarios(quick) {
+        // worker sweep with the cache off: isolates pool scaling
+        for &workers in worker_counts {
+            measurements.push(measure(&scenario, workers, 0, clients, rounds));
+        }
+        // cache on at the largest pool: the replayed mix is repetitive, so this is the
+        // served-traffic fast path
+        let max_workers = *worker_counts.last().expect("non-empty worker sweep");
+        measurements.push(measure(&scenario, max_workers, 256, clients, rounds));
+
+        for m in measurements.iter().filter(|m| m.scenario == scenario.name) {
+            table_row(&[
+                m.scenario.to_string(),
+                m.workers.to_string(),
+                if m.cache > 0 { "on".into() } else { "off".into() },
+                m.clients.to_string(),
+                format!("{:.0}", m.qps),
+                format!("{:.1}µs", m.p50_ns as f64 / 1_000.0),
+                format!("{:.1}µs", m.p95_ns as f64 / 1_000.0),
+                format!("{:.1}µs", m.p99_ns as f64 / 1_000.0),
+            ]);
+        }
+    }
+
+    write_json(&measurements, cores);
+    println!("\nthroughput: wrote {} measurements", measurements.len());
+}

@@ -1,11 +1,61 @@
 //! Merge the per-bench-binary JSON files the criterion shim writes under
-//! `target/criterion-json/` into one machine-readable summary (`BENCH_query.json` by
-//! default), so the performance trajectory is comparable across PRs.
+//! `target/criterion-json/` into machine-readable summaries, so the performance
+//! trajectory is comparable across PRs:
 //!
-//! Usage: `cargo run -p bench --bin bench_summary [-- <input-dir> [<output-file>]]`
-//! after `cargo bench`.  Entries are sorted by `(bench, name)` for stable diffs.
+//! * latency entries (`{bench, name, ns_per_iter}`) → `BENCH_query.json`;
+//! * throughput entries (the same, plus `qps` / percentile / configuration fields
+//!   written by the `throughput` bench) → `BENCH_throughput.json`.
+//!
+//! Usage: `cargo run -p bench --bin bench_summary [-- <input-dir> [<query-output>
+//! [<throughput-output>]]]` after `cargo bench`.  Entries are sorted by
+//! `(bench, name)` for stable diffs.
 
 use std::path::Path;
+
+/// The extra per-entry fields a throughput measurement carries beyond
+/// `{bench, name, ns_per_iter}`.
+const THROUGHPUT_FIELDS: &[&str] =
+    &["qps", "p50_ns", "p95_ns", "p99_ns", "clients", "workers", "cache", "queries", "cores"];
+
+struct Entry {
+    bench: String,
+    name: String,
+    ns_per_iter: f64,
+    /// `(field, value)` pairs for the throughput fields present on this entry, in
+    /// `THROUGHPUT_FIELDS` order.  Empty for plain latency entries.
+    throughput: Vec<(&'static str, f64)>,
+}
+
+fn write_summary(entries: &[&Entry], output: &str) {
+    let json = jsonlite::Json::obj([
+        ("schema", jsonlite::Json::str("graphitti-bench-summary/v1")),
+        ("entries", jsonlite::Json::u64(entries.len() as u64)),
+        (
+            "results",
+            jsonlite::Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        let mut fields = vec![
+                            ("bench", jsonlite::Json::str(e.bench.clone())),
+                            ("name", jsonlite::Json::str(e.name.clone())),
+                            ("ns_per_iter", jsonlite::Json::Num(e.ns_per_iter)),
+                        ];
+                        fields.extend(
+                            e.throughput.iter().map(|&(k, v)| (k, jsonlite::Json::Num(v))),
+                        );
+                        jsonlite::Json::obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(output, json.pretty() + "\n") {
+        eprintln!("bench_summary: cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench_summary: wrote {} results to {output}", entries.len());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,16 +64,18 @@ fn main() {
         .first()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| root.join("target").join("criterion-json"));
-    let output = args
+    let query_output = args
         .get(1)
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| root.join("BENCH_query.json"));
-    let (input_dir, output) = (input_dir.display().to_string(), output.display().to_string());
-    let input_dir = input_dir.as_str();
-    let output = output.as_str();
+    let throughput_output = args
+        .get(2)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join("BENCH_throughput.json"));
+    let input_dir = input_dir.display().to_string();
 
-    let mut entries: Vec<(String, String, f64)> = Vec::new();
-    let dir = Path::new(input_dir);
+    let mut entries: Vec<Entry> = Vec::new();
+    let dir = Path::new(&input_dir);
     let read_dir = match std::fs::read_dir(dir) {
         Ok(rd) => rd,
         Err(e) => {
@@ -55,35 +107,34 @@ fn main() {
             let bench = item.get("bench").and_then(|j| j.as_str()).unwrap_or("");
             let name = item.get("name").and_then(|j| j.as_str()).unwrap_or("");
             let ns = item.get("ns_per_iter").and_then(|j| j.as_f64()).unwrap_or(f64::NAN);
-            if !bench.is_empty() && !name.is_empty() {
-                entries.push((bench.to_string(), name.to_string(), ns));
+            if bench.is_empty() || name.is_empty() {
+                continue;
             }
+            let throughput: Vec<(&'static str, f64)> = THROUGHPUT_FIELDS
+                .iter()
+                .filter_map(|&f| item.get(f).and_then(|j| j.as_f64()).map(|v| (f, v)))
+                .collect();
+            entries.push(Entry {
+                bench: bench.to_string(),
+                name: name.to_string(),
+                ns_per_iter: ns,
+                throughput,
+            });
         }
     }
-    entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    entries.sort_by(|a, b| (&a.bench, &a.name).cmp(&(&b.bench, &b.name)));
 
-    let json = jsonlite::Json::obj([
-        ("schema", jsonlite::Json::str("graphitti-bench-summary/v1")),
-        ("entries", jsonlite::Json::u64(entries.len() as u64)),
-        (
-            "results",
-            jsonlite::Json::Arr(
-                entries
-                    .iter()
-                    .map(|(bench, name, ns)| {
-                        jsonlite::Json::obj([
-                            ("bench", jsonlite::Json::str(bench.clone())),
-                            ("name", jsonlite::Json::str(name.clone())),
-                            ("ns_per_iter", jsonlite::Json::Num(*ns)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
-    if let Err(e) = std::fs::write(output, json.pretty() + "\n") {
-        eprintln!("bench_summary: cannot write {output}: {e}");
-        std::process::exit(1);
+    // Entries carrying a qps measurement belong to the throughput summary; everything
+    // else stays in the latency summary.
+    let (throughput, latency): (Vec<&Entry>, Vec<&Entry>) =
+        entries.iter().partition(|e| e.throughput.iter().any(|(k, _)| *k == "qps"));
+
+    write_summary(&latency, &query_output.display().to_string());
+    if throughput.is_empty() {
+        println!(
+            "bench_summary: no throughput entries found (run `cargo bench -p bench --bench throughput`)"
+        );
+    } else {
+        write_summary(&throughput, &throughput_output.display().to_string());
     }
-    println!("bench_summary: wrote {} results to {output}", entries.len());
 }

@@ -76,7 +76,7 @@ impl Workload {
 
     /// Number of objects of a given type in the workload.
     pub fn objects_of(&self, ty: DataType) -> usize {
-        self.system.objects_of_type(ty).len()
+        self.system.object_ids_of_type(ty).len()
     }
 }
 

@@ -27,6 +27,7 @@ use xmlstore::DocId;
 use crate::annotation::AnnotationId;
 use crate::marker::Marker;
 use crate::referent::{Referent, ReferentId};
+use crate::system::ObjectId;
 use crate::types::DataType;
 
 /// Workload statistics maintained alongside the indexes, used by the query planner for
@@ -87,6 +88,7 @@ pub struct Indexes {
     term_postings: HashMap<ConceptId, Vec<AnnotationId>>,
     doc_annotation: HashMap<DocId, AnnotationId>,
     type_referents: HashMap<DataType, Vec<ReferentId>>,
+    type_objects: HashMap<DataType, Vec<ObjectId>>,
     block_referents: HashMap<u64, Vec<ReferentId>>,
     referent_annotations: HashMap<ReferentId, Vec<AnnotationId>>,
     stats: Stats,
@@ -113,6 +115,12 @@ impl Indexes {
         self.type_referents.get(&data_type).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Sorted list of objects of `data_type` (ids are dense and registered in
+    /// increasing order, so appends preserve order).
+    pub fn objects_of_type(&self, data_type: DataType) -> &[ObjectId] {
+        self.type_objects.get(&data_type).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Sorted list of block-set referents containing `block_id`.
     pub fn referents_with_block(&self, block_id: u64) -> &[ReferentId] {
         self.block_referents.get(&block_id).map(Vec::as_slice).unwrap_or(&[])
@@ -126,7 +134,8 @@ impl Indexes {
     // --- incremental maintenance (called by the facade) ---
 
     /// Record a newly registered object.
-    pub(crate) fn on_object_registered(&mut self) {
+    pub(crate) fn on_object_registered(&mut self, id: ObjectId, data_type: DataType) {
+        self.type_objects.entry(data_type).or_default().push(id);
         self.stats.objects += 1;
     }
 
@@ -194,7 +203,7 @@ mod tests {
     #[test]
     fn referent_indexes_and_stats() {
         let mut idx = Indexes::default();
-        idx.on_object_registered();
+        idx.on_object_registered(crate::ObjectId(0), DataType::DnaSequence);
         idx.on_referent_added(&referent(0, Marker::interval(0, 10), "chr1"), DataType::DnaSequence);
         idx.on_referent_added(&referent(1, Marker::interval(5, 20), "chr1"), DataType::DnaSequence);
         idx.on_referent_added(
@@ -204,6 +213,8 @@ mod tests {
         idx.on_referent_added(&referent(3, Marker::block_set([4, 7]), "r"), DataType::RelationalRecord);
 
         assert_eq!(idx.referents_of_type(DataType::DnaSequence), &[ReferentId(0), ReferentId(1)]);
+        assert_eq!(idx.objects_of_type(DataType::DnaSequence), &[crate::ObjectId(0)]);
+        assert!(idx.objects_of_type(DataType::Image).is_empty());
         assert_eq!(idx.referents_with_block(7), &[ReferentId(3)]);
         assert!(idx.referents_with_block(99).is_empty());
         let s = idx.stats();

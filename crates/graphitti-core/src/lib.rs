@@ -16,11 +16,15 @@
 //! * [`referent`] — a referent: a marked substructure of a specific object;
 //! * [`annotation`] — the annotation content model and the fluent annotation builder;
 //! * [`indexes`] — the inverted secondary indexes (term postings, doc → annotation,
-//!   type / block → referents) and workload [`Stats`], maintained incrementally so the
-//!   query planner and executor never scan the registries;
-//! * [`system`] — [`Graphitti`], the facade that owns the relational store, the content
-//!   store, the interval / R-tree indexes, the ontology and the a-graph, and implements
-//!   register / annotate / explore.
+//!   type → objects / referents, block → referents) and workload [`Stats`], maintained
+//!   incrementally so the query planner and executor never scan the registries;
+//! * [`system`] — [`SystemView`], the complete read state, and [`Graphitti`], the
+//!   mutation facade over an `Arc`-shared view that implements register / annotate /
+//!   explore with copy-on-publish semantics;
+//! * [`snapshot`] — [`Snapshot`], the isolated read handle concurrent query workers
+//!   execute against (readers never block writers, never see torn state);
+//! * [`study`] — [`StudySnapshot`], the serialisable export / import format for saving
+//!   and reloading a study.
 //!
 //! See the crate `README` and `examples/` for end-to-end usage.
 
@@ -30,6 +34,7 @@ pub mod indexes;
 pub mod marker;
 pub mod referent;
 pub mod snapshot;
+pub mod study;
 pub mod system;
 pub mod types;
 
@@ -38,8 +43,9 @@ pub use error::CoreError;
 pub use indexes::{Indexes, Stats};
 pub use marker::{Marker, SubX};
 pub use referent::{Referent, ReferentId};
-pub use snapshot::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, Snapshot};
-pub use system::{Entity, Graphitti, ObjectId, ObjectInfo};
+pub use snapshot::Snapshot;
+pub use study::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, StudySnapshot};
+pub use system::{Entity, Graphitti, ObjectId, ObjectInfo, SystemView};
 pub use types::{DataType, Dimensionality};
 
 /// Convenience result alias.

@@ -1,297 +1,161 @@
-//! Snapshot export / import.
+//! [`Snapshot`] — the isolated read handle the concurrent query path executes against.
 //!
-//! The demo lets a user view and edit an annotation "as an XML-structured object" before
-//! committing, and a study is something you save and reload. This module serialises a
-//! whole [`Graphitti`] system to a flat, `serde`-friendly [`Snapshot`] (no graph node ids
-//! — those are regenerated) and rebuilds an equivalent system by replaying the
-//! registrations and annotations, preserving shared referents so the a-graph connection
-//! structure is reproduced exactly.
+//! A snapshot is a cheaply cloneable, `Send + Sync` handle to one published version of
+//! the system state: an `Arc` over the full [`SystemView`] plus the epoch at which it
+//! was captured.  Capturing ([`Graphitti::snapshot`]) is an `Arc` clone — O(1), no
+//! locking; the first mutation after a capture copies the state out from under every
+//! outstanding snapshot (`Arc::make_mut` copy-on-publish), so
+//!
+//! * **readers never block writers** — a query thread holding a snapshot costs the
+//!   writer at most one deep copy, and only on its next commit;
+//! * **readers never see torn state** — a snapshot is immutable for its whole life; a
+//!   writer committing mid-query cannot change what the query observes;
+//! * **epochs identify versions** — two snapshots with equal epochs from the same
+//!   system are views of identical state, which is what the query service's result
+//!   cache keys on for invalidation.
+//!
+//! Not to be confused with [`StudySnapshot`](crate::StudySnapshot), the serialisable
+//! export format for saving and reloading a study.
 
-use bytes::Bytes;
-use ontology::{ConceptId, Ontology};
-use relstore::Value;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-use crate::annotation::AnnotationId;
-use crate::marker::Marker;
-use crate::referent::ReferentId;
-use crate::system::{Graphitti, ObjectId};
-use crate::types::DataType;
-use crate::Result;
-use xmlstore::DublinCore;
+use crate::system::SystemView;
 
-/// A registered object, captured for replay.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ObjectSnapshot {
-    /// The object's data type.
-    pub data_type: DataType,
-    /// Its name / accession.
-    pub name: String,
-    /// Its coordinate domain / system.
-    pub domain: String,
-    /// The metadata columns between `name` and `payload`.
-    pub metadata: Vec<Value>,
-    /// The raw payload bytes.
-    pub payload: Vec<u8>,
-}
-
-/// A referent, captured by the object it marks and the marker.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ReferentSnapshot {
-    /// Index into [`Snapshot::objects`].
-    pub object: usize,
-    /// The marker.
-    pub marker: Marker,
-}
-
-/// An annotation, captured by its content, referent references and cited terms.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AnnotationSnapshot {
-    /// The Dublin Core content record.
-    pub content: DublinCore,
-    /// Indices into [`Snapshot::referents`] — shared indices encode shared referents.
-    pub referents: Vec<usize>,
-    /// Cited ontology concept ids.
-    pub terms: Vec<ConceptId>,
-}
-
-/// A complete, serialisable snapshot of a Graphitti study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// An isolated, immutable read snapshot of a Graphitti system.
+///
+/// Derefs to [`SystemView`], so the entire read API (lookups, exploration,
+/// substructure queries) works on a snapshot exactly as on the live system.  Clone is
+/// an `Arc` bump — hand one to every worker thread.
+#[derive(Debug, Clone)]
 pub struct Snapshot {
-    /// Registered objects, in id order.
-    pub objects: Vec<ObjectSnapshot>,
-    /// Referents, in id order.
-    pub referents: Vec<ReferentSnapshot>,
-    /// Annotations, in id order.
-    pub annotations: Vec<AnnotationSnapshot>,
-    /// The ontology store.
-    pub ontology: Ontology,
+    view: Arc<SystemView>,
+    epoch: u64,
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = SystemView;
+
+    fn deref(&self) -> &SystemView {
+        &self.view
+    }
 }
 
 impl Snapshot {
-    /// Serialise to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot serialises")
+    /// Wrap a published view (called by [`Graphitti::snapshot`](crate::Graphitti::snapshot)).
+    pub(crate) fn capture(view: Arc<SystemView>, epoch: u64) -> Snapshot {
+        Snapshot { view, epoch }
     }
 
-    /// Parse from JSON.
-    pub fn from_json(json: &str) -> std::result::Result<Snapshot, serde_json::Error> {
-        serde_json::from_str(json)
+    /// The epoch of the system state this snapshot captured.  Mutations bump the
+    /// system's epoch, so an outdated snapshot is detectable by comparing epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying shared view (rarely needed directly — `Snapshot` derefs to it).
+    pub fn view(&self) -> &SystemView {
+        &self.view
+    }
+
+    /// Whether two snapshots are views of the same published state.
+    pub fn same_epoch(&self, other: &Snapshot) -> bool {
+        self.epoch == other.epoch && Arc::ptr_eq(&self.view, &other.view)
     }
 }
 
-impl Graphitti {
-    /// Capture the current state as a [`Snapshot`].
-    pub fn snapshot(&self) -> Snapshot {
-        let objects = self
-            .objects()
-            .iter()
-            .map(|info| {
-                let (metadata, payload) =
-                    self.object_metadata(info.id).unwrap_or_else(|| (Vec::new(), Bytes::new()));
-                ObjectSnapshot {
-                    data_type: info.data_type,
-                    name: info.name.clone(),
-                    domain: info.domain.clone(),
-                    metadata,
-                    payload: payload.to_vec(),
-                }
-            })
-            .collect();
-
-        let referents = self
-            .referents()
-            .iter()
-            .map(|r| ReferentSnapshot { object: r.object.0 as usize, marker: r.marker.clone() })
-            .collect();
-
-        let annotations = self
-            .annotations()
-            .iter()
-            .map(|a| AnnotationSnapshot {
-                content: a.content.clone(),
-                referents: a.referents.iter().map(|r| r.0 as usize).collect(),
-                terms: a.terms.clone(),
-            })
-            .collect();
-
-        Snapshot {
-            objects,
-            referents,
-            annotations,
-            ontology: self.ontology().clone(),
-        }
-    }
-
-    /// Rebuild an equivalent system from a snapshot, preserving shared referents.
-    pub fn from_snapshot(snapshot: &Snapshot) -> Result<Graphitti> {
-        let mut sys = Graphitti::new();
-        *sys.ontology_mut() = snapshot.ontology.clone();
-
-        // 1. register objects, mapping snapshot index -> new ObjectId.
-        let mut object_map: Vec<ObjectId> = Vec::with_capacity(snapshot.objects.len());
-        for obj in &snapshot.objects {
-            let id = sys.register_object(
-                obj.data_type,
-                obj.name.clone(),
-                obj.metadata.clone(),
-                Bytes::from(obj.payload.clone()),
-                obj.domain.clone(),
-            )?;
-            object_map.push(id);
-        }
-
-        // 2. replay annotations in order, materialising referents lazily and reusing
-        //    shared ones.
-        let mut referent_map: Vec<Option<ReferentId>> = vec![None; snapshot.referents.len()];
-        for ann in &snapshot.annotations {
-            let mut builder = sys.annotate().with_content(ann.content.clone());
-            // which snapshot-referent-index each mark corresponds to, in order
-            let mut fresh_indices: Vec<usize> = Vec::new();
-            for &ref_idx in &ann.referents {
-                match referent_map[ref_idx] {
-                    Some(rid) => {
-                        builder = builder.mark_existing(rid);
-                    }
-                    None => {
-                        let snap = &snapshot.referents[ref_idx];
-                        let object = object_map[snap.object];
-                        builder = builder.mark(object, snap.marker.clone());
-                        fresh_indices.push(ref_idx);
-                    }
-                }
-            }
-            for &term in &ann.terms {
-                builder = builder.cite_term(term);
-            }
-            let aid = builder.commit()?;
-
-            // Align the committed referent ids with the snapshot indices to record the
-            // freshly-created ones for later sharing. The committed list is in mark order
-            // (deduped), matching `ann.referents` order.
-            let committed = sys.annotation(aid).map(|a| a.referents.clone()).unwrap_or_default();
-            let mut fresh_iter = fresh_indices.iter();
-            for (pos, &ref_idx) in ann.referents.iter().enumerate() {
-                if referent_map[ref_idx].is_none() {
-                    if let Some(&new_rid) = committed.get(pos) {
-                        referent_map[ref_idx] = Some(new_rid);
-                        let _ = fresh_iter.next();
-                    }
-                }
-            }
-        }
-        Ok(sys)
-    }
-
-    /// Export the system directly to JSON.
-    pub fn to_json(&self) -> String {
-        self.snapshot().to_json()
-    }
-
-    /// Rebuild a system from JSON.
-    pub fn from_json(json: &str) -> std::result::Result<Graphitti, String> {
-        let snapshot = Snapshot::from_json(json).map_err(|e| e.to_string())?;
-        Graphitti::from_snapshot(&snapshot).map_err(|e| e.to_string())
-    }
-
-    #[allow(unused)]
-    fn _snapshot_uses(_: AnnotationId) {}
-}
+// Snapshots cross thread boundaries in the query service's worker pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>();
+};
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::marker::Marker;
+    use crate::system::Graphitti;
     use crate::types::DataType;
 
-    fn sample_system() -> Graphitti {
+    fn annotated_system(n: u64) -> Graphitti {
         let mut sys = Graphitti::new();
-        let seq = sys.register_sequence("seg4", DataType::DnaSequence, 2_000, "chr-flu");
-        let img = sys.register_image("brain", 512, 512, "confocal", "cs25");
-        let term = sys.ontology_mut().add_concept("Protease");
-
-        let a1 = sys
-            .annotate()
-            .title("cleavage")
-            .comment("polybasic protease cleavage site")
-            .creator("condit")
-            .mark(seq, Marker::interval(1_000, 1_050))
-            .cite_term(term)
-            .commit()
-            .unwrap();
-        // a2 shares a1's referent
-        let shared = sys.annotation(a1).unwrap().referents[0];
-        sys.annotate()
-            .comment("second opinion")
-            .creator("gupta")
-            .mark_existing(shared)
-            .commit()
-            .unwrap();
-        sys.annotate()
-            .comment("region of interest")
-            .creator("martone")
-            .mark(img, Marker::region(10.0, 10.0, 60.0, 60.0))
-            .commit()
-            .unwrap();
+        let seq = sys.register_sequence("s", DataType::DnaSequence, 10_000, "chr1");
+        for i in 0..n {
+            sys.annotate()
+                .comment(format!("note {i}"))
+                .mark(seq, Marker::interval(i * 10, i * 10 + 5))
+                .commit()
+                .unwrap();
+        }
         sys
     }
 
     #[test]
-    fn snapshot_captures_counts() {
-        let sys = sample_system();
+    fn capture_is_zero_copy_until_mutation() {
+        let sys = annotated_system(3);
         let snap = sys.snapshot();
-        assert_eq!(snap.objects.len(), 2);
-        assert_eq!(snap.annotations.len(), 3);
-        assert_eq!(snap.referents.len(), sys.referent_count());
+        // same Arc: no clone happened at capture time
+        assert!(std::ptr::eq(snap.view() as *const _, sys.view() as *const _));
+        assert_eq!(snap.epoch(), sys.epoch());
+        assert!(snap.same_epoch(&sys.snapshot()));
     }
 
     #[test]
-    fn roundtrip_preserves_structure() {
-        let sys = sample_system();
+    fn snapshot_is_isolated_from_later_mutations() {
+        let mut sys = annotated_system(2);
         let snap = sys.snapshot();
-        let rebuilt = Graphitti::from_snapshot(&snap).unwrap();
-        assert_eq!(rebuilt.object_count(), sys.object_count());
-        assert_eq!(rebuilt.annotation_count(), sys.annotation_count());
-        assert_eq!(rebuilt.referent_count(), sys.referent_count());
-        // shared referent preserved: a0 and a1 remain related
-        assert_eq!(
-            rebuilt.related_annotations(AnnotationId(0)),
-            vec![AnnotationId(1)]
-        );
+        let epoch_before = sys.epoch();
+        assert_eq!(snap.annotation_count(), 2);
+
+        // writer commits mid-flight: the snapshot's state must not move
+        let seq = snap.objects()[0].id;
+        sys.annotate().comment("late").mark(seq, Marker::interval(500, 600)).commit().unwrap();
+        sys.register_image("brain", 64, 64, "mri", "cs");
+
+        assert_eq!(snap.annotation_count(), 2);
+        assert_eq!(snap.object_count(), 1);
+        assert_eq!(sys.annotation_count(), 3);
+        assert_eq!(sys.object_count(), 2);
+        assert!(sys.epoch() > epoch_before);
+        assert_eq!(snap.epoch(), epoch_before);
+        // the diverged copies are both internally consistent
+        assert!(snap.verify_integrity().is_empty());
+        assert!(sys.verify_integrity().is_empty());
     }
 
     #[test]
-    fn roundtrip_preserves_queryability() {
-        let sys = sample_system();
-        let rebuilt = Graphitti::from_snapshot(&sys.snapshot()).unwrap();
-        // the protease annotation is still findable by content
-        assert_eq!(rebuilt.content_store().containing_phrase("protease cleavage").len(), 1);
-        // the image region is still in the R-tree
-        let hits = rebuilt.overlapping_regions("cs25", spatial_index::Rect::rect2(20.0, 20.0, 30.0, 30.0));
-        assert_eq!(hits.len(), 1);
+    fn epoch_bumps_on_every_commit_point() {
+        let mut sys = Graphitti::new();
+        let e0 = sys.epoch();
+        let seq = sys.register_sequence("s", DataType::DnaSequence, 100, "chr1");
+        let e1 = sys.epoch();
+        assert!(e1 > e0);
+        sys.annotate().comment("x").mark(seq, Marker::interval(0, 10)).commit().unwrap();
+        assert!(sys.epoch() > e1);
     }
 
     #[test]
-    fn json_roundtrip() {
-        let sys = sample_system();
-        let json = sys.to_json();
-        assert!(json.contains("Protease") || json.contains("protease"));
-        let rebuilt = Graphitti::from_json(&json).unwrap();
-        assert_eq!(rebuilt.annotation_count(), 3);
-        // snapshot of the rebuilt system equals the original snapshot
-        assert_eq!(rebuilt.snapshot(), sys.snapshot());
+    fn clones_share_the_view() {
+        let sys = annotated_system(1);
+        let a = sys.snapshot();
+        let b = a.clone();
+        assert!(a.same_epoch(&b));
+        assert_eq!(a.annotation_count(), b.annotation_count());
     }
 
     #[test]
-    fn empty_system_snapshot() {
-        let sys = Graphitti::new();
+    fn snapshot_usable_across_threads() {
+        let sys = annotated_system(4);
         let snap = sys.snapshot();
-        assert!(snap.objects.is_empty());
-        let rebuilt = Graphitti::from_snapshot(&snap).unwrap();
-        assert_eq!(rebuilt.object_count(), 0);
-    }
-
-    #[test]
-    fn bad_json_errors() {
-        assert!(Graphitti::from_json("{not valid").is_err());
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            (0..3)
+                .map(|_| {
+                    let snap = snap.clone();
+                    s.spawn(move || snap.annotation_count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(counts, vec![4, 4, 4]);
     }
 }

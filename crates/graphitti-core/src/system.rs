@@ -1,11 +1,20 @@
-//! [`Graphitti`] — the system facade.
+//! [`Graphitti`] — the system facade — and [`SystemView`], its immutable read state.
 //!
 //! `Graphitti` owns every store and index and implements the demo's three activities:
 //! **register** heterogeneous data objects (with type-specific metadata), **annotate**
 //! their substructures (building the a-graph), and **explore** the resulting connection
 //! structure.  It is the object a downstream application holds.
+//!
+//! All registries, stores and indexes live in a [`SystemView`] behind an `Arc`;
+//! `Graphitti` derefs to it, so every read method is callable on either.  Mutations go
+//! through [`Arc::make_mut`]: while no [`Snapshot`](crate::Snapshot) is outstanding
+//! they are plain in-place updates, and the first mutation after a snapshot is taken
+//! copies the state once (copy-on-publish), leaving the snapshot's view untouched.
+//! Readers therefore never block writers and never observe torn state — see
+//! [`crate::snapshot`] for the read-handle side.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use agraph::{EdgeLabel, MultiGraph, NodeId, NodeKind};
 use bytes::Bytes;
@@ -60,9 +69,15 @@ pub enum Entity {
     Object(ObjectId),
 }
 
-/// The Graphitti annotation management system.
-#[derive(Debug, Default)]
-pub struct Graphitti {
+/// The complete read state of a Graphitti system: every registry, store and index.
+///
+/// `Graphitti` and [`Snapshot`](crate::Snapshot) both deref to this type, so the whole
+/// read API (lookups, exploration, substructure queries, integrity checks) is written
+/// once here and shared by the live system and by isolated snapshots.  Cloning is a
+/// deep copy — it happens only when a mutation runs while a snapshot still holds the
+/// previous version (`Arc::make_mut` copy-on-publish).
+#[derive(Debug, Default, Clone)]
+pub struct SystemView {
     catalog: Catalog,
     content: ContentStore,
     intervals: DomainIntervals,
@@ -89,12 +104,7 @@ pub struct Graphitti {
     indexes: Indexes,
 }
 
-impl Graphitti {
-    /// Create an empty system.
-    pub fn new() -> Self {
-        Graphitti::default()
-    }
-
+impl SystemView {
     // --- read-only accessors for substrate stores (used by the query engine) ---
 
     /// The relational catalogue.
@@ -122,8 +132,9 @@ impl Graphitti {
         &self.ontology
     }
 
-    /// Mutable access to the ontology store (ontologies are loaded before annotating).
-    pub fn ontology_mut(&mut self) -> &mut Ontology {
+    /// Mutable access to the ontology store (facade-internal; the public entry point is
+    /// [`Graphitti::ontology_mut`], which routes through copy-on-publish).
+    pub(crate) fn ontology_mut(&mut self) -> &mut Ontology {
         &mut self.ontology
     }
 
@@ -163,10 +174,8 @@ impl Graphitti {
 
     // --- registration ---
 
-    /// Register a data object with raw metadata values (matching the type's default
-    /// schema, minus the trailing `payload` blob which is supplied separately) and
-    /// return its id.  `domain` is the coordinate domain / system for its substructures.
-    pub fn register_object(
+    /// Register a data object (facade-internal; see [`Graphitti::register_object`]).
+    pub(crate) fn register_object(
         &mut self,
         data_type: DataType,
         name: impl Into<String>,
@@ -202,68 +211,8 @@ impl Graphitti {
         self.node_entity.insert(node, Entity::Object(id));
         self.object_node.insert(id, node);
         self.objects.push(ObjectInfo { id, data_type, name, row: row_id, domain, node });
-        self.indexes.on_object_registered();
+        self.indexes.on_object_registered(id, data_type);
         Ok(id)
-    }
-
-    /// Convenience: register a 1-D sequence object (DNA / RNA / protein) of a given
-    /// length under a coordinate domain (e.g. its chromosome).
-    pub fn register_sequence(
-        &mut self,
-        name: impl Into<String>,
-        data_type: DataType,
-        length: u64,
-        domain: impl Into<String>,
-    ) -> ObjectId {
-        assert!(data_type.is_linear(), "register_sequence needs a linear type");
-        let domain = domain.into();
-        let metadata = match data_type {
-            DataType::DnaSequence | DataType::RnaSequence => vec![
-                Value::Int(length as i64),
-                Value::text("unknown"),
-                Value::Float(0.5),
-                Value::text(domain.clone()),
-            ],
-            DataType::ProteinSequence => vec![
-                Value::Int(length as i64),
-                Value::text("unknown"),
-                Value::text("unknown"),
-                Value::text(domain.clone()),
-            ],
-            DataType::MultipleAlignment => vec![
-                Value::Int(length as i64),
-                Value::Int(1),
-                Value::text(domain.clone()),
-            ],
-            _ => unreachable!("linear types handled above"),
-        };
-        self.register_object(data_type, name, metadata, Bytes::new(), domain)
-            .expect("sequence registration")
-    }
-
-    /// Convenience: register a 2-D image object under a coordinate system.
-    pub fn register_image(
-        &mut self,
-        name: impl Into<String>,
-        width: u64,
-        height: u64,
-        modality: impl Into<String>,
-        coordinate_system: impl Into<String>,
-    ) -> ObjectId {
-        let cs = coordinate_system.into();
-        self.register_object(
-            DataType::Image,
-            name,
-            vec![
-                Value::Int(width as i64),
-                Value::Int(height as i64),
-                Value::text(modality.into()),
-                Value::text(cs.clone()),
-            ],
-            Bytes::new(),
-            cs,
-        )
-        .expect("image registration")
     }
 
     /// Metadata about a registered object.
@@ -271,9 +220,18 @@ impl Graphitti {
         self.objects.get(id.0 as usize)
     }
 
-    /// All objects of a given data type.
-    pub fn objects_of_type(&self, data_type: DataType) -> Vec<&ObjectInfo> {
-        self.objects.iter().filter(|o| o.data_type == data_type).collect()
+    /// All objects of a given data type, served from the type inverted index — no
+    /// registry scan and no per-call `Vec` allocation.
+    pub fn objects_of_type(&self, data_type: DataType) -> impl Iterator<Item = &ObjectInfo> + '_ {
+        self.indexes
+            .objects_of_type(data_type)
+            .iter()
+            .map(move |id| &self.objects[id.0 as usize])
+    }
+
+    /// The sorted ids of all objects of a given data type, as a borrowed slice.
+    pub fn object_ids_of_type(&self, data_type: DataType) -> &[ObjectId] {
+        self.indexes.objects_of_type(data_type)
     }
 
     /// All registered objects.
@@ -301,12 +259,7 @@ impl Graphitti {
 
     // --- annotation ---
 
-    /// Begin building an annotation.
-    pub fn annotate(&mut self) -> AnnotationBuilder<'_> {
-        AnnotationBuilder::new(self)
-    }
-
-    /// Commit an annotation spec (called by the builder).
+    /// Commit an annotation spec (called by the builder through the facade).
     pub(crate) fn commit_annotation(&mut self, spec: AnnotationSpec) -> Result<AnnotationId> {
         if spec.referents.is_empty() && spec.terms.is_empty() {
             return Err(CoreError::EmptyAnnotation);
@@ -428,9 +381,9 @@ impl Graphitti {
         n
     }
 
-    /// Register an ontology term node explicitly (so a query can reference terms that no
-    /// annotation cites yet). Returns the node id.
-    pub fn ensure_term_node(&mut self, concept: ConceptId) -> NodeId {
+    /// Register an ontology term node explicitly (facade-internal; see
+    /// [`Graphitti::ensure_term_node`]).
+    pub(crate) fn ensure_term_node(&mut self, concept: ConceptId) -> NodeId {
         self.term_node_for(concept)
     }
 
@@ -485,9 +438,9 @@ impl Graphitti {
     // --- exploration (correlated data viewing) ---
 
     /// The referents of an object: every marked substructure of it. `O(k)` via the
-    /// object→referents index.
-    pub fn referents_of_object(&self, object: ObjectId) -> Vec<ReferentId> {
-        self.object_referents.get(&object).cloned().unwrap_or_default()
+    /// object→referents index, returned as a borrowed slice (no per-call allocation).
+    pub fn referents_of_object(&self, object: ObjectId) -> &[ReferentId] {
+        self.object_referents.get(&object).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The annotations that link a given referent. Answered in O(k) from the
@@ -500,7 +453,7 @@ impl Graphitti {
     /// annotations have been made on this sequence".
     pub fn annotations_of_object(&self, object: ObjectId) -> Vec<AnnotationId> {
         let mut out = Vec::new();
-        for rid in self.referents_of_object(object) {
+        for &rid in self.referents_of_object(object) {
             for aid in self.annotations_of_referent(rid) {
                 if !out.contains(&aid) {
                     out.push(aid);
@@ -714,6 +667,169 @@ impl Graphitti {
     }
 }
 
+/// The Graphitti annotation management system.
+///
+/// A thin mutation facade over an [`Arc`]-shared [`SystemView`].  Reads deref straight
+/// to the view; every mutation routes through [`Arc::make_mut`] and bumps the epoch
+/// counter, so [`Snapshot`](crate::Snapshot)s taken earlier keep the exact state they
+/// captured (copy-on-publish) and the epoch identifies which published state a reader
+/// or cache entry belongs to.
+#[derive(Debug, Default)]
+pub struct Graphitti {
+    view: Arc<SystemView>,
+    epoch: u64,
+}
+
+impl std::ops::Deref for Graphitti {
+    type Target = SystemView;
+
+    fn deref(&self) -> &SystemView {
+        &self.view
+    }
+}
+
+impl Graphitti {
+    /// Create an empty system.
+    pub fn new() -> Self {
+        Graphitti::default()
+    }
+
+    /// The current epoch: incremented on every mutation, so two equal epochs from the
+    /// same system always denote identical state.  Fresh systems start at 0.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared read view (rarely needed directly — `Graphitti` derefs to it).
+    pub fn view(&self) -> &SystemView {
+        &self.view
+    }
+
+    /// Capture an isolated, cheaply cloneable read snapshot of the current state.
+    /// Until the next mutation this is a zero-copy `Arc` clone; the first mutation
+    /// afterwards copies the state out from under the snapshot, never mutating it.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        crate::Snapshot::capture(Arc::clone(&self.view), self.epoch)
+    }
+
+    /// Copy-on-publish write access: bump the epoch and obtain a mutable view,
+    /// deep-cloning the state first iff a snapshot still references it.
+    ///
+    /// The epoch bumps even when the mutation subsequently fails.  That is
+    /// deliberate: several mutations have partial effects on failure (e.g. a
+    /// multi-referent annotation that fails on its third marker keeps the first two
+    /// referents), so treating every write attempt as a new version is the
+    /// conservative direction — downstream epoch-keyed caches may invalidate
+    /// needlessly, but can never serve stale state.
+    fn view_mut(&mut self) -> &mut SystemView {
+        self.epoch += 1;
+        Arc::make_mut(&mut self.view)
+    }
+
+    /// Mutable access to the ontology store (ontologies are loaded before annotating).
+    pub fn ontology_mut(&mut self) -> &mut Ontology {
+        self.view_mut().ontology_mut()
+    }
+
+    /// Register an ontology term node explicitly (so a query can reference terms that
+    /// no annotation cites yet). Returns the node id.
+    pub fn ensure_term_node(&mut self, concept: ConceptId) -> NodeId {
+        self.view_mut().ensure_term_node(concept)
+    }
+
+    /// Register a data object with raw metadata values (matching the type's default
+    /// schema, minus the trailing `payload` blob which is supplied separately) and
+    /// return its id.  `domain` is the coordinate domain / system for its substructures.
+    pub fn register_object(
+        &mut self,
+        data_type: DataType,
+        name: impl Into<String>,
+        metadata: Vec<Value>,
+        payload: Bytes,
+        domain: impl Into<String>,
+    ) -> Result<ObjectId> {
+        self.view_mut().register_object(data_type, name, metadata, payload, domain)
+    }
+
+    /// Convenience: register a 1-D sequence object (DNA / RNA / protein) of a given
+    /// length under a coordinate domain (e.g. its chromosome).
+    pub fn register_sequence(
+        &mut self,
+        name: impl Into<String>,
+        data_type: DataType,
+        length: u64,
+        domain: impl Into<String>,
+    ) -> ObjectId {
+        assert!(data_type.is_linear(), "register_sequence needs a linear type");
+        let domain = domain.into();
+        let metadata = match data_type {
+            DataType::DnaSequence | DataType::RnaSequence => vec![
+                Value::Int(length as i64),
+                Value::text("unknown"),
+                Value::Float(0.5),
+                Value::text(domain.clone()),
+            ],
+            DataType::ProteinSequence => vec![
+                Value::Int(length as i64),
+                Value::text("unknown"),
+                Value::text("unknown"),
+                Value::text(domain.clone()),
+            ],
+            DataType::MultipleAlignment => vec![
+                Value::Int(length as i64),
+                Value::Int(1),
+                Value::text(domain.clone()),
+            ],
+            _ => unreachable!("linear types handled above"),
+        };
+        self.register_object(data_type, name, metadata, Bytes::new(), domain)
+            .expect("sequence registration")
+    }
+
+    /// Convenience: register a 2-D image object under a coordinate system.
+    pub fn register_image(
+        &mut self,
+        name: impl Into<String>,
+        width: u64,
+        height: u64,
+        modality: impl Into<String>,
+        coordinate_system: impl Into<String>,
+    ) -> ObjectId {
+        let cs = coordinate_system.into();
+        self.register_object(
+            DataType::Image,
+            name,
+            vec![
+                Value::Int(width as i64),
+                Value::Int(height as i64),
+                Value::text(modality.into()),
+                Value::text(cs.clone()),
+            ],
+            Bytes::new(),
+            cs,
+        )
+        .expect("image registration")
+    }
+
+    /// Begin building an annotation.
+    pub fn annotate(&mut self) -> AnnotationBuilder<'_> {
+        AnnotationBuilder::new(self)
+    }
+
+    /// Commit an annotation spec (called by the builder).
+    pub(crate) fn commit_annotation(&mut self, spec: AnnotationSpec) -> Result<AnnotationId> {
+        self.view_mut().commit_annotation(spec)
+    }
+}
+
+// Snapshots are shipped across worker threads by the query service; every store in the
+// view is plain owned data, so the whole read state must stay `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemView>();
+    assert_send_sync::<Graphitti>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,7 +850,8 @@ mod tests {
         assert_eq!(info.name, "H5N1-seg4");
         assert_eq!(info.domain, "chr-flu");
         assert!(sys.catalog().has_table("dna_sequence"));
-        assert_eq!(sys.objects_of_type(DataType::DnaSequence).len(), 1);
+        assert_eq!(sys.objects_of_type(DataType::DnaSequence).count(), 1);
+        assert_eq!(sys.object_ids_of_type(DataType::DnaSequence), &[seq]);
     }
 
     #[test]

@@ -104,10 +104,10 @@ proptest! {
         share in any::<bool>(),
     ) {
         let sys = build_random(seed, n_objects, n_anns, share);
-        let snap = sys.snapshot();
-        let rebuilt = Graphitti::from_snapshot(&snap).unwrap();
+        let snap = sys.study_snapshot();
+        let rebuilt = Graphitti::from_study_snapshot(&snap).unwrap();
         // the rebuilt system produces an identical snapshot
-        prop_assert_eq!(rebuilt.snapshot(), snap);
+        prop_assert_eq!(rebuilt.study_snapshot(), snap);
         prop_assert_eq!(rebuilt.object_count(), sys.object_count());
         prop_assert_eq!(rebuilt.annotation_count(), sys.annotation_count());
         prop_assert_eq!(rebuilt.referent_count(), sys.referent_count());

@@ -187,6 +187,99 @@ impl Query {
             _ => None,
         })
     }
+
+    /// Rewrite the query into its canonical form: each conjunct is normalised
+    /// (phrases and keywords lowercased — matching is case-insensitive anyway —
+    /// keyword lists and block-id lists sorted and deduplicated, the default
+    /// `InClass` relation set made explicit), and every commutative conjunct list
+    /// (content, referents, ontology, constraints — all ANDed) is sorted and
+    /// deduplicated.
+    ///
+    /// Canonicalization preserves semantics, so semantically equal queries written in
+    /// different orders or cases produce one canonical query.  That makes plan
+    /// selection order-stable and gives the query service's result cache a single key
+    /// per equivalence class (see [`Query::cache_key`]).
+    pub fn canonicalize(&self) -> Query {
+        let mut content: Vec<ContentFilter> =
+            self.content.iter().map(|f| f.clone().canonicalized()).collect();
+        content.sort_by_cached_key(|f| format!("{f:?}"));
+        content.dedup();
+
+        let mut referents: Vec<ReferentFilter> =
+            self.referents.iter().map(|f| f.clone().canonicalized()).collect();
+        referents.sort_by_cached_key(|f| format!("{f:?}"));
+        referents.dedup();
+
+        let mut ontology: Vec<OntologyFilter> =
+            self.ontology.iter().map(|f| f.clone().canonicalized()).collect();
+        ontology.sort_by_cached_key(|f| format!("{f:?}"));
+        ontology.dedup();
+
+        let mut constraints = self.constraints.clone();
+        constraints.sort_by_cached_key(|c| format!("{c:?}"));
+        constraints.dedup();
+
+        Query { target: self.target, content, referents, ontology, constraints }
+    }
+
+    /// A stable textual key identifying this query's semantic equivalence class: the
+    /// rendering of its canonical form.  Two queries that [`Query::canonicalize`] to
+    /// the same query share one key — this is what the query service's result cache
+    /// keys on (together with the snapshot epoch).
+    pub fn cache_key(&self) -> String {
+        format!("{:?}", self.canonicalize())
+    }
+}
+
+impl ContentFilter {
+    /// Normalise one content conjunct (lowercase text, sort + dedupe keywords).
+    fn canonicalized(self) -> ContentFilter {
+        match self {
+            ContentFilter::Phrase(p) => ContentFilter::Phrase(p.to_lowercase()),
+            ContentFilter::Keywords(ks) => {
+                let mut ks: Vec<String> = ks.into_iter().map(|k| k.to_lowercase()).collect();
+                ks.sort_unstable();
+                ks.dedup();
+                ContentFilter::Keywords(ks)
+            }
+            path @ ContentFilter::Path(_) => path,
+        }
+    }
+}
+
+impl ReferentFilter {
+    /// Normalise one referent conjunct (sort + dedupe block ids).
+    fn canonicalized(self) -> ReferentFilter {
+        match self {
+            ReferentFilter::BlockContains(mut ids) => {
+                ids.sort_unstable();
+                ids.dedup();
+                ReferentFilter::BlockContains(ids)
+            }
+            other => other,
+        }
+    }
+}
+
+impl OntologyFilter {
+    /// Normalise one ontology conjunct: make the default relation set explicit and
+    /// order-independent (class expansion unions the relations' subtrees, so their
+    /// order never matters).
+    fn canonicalized(self) -> OntologyFilter {
+        match self {
+            OntologyFilter::InClass { concept, relations } => {
+                let mut relations = if relations.is_empty() {
+                    vec![RelationType::IsA, RelationType::PartOf]
+                } else {
+                    relations
+                };
+                relations.sort_unstable();
+                relations.dedup();
+                OntologyFilter::InClass { concept, relations }
+            }
+            cites @ OntologyFilter::CitesTerm(_) => cites,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +309,64 @@ mod tests {
         assert!(q.is_unconstrained());
         assert_eq!(q.subquery_count(), 0);
         assert_eq!(q.pinned_type(), None);
+    }
+
+    #[test]
+    fn canonicalize_sorts_conjuncts_and_normalizes_keywords() {
+        let a = Query::new(Target::AnnotationContents)
+            .with_keywords(["TP53", "Protein", "tp53"])
+            .with_phrase("Cleavage Site")
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(3)))
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(1)));
+        let b = Query::new(Target::AnnotationContents)
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(1)))
+            .with_phrase("cleavage site")
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(3)))
+            .with_keywords(["protein", "tp53"]);
+        assert_eq!(a.canonicalize(), b.canonicalize());
+        assert_eq!(a.cache_key(), b.cache_key());
+        let canon = a.canonicalize();
+        assert!(canon
+            .content
+            .iter()
+            .any(|f| matches!(f, ContentFilter::Keywords(ks) if ks == &["protein", "tp53"])));
+        assert!(canon
+            .content
+            .iter()
+            .any(|f| matches!(f, ContentFilter::Phrase(p) if p == "cleavage site")));
+    }
+
+    #[test]
+    fn canonicalize_dedupes_identical_conjuncts_and_block_ids() {
+        let q = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::BlockContains(vec![9, 2, 2, 5]))
+            .with_referent(ReferentFilter::BlockContains(vec![2, 5, 9]))
+            .with_constraint(GraphConstraint::PathExists { max_len: 4 })
+            .with_constraint(GraphConstraint::PathExists { max_len: 4 });
+        let canon = q.canonicalize();
+        assert_eq!(canon.referents, vec![ReferentFilter::BlockContains(vec![2, 5, 9])]);
+        assert_eq!(canon.constraints.len(), 1);
+    }
+
+    #[test]
+    fn canonicalize_makes_default_class_relations_explicit() {
+        let implicit = Query::new(Target::AnnotationContents)
+            .with_ontology(OntologyFilter::InClass { concept: ConceptId(7), relations: vec![] });
+        let explicit = Query::new(Target::AnnotationContents).with_ontology(OntologyFilter::InClass {
+            concept: ConceptId(7),
+            relations: vec![RelationType::PartOf, RelationType::IsA],
+        });
+        assert_eq!(implicit.cache_key(), explicit.cache_key());
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let q = Query::new(Target::ConnectionGraphs)
+            .with_keywords(["B", "a"])
+            .with_referent(ReferentFilter::OfType(DataType::Image))
+            .with_ontology(OntologyFilter::CitesTerm(ConceptId(2)));
+        let once = q.canonicalize();
+        assert_eq!(once.canonicalize(), once);
     }
 
     #[test]

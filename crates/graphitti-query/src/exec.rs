@@ -17,6 +17,13 @@
 //!    expansion starts from the pruned set, so collation cost tracks the result size,
 //!    not the corpus size.
 //!
+//! The executor borrows a [`SystemView`] — the live system (via deref) or an isolated
+//! [`graphitti_core::Snapshot`] work identically.  The verify phase of a large query
+//! can be fanned across scoped worker threads ([`Executor::with_verify_workers`]):
+//! candidates are split into contiguous chunks, each chunk is filtered independently,
+//! and the chunks are re-concatenated in order, so the output is byte-identical to the
+//! sequential pass.
+//!
 //! The pre-index scan-and-intersect implementation is preserved as
 //! [`crate::reference::ReferenceExecutor`]; it is the correctness oracle for the
 //! randomized equivalence tests and the baseline for the index-ablation benchmarks.
@@ -24,7 +31,7 @@
 use std::collections::HashMap;
 
 use agraph::{NodeId, PathSearch, Subgraph};
-use graphitti_core::{AnnotationId, Entity, Graphitti, Marker, ObjectId, ReferentId};
+use graphitti_core::{AnnotationId, Entity, Marker, ObjectId, ReferentId, SystemView};
 use interval_index::Interval;
 use ontology::{ConceptId, RelationType};
 
@@ -35,29 +42,66 @@ use crate::plan::{Plan, SubQueryKind};
 use crate::result::{QueryResult, ResultPage};
 use crate::setops;
 
-/// The query executor, borrowing a [`Graphitti`] system immutably.
+/// Below this many candidates a verify pass always runs sequentially — chunking smaller
+/// sets costs more in thread spawns than the probes themselves.
+pub const DEFAULT_PARALLEL_VERIFY_THRESHOLD: usize = 4096;
+
+/// The query executor, borrowing a [`SystemView`] immutably (pass `&Graphitti` or a
+/// `&Snapshot`; both deref coerce).
 pub struct Executor<'g> {
-    system: &'g Graphitti,
+    system: &'g SystemView,
+    verify_workers: usize,
+    parallel_threshold: usize,
 }
 
 impl<'g> Executor<'g> {
-    /// Create an executor over a system.
-    pub fn new(system: &'g Graphitti) -> Self {
-        Executor { system }
+    /// Create a single-threaded executor over a system view.
+    pub fn new(system: &'g SystemView) -> Self {
+        Executor {
+            system,
+            verify_workers: 1,
+            parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+        }
+    }
+
+    /// Fan the verify phase of large queries across up to `workers` scoped threads.
+    /// `workers <= 1` keeps the sequential path; results are byte-identical either way.
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers.max(1);
+        self
+    }
+
+    /// Override the candidate-count threshold above which a verify pass is chunked
+    /// across workers (useful for testing the parallel path on small corpora).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold.max(1);
+        self
     }
 
     /// Build the plan for a query without executing it (for EXPLAIN-style inspection).
+    /// Plans the canonicalized form, exactly as [`Self::run`] executes it.
     pub fn plan(&self, query: &Query) -> Plan {
-        Plan::build(query, self.system)
+        Plan::build(&query.canonicalize(), self.system)
     }
 
     /// Execute a query and return its result.
     ///
-    /// Subqueries run in the plan's selectivity order: the first subquery of each
-    /// family (annotation-producing: content / ontology; referent-producing: referent)
-    /// seeds that family's candidate set from the indexes, and every later subquery
-    /// verifies the candidates in place.
+    /// The query is canonicalized first (commutative conjuncts sorted, keywords
+    /// lowercased and deduplicated), so semantically equal queries take identical
+    /// plans.  Subqueries then run in the plan's selectivity order: the first subquery
+    /// of each family (annotation-producing: content / ontology; referent-producing:
+    /// referent) seeds that family's candidate set from the indexes, and every later
+    /// subquery verifies the candidates in place.
     pub fn run(&self, query: &Query) -> QueryResult {
+        self.run_canonical(&query.canonicalize())
+    }
+
+    /// Execute a query that is **already in canonical form** (as produced by
+    /// [`Query::canonicalize`]), skipping re-canonicalization.  Callers that
+    /// canonicalize once for their own purposes — the query service does, for its
+    /// cache key — use this to avoid paying the normalization twice.  Passing a
+    /// non-canonical query gives the same results but an order-dependent plan.
+    pub fn run_canonical(&self, query: &Query) -> QueryResult {
         let plan = Plan::build(query, self.system);
 
         // The `MinRegionCount` constraint counts regions "annotated with term T" by the
@@ -219,33 +263,54 @@ impl<'g> Executor<'g> {
     /// Keep only the candidate annotations whose content document satisfies the filter
     /// (per-document index probes, no set materialisation).
     fn verify_content(&self, cands: Vec<AnnotationId>, filter: &ContentFilter) -> Vec<AnnotationId> {
-        let store = self.system.content_store();
         let keyword_refs: Vec<&str> = match filter {
             ContentFilter::Keywords(ks) => ks.iter().map(String::as_str).collect(),
             _ => Vec::new(),
         };
-        cands
-            .into_iter()
-            .filter(|&aid| {
-                let Some(ann) = self.system.annotation(aid) else { return false };
-                match filter {
-                    ContentFilter::Phrase(p) => store.doc_contains_phrase(ann.doc_id, p),
-                    ContentFilter::Keywords(_) => {
-                        store.doc_has_all_keywords(ann.doc_id, &keyword_refs)
-                    }
-                    ContentFilter::Path(expr) => store.doc_matches(ann.doc_id, expr),
-                }
-            })
-            .collect()
+        self.filter_candidates(cands, &|aid| self.content_matches(aid, filter, &keyword_refs))
+    }
+
+    /// Whether one candidate annotation's content satisfies the filter.
+    fn content_matches(&self, aid: AnnotationId, filter: &ContentFilter, keyword_refs: &[&str]) -> bool {
+        let store = self.system.content_store();
+        let Some(ann) = self.system.annotation(aid) else { return false };
+        match filter {
+            ContentFilter::Phrase(p) => store.doc_contains_phrase(ann.doc_id, p),
+            ContentFilter::Keywords(_) => store.doc_has_all_keywords(ann.doc_id, keyword_refs),
+            ContentFilter::Path(expr) => store.doc_matches(ann.doc_id, expr),
+        }
     }
 
     /// Keep only the candidate referents satisfying the filter, using `O(1)` marker /
     /// domain checks per candidate.
     fn verify_referents(&self, cands: Vec<ReferentId>, filter: &ReferentFilter) -> Vec<ReferentId> {
-        cands
-            .into_iter()
-            .filter(|&rid| self.referent_matches(rid, filter))
-            .collect()
+        self.filter_candidates(cands, &|rid| self.referent_matches(rid, filter))
+    }
+
+    /// Shared verify driver: filter a sorted candidate vector by a per-candidate
+    /// predicate, fanning contiguous chunks across scoped worker threads when the set
+    /// is large enough to repay the spawns.  Chunks are re-concatenated in order, so
+    /// the surviving candidates come back in exactly the sequential pass's order.
+    fn filter_candidates<T>(&self, cands: Vec<T>, keep: &(dyn Fn(T) -> bool + Sync)) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+    {
+        if self.verify_workers <= 1 || cands.len() < self.parallel_threshold {
+            return cands.into_iter().filter(|&c| keep(c)).collect();
+        }
+        let workers = self.verify_workers.min(cands.len());
+        let chunk = cands.len().div_ceil(workers);
+        let mut out: Vec<T> = Vec::with_capacity(cands.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cands
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().copied().filter(|&c| keep(c)).collect::<Vec<T>>()))
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("verify worker panicked"));
+            }
+        });
+        out
     }
 
     /// Whether one referent satisfies a referent filter.  Mirrors the semantics of the
@@ -286,11 +351,11 @@ impl<'g> Executor<'g> {
 /// [`Executor`] and the scan-all [`crate::reference::ReferenceExecutor`], so the two
 /// can only differ in how candidates are *found*, never in how they are collated.
 pub(crate) struct Collator<'g> {
-    system: &'g Graphitti,
+    system: &'g SystemView,
 }
 
 impl<'g> Collator<'g> {
-    pub(crate) fn new(system: &'g Graphitti) -> Self {
+    pub(crate) fn new(system: &'g SystemView) -> Self {
         Collator { system }
     }
 
@@ -479,7 +544,7 @@ impl<'g> Collator<'g> {
     ) -> bool {
         // collect qualifying interval referents on this object
         let mut intervals: Vec<Interval> = Vec::new();
-        for rid in self.system.referents_of_object(object) {
+        for &rid in self.system.referents_of_object(object) {
             if !ref_set.is_empty() && !setops::contains_sorted(ref_set, &rid) {
                 continue;
             }
@@ -509,7 +574,7 @@ impl<'g> Collator<'g> {
         ann_set: &[AnnotationId],
     ) -> usize {
         let mut count = 0;
-        for rid in self.system.referents_of_object(object) {
+        for &rid in self.system.referents_of_object(object) {
             let annotated = self
                 .system
                 .annotations_of_referent(rid)
@@ -776,7 +841,7 @@ pub(crate) fn longest_consecutive_chain(intervals: &mut [Interval], max_gap: u64
 mod tests {
     use super::*;
     use crate::reference::ReferenceExecutor;
-    use graphitti_core::{DataType, Marker};
+    use graphitti_core::{DataType, Graphitti, Marker};
 
     fn seq_system() -> (Graphitti, ObjectId) {
         let mut sys = Graphitti::new();

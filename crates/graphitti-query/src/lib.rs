@@ -22,6 +22,10 @@
 //!   a-graph;
 //! * [`setops`] — sorted candidate-set operations (galloping intersection, membership
 //!   probes, posting-list union);
+//! * [`service`] — the concurrent serving layer: a [`service::QueryService`] worker
+//!   pool executing independent queries in parallel against a published
+//!   [`graphitti_core::Snapshot`], with an LRU result cache keyed by the canonical
+//!   query form and invalidated on snapshot publish;
 //! * [`reference`] — the scan-and-intersect reference executor: the correctness oracle
 //!   for randomized equivalence tests and the index-free ablation baseline;
 //! * [`result`] — the result model: connection subgraphs organised into result pages;
@@ -36,6 +40,7 @@ pub mod parse;
 pub mod plan;
 pub mod reference;
 pub mod result;
+pub mod service;
 pub mod setops;
 
 pub use ast::{
@@ -46,3 +51,4 @@ pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};
 pub use reference::ReferenceExecutor;
 pub use result::{QueryResult, ResultPage};
+pub use service::{QueryService, ServiceConfig, ServiceMetrics, Ticket};

@@ -17,7 +17,7 @@
 //! is exactly what ordering needs: a subquery with a small upper bound is guaranteed
 //! to produce a small seed set.
 
-use graphitti_core::Graphitti;
+use graphitti_core::SystemView;
 use xmlstore::{NameTest, PathExpr};
 
 use crate::ast::{ContentFilter, OntologyFilter, Query, ReferentFilter};
@@ -59,7 +59,7 @@ impl Plan {
     /// Build a plan for a query over a concrete system, separating its subqueries and
     /// ordering them by ascending estimated selectivity computed from the system's
     /// live statistics.
-    pub fn build(query: &Query, system: &Graphitti) -> Plan {
+    pub fn build(query: &Query, system: &SystemView) -> Plan {
         let est = Estimator::new(system);
         let mut subs: Vec<SubQuery> = Vec::new();
 
@@ -134,7 +134,7 @@ impl Plan {
 
 /// Cardinality estimation over a system's live statistics.
 struct Estimator<'g> {
-    system: &'g Graphitti,
+    system: &'g SystemView,
     /// Annotation universe size (content / ontology subqueries select annotations).
     annotations: usize,
     /// Referent universe size (referent subqueries select referents).
@@ -142,7 +142,7 @@ struct Estimator<'g> {
 }
 
 impl<'g> Estimator<'g> {
-    fn new(system: &'g Graphitti) -> Self {
+    fn new(system: &'g SystemView) -> Self {
         let stats = system.stats();
         Estimator { system, annotations: stats.annotations, referents: stats.referents }
     }
@@ -258,7 +258,7 @@ fn ontology_desc(f: &OntologyFilter) -> String {
 mod tests {
     use super::*;
     use crate::ast::{Query, Target};
-    use graphitti_core::{DataType, Marker};
+    use graphitti_core::{DataType, Graphitti, Marker};
     use interval_index::Interval;
     use ontology::ConceptId;
 

@@ -17,7 +17,7 @@
 
 use std::collections::HashSet;
 
-use graphitti_core::{AnnotationId, Graphitti, Marker, ReferentId};
+use graphitti_core::{AnnotationId, Marker, ReferentId, SystemView};
 use ontology::ConceptId;
 
 use crate::ast::{ContentFilter, OntologyFilter, Query, ReferentFilter};
@@ -27,12 +27,12 @@ use crate::result::QueryResult;
 /// A query executor that evaluates every subquery by a full scan and intersects the
 /// resulting sets — no secondary indexes, no plan.
 pub struct ReferenceExecutor<'g> {
-    system: &'g Graphitti,
+    system: &'g SystemView,
 }
 
 impl<'g> ReferenceExecutor<'g> {
     /// Create a reference executor over a system.
-    pub fn new(system: &'g Graphitti) -> Self {
+    pub fn new(system: &'g SystemView) -> Self {
         ReferenceExecutor { system }
     }
 
@@ -235,7 +235,7 @@ mod tests {
     use super::*;
     use crate::ast::Target;
     use crate::Executor;
-    use graphitti_core::DataType;
+    use graphitti_core::{DataType, Graphitti};
 
     #[test]
     fn reference_matches_pipelined_on_simple_queries() {

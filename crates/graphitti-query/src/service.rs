@@ -1,0 +1,792 @@
+//! [`QueryService`] — the concurrent query-serving layer.
+//!
+//! The service owns a `std::thread` worker pool and serves queries against one
+//! *published* [`Snapshot`] of the system:
+//!
+//! * **Independent queries run in parallel.**  [`QueryService::submit`] enqueues a
+//!   query and returns a [`Ticket`] immediately; pool workers drain the queue, each
+//!   executing against a clone of the current snapshot (an `Arc` bump), so a slow
+//!   query never blocks an unrelated fast one and no query ever blocks a writer.
+//! * **One large query can fan out.**  Worker executors inherit the service's
+//!   `verify_workers` setting, so the verify phase of a big candidate set is split
+//!   into contiguous chunks across scoped threads and re-merged in order (see
+//!   [`Executor::with_verify_workers`]) — results stay byte-identical to the
+//!   sequential pass.
+//! * **A normalized-query result cache sits in front.**  Results are cached under the
+//!   query's canonical form ([`Query::cache_key`]) together with the snapshot epoch,
+//!   so semantically equal queries — different conjunct order, keyword case or
+//!   duplicate conjuncts — share one entry.  The cache is LRU-evicted at a fixed
+//!   capacity and invalidated wholesale when a new snapshot is published.
+//!
+//! Writers keep mutating their [`graphitti_core::Graphitti`] as usual and make new
+//! state visible to the service explicitly via [`QueryService::publish`]; until then,
+//! every in-flight and future query observes the previously published epoch —
+//! snapshot isolation, not read-your-writes.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use graphitti_core::Snapshot;
+
+use crate::ast::Query;
+use crate::exec::{Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
+use crate::result::QueryResult;
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pool size: number of worker threads draining the submission queue.
+    pub workers: usize,
+    /// Result-cache capacity in entries; `0` disables caching entirely.
+    pub cache_capacity: usize,
+    /// Verify-phase fan-out *within* one query (1 = sequential verify).
+    pub verify_workers: usize,
+    /// Candidate-count threshold above which a verify pass is chunked across
+    /// `verify_workers` threads.
+    pub parallel_threshold: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        ServiceConfig {
+            workers: cores,
+            cache_capacity: 256,
+            verify_workers: 1,
+            parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Builder: set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder: set the result-cache capacity (`0` disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Builder: set the per-query verify fan-out.
+    pub fn with_verify_workers(mut self, verify_workers: usize) -> Self {
+        self.verify_workers = verify_workers.max(1);
+        self
+    }
+
+    /// Builder: set the parallel-verify candidate threshold.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold.max(1);
+        self
+    }
+}
+
+/// Counters describing what the service has done so far (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Queries submitted (via [`QueryService::submit`] / [`QueryService::run`] /
+    /// [`QueryService::run_now`]).
+    pub submitted: u64,
+    /// Queries completed (result delivered).
+    pub completed: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries executed because the cache had no valid entry.
+    pub cache_misses: u64,
+    /// Snapshot publishes observed.
+    pub publishes: u64,
+}
+
+/// A handle to one submitted query's pending result.
+///
+/// Obtained from [`QueryService::submit`]; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    cell: Arc<TicketCell>,
+}
+
+#[derive(Debug, Default)]
+enum SlotState {
+    /// Not executed yet.
+    #[default]
+    Pending,
+    /// Result delivered (shared with the cache when it was a hit).
+    Ready(Arc<QueryResult>),
+    /// The result was already redeemed by [`Ticket::try_take`]; redeeming again is a
+    /// caller bug and panics rather than hanging on a result that will never arrive.
+    Taken,
+    /// The executing worker panicked; redeeming the ticket propagates the panic.
+    Poisoned,
+}
+
+#[derive(Debug, Default)]
+struct TicketCell {
+    slot: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl Ticket {
+    /// Block until the query has been executed and take its result.
+    ///
+    /// # Panics
+    /// Panics if the worker executing this query panicked (the panic is propagated to
+    /// the submitter rather than deadlocking it).
+    pub fn wait(self) -> QueryResult {
+        let mut slot = self.cell.slot.lock().expect("ticket lock poisoned");
+        loop {
+            match std::mem::replace(&mut *slot, SlotState::Taken) {
+                SlotState::Pending => {
+                    *slot = SlotState::Pending;
+                    slot = self.cell.ready.wait(slot).expect("ticket lock poisoned");
+                }
+                SlotState::Ready(result) => {
+                    return Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone());
+                }
+                SlotState::Taken => panic!("ticket result already taken"),
+                SlotState::Poisoned => {
+                    *slot = SlotState::Poisoned;
+                    panic!("query worker panicked executing this query");
+                }
+            }
+        }
+    }
+
+    /// Take the result if it is already available, without blocking.  Panics like
+    /// [`Ticket::wait`] if the executing worker panicked, or if the result was
+    /// already taken by an earlier `try_take`.
+    pub fn try_take(&self) -> Option<QueryResult> {
+        let mut slot = self.cell.slot.lock().expect("ticket lock poisoned");
+        match std::mem::replace(&mut *slot, SlotState::Taken) {
+            SlotState::Pending => {
+                *slot = SlotState::Pending;
+                None
+            }
+            SlotState::Ready(result) => {
+                Some(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()))
+            }
+            SlotState::Taken => panic!("ticket result already taken"),
+            SlotState::Poisoned => {
+                *slot = SlotState::Poisoned;
+                panic!("query worker panicked executing this query");
+            }
+        }
+    }
+}
+
+impl TicketCell {
+    fn deliver(&self, result: Arc<QueryResult>) {
+        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        *slot = SlotState::Ready(result);
+        self.ready.notify_all();
+    }
+
+    fn poison(&self) {
+        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        *slot = SlotState::Poisoned;
+        self.ready.notify_all();
+    }
+}
+
+/// One queued unit of work: a query plus the ticket cell to deliver into.
+struct Job {
+    query: Query,
+    cell: Arc<TicketCell>,
+}
+
+/// The normalized-query LRU result cache.
+///
+/// Keys are canonical query renderings ([`Query::cache_key`]); every entry belongs to
+/// exactly one snapshot epoch.  Lookups and inserts carry the epoch of the snapshot
+/// they were computed against, and the cache *advances itself* to the newest epoch it
+/// is shown (discarding every entry) — so a worker racing a publish can never
+/// resurrect a result from a superseded snapshot, and a publish delayed between
+/// installing the snapshot and notifying the cache cannot wedge the cache in a state
+/// where nothing ever hits (the first reader on the new snapshot repairs it).
+struct ResultCache {
+    capacity: usize,
+    epoch: u64,
+    tick: u64,
+    map: HashMap<String, CacheEntry>,
+}
+
+struct CacheEntry {
+    /// Shared with every ticket the entry has served, so a hit is an `Arc` bump under
+    /// the lock, never a deep copy of the result pages.
+    result: Arc<QueryResult>,
+    last_used: u64,
+}
+
+impl ResultCache {
+    fn new(capacity: usize, epoch: u64) -> Self {
+        ResultCache { capacity, epoch, tick: 0, map: HashMap::new() }
+    }
+
+    /// Advance to `epoch` if it is newer than the cached one, discarding every entry.
+    /// Epochs are monotonic, so "newer" is a plain comparison.
+    fn advance(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Force the cache onto `epoch`, discarding every entry — used when a publish
+    /// replaces the view without increasing the epoch (e.g. a snapshot of a different
+    /// or rebuilt system that happens to share the number).
+    fn reset(&mut self, epoch: u64) {
+        self.map.clear();
+        self.epoch = epoch;
+    }
+
+    /// Look up a canonical key computed against `epoch`, refreshing its recency.
+    /// A lookup from a *newer* snapshot advances (and clears) the cache first; a
+    /// lookup from a stale snapshot misses without disturbing current entries.
+    fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<QueryResult>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.advance(epoch);
+        if epoch != self.epoch {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.result)
+        })
+    }
+
+    /// Insert a result computed against `epoch`; rejected (harmlessly) when a newer
+    /// snapshot has superseded that epoch in the meantime.  Evicts the
+    /// least-recently-used entry when full.
+    fn insert(&mut self, key: String, epoch: u64, result: Arc<QueryResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.advance(epoch);
+        if epoch != self.epoch {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key, CacheEntry { result, last_used: self.tick });
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Shared state between the service handle and its workers.
+struct Inner {
+    queue: Mutex<VecDeque<Job>>,
+    queue_ready: Condvar,
+    snapshot: RwLock<Snapshot>,
+    cache: Mutex<ResultCache>,
+    shutdown: AtomicBool,
+    verify_workers: usize,
+    parallel_threshold: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    publishes: AtomicU64,
+}
+
+impl Inner {
+    /// The current published snapshot (an `Arc` bump under a read lock).
+    fn current_snapshot(&self) -> Snapshot {
+        self.snapshot.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Execute one query against the current snapshot, consulting the cache.  The
+    /// query is canonicalized exactly once: the canonical rendering is the cache key
+    /// and the canonical form is what the executor plans.
+    fn execute(&self, query: &Query) -> Arc<QueryResult> {
+        let canonical = query.canonicalize();
+        let key = format!("{canonical:?}");
+        let snap = self.current_snapshot();
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&key, snap.epoch())
+        {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let result = Arc::new(
+            Executor::new(&snap)
+                .with_verify_workers(self.verify_workers)
+                .with_parallel_threshold(self.parallel_threshold)
+                .run_canonical(&canonical),
+        );
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, snap.epoch(), Arc::clone(&result));
+        result
+    }
+
+    /// The worker loop: drain the queue until shutdown *and* the queue is empty, so
+    /// every accepted ticket is always redeemed.  A panic during execution poisons
+    /// that job's ticket (propagating the panic to the submitter) but never kills the
+    /// worker — the pool keeps its size and the queue keeps draining.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("queue lock poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self.queue_ready.wait(queue).expect("queue lock poisoned");
+                }
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute(&job.query)
+            }));
+            match outcome {
+                Ok(result) => {
+                    job.cell.deliver(result);
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => job.cell.poison(),
+            }
+        }
+    }
+}
+
+/// The concurrent query service: a worker pool plus result cache over one published
+/// [`Snapshot`].  See the [module docs](self) for the concurrency model.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Start a service over an initial snapshot with the given configuration.
+    pub fn new(snapshot: Snapshot, config: ServiceConfig) -> Self {
+        let epoch = snapshot.epoch();
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            snapshot: RwLock::new(snapshot),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity, epoch)),
+            shutdown: AtomicBool::new(false),
+            verify_workers: config.verify_workers.max(1),
+            parallel_threshold: config.parallel_threshold.max(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("graphitti-query-{i}"))
+                    .spawn(move || inner.work())
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryService { inner, workers }
+    }
+
+    /// Start a service with the default configuration.
+    pub fn with_defaults(snapshot: Snapshot) -> Self {
+        QueryService::new(snapshot, ServiceConfig::default())
+    }
+
+    /// Enqueue a query for execution on the pool; returns immediately with a
+    /// [`Ticket`] redeemable for the result.
+    pub fn submit(&self, query: Query) -> Ticket {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(TicketCell::default());
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            queue.push_back(Job { query, cell: Arc::clone(&cell) });
+        }
+        self.inner.queue_ready.notify_one();
+        Ticket { cell }
+    }
+
+    /// Submit a query and block for its result (convenience over
+    /// [`submit`](Self::submit) + [`Ticket::wait`]).
+    pub fn run(&self, query: Query) -> QueryResult {
+        self.submit(query).wait()
+    }
+
+    /// Execute a query synchronously *on the calling thread* — cache-aware and with
+    /// the service's verify fan-out, but bypassing the submission queue.  Use this for
+    /// one latency-critical large query whose verify phase should use the machine,
+    /// rather than for throughput.
+    pub fn run_now(&self, query: &Query) -> QueryResult {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.execute(query);
+        self.inner.completed.fetch_add(1, Ordering::Relaxed);
+        Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Publish a new snapshot: all queries executed from now on observe it, and the
+    /// result cache is invalidated iff the epoch actually changed.  In-flight queries
+    /// finish against the snapshot they already captured (snapshot isolation).
+    ///
+    /// The cache is advanced eagerly here, but correctness does not depend on winning
+    /// that lock promptly: the first worker to read the new snapshot advances the
+    /// cache itself (see [`ResultCache::advance`]).
+    ///
+    /// Publishing a snapshot of a *different* system whose epoch happens not to
+    /// exceed the current one is detected by view identity and clears the cache too
+    /// (lazy advancement can't tell two systems apart, so a worker mid-flight on the
+    /// old view at the same epoch could still deposit one stale entry — keep a service
+    /// on a single writer's snapshots for strict guarantees).
+    pub fn publish(&self, snapshot: Snapshot) {
+        let epoch = snapshot.epoch();
+        let same_state = {
+            let mut current = self.inner.snapshot.write().expect("snapshot lock poisoned");
+            let same_state = current.same_epoch(&snapshot);
+            *current = snapshot;
+            same_state
+        };
+        {
+            let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
+            if epoch > cache.epoch {
+                cache.advance(epoch);
+            } else if !same_state {
+                cache.reset(epoch);
+            }
+        }
+        self.inner.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.current_snapshot().epoch()
+    }
+
+    /// A clone of the currently published snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner.current_snapshot()
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of live entries in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
+            publishes: self.inner.publishes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for QueryService {
+    /// Graceful shutdown: workers finish every queued job (so no ticket is ever
+    /// abandoned), then exit and are joined.
+    fn drop(&mut self) {
+        // The store happens under the queue mutex so no worker can sit between its
+        // shutdown check and `Condvar::wait` when the flag flips — otherwise the
+        // notify below could be lost and the join would deadlock.
+        {
+            let _guard = self.inner.queue.lock().expect("queue lock poisoned");
+            self.inner.shutdown.store(true, Ordering::Release);
+        }
+        self.inner.queue_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{OntologyFilter, Target};
+    use crate::reference::ReferenceExecutor;
+    use graphitti_core::{DataType, Graphitti, Marker};
+
+    fn sample_system(n: u64) -> Graphitti {
+        let mut sys = Graphitti::new();
+        let seq = sys.register_sequence("s", DataType::DnaSequence, 100_000, "chr1");
+        let term = sys.ontology_mut().add_concept("T");
+        for i in 0..n {
+            let mut b = sys
+                .annotate()
+                .comment(if i % 3 == 0 { "protease motif" } else { "quiet region" })
+                .mark(seq, Marker::interval(i * 50, i * 50 + 25));
+            if i % 2 == 0 {
+                b = b.cite_term(term);
+            }
+            b.commit().unwrap();
+        }
+        sys
+    }
+
+    fn phrase_query() -> Query {
+        Query::new(Target::AnnotationContents).with_phrase("protease motif")
+    }
+
+    #[test]
+    fn submitted_queries_match_direct_execution() {
+        let sys = sample_system(30);
+        let service = QueryService::new(sys.snapshot(), ServiceConfig::default().with_workers(3));
+        let expected = Executor::new(&sys).run(&phrase_query());
+        let tickets: Vec<Ticket> = (0..8).map(|_| service.submit(phrase_query())).collect();
+        for t in tickets {
+            assert_eq!(t.wait(), expected);
+        }
+        let m = service.metrics();
+        assert_eq!(m.submitted, 8);
+        assert_eq!(m.completed, 8);
+    }
+
+    #[test]
+    fn cache_serves_equivalent_queries_from_one_entry() {
+        let sys = sample_system(20);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(1).with_cache_capacity(16),
+        );
+        let a = Query::new(Target::AnnotationContents).with_keywords(["Protease", "motif"]);
+        let b = Query::new(Target::AnnotationContents).with_keywords(["motif", "protease"]);
+        let ra = service.run(a);
+        let rb = service.run(b);
+        assert_eq!(ra, rb);
+        let m = service.metrics();
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(service.cache_len(), 1);
+    }
+
+    #[test]
+    fn cache_disabled_always_executes() {
+        let sys = sample_system(10);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(1).with_cache_capacity(0),
+        );
+        service.run(phrase_query());
+        service.run(phrase_query());
+        let m = service.metrics();
+        assert_eq!(m.cache_hits, 0);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn publish_invalidates_cache_and_serves_new_epoch() {
+        let mut sys = sample_system(9);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(2).with_cache_capacity(8),
+        );
+        let before = service.run(phrase_query());
+
+        // Writer commits a new matching annotation and publishes.
+        let seq = sys.objects()[0].id;
+        sys.annotate()
+            .comment("protease motif, new")
+            .mark(seq, Marker::interval(90_000, 90_100))
+            .commit()
+            .unwrap();
+        service.publish(sys.snapshot());
+
+        let after = service.run(phrase_query());
+        assert_eq!(after.annotations.len(), before.annotations.len() + 1);
+        assert_eq!(service.current_epoch(), sys.epoch());
+        let m = service.metrics();
+        assert_eq!(m.publishes, 1);
+        // both executions were misses: the publish dropped the first entry
+        assert_eq!(m.cache_misses, 2);
+    }
+
+    fn empty_result() -> Arc<QueryResult> {
+        Arc::new(QueryResult {
+            pages: Vec::new(),
+            annotations: Vec::new(),
+            referents: Vec::new(),
+            objects: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_entry() {
+        let mut cache = ResultCache::new(2, 0);
+        let empty = empty_result();
+        cache.insert("a".into(), 0, Arc::clone(&empty));
+        cache.insert("b".into(), 0, Arc::clone(&empty));
+        assert!(cache.get("a", 0).is_some()); // refresh a; b is now LRU
+        cache.insert("c".into(), 0, empty.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b", 0).is_none());
+        assert!(cache.get("a", 0).is_some());
+        assert!(cache.get("c", 0).is_some());
+    }
+
+    #[test]
+    fn cache_epoch_advance_discards_and_rejects_stale() {
+        let mut cache = ResultCache::new(4, 0);
+        let empty = empty_result();
+        cache.insert("a".into(), 0, Arc::clone(&empty));
+        // a reader showing a newer epoch advances the cache and clears it
+        assert!(cache.get("a", 2).is_none());
+        assert_eq!(cache.len(), 0);
+        // stale lookups and inserts (older than the advanced epoch) are rejected
+        assert!(cache.get("a", 1).is_none());
+        cache.insert("stale".into(), 1, Arc::clone(&empty));
+        assert_eq!(cache.len(), 0);
+        // current-epoch traffic works again immediately
+        cache.insert("b".into(), 2, empty);
+        assert!(cache.get("b", 2).is_some());
+    }
+
+    #[test]
+    fn poisoned_ticket_propagates_worker_panic() {
+        let cell = Arc::new(TicketCell::default());
+        cell.poison();
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait()));
+        assert!(caught.is_err(), "wait on a poisoned ticket must panic, not hang");
+        let ticket = Ticket { cell };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.try_take()));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn redeeming_a_ticket_twice_panics_instead_of_hanging() {
+        let cell = Arc::new(TicketCell::default());
+        cell.deliver(empty_result());
+        let ticket = Ticket { cell };
+        assert!(ticket.try_take().is_some());
+        // a second redemption is a caller bug: it must fail fast, not block forever
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.try_take()));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn publishing_a_different_system_at_equal_epoch_clears_the_cache() {
+        // Two distinct systems with identical epochs but different contents: the
+        // publish must not let epoch-keyed entries from the first survive.
+        let sys_a = sample_system(6); // 6 annotations, 2 matching
+        let mut sys_b = Graphitti::new();
+        let seq = sys_b.register_sequence("s", DataType::DnaSequence, 100_000, "chr1");
+        sys_b.ontology_mut().add_concept("X");
+        for i in 0..6 {
+            sys_b
+                .annotate()
+                .comment("protease motif everywhere")
+                .mark(seq, Marker::interval(i * 50, i * 50 + 25))
+                .commit()
+                .unwrap();
+        }
+        assert_eq!(sys_a.epoch(), sys_b.epoch(), "test setup: epochs must collide");
+
+        let service = QueryService::new(
+            sys_a.snapshot(),
+            ServiceConfig::default().with_workers(1).with_cache_capacity(8),
+        );
+        let from_a = service.run(phrase_query());
+        assert_eq!(from_a, Executor::new(&sys_a).run(&phrase_query()));
+
+        service.publish(sys_b.snapshot());
+        let from_b = service.run(phrase_query());
+        assert_eq!(from_b, Executor::new(&sys_b).run(&phrase_query()));
+        assert_ne!(from_a, from_b);
+        assert_eq!(service.metrics().cache_hits, 0);
+    }
+
+    #[test]
+    fn parallel_verify_config_is_byte_identical() {
+        let sys = sample_system(64);
+        let expected = Executor::new(&sys).run(&phrase_query());
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_verify_workers(4)
+                .with_parallel_threshold(1)
+                .with_cache_capacity(0),
+        );
+        assert_eq!(service.run(phrase_query()), expected);
+        assert_eq!(service.run_now(&phrase_query()), expected);
+    }
+
+    #[test]
+    fn many_concurrent_clients_all_get_correct_results() {
+        let sys = sample_system(40);
+        let term_query = Query::new(Target::AnnotationContents)
+            .with_ontology(OntologyFilter::CitesTerm(ontology::ConceptId(0)));
+        let expected_phrase = ReferenceExecutor::new(&sys).run(&phrase_query());
+        let expected_term = ReferenceExecutor::new(&sys).run(&term_query);
+        let service = Arc::new(QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(4).with_cache_capacity(4),
+        ));
+        std::thread::scope(|scope| {
+            for client in 0..6 {
+                let service = Arc::clone(&service);
+                let term_query = term_query.clone();
+                let expected_phrase = &expected_phrase;
+                let expected_term = &expected_term;
+                scope.spawn(move || {
+                    for round in 0..10 {
+                        if (client + round) % 2 == 0 {
+                            assert_eq!(&service.run(phrase_query()), expected_phrase);
+                        } else {
+                            assert_eq!(&service.run(term_query.clone()), expected_term);
+                        }
+                    }
+                });
+            }
+        });
+        let m = service.metrics();
+        assert_eq!(m.completed, 60);
+        // Every execution that starts before the first insert for its key lands is a
+        // legal miss, so the worst case is workers × distinct keys = 4 × 2 misses.
+        assert!(m.cache_hits >= 52, "expected mostly hits, got {m:?}");
+    }
+
+    #[test]
+    fn drop_completes_queued_work() {
+        let sys = sample_system(15);
+        let service =
+            QueryService::new(sys.snapshot(), ServiceConfig::default().with_workers(1));
+        let tickets: Vec<Ticket> = (0..5).map(|_| service.submit(phrase_query())).collect();
+        drop(service); // graceful: queued jobs still complete
+        for t in tickets {
+            assert!(t.try_take().is_some());
+        }
+    }
+}

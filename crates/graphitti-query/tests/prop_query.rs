@@ -87,8 +87,9 @@ proptest! {
             q = q.with_ontology(OntologyFilter::CitesTerm(ConceptId(*t)));
         }
         let plan = Executor::new(&sys).plan(&q);
-        // every subquery appears exactly once …
-        prop_assert_eq!(plan.order.len(), q.subquery_count());
+        // every canonical subquery appears exactly once (the executor canonicalizes
+        // first, so duplicate conjuncts collapse before planning) …
+        prop_assert_eq!(plan.order.len(), q.canonicalize().subquery_count());
         // … estimates are valid fractions, and the order is ascending selectivity
         for s in &plan.order {
             prop_assert!((0.0..=1.0).contains(&s.selectivity), "bad fraction {}", s.selectivity);

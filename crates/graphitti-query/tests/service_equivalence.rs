@@ -1,0 +1,203 @@
+//! Randomized equivalence and isolation for the concurrent serving layer.
+//!
+//! 1. **Equivalence** — a [`QueryService`] must return results *byte-identical* to the
+//!    single-threaded [`ReferenceExecutor`] on arbitrary queries over the `datagen`
+//!    workloads, for any worker count, with the cache on or off, and with the
+//!    parallel-verify fan-out forced on.  Results are compared both as structured
+//!    values and as serialized bytes, so page ordering and subgraph contents cannot
+//!    drift silently.
+//! 2. **Snapshot isolation** — readers querying the service while a writer commits
+//!    and publishes must each observe exactly one published epoch's answer, never a
+//!    torn intermediate state.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use common::{object_domains, random_query};
+use datagen::influenza::{self, InfluenzaConfig};
+use datagen::neuro::{self, NeuroConfig};
+use datagen::rng::WorkloadRng;
+use graphitti_core::{Graphitti, Marker};
+use graphitti_query::{
+    Executor, Query, QueryResult, QueryService, ReferenceExecutor, ServiceConfig, Target, Ticket,
+};
+
+/// Serialize a result to its canonical byte form (serde shim JSON) for byte-level
+/// comparison.
+fn result_bytes(result: &QueryResult) -> Vec<u8> {
+    serde_json::to_string(result).expect("result serializes").into_bytes()
+}
+
+/// Every service configuration under test: worker counts straddling the core count,
+/// cache off and on, and the chunked parallel-verify path forced on (threshold 1).
+fn service_configs() -> Vec<ServiceConfig> {
+    vec![
+        ServiceConfig::default().with_workers(1).with_cache_capacity(0),
+        ServiceConfig::default().with_workers(2).with_cache_capacity(64),
+        ServiceConfig::default()
+            .with_workers(4)
+            .with_cache_capacity(0)
+            .with_verify_workers(3)
+            .with_parallel_threshold(1),
+        ServiceConfig::default()
+            .with_workers(8)
+            .with_cache_capacity(32)
+            .with_verify_workers(2)
+            .with_parallel_threshold(1),
+    ]
+}
+
+fn assert_service_matches_reference(sys: &Graphitti, seed: u64, queries: usize) {
+    let mut rng = WorkloadRng::new(seed);
+    let domains = object_domains(sys);
+    let reference = ReferenceExecutor::new(sys);
+
+    // Draw the query set once, with the expected answer for each.
+    let cases: Vec<(Query, QueryResult)> = (0..queries)
+        .map(|_| {
+            let q = random_query(&mut rng, sys, &domains);
+            let expected = reference.run(&q);
+            (q, expected)
+        })
+        .collect();
+
+    for config in service_configs() {
+        let label = format!(
+            "workers={} cache={} verify_workers={}",
+            config.workers, config.cache_capacity, config.verify_workers
+        );
+        let service = QueryService::new(sys.snapshot(), config);
+        // Submit everything up front so queries genuinely overlap on the pool, then
+        // redeem in order.  Submit each query twice when the cache is on, so hits are
+        // exercised too.
+        let tickets: Vec<(usize, Ticket)> = cases
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (q, _))| {
+                [(i, service.submit(q.clone())), (i, service.submit(q.clone()))]
+            })
+            .collect();
+        for (i, ticket) in tickets {
+            let got = ticket.wait();
+            let (q, expected) = &cases[i];
+            assert_eq!(&got, expected, "[{label}] diverged on query #{i}: {q:#?}");
+            assert_eq!(
+                result_bytes(&got),
+                result_bytes(expected),
+                "[{label}] serialized bytes diverged on query #{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn influenza_service_matches_reference() {
+    let sys = influenza::build(&InfluenzaConfig::small().with_annotations(300));
+    assert_service_matches_reference(&sys, 0x5E41u64, 60);
+}
+
+#[test]
+fn neuro_service_matches_reference() {
+    let w = neuro::build(&NeuroConfig {
+        seed: 7,
+        images: 40,
+        regions_per_image: 6,
+        coordinate_systems: 3,
+        dcn_prob: 0.4,
+        tp53_prob: 0.25,
+        canvas: 1_000.0,
+    });
+    assert_service_matches_reference(&w.system, 0x5E42u64, 60);
+}
+
+#[test]
+fn empty_system_service_matches_reference() {
+    let sys = Graphitti::new();
+    assert_service_matches_reference(&sys, 0x5E43u64, 25);
+}
+
+/// Writer annotates and publishes mid-flight; concurrent readers must only ever see a
+/// result belonging to one published epoch (no torn state, no partially applied
+/// commit), and epochs must be observed in non-decreasing order per reader.
+#[test]
+fn readers_see_consistent_epochs_while_writer_publishes() {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("s", graphitti_core::DataType::DnaSequence, 1_000_000, "chr1");
+    for i in 0..10u64 {
+        sys.annotate()
+            .comment(format!("protease motif {i}"))
+            .mark(seq, Marker::interval(i * 100, i * 100 + 50))
+            .commit()
+            .unwrap();
+    }
+
+    let query = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+    let service = Arc::new(QueryService::new(
+        sys.snapshot(),
+        ServiceConfig::default().with_workers(3).with_cache_capacity(16),
+    ));
+
+    // The set of legal answers: one per published epoch.  Each publish appends one
+    // matching annotation, so the answers are pairwise distinct and a torn read (a
+    // result matching no published epoch) is detectable.
+    let mut legal: Vec<QueryResult> = vec![Executor::new(&sys).run(&query)];
+    let publishes = 12u64;
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let service = Arc::clone(&service);
+            let query = query.clone();
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    observed.push(service.run(query.clone()));
+                }
+                observed
+            }));
+        }
+
+        for i in 0..publishes {
+            sys.annotate()
+                .comment(format!("protease motif late {i}"))
+                .mark(seq, Marker::interval(500_000 + i * 100, 500_000 + i * 100 + 50))
+                .commit()
+                .unwrap();
+            service.publish(sys.snapshot());
+            legal.push(Executor::new(&sys).run(&query));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let base_count = legal[0].annotations.len();
+        for reader in readers {
+            let observed = reader.join().expect("reader panicked");
+            assert!(!observed.is_empty());
+            let mut last_epoch_idx = 0usize;
+            for result in observed {
+                let idx = legal
+                    .iter()
+                    .position(|l| l == &result)
+                    .unwrap_or_else(|| panic!(
+                        "reader saw a result matching no published epoch: {} annotations, \
+                         legal counts are {base_count}..={}",
+                        result.annotations.len(),
+                        base_count + publishes as usize
+                    ));
+                // published state only ever moves forward, so must each reader's view
+                assert!(
+                    idx >= last_epoch_idx,
+                    "reader went back in time: epoch #{idx} after #{last_epoch_idx}"
+                );
+                last_epoch_idx = idx;
+            }
+        }
+    });
+
+    assert_eq!(service.metrics().publishes, publishes);
+    assert_eq!(service.current_epoch(), sys.epoch());
+}

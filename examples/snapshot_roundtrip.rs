@@ -46,7 +46,7 @@ fn main() {
     println!("\nprotease annotations — original: {before}, rebuilt: {after}");
     assert_eq!(before, after);
 
-    // Snapshots must be identical.
-    assert_eq!(sys.snapshot(), rebuilt.snapshot());
-    println!("snapshots are identical — round-trip verified.");
+    // Study snapshots must be identical.
+    assert_eq!(sys.study_snapshot(), rebuilt.study_snapshot());
+    println!("study snapshots are identical — round-trip verified.");
 }

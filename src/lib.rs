@@ -66,6 +66,23 @@
 //! 224 µs → 67 µs, `q1_tp53` at 200 images 663 µs → 252 µs on the same machine.
 //! Run `cargo bench` then `cargo run -p bench --bin bench_summary` to regenerate the
 //! machine-readable `BENCH_query.json`.
+//!
+//! ## Concurrency
+//!
+//! The read path is **snapshot-isolated and concurrent** (see `ARCHITECTURE.md` for
+//! the full model):
+//!
+//! * [`core::Graphitti`] keeps all state in an `Arc`-shared [`core::SystemView`];
+//!   [`core::Snapshot`] captures it in O(1) and the first mutation afterwards
+//!   copy-on-publishes, so readers never block writers and never see torn state;
+//! * [`query::QueryService`] executes independent queries from a submission queue in
+//!   parallel on a worker pool, fans the verify phase of one large query across
+//!   chunked candidate ranges, and fronts execution with an LRU result cache keyed by
+//!   the canonical query form ([`query::Query::canonicalize`]) and invalidated on
+//!   snapshot publish.
+//!
+//! Run `cargo bench -p bench --bench throughput` for queries/second and latency
+//! percentiles per worker/cache configuration (`BENCH_throughput.json`).
 
 pub use agraph;
 pub use baseline as baselines;

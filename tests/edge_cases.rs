@@ -104,5 +104,5 @@ fn duplicate_object_names_are_allowed() {
     let a = sys.register_sequence("dup", DataType::DnaSequence, 100, "chr1");
     let b = sys.register_sequence("dup", DataType::DnaSequence, 200, "chr1");
     assert_ne!(a, b);
-    assert_eq!(sys.objects_of_type(DataType::DnaSequence).len(), 2);
+    assert_eq!(sys.object_ids_of_type(DataType::DnaSequence).len(), 2);
 }

@@ -78,7 +78,7 @@ fn q1_on_generated_neuro() {
 fn snapshot_roundtrip_on_generated_workload() {
     let sys = influenza::build(&InfluenzaConfig::small());
     let rebuilt = Graphitti::from_json(&sys.to_json()).unwrap();
-    assert_eq!(rebuilt.snapshot(), sys.snapshot());
+    assert_eq!(rebuilt.study_snapshot(), sys.study_snapshot());
     assert!(rebuilt.verify_integrity().is_empty());
 }
 
