@@ -69,8 +69,7 @@ pub fn is_connected(graph: &MultiGraph) -> bool {
 
 /// The nodes with the highest degree (top-k hubs), sorted by descending degree then id.
 pub fn top_hubs(graph: &MultiGraph, k: usize) -> Vec<(NodeId, usize)> {
-    let mut by_degree: Vec<(NodeId, usize)> =
-        graph.nodes().map(|n| (n, graph.degree(n))).collect();
+    let mut by_degree: Vec<(NodeId, usize)> = graph.nodes().map(|n| (n, graph.degree(n))).collect();
     by_degree.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     by_degree.truncate(k);
     by_degree

@@ -160,18 +160,12 @@ impl MultiGraph {
 
     /// The record of a node, if it exists and is alive.
     pub fn node(&self, id: NodeId) -> Option<&NodeRecord> {
-        self.nodes
-            .get(id.0 as usize)
-            .filter(|slot| slot.alive)
-            .map(|slot| &slot.record)
+        self.nodes.get(id.0 as usize).filter(|slot| slot.alive).map(|slot| &slot.record)
     }
 
     /// The record of an edge, if it exists and is alive.
     pub fn edge(&self, id: EdgeId) -> Option<&EdgeRecord> {
-        self.edges
-            .get(id.0 as usize)
-            .filter(|slot| slot.alive)
-            .map(|slot| &slot.record)
+        self.edges.get(id.0 as usize).filter(|slot| slot.alive).map(|slot| &slot.record)
     }
 
     /// Look a node up by its external key.
@@ -191,11 +185,7 @@ impl MultiGraph {
 
     /// Iterate over all live node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .map(|(i, _)| NodeId(i as u64))
+        self.nodes.iter().enumerate().filter(|(_, s)| s.alive).map(|(i, _)| NodeId(i as u64))
     }
 
     /// Iterate over all live node ids of one kind.
@@ -209,11 +199,7 @@ impl MultiGraph {
 
     /// Iterate over all live edge ids.
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .map(|(i, _)| EdgeId(i as u64))
+        self.edges.iter().enumerate().filter(|(_, s)| s.alive).map(|(i, _)| EdgeId(i as u64))
     }
 
     /// Outgoing edges of a node.
@@ -237,18 +223,12 @@ impl MultiGraph {
     /// Successor nodes (targets of outgoing edges), possibly with duplicates when
     /// parallel edges exist.
     pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
-        self.out_edges(id)
-            .iter()
-            .filter_map(|&e| self.edge(e).map(|r| r.to))
-            .collect()
+        self.out_edges(id).iter().filter_map(|&e| self.edge(e).map(|r| r.to)).collect()
     }
 
     /// Predecessor nodes (sources of incoming edges).
     pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
-        self.in_edges(id)
-            .iter()
-            .filter_map(|&e| self.edge(e).map(|r| r.from))
-            .collect()
+        self.in_edges(id).iter().filter_map(|&e| self.edge(e).map(|r| r.from)).collect()
     }
 
     /// All neighbours ignoring direction (deduplicated, in first-seen order).
@@ -315,9 +295,7 @@ impl MultiGraph {
     pub fn terms_of_content(&self, content: NodeId) -> Vec<NodeId> {
         self.successors(content)
             .into_iter()
-            .filter(|&n| {
-                self.node(n).map(|r| r.kind == NodeKind::OntologyTerm).unwrap_or(false)
-            })
+            .filter(|&n| self.node(n).map(|r| r.kind == NodeKind::OntologyTerm).unwrap_or(false))
             .collect()
     }
 
@@ -436,10 +414,7 @@ mod tests {
     fn removed_node_rejected_for_new_edges() {
         let (mut g, c1, _, r, _) = sample();
         g.remove_node(r).unwrap();
-        assert_eq!(
-            g.add_edge(c1, r, EdgeLabel::annotates()),
-            Err(GraphError::NodeNotFound(r))
-        );
+        assert_eq!(g.add_edge(c1, r, EdgeLabel::annotates()), Err(GraphError::NodeNotFound(r)));
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod path;
 pub mod subgraph;
 pub mod traverse;
 
-pub use analysis::{degree_distribution, eccentricity, is_connected, metrics, top_hubs, GraphMetrics};
+pub use analysis::{
+    degree_distribution, eccentricity, is_connected, metrics, top_hubs, GraphMetrics,
+};
 pub use error::GraphError;
 pub use graph::{EdgeId, EdgeRecord, MultiGraph, NodeId};
 pub use node::{EdgeLabel, NodeKind, NodeRecord};

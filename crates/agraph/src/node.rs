@@ -24,12 +24,8 @@ pub enum NodeKind {
 
 impl NodeKind {
     /// All node kinds, in a stable order.
-    pub const ALL: [NodeKind; 4] = [
-        NodeKind::Content,
-        NodeKind::Referent,
-        NodeKind::OntologyTerm,
-        NodeKind::Object,
-    ];
+    pub const ALL: [NodeKind; 4] =
+        [NodeKind::Content, NodeKind::Referent, NodeKind::OntologyTerm, NodeKind::Object];
 
     /// A short, stable lowercase name used in query syntax and display output.
     pub fn as_str(self) -> &'static str {

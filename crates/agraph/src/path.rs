@@ -182,10 +182,7 @@ impl PathSearch {
     fn kind_allowed(&self, graph: &MultiGraph, node: NodeId) -> bool {
         match &self.allowed_via_kinds {
             None => true,
-            Some(kinds) => graph
-                .node(node)
-                .map(|r| kinds.contains(&r.kind))
-                .unwrap_or(false),
+            Some(kinds) => graph.node(node).map(|r| kinds.contains(&r.kind)).unwrap_or(false),
         }
     }
 
@@ -231,7 +228,15 @@ impl MultiGraph {
         let mut edge_stack: Vec<EdgeId> = Vec::new();
         let mut visited = std::collections::HashSet::new();
         visited.insert(from);
-        self.dfs_paths(from, to, max_len, &mut node_stack, &mut edge_stack, &mut visited, &mut results);
+        self.dfs_paths(
+            from,
+            to,
+            max_len,
+            &mut node_stack,
+            &mut edge_stack,
+            &mut visited,
+            &mut results,
+        );
         results
     }
 

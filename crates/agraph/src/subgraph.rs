@@ -122,12 +122,7 @@ impl ConnectionSubgraph {
     /// The non-terminal ("Steiner") nodes introduced to connect the terminals.
     pub fn steiner_nodes(&self) -> Vec<NodeId> {
         let terms: HashSet<NodeId> = self.terminals.iter().copied().collect();
-        self.subgraph
-            .nodes
-            .iter()
-            .copied()
-            .filter(|n| !terms.contains(n))
-            .collect()
+        self.subgraph.nodes.iter().copied().filter(|n| !terms.contains(n)).collect()
     }
 }
 
@@ -281,14 +276,8 @@ mod tests {
     #[test]
     fn connect_requires_two_terminals() {
         let (g, contents, ..) = star();
-        assert_eq!(
-            g.connect(&[contents[0]]),
-            Err(GraphError::TooFewTerminals(1))
-        );
-        assert_eq!(
-            g.connect(&[contents[0], contents[0]]),
-            Err(GraphError::TooFewTerminals(1))
-        );
+        assert_eq!(g.connect(&[contents[0]]), Err(GraphError::TooFewTerminals(1)));
+        assert_eq!(g.connect(&[contents[0], contents[0]]), Err(GraphError::TooFewTerminals(1)));
     }
 
     #[test]
@@ -296,10 +285,7 @@ mod tests {
         let (mut g, contents, ..) = star();
         let dead = g.add_node(NodeKind::Object, "dead");
         g.remove_node(dead).unwrap();
-        assert_eq!(
-            g.connect(&[contents[0], dead]),
-            Err(GraphError::NodeNotFound(dead))
-        );
+        assert_eq!(g.connect(&[contents[0], dead]), Err(GraphError::NodeNotFound(dead)));
     }
 
     #[test]

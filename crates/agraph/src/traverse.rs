@@ -113,9 +113,8 @@ impl Neighborhood {
         radius: usize,
         direction: Direction,
     ) -> Neighborhood {
-        let mut members: Vec<(NodeId, usize)> = Bfs::new(graph, center, direction)
-            .with_max_depth(radius)
-            .collect();
+        let mut members: Vec<(NodeId, usize)> =
+            Bfs::new(graph, center, direction).with_max_depth(radius).collect();
         members.sort_by_key(|&(n, d)| (d, n));
         Neighborhood { center, members }
     }
@@ -152,11 +151,8 @@ pub fn reachable_via_labels(
     labels: &[&str],
     direction: Direction,
 ) -> HashSet<NodeId> {
-    let mut visited: HashSet<NodeId> = seeds
-        .iter()
-        .copied()
-        .filter(|&n| graph.node_alive(n))
-        .collect();
+    let mut visited: HashSet<NodeId> =
+        seeds.iter().copied().filter(|&n| graph.node_alive(n)).collect();
     let mut queue: VecDeque<NodeId> = visited.iter().copied().collect();
     while let Some(node) = queue.pop_front() {
         let mut push = |edge_ids: &[crate::graph::EdgeId], forward: bool| {
@@ -194,9 +190,8 @@ pub fn connected_components(graph: &MultiGraph) -> Vec<Vec<NodeId>> {
         if seen.contains(&node) {
             continue;
         }
-        let mut component: Vec<NodeId> = Bfs::new(graph, node, Direction::Both)
-            .map(|(n, _)| n)
-            .collect();
+        let mut component: Vec<NodeId> =
+            Bfs::new(graph, node, Direction::Both).map(|(n, _)| n).collect();
         component.sort();
         for &n in &component {
             seen.insert(n);
@@ -213,9 +208,8 @@ mod tests {
 
     fn chain(n: usize) -> (MultiGraph, Vec<NodeId>) {
         let mut g = MultiGraph::new();
-        let ids: Vec<NodeId> = (0..n)
-            .map(|i| g.add_node(NodeKind::Object, format!("n{i}")))
-            .collect();
+        let ids: Vec<NodeId> =
+            (0..n).map(|i| g.add_node(NodeKind::Object, format!("n{i}"))).collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1], EdgeLabel::new("next")).unwrap();
         }
@@ -244,9 +238,7 @@ mod tests {
     #[test]
     fn bfs_max_depth_truncates() {
         let (g, ids) = chain(10);
-        let depths = Bfs::new(&g, ids[0], Direction::Forward)
-            .with_max_depth(3)
-            .collect_depths();
+        let depths = Bfs::new(&g, ids[0], Direction::Forward).with_max_depth(3).collect_depths();
         assert_eq!(depths.len(), 4);
         assert_eq!(depths[&ids[3]], 3);
         assert!(!depths.contains_key(&ids[4]));

@@ -8,9 +8,7 @@ use std::collections::HashSet;
 /// Build a graph from a list of (from, to) index pairs over `n` nodes.
 fn build(n: usize, edges: &[(usize, usize)]) -> (MultiGraph, Vec<NodeId>) {
     let mut g = MultiGraph::new();
-    let ids: Vec<NodeId> = (0..n)
-        .map(|i| g.add_node(NodeKind::Object, format!("n{i}")))
-        .collect();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(NodeKind::Object, format!("n{i}"))).collect();
     for &(a, b) in edges {
         g.add_edge(ids[a % n], ids[b % n], EdgeLabel::new("e")).unwrap();
     }

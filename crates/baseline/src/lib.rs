@@ -16,4 +16,4 @@ pub mod naive;
 pub mod relational;
 
 pub use naive::NaiveReferentIndex;
-pub use relational::{RelationalAnnotationStore, RelAnnotationId};
+pub use relational::{RelAnnotationId, RelationalAnnotationStore};

@@ -120,11 +120,7 @@ impl RelationalAnnotationStore {
     /// optionally be given the same indexing the query planner would use — off by
     /// default to model the naive prior art).
     pub fn index_referent_object(&mut self) {
-        let _ = self
-            .catalog
-            .table_mut("referent")
-            .unwrap()
-            .create_index("by_object", "object_id");
+        let _ = self.catalog.table_mut("referent").unwrap().create_index("by_object", "object_id");
     }
 
     /// Annotations whose comment contains a phrase (case-insensitive substring) — by a
@@ -162,11 +158,8 @@ impl RelationalAnnotationStore {
     ) -> Vec<u64> {
         use std::collections::BTreeMap;
         // 1. find qualifying annotation ids (scan).
-        let qualifying: std::collections::HashSet<u64> = self
-            .annotations_containing(phrase)
-            .into_iter()
-            .map(|a| a.0)
-            .collect();
+        let qualifying: std::collections::HashSet<u64> =
+            self.annotations_containing(phrase).into_iter().map(|a| a.0).collect();
         // 2. join with referents (scan) grouping intervals by object.
         let referent = self.catalog.table("referent").unwrap();
         let mut by_object: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
@@ -324,17 +317,11 @@ mod tests {
     fn consecutive_interval_join() {
         let s = store();
         // object 1 has 4 consecutive protease intervals
-        assert_eq!(
-            s.objects_with_consecutive_intervals("protease", 4, 60),
-            vec![1]
-        );
+        assert_eq!(s.objects_with_consecutive_intervals("protease", 4, 60), vec![1]);
         // requiring 5 finds none
         assert!(s.objects_with_consecutive_intervals("protease", 5, 60).is_empty());
         // object 2 has only one protease interval
-        assert_eq!(
-            s.objects_with_consecutive_intervals("protease", 1, 60),
-            vec![1, 2]
-        );
+        assert_eq!(s.objects_with_consecutive_intervals("protease", 1, 60), vec![1, 2]);
     }
 
     #[test]

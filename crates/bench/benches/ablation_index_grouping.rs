@@ -49,10 +49,7 @@ fn bench_grouping(c: &mut Criterion) {
     let g = grouped(objects, per);
     let p = per_object(objects, per);
 
-    table_header(
-        "A2: index grouping",
-        &["layout", "structures", "total_intervals"],
-    );
+    table_header("A2: index grouping", &["layout", "structures", "total_intervals"]);
     table_row(&["grouped".into(), g.domain_count().to_string(), g.len().to_string()]);
     table_row(&["per_object".into(), p.domain_count().to_string(), p.len().to_string()]);
 
@@ -65,9 +62,13 @@ fn bench_grouping(c: &mut Criterion) {
 
     // per-object: to answer the same cross-object query, every per-object tree must be
     // consulted (overlapping_all_domains)
-    group.bench_with_input(BenchmarkId::new("per_object_all_domains", objects), &objects, |b, _| {
-        b.iter(|| p.overlapping_all_domains(probe).len());
-    });
+    group.bench_with_input(
+        BenchmarkId::new("per_object_all_domains", objects),
+        &objects,
+        |b, _| {
+            b.iter(|| p.overlapping_all_domains(probe).len());
+        },
+    );
 
     group.finish();
 }

@@ -8,9 +8,9 @@
 //! queries through both executors — identical collation, so the gap isolates what the
 //! persistent inverted indexes and the seed-then-verify pipeline buy.
 
+use baseline::NaiveReferentIndex;
 use bench::{table_header, table_row};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use baseline::NaiveReferentIndex;
 use graphitti_query::{Executor, OntologyFilter, Query, ReferenceExecutor, Target};
 use interval_index::{DomainIntervals, Interval};
 use spatial_index::{CoordinateSystems, Rect};
@@ -46,7 +46,10 @@ fn bench_ablation(c: &mut Criterion) {
     let sizes = [1_000u64, 10_000, 50_000];
     let probe = Interval::new(500_000, 500_200);
 
-    table_header("A1: index vs. linear scan (correctness)", &["n", "interval_hits_match", "region_hits_match"]);
+    table_header(
+        "A1: index vs. linear scan (correctness)",
+        &["n", "interval_hits_match", "region_hits_match"],
+    );
     for &n in &sizes {
         let (idx, naive) = build_interval(n);
         let mut a: Vec<u64> = idx.overlapping(DOMAIN, probe).iter().map(|e| e.payload).collect();

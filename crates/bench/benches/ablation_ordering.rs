@@ -26,12 +26,7 @@ fn bench_ordering(c: &mut Criterion) {
     let plan = exec.plan(&query);
     table_header("A3: feasible ordering", &["position", "kind", "selectivity"]);
     for (i, sub) in plan.order.iter().enumerate() {
-        println!(
-            "{}\t{:?}\t{:.3}",
-            i + 1,
-            sub.kind,
-            sub.selectivity
-        );
+        println!("{}\t{:?}\t{:.3}", i + 1, sub.kind, sub.selectivity);
     }
     // the most selective subquery is the content phrase
     assert_eq!(plan.driver().unwrap().kind, SubQueryKind::Content);

@@ -8,8 +8,8 @@
 //! proportional to the connected component it visits, while the baseline re-scans the
 //! referent table each round and grows super-linearly with the workload.
 
-use bench::{influenza_system, table_header, table_row};
 use baseline::RelationalAnnotationStore;
+use bench::{influenza_system, table_header, table_row};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphitti_core::{AnnotationId, Graphitti, Marker};
 

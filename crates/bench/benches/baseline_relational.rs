@@ -6,8 +6,8 @@
 //! difference. Reproducible shape: Graphitti's indexed evaluation beats the
 //! scan-and-join baseline, by a margin that grows with the workload.
 
-use bench::{influenza_system, table_header, table_row};
 use baseline::RelationalAnnotationStore;
+use bench::{influenza_system, table_header, table_row};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphitti_core::Marker;
 use graphitti_query::{Executor, GraphConstraint, Query, Target};
@@ -50,7 +50,8 @@ fn bench_baseline(c: &mut Criterion) {
         let query = Query::new(Target::Referents)
             .with_phrase("protease")
             .with_constraint(GraphConstraint::ConsecutiveIntervals { count: 4, max_gap: 2_000 });
-        let mut g_objs: Vec<u64> = Executor::new(&sys).run(&query).objects.iter().map(|o| o.0).collect();
+        let mut g_objs: Vec<u64> =
+            Executor::new(&sys).run(&query).objects.iter().map(|o| o.0).collect();
         let mut b_objs: Vec<u64> = rel.objects_with_consecutive_intervals("protease", 4, 2_000);
         g_objs.sort_unstable();
         b_objs.sort_unstable();

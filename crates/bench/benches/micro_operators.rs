@@ -11,7 +11,7 @@ use agraph::{EdgeLabel, MultiGraph, NodeKind};
 use datagen::ontology_gen;
 use interval_index::{Interval, IntervalTree};
 use ontology::RelationType;
-use spatial_index::{Rect, RTree};
+use spatial_index::{RTree, Rect};
 
 fn interval_tree(n: u64) -> IntervalTree {
     let mut t = IntervalTree::new();
@@ -68,9 +68,7 @@ fn bench_operators(c: &mut Criterion) {
     c.bench_function("M1_overlap_rtree", |bch| {
         bch.iter(|| rt.overlapping(Rect::rect2(5_000.0, 5_000.0, 5_200.0, 5_200.0)).len())
     });
-    c.bench_function("M1_nearest_rtree", |bch| {
-        bch.iter(|| rt.nearest([5_000.0, 5_000.0, 0.0]))
-    });
+    c.bench_function("M1_nearest_rtree", |bch| bch.iter(|| rt.nearest([5_000.0, 5_000.0, 0.0])));
 
     // ontology operators
     let (mut onto, _root, all) = ontology_gen::balanced_tree(4, 4);
@@ -78,27 +76,19 @@ fn bench_operators(c: &mut Criterion) {
     let root = all[0];
     let child = all[1];
     c.bench_function("M1_CI", |bch| bch.iter(|| onto.ci(root).len()));
-    c.bench_function("M1_CRI", |bch| {
-        bch.iter(|| onto.cri(root, &RelationType::IsA).len())
-    });
-    c.bench_function("M1_CmRI", |bch| {
-        bch.iter(|| onto.cm_ri(&[root], &[RelationType::IsA]).len())
-    });
+    c.bench_function("M1_CRI", |bch| bch.iter(|| onto.cri(root, &RelationType::IsA).len()));
+    c.bench_function("M1_CmRI", |bch| bch.iter(|| onto.cm_ri(&[root], &[RelationType::IsA]).len()));
     c.bench_function("M1_mCmRI", |bch| {
         bch.iter(|| onto.m_cm_ri(&[root, child], &[RelationType::IsA]).len())
     });
-    c.bench_function("M1_SubTree", |bch| {
-        bch.iter(|| onto.subtree(root, &RelationType::IsA).len())
-    });
+    c.bench_function("M1_SubTree", |bch| bch.iter(|| onto.subtree(root, &RelationType::IsA).len()));
     c.bench_function("M1_SubTree_difference", |bch| {
         bch.iter(|| onto.subtree_difference(root, child, &RelationType::IsA).len())
     });
 
     // a-graph operators
     let (g, contents) = star_graph(1_000);
-    c.bench_function("M1_path", |bch| {
-        bch.iter(|| g.path(contents[0], contents[999]))
-    });
+    c.bench_function("M1_path", |bch| bch.iter(|| g.path(contents[0], contents[999])));
     c.bench_function("M1_connect", |bch| {
         bch.iter(|| g.connect(&[contents[0], contents[500], contents[999]]).map(|cs| cs.size()))
     });

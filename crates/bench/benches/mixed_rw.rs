@@ -1,0 +1,281 @@
+//! Experiment T2 — mixed read/write serving: publish stall and sustained write
+//! throughput under concurrent readers.
+//!
+//! A writer replays the `datagen::mixed` write stream (ingest batches that register
+//! new sequence objects interleaved with annotation batches) against a live system —
+//! one [`CommitBatch`] per batch, one [`QueryService::publish`] after each — while N
+//! reader clients continuously replay a phrase-query mix against the service.  Because
+//! every publish leaves a snapshot outstanding in the service, **every batch's first
+//! write is a post-snapshot first write**: with per-component structural sharing it
+//! copies only the components the write touches; the pre-refactor monolithic
+//! copy-on-publish paid a full deep copy of the view instead.  The bench measures both
+//! sides on the same machine:
+//!
+//! * `per_component` — the real system as shipped;
+//! * `monolithic` — the same drive with the old cost model emulated by
+//!   `Graphitti::unshare_all` (a whole-view deep copy installed as the live view) at
+//!   each batch's first write — exactly what `Arc::make_mut` on a flat view performed;
+//!   the write then proceeds in place, paying no per-component copies on top.
+//!
+//! Reported per mode: sustained write qps, post-snapshot first-write latency
+//! p50/p95/p99 (the publish stall), and concurrent read qps.  Entries carry `qps`, so
+//! `bench_summary` routes them into `BENCH_throughput.json`.
+//!
+//! Pass `--quick` (as CI does) for a smoke run that doubles as a correctness gate:
+//! small workload, and every mix query's final answer is asserted byte-identical to
+//! the single-threaded [`Executor`] after the full stream has been applied.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use bench::{percentile, table_header, table_row};
+use datagen::mixed::{self, MixedConfig, MixedWorkload};
+use datagen::InfluenzaConfig;
+use graphitti_query::{Executor, Query, QueryService, ServiceConfig, Target};
+
+/// How each batch's first write pays for the outstanding snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyMode {
+    /// Per-component `Arc::make_mut`: copy only what the write touches.
+    PerComponent,
+    /// Emulated pre-refactor behaviour: deep-copy the whole view first.
+    Monolithic,
+}
+
+impl CopyMode {
+    fn label(self) -> &'static str {
+        match self {
+            CopyMode::PerComponent => "per_component",
+            CopyMode::Monolithic => "monolithic",
+        }
+    }
+}
+
+/// One mode's measured outcome.
+struct Measurement {
+    mode: &'static str,
+    workers: usize,
+    clients: usize,
+    writes: usize,
+    write_qps: f64,
+    first_write_p50_ns: u64,
+    first_write_p95_ns: u64,
+    first_write_p99_ns: u64,
+    read_qps: f64,
+    read_p50_ns: u64,
+    read_p95_ns: u64,
+    read_p99_ns: u64,
+    reads: usize,
+}
+
+fn read_mix(workload: &MixedWorkload) -> Vec<Query> {
+    workload
+        .read_phrases
+        .iter()
+        .map(|phrase| Query::new(Target::AnnotationContents).with_phrase(*phrase))
+        .collect()
+}
+
+/// Drive one mode: the writer replays every batch (batch → publish) while `clients`
+/// readers hammer the query mix, then gates every mix query's answer against the
+/// single-threaded [`Executor`] on the final state before returning the measurement.
+fn drive(config: &MixedConfig, mode: CopyMode, workers: usize, clients: usize) -> Measurement {
+    let mut workload = mixed::build(config);
+    let mix = read_mix(&workload);
+    let service = QueryService::new(
+        workload.system.snapshot(),
+        ServiceConfig::default().with_workers(workers).with_cache_capacity(256),
+    );
+
+    let mut first_write_ns: Vec<u64> = Vec::with_capacity(workload.write_batches.len());
+    let mut writes = 0usize;
+    let stop = AtomicBool::new(false);
+    let (read_latencies, write_wall) = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..clients)
+            .map(|client| {
+                let service = &service;
+                let mix = &mix;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut i = client; // stagger the replay order per client
+                    while !stop.load(Ordering::Relaxed) {
+                        let q = mix[i % mix.len()].clone();
+                        let t0 = Instant::now();
+                        std::hint::black_box(service.run(q));
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        i += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        // The writer: every batch's first write lands right after a publish, so the
+        // service's snapshot is outstanding and copy-on-write is exercised each time.
+        let write_start = Instant::now();
+        for ops in &workload.write_batches {
+            let t0 = Instant::now();
+            if mode == CopyMode::Monolithic {
+                // What a flat `Arc<SystemView>` paid before the first write could
+                // proceed: one deep copy of everything.  Installing the copy as the
+                // live view keeps the emulation fair — the write below then mutates
+                // unshared state in place, with no per-component copies on top.
+                workload.system.unshare_all();
+            }
+            let mut batch = workload.system.batch();
+            let mut op_iter = ops.iter();
+            if let Some(first) = op_iter.next() {
+                writes += usize::from(first.apply(&mut batch));
+                first_write_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            for op in op_iter {
+                writes += usize::from(op.apply(&mut batch));
+            }
+            batch.commit();
+            service.publish(workload.system.snapshot());
+        }
+        let write_wall = write_start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+
+        let mut read_latencies = Vec::new();
+        for handle in readers {
+            read_latencies.extend(handle.join().expect("reader thread panicked"));
+        }
+        (read_latencies, write_wall)
+    });
+
+    first_write_ns.sort_unstable();
+    let mut reads_sorted = read_latencies;
+    reads_sorted.sort_unstable();
+    let measurement = Measurement {
+        mode: mode.label(),
+        workers,
+        clients,
+        writes,
+        write_qps: writes as f64 / write_wall.as_secs_f64(),
+        first_write_p50_ns: percentile(&first_write_ns, 50.0),
+        first_write_p95_ns: percentile(&first_write_ns, 95.0),
+        first_write_p99_ns: percentile(&first_write_ns, 99.0),
+        read_qps: reads_sorted.len() as f64 / write_wall.as_secs_f64(),
+        read_p50_ns: percentile(&reads_sorted, 50.0),
+        read_p95_ns: percentile(&reads_sorted, 95.0),
+        read_p99_ns: percentile(&reads_sorted, 99.0),
+        reads: reads_sorted.len(),
+    };
+
+    // Correctness gate: after the full stream, every mix query served by the pool
+    // must be byte-identical to the single-threaded executor on the final state.
+    let exec = Executor::new(&workload.system);
+    for q in &mix {
+        let expected = exec.run(q);
+        let served = service.run(q.clone());
+        assert_eq!(
+            served.to_json(),
+            expected.to_json(),
+            "service diverged from Executor on {:?} in mode {}",
+            q,
+            mode.label()
+        );
+    }
+
+    measurement
+}
+
+fn write_json(measurements: &[Measurement], cores: usize) {
+    let mut entries = Vec::new();
+    for m in measurements {
+        for (kind, qps, p50, p95, p99, count) in [
+            (
+                "write",
+                m.write_qps,
+                m.first_write_p50_ns,
+                m.first_write_p95_ns,
+                m.first_write_p99_ns,
+                m.writes,
+            ),
+            ("read", m.read_qps, m.read_p50_ns, m.read_p95_ns, m.read_p99_ns, m.reads),
+        ] {
+            entries.push(jsonlite::Json::obj([
+                ("bench", jsonlite::Json::str("mixed_rw")),
+                ("name", jsonlite::Json::str(format!("T2_mixed_rw/{}/{}_side", m.mode, kind))),
+                // for the write side this is the post-snapshot first-write stall
+                ("ns_per_iter", jsonlite::Json::Num(p50 as f64)),
+                ("qps", jsonlite::Json::Num(qps)),
+                ("p50_ns", jsonlite::Json::u64(p50)),
+                ("p95_ns", jsonlite::Json::u64(p95)),
+                ("p99_ns", jsonlite::Json::u64(p99)),
+                ("clients", jsonlite::Json::u64(m.clients as u64)),
+                ("workers", jsonlite::Json::u64(m.workers as u64)),
+                ("cache", jsonlite::Json::u64(256)),
+                ("queries", jsonlite::Json::u64(count as u64)),
+                ("cores", jsonlite::Json::u64(cores as u64)),
+            ]));
+        }
+    }
+    let path = std::env::var("BENCH_JSON").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        let dir = criterion::workspace_root().join("target").join("criterion-json");
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("mixed_rw.json")
+    });
+    if let Err(e) = std::fs::write(&path, jsonlite::Json::Arr(entries).pretty() + "\n") {
+        eprintln!("mixed_rw: cannot write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (config, workers, clients) = if quick {
+        (
+            MixedConfig {
+                seed: 7,
+                base: InfluenzaConfig::small().with_annotations(120),
+                batches: 8,
+                writes_per_batch: 6,
+                protease_prob: 0.4,
+                register_batch_prob: 0.5,
+            },
+            2,
+            2,
+        )
+    } else {
+        (MixedConfig::default(), 4, 4)
+    };
+
+    table_header(
+        &format!(
+            "T2: mixed read/write serving ({cores} core(s), {} batches x {} writes)",
+            config.batches, config.writes_per_batch
+        ),
+        &["mode", "write qps", "stall p50", "stall p99", "read qps", "read p50", "read p99"],
+    );
+
+    let mut measurements = Vec::new();
+    for mode in [CopyMode::Monolithic, CopyMode::PerComponent] {
+        let m = drive(&config, mode, workers, clients);
+        table_row(&[
+            m.mode.to_string(),
+            format!("{:.0}", m.write_qps),
+            format!("{:.1}µs", m.first_write_p50_ns as f64 / 1_000.0),
+            format!("{:.1}µs", m.first_write_p99_ns as f64 / 1_000.0),
+            format!("{:.0}", m.read_qps),
+            format!("{:.1}µs", m.read_p50_ns as f64 / 1_000.0),
+            format!("{:.1}µs", m.read_p99_ns as f64 / 1_000.0),
+        ]);
+        measurements.push(m);
+    }
+
+    let mono = &measurements[0];
+    let per = &measurements[1];
+    println!(
+        "\nmixed_rw: post-snapshot first-write p50 {:.1}µs (monolithic emulation) -> {:.1}µs \
+         (per-component), {:.1}x",
+        mono.first_write_p50_ns as f64 / 1_000.0,
+        per.first_write_p50_ns as f64 / 1_000.0,
+        mono.first_write_p50_ns as f64 / per.first_write_p50_ns.max(1) as f64,
+    );
+
+    write_json(&measurements, cores);
+    println!("mixed_rw: wrote {} measurements", measurements.len() * 2);
+}

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use bench::{influenza_system, neuro_workload, table_header, table_row};
+use bench::{influenza_system, neuro_workload, percentile, table_header, table_row};
 use graphitti_core::Graphitti;
 use graphitti_query::{
     Executor, GraphConstraint, OntologyFilter, Query, QueryService, ServiceConfig, Target,
@@ -62,7 +62,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             within: canvas,
             system: neuro.systems[0].clone(),
         });
-    let dcn_browse = Query::new(Target::ConnectionGraphs).with_ontology(OntologyFilter::CitesTerm(dcn));
+    let dcn_browse =
+        Query::new(Target::ConnectionGraphs).with_ontology(OntologyFilter::CitesTerm(dcn));
 
     let annotations = if quick { 500 } else { 2_000 };
     let influenza = influenza_system(annotations, 2008);
@@ -108,14 +109,6 @@ fn drive(service: &QueryService, mix: &[Query], clients: usize, rounds: usize) -
     (qps, latencies)
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted[idx]
-}
-
 fn measure(
     scenario: &Scenario,
     workers: usize,
@@ -123,9 +116,7 @@ fn measure(
     clients: usize,
     rounds: usize,
 ) -> Measurement {
-    let config = ServiceConfig::default()
-        .with_workers(workers)
-        .with_cache_capacity(cache);
+    let config = ServiceConfig::default().with_workers(workers).with_cache_capacity(cache);
     let service = QueryService::new(scenario.system.snapshot(), config);
 
     // Correctness gate: every mix query must come back byte-identical to the

@@ -41,9 +41,8 @@ fn write_summary(entries: &[&Entry], output: &str) {
                             ("name", jsonlite::Json::str(e.name.clone())),
                             ("ns_per_iter", jsonlite::Json::Num(e.ns_per_iter)),
                         ];
-                        fields.extend(
-                            e.throughput.iter().map(|&(k, v)| (k, jsonlite::Json::Num(v))),
-                        );
+                        fields
+                            .extend(e.throughput.iter().map(|&(k, v)| (k, jsonlite::Json::Num(v))));
                         jsonlite::Json::obj(fields)
                     })
                     .collect(),
@@ -64,10 +63,8 @@ fn main() {
         .first()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| root.join("target").join("criterion-json"));
-    let query_output = args
-        .get(1)
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| root.join("BENCH_query.json"));
+    let query_output =
+        args.get(1).map(std::path::PathBuf::from).unwrap_or_else(|| root.join("BENCH_query.json"));
     let throughput_output = args
         .get(2)
         .map(std::path::PathBuf::from)

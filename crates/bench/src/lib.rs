@@ -45,6 +45,18 @@ pub fn table_row(cells: &[String]) {
     println!("{}", cells.join("\t"));
 }
 
+/// Percentile over an already-sorted latency sample (0 if empty), picking the
+/// element at the rounded linear-interpolation rank `round((len-1) · p/100)`.
+/// Shared by the throughput-style benches so their p50/p95/p99 columns in
+/// `BENCH_throughput.json` use the same rule.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

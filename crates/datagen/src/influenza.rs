@@ -79,7 +79,6 @@ impl InfluenzaConfig {
     }
 }
 
-
 /// Build a populated Graphitti system for the Influenza study.
 pub fn build(config: &InfluenzaConfig) -> Graphitti {
     let mut sys = Graphitti::new();
@@ -132,11 +131,8 @@ pub fn build(config: &InfluenzaConfig) -> Graphitti {
         // Decide whether to reuse a prior referent (shared referent → indirect relation).
         let reuse = !referent_pool.is_empty() && rng.chance(config.shared_referent_prob);
 
-        let mut builder = sys
-            .annotate()
-            .title(format!("annotation {a}"))
-            .comment(comment)
-            .creator(creator);
+        let mut builder =
+            sys.annotate().title(format!("annotation {a}")).comment(comment).creator(creator);
         let mut new_mark: Option<ObjectId> = None;
         if reuse {
             let rid = *rng.choose(&referent_pool);
@@ -252,10 +248,8 @@ mod tests {
         cfg.seed = 99;
         let sys = build(&cfg);
         // at least one annotation should have a related annotation via a shared referent
-        let has_related = sys
-            .annotations()
-            .iter()
-            .any(|a| !sys.related_annotations(a.id).is_empty());
+        let has_related =
+            sys.annotations().iter().any(|a| !sys.related_annotations(a.id).is_empty());
         assert!(has_related, "expected indirectly-related annotations");
     }
 

@@ -1,0 +1,284 @@
+//! The interleaved read/write workload: a populated base system plus a deterministic
+//! stream of write batches to apply **while queries are being served**.
+//!
+//! The paper's annotation workload is read-dominated but never read-only — curators
+//! keep registering objects and attaching annotations while queries run.  The other
+//! generators in this crate build static systems; this one additionally pre-draws a
+//! reproducible stream of [`WriteOp`]s, grouped into batches sized for
+//! [`CommitBatch`](graphitti_core::CommitBatch), so a bench can replay writer traffic
+//! (batch → publish → next batch) against a live query service and measure publish
+//! stalls and sustained write throughput.  Everything is seeded: the same config
+//! yields the same base system, the same write stream and the same read phrases.
+
+use graphitti_core::{CommitBatch, DataType, Graphitti, Marker, ObjectId};
+
+use crate::influenza::{self, InfluenzaConfig};
+use crate::rng::WorkloadRng;
+
+/// Configuration for the mixed read/write workload.
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// RNG seed (base system and write stream).
+    pub seed: u64,
+    /// The base (pre-populated) system the readers query and the writer grows.
+    pub base: InfluenzaConfig,
+    /// Number of write batches in the stream.
+    pub batches: usize,
+    /// Writes per batch (each batch is one `CommitBatch` + one publish).
+    pub writes_per_batch: usize,
+    /// Probability that a streamed annotation's comment matches the read mix's
+    /// "protease" phrase (so writes keep perturbing what readers ask for).
+    pub protease_prob: f64,
+    /// Probability that a batch is a *registration* batch (a curator ingest session
+    /// that only registers new sequence objects) rather than an *annotation* batch.
+    /// Registration batches leave the annotation-content store untouched, which is
+    /// exactly the case where per-component copy-on-write beats a whole-view copy.
+    pub register_batch_prob: f64,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            seed: 0x313D,
+            base: InfluenzaConfig::default(),
+            batches: 50,
+            writes_per_batch: 20,
+            protease_prob: 0.3,
+            register_batch_prob: 0.6,
+        }
+    }
+}
+
+impl MixedConfig {
+    /// A small configuration useful for tests and `--quick` smoke runs.
+    pub fn small() -> Self {
+        MixedConfig {
+            seed: 3,
+            base: InfluenzaConfig::small(),
+            batches: 6,
+            writes_per_batch: 5,
+            protease_prob: 0.4,
+            register_batch_prob: 0.5,
+        }
+    }
+}
+
+/// One streamed write: enough data to apply it to the live system.
+///
+/// The stream mirrors the paper's curation traffic — curators keep *registering*
+/// objects and *attaching annotations* while queries are served — so both mutation
+/// kinds appear, grouped into homogeneous batches (an ingest session registers, an
+/// annotation session annotates).
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Register a new 1-D sequence object.
+    Register {
+        /// Object name.
+        name: String,
+        /// Sequence data type.
+        data_type: DataType,
+        /// Sequence length.
+        length: u64,
+        /// Coordinate domain the sequence lives in.
+        domain: String,
+    },
+    /// Attach an interval annotation to an existing (base-system) sequence object.
+    Annotate {
+        /// The sequence object the annotation marks.
+        object: ObjectId,
+        /// Interval start.
+        start: u64,
+        /// Interval length.
+        len: u64,
+        /// The comment body.
+        comment: String,
+        /// The annotation creator.
+        creator: &'static str,
+    },
+}
+
+impl WriteOp {
+    /// Apply this op inside a write batch, returning whether the write succeeded.
+    pub fn apply(&self, batch: &mut CommitBatch<'_>) -> bool {
+        match self {
+            WriteOp::Register { name, data_type, length, domain } => {
+                batch.register_sequence(name.clone(), *data_type, *length, domain.clone());
+                true
+            }
+            WriteOp::Annotate { object, start, len, comment, creator } => batch
+                .annotate()
+                .comment(comment.clone())
+                .creator(*creator)
+                .mark(*object, Marker::interval(*start, *start + *len))
+                .commit()
+                .is_ok(),
+        }
+    }
+
+    /// Whether this op registers a new object (vs attaching an annotation).
+    pub fn is_register(&self) -> bool {
+        matches!(self, WriteOp::Register { .. })
+    }
+}
+
+/// The mixed workload: a populated system, the batched write stream, and the phrases
+/// the read mix should query for.
+pub struct MixedWorkload {
+    /// The base system (writer mutates it, readers query published snapshots of it).
+    pub system: Graphitti,
+    /// The write stream, pre-grouped into batches.
+    pub write_batches: Vec<Vec<WriteOp>>,
+    /// Phrases guaranteed to appear in both base and streamed annotations, for the
+    /// read mix.
+    pub read_phrases: Vec<&'static str>,
+}
+
+impl MixedWorkload {
+    /// Total writes across the stream.
+    pub fn total_writes(&self) -> usize {
+        self.write_batches.iter().map(Vec::len).sum()
+    }
+
+    /// Apply every batch immediately (no interleaving) — the serial baseline used by
+    /// correctness tests to compute the final expected state.
+    pub fn apply_all(system: &mut Graphitti, batches: &[Vec<WriteOp>]) -> usize {
+        let mut applied = 0;
+        for ops in batches {
+            let mut batch = system.batch();
+            for op in ops {
+                if op.apply(&mut batch) {
+                    applied += 1;
+                }
+            }
+            batch.commit();
+        }
+        applied
+    }
+}
+
+/// Build the mixed workload: an Influenza base system plus a deterministic write
+/// stream targeting its linear sequence objects.
+pub fn build(config: &MixedConfig) -> MixedWorkload {
+    let system = influenza::build(&config.base);
+    let mut rng = WorkloadRng::new(config.seed ^ 0x9D1A);
+
+    // Writers annotate the base system's linear sequences (those always accept
+    // interval markers).
+    let targets: Vec<ObjectId> =
+        [DataType::DnaSequence, DataType::RnaSequence, DataType::ProteinSequence]
+            .iter()
+            .flat_map(|&ty| system.object_ids_of_type(ty).iter().copied())
+            .collect();
+    assert!(!targets.is_empty(), "mixed workload needs sequence objects in the base");
+
+    let creators = ["stream-a", "stream-b", "stream-c"];
+    let seq_types = [DataType::DnaSequence, DataType::RnaSequence, DataType::ProteinSequence];
+    let segments = config.base.segments.max(1);
+    let write_batches = (0..config.batches)
+        .map(|b| {
+            // Batch 0 is always an annotation batch and its first op always carries
+            // the protease phrase (below), so the read phrases are guaranteed to
+            // match streamed content regardless of seed.
+            let ingest = rng.chance(config.register_batch_prob) && b != 0;
+            (0..config.writes_per_batch)
+                .map(|i| {
+                    if ingest {
+                        WriteOp::Register {
+                            name: format!("streamed-seq-{b}-{i}"),
+                            data_type: *rng.choose(&seq_types),
+                            length: rng.range_u64(900, 2400),
+                            domain: format!("segment-{}", rng.range_u64(0, segments as u64)),
+                        }
+                    } else {
+                        let object = *rng.choose(&targets);
+                        let start = rng.range_u64(0, 800);
+                        let len = rng.range_u64(10, 60);
+                        let comment = if rng.chance(config.protease_prob) || (b == 0 && i == 0) {
+                            format!("streamed protease cleavage observation {b}-{i}")
+                        } else {
+                            format!("streamed neutral note {b}-{i}")
+                        };
+                        let creator: &'static str = rng.choose::<&str>(&creators);
+                        WriteOp::Annotate { object, start, len, comment, creator }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    MixedWorkload { system, write_batches, read_phrases: vec!["protease", "streamed protease"] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_deterministically() {
+        let cfg = MixedConfig::small();
+        let a = build(&cfg);
+        let b = build(&cfg);
+        assert_eq!(a.system.annotation_count(), b.system.annotation_count());
+        assert_eq!(a.total_writes(), b.total_writes());
+        assert_eq!(a.write_batches.len(), cfg.batches);
+        assert!(a.write_batches.iter().all(|ops| ops.len() == cfg.writes_per_batch));
+        let describe = |op: &WriteOp| match op {
+            WriteOp::Register { name, .. } => name.clone(),
+            WriteOp::Annotate { comment, .. } => comment.clone(),
+        };
+        let flat_a: Vec<String> = a.write_batches.iter().flatten().map(describe).collect();
+        let flat_b: Vec<String> = b.write_batches.iter().flatten().map(describe).collect();
+        assert_eq!(flat_a, flat_b);
+    }
+
+    #[test]
+    fn stream_mixes_registration_and_annotation_batches() {
+        let w = build(&MixedConfig::default());
+        // Batches are homogeneous: an ingest session registers, an annotation session
+        // annotates — and the default stream contains both kinds.
+        let mut ingest_batches = 0;
+        for ops in &w.write_batches {
+            let registers = ops.iter().filter(|op| op.is_register()).count();
+            assert!(registers == 0 || registers == ops.len(), "batch mixes kinds");
+            ingest_batches += usize::from(registers == ops.len());
+        }
+        assert!(ingest_batches > 0, "no registration batches in the stream");
+        assert!(ingest_batches < w.write_batches.len(), "no annotation batches");
+        assert!(!w.write_batches[0][0].is_register(), "batch 0 must annotate");
+        match &w.write_batches[0][0] {
+            WriteOp::Annotate { comment, .. } => {
+                assert!(comment.contains("streamed protease"), "eager phrase anchor missing")
+            }
+            WriteOp::Register { .. } => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stream_applies_cleanly_one_epoch_per_batch() {
+        let cfg = MixedConfig::small();
+        let mut w = build(&cfg);
+        let registers = w.write_batches.iter().flatten().filter(|op| op.is_register()).count();
+        let before_annotations = w.system.annotation_count();
+        let before_objects = w.system.object_count();
+        let before_epoch = w.system.epoch();
+        let applied = MixedWorkload::apply_all(&mut w.system, &w.write_batches);
+        assert_eq!(applied, cfg.batches * cfg.writes_per_batch, "all ops must commit");
+        assert_eq!(w.system.object_count(), before_objects + registers);
+        assert_eq!(w.system.annotation_count(), before_annotations + applied - registers);
+        assert_eq!(w.system.epoch(), before_epoch + cfg.batches as u64);
+        assert!(w.system.verify_integrity().is_empty());
+    }
+
+    #[test]
+    fn streamed_writes_are_findable_by_the_read_phrases() {
+        let cfg = MixedConfig::small();
+        let mut w = build(&cfg);
+        MixedWorkload::apply_all(&mut w.system, &w.write_batches);
+        for phrase in &w.read_phrases {
+            assert!(
+                !w.system.content_store().containing_phrase(phrase).is_empty(),
+                "phrase {phrase:?} found nothing"
+            );
+        }
+    }
+}

@@ -57,7 +57,14 @@ pub fn neuro_anatomy() -> (Ontology, NeuroConcepts) {
     o.add_relation(cerebrum, hippocampus, RelationType::PartOf);
     (
         o,
-        NeuroConcepts { brain, cerebellum, cerebrum, deep_cerebellar_nuclei: dcn, cerebellar_cortex: cortex, hippocampus },
+        NeuroConcepts {
+            brain,
+            cerebellum,
+            cerebrum,
+            deep_cerebellar_nuclei: dcn,
+            cerebellar_cortex: cortex,
+            hippocampus,
+        },
     )
 }
 

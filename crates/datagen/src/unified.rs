@@ -44,13 +44,7 @@ impl Default for UnifiedConfig {
 impl UnifiedConfig {
     /// A small config for tests.
     pub fn small() -> Self {
-        UnifiedConfig {
-            seed: 3,
-            sequences: 6,
-            images: 6,
-            annotations: 30,
-            cross_annotations: 6,
-        }
+        UnifiedConfig { seed: 3, sequences: 6, images: 6, annotations: 30, cross_annotations: 6 }
     }
 }
 
@@ -169,11 +163,8 @@ mod tests {
         cfg.annotations = 0;
         let w = build(&cfg);
         // a correlation annotation has referents on two different object types
-        let cross = w
-            .system
-            .annotations()
-            .iter()
-            .find(|a| a.terms.contains(&w.correlation_concept));
+        let cross =
+            w.system.annotations().iter().find(|a| a.terms.contains(&w.correlation_concept));
         assert!(cross.is_some());
         let ann = cross.unwrap();
         let types: Vec<DataType> = ann

@@ -188,10 +188,7 @@ mod tests {
     fn annotation_accessors() {
         let ann = Annotation {
             id: AnnotationId(3),
-            content: DublinCore::new()
-                .title("t")
-                .description("c")
-                .creator("u"),
+            content: DublinCore::new().title("t").description("c").creator("u"),
             doc_id: DocId(0),
             referents: vec![ReferentId(1), ReferentId(2)],
             terms: vec![],

@@ -39,10 +39,9 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnknownObject(id) => write!(f, "unknown object {id:?}"),
-            CoreError::MarkerKindMismatch { data_type, expected, got } => write!(
-                f,
-                "marker mismatch for {data_type:?}: expected {expected:?}, got {got:?}"
-            ),
+            CoreError::MarkerKindMismatch { data_type, expected, got } => {
+                write!(f, "marker mismatch for {data_type:?}: expected {expected:?}, got {got:?}")
+            }
             CoreError::EmptyAnnotation => {
                 write!(f, "annotation has no referents and no ontology terms")
             }

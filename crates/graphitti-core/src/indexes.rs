@@ -210,7 +210,10 @@ mod tests {
             &referent(2, Marker::region(0.0, 0.0, 1.0, 1.0), "cs"),
             DataType::Image,
         );
-        idx.on_referent_added(&referent(3, Marker::block_set([4, 7]), "r"), DataType::RelationalRecord);
+        idx.on_referent_added(
+            &referent(3, Marker::block_set([4, 7]), "r"),
+            DataType::RelationalRecord,
+        );
 
         assert_eq!(idx.referents_of_type(DataType::DnaSequence), &[ReferentId(0), ReferentId(1)]);
         assert_eq!(idx.objects_of_type(DataType::DnaSequence), &[crate::ObjectId(0)]);
@@ -233,15 +236,17 @@ mod tests {
         let mut idx = Indexes::default();
         let t = ConceptId(3);
         idx.on_annotation_committed(AnnotationId(0), DocId(0), &[ReferentId(0)], &[t, t]);
-        idx.on_annotation_committed(AnnotationId(1), DocId(1), &[ReferentId(0), ReferentId(1)], &[t]);
+        idx.on_annotation_committed(
+            AnnotationId(1),
+            DocId(1),
+            &[ReferentId(0), ReferentId(1)],
+            &[t],
+        );
         assert_eq!(idx.annotations_citing(t), &[AnnotationId(0), AnnotationId(1)]);
         assert_eq!(idx.stats().term_citation_count(t), 2);
         assert_eq!(idx.annotation_of_doc(DocId(1)), Some(AnnotationId(1)));
         assert_eq!(idx.annotation_of_doc(DocId(9)), None);
-        assert_eq!(
-            idx.annotations_of_referent(ReferentId(0)),
-            &[AnnotationId(0), AnnotationId(1)]
-        );
+        assert_eq!(idx.annotations_of_referent(ReferentId(0)), &[AnnotationId(0), AnnotationId(1)]);
         assert!(idx.annotations_of_referent(ReferentId(9)).is_empty());
     }
 }

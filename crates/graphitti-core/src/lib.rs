@@ -23,12 +23,16 @@
 //!   explore with copy-on-publish semantics;
 //! * [`snapshot`] — [`Snapshot`], the isolated read handle concurrent query workers
 //!   execute against (readers never block writers, never see torn state);
+//! * [`batch`] — [`CommitBatch`], the batched write API: many registers / annotates
+//!   coalesced into one epoch bump, so a writer streaming commits publishes (and
+//!   invalidates downstream caches) once per batch;
 //! * [`study`] — [`StudySnapshot`], the serialisable export / import format for saving
 //!   and reloading a study.
 //!
 //! See the crate `README` and `examples/` for end-to-end usage.
 
 pub mod annotation;
+pub mod batch;
 pub mod error;
 pub mod indexes;
 pub mod marker;
@@ -39,13 +43,14 @@ pub mod system;
 pub mod types;
 
 pub use annotation::{Annotation, AnnotationBuilder, AnnotationId};
+pub use batch::CommitBatch;
 pub use error::CoreError;
 pub use indexes::{Indexes, Stats};
 pub use marker::{Marker, SubX};
 pub use referent::{Referent, ReferentId};
 pub use snapshot::Snapshot;
 pub use study::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, StudySnapshot};
-pub use system::{Entity, Graphitti, ObjectId, ObjectInfo, SystemView};
+pub use system::{Component, Entity, Graphitti, ObjectId, ObjectInfo, SystemView};
 pub use types::{DataType, Dimensionality};
 
 /// Convenience result alias.

@@ -67,10 +67,7 @@ impl Marker {
     pub fn key(&self) -> String {
         match self {
             Marker::Interval(i) => format!("ivl:{}-{}", i.start, i.end),
-            Marker::Region(r) => format!(
-                "reg:{},{}-{},{}",
-                r.min[0], r.min[1], r.max[0], r.max[1]
-            ),
+            Marker::Region(r) => format!("reg:{},{}-{},{}", r.min[0], r.min[1], r.max[0], r.max[1]),
             Marker::Volume(r) => format!(
                 "vol:{},{},{}-{},{},{}",
                 r.min[0], r.min[1], r.min[2], r.max[0], r.max[1], r.max[2]
@@ -209,7 +206,9 @@ mod tests {
     fn overlap_same_kind() {
         assert!(Marker::interval(0, 10).if_overlap(&Marker::interval(5, 15)));
         assert!(!Marker::interval(0, 10).if_overlap(&Marker::interval(10, 20)));
-        assert!(Marker::region(0.0, 0.0, 10.0, 10.0).if_overlap(&Marker::region(5.0, 5.0, 15.0, 15.0)));
+        assert!(
+            Marker::region(0.0, 0.0, 10.0, 10.0).if_overlap(&Marker::region(5.0, 5.0, 15.0, 15.0))
+        );
         assert!(Marker::block_set([1, 2, 3]).if_overlap(&Marker::block_set([3, 4, 5])));
         assert!(!Marker::block_set([1, 2]).if_overlap(&Marker::block_set([3, 4])));
     }
@@ -241,11 +240,7 @@ mod tests {
 
     #[test]
     fn next_on_intervals() {
-        let pop = vec![
-            Marker::interval(0, 10),
-            Marker::interval(12, 20),
-            Marker::interval(30, 40),
-        ];
+        let pop = vec![Marker::interval(0, 10), Marker::interval(12, 20), Marker::interval(30, 40)];
         let n = Marker::interval(0, 10).next_in(&pop).unwrap();
         assert_eq!(*n, Marker::interval(12, 20));
         assert!(Marker::interval(30, 40).next_in(&pop).is_none());

@@ -29,7 +29,12 @@ pub struct Referent {
 
 impl Referent {
     /// Create a referent.
-    pub fn new(id: ReferentId, object: ObjectId, marker: Marker, domain: impl Into<String>) -> Self {
+    pub fn new(
+        id: ReferentId,
+        object: ObjectId,
+        marker: Marker,
+        domain: impl Into<String>,
+    ) -> Self {
         Referent { id, object, marker, domain: domain.into() }
     }
 

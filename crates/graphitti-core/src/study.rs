@@ -118,23 +118,23 @@ impl Graphitti {
             })
             .collect();
 
-        StudySnapshot {
-            objects,
-            referents,
-            annotations,
-            ontology: self.ontology().clone(),
-        }
+        StudySnapshot { objects, referents, annotations, ontology: self.ontology().clone() }
     }
 
     /// Rebuild an equivalent system from a snapshot, preserving shared referents.
+    /// The whole replay — ontology included — runs inside one
+    /// [`CommitBatch`](crate::CommitBatch), so the rebuilt system publishes as a
+    /// single version: exactly one epoch bump for the whole replay, instead of one
+    /// per registration / annotation.
     pub fn from_study_snapshot(snapshot: &StudySnapshot) -> Result<Graphitti> {
         let mut sys = Graphitti::new();
-        *sys.ontology_mut() = snapshot.ontology.clone();
+        let mut batch = sys.batch();
+        *batch.ontology_mut() = snapshot.ontology.clone();
 
         // 1. register objects, mapping snapshot index -> new ObjectId.
         let mut object_map: Vec<ObjectId> = Vec::with_capacity(snapshot.objects.len());
         for obj in &snapshot.objects {
-            let id = sys.register_object(
+            let id = batch.register_object(
                 obj.data_type,
                 obj.name.clone(),
                 obj.metadata.clone(),
@@ -148,7 +148,7 @@ impl Graphitti {
         //    shared ones.
         let mut referent_map: Vec<Option<ReferentId>> = vec![None; snapshot.referents.len()];
         for ann in &snapshot.annotations {
-            let mut builder = sys.annotate().with_content(ann.content.clone());
+            let mut builder = batch.annotate().with_content(ann.content.clone());
             // which snapshot-referent-index each mark corresponds to, in order
             let mut fresh_indices: Vec<usize> = Vec::new();
             for &ref_idx in &ann.referents {
@@ -172,7 +172,7 @@ impl Graphitti {
             // Align the committed referent ids with the snapshot indices to record the
             // freshly-created ones for later sharing. The committed list is in mark order
             // (deduped), matching `ann.referents` order.
-            let committed = sys.annotation(aid).map(|a| a.referents.clone()).unwrap_or_default();
+            let committed = batch.annotation(aid).map(|a| a.referents.clone()).unwrap_or_default();
             let mut fresh_iter = fresh_indices.iter();
             for (pos, &ref_idx) in ann.referents.iter().enumerate() {
                 if referent_map[ref_idx].is_none() {
@@ -183,6 +183,7 @@ impl Graphitti {
                 }
             }
         }
+        batch.commit();
         Ok(sys)
     }
 
@@ -256,10 +257,7 @@ mod tests {
         assert_eq!(rebuilt.annotation_count(), sys.annotation_count());
         assert_eq!(rebuilt.referent_count(), sys.referent_count());
         // shared referent preserved: a0 and a1 remain related
-        assert_eq!(
-            rebuilt.related_annotations(AnnotationId(0)),
-            vec![AnnotationId(1)]
-        );
+        assert_eq!(rebuilt.related_annotations(AnnotationId(0)), vec![AnnotationId(1)]);
     }
 
     #[test]
@@ -269,8 +267,18 @@ mod tests {
         // the protease annotation is still findable by content
         assert_eq!(rebuilt.content_store().containing_phrase("protease cleavage").len(), 1);
         // the image region is still in the R-tree
-        let hits = rebuilt.overlapping_regions("cs25", spatial_index::Rect::rect2(20.0, 20.0, 30.0, 30.0));
+        let hits =
+            rebuilt.overlapping_regions("cs25", spatial_index::Rect::rect2(20.0, 20.0, 30.0, 30.0));
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn replay_takes_exactly_one_epoch() {
+        // The whole rebuild — ontology assignment included — is one CommitBatch, so
+        // a rebuilt system sits at epoch 1 regardless of how much it replays.
+        // (Downstream epoch-keyed caches rely on rebuilt systems restarting low.)
+        let rebuilt = Graphitti::from_study_snapshot(&sample_system().study_snapshot()).unwrap();
+        assert_eq!(rebuilt.epoch(), 1);
     }
 
     #[test]

@@ -6,12 +6,18 @@
 //! structure.  It is the object a downstream application holds.
 //!
 //! All registries, stores and indexes live in a [`SystemView`] behind an `Arc`;
-//! `Graphitti` derefs to it, so every read method is callable on either.  Mutations go
-//! through [`Arc::make_mut`]: while no [`Snapshot`](crate::Snapshot) is outstanding
-//! they are plain in-place updates, and the first mutation after a snapshot is taken
-//! copies the state once (copy-on-publish), leaving the snapshot's view untouched.
-//! Readers therefore never block writers and never observe torn state — see
-//! [`crate::snapshot`] for the read-handle side.
+//! `Graphitti` derefs to it, so every read method is callable on either.  The view is
+//! itself a **tree of independently shared components**: every substrate store, every
+//! registry and the inverted indexes sit behind their own inner `Arc` (see
+//! [`Component`]).  Mutations go through [`Arc::make_mut`] at *both* levels: while no
+//! [`Snapshot`](crate::Snapshot) is outstanding they are plain in-place updates, and
+//! the first mutation after a snapshot is taken shallow-copies the component tree (a
+//! dozen `Arc` bumps) and then deep-copies **only the components that mutation
+//! touches** — so publish cost after a snapshot is O(dirty components), not O(system),
+//! and the snapshot keeps structurally sharing every untouched component with the live
+//! view.  Readers therefore never block writers and never observe torn state — see
+//! [`crate::snapshot`] for the read-handle side, and [`crate::batch`] for coalescing
+//! many writes into one epoch bump.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,7 +39,9 @@ use crate::types::{DataType, Dimensionality};
 use crate::Result;
 
 /// Identifier of a registered data object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ObjectId(pub u64);
 
 /// Metadata about a registered object (its type, name, relational location and index
@@ -69,26 +77,62 @@ pub enum Entity {
     Object(ObjectId),
 }
 
-/// The complete read state of a Graphitti system: every registry, store and index.
+/// One independently shared component of a [`SystemView`].
 ///
-/// `Graphitti` and [`Snapshot`](crate::Snapshot) both deref to this type, so the whole
-/// read API (lookups, exploration, substructure queries, integrity checks) is written
-/// once here and shared by the live system and by isolated snapshots.  Cloning is a
-/// deep copy — it happens only when a mutation runs while a snapshot still holds the
-/// previous version (`Arc::make_mut` copy-on-publish).
+/// The view is a tree of `Arc`s, one per component; a mutation deep-copies only the
+/// components it touches (and only when they are still shared with a snapshot).
+/// Tests use [`SystemView::shares_component`] to prove that untouched components stay
+/// structurally shared across a snapshot/write boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The relational catalogue (typed object metadata tables).
+    Catalog,
+    /// The annotation-content store (XML documents + keyword index).
+    Content,
+    /// The interval-index collection.
+    Intervals,
+    /// The spatial-index collection.
+    Spatial,
+    /// The ontology store.
+    Ontology,
+    /// The a-graph.
+    Agraph,
+    /// The object registry.
+    Objects,
+    /// The referent registry.
+    Referents,
+    /// The annotation registry.
+    Annotations,
+    /// The node ↔ entity maps (forward and all reverse directions).
+    NodeMaps,
+    /// The object → referents secondary map.
+    ObjectReferents,
+    /// The inverted secondary indexes + planner statistics.
+    Indexes,
+}
+
+impl Component {
+    /// Every component, in declaration order.
+    pub const ALL: [Component; 12] = [
+        Component::Catalog,
+        Component::Content,
+        Component::Intervals,
+        Component::Spatial,
+        Component::Ontology,
+        Component::Agraph,
+        Component::Objects,
+        Component::Referents,
+        Component::Annotations,
+        Component::NodeMaps,
+        Component::ObjectReferents,
+        Component::Indexes,
+    ];
+}
+
+/// The node ↔ entity maps, grouped under one `Arc` because every a-graph mutation
+/// updates them together.
 #[derive(Debug, Default, Clone)]
-pub struct SystemView {
-    catalog: Catalog,
-    content: ContentStore,
-    intervals: DomainIntervals,
-    spatial: CoordinateSystems,
-    ontology: Ontology,
-    agraph: MultiGraph,
-
-    objects: Vec<ObjectInfo>,
-    referents: Vec<Referent>,
-    annotations: Vec<Annotation>,
-
+struct NodeMaps {
     /// Maps an a-graph node id to the entity it represents.
     node_entity: HashMap<NodeId, Entity>,
     /// Reverse maps for the query engine.
@@ -96,12 +140,37 @@ pub struct SystemView {
     referent_node: HashMap<ReferentId, NodeId>,
     annotation_node: HashMap<AnnotationId, NodeId>,
     term_node: HashMap<ConceptId, NodeId>,
+}
+
+/// The complete read state of a Graphitti system: every registry, store and index.
+///
+/// `Graphitti` and [`Snapshot`](crate::Snapshot) both deref to this type, so the whole
+/// read API (lookups, exploration, substructure queries, integrity checks) is written
+/// once here and shared by the live system and by isolated snapshots.  Cloning is
+/// **shallow** — one `Arc` bump per [`Component`]; component contents are deep-copied
+/// lazily, per component, by the first mutation that touches them while they are still
+/// shared (`Arc::make_mut` at the component level).
+#[derive(Debug, Default, Clone)]
+pub struct SystemView {
+    catalog: Arc<Catalog>,
+    content: Arc<ContentStore>,
+    intervals: Arc<DomainIntervals>,
+    spatial: Arc<CoordinateSystems>,
+    ontology: Arc<Ontology>,
+    agraph: Arc<MultiGraph>,
+
+    objects: Arc<Vec<ObjectInfo>>,
+    referents: Arc<Vec<Referent>>,
+    annotations: Arc<Vec<Annotation>>,
+
+    /// The node ↔ entity maps (see [`NodeMaps`]).
+    nodes: Arc<NodeMaps>,
     /// Secondary index: object → its referents, so exploration is O(k) not O(all
     /// referents).
-    object_referents: HashMap<ObjectId, Vec<ReferentId>>,
+    object_referents: Arc<HashMap<ObjectId, Vec<ReferentId>>>,
     /// Inverted secondary indexes + workload statistics, maintained incrementally at
     /// register / annotate time (never rebuilt per query).
-    indexes: Indexes,
+    indexes: Arc<Indexes>,
 }
 
 impl SystemView {
@@ -133,9 +202,63 @@ impl SystemView {
     }
 
     /// Mutable access to the ontology store (facade-internal; the public entry point is
-    /// [`Graphitti::ontology_mut`], which routes through copy-on-publish).
+    /// [`Graphitti::ontology_mut`], which routes through copy-on-publish).  Copies the
+    /// ontology component iff it is still shared with a snapshot.
     pub(crate) fn ontology_mut(&mut self) -> &mut Ontology {
-        &mut self.ontology
+        Arc::make_mut(&mut self.ontology)
+    }
+
+    // --- structural sharing ---
+
+    /// Whether `self` and `other` share the storage of one component (`Arc::ptr_eq` on
+    /// the component's inner `Arc`).  After a snapshot capture every component is
+    /// shared; a mutation un-shares exactly the components it touches.  Tests use this
+    /// to prove the copy-on-write granularity.
+    pub fn shares_component(&self, other: &SystemView, component: Component) -> bool {
+        match component {
+            Component::Catalog => Arc::ptr_eq(&self.catalog, &other.catalog),
+            Component::Content => Arc::ptr_eq(&self.content, &other.content),
+            Component::Intervals => Arc::ptr_eq(&self.intervals, &other.intervals),
+            Component::Spatial => Arc::ptr_eq(&self.spatial, &other.spatial),
+            Component::Ontology => Arc::ptr_eq(&self.ontology, &other.ontology),
+            Component::Agraph => Arc::ptr_eq(&self.agraph, &other.agraph),
+            Component::Objects => Arc::ptr_eq(&self.objects, &other.objects),
+            Component::Referents => Arc::ptr_eq(&self.referents, &other.referents),
+            Component::Annotations => Arc::ptr_eq(&self.annotations, &other.annotations),
+            Component::NodeMaps => Arc::ptr_eq(&self.nodes, &other.nodes),
+            Component::ObjectReferents => {
+                Arc::ptr_eq(&self.object_referents, &other.object_referents)
+            }
+            Component::Indexes => Arc::ptr_eq(&self.indexes, &other.indexes),
+        }
+    }
+
+    /// The components whose storage `self` still shares with `other`, in
+    /// [`Component::ALL`] order.
+    pub fn shared_components(&self, other: &SystemView) -> Vec<Component> {
+        Component::ALL.into_iter().filter(|&c| self.shares_component(other, c)).collect()
+    }
+
+    /// A fully materialised copy sharing **no** storage with `self`: every component's
+    /// contents deep-cloned behind a fresh `Arc`.  This is exactly what the
+    /// pre-refactor monolithic copy-on-publish paid on the first write after every
+    /// snapshot; benches use it as the before-side baseline when reporting the
+    /// per-component sharing win.
+    pub fn deep_copy(&self) -> SystemView {
+        SystemView {
+            catalog: Arc::new((*self.catalog).clone()),
+            content: Arc::new((*self.content).clone()),
+            intervals: Arc::new((*self.intervals).clone()),
+            spatial: Arc::new((*self.spatial).clone()),
+            ontology: Arc::new((*self.ontology).clone()),
+            agraph: Arc::new((*self.agraph).clone()),
+            objects: Arc::new((*self.objects).clone()),
+            referents: Arc::new((*self.referents).clone()),
+            annotations: Arc::new((*self.annotations).clone()),
+            nodes: Arc::new((*self.nodes).clone()),
+            object_referents: Arc::new((*self.object_referents).clone()),
+            indexes: Arc::new((*self.indexes).clone()),
+        }
     }
 
     /// The a-graph.
@@ -186,15 +309,15 @@ impl SystemView {
         let name = name.into();
         let domain = domain.into();
         let table_name = data_type.table_name();
-        self.catalog
-            .ensure_table(table_name, data_type.default_schema());
+        let catalog = Arc::make_mut(&mut self.catalog);
+        catalog.ensure_table(table_name, data_type.default_schema());
 
         // Build the full row: name, <metadata...>, payload.
         let mut row = Vec::with_capacity(metadata.len() + 2);
         row.push(Value::text(name.clone()));
         row.append(&mut metadata);
         row.push(Value::Blob(payload));
-        let table = self.catalog.require_table_mut(table_name)?;
+        let table = catalog.require_table_mut(table_name)?;
         let expected_meta = table.schema().arity();
         if row.len() != expected_meta {
             return Err(CoreError::Relational(format!(
@@ -207,11 +330,20 @@ impl SystemView {
         let row_id = table.insert(row)?;
 
         let id = ObjectId(self.objects.len() as u64);
-        let node = self.agraph.add_node(NodeKind::Object, format!("obj:{}", id.0));
-        self.node_entity.insert(node, Entity::Object(id));
-        self.object_node.insert(id, node);
-        self.objects.push(ObjectInfo { id, data_type, name, row: row_id, domain, node });
-        self.indexes.on_object_registered(id, data_type);
+        let node =
+            Arc::make_mut(&mut self.agraph).add_node(NodeKind::Object, format!("obj:{}", id.0));
+        let nodes = Arc::make_mut(&mut self.nodes);
+        nodes.node_entity.insert(node, Entity::Object(id));
+        nodes.object_node.insert(id, node);
+        Arc::make_mut(&mut self.objects).push(ObjectInfo {
+            id,
+            data_type,
+            name,
+            row: row_id,
+            domain,
+            node,
+        });
+        Arc::make_mut(&mut self.indexes).on_object_registered(id, data_type);
         Ok(id)
     }
 
@@ -223,10 +355,7 @@ impl SystemView {
     /// All objects of a given data type, served from the type inverted index — no
     /// registry scan and no per-call `Vec` allocation.
     pub fn objects_of_type(&self, data_type: DataType) -> impl Iterator<Item = &ObjectInfo> + '_ {
-        self.indexes
-            .objects_of_type(data_type)
-            .iter()
-            .map(move |id| &self.objects[id.0 as usize])
+        self.indexes.objects_of_type(data_type).iter().map(move |id| &self.objects[id.0 as usize])
     }
 
     /// The sorted ids of all objects of a given data type, as a borrowed slice.
@@ -292,29 +421,42 @@ impl SystemView {
         // 2. persist the content document.
         let id = AnnotationId(self.annotations.len() as u64);
         let doc = spec.content.to_document();
-        let doc_id = self.content.insert(doc);
+        let doc_id = Arc::make_mut(&mut self.content).insert(doc);
 
         // 3. content node in the a-graph.
-        let content_node = self.agraph.add_node(NodeKind::Content, format!("ann:{}", id.0));
-        self.node_entity.insert(content_node, Entity::Annotation(id));
-        self.annotation_node.insert(id, content_node);
+        let content_node =
+            Arc::make_mut(&mut self.agraph).add_node(NodeKind::Content, format!("ann:{}", id.0));
+        let nodes = Arc::make_mut(&mut self.nodes);
+        nodes.node_entity.insert(content_node, Entity::Annotation(id));
+        nodes.annotation_node.insert(id, content_node);
 
         // 4. link content -> each referent.
         for &rid in &referent_ids {
-            let rnode = self.referent_node[&rid];
-            self.agraph
-                .add_edge(content_node, rnode, EdgeLabel::annotates())?;
+            let rnode = self.nodes.referent_node[&rid];
+            Arc::make_mut(&mut self.agraph).add_edge(
+                content_node,
+                rnode,
+                EdgeLabel::annotates(),
+            )?;
         }
 
         // 5. link content -> each ontology term (adding term nodes lazily).
         for &term in &spec.terms {
             let tnode = self.term_node_for(term);
-            self.agraph
-                .add_edge(content_node, tnode, EdgeLabel::cites_term())?;
+            Arc::make_mut(&mut self.agraph).add_edge(
+                content_node,
+                tnode,
+                EdgeLabel::cites_term(),
+            )?;
         }
 
-        self.indexes.on_annotation_committed(id, doc_id, &referent_ids, &spec.terms);
-        self.annotations.push(Annotation {
+        Arc::make_mut(&mut self.indexes).on_annotation_committed(
+            id,
+            doc_id,
+            &referent_ids,
+            &spec.terms,
+        );
+        Arc::make_mut(&mut self.annotations).push(Annotation {
             id,
             content: spec.content,
             doc_id,
@@ -327,20 +469,13 @@ impl SystemView {
     /// Create and index a referent, returning its id.  The referent node is linked to
     /// its owning object by a `part-of` edge.
     fn add_referent(&mut self, object: ObjectId, marker: Marker) -> Result<ReferentId> {
-        let info = self
-            .object(object)
-            .ok_or(CoreError::UnknownObject(object))?
-            .clone();
+        let info = self.object(object).ok_or(CoreError::UnknownObject(object))?.clone();
 
         // Validate marker kind against the object's dimensionality.
         let expected = info.data_type.dimensionality();
         let got = marker.dimensionality();
         if expected != got {
-            return Err(CoreError::MarkerKindMismatch {
-                data_type: info.data_type,
-                expected,
-                got,
-            });
+            return Err(CoreError::MarkerKindMismatch { data_type: info.data_type, expected, got });
         }
 
         let rid = ReferentId(self.referents.len() as u64);
@@ -348,36 +483,40 @@ impl SystemView {
         // Index the substructure in the appropriate structure.
         match &marker {
             Marker::Interval(iv) => {
-                self.intervals.insert(&info.domain, *iv, rid.0);
+                Arc::make_mut(&mut self.intervals).insert(&info.domain, *iv, rid.0);
             }
             Marker::Region(rect) | Marker::Volume(rect) => {
-                self.spatial.insert(&info.domain, *rect, rid.0);
+                Arc::make_mut(&mut self.spatial).insert(&info.domain, *rect, rid.0);
             }
             Marker::BlockSet(_) => { /* discrete: no spatial index, lives in the a-graph only */ }
         }
 
         let referent = Referent::new(rid, object, marker, info.domain.clone());
-        let rnode = self.agraph.add_node(NodeKind::Referent, referent.node_key());
-        self.node_entity.insert(rnode, Entity::Referent(rid));
-        self.referent_node.insert(rid, rnode);
+        let rnode =
+            Arc::make_mut(&mut self.agraph).add_node(NodeKind::Referent, referent.node_key());
+        let nodes = Arc::make_mut(&mut self.nodes);
+        nodes.node_entity.insert(rnode, Entity::Referent(rid));
+        nodes.referent_node.insert(rid, rnode);
 
         // referent -> object (part-of)
-        self.agraph.add_edge(rnode, info.node, EdgeLabel::part_of())?;
+        Arc::make_mut(&mut self.agraph).add_edge(rnode, info.node, EdgeLabel::part_of())?;
 
-        self.object_referents.entry(object).or_default().push(rid);
-        self.indexes.on_referent_added(&referent, info.data_type);
-        self.referents.push(referent);
+        Arc::make_mut(&mut self.object_referents).entry(object).or_default().push(rid);
+        Arc::make_mut(&mut self.indexes).on_referent_added(&referent, info.data_type);
+        Arc::make_mut(&mut self.referents).push(referent);
         Ok(rid)
     }
 
     /// Look up (or lazily create) the a-graph node for an ontology term.
     fn term_node_for(&mut self, concept: ConceptId) -> NodeId {
-        if let Some(&n) = self.term_node.get(&concept) {
+        if let Some(&n) = self.nodes.term_node.get(&concept) {
             return n;
         }
-        let n = self.agraph.add_node(NodeKind::OntologyTerm, format!("onto:{}", concept.0));
-        self.node_entity.insert(n, Entity::Term(concept));
-        self.term_node.insert(concept, n);
+        let n = Arc::make_mut(&mut self.agraph)
+            .add_node(NodeKind::OntologyTerm, format!("onto:{}", concept.0));
+        let nodes = Arc::make_mut(&mut self.nodes);
+        nodes.node_entity.insert(n, Entity::Term(concept));
+        nodes.term_node.insert(concept, n);
         n
     }
 
@@ -411,28 +550,28 @@ impl SystemView {
 
     /// The entity a node refers to.
     pub fn entity_of(&self, node: NodeId) -> Option<Entity> {
-        self.node_entity.get(&node).copied()
+        self.nodes.node_entity.get(&node).copied()
     }
 
     /// The a-graph node of an object.
     pub fn object_node(&self, id: ObjectId) -> Option<NodeId> {
-        self.object_node.get(&id).copied()
+        self.nodes.object_node.get(&id).copied()
     }
 
     /// The a-graph node of a referent.
     pub fn referent_node(&self, id: ReferentId) -> Option<NodeId> {
-        self.referent_node.get(&id).copied()
+        self.nodes.referent_node.get(&id).copied()
     }
 
     /// The a-graph node of an annotation.
     pub fn annotation_node(&self, id: AnnotationId) -> Option<NodeId> {
-        self.annotation_node.get(&id).copied()
+        self.nodes.annotation_node.get(&id).copied()
     }
 
     /// The a-graph node of an ontology term, if any annotation has cited it (or it was
     /// explicitly ensured).
     pub fn term_node(&self, concept: ConceptId) -> Option<NodeId> {
-        self.term_node.get(&concept).copied()
+        self.nodes.term_node.get(&concept).copied()
     }
 
     // --- exploration (correlated data viewing) ---
@@ -489,7 +628,7 @@ impl SystemView {
     /// exists to make cheap (a relational baseline needs an iterative self-join).
     pub fn transitively_related_annotations(&self, start: AnnotationId) -> Vec<AnnotationId> {
         use std::collections::{HashSet, VecDeque};
-        let Some(&seed) = self.annotation_node.get(&start) else {
+        let Some(&seed) = self.nodes.annotation_node.get(&start) else {
             return Vec::new();
         };
         // BFS over the bipartite content↔referent structure, following annotates edges in
@@ -547,11 +686,7 @@ impl SystemView {
 
     /// Referents whose region overlaps `query` within a coordinate system.
     pub fn overlapping_regions(&self, system: &str, query: Rect) -> Vec<ReferentId> {
-        self.spatial
-            .overlapping(system, query)
-            .into_iter()
-            .map(|e| ReferentId(e.payload))
-            .collect()
+        self.spatial.overlapping(system, query).into_iter().map(|e| ReferentId(e.payload)).collect()
     }
 
     /// The connection subgraph intervening a set of annotations — the a-graph `connect`
@@ -561,10 +696,8 @@ impl SystemView {
         &self,
         annotations: &[AnnotationId],
     ) -> Option<agraph::ConnectionSubgraph> {
-        let nodes: Vec<NodeId> = annotations
-            .iter()
-            .filter_map(|a| self.annotation_node.get(a).copied())
-            .collect();
+        let nodes: Vec<NodeId> =
+            annotations.iter().filter_map(|a| self.nodes.annotation_node.get(a).copied()).collect();
         self.agraph.connect(&nodes).ok()
     }
 
@@ -572,10 +705,8 @@ impl SystemView {
     /// nodes.  This is what the demo's correlated-data viewer draws when the user asks
     /// how several result objects are related.
     pub fn connect_objects(&self, objects: &[ObjectId]) -> Option<agraph::ConnectionSubgraph> {
-        let nodes: Vec<NodeId> = objects
-            .iter()
-            .filter_map(|o| self.object_node.get(o).copied())
-            .collect();
+        let nodes: Vec<NodeId> =
+            objects.iter().filter_map(|o| self.nodes.object_node.get(o).copied()).collect();
         self.agraph.connect(&nodes).ok()
     }
 
@@ -586,8 +717,8 @@ impl SystemView {
         a: AnnotationId,
         b: AnnotationId,
     ) -> Option<agraph::Path> {
-        let na = self.annotation_node.get(&a).copied()?;
-        let nb = self.annotation_node.get(&b).copied()?;
+        let na = self.nodes.annotation_node.get(&a).copied()?;
+        let nb = self.nodes.annotation_node.get(&b).copied()?;
         self.agraph.path(na, nb)
     }
 
@@ -604,19 +735,19 @@ impl SystemView {
         let mut problems = Vec::new();
 
         // every object has an a-graph node
-        for info in &self.objects {
-            match self.object_node.get(&info.id) {
+        for info in self.objects.iter() {
+            match self.nodes.object_node.get(&info.id) {
                 Some(&n) if self.agraph.node_alive(n) => {}
                 _ => problems.push(format!("object {:?} has no live a-graph node", info.id)),
             }
         }
         // every referent has a node, an object that exists, and (for spatial/linear) an
         // index entry
-        for r in &self.referents {
+        for r in self.referents.iter() {
             if self.object(r.object).is_none() {
                 problems.push(format!("referent {:?} points to missing object", r.id));
             }
-            match self.referent_node.get(&r.id) {
+            match self.nodes.referent_node.get(&r.id) {
                 Some(&n) if self.agraph.node_alive(n) => {}
                 _ => problems.push(format!("referent {:?} has no live node", r.id)),
             }
@@ -645,14 +776,15 @@ impl SystemView {
             }
         }
         // every annotation has a node and its referents exist
-        for a in &self.annotations {
-            match self.annotation_node.get(&a.id) {
+        for a in self.annotations.iter() {
+            match self.nodes.annotation_node.get(&a.id) {
                 Some(&n) if self.agraph.node_alive(n) => {}
                 _ => problems.push(format!("annotation {:?} has no live node", a.id)),
             }
             for &rid in &a.referents {
                 if self.referent(rid).is_none() {
-                    problems.push(format!("annotation {:?} links missing referent {:?}", a.id, rid));
+                    problems
+                        .push(format!("annotation {:?} links missing referent {:?}", a.id, rid));
                 }
             }
         }
@@ -662,7 +794,12 @@ impl SystemView {
     /// Whether the object's dimensionality is spatial (for callers building markers).
     pub fn is_spatial_object(&self, object: ObjectId) -> bool {
         self.object(object)
-            .map(|o| matches!(o.data_type.dimensionality(), Dimensionality::Planar | Dimensionality::Volumetric))
+            .map(|o| {
+                matches!(
+                    o.data_type.dimensionality(),
+                    Dimensionality::Planar | Dimensionality::Volumetric
+                )
+            })
             .unwrap_or(false)
     }
 }
@@ -678,6 +815,11 @@ impl SystemView {
 pub struct Graphitti {
     view: Arc<SystemView>,
     epoch: u64,
+    /// Inside a [`CommitBatch`](crate::CommitBatch): epoch bumps are coalesced so the
+    /// whole batch publishes as one version.
+    batched: bool,
+    /// Whether the current batch has already taken its single epoch bump.
+    batch_bumped: bool,
 }
 
 impl std::ops::Deref for Graphitti {
@@ -712,8 +854,25 @@ impl Graphitti {
         crate::Snapshot::capture(Arc::clone(&self.view), self.epoch)
     }
 
+    /// Replace the live view with a [`deep_copy`](SystemView::deep_copy), un-sharing
+    /// every component from every outstanding snapshot at once.  This is exactly the
+    /// cost model of the pre-refactor monolithic copy-on-publish (one flat
+    /// `Arc::make_mut` over the whole view): benches call it before a post-snapshot
+    /// write to measure the before side — the write that follows then mutates
+    /// unshared state in place, paying no per-component copies on top.  Not a
+    /// version change: the state is identical, so the epoch stays put.  The view's
+    /// *identity* does change, however: a snapshot captured afterwards is not
+    /// [`same_epoch`](crate::Snapshot::same_epoch)-equal to one captured before (that
+    /// check includes `Arc::ptr_eq`), so a query service publish that straddles an
+    /// `unshare_all` conservatively clears its result cache.
+    pub fn unshare_all(&mut self) {
+        self.view = Arc::new(self.view.deep_copy());
+    }
+
     /// Copy-on-publish write access: bump the epoch and obtain a mutable view,
-    /// deep-cloning the state first iff a snapshot still references it.
+    /// shallow-cloning the component tree first iff a snapshot still references it
+    /// (each *component* then deep-copies lazily when a mutation touches it — see
+    /// [`SystemView`]).
     ///
     /// The epoch bumps even when the mutation subsequently fails.  That is
     /// deliberate: several mutations have partial effects on failure (e.g. a
@@ -721,9 +880,33 @@ impl Graphitti {
     /// referents), so treating every write attempt as a new version is the
     /// conservative direction — downstream epoch-keyed caches may invalidate
     /// needlessly, but can never serve stale state.
+    ///
+    /// Inside a [`CommitBatch`](crate::CommitBatch) the epoch bumps once, on the
+    /// batch's first write attempt; the rest of the batch shares that version (the
+    /// batch exclusively borrows the system, so no snapshot can observe the
+    /// intermediate states the coalesced epoch would misname).
     fn view_mut(&mut self) -> &mut SystemView {
-        self.epoch += 1;
+        if !self.batched {
+            self.epoch += 1;
+        } else if !self.batch_bumped {
+            self.epoch += 1;
+            self.batch_bumped = true;
+        }
         Arc::make_mut(&mut self.view)
+    }
+
+    /// Enter batch mode (called by [`Graphitti::batch`] via `crate::batch`): until
+    /// [`end_batch`](Self::end_batch), all write attempts share one epoch bump.
+    pub(crate) fn begin_batch(&mut self) {
+        debug_assert!(!self.batched, "CommitBatch exclusively borrows the system");
+        self.batched = true;
+        self.batch_bumped = false;
+    }
+
+    /// Leave batch mode: versioning returns to one epoch bump per mutation.
+    pub(crate) fn end_batch(&mut self) {
+        self.batched = false;
+        self.batch_bumped = false;
     }
 
     /// Mutable access to the ontology store (ontologies are loaded before annotating).
@@ -775,11 +958,9 @@ impl Graphitti {
                 Value::text("unknown"),
                 Value::text(domain.clone()),
             ],
-            DataType::MultipleAlignment => vec![
-                Value::Int(length as i64),
-                Value::Int(1),
-                Value::text(domain.clone()),
-            ],
+            DataType::MultipleAlignment => {
+                vec![Value::Int(length as i64), Value::Int(1), Value::text(domain.clone())]
+            }
             _ => unreachable!("linear types handled above"),
         };
         self.register_object(data_type, name, metadata, Bytes::new(), domain)
@@ -814,6 +995,15 @@ impl Graphitti {
     /// Begin building an annotation.
     pub fn annotate(&mut self) -> AnnotationBuilder<'_> {
         AnnotationBuilder::new(self)
+    }
+
+    /// Begin a batched write.  Every register / annotate staged through the returned
+    /// [`CommitBatch`](crate::CommitBatch) shares **one** epoch bump, so a writer
+    /// streaming many commits publishes one new version per batch — and a downstream
+    /// epoch-keyed result cache (the query service's) invalidates once per batch
+    /// instead of once per call.
+    pub fn batch(&mut self) -> crate::CommitBatch<'_> {
+        crate::CommitBatch::new(self)
     }
 
     /// Commit an annotation spec (called by the builder).
@@ -886,20 +1076,14 @@ mod tests {
     #[test]
     fn marker_kind_mismatch_rejected() {
         let (mut sys, seq) = system_with_sequence();
-        let err = sys
-            .annotate()
-            .mark(seq, Marker::region(0.0, 0.0, 1.0, 1.0))
-            .commit();
+        let err = sys.annotate().mark(seq, Marker::region(0.0, 0.0, 1.0, 1.0)).commit();
         assert!(matches!(err, Err(CoreError::MarkerKindMismatch { .. })));
     }
 
     #[test]
     fn unknown_object_rejected() {
         let mut sys = Graphitti::new();
-        let err = sys
-            .annotate()
-            .mark(ObjectId(99), Marker::interval(0, 10))
-            .commit();
+        let err = sys.annotate().mark(ObjectId(99), Marker::interval(0, 10)).commit();
         assert_eq!(err, Err(CoreError::UnknownObject(ObjectId(99))));
     }
 
@@ -984,7 +1168,7 @@ mod tests {
         let a2 = sys.annotate().creator("y").mark_existing(rid).commit().unwrap();
         let cs = sys.connect_annotations(&[a1, a2]).unwrap();
         assert!(cs.size() >= 3); // two contents + the shared referent
-        // path between them goes content -> referent -> content (length 2)
+                                 // path between them goes content -> referent -> content (length 2)
         let p = sys.path_between_annotations(a1, a2).unwrap();
         assert_eq!(p.len(), 2);
         // connecting their objects: only one object here, so connect needs >= 2 and fails
@@ -1022,11 +1206,7 @@ mod tests {
             .cite_term(term)
             .commit()
             .unwrap();
-        sys.annotate()
-            .comment("y")
-            .mark(img, Marker::region(1.0, 1.0, 5.0, 5.0))
-            .commit()
-            .unwrap();
+        sys.annotate().comment("y").mark(img, Marker::region(1.0, 1.0, 5.0, 5.0)).commit().unwrap();
         assert!(sys.verify_integrity().is_empty(), "{:?}", sys.verify_integrity());
     }
 

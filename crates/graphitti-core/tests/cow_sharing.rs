@@ -1,0 +1,282 @@
+//! Structural-sharing tests for the per-component copy-on-write `SystemView`.
+//!
+//! After a snapshot capture, every component of the live view shares storage with the
+//! snapshot (`Arc::ptr_eq` at the component level).  A mutation must un-share exactly
+//! the components it touches: these tests pin the dirty set of each mutation kind, so
+//! a regression that silently widens a write's copy footprint (or, worse, mutates a
+//! still-shared component in place) fails loudly.  Randomized cases check the
+//! invariant that holds for *every* mutation: a component is either shared and
+//! bit-identical, or unshared — never shared and diverged.
+
+use graphitti_core::{Component, DataType, Graphitti, Marker, Snapshot};
+use proptest::prelude::*;
+
+fn annotated_system() -> Graphitti {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("s", DataType::DnaSequence, 100_000, "chr1");
+    let img = sys.register_image("brain", 512, 512, "mri", "cs25");
+    let term = sys.ontology_mut().add_concept("Protease");
+    sys.annotate()
+        .comment("protease site")
+        .mark(seq, Marker::interval(10, 60))
+        .cite_term(term)
+        .commit()
+        .unwrap();
+    sys.annotate()
+        .comment("region of interest")
+        .mark(img, Marker::region(1.0, 1.0, 50.0, 50.0))
+        .commit()
+        .unwrap();
+    sys
+}
+
+/// The components `snap` still shares with the live system, as a sorted label list
+/// (readable assertion failures).
+fn shared(sys: &Graphitti, snap: &Snapshot) -> Vec<Component> {
+    sys.view().shared_components(snap.view())
+}
+
+fn assert_sharing(sys: &Graphitti, snap: &Snapshot, expect_dirty: &[Component]) {
+    for c in Component::ALL {
+        let is_shared = sys.view().shares_component(snap.view(), c);
+        if expect_dirty.contains(&c) {
+            assert!(!is_shared, "{c:?} should have been copied by this mutation");
+        } else {
+            assert!(is_shared, "{c:?} was copied although the mutation never touches it");
+        }
+    }
+}
+
+#[test]
+fn capture_shares_every_component() {
+    let sys = annotated_system();
+    let snap = sys.snapshot();
+    assert_eq!(shared(&sys, &snap).len(), Component::ALL.len());
+}
+
+#[test]
+fn annotate_after_snapshot_copies_only_the_annotation_path() {
+    let mut sys = annotated_system();
+    let seq = sys.objects()[0].id;
+    let snap = sys.snapshot();
+    sys.annotate()
+        .comment("single post-snapshot annotate")
+        .mark(seq, Marker::interval(500, 550))
+        .commit()
+        .unwrap();
+    // The annotate path touches: content store, a-graph, node maps, the referent /
+    // annotation registries, the interval index (interval marker), object→referents
+    // and the inverted indexes.  Everything else — catalog, spatial, ontology, the
+    // object registry — must still be shared with the snapshot.
+    assert_sharing(
+        &sys,
+        &snap,
+        &[
+            Component::Content,
+            Component::Intervals,
+            Component::Agraph,
+            Component::Referents,
+            Component::Annotations,
+            Component::NodeMaps,
+            Component::ObjectReferents,
+            Component::Indexes,
+        ],
+    );
+    // In particular the big untouched substrates stay put:
+    assert!(sys.view().shares_component(snap.view(), Component::Catalog));
+    assert!(sys.view().shares_component(snap.view(), Component::Ontology));
+    assert!(sys.view().shares_component(snap.view(), Component::Spatial));
+}
+
+#[test]
+fn spatial_annotate_leaves_interval_index_shared() {
+    let mut sys = annotated_system();
+    let img = sys.objects()[1].id;
+    let snap = sys.snapshot();
+    sys.annotate()
+        .comment("late region")
+        .mark(img, Marker::region(60.0, 60.0, 80.0, 80.0))
+        .commit()
+        .unwrap();
+    assert!(sys.view().shares_component(snap.view(), Component::Intervals));
+    assert!(!sys.view().shares_component(snap.view(), Component::Spatial));
+    assert!(sys.view().shares_component(snap.view(), Component::Catalog));
+}
+
+#[test]
+fn register_after_snapshot_copies_only_the_registration_path() {
+    let mut sys = annotated_system();
+    let snap = sys.snapshot();
+    sys.register_sequence("late", DataType::ProteinSequence, 500, "chr2");
+    assert_sharing(
+        &sys,
+        &snap,
+        &[
+            Component::Catalog,
+            Component::Agraph,
+            Component::Objects,
+            Component::NodeMaps,
+            Component::Indexes,
+        ],
+    );
+    // registration creates no referent, annotation or content
+    assert!(sys.view().shares_component(snap.view(), Component::Content));
+    assert!(sys.view().shares_component(snap.view(), Component::Referents));
+    assert!(sys.view().shares_component(snap.view(), Component::Annotations));
+}
+
+#[test]
+fn ontology_edit_after_snapshot_copies_only_the_ontology() {
+    let mut sys = annotated_system();
+    let snap = sys.snapshot();
+    sys.ontology_mut().add_concept("LateConcept");
+    assert_sharing(&sys, &snap, &[Component::Ontology]);
+}
+
+#[test]
+fn term_node_registration_copies_graph_and_node_maps_only() {
+    let mut sys = annotated_system();
+    let term = sys.ontology_mut().add_concept("Uncited");
+    let snap = sys.snapshot();
+    sys.ensure_term_node(term);
+    assert_sharing(&sys, &snap, &[Component::Agraph, Component::NodeMaps]);
+}
+
+#[test]
+fn whole_batch_shares_one_copy_footprint() {
+    let mut sys = annotated_system();
+    let seq = sys.objects()[0].id;
+    let snap = sys.snapshot();
+    let mut batch = sys.batch();
+    for i in 0..50u64 {
+        batch
+            .annotate()
+            .comment("burst")
+            .mark(seq, Marker::interval(1_000 + i * 20, 1_000 + i * 20 + 10))
+            .commit()
+            .unwrap();
+    }
+    batch.commit();
+    // 50 writes, but the dirty set is the same as for one annotate: after the first
+    // write un-shares a component, the rest of the batch mutates it in place.
+    assert!(sys.view().shares_component(snap.view(), Component::Catalog));
+    assert!(sys.view().shares_component(snap.view(), Component::Ontology));
+    assert!(sys.view().shares_component(snap.view(), Component::Spatial));
+    assert!(sys.view().shares_component(snap.view(), Component::Objects));
+    assert!(!sys.view().shares_component(snap.view(), Component::Annotations));
+    assert_eq!(snap.annotation_count() + 50, sys.annotation_count());
+}
+
+#[test]
+fn second_snapshot_restores_full_sharing() {
+    let mut sys = annotated_system();
+    let seq = sys.objects()[0].id;
+    let old = sys.snapshot();
+    sys.annotate().comment("x").mark(seq, Marker::interval(0, 5)).commit().unwrap();
+    let fresh = sys.snapshot();
+    // the old snapshot keeps its partial sharing; the fresh one shares everything
+    assert!(shared(&sys, &old).len() < Component::ALL.len());
+    assert_eq!(shared(&sys, &fresh).len(), Component::ALL.len());
+}
+
+#[test]
+fn deep_copy_shares_nothing() {
+    let sys = annotated_system();
+    let copy = sys.view().deep_copy();
+    assert!(sys.view().shared_components(&copy).is_empty());
+    // ... while being an equivalent system state
+    assert_eq!(copy.annotation_count(), sys.annotation_count());
+    assert!(copy.verify_integrity().is_empty());
+}
+
+/// One random mutation step applied to the system.
+#[derive(Debug, Clone)]
+enum Step {
+    Annotate { start: u64, len: u64, spatial: bool },
+    Register { linear: bool },
+    Ontology,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (0u64..10, 0u64..5_000, 1u64..100, any::<bool>()).prop_map(
+        |(kind, start, len, flag)| match kind {
+            0..=5 => Step::Annotate { start, len, spatial: flag },
+            6 | 7 => Step::Register { linear: flag },
+            _ => Step::Ontology,
+        },
+    )
+}
+
+/// Apply one random step to the live system.
+fn apply_step(sys: &mut Graphitti, step: &Step) {
+    match *step {
+        Step::Annotate { start, len, spatial } => {
+            let (obj, marker) = if spatial {
+                let s = start as f64 % 400.0;
+                (sys.objects()[1].id, Marker::region(s, s, s + len as f64, s + len as f64))
+            } else {
+                (sys.objects()[0].id, Marker::interval(start, start + len))
+            };
+            let _ = sys.annotate().comment("prop step").mark(obj, marker).commit();
+        }
+        Step::Register { linear } => {
+            if linear {
+                let name = format!("p{}", sys.object_count());
+                sys.register_sequence(name, DataType::DnaSequence, 1_000, "chr1");
+            } else {
+                let name = format!("i{}", sys.object_count());
+                sys.register_image(name, 64, 64, "mri", "cs25");
+            }
+        }
+        Step::Ontology => {
+            let name = format!("c{}", sys.object_count());
+            sys.ontology_mut().add_concept(name);
+        }
+    }
+}
+
+/// For any mutation sequence: a component still shared with a pre-mutation snapshot
+/// implies the snapshot observed no change through it (sharing is only ever broken
+/// *by* a write, never written through), and both sides stay internally consistent.
+fn check_sharing_invariant(steps: &[Step]) {
+    let mut sys = annotated_system();
+    let snap = sys.snapshot();
+    let objects_before = snap.object_count();
+    let annotations_before = snap.annotation_count();
+    let referents_before = snap.referent_count();
+
+    for step in steps {
+        apply_step(&mut sys, step);
+    }
+
+    // the snapshot never moves, whatever stayed shared
+    prop_assert_eq!(snap.object_count(), objects_before);
+    prop_assert_eq!(snap.annotation_count(), annotations_before);
+    prop_assert_eq!(snap.referent_count(), referents_before);
+    prop_assert!(snap.verify_integrity().is_empty());
+    prop_assert!(sys.verify_integrity().is_empty());
+
+    // every mutation sequence above includes at least one write, so at least one
+    // component must have been copied — and the registries can only be unshared if
+    // their contents actually diverged
+    let shared_now = sys.view().shared_components(snap.view());
+    prop_assert!(shared_now.len() < Component::ALL.len());
+    if sys.view().shares_component(snap.view(), Component::Annotations) {
+        prop_assert_eq!(sys.annotation_count(), snap.annotation_count());
+    }
+    if sys.view().shares_component(snap.view(), Component::Objects) {
+        prop_assert_eq!(sys.object_count(), snap.object_count());
+    }
+    if sys.view().shares_component(snap.view(), Component::Referents) {
+        prop_assert_eq!(sys.referent_count(), snap.referent_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shared_components_are_never_written_through(steps in prop::collection::vec(arb_step(), 1..12)) {
+        check_sharing_invariant(&steps);
+    }
+}

@@ -68,7 +68,14 @@ fn build_random(seed: u64, n_objects: usize, n_anns: usize, share: bool) -> Grap
 
     let mut sys = Graphitti::new();
     let objs: Vec<_> = (0..n_objects.max(1))
-        .map(|i| sys.register_sequence(format!("s{i}"), DataType::DnaSequence, 10_000, format!("chr{}", i % 3)))
+        .map(|i| {
+            sys.register_sequence(
+                format!("s{i}"),
+                DataType::DnaSequence,
+                10_000,
+                format!("chr{}", i % 3),
+            )
+        })
         .collect();
     let mut referent_pool = Vec::new();
     for a in 0..n_anns {

@@ -140,8 +140,7 @@ impl Query {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.content
-            .push(ContentFilter::Keywords(keywords.into_iter().map(Into::into).collect()));
+        self.content.push(ContentFilter::Keywords(keywords.into_iter().map(Into::into).collect()));
         self
     }
 
@@ -352,10 +351,11 @@ mod tests {
     fn canonicalize_makes_default_class_relations_explicit() {
         let implicit = Query::new(Target::AnnotationContents)
             .with_ontology(OntologyFilter::InClass { concept: ConceptId(7), relations: vec![] });
-        let explicit = Query::new(Target::AnnotationContents).with_ontology(OntologyFilter::InClass {
-            concept: ConceptId(7),
-            relations: vec![RelationType::PartOf, RelationType::IsA],
-        });
+        let explicit =
+            Query::new(Target::AnnotationContents).with_ontology(OntologyFilter::InClass {
+                concept: ConceptId(7),
+                relations: vec![RelationType::PartOf, RelationType::IsA],
+            });
         assert_eq!(implicit.cache_key(), explicit.cache_key());
     }
 

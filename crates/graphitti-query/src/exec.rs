@@ -35,9 +35,7 @@ use graphitti_core::{AnnotationId, Entity, Marker, ObjectId, ReferentId, SystemV
 use interval_index::Interval;
 use ontology::{ConceptId, RelationType};
 
-use crate::ast::{
-    ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
-};
+use crate::ast::{ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
 use crate::plan::{Plan, SubQueryKind};
 use crate::result::{QueryResult, ResultPage};
 use crate::setops;
@@ -168,9 +166,7 @@ impl<'g> Executor<'g> {
         let constraint_anns: Option<Vec<AnnotationId>> = if needs_onto_only {
             let mut acc: Option<Vec<AnnotationId>> = None;
             for (i, f) in query.ontology.iter().enumerate() {
-                let set = onto_sets[i]
-                    .take()
-                    .unwrap_or_else(|| self.qualifying_annotations(f));
+                let set = onto_sets[i].take().unwrap_or_else(|| self.qualifying_annotations(f));
                 acc = Some(match acc {
                     None => set,
                     Some(prev) => setops::intersect_sorted(&prev, &set),
@@ -262,7 +258,11 @@ impl<'g> Executor<'g> {
 
     /// Keep only the candidate annotations whose content document satisfies the filter
     /// (per-document index probes, no set materialisation).
-    fn verify_content(&self, cands: Vec<AnnotationId>, filter: &ContentFilter) -> Vec<AnnotationId> {
+    fn verify_content(
+        &self,
+        cands: Vec<AnnotationId>,
+        filter: &ContentFilter,
+    ) -> Vec<AnnotationId> {
         let keyword_refs: Vec<&str> = match filter {
             ContentFilter::Keywords(ks) => ks.iter().map(String::as_str).collect(),
             _ => Vec::new(),
@@ -271,7 +271,12 @@ impl<'g> Executor<'g> {
     }
 
     /// Whether one candidate annotation's content satisfies the filter.
-    fn content_matches(&self, aid: AnnotationId, filter: &ContentFilter, keyword_refs: &[&str]) -> bool {
+    fn content_matches(
+        &self,
+        aid: AnnotationId,
+        filter: &ContentFilter,
+        keyword_refs: &[&str],
+    ) -> bool {
         let store = self.system.content_store();
         let Some(ann) = self.system.annotation(aid) else { return false };
         match filter {
@@ -304,7 +309,11 @@ impl<'g> Executor<'g> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = cands
                 .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().copied().filter(|&c| keep(c)).collect::<Vec<T>>()))
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter().copied().filter(|&c| keep(c)).collect::<Vec<T>>()
+                    })
+                })
                 .collect();
             for handle in handles {
                 out.extend(handle.join().expect("verify worker panicked"));
@@ -319,11 +328,9 @@ impl<'g> Executor<'g> {
     fn referent_matches(&self, rid: ReferentId, filter: &ReferentFilter) -> bool {
         let Some(r) = self.system.referent(rid) else { return false };
         match filter {
-            ReferentFilter::OfType(t) => self
-                .system
-                .object(r.object)
-                .map(|o| o.data_type == *t)
-                .unwrap_or(false),
+            ReferentFilter::OfType(t) => {
+                self.system.object(r.object).map(|o| o.data_type == *t).unwrap_or(false)
+            }
             ReferentFilter::IntervalOverlaps { domain, interval } => {
                 if domain.as_deref().is_some_and(|d| d != r.domain) {
                     return false;
@@ -342,7 +349,6 @@ impl<'g> Executor<'g> {
             },
         }
     }
-
 }
 
 /// Collation: the shared back half of query execution.  Takes the pruned candidate
@@ -434,7 +440,8 @@ impl<'g> Collator<'g> {
 
         // Apply graph constraints, narrowing objects.
         for c in &query.constraints {
-            objects = self.apply_constraint(c, &objects, &annotations, &constraint_anns, &referents);
+            objects =
+                self.apply_constraint(c, &objects, &annotations, &constraint_anns, &referents);
         }
 
         // Build result pages: one connection subgraph per connected witness component.
@@ -484,7 +491,11 @@ impl<'g> Collator<'g> {
             .collect()
     }
 
-    fn referents_on_objects(&self, referents: &[ReferentId], objects: &[ObjectId]) -> Vec<ReferentId> {
+    fn referents_on_objects(
+        &self,
+        referents: &[ReferentId],
+        objects: &[ObjectId],
+    ) -> Vec<ReferentId> {
         referents
             .iter()
             .copied()
@@ -526,7 +537,9 @@ impl<'g> Collator<'g> {
                 objects
                     .iter()
                     .copied()
-                    .filter(|&obj| self.object_reachable_from_annotations(obj, annotations, *max_len))
+                    .filter(|&obj| {
+                        self.object_reachable_from_annotations(obj, annotations, *max_len)
+                    })
                     .collect()
             }
         }
@@ -797,11 +810,8 @@ pub(crate) fn expand_class(
     concept: ConceptId,
     relations: &[RelationType],
 ) -> Vec<ConceptId> {
-    let rels: &[RelationType] = if relations.is_empty() {
-        &[RelationType::IsA, RelationType::PartOf]
-    } else {
-        relations
-    };
+    let rels: &[RelationType] =
+        if relations.is_empty() { &[RelationType::IsA, RelationType::PartOf] } else { relations };
     let mut out: Vec<ConceptId> = Vec::new();
     for r in rels {
         out.extend(onto.subtree(concept, r));
@@ -876,8 +886,8 @@ mod tests {
         let res = Executor::new(&sys).run(&q);
         assert_eq!(res.referents.len(), 1);
         // no DNA referents of an image type
-        let q2 = Query::new(Target::Referents)
-            .with_referent(ReferentFilter::OfType(DataType::Image));
+        let q2 =
+            Query::new(Target::Referents).with_referent(ReferentFilter::OfType(DataType::Image));
         assert!(Executor::new(&sys).run(&q2).referents.is_empty());
     }
 
@@ -1015,7 +1025,12 @@ mod tests {
     #[test]
     fn connection_graph_pages() {
         let (mut sys, seq) = seq_system();
-        let a = sys.annotate().comment("protease one").mark(seq, Marker::interval(0, 10)).commit().unwrap();
+        let a = sys
+            .annotate()
+            .comment("protease one")
+            .mark(seq, Marker::interval(0, 10))
+            .commit()
+            .unwrap();
         let q = Query::new(Target::ConnectionGraphs).with_phrase("protease");
         let res = Executor::new(&sys).run(&q);
         assert!(res.page_count() >= 1);

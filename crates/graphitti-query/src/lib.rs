@@ -43,9 +43,7 @@ pub mod result;
 pub mod service;
 pub mod setops;
 
-pub use ast::{
-    ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
-};
+pub use ast::{ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
 pub use exec::Executor;
 pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};

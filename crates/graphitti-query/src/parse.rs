@@ -30,9 +30,7 @@ use ontology::ConceptId;
 use spatial_index::Rect;
 use xmlstore::PathExpr;
 
-use crate::ast::{
-    ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
-};
+use crate::ast::{ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
 
 /// An error parsing the query DSL.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,10 +171,9 @@ fn parse_ontology(tokens: &[String], i: &mut usize, query: &mut Query) -> Result
     let id = parse_u64(tokens, i)? as u32;
     match kind.as_str() {
         "term" => query.ontology.push(OntologyFilter::CitesTerm(ConceptId(id))),
-        "class" => query.ontology.push(OntologyFilter::InClass {
-            concept: ConceptId(id),
-            relations: Vec::new(),
-        }),
+        "class" => query
+            .ontology
+            .push(OntologyFilter::InClass { concept: ConceptId(id), relations: Vec::new() }),
         other => return Err(ParseError::new(format!("unknown ontology predicate '{other}'"))),
     }
     Ok(())
@@ -188,9 +185,7 @@ fn parse_constraint(tokens: &[String], i: &mut usize, query: &mut Query) -> Resu
         "consecutive" => {
             let count = parse_u64(tokens, i)? as usize;
             let gap = parse_u64(tokens, i)?;
-            query
-                .constraints
-                .push(GraphConstraint::ConsecutiveIntervals { count, max_gap: gap });
+            query.constraints.push(GraphConstraint::ConsecutiveIntervals { count, max_gap: gap });
         }
         "regions" => {
             let count = parse_u64(tokens, i)? as usize;
@@ -250,9 +245,7 @@ fn tokenize(input: &str) -> Vec<String> {
 
 fn unquote(s: &str) -> String {
     let bytes = s.as_bytes();
-    if s.len() >= 2
-        && (bytes[0] == b'"' || bytes[0] == b'\'')
-        && bytes[bytes.len() - 1] == bytes[0]
+    if s.len() >= 2 && (bytes[0] == b'"' || bytes[0] == b'\'') && bytes[bytes.len() - 1] == bytes[0]
     {
         s[1..s.len() - 1].to_string()
     } else {
@@ -268,10 +261,7 @@ fn is_clause_boundary(token: &str) -> bool {
 }
 
 fn next(tokens: &[String], i: &mut usize) -> Result<String> {
-    let t = tokens
-        .get(*i)
-        .cloned()
-        .ok_or_else(|| ParseError::new("unexpected end of query"))?;
+    let t = tokens.get(*i).cloned().ok_or_else(|| ParseError::new("unexpected end of query"))?;
     *i += 1;
     Ok(t)
 }
@@ -287,14 +277,12 @@ fn expect_keyword(tokens: &[String], i: &mut usize, keyword: &str) -> Result<()>
 
 fn parse_u64(tokens: &[String], i: &mut usize) -> Result<u64> {
     let t = next(tokens, i)?;
-    t.parse::<u64>()
-        .map_err(|_| ParseError::new(format!("expected an integer, found '{t}'")))
+    t.parse::<u64>().map_err(|_| ParseError::new(format!("expected an integer, found '{t}'")))
 }
 
 fn parse_f64(tokens: &[String], i: &mut usize) -> Result<f64> {
     let t = next(tokens, i)?;
-    t.parse::<f64>()
-        .map_err(|_| ParseError::new(format!("expected a number, found '{t}'")))
+    t.parse::<f64>().map_err(|_| ParseError::new(format!("expected a number, found '{t}'")))
 }
 
 #[cfg(test)]
@@ -317,7 +305,8 @@ mod tests {
 
     #[test]
     fn content_keywords_multiple() {
-        let q = parse_query("SELECT referents WHERE content keywords protease cleavage site").unwrap();
+        let q =
+            parse_query("SELECT referents WHERE content keywords protease cleavage site").unwrap();
         assert_eq!(
             q.content,
             vec![ContentFilter::Keywords(vec![
@@ -347,10 +336,7 @@ mod tests {
 
     #[test]
     fn referent_region() {
-        let q = parse_query(
-            "SELECT graphs WHERE referent region mouse-25um 0 0 100 100",
-        )
-        .unwrap();
+        let q = parse_query("SELECT graphs WHERE referent region mouse-25um 0 0 100 100").unwrap();
         match &q.referents[0] {
             ReferentFilter::RegionOverlaps { system, rect } => {
                 assert_eq!(system.as_deref(), Some("mouse-25um"));
@@ -412,7 +398,10 @@ mod tests {
     #[test]
     fn roundtrip_through_executor_shape() {
         // Just ensure a parsed query has the expected structure to feed the executor.
-        let q = parse_query("SELECT referents WHERE content contains \"protease\" AND constraint consecutive 4 60").unwrap();
+        let q = parse_query(
+            "SELECT referents WHERE content contains \"protease\" AND constraint consecutive 4 60",
+        )
+        .unwrap();
         assert_eq!(q.target, Target::Referents);
         assert_eq!(q.subquery_count(), 1);
         assert_eq!(q.constraints.len(), 1);

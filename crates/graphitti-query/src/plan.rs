@@ -97,9 +97,7 @@ impl Plan {
         // Feasible order: ascending selectivity (most selective first). Stable so that
         // ties keep their declaration order, which keeps plans deterministic.
         subs.sort_by(|a, b| {
-            a.selectivity
-                .partial_cmp(&b.selectivity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.selectivity.partial_cmp(&b.selectivity).unwrap_or(std::cmp::Ordering::Equal)
         });
         Plan { order: subs }
     }
@@ -168,11 +166,9 @@ impl<'g> Estimator<'g> {
                 .min()
                 .unwrap_or(store.len()),
             // Keyword conjunction: bounded by the rarest keyword.
-            ContentFilter::Keywords(ks) => ks
-                .iter()
-                .map(|k| store.keyword_df(k))
-                .min()
-                .unwrap_or(store.len()),
+            ContentFilter::Keywords(ks) => {
+                ks.iter().map(|k| store.keyword_df(k)).min().unwrap_or(store.len())
+            }
             // A path expression matches at most the documents containing its most
             // specific named element.
             ContentFilter::Path(expr) => path_rows(store, expr),
@@ -188,13 +184,10 @@ impl<'g> Estimator<'g> {
             ReferentFilter::IntervalOverlaps { domain, .. } => {
                 stats.interval_count(domain.as_deref())
             }
-            ReferentFilter::RegionOverlaps { system, .. } => {
-                stats.region_count(system.as_deref())
+            ReferentFilter::RegionOverlaps { system, .. } => stats.region_count(system.as_deref()),
+            ReferentFilter::BlockContains(ids) => {
+                ids.iter().map(|&id| self.system.indexes().referents_with_block(id).len()).sum()
             }
-            ReferentFilter::BlockContains(ids) => ids
-                .iter()
-                .map(|&id| self.system.indexes().referents_with_block(id).len())
-                .sum(),
         }
     }
 
@@ -343,14 +336,16 @@ mod tests {
     #[test]
     fn domain_pinned_interval_is_more_selective() {
         let (sys, _, _) = sample_system();
-        let pinned = Query::new(Target::Referents).with_referent(ReferentFilter::IntervalOverlaps {
-            domain: Some("chr7".into()),
-            interval: Interval::new(0, 10),
-        });
-        let unpinned = Query::new(Target::Referents).with_referent(ReferentFilter::IntervalOverlaps {
-            domain: None,
-            interval: Interval::new(0, 10),
-        });
+        let pinned =
+            Query::new(Target::Referents).with_referent(ReferentFilter::IntervalOverlaps {
+                domain: Some("chr7".into()),
+                interval: Interval::new(0, 10),
+            });
+        let unpinned =
+            Query::new(Target::Referents).with_referent(ReferentFilter::IntervalOverlaps {
+                domain: None,
+                interval: Interval::new(0, 10),
+            });
         let ps = Plan::build(&pinned, &sys).order[0].selectivity;
         let us = Plan::build(&unpinned, &sys).order[0].selectivity;
         // chr7 holds 1 of the 9 intervals

@@ -72,12 +72,8 @@ impl<'g> ReferenceExecutor<'g> {
             return None;
         }
         let store = self.system.content_store();
-        let doc_to_ann: std::collections::HashMap<_, _> = self
-            .system
-            .annotations()
-            .iter()
-            .map(|a| (a.doc_id, a.id))
-            .collect();
+        let doc_to_ann: std::collections::HashMap<_, _> =
+            self.system.annotations().iter().map(|a| (a.doc_id, a.id)).collect();
 
         let mut acc: Option<HashSet<AnnotationId>> = None;
         for filter in &query.content {
@@ -134,9 +130,7 @@ impl<'g> ReferenceExecutor<'g> {
                 .system
                 .annotations()
                 .iter()
-                .filter(|a| {
-                    a.terms.iter().any(|t| qualifying_concepts.binary_search(t).is_ok())
-                })
+                .filter(|a| a.terms.iter().any(|t| qualifying_concepts.binary_search(t).is_ok()))
                 .map(|a| a.id)
                 .collect();
             acc = Some(match acc {
@@ -259,8 +253,7 @@ mod tests {
                 .with_ontology(OntologyFilter::CitesTerm(term)),
             Query::new(Target::Referents)
                 .with_referent(ReferentFilter::OfType(DataType::DnaSequence)),
-            Query::new(Target::ConnectionGraphs)
-                .with_ontology(OntologyFilter::CitesTerm(term)),
+            Query::new(Target::ConnectionGraphs).with_ontology(OntologyFilter::CitesTerm(term)),
         ] {
             let fast = Executor::new(&sys).run(&q);
             let slow = ReferenceExecutor::new(&sys).run(&q);

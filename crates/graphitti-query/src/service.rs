@@ -13,8 +13,9 @@
 //!   [`Executor::with_verify_workers`]) — results stay byte-identical to the
 //!   sequential pass.
 //! * **A normalized-query result cache sits in front.**  Results are cached under the
-//!   query's canonical form ([`Query::cache_key`]) together with the snapshot epoch,
-//!   so semantically equal queries — different conjunct order, keyword case or
+//!   query's canonical form ([`Query::cache_key`]) and are valid for exactly one
+//!   published snapshot (identity: epoch **and** view, never the bare number), so
+//!   semantically equal queries — different conjunct order, keyword case or
 //!   duplicate conjuncts — share one entry.  The cache is LRU-evicted at a fixed
 //!   capacity and invalidated wholesale when a new snapshot is published.
 //!
@@ -22,6 +23,17 @@
 //! state visible to the service explicitly via [`QueryService::publish`]; until then,
 //! every in-flight and future query observes the previously published epoch —
 //! snapshot isolation, not read-your-writes.
+//!
+//! **Sustained write streams** pair the service with the core's batched write API:
+//! the writer stages a burst of registers / annotates through
+//! [`Graphitti::batch`](graphitti_core::Graphitti::batch) (one epoch bump per batch),
+//! then publishes the post-batch snapshot once.  Because cache invalidation is
+//! epoch-keyed, the whole batch costs **one** cache invalidation (observable via
+//! [`ServiceMetrics::cache_invalidations`]) instead of one per call, and because the
+//! view is a tree of per-component `Arc`s, the writer's first post-publish commit
+//! copies only the components it touches — readers keep structurally sharing the
+//! rest.  That is what lets a register/annotate stream run concurrently with the
+//! worker pool at a bounded publish stall (measured by the `mixed_rw` bench).
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -100,6 +112,10 @@ pub struct ServiceMetrics {
     pub cache_misses: u64,
     /// Snapshot publishes observed.
     pub publishes: u64,
+    /// Times the result cache was actually cleared for a newly published state.  A
+    /// `CommitBatch` of any size followed by one publish costs exactly one
+    /// invalidation; a cache-disabled service (capacity 0) counts none.
+    pub cache_invalidations: u64,
 }
 
 /// A handle to one submitted query's pending result.
@@ -201,16 +217,30 @@ struct Job {
 /// The normalized-query LRU result cache.
 ///
 /// Keys are canonical query renderings ([`Query::cache_key`]); every entry belongs to
-/// exactly one snapshot epoch.  Lookups and inserts carry the epoch of the snapshot
-/// they were computed against, and the cache *advances itself* to the newest epoch it
-/// is shown (discarding every entry) — so a worker racing a publish can never
-/// resurrect a result from a superseded snapshot, and a publish delayed between
-/// installing the snapshot and notifying the cache cannot wedge the cache in a state
-/// where nothing ever hits (the first reader on the new snapshot repairs it).
+/// exactly one published snapshot.  Lookups and inserts carry the snapshot they were
+/// computed against, and validity is snapshot *identity* ([`Snapshot::same_epoch`]:
+/// epoch number **and** view pointer) — never the bare epoch number.  A rebuilt
+/// system's epochs restart low (a whole [`StudySnapshot`](graphitti_core::StudySnapshot)
+/// replay is one `CommitBatch`, so one bump), which means a worker still in flight on
+/// the old system holds a *numerically higher* epoch than the freshly published one;
+/// comparing numbers alone would let that worker advance the cache past the rebuilt
+/// system's epochs and later serve its stale result once the numbers collide.  With
+/// identity keying, a stale get or insert is a harmless miss / rejected write — it can
+/// never surface another state's result, regress the cache, or pin the old view alive.
+///
+/// [`install`](ResultCache::install) is the only way `snap` moves, and it runs inside
+/// [`QueryService::publish`] *while the snapshot write lock is still held* — no reader
+/// can observe a published snapshot the cache has not been synced to, so "the cache
+/// serves the published state" is an invariant, not a lock race to win.  Lookups and
+/// inserts from in-flight stale snapshots are simply identity-rejected.
 struct ResultCache {
     capacity: usize,
-    epoch: u64,
+    /// The published snapshot this cache's entries were computed against.
+    snap: Snapshot,
     tick: u64,
+    /// Monotonic count of epoch-change clears (see
+    /// [`ServiceMetrics::cache_invalidations`]).
+    invalidations: u64,
     map: HashMap<String, CacheEntry>,
 }
 
@@ -222,36 +252,43 @@ struct CacheEntry {
 }
 
 impl ResultCache {
-    fn new(capacity: usize, epoch: u64) -> Self {
-        ResultCache { capacity, epoch, tick: 0, map: HashMap::new() }
+    fn new(capacity: usize, snap: Snapshot) -> Self {
+        ResultCache { capacity, snap, tick: 0, invalidations: 0, map: HashMap::new() }
     }
 
-    /// Advance to `epoch` if it is newer than the cached one, discarding every entry.
-    /// Epochs are monotonic, so "newer" is a plain comparison.
-    fn advance(&mut self, epoch: u64) {
-        if epoch > self.epoch {
-            self.map.clear();
-            self.epoch = epoch;
+    /// Move the cache onto `published`, discarding every entry — a no-op when it
+    /// already serves exactly this state (republishing an identical snapshot must not
+    /// discard its entries or count an invalidation).
+    ///
+    /// **Contract:** `published` must be the *currently published* snapshot, and the
+    /// service's snapshot write lock must be held across this call (as
+    /// [`QueryService::publish`] does).  That is what makes this authoritative: a
+    /// stale caller cannot exist, so any difference — forward publish, rebuilt system
+    /// at a same-or-lower epoch — is a genuine state change and unconditionally wins.
+    /// Deciding from a reader's *execution* snapshot instead (e.g. advancing on
+    /// whichever epoch number is larger) would let a worker still in flight on a
+    /// pre-rebuild system hijack the cache onto a superseded view.
+    fn install(&mut self, published: &Snapshot) {
+        if !published.same_epoch(&self.snap) {
+            // Track the published snapshot even when caching is disabled — holding a
+            // superseded one would pin its whole view alive for the service's life.
+            self.snap = published.clone();
+            if self.capacity > 0 {
+                self.map.clear();
+                self.invalidations += 1;
+            }
         }
     }
 
-    /// Force the cache onto `epoch`, discarding every entry — used when a publish
-    /// replaces the view without increasing the epoch (e.g. a snapshot of a different
-    /// or rebuilt system that happens to share the number).
-    fn reset(&mut self, epoch: u64) {
-        self.map.clear();
-        self.epoch = epoch;
-    }
-
-    /// Look up a canonical key computed against `epoch`, refreshing its recency.
-    /// A lookup from a *newer* snapshot advances (and clears) the cache first; a
-    /// lookup from a stale snapshot misses without disturbing current entries.
-    fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<QueryResult>> {
+    /// Look up a canonical key computed against `snap`, refreshing its recency.  A
+    /// lookup from any snapshot that is not identical to the cache's — stale *or*
+    /// newer — misses without disturbing current entries; it never moves the cache
+    /// (only [`install`](Self::install) does).
+    fn get(&mut self, key: &str, snap: &Snapshot) -> Option<Arc<QueryResult>> {
         if self.capacity == 0 {
             return None;
         }
-        self.advance(epoch);
-        if epoch != self.epoch {
+        if !snap.same_epoch(&self.snap) {
             return None;
         }
         self.tick += 1;
@@ -262,24 +299,21 @@ impl ResultCache {
         })
     }
 
-    /// Insert a result computed against `epoch`; rejected (harmlessly) when a newer
-    /// snapshot has superseded that epoch in the meantime.  Evicts the
+    /// Insert a result computed against `snap`; rejected (harmlessly) unless the
+    /// cache currently serves exactly that state — by the time an insert's snapshot
+    /// mismatches, the result is stale by construction.  Evicts the
     /// least-recently-used entry when full.
-    fn insert(&mut self, key: String, epoch: u64, result: Arc<QueryResult>) {
+    fn insert(&mut self, key: String, snap: &Snapshot, result: Arc<QueryResult>) {
         if self.capacity == 0 {
             return;
         }
-        self.advance(epoch);
-        if epoch != self.epoch {
+        if !snap.same_epoch(&self.snap) {
             return;
         }
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(lru) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+            if let Some(lru) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 self.map.remove(&lru);
             }
@@ -321,12 +355,7 @@ impl Inner {
         let canonical = query.canonicalize();
         let key = format!("{canonical:?}");
         let snap = self.current_snapshot();
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&key, snap.epoch())
-        {
+        if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key, &snap) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -337,10 +366,10 @@ impl Inner {
                 .with_parallel_threshold(self.parallel_threshold)
                 .run_canonical(&canonical),
         );
-        self.cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key, snap.epoch(), Arc::clone(&result));
+        // Accepted iff this execution's snapshot is still the published one — publish
+        // syncs the cache under the snapshot write lock, so the cache is never behind
+        // what any reader can observe and a stale insert is identity-rejected here.
+        self.cache.lock().expect("cache lock poisoned").insert(key, &snap, Arc::clone(&result));
         result
     }
 
@@ -362,9 +391,8 @@ impl Inner {
                     queue = self.queue_ready.wait(queue).expect("queue lock poisoned");
                 }
             };
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.execute(&job.query)
-            }));
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(&job.query)));
             match outcome {
                 Ok(result) => {
                     job.cell.deliver(result);
@@ -386,12 +414,12 @@ pub struct QueryService {
 impl QueryService {
     /// Start a service over an initial snapshot with the given configuration.
     pub fn new(snapshot: Snapshot, config: ServiceConfig) -> Self {
-        let epoch = snapshot.epoch();
+        let cache = ResultCache::new(config.cache_capacity, snapshot.clone());
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
             snapshot: RwLock::new(snapshot),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity, epoch)),
+            cache: Mutex::new(cache),
             shutdown: AtomicBool::new(false),
             verify_workers: config.verify_workers.max(1),
             parallel_threshold: config.parallel_threshold.max(1),
@@ -449,34 +477,27 @@ impl QueryService {
     }
 
     /// Publish a new snapshot: all queries executed from now on observe it, and the
-    /// result cache is invalidated iff the epoch actually changed.  In-flight queries
-    /// finish against the snapshot they already captured (snapshot isolation).
+    /// result cache is invalidated iff the published state actually changed.
+    /// In-flight queries finish against the snapshot they already captured (snapshot
+    /// isolation).
     ///
-    /// The cache is advanced eagerly here, but correctness does not depend on winning
-    /// that lock promptly: the first worker to read the new snapshot advances the
-    /// cache itself (see [`ResultCache::advance`]).
+    /// The cache is installed while the snapshot write lock is still held, so a
+    /// reader can never observe a published snapshot the cache has not been synced
+    /// to: there is no window in which fresh results are rejected or a stale cache
+    /// state lingers, and each published state costs exactly one invalidation.
+    /// (Workers hold the cache mutex only for O(1) map operations, so the writer's
+    /// wait under the lock is bounded.)
     ///
-    /// Publishing a snapshot of a *different* system whose epoch happens not to
-    /// exceed the current one is detected by view identity and clears the cache too
-    /// (lazy advancement can't tell two systems apart, so a worker mid-flight on the
-    /// old view at the same epoch could still deposit one stale entry — keep a service
-    /// on a single writer's snapshots for strict guarantees).
+    /// Entry validity is snapshot *identity* (epoch + view pointer), so publishing a
+    /// snapshot of a different or rebuilt system — even one whose epoch collides with
+    /// or regresses below the current one — both clears the cache and makes any
+    /// result a worker mid-flight on the old system later deposits unhittable: a
+    /// stale get or insert can cause a miss, never a wrong answer.
     pub fn publish(&self, snapshot: Snapshot) {
-        let epoch = snapshot.epoch();
-        let same_state = {
-            let mut current = self.inner.snapshot.write().expect("snapshot lock poisoned");
-            let same_state = current.same_epoch(&snapshot);
-            *current = snapshot;
-            same_state
-        };
-        {
-            let mut cache = self.inner.cache.lock().expect("cache lock poisoned");
-            if epoch > cache.epoch {
-                cache.advance(epoch);
-            } else if !same_state {
-                cache.reset(epoch);
-            }
-        }
+        let mut current = self.inner.snapshot.write().expect("snapshot lock poisoned");
+        *current = snapshot;
+        self.inner.cache.lock().expect("cache lock poisoned").install(&current);
+        drop(current);
         self.inner.publishes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -502,12 +523,15 @@ impl QueryService {
 
     /// A snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
+        let cache_invalidations =
+            self.inner.cache.lock().expect("cache lock poisoned").invalidations;
         ServiceMetrics {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
             publishes: self.inner.publishes.load(Ordering::Relaxed),
+            cache_invalidations,
         }
     }
 }
@@ -592,16 +616,21 @@ mod tests {
 
     #[test]
     fn cache_disabled_always_executes() {
-        let sys = sample_system(10);
+        let mut sys = sample_system(10);
         let service = QueryService::new(
             sys.snapshot(),
             ServiceConfig::default().with_workers(1).with_cache_capacity(0),
         );
         service.run(phrase_query());
         service.run(phrase_query());
+        // a publish on a disabled cache must not report phantom invalidations
+        sys.register_sequence("t", DataType::DnaSequence, 10, "chr2");
+        service.publish(sys.snapshot());
+        service.run(phrase_query());
         let m = service.metrics();
         assert_eq!(m.cache_hits, 0);
-        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_misses, 3);
+        assert_eq!(m.cache_invalidations, 0);
         assert_eq!(service.cache_len(), 0);
     }
 
@@ -632,6 +661,40 @@ mod tests {
         assert_eq!(m.cache_misses, 2);
     }
 
+    #[test]
+    fn batched_writes_cost_one_invalidation_per_publish() {
+        let mut sys = sample_system(9);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(1).with_cache_capacity(8),
+        );
+        let before = service.run(phrase_query());
+        assert_eq!(service.metrics().cache_invalidations, 0);
+
+        // A burst of 20 matching commits staged as one batch: one epoch, one publish,
+        // one cache invalidation — not 20.
+        let seq = sys.objects()[0].id;
+        let epoch_before = sys.epoch();
+        let mut batch = sys.batch();
+        for i in 0..20u64 {
+            batch
+                .annotate()
+                .comment("protease motif burst")
+                .mark(seq, Marker::interval(90_000 + i * 10, 90_000 + i * 10 + 5))
+                .commit()
+                .unwrap();
+        }
+        assert_eq!(batch.commit(), 20);
+        assert_eq!(sys.epoch(), epoch_before + 1);
+        service.publish(sys.snapshot());
+
+        let after = service.run(phrase_query());
+        assert_eq!(after.annotations.len(), before.annotations.len() + 20);
+        let m = service.metrics();
+        assert_eq!(m.publishes, 1);
+        assert_eq!(m.cache_invalidations, 1);
+    }
+
     fn empty_result() -> Arc<QueryResult> {
         Arc::new(QueryResult {
             pages: Vec::new(),
@@ -641,35 +704,96 @@ mod tests {
         })
     }
 
-    #[test]
-    fn lru_evicts_least_recently_used_entry() {
-        let mut cache = ResultCache::new(2, 0);
-        let empty = empty_result();
-        cache.insert("a".into(), 0, Arc::clone(&empty));
-        cache.insert("b".into(), 0, Arc::clone(&empty));
-        assert!(cache.get("a", 0).is_some()); // refresh a; b is now LRU
-        cache.insert("c".into(), 0, empty.clone());
-        assert_eq!(cache.len(), 2);
-        assert!(cache.get("b", 0).is_none());
-        assert!(cache.get("a", 0).is_some());
-        assert!(cache.get("c", 0).is_some());
+    /// Grow a fresh system until its epoch reaches `target`, capturing a snapshot at
+    /// every intermediate epoch along the way.  Returns the system plus the snapshots
+    /// indexed by epoch (so `snaps[e]` was captured at epoch `e`).
+    fn system_with_epoch_snapshots(target: u64) -> (Graphitti, Vec<Snapshot>) {
+        let mut sys = Graphitti::new();
+        let mut snaps = vec![sys.snapshot()];
+        while sys.epoch() < target {
+            let n = sys.epoch();
+            sys.register_sequence(format!("s{n}"), DataType::DnaSequence, 100, "chr1");
+            snaps.push(sys.snapshot());
+        }
+        assert_eq!(sys.epoch(), target, "test setup: epoch must be reachable one bump at a time");
+        (sys, snaps)
     }
 
     #[test]
-    fn cache_epoch_advance_discards_and_rejects_stale() {
-        let mut cache = ResultCache::new(4, 0);
+    fn lru_evicts_least_recently_used_entry() {
+        let (sys, _) = system_with_epoch_snapshots(0);
+        let snap = sys.snapshot();
+        let mut cache = ResultCache::new(2, snap.clone());
         let empty = empty_result();
-        cache.insert("a".into(), 0, Arc::clone(&empty));
-        // a reader showing a newer epoch advances the cache and clears it
-        assert!(cache.get("a", 2).is_none());
+        cache.insert("a".into(), &snap, Arc::clone(&empty));
+        cache.insert("b".into(), &snap, Arc::clone(&empty));
+        assert!(cache.get("a", &snap).is_some()); // refresh a; b is now LRU
+        cache.insert("c".into(), &snap, empty.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b", &snap).is_none());
+        assert!(cache.get("a", &snap).is_some());
+        assert!(cache.get("c", &snap).is_some());
+    }
+
+    #[test]
+    fn cache_install_discards_entries_and_gates_stale_traffic() {
+        let (_sys, snaps) = system_with_epoch_snapshots(2);
+        let mut cache = ResultCache::new(4, snaps[0].clone());
+        let empty = empty_result();
+        cache.insert("a".into(), &snaps[0], Arc::clone(&empty));
+        assert_eq!(cache.invalidations, 0);
+        // a publish of a newer snapshot clears the cache
+        cache.install(&snaps[2]);
         assert_eq!(cache.len(), 0);
-        // stale lookups and inserts (older than the advanced epoch) are rejected
-        assert!(cache.get("a", 1).is_none());
-        cache.insert("stale".into(), 1, Arc::clone(&empty));
+        assert_eq!(cache.invalidations, 1);
+        // re-publishing an identical snapshot is a no-op
+        cache.install(&snaps[2]);
+        assert_eq!(cache.invalidations, 1);
+        // stale lookups and inserts are rejected without moving the cache
+        assert!(cache.get("a", &snaps[1]).is_none());
+        cache.insert("stale".into(), &snaps[1], Arc::clone(&empty));
         assert_eq!(cache.len(), 0);
-        // current-epoch traffic works again immediately
-        cache.insert("b".into(), 2, empty);
-        assert!(cache.get("b", 2).is_some());
+        // current-snapshot traffic works immediately
+        cache.insert("b".into(), &snaps[2], empty);
+        assert!(cache.get("b", &snaps[2]).is_some());
+    }
+
+    #[test]
+    fn stale_high_epoch_worker_cannot_hijack_cache_across_a_rebuild_publish() {
+        // System A is at a high epoch and the cache serves one of its results.  An
+        // operator then publishes a rebuilt system B whose epochs restart low (a
+        // whole StudySnapshot replay is one batch, so one bump).  A worker still in
+        // flight on A holds a *numerically higher* epoch than anything B will reach
+        // for a while; neither its lookup nor its insert may move the cache or let
+        // A's result be served again — in particular not when B's epoch later
+        // collides with A's number.
+        let (_sys_a, a_snaps) = system_with_epoch_snapshots(10);
+        let a10 = &a_snaps[10];
+        let mut cache = ResultCache::new(4, a10.clone());
+        let stale = empty_result();
+        cache.insert("q".into(), a10, Arc::clone(&stale));
+        assert!(cache.get("q", a10).is_some());
+
+        // The rebuild publish installs B at epoch 2.
+        let (_sys_b, b_snaps) = system_with_epoch_snapshots(10);
+        cache.install(&b_snaps[2]);
+
+        // The stale worker finishes: its get misses (despite the numerically higher
+        // epoch), and its insert is rejected — the cache stays on B throughout.
+        assert!(cache.get("q", a10).is_none());
+        cache.insert("q".into(), a10, stale);
+        assert_eq!(cache.len(), 0);
+        for snap in &b_snaps {
+            assert!(
+                cache.get("q", snap).is_none(),
+                "B's epoch {} must never see A's entry",
+                snap.epoch()
+            );
+        }
+
+        // ... and B's current snapshot is served normally, undisturbed.
+        cache.insert("q".into(), &b_snaps[2], empty_result());
+        assert!(cache.get("q", &b_snaps[2]).is_some());
     }
 
     #[test]
@@ -781,8 +905,7 @@ mod tests {
     #[test]
     fn drop_completes_queued_work() {
         let sys = sample_system(15);
-        let service =
-            QueryService::new(sys.snapshot(), ServiceConfig::default().with_workers(1));
+        let service = QueryService::new(sys.snapshot(), ServiceConfig::default().with_workers(1));
         let tickets: Vec<Ticket> = (0..5).map(|_| service.submit(phrase_query())).collect();
         drop(service); // graceful: queued jobs still complete
         for t in tickets {

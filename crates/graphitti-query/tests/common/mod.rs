@@ -20,12 +20,8 @@ pub const PHRASES: &[&str] = &[
     "zebra unicorn griffin", // matches nothing
 ];
 
-pub const KEYWORD_SETS: &[&[&str]] = &[
-    &["protease"],
-    &["protein", "tp53"],
-    &["staining", "region"],
-    &["nonexistent-token"],
-];
+pub const KEYWORD_SETS: &[&[&str]] =
+    &[&["protease"], &["protein", "tp53"], &["staining", "region"], &["nonexistent-token"]];
 
 pub const PATHS: &[&str] = &["//dc:subject", "//dc:title", "/annotation/dc:description", "//nope"];
 
@@ -119,10 +115,7 @@ pub fn random_query(rng: &mut WorkloadRng, sys: &Graphitti, domains: &[String]) 
             1 => GraphConstraint::MinRegionCount {
                 count: rng.range_usize(1, 4),
                 within: Rect::rect2(0.0, 0.0, 1_000.0, 1_000.0),
-                system: domains
-                    .first()
-                    .cloned()
-                    .unwrap_or_else(|| "cs".to_string()),
+                system: domains.first().cloned().unwrap_or_else(|| "cs".to_string()),
             },
             _ => GraphConstraint::PathExists { max_len: rng.range_usize(1, 5) },
         };
@@ -133,12 +126,8 @@ pub fn random_query(rng: &mut WorkloadRng, sys: &Graphitti, domains: &[String]) 
 
 /// The distinct, sorted coordinate domains of a system's objects.
 pub fn object_domains(sys: &Graphitti) -> Vec<String> {
-    let mut ds: Vec<String> = sys
-        .objects()
-        .iter()
-        .map(|o| o.domain.clone())
-        .filter(|d| !d.is_empty())
-        .collect();
+    let mut ds: Vec<String> =
+        sys.objects().iter().map(|o| o.domain.clone()).filter(|d| !d.is_empty()).collect();
     ds.sort();
     ds.dedup();
     ds

@@ -22,7 +22,8 @@ fn assert_equivalent_on(sys: &Graphitti, seed: u64, queries: usize) {
         let a = fast.run(&q);
         let b = slow.run(&q);
         assert_eq!(
-            a, b,
+            a,
+            b,
             "pipelined and reference executors diverged on query #{i}: {q:#?}\nplan: {}",
             fast.plan(&q).explain()
         );

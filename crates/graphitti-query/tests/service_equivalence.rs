@@ -9,6 +9,11 @@
 //! 2. **Snapshot isolation** — readers querying the service while a writer commits
 //!    and publishes must each observe exactly one published epoch's answer, never a
 //!    torn intermediate state.
+//! 3. **Batched publishes** — a writer streaming [`CommitBatch`]es (many commits, one
+//!    epoch bump and one publish per batch) interleaved with in-flight queries: every
+//!    result a reader observes must be byte-identical to the [`ReferenceExecutor`]'s
+//!    answer at one published epoch, epochs observed in non-decreasing order, and the
+//!    cache invalidated once per batch — never once per commit.
 
 mod common;
 
@@ -179,15 +184,14 @@ fn readers_see_consistent_epochs_while_writer_publishes() {
             assert!(!observed.is_empty());
             let mut last_epoch_idx = 0usize;
             for result in observed {
-                let idx = legal
-                    .iter()
-                    .position(|l| l == &result)
-                    .unwrap_or_else(|| panic!(
+                let idx = legal.iter().position(|l| l == &result).unwrap_or_else(|| {
+                    panic!(
                         "reader saw a result matching no published epoch: {} annotations, \
                          legal counts are {base_count}..={}",
                         result.annotations.len(),
                         base_count + publishes as usize
-                    ));
+                    )
+                });
                 // published state only ever moves forward, so must each reader's view
                 assert!(
                     idx >= last_epoch_idx,
@@ -200,4 +204,113 @@ fn readers_see_consistent_epochs_while_writer_publishes() {
 
     assert_eq!(service.metrics().publishes, publishes);
     assert_eq!(service.current_epoch(), sys.epoch());
+}
+
+/// Writer streams `CommitBatch`es (one epoch bump + one publish per batch of several
+/// commits) while readers keep queries in flight.  Gates, at every observed epoch:
+/// results byte-identical to the `ReferenceExecutor`, epochs non-decreasing per
+/// reader, and exactly one cache invalidation per published batch.
+#[test]
+fn batched_publishes_interleave_with_inflight_queries() {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("s", graphitti_core::DataType::DnaSequence, 1_000_000, "chr1");
+    for i in 0..10u64 {
+        sys.annotate()
+            .comment(format!("protease motif {i}"))
+            .mark(seq, Marker::interval(i * 100, i * 100 + 50))
+            .commit()
+            .unwrap();
+    }
+
+    let query = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+    let service = Arc::new(QueryService::new(
+        sys.snapshot(),
+        ServiceConfig::default().with_workers(3).with_cache_capacity(16),
+    ));
+
+    // Per published epoch, the reference answer in canonical bytes.  Every batch adds
+    // exactly one matching annotation (plus non-matching noise), so the per-epoch
+    // answers are pairwise distinct and both torn reads *and* mid-batch reads (a
+    // coalesced epoch must never expose intermediate batch states) are detectable.
+    let mut legal: Vec<Vec<u8>> = vec![result_bytes(&ReferenceExecutor::new(&sys).run(&query))];
+    let batches = 10u64;
+    let writes_per_batch = 6u64;
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let service = Arc::clone(&service);
+            let query = query.clone();
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    observed.push(result_bytes(&service.run(query.clone())));
+                }
+                observed
+            }));
+        }
+
+        for b in 0..batches {
+            let epoch_before = sys.epoch();
+            let mut batch = sys.batch();
+            batch
+                .annotate()
+                .comment(format!("protease motif batched {b}"))
+                .mark(seq, Marker::interval(500_000 + b * 100, 500_000 + b * 100 + 50))
+                .commit()
+                .unwrap();
+            for i in 1..writes_per_batch {
+                batch
+                    .annotate()
+                    .comment(format!("noise {b}-{i}"))
+                    .mark(
+                        seq,
+                        Marker::interval(
+                            700_000 + (b * 10 + i) * 70,
+                            700_000 + (b * 10 + i) * 70 + 30,
+                        ),
+                    )
+                    .commit()
+                    .unwrap();
+            }
+            assert_eq!(batch.commit(), writes_per_batch);
+            // the whole batch is one version...
+            assert_eq!(sys.epoch(), epoch_before + 1);
+            // ...published once
+            service.publish(sys.snapshot());
+            legal.push(result_bytes(&ReferenceExecutor::new(&sys).run(&query)));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        for reader in readers {
+            let observed = reader.join().expect("reader panicked");
+            assert!(!observed.is_empty());
+            let mut last_epoch_idx = 0usize;
+            for bytes in observed {
+                let idx = legal
+                    .iter()
+                    .position(|l| l == &bytes)
+                    .expect("reader saw a result matching no published epoch's reference answer");
+                assert!(
+                    idx >= last_epoch_idx,
+                    "reader went back in time: epoch #{idx} after #{last_epoch_idx}"
+                );
+                last_epoch_idx = idx;
+            }
+        }
+    });
+
+    let m = service.metrics();
+    assert_eq!(m.publishes, batches);
+    // one invalidation per published batch — 60 commits must not cause 60 clears
+    assert_eq!(m.cache_invalidations, batches);
+    assert_eq!(service.current_epoch(), sys.epoch());
+    // final state still serves byte-identical to the reference
+    assert_eq!(
+        result_bytes(&service.run(query.clone())),
+        result_bytes(&ReferenceExecutor::new(&sys).run(&query))
+    );
 }

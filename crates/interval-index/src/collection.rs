@@ -69,10 +69,7 @@ impl DomainIntervals {
 
     /// Entries overlapping `query` within one domain.
     pub fn overlapping(&self, domain: &str, query: Interval) -> Vec<Entry> {
-        self.domains
-            .get(domain)
-            .map(|t| t.overlapping(query))
-            .unwrap_or_default()
+        self.domains.get(domain).map(|t| t.overlapping(query)).unwrap_or_default()
     }
 
     /// Entries containing point `p` within one domain.
@@ -82,10 +79,7 @@ impl DomainIntervals {
 
     /// Entries fully contained in `query` within one domain.
     pub fn contained_in(&self, domain: &str, query: Interval) -> Vec<Entry> {
-        self.domains
-            .get(domain)
-            .map(|t| t.contained_in(query))
-            .unwrap_or_default()
+        self.domains.get(domain).map(|t| t.contained_in(query)).unwrap_or_default()
     }
 
     /// The `next` substructure after `after` within one domain.

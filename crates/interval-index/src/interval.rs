@@ -85,10 +85,7 @@ impl Interval {
 
     /// The smallest interval containing both inputs (the convex hull on the line).
     pub fn hull(&self, other: &Interval) -> Interval {
-        Interval {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-        }
+        Interval { start: self.start.min(other.start), end: self.end.max(other.end) }
     }
 
     /// True when `self` fully contains `other`.

@@ -30,5 +30,7 @@ pub mod interval;
 pub mod tree;
 
 pub use collection::{DomainIntervals, DomainStats};
-pub use interval::{are_consecutive_disjoint, coverage, merge_overlapping, Interval, OverlapRelation};
+pub use interval::{
+    are_consecutive_disjoint, coverage, merge_overlapping, Interval, OverlapRelation,
+};
 pub use tree::{Entry, IntervalTree};

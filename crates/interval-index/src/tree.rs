@@ -223,10 +223,7 @@ impl IntervalTree {
 
     /// All entries fully contained in `query`.
     pub fn contained_in(&self, query: Interval) -> Vec<Entry> {
-        self.overlapping(query)
-            .into_iter()
-            .filter(|e| query.contains(&e.interval))
-            .collect()
+        self.overlapping(query).into_iter().filter(|e| query.contains(&e.interval)).collect()
     }
 
     /// The paper's `next : SUB-X → SUB-X` operator for ordered domains: the entry that

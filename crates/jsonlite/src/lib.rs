@@ -323,9 +323,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("invalid number"))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -385,7 +383,8 @@ impl<'a> Parser<'a> {
         self.pos += 4;
         // surrogate pair
         if (0xD800..0xDC00).contains(&code) {
-            if self.bytes.get(self.pos) == Some(&b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u')
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
             {
                 self.pos += 2;
                 let hex2 = self

@@ -95,7 +95,11 @@ impl Ontology {
     pub fn add_concept(&mut self, name: impl Into<String>) -> ConceptId {
         let name = name.into();
         let id = ConceptId(self.concepts.len() as u32);
-        self.concepts.push(ConceptNode { name: name.clone(), children: Vec::new(), instances: Vec::new() });
+        self.concepts.push(ConceptNode {
+            name: name.clone(),
+            children: Vec::new(),
+            instances: Vec::new(),
+        });
         self.name_index.insert(name, id);
         id
     }
@@ -144,40 +148,33 @@ impl Ontology {
 
     /// Direct instances of a concept (not its descendants).
     pub fn direct_instances(&self, concept: ConceptId) -> Vec<InstanceId> {
-        self.concepts
-            .get(concept.0 as usize)
-            .map(|c| c.instances.clone())
-            .unwrap_or_default()
+        self.concepts.get(concept.0 as usize).map(|c| c.instances.clone()).unwrap_or_default()
     }
 
     /// Direct children of a concept with the connecting relation.
     pub fn children(&self, concept: ConceptId) -> Vec<(ConceptId, RelationType)> {
-        self.concepts
-            .get(concept.0 as usize)
-            .map(|c| c.children.clone())
-            .unwrap_or_default()
+        self.concepts.get(concept.0 as usize).map(|c| c.children.clone()).unwrap_or_default()
     }
 
     /// Direct children reached by a specific relation.
     pub fn children_by_relation(&self, concept: ConceptId, rel: &RelationType) -> Vec<ConceptId> {
         self.concepts
             .get(concept.0 as usize)
-            .map(|c| {
-                c.children
-                    .iter()
-                    .filter(|(_, r)| r == rel)
-                    .map(|(child, _)| *child)
-                    .collect()
-            })
+            .map(|c| c.children.iter().filter(|(_, r)| r == rel).map(|(child, _)| *child).collect())
             .unwrap_or_default()
     }
 
     /// All concepts reachable from `root` (including `root`) following edges whose
     /// relation is in `relations`.  This is the concept-set backbone shared by every
     /// operation; returns ids in a deterministic sorted order.
-    pub(crate) fn closure(&self, roots: &[ConceptId], relations: &[RelationType]) -> BTreeSet<ConceptId> {
+    pub(crate) fn closure(
+        &self,
+        roots: &[ConceptId],
+        relations: &[RelationType],
+    ) -> BTreeSet<ConceptId> {
         let mut seen: BTreeSet<ConceptId> = BTreeSet::new();
-        let mut stack: Vec<ConceptId> = roots.iter().copied().filter(|c| self.is_concept(*c)).collect();
+        let mut stack: Vec<ConceptId> =
+            roots.iter().copied().filter(|c| self.is_concept(*c)).collect();
         while let Some(c) = stack.pop() {
             if !seen.insert(c) {
                 continue;

@@ -43,9 +43,7 @@ impl Ontology {
     /// `SubTree(X, R)` — the set of concepts in the subtree under `X` following relation
     /// `R` (including `X` itself), in sorted order.
     pub fn subtree(&self, root: ConceptId, rel: &RelationType) -> Vec<ConceptId> {
-        self.closure(&[root], std::slice::from_ref(rel))
-            .into_iter()
-            .collect()
+        self.closure(&[root], std::slice::from_ref(rel)).into_iter().collect()
     }
 
     /// `SubTree(X, R) − SubTree(Y, R)` — the concepts under `X` that are not under `Y`,
@@ -65,7 +63,12 @@ impl Ontology {
 
     /// Whether `descendant` is reachable from `ancestor` following `rel` (used to
     /// validate subtree-difference preconditions).
-    pub fn is_descendant(&self, ancestor: ConceptId, descendant: ConceptId, rel: &RelationType) -> bool {
+    pub fn is_descendant(
+        &self,
+        ancestor: ConceptId,
+        descendant: ConceptId,
+        rel: &RelationType,
+    ) -> bool {
         self.closure(&[ancestor], std::slice::from_ref(rel)).contains(&descendant)
     }
 
@@ -115,9 +118,7 @@ impl Ontology {
         anc_b.insert(b);
         let common: Vec<ConceptId> = anc_a.intersection(&anc_b).copied().collect();
         // the "lowest" common ancestor is the one with the greatest depth
-        common
-            .into_iter()
-            .max_by_key(|&c| self.ancestors(c, rel).len())
+        common.into_iter().max_by_key(|&c| self.ancestors(c, rel).len())
     }
 
     /// Instances in the subtree difference `SubTree(X, R) − SubTree(Y, R)` — the

@@ -74,9 +74,7 @@ impl Catalog {
 
     /// Mutable access to a table, erroring if absent.
     pub fn require_table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| RelError::NoSuchTable(name.to_string()))
+        self.tables.get_mut(name).ok_or_else(|| RelError::NoSuchTable(name.to_string()))
     }
 
     /// Table names in sorted order.
@@ -115,14 +113,8 @@ mod tests {
         c.create_table("dna", schema()).unwrap();
         assert!(c.has_table("dna"));
         assert_eq!(c.table_count(), 1);
-        assert_eq!(
-            c.create_table("dna", schema()),
-            Err(RelError::TableExists("dna".into()))
-        );
-        c.table_mut("dna")
-            .unwrap()
-            .insert(vec![Value::text("x"), Value::Int(5)])
-            .unwrap();
+        assert_eq!(c.create_table("dna", schema()), Err(RelError::TableExists("dna".into())));
+        c.table_mut("dna").unwrap().insert(vec![Value::text("x"), Value::Int(5)]).unwrap();
         assert_eq!(c.total_rows(), 1);
     }
 
@@ -156,10 +148,7 @@ mod tests {
         t.insert(vec![Value::text("b"), Value::Int(20)]).unwrap();
         let hits = c.scan("dna", &Predicate::gt("length", Value::Int(15))).unwrap();
         assert_eq!(hits.len(), 1);
-        assert!(matches!(
-            c.scan("missing", &Predicate::True),
-            Err(RelError::NoSuchTable(_))
-        ));
+        assert!(matches!(c.scan("missing", &Predicate::True), Err(RelError::NoSuchTable(_))));
     }
 
     #[test]

@@ -98,9 +98,8 @@ impl Predicate {
     /// Evaluate against a row. Unknown columns and NULL comparisons evaluate to false
     /// (SQL-like three-valued logic collapsed to boolean).
     pub fn eval(&self, schema: &Schema, row: &[Value]) -> bool {
-        let get = |name: &str| -> Option<&Value> {
-            schema.column_index(name).and_then(|i| row.get(i))
-        };
+        let get =
+            |name: &str| -> Option<&Value> { schema.column_index(name).and_then(|i| row.get(i)) };
         match self {
             Predicate::True => true,
             Predicate::Eq(c, v) => get(c).map(|x| !x.is_null() && x == v).unwrap_or(false),
@@ -170,12 +169,7 @@ mod tests {
     }
 
     fn row() -> Vec<Value> {
-        vec![
-            Value::text("NC_007373"),
-            Value::Int(2300),
-            Value::Float(0.41),
-            Value::Bool(true),
-        ]
+        vec![Value::text("NC_007373"), Value::Int(2300), Value::Float(0.41), Value::Bool(true)]
     }
 
     #[test]
@@ -233,11 +227,11 @@ mod tests {
     fn boolean_combinators() {
         let s = schema();
         let r = row();
-        let p = Predicate::gt("length", Value::Int(1000))
-            .and(Predicate::contains("accession", "NC"));
+        let p =
+            Predicate::gt("length", Value::Int(1000)).and(Predicate::contains("accession", "NC"));
         assert!(p.eval(&s, &r));
-        let q = Predicate::eq("curated", Value::Bool(false))
-            .or(Predicate::lt("gc", Value::Float(0.5)));
+        let q =
+            Predicate::eq("curated", Value::Bool(false)).or(Predicate::lt("gc", Value::Float(0.5)));
         assert!(q.eval(&s, &r));
         assert!(!q.clone().not().eval(&s, &r));
         assert!(Predicate::eq("curated", Value::Bool(false)).not().eval(&s, &r));

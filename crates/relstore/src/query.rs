@@ -149,10 +149,9 @@ pub fn hash_join(
     right_col: &str,
 ) -> Vec<Vec<Value>> {
     use std::collections::HashMap;
-    let (Some(li), Some(ri)) = (
-        left.schema().column_index(left_col),
-        right.schema().column_index(right_col),
-    ) else {
+    let (Some(li), Some(ri)) =
+        (left.schema().column_index(left_col), right.schema().column_index(right_col))
+    else {
         return Vec::new();
     };
 

@@ -58,13 +58,7 @@ fn index_key(v: &Value) -> String {
 impl Table {
     /// Create an empty table with the given name and schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table {
-            name: name.into(),
-            schema,
-            slots: Vec::new(),
-            live: 0,
-            indexes: HashMap::new(),
-        }
+        Table { name: name.into(), schema, slots: Vec::new(), live: 0, indexes: HashMap::new() }
     }
 
     /// Table name.
@@ -116,10 +110,7 @@ impl Table {
 
     /// Fetch a row by id.
     pub fn get(&self, id: RowId) -> Option<&[Value]> {
-        self.slots
-            .get(id.0 as usize)
-            .filter(|s| s.alive)
-            .map(|s| s.values.as_slice())
+        self.slots.get(id.0 as usize).filter(|s| s.alive).map(|s| s.values.as_slice())
     }
 
     /// Fetch a single column value of a row.
@@ -194,10 +185,7 @@ impl Table {
         let mut buckets: HashMap<String, Vec<RowId>> = HashMap::new();
         for (i, slot) in self.slots.iter().enumerate() {
             if slot.alive {
-                buckets
-                    .entry(index_key(&slot.values[col]))
-                    .or_default()
-                    .push(RowId(i as u64));
+                buckets.entry(index_key(&slot.values[col])).or_default().push(RowId(i as u64));
             }
         }
         self.indexes.insert(name, HashIndex { column: col, buckets });
@@ -252,10 +240,7 @@ impl Table {
                 }
             }
         }
-        self.rows()
-            .filter(|(_, row)| predicate.eval(&self.schema, row))
-            .map(|(id, _)| id)
-            .collect()
+        self.rows().filter(|(_, row)| predicate.eval(&self.schema, row)).map(|(id, _)| id).collect()
     }
 
     /// Scan and return `(id, row)` pairs.
@@ -276,9 +261,7 @@ impl Table {
         let idxs: Vec<usize> = columns
             .iter()
             .map(|c| {
-                self.schema
-                    .column_index(c)
-                    .ok_or_else(|| RelError::NoSuchColumn(c.to_string()))
+                self.schema.column_index(c).ok_or_else(|| RelError::NoSuchColumn(c.to_string()))
             })
             .collect::<Result<_>>()?;
         Ok(self
@@ -360,14 +343,8 @@ mod tests {
         t.create_index("org", "organism").unwrap();
         t.insert(vec![Value::text("A4"), Value::Int(1500), Value::text("H5N1")]).unwrap();
         assert_eq!(t.scan(&Predicate::eq("organism", Value::text("H5N1"))).len(), 3);
-        assert_eq!(
-            t.create_index("org", "organism"),
-            Err(RelError::IndexExists("org".into()))
-        );
-        assert!(matches!(
-            t.create_index("bad", "nope"),
-            Err(RelError::NoSuchColumn(_))
-        ));
+        assert_eq!(t.create_index("org", "organism"), Err(RelError::IndexExists("org".into())));
+        assert!(matches!(t.create_index("bad", "nope"), Err(RelError::NoSuchColumn(_))));
     }
 
     #[test]
@@ -385,8 +362,7 @@ mod tests {
     fn update_reindexes() {
         let mut t = dna_table();
         t.create_index("org", "organism").unwrap();
-        t.update(RowId(2), vec![Value::text("A3"), Value::Int(900), Value::text("H5N1")])
-            .unwrap();
+        t.update(RowId(2), vec![Value::text("A3"), Value::Int(900), Value::text("H5N1")]).unwrap();
         assert_eq!(t.scan(&Predicate::eq("organism", Value::text("H5N1"))).len(), 3);
         assert_eq!(t.scan(&Predicate::eq("organism", Value::text("H1N1"))).len(), 0);
     }
@@ -394,15 +370,11 @@ mod tests {
     #[test]
     fn project_columns() {
         let t = dna_table();
-        let rows = t
-            .project(&Predicate::eq("organism", Value::text("H5N1")), &["accession"])
-            .unwrap();
+        let rows =
+            t.project(&Predicate::eq("organism", Value::text("H5N1")), &["accession"]).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], vec![Value::text("A1")]);
-        assert!(matches!(
-            t.project(&Predicate::True, &["nope"]),
-            Err(RelError::NoSuchColumn(_))
-        ));
+        assert!(matches!(t.project(&Predicate::True, &["nope"]), Err(RelError::NoSuchColumn(_))));
     }
 
     #[test]

@@ -61,6 +61,20 @@ impl IntoLabel for BenchmarkId {
     }
 }
 
+/// How many inputs [`Bencher::iter_batched`] should prepare per batch.  Accepted for
+/// criterion API compatibility; the shim times each routine call individually, so the
+/// hint does not change the measurement.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum BatchSize {
+    /// Small inputs (criterion's default).
+    #[default]
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
 /// The timing driver handed to benchmark closures.
 pub struct Bencher {
     measurement_window: Duration,
@@ -96,6 +110,55 @@ impl Bencher {
         }
         self.ns_per_iter = Some(best);
     }
+
+    /// Like [`iter`](Self::iter), but every call consumes a fresh input built by
+    /// `setup`, and only the routine is timed.  Use this when the routine would
+    /// otherwise accumulate state in a value shared across iterations — e.g. a write
+    /// benchmark whose per-call cost grows with everything the previous iterations
+    /// wrote — which would make the reported mean a function of the iteration count
+    /// rather than of the operation.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Calibration sizes the iteration count from full wall time per call
+        // (setup + routine + teardown) — the reported time stays routine-only,
+        // measured in the sample loop — so an expensive setup bounds each sample
+        // near the measurement window instead of multiplying it by the
+        // setup/routine ratio.
+        let calibration_start = Instant::now();
+        let mut calls = 0u64;
+        while calibration_start.elapsed() < self.measurement_window / 4 && calls < 1_000 {
+            drop(black_box(routine(setup())));
+            calls += 1;
+        }
+        let wall_per_call = calibration_start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+        let target_ns = self.measurement_window.as_nanos() as f64;
+        // Tighter clamp than `iter`: every iteration pays an untimed setup, so a
+        // too-fast routine must not explode the number of setups.
+        let iters = ((target_ns / wall_per_call.max(1.0)) as u64).clamp(1, 10_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut sample_ns = 0u128;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                let out = routine(input);
+                sample_ns += t0.elapsed().as_nanos();
+                // The routine's output (often the consumed input, moved back out so
+                // its teardown is not measured) drops outside the timed window.
+                drop(black_box(out));
+            }
+            let mean = sample_ns as f64 / iters as f64;
+            if mean < best {
+                best = mean;
+            }
+        }
+        self.ns_per_iter = Some(best);
+    }
 }
 
 /// The benchmark harness entry point.
@@ -120,7 +183,11 @@ impl Criterion {
     }
 
     /// Run a single named benchmark.
-    pub fn bench_function(&mut self, name: impl IntoLabel, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl IntoLabel,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         self.run(name.into_label(), f);
         self
     }
@@ -214,9 +281,7 @@ pub fn write_json_summary() {
     let bin = std::env::args()
         .next()
         .and_then(|p| {
-            std::path::Path::new(&p)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
+            std::path::Path::new(&p).file_stem().map(|s| s.to_string_lossy().into_owned())
         })
         .unwrap_or_else(|| "bench".to_string());
     // cargo names bench executables `<name>-<hash>`; strip the trailing hash.

@@ -183,12 +183,7 @@ macro_rules! impl_tuple_strategy {
     )*};
 }
 
-impl_tuple_strategy!(
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-    (A.0, B.1, C.2, D.3, E.4),
-);
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3), (A.0, B.1, C.2, D.3, E.4),);
 
 /// `&'static str` literals act as regex-ish string strategies (see [`pattern`]).
 impl Strategy for &'static str {
@@ -521,8 +516,7 @@ mod tests {
     #[test]
     fn vec_and_map_compose() {
         let mut rng = TestRng::new(11);
-        let strat = prop::collection::vec((0u64..5, any::<bool>()), 1..4)
-            .prop_map(|v| v.len());
+        let strat = prop::collection::vec((0u64..5, any::<bool>()), 1..4).prop_map(|v| v.len());
         for _ in 0..50 {
             let n = strat.sample(&mut rng);
             assert!((1..4).contains(&n));

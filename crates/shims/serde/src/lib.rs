@@ -67,9 +67,9 @@ static NULL: Json = Json::Null;
 pub fn field<'a>(v: &'a Json, name: &str) -> Result<&'a Json, DeError> {
     match v {
         Json::Obj(_) => Ok(v.get(name).unwrap_or(&NULL)),
-        other => Err(DeError::custom(format!(
-            "expected an object with field {name:?}, got {other:?}"
-        ))),
+        other => {
+            Err(DeError::custom(format!("expected an object with field {name:?}, got {other:?}")))
+        }
     }
 }
 
@@ -85,10 +85,9 @@ pub fn variant(v: &Json) -> Option<(&str, &Json)> {
 pub fn tuple(v: &Json, arity: usize) -> Result<&[Json], DeError> {
     match v.as_arr() {
         Some(items) if items.len() == arity => Ok(items),
-        Some(items) => Err(DeError::custom(format!(
-            "expected a {arity}-tuple, got {} elements",
-            items.len()
-        ))),
+        Some(items) => {
+            Err(DeError::custom(format!("expected a {arity}-tuple, got {} elements", items.len())))
+        }
         None => Err(DeError::custom(format!("expected a {arity}-tuple array, got {v:?}"))),
     }
 }

@@ -186,9 +186,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
-                })
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
                 .collect();
             format!("::serde::Json::Obj(vec![{}])", pairs.join(", "))
         }
@@ -267,10 +265,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
                 .collect();
-            format!(
-                "let __items = ::serde::tuple(__v, {n})?; Ok({name}({}))",
-                items.join(", ")
-            )
+            format!("let __items = ::serde::tuple(__v, {n})?; Ok({name}({}))", items.join(", "))
         }
         Shape::UnitStruct => format!("Ok({name})"),
         Shape::Enum(variants) => {

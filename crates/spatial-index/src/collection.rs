@@ -72,26 +72,17 @@ impl CoordinateSystems {
 
     /// Regions overlapping `query` within one coordinate system.
     pub fn overlapping(&self, system: &str, query: Rect) -> Vec<SpatialEntry> {
-        self.systems
-            .get(system)
-            .map(|t| t.overlapping(query))
-            .unwrap_or_default()
+        self.systems.get(system).map(|t| t.overlapping(query)).unwrap_or_default()
     }
 
     /// Regions fully contained in `query` within one coordinate system.
     pub fn contained_in(&self, system: &str, query: Rect) -> Vec<SpatialEntry> {
-        self.systems
-            .get(system)
-            .map(|t| t.contained_in(query))
-            .unwrap_or_default()
+        self.systems.get(system).map(|t| t.contained_in(query)).unwrap_or_default()
     }
 
     /// Regions containing a point within one coordinate system.
     pub fn containing_point(&self, system: &str, p: [f64; 3]) -> Vec<SpatialEntry> {
-        self.systems
-            .get(system)
-            .map(|t| t.containing_point(p))
-            .unwrap_or_default()
+        self.systems.get(system).map(|t| t.containing_point(p)).unwrap_or_default()
     }
 
     /// Nearest region to a point within one coordinate system.

@@ -21,12 +21,7 @@ impl Rect {
     /// Create a 3-D box. Panics when any `min > max` (an inverted box is a caller bug).
     pub fn new(min: [f64; 3], max: [f64; 3]) -> Self {
         for d in 0..3 {
-            assert!(
-                min[d] <= max[d],
-                "inverted box on axis {d}: {} > {}",
-                min[d],
-                max[d]
-            );
+            assert!(min[d] <= max[d], "inverted box on axis {d}: {} > {}", min[d], max[d]);
         }
         Rect { min, max }
     }
@@ -229,9 +224,6 @@ mod tests {
         assert!(!a.if_overlap(&b));
         let c = Rect::box3(5.0, 5.0, 5.0, 15.0, 15.0, 15.0);
         assert!(a.if_overlap(&c));
-        assert_eq!(
-            a.intersect(&c).unwrap(),
-            Rect::box3(5.0, 5.0, 5.0, 10.0, 10.0, 10.0)
-        );
+        assert_eq!(a.intersect(&c).unwrap(), Rect::box3(5.0, 5.0, 5.0, 10.0, 10.0, 10.0));
     }
 }

@@ -33,14 +33,8 @@ enum Node {
 impl Node {
     fn bounding(&self) -> Option<Rect> {
         match self {
-            Node::Leaf { entries } => entries
-                .iter()
-                .map(|e| e.rect)
-                .reduce(|a, b| a.union(&b)),
-            Node::Inner { children } => children
-                .iter()
-                .map(|(r, _)| *r)
-                .reduce(|a, b| a.union(&b)),
+            Node::Leaf { entries } => entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+            Node::Inner { children } => children.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)),
         }
     }
 
@@ -100,9 +94,7 @@ impl RTree {
 
         let mut by_x = items;
         by_x.sort_by(|a, b| {
-            a.rect.center()[0]
-                .partial_cmp(&b.rect.center()[0])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.rect.center()[0].partial_cmp(&b.rect.center()[0]).unwrap_or(std::cmp::Ordering::Equal)
         });
 
         let mut leaves: Vec<Node> = Vec::new();
@@ -167,13 +159,11 @@ impl RTree {
                     .min_by(|(_, (ra, _)), (_, (rb, _))| {
                         let ea = ra.enlargement(&entry.rect);
                         let eb = rb.enlargement(&entry.rect);
-                        ea.partial_cmp(&eb)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(
-                                ra.measure()
-                                    .partial_cmp(&rb.measure())
-                                    .unwrap_or(std::cmp::Ordering::Equal),
-                            )
+                        ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal).then(
+                            ra.measure()
+                                .partial_cmp(&rb.measure())
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
                     })
                     .map(|(i, _)| i)
                     .expect("inner node has at least one child");
@@ -189,10 +179,8 @@ impl RTree {
                     }
                 } else {
                     // refresh the child's bounding box
-                    children[idx].0 = children[idx]
-                        .1
-                        .bounding()
-                        .expect("child node is non-empty after insert");
+                    children[idx].0 =
+                        children[idx].1.bounding().expect("child node is non-empty after insert");
                 }
                 None
             }
@@ -356,18 +344,12 @@ impl RTree {
 
     /// All entries fully contained in `query`.
     pub fn contained_in(&self, query: Rect) -> Vec<SpatialEntry> {
-        self.overlapping(query)
-            .into_iter()
-            .filter(|e| query.contains(&e.rect))
-            .collect()
+        self.overlapping(query).into_iter().filter(|e| query.contains(&e.rect)).collect()
     }
 
     /// All entries containing the point.
     pub fn containing_point(&self, p: [f64; 3]) -> Vec<SpatialEntry> {
-        self.overlapping(Rect::new(p, p))
-            .into_iter()
-            .filter(|e| e.rect.contains_point(p))
-            .collect()
+        self.overlapping(Rect::new(p, p)).into_iter().filter(|e| e.rect.contains_point(p)).collect()
     }
 
     /// The entry whose region is nearest to the point (by box distance), if any.
@@ -380,9 +362,7 @@ impl RTree {
                         let d = e.rect.distance2_to_point(p);
                         let better = match best {
                             None => true,
-                            Some((bd, be)) => {
-                                d < *bd || (d == *bd && e.payload < be.payload)
-                            }
+                            Some((bd, be)) => d < *bd || (d == *bd && e.payload < be.payload),
                         };
                         if better {
                             *best = Some((d, *e));
@@ -420,11 +400,8 @@ impl RTree {
         }
         // Collect all with distances and partially sort — simple and correct; the tree's
         // branch-and-bound `nearest` covers the common k=1 case, this covers general k.
-        let mut scored: Vec<(f64, SpatialEntry)> = self
-            .entries()
-            .into_iter()
-            .map(|e| (e.rect.distance2_to_point(p), e))
-            .collect();
+        let mut scored: Vec<(f64, SpatialEntry)> =
+            self.entries().into_iter().map(|e| (e.rect.distance2_to_point(p), e)).collect();
         scored.sort_by(|a, b| {
             a.0.partial_cmp(&b.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -525,10 +502,7 @@ mod tests {
         let mut id = 0u64;
         for x in 0..n {
             for y in 0..n {
-                t.insert(
-                    Rect::rect2(x as f64, y as f64, x as f64 + 1.0, y as f64 + 1.0),
-                    id,
-                );
+                t.insert(Rect::rect2(x as f64, y as f64, x as f64 + 1.0, y as f64 + 1.0), id);
                 id += 1;
             }
         }
@@ -632,10 +606,7 @@ mod tests {
     fn three_dimensional_entries() {
         let mut t = RTree::new();
         for z in 0..10 {
-            t.insert(
-                Rect::box3(0.0, 0.0, z as f64, 1.0, 1.0, z as f64 + 0.5),
-                z as u64,
-            );
+            t.insert(Rect::box3(0.0, 0.0, z as f64, 1.0, 1.0, z as f64 + 0.5), z as u64);
         }
         let hits = t.overlapping(Rect::box3(0.0, 0.0, 2.0, 1.0, 1.0, 4.0));
         assert_eq!(hits.len(), 3); // z = 2, 3, 4 slabs

@@ -2,7 +2,7 @@
 //! structural invariants under arbitrary insertion orders and removals.
 
 use proptest::prelude::*;
-use spatial_index::{Rect, RTree};
+use spatial_index::{RTree, Rect};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (0.0f64..500.0, 0.0f64..500.0, 1.0f64..40.0, 1.0f64..40.0)

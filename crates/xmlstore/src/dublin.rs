@@ -85,19 +85,12 @@ impl DublinCore {
 
     /// First value of a Dublin Core element, if present.
     pub fn get(&self, element: &str) -> Option<&str> {
-        self.fields
-            .iter()
-            .find(|(e, _)| e == element)
-            .map(|(_, v)| v.as_str())
+        self.fields.iter().find(|(e, _)| e == element).map(|(_, v)| v.as_str())
     }
 
     /// All values of a Dublin Core element.
     pub fn get_all(&self, element: &str) -> Vec<&str> {
-        self.fields
-            .iter()
-            .filter(|(e, _)| e == element)
-            .map(|(_, v)| v.as_str())
-            .collect()
+        self.fields.iter().filter(|(e, _)| e == element).map(|(_, v)| v.as_str()).collect()
     }
 
     /// Whether an element name belongs to the DCMES fifteen.

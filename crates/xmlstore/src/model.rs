@@ -97,10 +97,7 @@ impl Element {
 
     /// Value of an attribute, if present.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// Set (or replace) an attribute value.
@@ -131,11 +128,7 @@ impl Element {
 
     /// The concatenated text of this element's direct text children (not descendants).
     pub fn text(&self) -> String {
-        self.children
-            .iter()
-            .filter_map(XmlNode::as_text)
-            .collect::<Vec<_>>()
-            .join("")
+        self.children.iter().filter_map(XmlNode::as_text).collect::<Vec<_>>().join("")
     }
 
     /// The concatenated text of this element and all descendants, in document order.
@@ -278,12 +271,8 @@ mod tests {
     fn sample() -> Element {
         Element::new("annotation")
             .with_attr("id", "ann-1")
-            .with_child(
-                Element::new("dc:title").with_text("cleavage site"),
-            )
-            .with_child(
-                Element::new("dc:creator").with_text("condit"),
-            )
+            .with_child(Element::new("dc:title").with_text("cleavage site"))
+            .with_child(Element::new("dc:creator").with_text("condit"))
             .with_child(
                 Element::new("body")
                     .with_attr("lang", "en")
@@ -332,14 +321,9 @@ mod tests {
 
     #[test]
     fn serialization_escapes() {
-        let e = Element::new("note")
-            .with_attr("q", "a<b & \"c\"")
-            .with_text("x < y & z");
+        let e = Element::new("note").with_attr("q", "a<b & \"c\"").with_text("x < y & z");
         let xml = e.to_xml();
-        assert_eq!(
-            xml,
-            "<note q=\"a&lt;b &amp; &quot;c&quot;\">x &lt; y &amp; z</note>"
-        );
+        assert_eq!(xml, "<note q=\"a&lt;b &amp; &quot;c&quot;\">x &lt; y &amp; z</note>");
     }
 
     #[test]

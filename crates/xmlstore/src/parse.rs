@@ -176,16 +176,14 @@ impl<'a> Parser<'a> {
                 let Some(end) = self.find("-->") else {
                     return Err(XmlError::UnexpectedEof { expected: "-->" });
                 };
-                let text =
-                    String::from_utf8_lossy(&self.input[self.pos + 4..end]).into_owned();
+                let text = String::from_utf8_lossy(&self.input[self.pos + 4..end]).into_owned();
                 element.children.push(XmlNode::Comment(text));
                 self.pos = end + 3;
             } else if self.starts_with("<![CDATA[") {
                 let Some(end) = self.find("]]>") else {
                     return Err(XmlError::UnexpectedEof { expected: "]]>" });
                 };
-                let text =
-                    String::from_utf8_lossy(&self.input[self.pos + 9..end]).into_owned();
+                let text = String::from_utf8_lossy(&self.input[self.pos + 9..end]).into_owned();
                 element.children.push(XmlNode::Text(text));
                 self.pos = end + 3;
             } else if self.peek() == Some(b'<') {
@@ -273,9 +271,8 @@ fn unescape(raw: &str) -> Result<String> {
                             .ok_or_else(|| XmlError::UnknownEntity(other.to_string()))?,
                     );
                 } else if let Some(dec) = other.strip_prefix('#') {
-                    let code: u32 = dec
-                        .parse()
-                        .map_err(|_| XmlError::UnknownEntity(other.to_string()))?;
+                    let code: u32 =
+                        dec.parse().map_err(|_| XmlError::UnknownEntity(other.to_string()))?;
                     out.push(
                         char::from_u32(code)
                             .ok_or_else(|| XmlError::UnknownEntity(other.to_string()))?,
@@ -330,10 +327,7 @@ mod tests {
 
     #[test]
     fn unknown_entity_rejected() {
-        assert_eq!(
-            parse_document("<a>&nope;</a>"),
-            Err(XmlError::UnknownEntity("nope".into()))
-        );
+        assert_eq!(parse_document("<a>&nope;</a>"), Err(XmlError::UnknownEntity("nope".into())));
     }
 
     #[test]
@@ -365,10 +359,7 @@ mod tests {
 
     #[test]
     fn truncated_document_error() {
-        assert!(matches!(
-            parse_document("<a><b>"),
-            Err(XmlError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(parse_document("<a><b>"), Err(XmlError::UnexpectedEof { .. })));
     }
 
     #[test]
@@ -380,10 +371,7 @@ mod tests {
 
     #[test]
     fn doctype_rejected() {
-        assert!(matches!(
-            parse_document("<!DOCTYPE html><a/>"),
-            Err(XmlError::Syntax { .. })
-        ));
+        assert!(matches!(parse_document("<!DOCTYPE html><a/>"), Err(XmlError::Syntax { .. })));
     }
 
     #[test]

@@ -162,7 +162,12 @@ impl PathExpr {
             let name_len = rest
                 .char_indices()
                 .take_while(|(_, c)| {
-                    c.is_alphanumeric() || *c == ':' || *c == '_' || *c == '-' || *c == '.' || *c == '*'
+                    c.is_alphanumeric()
+                        || *c == ':'
+                        || *c == '_'
+                        || *c == '-'
+                        || *c == '.'
+                        || *c == '*'
                 })
                 .map(|(i, c)| i + c.len_utf8())
                 .last()
@@ -182,9 +187,8 @@ impl PathExpr {
 
             let mut predicates = Vec::new();
             while rest.starts_with('[') {
-                let end = rest
-                    .find(']')
-                    .ok_or_else(|| XmlError::BadPathExpression(input.to_string()))?;
+                let end =
+                    rest.find(']').ok_or_else(|| XmlError::BadPathExpression(input.to_string()))?;
                 let body = &rest[1..end];
                 predicates.push(Self::parse_predicate(body, input)?);
                 rest = &rest[end + 1..];
@@ -310,10 +314,9 @@ impl PathExpr {
         match &self.selector {
             Selector::Elements => elements.iter().map(|e| e.to_xml()).collect(),
             Selector::Text => elements.iter().map(|e| e.text()).collect(),
-            Selector::Attribute(name) => elements
-                .iter()
-                .filter_map(|e| e.attr(name).map(str::to_string))
-                .collect(),
+            Selector::Attribute(name) => {
+                elements.iter().filter_map(|e| e.attr(name).map(str::to_string)).collect()
+            }
         }
     }
 

@@ -53,10 +53,7 @@ impl ContentStore {
             self.keyword_index.entry(kw).or_default().insert(id);
         }
         for element in doc.root.descendants() {
-            self.element_index
-                .entry(element.name.clone())
-                .or_default()
-                .insert(id);
+            self.element_index.entry(element.name.clone()).or_default().insert(id);
         }
         self.docs.insert(id, doc);
         id
@@ -101,10 +98,7 @@ impl ContentStore {
             self.keyword_index.entry(kw).or_default().insert(id);
         }
         for element in doc.root.descendants() {
-            self.element_index
-                .entry(element.name.clone())
-                .or_default()
-                .insert(id);
+            self.element_index.entry(element.name.clone()).or_default().insert(id);
         }
         self.docs.insert(id, doc);
         true
@@ -139,11 +133,7 @@ impl ContentStore {
         // intersect starting from the smallest set
         sets.sort_by_key(|s| s.len());
         let (first, rest) = sets.split_first().expect("non-empty");
-        first
-            .iter()
-            .copied()
-            .filter(|id| rest.iter().all(|s| s.contains(id)))
-            .collect()
+        first.iter().copied().filter(|id| rest.iter().all(|s| s.contains(id))).collect()
     }
 
     /// Documents whose full text contains `phrase` as a (case-insensitive) substring.
@@ -151,20 +141,11 @@ impl ContentStore {
     pub fn containing_phrase(&self, phrase: &str) -> Vec<DocId> {
         let lowered = phrase.to_lowercase();
         let tokens: Vec<&str> = crate::keyword_tokens(&lowered).collect();
-        let candidates = if tokens.is_empty() {
-            self.ids()
-        } else {
-            self.with_all_keywords(&tokens)
-        };
+        let candidates =
+            if tokens.is_empty() { self.ids() } else { self.with_all_keywords(&tokens) };
         candidates
             .into_iter()
-            .filter(|id| {
-                self.docs[id]
-                    .root
-                    .deep_text()
-                    .to_lowercase()
-                    .contains(&lowered)
-            })
+            .filter(|id| self.docs[id].root.deep_text().to_lowercase().contains(&lowered))
             .collect()
     }
 
@@ -184,19 +165,13 @@ impl ContentStore {
             Some(crate::path::NameTest::Named(name)) => self.with_element(name),
             _ => self.ids(),
         };
-        candidates
-            .into_iter()
-            .filter(|id| expr.matches(&self.docs[id]))
-            .collect()
+        candidates.into_iter().filter(|id| expr.matches(&self.docs[id])).collect()
     }
 
     /// Evaluate a path expression and return `(doc, values)` for every matching
     /// document — the "XQuery fragment retrieval" operation of the query processor.
     pub fn select_values(&self, expr: &PathExpr) -> Vec<(DocId, Vec<String>)> {
-        self.select(expr)
-            .into_iter()
-            .map(|id| (id, expr.eval_strings(&self.docs[&id])))
-            .collect()
+        self.select(expr).into_iter().map(|id| (id, expr.eval_strings(&self.docs[&id]))).collect()
     }
 
     /// Number of documents matching a path expression (the XQuery `count()` of a
@@ -239,9 +214,7 @@ impl ContentStore {
 
     /// Whether document `id` contains the keyword (single index probe).
     pub fn doc_has_keyword(&self, id: DocId, keyword: &str) -> bool {
-        self.keyword_index
-            .get(&keyword.to_lowercase())
-            .is_some_and(|set| set.contains(&id))
+        self.keyword_index.get(&keyword.to_lowercase()).is_some_and(|set| set.contains(&id))
     }
 
     /// Whether document `id` contains **all** the given keywords.
@@ -293,8 +266,10 @@ mod tests {
                 .to_document(),
         );
         let c = s.insert(
-            parse_document("<annotation><note priority=\"low\">routine follow-up</note></annotation>")
-                .unwrap(),
+            parse_document(
+                "<annotation><note priority=\"low\">routine follow-up</note></annotation>",
+            )
+            .unwrap(),
         );
         (s, a, b, c)
     }

@@ -33,7 +33,8 @@ fn main() {
     println!("\nindex structures: {intervals} interval tree(s), {spatial} R-tree(s)");
 
     println!("\ndegree distribution (degree: count):");
-    let mut dist: Vec<(usize, usize)> = agraph::degree_distribution(sys.agraph()).into_iter().collect();
+    let mut dist: Vec<(usize, usize)> =
+        agraph::degree_distribution(sys.agraph()).into_iter().collect();
     dist.sort();
     for (deg, count) in dist.iter().take(8) {
         println!("  {deg}: {count}");

@@ -51,10 +51,7 @@ fn main() {
 
     // The two objects are now indirectly related through this annotation.
     let related = sys.transitively_related_annotations(correlation.id);
-    println!(
-        "\nannotations transitively connected to this correlation: {}",
-        related.len()
-    );
+    println!("\nannotations transitively connected to this correlation: {}", related.len());
 
     println!("\ncross-type correlation example complete.");
 }

@@ -34,10 +34,7 @@ fn main() {
     for ann in sys.annotations() {
         related_pairs += sys.related_annotations(ann.id).len();
     }
-    println!(
-        "\nindirectly-related annotation links (shared referents): {}",
-        related_pairs / 2
-    );
+    println!("\nindirectly-related annotation links (shared referents): {}", related_pairs / 2);
 
     // Q2: annotated sequences where 4 consecutive non-overlapping intervals each carry a
     // "protease" annotation.

@@ -51,11 +51,7 @@ fn main() {
     // Correlated-data viewing: for the first matching image, show its other annotations.
     if let Some(&obj) = result.objects.first() {
         let anns = sys.annotations_of_object(obj);
-        println!(
-            "\ncorrelated data for {:?}: {} annotation(s) on this image",
-            obj,
-            anns.len()
-        );
+        println!("\ncorrelated data for {:?}: {} annotation(s) on this image", obj, anns.len());
     }
 
     println!("\n{}", Executor::new(sys).plan(&q).explain());

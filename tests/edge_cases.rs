@@ -75,7 +75,9 @@ fn zero_length_interval_marker_is_handled() {
     // overlaps anything
     let ann = sys.annotate().comment("point").mark(seq, Marker::interval(10, 10)).commit();
     assert!(ann.is_ok());
-    assert!(sys.overlapping_intervals("chr1", graphitti::intervals::Interval::new(0, 100)).is_empty());
+    assert!(sys
+        .overlapping_intervals("chr1", graphitti::intervals::Interval::new(0, 100))
+        .is_empty());
 }
 
 #[test]

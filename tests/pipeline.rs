@@ -50,7 +50,8 @@ fn referent_type_filter_spans_stores() {
     let q = Query::new(Target::Referents).with_referent(ReferentFilter::OfType(DataType::Image));
     let res = Executor::new(&sys).run(&q);
     assert_eq!(res.referents.len(), 1);
-    let q2 = Query::new(Target::Referents).with_referent(ReferentFilter::OfType(DataType::DnaSequence));
+    let q2 =
+        Query::new(Target::Referents).with_referent(ReferentFilter::OfType(DataType::DnaSequence));
     assert_eq!(Executor::new(&sys).run(&q2).referents.len(), 1);
 }
 
@@ -111,7 +112,8 @@ fn q2_protease_end_to_end() {
 #[test]
 fn textual_dsl_matches_builder() {
     let sys = mixed_system();
-    let parsed = parse_query(r#"SELECT contents WHERE content contains "protease cleavage""#).unwrap();
+    let parsed =
+        parse_query(r#"SELECT contents WHERE content contains "protease cleavage""#).unwrap();
     let built = Query::new(Target::AnnotationContents).with_phrase("protease cleavage");
     let r1 = Executor::new(&sys).run(&parsed);
     let r2 = Executor::new(&sys).run(&built);
@@ -136,7 +138,8 @@ fn exploration_correlates_annotations() {
     let mut sys = Graphitti::new();
     let seq = sys.register_sequence("seq", DataType::DnaSequence, 1_000, "chr1");
     let a1 = sys.annotate().comment("first").mark(seq, Marker::interval(0, 50)).commit().unwrap();
-    let a2 = sys.annotate().comment("second").mark(seq, Marker::interval(60, 110)).commit().unwrap();
+    let a2 =
+        sys.annotate().comment("second").mark(seq, Marker::interval(60, 110)).commit().unwrap();
     let on_obj = sys.annotations_of_object(seq);
     assert_eq!(on_obj, vec![a1, a2]);
 }

@@ -2,9 +2,7 @@
 //! snapshot round-trips on realistic data.
 
 use graphitti::core::Graphitti;
-use graphitti::query::{
-    Executor, GraphConstraint, OntologyFilter, Query, Target,
-};
+use graphitti::query::{Executor, GraphConstraint, OntologyFilter, Query, Target};
 use graphitti::spatial::Rect;
 use graphitti::workloads::influenza::{self, InfluenzaConfig};
 use graphitti::workloads::neuro::{self, NeuroConfig};
@@ -45,7 +43,10 @@ fn q2_on_generated_influenza() {
     for obj in &res.objects {
         let anns = sys.annotations_of_object(*obj);
         let has_protease = anns.iter().any(|&a| {
-            sys.annotation(a).and_then(|x| x.comment()).map(|c| c.contains("protease")).unwrap_or(false)
+            sys.annotation(a)
+                .and_then(|x| x.comment())
+                .map(|c| c.contains("protease"))
+                .unwrap_or(false)
         });
         assert!(has_protease);
     }
