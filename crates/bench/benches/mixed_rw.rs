@@ -1,37 +1,52 @@
-//! Experiment T2 — mixed read/write serving: publish stall and sustained write
-//! throughput under concurrent readers.
+//! Experiment T2 — mixed read/write serving: publish stall, sustained write
+//! throughput, and result-cache survival under concurrent readers.
 //!
 //! A writer replays the `datagen::mixed` write stream (ingest batches that register
-//! new sequence objects interleaved with annotation batches) against a live system —
+//! new sequence objects, ontology batches that define vocabulary terms, and
+//! annotation batches, each a homogeneous curation session) against a live system —
 //! one [`CommitBatch`] per batch, one [`QueryService::publish`] after each — while N
-//! reader clients continuously replay a phrase-query mix against the service.  Because
-//! every publish leaves a snapshot outstanding in the service, **every batch's first
-//! write is a post-snapshot first write**: with per-component structural sharing it
-//! copies only the components the write touches; the pre-refactor monolithic
-//! copy-on-publish paid a full deep copy of the view instead.  The bench measures both
-//! sides on the same machine:
+//! reader clients continuously replay a query mix (content phrases plus an
+//! ontology-footprint term query) against the service.  Because every publish leaves
+//! a snapshot outstanding in the service, **every batch's first write is a
+//! post-snapshot first write**: with per-component structural sharing it copies only
+//! the components the write touches; the pre-refactor monolithic copy-on-publish paid
+//! a full deep copy of the view instead.  The bench measures three configurations of
+//! the same drive on the same machine:
 //!
-//! * `per_component` — the real system as shipped;
-//! * `monolithic` — the same drive with the old cost model emulated by
-//!   `Graphitti::unshare_all` (a whole-view deep copy installed as the live view) at
-//!   each batch's first write — exactly what `Arc::make_mut` on a flat view performed;
-//!   the write then proceeds in place, paying no per-component copies on top.
+//! * `monolithic` — the old cost model end to end: a whole-view deep copy emulated by
+//!   `Graphitti::unshare_all` at each batch's first write, plus whole-cache clears on
+//!   every publish ([`InvalidationPolicy::Full`]);
+//! * `per_component_full_inv` — per-component copy-on-write, but still clearing the
+//!   whole result cache on every publish (the shipped behaviour before per-component
+//!   epochs; the "before" side of the cache-survival comparison);
+//! * `per_component` — the real system as shipped: per-component copies *and*
+//!   per-footprint cache invalidation, where an ingest batch evicts nothing and an
+//!   ontology batch evicts only ontology-footprint entries.
 //!
 //! Reported per mode: sustained write qps, post-snapshot first-write latency
-//! p50/p95/p99 (the publish stall), and concurrent read qps.  Entries carry `qps`, so
-//! `bench_summary` routes them into `BENCH_throughput.json`.
+//! p50/p95/p99 (the publish stall), concurrent read qps, and the reader cache
+//! picture — hit rate, partial vs full invalidation counts, entries evicted.
+//! Entries carry `qps`, so `bench_summary` routes them into `BENCH_throughput.json`.
 //!
 //! Pass `--quick` (as CI does) for a smoke run that doubles as a correctness gate:
-//! small workload, and every mix query's final answer is asserted byte-identical to
-//! the single-threaded [`Executor`] after the full stream has been applied.
+//! small workload, every mix query's final answer asserted byte-identical to the
+//! single-threaded [`Executor`] after the full stream, plus a deterministic
+//! cache-metric sanity gate (ingest-only batches cost zero evictions; ontology
+//! batches evict exactly the ontology-footprint entry; full-dirty annotation batches
+//! still clear everything).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bench::{percentile, table_header, table_row};
 use datagen::mixed::{self, MixedConfig, MixedWorkload};
 use datagen::InfluenzaConfig;
-use graphitti_query::{Executor, Query, QueryService, ServiceConfig, Target};
+use graphitti_core::{DataType, Marker};
+use graphitti_query::{
+    Executor, InvalidationPolicy, OntologyFilter, Query, QueryService, ReferentFilter,
+    ServiceConfig, Target,
+};
+use interval_index::Interval;
 
 /// How each batch's first write pays for the outstanding snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,14 +57,31 @@ enum CopyMode {
     Monolithic,
 }
 
-impl CopyMode {
-    fn label(self) -> &'static str {
-        match self {
-            CopyMode::PerComponent => "per_component",
-            CopyMode::Monolithic => "monolithic",
-        }
-    }
+/// One benchmarked configuration: a copy model plus a cache-invalidation policy.
+#[derive(Debug, Clone, Copy)]
+struct Mode {
+    label: &'static str,
+    copy: CopyMode,
+    invalidation: InvalidationPolicy,
 }
+
+const MODES: [Mode; 3] = [
+    Mode {
+        label: "monolithic",
+        copy: CopyMode::Monolithic,
+        invalidation: InvalidationPolicy::Full,
+    },
+    Mode {
+        label: "per_component_full_inv",
+        copy: CopyMode::PerComponent,
+        invalidation: InvalidationPolicy::Full,
+    },
+    Mode {
+        label: "per_component",
+        copy: CopyMode::PerComponent,
+        invalidation: InvalidationPolicy::Footprint,
+    },
+];
 
 /// One mode's measured outcome.
 struct Measurement {
@@ -66,31 +98,91 @@ struct Measurement {
     read_p95_ns: u64,
     read_p99_ns: u64,
     reads: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    partial_invalidations: u64,
+    full_invalidations: u64,
+    entries_evicted: u64,
 }
 
-fn read_mix(workload: &MixedWorkload) -> Vec<Query> {
-    workload
+impl Measurement {
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The reader query mix, deliberately spanning several distinct read footprints so
+/// partial invalidation has something to discriminate:
+///
+/// * the workload's content phrases (content footprint — evicted by annotation
+///   batches only);
+/// * per-segment interval-overlap queries (interval footprint — ditto);
+/// * per-type referent queries (object footprint — evicted by ingest batches too,
+///   conservatively: registration moves the object registry);
+/// * an ontology-footprint term query (evicted by ontology / annotation batches).
+fn read_mix(workload: &MixedWorkload, segments: usize) -> Vec<Query> {
+    let mut mix: Vec<Query> = workload
         .read_phrases
         .iter()
         .map(|phrase| Query::new(Target::AnnotationContents).with_phrase(*phrase))
-        .collect()
+        .collect();
+    for seg in 0..segments.min(6) {
+        for window in 0..4u64 {
+            mix.push(Query::new(Target::Referents).with_referent(
+                ReferentFilter::IntervalOverlaps {
+                    domain: Some(format!("segment-{seg}")),
+                    interval: Interval::new(window * 250, window * 250 + 300),
+                },
+            ));
+        }
+    }
+    for ty in [DataType::DnaSequence, DataType::RnaSequence, DataType::ProteinSequence] {
+        mix.push(Query::new(Target::Referents).with_referent(ReferentFilter::OfType(ty)));
+    }
+    if let Some(term) = workload.read_term {
+        mix.push(
+            Query::new(Target::AnnotationContents).with_ontology(OntologyFilter::CitesTerm(term)),
+        );
+    }
+    mix
 }
 
 /// Drive one mode: the writer replays every batch (batch → publish) while `clients`
-/// readers hammer the query mix, then gates every mix query's answer against the
-/// single-threaded [`Executor`] on the final state before returning the measurement.
-fn drive(config: &MixedConfig, mode: CopyMode, workers: usize, clients: usize) -> Measurement {
+/// readers hammer the query mix; once the stream is exhausted the writer keeps a
+/// paced **ingest-pad trickle** running (one single-register batch + publish every
+/// ~1 ms) until the whole window reaches `min_window` — so every mode serves reads
+/// against the same minimum window of continuing footprint-disjoint publishes, which
+/// is exactly where full and per-footprint invalidation diverge.  Write qps and the
+/// publish-stall percentiles are measured over the stream replay alone (pads
+/// excluded), the read/cache picture over the whole window.  Finally every mix
+/// query's answer is gated against the single-threaded [`Executor`] on the final
+/// state before the measurement is returned.
+fn drive(
+    config: &MixedConfig,
+    mode: Mode,
+    workers: usize,
+    clients: usize,
+    min_window: Duration,
+) -> Measurement {
     let mut workload = mixed::build(config);
-    let mix = read_mix(&workload);
+    let mix = read_mix(&workload, config.base.segments);
     let service = QueryService::new(
         workload.system.snapshot(),
-        ServiceConfig::default().with_workers(workers).with_cache_capacity(256),
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_cache_capacity(256)
+            .with_invalidation(mode.invalidation),
     );
 
     let mut first_write_ns: Vec<u64> = Vec::with_capacity(workload.write_batches.len());
     let mut writes = 0usize;
     let stop = AtomicBool::new(false);
-    let (read_latencies, write_wall) = std::thread::scope(|scope| {
+    let (read_latencies, write_wall, window) = std::thread::scope(|scope| {
         let readers: Vec<_> = (0..clients)
             .map(|client| {
                 let service = &service;
@@ -116,7 +208,7 @@ fn drive(config: &MixedConfig, mode: CopyMode, workers: usize, clients: usize) -
         let write_start = Instant::now();
         for ops in &workload.write_batches {
             let t0 = Instant::now();
-            if mode == CopyMode::Monolithic {
+            if mode.copy == CopyMode::Monolithic {
                 // What a flat `Arc<SystemView>` paid before the first write could
                 // proceed: one deep copy of everything.  Installing the copy as the
                 // live view keeps the emulation fair — the write below then mutates
@@ -136,20 +228,50 @@ fn drive(config: &MixedConfig, mode: CopyMode, workers: usize, clients: usize) -
             service.publish(workload.system.snapshot());
         }
         let write_wall = write_start.elapsed();
+
+        // The ingest-pad trickle: steady footprint-disjoint publishes for the rest of
+        // the window (a curator ingest session that never touches what the readers
+        // ask about), paced just faster than a cleared cache can re-warm.  Under full
+        // invalidation each pad still clears the cache — readers barely get a hit in
+        // before the next clear, the hit-rate collapse this bench exists to show;
+        // under per-footprint invalidation a pad evicts only the object-footprint
+        // entries, so everything else keeps serving hits across every publish.
+        let mut pad = 0u64;
+        while write_start.elapsed() < min_window {
+            // Yield-spin to the next pad deadline: `thread::sleep` rounds up to the
+            // scheduler tick (≥ 10ms on some kernels), which would turn the trickle
+            // into a crawl; yielding hands the core to the reader threads instead.
+            let deadline = Instant::now() + Duration::from_micros(300);
+            while Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            if mode.copy == CopyMode::Monolithic {
+                workload.system.unshare_all();
+            }
+            let mut batch = workload.system.batch();
+            batch.register_sequence(format!("pad-{pad}"), DataType::DnaSequence, 1000, "chr-pad");
+            pad += 1;
+            batch.commit();
+            service.publish(workload.system.snapshot());
+        }
+        let window = write_start.elapsed();
         stop.store(true, Ordering::Relaxed);
 
         let mut read_latencies = Vec::new();
         for handle in readers {
             read_latencies.extend(handle.join().expect("reader thread panicked"));
         }
-        (read_latencies, write_wall)
+        (read_latencies, write_wall, window)
     });
+
+    // Capture the cache picture before the correctness gate below pollutes it.
+    let metrics = service.metrics();
 
     first_write_ns.sort_unstable();
     let mut reads_sorted = read_latencies;
     reads_sorted.sort_unstable();
     let measurement = Measurement {
-        mode: mode.label(),
+        mode: mode.label,
         workers,
         clients,
         writes,
@@ -157,11 +279,16 @@ fn drive(config: &MixedConfig, mode: CopyMode, workers: usize, clients: usize) -
         first_write_p50_ns: percentile(&first_write_ns, 50.0),
         first_write_p95_ns: percentile(&first_write_ns, 95.0),
         first_write_p99_ns: percentile(&first_write_ns, 99.0),
-        read_qps: reads_sorted.len() as f64 / write_wall.as_secs_f64(),
+        read_qps: reads_sorted.len() as f64 / window.as_secs_f64(),
         read_p50_ns: percentile(&reads_sorted, 50.0),
         read_p95_ns: percentile(&reads_sorted, 95.0),
         read_p99_ns: percentile(&reads_sorted, 99.0),
         reads: reads_sorted.len(),
+        cache_hits: metrics.cache_hits,
+        cache_misses: metrics.cache_misses,
+        partial_invalidations: metrics.cache_partial_invalidations,
+        full_invalidations: metrics.cache_full_invalidations,
+        entries_evicted: metrics.cache_entries_evicted,
     };
 
     // Correctness gate: after the full stream, every mix query served by the pool
@@ -175,11 +302,99 @@ fn drive(config: &MixedConfig, mode: CopyMode, workers: usize, clients: usize) -
             expected.to_json(),
             "service diverged from Executor on {:?} in mode {}",
             q,
-            mode.label()
+            mode.label
         );
     }
 
     measurement
+}
+
+/// Deterministic cache-metric sanity gate (quick mode): a single-threaded service is
+/// populated from the read mix, then each batch kind is published in isolation and
+/// the metrics deltas are asserted — an ingest batch costs zero content-footprint
+/// evictions (only the object-footprint `OfType` entries go, conservatively), an
+/// ontology batch evicts exactly the ontology-footprint entry, and a full-dirty
+/// annotation batch still clears everything.
+fn cache_sanity_gate(config: &MixedConfig) {
+    let mut workload = mixed::build(config);
+    let mix = read_mix(&workload, config.base.segments);
+    assert!(workload.read_term.is_some(), "sanity gate needs the ontology read query");
+    let of_type_entries = mix
+        .iter()
+        .filter(|q| q.referents.iter().any(|f| matches!(f, ReferentFilter::OfType(_))))
+        .count();
+    let service = QueryService::new(
+        workload.system.snapshot(),
+        ServiceConfig::default().with_workers(1).with_cache_capacity(64),
+    );
+    for q in &mix {
+        service.run(q.clone());
+    }
+    let entries = service.cache_len();
+    assert_eq!(entries, mix.len(), "each mix query must occupy one cache entry");
+
+    // Ingest-only batch: its dirty set misses every content / interval / ontology
+    // footprint — only the `OfType` entries (object footprint) are evicted, and the
+    // rest keep serving hits.
+    let mut batch = workload.system.batch();
+    for i in 0..5 {
+        batch.register_sequence(format!("sanity-seq-{i}"), DataType::DnaSequence, 1000, "chr-s");
+    }
+    batch.commit();
+    service.publish(workload.system.snapshot());
+    let after_ingest = service.metrics();
+    assert_eq!(
+        after_ingest.cache_entries_evicted, of_type_entries as u64,
+        "ingest batch must cost zero content-footprint evictions"
+    );
+    assert_eq!(service.cache_len(), entries - of_type_entries);
+    let misses_before = after_ingest.cache_misses;
+    for q in &mix {
+        service.run(q.clone());
+    }
+    assert_eq!(
+        service.metrics().cache_misses,
+        misses_before + of_type_entries as u64,
+        "every non-OfType query must hit after an ingest-only publish"
+    );
+
+    // Ontology batch: evicts exactly the ontology-footprint entry.
+    let evicted_before = service.metrics().cache_entries_evicted;
+    let mut batch = workload.system.batch();
+    batch.ontology_mut().add_concept("sanity-term");
+    batch.commit();
+    service.publish(workload.system.snapshot());
+    let after_onto = service.metrics();
+    assert_eq!(
+        after_onto.cache_entries_evicted,
+        evicted_before + 1,
+        "ontology batch must evict exactly the term-query entry"
+    );
+    assert_eq!(service.cache_len(), entries - 1);
+    assert_eq!(after_onto.cache_partial_invalidations, 2, "both publishes were partial");
+    assert_eq!(after_onto.cache_full_invalidations, 0);
+
+    // Annotation batch: dirties what every footprint reads — the cache clears.
+    for q in &mix {
+        service.run(q.clone()); // repopulate the evicted entries first
+    }
+    assert_eq!(service.cache_len(), entries);
+    let evicted_before = service.metrics().cache_entries_evicted;
+    let target = workload.system.object_ids_of_type(DataType::DnaSequence)[0];
+    let mut batch = workload.system.batch();
+    batch
+        .annotate()
+        .comment("sanity protease note")
+        .mark(target, Marker::interval(0, 10))
+        .commit()
+        .unwrap();
+    batch.commit();
+    service.publish(workload.system.snapshot());
+    assert_eq!(service.cache_len(), 0, "annotation batch must clear every entry");
+    let after_annotate = service.metrics();
+    assert_eq!(after_annotate.cache_entries_evicted, evicted_before + entries as u64);
+    assert_eq!(after_annotate.cache_full_invalidations, 1);
+    println!("mixed_rw: cache-metric sanity gate passed ({} entries)", entries);
 }
 
 fn write_json(measurements: &[Measurement], cores: usize) {
@@ -196,7 +411,7 @@ fn write_json(measurements: &[Measurement], cores: usize) {
             ),
             ("read", m.read_qps, m.read_p50_ns, m.read_p95_ns, m.read_p99_ns, m.reads),
         ] {
-            entries.push(jsonlite::Json::obj([
+            let mut fields = vec![
                 ("bench", jsonlite::Json::str("mixed_rw")),
                 ("name", jsonlite::Json::str(format!("T2_mixed_rw/{}/{}_side", m.mode, kind))),
                 // for the write side this is the post-snapshot first-write stall
@@ -210,7 +425,19 @@ fn write_json(measurements: &[Measurement], cores: usize) {
                 ("cache", jsonlite::Json::u64(256)),
                 ("queries", jsonlite::Json::u64(count as u64)),
                 ("cores", jsonlite::Json::u64(cores as u64)),
-            ]));
+            ];
+            if kind == "read" {
+                // The cache picture rides on the read side (hits are reads).
+                fields.extend([
+                    ("hit_rate", jsonlite::Json::Num(m.hit_rate())),
+                    ("cache_hits", jsonlite::Json::u64(m.cache_hits)),
+                    ("cache_misses", jsonlite::Json::u64(m.cache_misses)),
+                    ("partial_invalidations", jsonlite::Json::u64(m.partial_invalidations)),
+                    ("full_invalidations", jsonlite::Json::u64(m.full_invalidations)),
+                    ("entries_evicted", jsonlite::Json::u64(m.entries_evicted)),
+                ]);
+            }
+            entries.push(jsonlite::Json::obj(fields));
         }
     }
     let path = std::env::var("BENCH_JSON").map(std::path::PathBuf::from).unwrap_or_else(|_| {
@@ -226,7 +453,7 @@ fn write_json(measurements: &[Measurement], cores: usize) {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let (config, workers, clients) = if quick {
+    let (config, workers, clients, min_window) = if quick {
         (
             MixedConfig {
                 seed: 7,
@@ -235,25 +462,41 @@ fn main() {
                 writes_per_batch: 6,
                 protease_prob: 0.4,
                 register_batch_prob: 0.5,
+                ontology_batch_prob: 0.25,
             },
             2,
             2,
+            Duration::from_millis(200),
         )
     } else {
-        (MixedConfig::default(), 4, 4)
+        (MixedConfig::default(), 4, 4, Duration::from_millis(1500))
     };
+
+    if quick {
+        cache_sanity_gate(&config);
+    }
 
     table_header(
         &format!(
             "T2: mixed read/write serving ({cores} core(s), {} batches x {} writes)",
             config.batches, config.writes_per_batch
         ),
-        &["mode", "write qps", "stall p50", "stall p99", "read qps", "read p50", "read p99"],
+        &[
+            "mode",
+            "write qps",
+            "stall p50",
+            "stall p99",
+            "read qps",
+            "read p50",
+            "hit rate",
+            "inval p/f",
+            "evicted",
+        ],
     );
 
     let mut measurements = Vec::new();
-    for mode in [CopyMode::Monolithic, CopyMode::PerComponent] {
-        let m = drive(&config, mode, workers, clients);
+    for mode in MODES {
+        let m = drive(&config, mode, workers, clients, min_window);
         table_row(&[
             m.mode.to_string(),
             format!("{:.0}", m.write_qps),
@@ -261,19 +504,30 @@ fn main() {
             format!("{:.1}µs", m.first_write_p99_ns as f64 / 1_000.0),
             format!("{:.0}", m.read_qps),
             format!("{:.1}µs", m.read_p50_ns as f64 / 1_000.0),
-            format!("{:.1}µs", m.read_p99_ns as f64 / 1_000.0),
+            format!("{:.1}%", m.hit_rate() * 100.0),
+            format!("{}/{}", m.partial_invalidations, m.full_invalidations),
+            format!("{}", m.entries_evicted),
         ]);
         measurements.push(m);
     }
 
     let mono = &measurements[0];
-    let per = &measurements[1];
+    let full = &measurements[1];
+    let foot = &measurements[2];
     println!(
         "\nmixed_rw: post-snapshot first-write p50 {:.1}µs (monolithic emulation) -> {:.1}µs \
          (per-component), {:.1}x",
         mono.first_write_p50_ns as f64 / 1_000.0,
-        per.first_write_p50_ns as f64 / 1_000.0,
-        mono.first_write_p50_ns as f64 / per.first_write_p50_ns.max(1) as f64,
+        foot.first_write_p50_ns as f64 / 1_000.0,
+        mono.first_write_p50_ns as f64 / foot.first_write_p50_ns.max(1) as f64,
+    );
+    println!(
+        "mixed_rw: reader hit rate {:.1}% (full invalidation) -> {:.1}% (per-footprint), \
+         evictions {} -> {}",
+        full.hit_rate() * 100.0,
+        foot.hit_rate() * 100.0,
+        full.entries_evicted,
+        foot.entries_evicted,
     );
 
     write_json(&measurements, cores);

@@ -13,9 +13,26 @@
 use std::path::Path;
 
 /// The extra per-entry fields a throughput measurement carries beyond
-/// `{bench, name, ns_per_iter}`.
-const THROUGHPUT_FIELDS: &[&str] =
-    &["qps", "p50_ns", "p95_ns", "p99_ns", "clients", "workers", "cache", "queries", "cores"];
+/// `{bench, name, ns_per_iter}`.  The cache-picture fields (`hit_rate` through
+/// `entries_evicted`) are written by `mixed_rw` on its read-side entries, so the
+/// partial-invalidation before/after is visible in `BENCH_throughput.json`.
+const THROUGHPUT_FIELDS: &[&str] = &[
+    "qps",
+    "p50_ns",
+    "p95_ns",
+    "p99_ns",
+    "clients",
+    "workers",
+    "cache",
+    "queries",
+    "cores",
+    "hit_rate",
+    "cache_hits",
+    "cache_misses",
+    "partial_invalidations",
+    "full_invalidations",
+    "entries_evicted",
+];
 
 struct Entry {
     bench: String,

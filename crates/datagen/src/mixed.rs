@@ -9,8 +9,18 @@
 //! (batch → publish → next batch) against a live query service and measure publish
 //! stalls and sustained write throughput.  Everything is seeded: the same config
 //! yields the same base system, the same write stream and the same read phrases.
+//!
+//! Batches are **homogeneous by curation session** ([`BatchKind`]), which makes their
+//! dirty sets — and therefore their cache-eviction footprints — deliberately
+//! disjoint: an *ingest* batch registers objects (touching no component a content or
+//! ontology query reads), an *ontology* batch defines vocabulary terms (touching only
+//! the ontology store), and an *annotation* batch attaches annotations (touching the
+//! components every query footprint reads).  A service with per-footprint cache
+//! invalidation keeps all entries across ingest batches and all non-ontology entries
+//! across ontology batches; only annotation batches clear it.
 
 use graphitti_core::{CommitBatch, DataType, Graphitti, Marker, ObjectId};
+use ontology::ConceptId;
 
 use crate::influenza::{self, InfluenzaConfig};
 use crate::rng::WorkloadRng;
@@ -32,8 +42,13 @@ pub struct MixedConfig {
     /// Probability that a batch is a *registration* batch (a curator ingest session
     /// that only registers new sequence objects) rather than an *annotation* batch.
     /// Registration batches leave the annotation-content store untouched, which is
-    /// exactly the case where per-component copy-on-write beats a whole-view copy.
+    /// exactly the case where per-component copy-on-write beats a whole-view copy —
+    /// and where per-footprint cache invalidation evicts nothing.
     pub register_batch_prob: f64,
+    /// Probability that a non-registration batch is an *ontology curation* batch
+    /// (defining new vocabulary terms): its dirty set is the ontology store alone, so
+    /// it evicts only ontology-footprint cache entries.
+    pub ontology_batch_prob: f64,
 }
 
 impl Default for MixedConfig {
@@ -45,6 +60,7 @@ impl Default for MixedConfig {
             writes_per_batch: 20,
             protease_prob: 0.3,
             register_batch_prob: 0.6,
+            ontology_batch_prob: 0.25,
         }
     }
 }
@@ -59,7 +75,28 @@ impl MixedConfig {
             writes_per_batch: 5,
             protease_prob: 0.4,
             register_batch_prob: 0.5,
+            ontology_batch_prob: 0.25,
         }
+    }
+}
+
+/// The curation-session kind of one (homogeneous) write batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchKind {
+    /// Registers new objects — dirty set disjoint from every query footprint.
+    Ingest,
+    /// Defines new ontology terms — dirty set is the ontology store alone.
+    Ontology,
+    /// Attaches annotations — dirties the components every query footprint reads.
+    Annotation,
+}
+
+/// Classify a (homogeneous) batch by its first op.
+pub fn batch_kind(ops: &[WriteOp]) -> BatchKind {
+    match ops.first() {
+        Some(WriteOp::Register { .. }) => BatchKind::Ingest,
+        Some(WriteOp::DefineTerm { .. }) => BatchKind::Ontology,
+        _ => BatchKind::Annotation,
     }
 }
 
@@ -95,6 +132,11 @@ pub enum WriteOp {
         /// The annotation creator.
         creator: &'static str,
     },
+    /// Define a new ontology concept (vocabulary curation).
+    DefineTerm {
+        /// The concept name (unique within the stream).
+        name: String,
+    },
 }
 
 impl WriteOp {
@@ -112,12 +154,21 @@ impl WriteOp {
                 .mark(*object, Marker::interval(*start, *start + *len))
                 .commit()
                 .is_ok(),
+            WriteOp::DefineTerm { name } => {
+                batch.ontology_mut().add_concept(name.clone());
+                true
+            }
         }
     }
 
-    /// Whether this op registers a new object (vs attaching an annotation).
+    /// Whether this op registers a new object.
     pub fn is_register(&self) -> bool {
         matches!(self, WriteOp::Register { .. })
+    }
+
+    /// Whether this op defines an ontology term.
+    pub fn is_define_term(&self) -> bool {
+        matches!(self, WriteOp::DefineTerm { .. })
     }
 }
 
@@ -131,6 +182,9 @@ pub struct MixedWorkload {
     /// Phrases guaranteed to appear in both base and streamed annotations, for the
     /// read mix.
     pub read_phrases: Vec<&'static str>,
+    /// A concept cited by base-system annotations, for an ontology-footprint read
+    /// query in the mix (the entry only ontology / annotation batches can evict).
+    pub read_term: Option<ConceptId>,
 }
 
 impl MixedWorkload {
@@ -179,17 +233,27 @@ pub fn build(config: &MixedConfig) -> MixedWorkload {
             // Batch 0 is always an annotation batch and its first op always carries
             // the protease phrase (below), so the read phrases are guaranteed to
             // match streamed content regardless of seed.
-            let ingest = rng.chance(config.register_batch_prob) && b != 0;
+            let kind = if b == 0 {
+                BatchKind::Annotation
+            } else if rng.chance(config.register_batch_prob) {
+                BatchKind::Ingest
+            } else if rng.chance(config.ontology_batch_prob) {
+                BatchKind::Ontology
+            } else {
+                BatchKind::Annotation
+            };
             (0..config.writes_per_batch)
-                .map(|i| {
-                    if ingest {
-                        WriteOp::Register {
-                            name: format!("streamed-seq-{b}-{i}"),
-                            data_type: *rng.choose(&seq_types),
-                            length: rng.range_u64(900, 2400),
-                            domain: format!("segment-{}", rng.range_u64(0, segments as u64)),
-                        }
-                    } else {
+                .map(|i| match kind {
+                    BatchKind::Ingest => WriteOp::Register {
+                        name: format!("streamed-seq-{b}-{i}"),
+                        data_type: *rng.choose(&seq_types),
+                        length: rng.range_u64(900, 2400),
+                        domain: format!("segment-{}", rng.range_u64(0, segments as u64)),
+                    },
+                    BatchKind::Ontology => {
+                        WriteOp::DefineTerm { name: format!("streamed-term-{b}-{i}") }
+                    }
+                    BatchKind::Annotation => {
                         let object = *rng.choose(&targets);
                         let start = rng.range_u64(0, 800);
                         let len = rng.range_u64(10, 60);
@@ -206,7 +270,13 @@ pub fn build(config: &MixedConfig) -> MixedWorkload {
         })
         .collect();
 
-    MixedWorkload { system, write_batches, read_phrases: vec!["protease", "streamed protease"] }
+    let read_term = system.ontology().concept_by_name("Protease");
+    MixedWorkload {
+        system,
+        write_batches,
+        read_phrases: vec!["protease", "streamed protease"],
+        read_term,
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +295,7 @@ mod tests {
         let describe = |op: &WriteOp| match op {
             WriteOp::Register { name, .. } => name.clone(),
             WriteOp::Annotate { comment, .. } => comment.clone(),
+            WriteOp::DefineTerm { name } => name.clone(),
         };
         let flat_a: Vec<String> = a.write_batches.iter().flatten().map(describe).collect();
         let flat_b: Vec<String> = b.write_batches.iter().flatten().map(describe).collect();
@@ -232,25 +303,38 @@ mod tests {
     }
 
     #[test]
-    fn stream_mixes_registration_and_annotation_batches() {
+    fn stream_mixes_all_three_batch_kinds() {
         let w = build(&MixedConfig::default());
-        // Batches are homogeneous: an ingest session registers, an annotation session
-        // annotates — and the default stream contains both kinds.
-        let mut ingest_batches = 0;
+        // Batches are homogeneous curation sessions — an ingest session registers, a
+        // vocabulary session defines terms, an annotation session annotates — and the
+        // default stream contains every kind.
+        let mut by_kind = [0usize; 3];
         for ops in &w.write_batches {
-            let registers = ops.iter().filter(|op| op.is_register()).count();
-            assert!(registers == 0 || registers == ops.len(), "batch mixes kinds");
-            ingest_batches += usize::from(registers == ops.len());
+            let kind = batch_kind(ops);
+            for op in ops {
+                assert_eq!(batch_kind(std::slice::from_ref(op)), kind, "batch mixes kinds");
+            }
+            by_kind[match kind {
+                BatchKind::Ingest => 0,
+                BatchKind::Ontology => 1,
+                BatchKind::Annotation => 2,
+            }] += 1;
         }
-        assert!(ingest_batches > 0, "no registration batches in the stream");
-        assert!(ingest_batches < w.write_batches.len(), "no annotation batches");
-        assert!(!w.write_batches[0][0].is_register(), "batch 0 must annotate");
+        assert!(by_kind.iter().all(|&n| n > 0), "missing a batch kind: {by_kind:?}");
+        assert_eq!(batch_kind(&w.write_batches[0]), BatchKind::Annotation, "batch 0 must annotate");
         match &w.write_batches[0][0] {
             WriteOp::Annotate { comment, .. } => {
                 assert!(comment.contains("streamed protease"), "eager phrase anchor missing")
             }
-            WriteOp::Register { .. } => unreachable!(),
+            _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn read_term_is_cited_by_the_base_system() {
+        let w = build(&MixedConfig::small());
+        let term = w.read_term.expect("influenza base defines the Protease concept");
+        assert_eq!(w.system.ontology().concept_by_name("Protease"), Some(term));
     }
 
     #[test]
@@ -258,13 +342,16 @@ mod tests {
         let cfg = MixedConfig::small();
         let mut w = build(&cfg);
         let registers = w.write_batches.iter().flatten().filter(|op| op.is_register()).count();
+        let defines = w.write_batches.iter().flatten().filter(|op| op.is_define_term()).count();
         let before_annotations = w.system.annotation_count();
         let before_objects = w.system.object_count();
+        let before_concepts = w.system.ontology().concept_count();
         let before_epoch = w.system.epoch();
         let applied = MixedWorkload::apply_all(&mut w.system, &w.write_batches);
         assert_eq!(applied, cfg.batches * cfg.writes_per_batch, "all ops must commit");
         assert_eq!(w.system.object_count(), before_objects + registers);
-        assert_eq!(w.system.annotation_count(), before_annotations + applied - registers);
+        assert_eq!(w.system.ontology().concept_count(), before_concepts + defines);
+        assert_eq!(w.system.annotation_count(), before_annotations + applied - registers - defines);
         assert_eq!(w.system.epoch(), before_epoch + cfg.batches as u64);
         assert!(w.system.verify_integrity().is_empty());
     }

@@ -43,6 +43,7 @@ use bytes::Bytes;
 use relstore::Value;
 
 use crate::annotation::AnnotationBuilder;
+use crate::epoch::ComponentSet;
 use crate::system::{Graphitti, ObjectId, SystemView};
 use crate::types::DataType;
 use crate::Result;
@@ -132,6 +133,15 @@ impl<'a> CommitBatch<'a> {
         self.staged
     }
 
+    /// The union of the staged writes' dirty sets: every [`Component`] this batch has
+    /// written so far.  At publish time this is exactly the set whose per-component
+    /// epochs the batch bumped — a homogeneous ingest batch (registers only) reports
+    /// the registration path and nothing else, which is what lets a downstream
+    /// footprint-keyed cache keep entries whose plans never read those components.
+    pub fn dirty_components(&self) -> ComponentSet {
+        self.system.batch_dirty()
+    }
+
     /// Finish the batch, returning the number of staged writes.  Equivalent to
     /// dropping it, but reads as a commit point at call sites.
     pub fn commit(mut self) -> u64 {
@@ -150,6 +160,7 @@ impl Drop for CommitBatch<'_> {
 mod tests {
     use super::*;
     use crate::marker::Marker;
+    use crate::system::Component;
 
     fn seeded() -> (Graphitti, ObjectId) {
         let mut sys = Graphitti::new();
@@ -251,6 +262,58 @@ mod tests {
         assert!(err.is_err());
         drop(batch);
         assert_eq!(sys.epoch(), before + 1);
+    }
+
+    #[test]
+    fn batch_accumulates_its_dirty_set() {
+        let (mut sys, seq) = seeded();
+        let snap = sys.snapshot();
+        let epochs_before = snap.component_epochs();
+
+        // An ingest-only batch dirties exactly the registration path...
+        let mut batch = sys.batch();
+        batch.register_sequence("a", DataType::DnaSequence, 100, "chr1");
+        batch.register_sequence("b", DataType::ProteinSequence, 100, "chr2");
+        let ingest_dirty = batch.dirty_components();
+        batch.commit();
+        assert_eq!(
+            ingest_dirty,
+            ComponentSet::of([
+                Component::Catalog,
+                Component::Agraph,
+                Component::Objects,
+                Component::NodeMaps,
+                Component::Indexes,
+            ])
+        );
+        // ...and the epoch vector moved on exactly that set, at the coalesced epoch.
+        let after = sys.snapshot();
+        assert_eq!(after.component_epochs().changed(epochs_before), ingest_dirty);
+        for c in ingest_dirty.iter() {
+            assert_eq!(after.component_epoch(c), sys.epoch());
+        }
+        // The dirty set matches the structural-sharing footprint: a component is
+        // un-shared with the pre-batch snapshot iff the batch declared it dirty.
+        for c in Component::ALL {
+            assert_eq!(
+                !sys.view().shares_component(snap.view(), c),
+                ingest_dirty.contains(c),
+                "{c:?}: dirty-set / copy-footprint mismatch"
+            );
+        }
+
+        // A mixed batch accumulates the union across write kinds; outside a batch the
+        // accumulator is empty again.
+        let mut batch = sys.batch();
+        batch.register_image("img", 8, 8, "mri", "cs");
+        batch.annotate().comment("x").mark(seq, Marker::interval(0, 5)).commit().unwrap();
+        let mixed_dirty = batch.dirty_components();
+        batch.commit();
+        assert!(mixed_dirty.contains(Component::Catalog));
+        assert!(mixed_dirty.contains(Component::Content));
+        assert!(mixed_dirty.contains(Component::Intervals));
+        assert!(!mixed_dirty.contains(Component::Spatial));
+        assert!(!mixed_dirty.contains(Component::Ontology));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Per-component versioning: [`ComponentSet`] dirty sets and the [`EpochVector`].
+//!
+//! The global epoch says *that* the system changed; it cannot say *what* changed.  For
+//! a downstream consumer that only reads a few components — the query service's result
+//! cache reads exactly the components a query's plan touches — that distinction is the
+//! difference between invalidating one entry and invalidating everything.
+//!
+//! Two small value types carry it:
+//!
+//! * [`ComponentSet`] — a bitset over [`Component`].  Mutations declare the components
+//!   they write (their **dirty set**, matching the `Arc::make_mut` copy footprint that
+//!   `tests/cow_sharing.rs` pins), and query plans declare the components they read
+//!   (their **footprint**).  An entry computed before a publish stays valid exactly
+//!   when its footprint is disjoint from everything dirtied since.
+//! * [`EpochVector`] — one epoch per component: the value of the global epoch counter
+//!   at the last write that dirtied that component.  Within one system lineage, equal
+//!   component epochs mean the component's query-visible state is identical — so two
+//!   snapshots agreeing on a footprint's epochs return identical answers for any query
+//!   with that footprint, even when the snapshots' global epochs differ.
+
+use crate::system::Component;
+
+/// A set of [`Component`]s, stored as a bitmask (the enum has 12 variants).
+///
+/// Used for both **dirty sets** (what a mutation writes) and **read footprints** (what
+/// a query plan reads); cache invalidation is an intersection test between the two.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ComponentSet(u16);
+
+impl ComponentSet {
+    /// The empty set.
+    pub const EMPTY: ComponentSet = ComponentSet(0);
+
+    /// Every component.
+    pub fn all() -> ComponentSet {
+        Component::ALL.into_iter().collect()
+    }
+
+    /// The set containing exactly the given components.
+    pub fn of(components: impl IntoIterator<Item = Component>) -> ComponentSet {
+        components.into_iter().collect()
+    }
+
+    /// Const constructor, for `const` dirty-set declarations.
+    pub const fn of_const(components: &[Component]) -> ComponentSet {
+        let mut bits = 0u16;
+        let mut i = 0;
+        while i < components.len() {
+            bits |= 1 << components[i] as u16;
+            i += 1;
+        }
+        ComponentSet(bits)
+    }
+
+    fn bit(component: Component) -> u16 {
+        1 << component as u16
+    }
+
+    /// Add one component.
+    pub fn insert(&mut self, component: Component) {
+        self.0 |= Self::bit(component);
+    }
+
+    /// Whether the set contains a component.
+    pub fn contains(self, component: Component) -> bool {
+        self.0 & Self::bit(component) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of components in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Set union.
+    pub fn union(self, other: ComponentSet) -> ComponentSet {
+        ComponentSet(self.0 | other.0)
+    }
+
+    /// Whether the two sets share any component — the cache-invalidation test: an
+    /// entry whose read footprint `intersects` a publish's dirty set must go.
+    pub fn intersects(self, other: ComponentSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The components in the set, in [`Component::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Component> {
+        Component::ALL.into_iter().filter(move |&c| self.contains(c))
+    }
+}
+
+impl FromIterator<Component> for ComponentSet {
+    fn from_iter<I: IntoIterator<Item = Component>>(iter: I) -> ComponentSet {
+        let mut set = ComponentSet::EMPTY;
+        for c in iter {
+            set.insert(c);
+        }
+        set
+    }
+}
+
+impl std::ops::BitOr for ComponentSet {
+    type Output = ComponentSet;
+
+    fn bitor(self, rhs: ComponentSet) -> ComponentSet {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for ComponentSet {
+    fn bitor_assign(&mut self, rhs: ComponentSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::fmt::Debug for ComponentSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// One epoch per [`Component`]: the global epoch of the last write that dirtied it.
+///
+/// Carried by the live system and by every [`Snapshot`](crate::Snapshot).  Within one
+/// system lineage (same [`Graphitti`](crate::Graphitti) instance, identified by its
+/// system id) the vector is monotone per component, and equal component epochs denote
+/// identical query-visible component state — which is exactly the validity condition a
+/// footprint-keyed cache entry needs.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochVector([u64; Component::ALL.len()]);
+
+impl EpochVector {
+    /// The epoch of one component.
+    pub fn get(self, component: Component) -> u64 {
+        self.0[component as usize]
+    }
+
+    /// Record that `dirty`'s components were written at global epoch `epoch`.
+    pub fn mark(&mut self, dirty: ComponentSet, epoch: u64) {
+        for c in dirty.iter() {
+            self.0[c as usize] = epoch;
+        }
+    }
+
+    /// The components whose epochs differ between the two vectors — for vectors from
+    /// the same system lineage, the set of components dirtied between the two states.
+    pub fn changed(self, other: EpochVector) -> ComponentSet {
+        Component::ALL.into_iter().filter(|&c| self.get(c) != other.get(c)).collect()
+    }
+
+    /// Whether the two vectors agree on every component of `set` — the per-entry
+    /// cache-validity test: a result whose footprint's epochs are unchanged is still
+    /// the current answer.
+    pub fn agrees_on(self, other: EpochVector, set: ComponentSet) -> bool {
+        set.iter().all(|c| self.get(c) == other.get(c))
+    }
+}
+
+impl std::fmt::Debug for EpochVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(Component::ALL.into_iter().map(|c| (c, self.get(c)))).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let mut a = ComponentSet::EMPTY;
+        assert!(a.is_empty());
+        a.insert(Component::Content);
+        a.insert(Component::Annotations);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(Component::Content));
+        assert!(!a.contains(Component::Catalog));
+
+        let b = ComponentSet::of([Component::Catalog, Component::Objects]);
+        assert!(!a.intersects(b));
+        assert!(a.intersects(ComponentSet::of([Component::Annotations])));
+
+        let u = a | b;
+        assert_eq!(u.len(), 4);
+        assert_eq!(
+            u.iter().collect::<Vec<_>>(),
+            vec![
+                Component::Catalog,
+                Component::Content,
+                Component::Objects,
+                Component::Annotations
+            ]
+        );
+        assert_eq!(ComponentSet::all().len(), Component::ALL.len());
+    }
+
+    #[test]
+    fn vector_marks_and_diffs() {
+        let mut a = EpochVector::default();
+        let mut b = EpochVector::default();
+        assert!(a.changed(b).is_empty());
+
+        a.mark(ComponentSet::of([Component::Content, Component::Annotations]), 3);
+        assert_eq!(a.get(Component::Content), 3);
+        assert_eq!(a.get(Component::Catalog), 0);
+        assert_eq!(a.changed(b), ComponentSet::of([Component::Content, Component::Annotations]));
+
+        b.mark(ComponentSet::of([Component::Content, Component::Annotations]), 3);
+        assert!(a.changed(b).is_empty());
+        assert!(a.agrees_on(b, ComponentSet::all()));
+
+        b.mark(ComponentSet::of([Component::Catalog]), 4);
+        assert!(a.agrees_on(b, ComponentSet::of([Component::Content])));
+        assert!(!a.agrees_on(b, ComponentSet::of([Component::Catalog, Component::Content])));
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`batch`] — [`CommitBatch`], the batched write API: many registers / annotates
 //!   coalesced into one epoch bump, so a writer streaming commits publishes (and
 //!   invalidates downstream caches) once per batch;
+//! * [`epoch`] — per-component versioning: [`ComponentSet`] dirty sets / read
+//!   footprints and the [`EpochVector`] every snapshot carries, so downstream caches
+//!   can invalidate per dirtied component instead of wholesale;
 //! * [`study`] — [`StudySnapshot`], the serialisable export / import format for saving
 //!   and reloading a study.
 //!
@@ -33,6 +36,7 @@
 
 pub mod annotation;
 pub mod batch;
+pub mod epoch;
 pub mod error;
 pub mod indexes;
 pub mod marker;
@@ -44,6 +48,7 @@ pub mod types;
 
 pub use annotation::{Annotation, AnnotationBuilder, AnnotationId};
 pub use batch::CommitBatch;
+pub use epoch::{ComponentSet, EpochVector};
 pub use error::CoreError;
 pub use indexes::{Indexes, Stats};
 pub use marker::{Marker, SubX};

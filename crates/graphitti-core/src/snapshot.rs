@@ -11,25 +11,37 @@
 //! * **readers never see torn state** — a snapshot is immutable for its whole life; a
 //!   writer committing mid-query cannot change what the query observes;
 //! * **epochs identify versions** — two snapshots with equal epochs from the same
-//!   system are views of identical state, which is what the query service's result
-//!   cache keys on for invalidation.
+//!   system are views of identical state;
+//! * **component epochs identify *partial* versions** — each snapshot carries the
+//!   per-component [`EpochVector`](crate::EpochVector): two snapshots of one system
+//!   agreeing on a component set's epochs observe identical query-visible state
+//!   through those components, which is what lets the query service's result cache
+//!   invalidate per dirtied component instead of wholesale on every publish.
 //!
 //! Not to be confused with [`StudySnapshot`](crate::StudySnapshot), the serialisable
 //! export format for saving and reloading a study.
 
 use std::sync::Arc;
 
-use crate::system::SystemView;
+use crate::epoch::{ComponentSet, EpochVector};
+use crate::system::{Component, SystemView};
 
 /// An isolated, immutable read snapshot of a Graphitti system.
 ///
 /// Derefs to [`SystemView`], so the entire read API (lookups, exploration,
 /// substructure queries) works on a snapshot exactly as on the live system.  Clone is
 /// an `Arc` bump — hand one to every worker thread.
+///
+/// Besides the global epoch, a snapshot carries the system's per-component
+/// [`EpochVector`] and lineage id at capture time: within one lineage, two snapshots
+/// agreeing on a set of components' epochs observe identical query-visible state
+/// through those components — the validity test a footprint-keyed result cache uses.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     view: Arc<SystemView>,
     epoch: u64,
+    epochs: EpochVector,
+    system_id: u64,
 }
 
 impl std::ops::Deref for Snapshot {
@@ -42,8 +54,13 @@ impl std::ops::Deref for Snapshot {
 
 impl Snapshot {
     /// Wrap a published view (called by [`Graphitti::snapshot`](crate::Graphitti::snapshot)).
-    pub(crate) fn capture(view: Arc<SystemView>, epoch: u64) -> Snapshot {
-        Snapshot { view, epoch }
+    pub(crate) fn capture(
+        view: Arc<SystemView>,
+        epoch: u64,
+        epochs: EpochVector,
+        system_id: u64,
+    ) -> Snapshot {
+        Snapshot { view, epoch, epochs, system_id }
     }
 
     /// The epoch of the system state this snapshot captured.  Mutations bump the
@@ -57,9 +74,47 @@ impl Snapshot {
         &self.view
     }
 
+    /// The per-component epoch vector at capture time: for each [`Component`], the
+    /// global epoch of the last write that dirtied it.
+    pub fn component_epochs(&self) -> EpochVector {
+        self.epochs
+    }
+
+    /// The epoch of one component at capture time.
+    pub fn component_epoch(&self, component: Component) -> u64 {
+        self.epochs.get(component)
+    }
+
+    /// The lineage id of the system this snapshot was captured from (see
+    /// [`Graphitti::system_id`](crate::Graphitti::system_id)).
+    pub fn system_id(&self) -> u64 {
+        self.system_id
+    }
+
     /// Whether two snapshots are views of the same published state.
     pub fn same_epoch(&self, other: &Snapshot) -> bool {
         self.epoch == other.epoch && Arc::ptr_eq(&self.view, &other.view)
+    }
+
+    /// Whether two snapshots come from the same system lineage — the precondition for
+    /// any epoch comparison between them.
+    pub fn same_system(&self, other: &Snapshot) -> bool {
+        self.system_id == other.system_id
+    }
+
+    /// The components whose epochs differ between the two snapshots: for snapshots of
+    /// the same lineage, exactly the components dirtied by the writes between them.
+    /// Meaningless across lineages — gate on [`same_system`](Self::same_system) first.
+    pub fn changed_components(&self, other: &Snapshot) -> ComponentSet {
+        self.epochs.changed(other.epochs)
+    }
+
+    /// Whether the two snapshots observe identical query-visible state through every
+    /// component of `footprint`: same lineage and agreeing footprint epochs.  This is
+    /// the result-cache validity test — a cached answer whose plan reads only
+    /// `footprint` is still correct for `other` when this holds.
+    pub fn agrees_on(&self, other: &Snapshot, footprint: ComponentSet) -> bool {
+        self.same_system(other) && self.epochs.agrees_on(other.epochs, footprint)
     }
 }
 
@@ -139,6 +194,62 @@ mod tests {
         let b = a.clone();
         assert!(a.same_epoch(&b));
         assert_eq!(a.annotation_count(), b.annotation_count());
+    }
+
+    #[test]
+    fn component_epochs_track_dirty_sets_per_publish() {
+        use crate::epoch::ComponentSet;
+        use crate::system::Component;
+
+        let mut sys = annotated_system(1);
+        let before = sys.snapshot();
+
+        // A registration dirties exactly the registration path; everything a query
+        // answer can depend on keeps its epoch.
+        sys.register_sequence("late", DataType::DnaSequence, 500, "chr2");
+        let after_register = sys.snapshot();
+        assert!(before.same_system(&after_register));
+        assert_eq!(
+            after_register.changed_components(&before),
+            ComponentSet::of([
+                Component::Catalog,
+                Component::Agraph,
+                Component::Objects,
+                Component::NodeMaps,
+                Component::Indexes,
+            ])
+        );
+        assert!(before.agrees_on(
+            &after_register,
+            ComponentSet::of([Component::Content, Component::Annotations, Component::Referents])
+        ));
+
+        // An annotate moves the annotation path — content entries can no longer agree.
+        let seq = sys.objects()[0].id;
+        sys.annotate().comment("x").mark(seq, Marker::interval(0, 9)).commit().unwrap();
+        let after_annotate = sys.snapshot();
+        let changed = after_annotate.changed_components(&after_register);
+        assert!(changed.contains(Component::Content));
+        assert!(changed.contains(Component::Annotations));
+        assert!(changed.contains(Component::Referents));
+        assert!(!changed.contains(Component::Catalog));
+        assert!(
+            !after_register.agrees_on(&after_annotate, ComponentSet::of([Component::Annotations]))
+        );
+        // ... while spatial-free systems never move the spatial index's epoch
+        assert_eq!(after_annotate.component_epoch(Component::Spatial), 0);
+    }
+
+    #[test]
+    fn distinct_systems_never_agree_on_any_footprint() {
+        use crate::epoch::ComponentSet;
+
+        let a = annotated_system(2).snapshot();
+        let b = annotated_system(2).snapshot();
+        assert!(!a.same_system(&b));
+        // identical epoch vectors, but different lineages: agreement must be refused
+        assert!(a.changed_components(&b).is_empty());
+        assert!(!a.agrees_on(&b, ComponentSet::all()));
     }
 
     #[test]

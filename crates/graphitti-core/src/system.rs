@@ -30,7 +30,10 @@ use relstore::{Catalog, Value};
 use spatial_index::{CoordinateSystems, Rect};
 use xmlstore::ContentStore;
 
-use crate::annotation::{Annotation, AnnotationBuilder, AnnotationId, AnnotationSpec};
+use crate::annotation::{
+    Annotation, AnnotationBuilder, AnnotationId, AnnotationSpec, PendingReferent,
+};
+use crate::epoch::{ComponentSet, EpochVector};
 use crate::error::CoreError;
 use crate::indexes::{Indexes, Stats};
 use crate::marker::Marker;
@@ -397,7 +400,6 @@ impl SystemView {
         // 1. materialise referents: validate markers, index them, add a-graph nodes.
         //    Existing-referent references are reused (shared referent → indirect
         //    relation) after checking they exist.
-        use crate::annotation::PendingReferent;
         let mut referent_ids = Vec::with_capacity(spec.referents.len());
         for pending in &spec.referents {
             let rid = match pending {
@@ -807,19 +809,47 @@ impl SystemView {
 /// The Graphitti annotation management system.
 ///
 /// A thin mutation facade over an [`Arc`]-shared [`SystemView`].  Reads deref straight
-/// to the view; every mutation routes through [`Arc::make_mut`] and bumps the epoch
-/// counter, so [`Snapshot`](crate::Snapshot)s taken earlier keep the exact state they
-/// captured (copy-on-publish) and the epoch identifies which published state a reader
-/// or cache entry belongs to.
-#[derive(Debug, Default)]
+/// to the view; every mutation routes through [`Arc::make_mut`], bumps the epoch
+/// counter, and records its **dirty set** — the [`Component`]s it writes — in a
+/// per-component [`EpochVector`].  [`Snapshot`](crate::Snapshot)s taken earlier keep
+/// the exact state they captured (copy-on-publish), the epoch identifies which
+/// published state a reader or cache entry belongs to, and the epoch vector identifies
+/// *which components* moved between two published states, so downstream caches can
+/// invalidate per dirtied component instead of wholesale.
+#[derive(Debug)]
 pub struct Graphitti {
     view: Arc<SystemView>,
     epoch: u64,
+    /// Per-component epochs: for each component, the global epoch of the last write
+    /// that dirtied it (see [`crate::epoch`]).
+    epochs: EpochVector,
+    /// A process-unique lineage id (fresh per `Graphitti` instance).  Component epochs
+    /// are only comparable within one lineage; a rebuilt system restarts its epochs,
+    /// and the id is what lets a downstream cache detect that and clear wholesale.
+    system_id: u64,
     /// Inside a [`CommitBatch`](crate::CommitBatch): epoch bumps are coalesced so the
     /// whole batch publishes as one version.
     batched: bool,
     /// Whether the current batch has already taken its single epoch bump.
     batch_bumped: bool,
+    /// The union of the current batch's writes' dirty sets (empty outside a batch).
+    batch_dirty: ComponentSet,
+}
+
+impl Default for Graphitti {
+    fn default() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_SYSTEM_ID: AtomicU64 = AtomicU64::new(1);
+        Graphitti {
+            view: Arc::default(),
+            epoch: 0,
+            epochs: EpochVector::default(),
+            system_id: NEXT_SYSTEM_ID.fetch_add(1, Ordering::Relaxed),
+            batched: false,
+            batch_bumped: false,
+            batch_dirty: ComponentSet::EMPTY,
+        }
+    }
 }
 
 impl std::ops::Deref for Graphitti {
@@ -842,6 +872,24 @@ impl Graphitti {
         self.epoch
     }
 
+    /// The per-component epoch vector: for each [`Component`], the global epoch of the
+    /// last write that dirtied it.  Equal component epochs (within this system) denote
+    /// identical query-visible component state.
+    pub fn component_epochs(&self) -> EpochVector {
+        self.epochs
+    }
+
+    /// The epoch of one component (see [`Graphitti::component_epochs`]).
+    pub fn component_epoch(&self, component: Component) -> u64 {
+        self.epochs.get(component)
+    }
+
+    /// This system's lineage id: process-unique per `Graphitti` instance, carried by
+    /// every snapshot.  Epoch comparisons are only meaningful within one lineage.
+    pub fn system_id(&self) -> u64 {
+        self.system_id
+    }
+
     /// The shared read view (rarely needed directly — `Graphitti` derefs to it).
     pub fn view(&self) -> &SystemView {
         &self.view
@@ -851,7 +899,7 @@ impl Graphitti {
     /// Until the next mutation this is a zero-copy `Arc` clone; the first mutation
     /// afterwards copies the state out from under the snapshot, never mutating it.
     pub fn snapshot(&self) -> crate::Snapshot {
-        crate::Snapshot::capture(Arc::clone(&self.view), self.epoch)
+        crate::Snapshot::capture(Arc::clone(&self.view), self.epoch, self.epochs, self.system_id)
     }
 
     /// Replace the live view with a [`deep_copy`](SystemView::deep_copy), un-sharing
@@ -860,37 +908,48 @@ impl Graphitti {
     /// `Arc::make_mut` over the whole view): benches call it before a post-snapshot
     /// write to measure the before side — the write that follows then mutates
     /// unshared state in place, paying no per-component copies on top.  Not a
-    /// version change: the state is identical, so the epoch stays put.  The view's
-    /// *identity* does change, however: a snapshot captured afterwards is not
-    /// [`same_epoch`](crate::Snapshot::same_epoch)-equal to one captured before (that
-    /// check includes `Arc::ptr_eq`), so a query service publish that straddles an
-    /// `unshare_all` conservatively clears its result cache.
+    /// version change: the state is identical, so the epoch — global and per
+    /// component — stays put, and epoch-vector-keyed cache entries remain valid
+    /// (correctly: the state they were computed against is bit-identical).  The
+    /// view's *identity* does change: a snapshot captured afterwards is not
+    /// [`same_epoch`](crate::Snapshot::same_epoch)-equal to one captured before
+    /// (that check includes `Arc::ptr_eq`).
     pub fn unshare_all(&mut self) {
         self.view = Arc::new(self.view.deep_copy());
     }
 
-    /// Copy-on-publish write access: bump the epoch and obtain a mutable view,
-    /// shallow-cloning the component tree first iff a snapshot still references it
-    /// (each *component* then deep-copies lazily when a mutation touches it — see
-    /// [`SystemView`]).
+    /// Copy-on-publish write access: bump the epoch, record the mutation's dirty set
+    /// in the per-component epoch vector, and obtain a mutable view, shallow-cloning
+    /// the component tree first iff a snapshot still references it (each *component*
+    /// then deep-copies lazily when a mutation touches it — see [`SystemView`]).
+    ///
+    /// `dirty` is the set of components the mutation may write — the same copy
+    /// footprint `tests/cow_sharing.rs` pins with `Arc::ptr_eq` — and each of its
+    /// components' epochs is set to the (possibly freshly bumped) global epoch.
     ///
     /// The epoch bumps even when the mutation subsequently fails.  That is
     /// deliberate: several mutations have partial effects on failure (e.g. a
     /// multi-referent annotation that fails on its third marker keeps the first two
     /// referents), so treating every write attempt as a new version is the
     /// conservative direction — downstream epoch-keyed caches may invalidate
-    /// needlessly, but can never serve stale state.
+    /// needlessly, but can never serve stale state.  The dirty set is likewise the
+    /// attempt's full footprint, not the achieved one.
     ///
     /// Inside a [`CommitBatch`](crate::CommitBatch) the epoch bumps once, on the
     /// batch's first write attempt; the rest of the batch shares that version (the
     /// batch exclusively borrows the system, so no snapshot can observe the
-    /// intermediate states the coalesced epoch would misname).
-    fn view_mut(&mut self) -> &mut SystemView {
+    /// intermediate states the coalesced epoch would misname), and every write's
+    /// dirty set is marked at — and accumulated under — that one coalesced epoch.
+    fn view_mut(&mut self, dirty: ComponentSet) -> &mut SystemView {
         if !self.batched {
             self.epoch += 1;
         } else if !self.batch_bumped {
             self.epoch += 1;
             self.batch_bumped = true;
+        }
+        self.epochs.mark(dirty, self.epoch);
+        if self.batched {
+            self.batch_dirty |= dirty;
         }
         Arc::make_mut(&mut self.view)
     }
@@ -901,23 +960,32 @@ impl Graphitti {
         debug_assert!(!self.batched, "CommitBatch exclusively borrows the system");
         self.batched = true;
         self.batch_bumped = false;
+        self.batch_dirty = ComponentSet::EMPTY;
     }
 
     /// Leave batch mode: versioning returns to one epoch bump per mutation.
     pub(crate) fn end_batch(&mut self) {
         self.batched = false;
         self.batch_bumped = false;
+        self.batch_dirty = ComponentSet::EMPTY;
+    }
+
+    /// The union of the current batch's writes' dirty sets (for
+    /// [`CommitBatch::dirty_components`](crate::CommitBatch::dirty_components)).
+    pub(crate) fn batch_dirty(&self) -> ComponentSet {
+        self.batch_dirty
     }
 
     /// Mutable access to the ontology store (ontologies are loaded before annotating).
     pub fn ontology_mut(&mut self) -> &mut Ontology {
-        self.view_mut().ontology_mut()
+        self.view_mut(ComponentSet::of([Component::Ontology])).ontology_mut()
     }
 
     /// Register an ontology term node explicitly (so a query can reference terms that
     /// no annotation cites yet). Returns the node id.
     pub fn ensure_term_node(&mut self, concept: ConceptId) -> NodeId {
-        self.view_mut().ensure_term_node(concept)
+        self.view_mut(ComponentSet::of([Component::Agraph, Component::NodeMaps]))
+            .ensure_term_node(concept)
     }
 
     /// Register a data object with raw metadata values (matching the type's default
@@ -931,7 +999,7 @@ impl Graphitti {
         payload: Bytes,
         domain: impl Into<String>,
     ) -> Result<ObjectId> {
-        self.view_mut().register_object(data_type, name, metadata, payload, domain)
+        self.view_mut(REGISTER_DIRTY).register_object(data_type, name, metadata, payload, domain)
     }
 
     /// Convenience: register a 1-D sequence object (DNA / RNA / protein) of a given
@@ -1008,8 +1076,51 @@ impl Graphitti {
 
     /// Commit an annotation spec (called by the builder).
     pub(crate) fn commit_annotation(&mut self, spec: AnnotationSpec) -> Result<AnnotationId> {
-        self.view_mut().commit_annotation(spec)
+        let dirty = annotation_dirty(&spec);
+        self.view_mut(dirty).commit_annotation(spec)
     }
+}
+
+/// The dirty set of a [`register_object`](Graphitti::register_object): the catalog row,
+/// the object registry entry, the object's a-graph node and node-map entries, and the
+/// type index / statistics.  Notably **not** the content store, referents, annotations
+/// or either marker index family — a registration creates an object with no referents
+/// and an edge-less a-graph node, so it is invisible to every query until an
+/// annotation links it (see the footprint rules in `graphitti_query::plan`).
+const REGISTER_DIRTY: ComponentSet = ComponentSet::of_const(&[
+    Component::Catalog,
+    Component::Agraph,
+    Component::Objects,
+    Component::NodeMaps,
+    Component::Indexes,
+]);
+
+/// The dirty set of one annotation commit, computed from its spec: the content store,
+/// a-graph, node maps, annotation registry and inverted indexes always; the referent
+/// registry, object→referents map and the marker's index family (interval *or*
+/// spatial) only when the spec creates new referents.  This matches the `Arc::make_mut`
+/// copy footprint pinned by `tests/cow_sharing.rs`, and is the *attempt's* footprint —
+/// a failing commit may have partial effects, all within this set.
+fn annotation_dirty(spec: &AnnotationSpec) -> ComponentSet {
+    let mut dirty = ComponentSet::of([
+        Component::Content,
+        Component::Agraph,
+        Component::NodeMaps,
+        Component::Annotations,
+        Component::Indexes,
+    ]);
+    for pending in &spec.referents {
+        if let PendingReferent::New { marker, .. } = pending {
+            dirty.insert(Component::Referents);
+            dirty.insert(Component::ObjectReferents);
+            match marker {
+                Marker::Interval(_) => dirty.insert(Component::Intervals),
+                Marker::Region(_) | Marker::Volume(_) => dirty.insert(Component::Spatial),
+                Marker::BlockSet(_) => {}
+            }
+        }
+    }
+    dirty
 }
 
 // Snapshots are shipped across worker threads by the query service; every store in the

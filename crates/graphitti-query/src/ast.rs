@@ -5,11 +5,13 @@
 //! graph constraints that the different partial results must jointly satisfy, and a
 //! target describing what to return.
 
+use std::sync::Arc;
+
 use graphitti_core::DataType;
 use interval_index::Interval;
 use ontology::{ConceptId, RelationType};
 use spatial_index::Rect;
-use xmlstore::PathExpr;
+use xmlstore::{NameTest, PathExpr, Predicate, Selector};
 
 /// What a query returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,34 +201,286 @@ impl Query {
     /// selection order-stable and gives the query service's result cache a single key
     /// per equivalence class (see [`Query::cache_key`]).
     pub fn canonicalize(&self) -> Query {
+        // Conjunct order is sorted by the same stable rendering the cache key uses
+        // (see [`CacheKey`]) — one ordering contract end to end, independent of how
+        // `#[derive(Debug)]` happens to format a filter.
+        fn rendering<T>(render: impl Fn(&T, &mut String)) -> impl Fn(&T) -> String {
+            move |f| {
+                let mut s = String::new();
+                render(f, &mut s);
+                s
+            }
+        }
+
         let mut content: Vec<ContentFilter> =
             self.content.iter().map(|f| f.clone().canonicalized()).collect();
-        content.sort_by_cached_key(|f| format!("{f:?}"));
+        content.sort_by_cached_key(rendering(render_content));
         content.dedup();
 
         let mut referents: Vec<ReferentFilter> =
             self.referents.iter().map(|f| f.clone().canonicalized()).collect();
-        referents.sort_by_cached_key(|f| format!("{f:?}"));
+        referents.sort_by_cached_key(rendering(render_referent));
         referents.dedup();
 
         let mut ontology: Vec<OntologyFilter> =
             self.ontology.iter().map(|f| f.clone().canonicalized()).collect();
-        ontology.sort_by_cached_key(|f| format!("{f:?}"));
+        ontology.sort_by_cached_key(rendering(render_ontology));
         ontology.dedup();
 
         let mut constraints = self.constraints.clone();
-        constraints.sort_by_cached_key(|c| format!("{c:?}"));
+        constraints.sort_by_cached_key(rendering(render_constraint));
         constraints.dedup();
 
         Query { target: self.target, content, referents, ontology, constraints }
     }
 
-    /// A stable textual key identifying this query's semantic equivalence class: the
-    /// rendering of its canonical form.  Two queries that [`Query::canonicalize`] to
-    /// the same query share one key — this is what the query service's result cache
-    /// keys on (together with the snapshot epoch).
-    pub fn cache_key(&self) -> String {
-        format!("{:?}", self.canonicalize())
+    /// The key identifying this query's semantic equivalence class: the stable
+    /// rendering ([`CacheKey`]) of its canonical form.  Two queries that
+    /// [`Query::canonicalize`] to the same query share one key — this is what the
+    /// query service's result cache keys on (together with the snapshot's
+    /// per-component epochs).
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey::of_canonical(&self.canonicalize())
+    }
+}
+
+/// The result cache's identity key for one query equivalence class.
+///
+/// Built by an explicit renderer over the query's **canonical form** (see
+/// [`Query::canonicalize`]) — every variant is tagged by hand and every string is
+/// length-prefixed, so key identity is a contract of this module, not of `#[derive
+/// (Debug)]` output (which rustc may legally reformat, and which would make equal
+/// queries miss — or in the worst case, distinct queries collide — across a toolchain
+/// change).  Clone is an `Arc` bump, so an LRU cache can hold the key in both its map
+/// and its recency structure without re-allocating per touch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey(Arc<str>);
+
+impl CacheKey {
+    /// Render the key of a query **already in canonical form** (the service
+    /// canonicalizes once and reuses the canonical query for planning).
+    pub(crate) fn of_canonical(canonical: &Query) -> CacheKey {
+        let mut out = String::with_capacity(64);
+        out.push_str(match canonical.target {
+            Target::AnnotationContents => "contents",
+            Target::Referents => "referents",
+            Target::ConnectionGraphs => "graphs",
+        });
+        for f in &canonical.content {
+            out.push_str("|c:");
+            render_content(f, &mut out);
+        }
+        for f in &canonical.referents {
+            out.push_str("|r:");
+            render_referent(f, &mut out);
+        }
+        for f in &canonical.ontology {
+            out.push_str("|o:");
+            render_ontology(f, &mut out);
+        }
+        for c in &canonical.constraints {
+            out.push_str("|g:");
+            render_constraint(c, &mut out);
+        }
+        CacheKey(out.into())
+    }
+
+    /// The rendered key text (stable; useful for logging and tests).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Append a free-form string unambiguously: length-prefixed, so no content can mimic
+/// the renderer's own delimiters.
+fn atom(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    let _ = write!(out, "{}:{s}", s.len());
+}
+
+fn num(out: &mut String, n: u64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{n}");
+}
+
+/// Floats render as their IEEE-754 bit pattern: exact (no shortest-representation
+/// rounding), and distinct payloads stay distinct.
+fn float(out: &mut String, f: f64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{:016x}", f.to_bits());
+}
+
+fn render_content(f: &ContentFilter, out: &mut String) {
+    match f {
+        ContentFilter::Phrase(p) => {
+            out.push_str("phrase ");
+            atom(out, p);
+        }
+        ContentFilter::Keywords(ks) => {
+            out.push_str("kw");
+            for k in ks {
+                out.push(' ');
+                atom(out, k);
+            }
+        }
+        ContentFilter::Path(expr) => {
+            out.push_str("path");
+            for step in &expr.steps {
+                out.push_str(if step.descendant { "//" } else { "/" });
+                match &step.name {
+                    NameTest::Any => out.push('*'),
+                    NameTest::Named(n) => atom(out, n),
+                }
+                for p in &step.predicates {
+                    out.push('[');
+                    match p {
+                        Predicate::Position(n) => {
+                            out.push_str("pos ");
+                            num(out, *n as u64);
+                        }
+                        Predicate::Last => out.push_str("last"),
+                        Predicate::AttrEquals { name, value } => {
+                            out.push_str("attr= ");
+                            atom(out, name);
+                            out.push(' ');
+                            atom(out, value);
+                        }
+                        Predicate::HasAttr(name) => {
+                            out.push_str("attr? ");
+                            atom(out, name);
+                        }
+                        Predicate::ContainsText(s) => {
+                            out.push_str("text~ ");
+                            atom(out, s);
+                        }
+                        Predicate::ContainsDeep(s) => {
+                            out.push_str("deep~ ");
+                            atom(out, s);
+                        }
+                        Predicate::StartsWith(s) => {
+                            out.push_str("text^ ");
+                            atom(out, s);
+                        }
+                        Predicate::EndsWith(s) => {
+                            out.push_str("text$ ");
+                            atom(out, s);
+                        }
+                    }
+                    out.push(']');
+                }
+            }
+            match &expr.selector {
+                Selector::Elements => out.push_str("!elems"),
+                Selector::Text => out.push_str("!text"),
+                Selector::Attribute(a) => {
+                    out.push_str("!attr ");
+                    atom(out, a);
+                }
+            }
+        }
+    }
+}
+
+fn render_referent(f: &ReferentFilter, out: &mut String) {
+    match f {
+        ReferentFilter::OfType(t) => {
+            out.push_str("type ");
+            out.push_str(match t {
+                DataType::DnaSequence => "dna",
+                DataType::RnaSequence => "rna",
+                DataType::ProteinSequence => "protein",
+                DataType::MultipleAlignment => "alignment",
+                DataType::PhylogeneticTree => "tree",
+                DataType::InteractionGraph => "interaction",
+                DataType::RelationalRecord => "record",
+                DataType::Image => "image",
+                DataType::ProteinModel => "model",
+            });
+        }
+        ReferentFilter::IntervalOverlaps { domain, interval } => {
+            out.push_str("ival ");
+            match domain {
+                None => out.push('*'),
+                Some(d) => atom(out, d),
+            }
+            out.push(' ');
+            num(out, interval.start);
+            out.push(' ');
+            num(out, interval.end);
+        }
+        ReferentFilter::RegionOverlaps { system, rect } => {
+            out.push_str("region ");
+            match system {
+                None => out.push('*'),
+                Some(s) => atom(out, s),
+            }
+            for v in rect.min.iter().chain(rect.max.iter()) {
+                out.push(' ');
+                float(out, *v);
+            }
+        }
+        ReferentFilter::BlockContains(ids) => {
+            out.push_str("blocks");
+            for id in ids {
+                out.push(' ');
+                num(out, *id);
+            }
+        }
+    }
+}
+
+fn render_relation(r: &RelationType, out: &mut String) {
+    match r {
+        RelationType::IsA => out.push_str("isa"),
+        RelationType::PartOf => out.push_str("part"),
+        RelationType::DevelopsFrom => out.push_str("dev"),
+        RelationType::Regulates => out.push_str("reg"),
+        RelationType::Named(n) => {
+            out.push_str("named ");
+            atom(out, n);
+        }
+    }
+}
+
+fn render_ontology(f: &OntologyFilter, out: &mut String) {
+    match f {
+        OntologyFilter::InClass { concept, relations } => {
+            out.push_str("class ");
+            num(out, concept.0 as u64);
+            for r in relations {
+                out.push(' ');
+                render_relation(r, out);
+            }
+        }
+        OntologyFilter::CitesTerm(c) => {
+            out.push_str("cites ");
+            num(out, c.0 as u64);
+        }
+    }
+}
+
+fn render_constraint(c: &GraphConstraint, out: &mut String) {
+    match c {
+        GraphConstraint::ConsecutiveIntervals { count, max_gap } => {
+            out.push_str("consec ");
+            num(out, *count as u64);
+            out.push(' ');
+            num(out, *max_gap);
+        }
+        GraphConstraint::MinRegionCount { count, within, system } => {
+            out.push_str("minregions ");
+            num(out, *count as u64);
+            out.push(' ');
+            atom(out, system);
+            for v in within.min.iter().chain(within.max.iter()) {
+                out.push(' ');
+                float(out, *v);
+            }
+        }
+        GraphConstraint::PathExists { max_len } => {
+            out.push_str("pathlen ");
+            num(out, *max_len as u64);
+        }
     }
 }
 
@@ -357,6 +611,25 @@ mod tests {
                 relations: vec![RelationType::PartOf, RelationType::IsA],
             });
         assert_eq!(implicit.cache_key(), explicit.cache_key());
+    }
+
+    #[test]
+    fn cache_keys_separate_inequivalent_queries() {
+        // Same words, different filter structure: a phrase is not a keyword pair, and
+        // content that mimics the renderer's own delimiters must not collide either.
+        let phrase = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+        let keywords = Query::new(Target::AnnotationContents).with_keywords(["protease", "motif"]);
+        assert_ne!(phrase.cache_key(), keywords.cache_key());
+        let tricky_one = Query::new(Target::AnnotationContents).with_keywords(["a b", "c"]);
+        let tricky_two = Query::new(Target::AnnotationContents).with_keywords(["a", "b c"]);
+        assert_ne!(tricky_one.cache_key(), tricky_two.cache_key());
+        // different targets never share a key
+        assert_ne!(
+            Query::new(Target::Referents).cache_key(),
+            Query::new(Target::ConnectionGraphs).cache_key()
+        );
+        // and the key is a value: equal queries render equal keys with equal hashes
+        assert_eq!(phrase.cache_key().as_str(), phrase.clone().cache_key().as_str());
     }
 
     #[test]

@@ -24,6 +24,15 @@
 //! and the chunks are re-concatenated in order, so the output is byte-identical to the
 //! sequential pass.
 //!
+//! Every data structure a stage reads is covered by the plan's **read footprint**
+//! ([`Plan::read_footprint`](crate::plan::Plan::read_footprint)) in the sense the
+//! query service's result cache relies on: any publish that changes what seed, verify
+//! or collate can observe also bumps a component in the footprint.  Extending the
+//! executor to read a new store therefore means extending the footprint rules (and
+//! the dirty sets in `graphitti-core`) in the same change — the
+//! `partial_invalidation_props` tests in `tests/service_equivalence.rs` catch a
+//! missed dependency by replaying random batch schedules against the reference.
+//!
 //! The pre-index scan-and-intersect implementation is preserved as
 //! [`crate::reference::ReferenceExecutor`]; it is the correctness oracle for the
 //! randomized equivalence tests and the baseline for the index-ablation benchmarks.
@@ -100,8 +109,15 @@ impl<'g> Executor<'g> {
     /// cache key — use this to avoid paying the normalization twice.  Passing a
     /// non-canonical query gives the same results but an order-dependent plan.
     pub fn run_canonical(&self, query: &Query) -> QueryResult {
-        let plan = Plan::build(query, self.system);
+        self.run_plan(query, &Plan::build(query, self.system))
+    }
 
+    /// Execute a canonical query along an **already built** [`Plan`] (as produced by
+    /// [`Plan::build`] for this same query and system).  Callers that need the plan
+    /// for their own purposes — the query service keys its cache entries on the
+    /// plan's [`read footprint`](Plan::read_footprint) — use this to avoid planning
+    /// (and re-estimating selectivities) twice per execution.
+    pub fn run_plan(&self, query: &Query, plan: &Plan) -> QueryResult {
         // The `MinRegionCount` constraint counts regions "annotated with term T" by the
         // *ontology* conditions alone; when the query also has content filters that set
         // differs from `ann_cands`, so keep each ontology filter's qualifying set as the

@@ -43,10 +43,12 @@ pub mod result;
 pub mod service;
 pub mod setops;
 
-pub use ast::{ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
+pub use ast::{
+    CacheKey, ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
+};
 pub use exec::Executor;
 pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};
 pub use reference::ReferenceExecutor;
 pub use result::{QueryResult, ResultPage};
-pub use service::{QueryService, ServiceConfig, ServiceMetrics, Ticket};
+pub use service::{InvalidationPolicy, QueryService, ServiceConfig, ServiceMetrics, Ticket};

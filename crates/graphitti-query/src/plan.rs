@@ -17,7 +17,7 @@
 //! is exactly what ordering needs: a subquery with a small upper bound is guaranteed
 //! to produce a small seed set.
 
-use graphitti_core::SystemView;
+use graphitti_core::{Component, ComponentSet, SystemView};
 use xmlstore::{NameTest, PathExpr};
 
 use crate::ast::{ContentFilter, OntologyFilter, Query, ReferentFilter};
@@ -48,11 +48,28 @@ pub struct SubQuery {
     pub description: String,
 }
 
-/// A planned query: ordered subqueries.
+impl SubQuery {
+    /// The planner's ordering: ascending selectivity, as a *total* order
+    /// (`f64::total_cmp`).  `partial_cmp(..).unwrap_or(Equal)` would let a NaN
+    /// estimate compare Equal against everything — under a stable sort the NaN then
+    /// *keeps its declaration position*, so a poisoned estimate appearing before the
+    /// genuinely selective subquery would silently become the driver and seed from
+    /// the wrong index.  `total_cmp` orders NaN after every finite estimate, so a
+    /// poisoned estimate can never displace a real driver (pinned by the
+    /// `nan_selectivity_never_displaces_the_driver` regression test).
+    fn selectivity_order(a: &SubQuery, b: &SubQuery) -> std::cmp::Ordering {
+        a.selectivity.total_cmp(&b.selectivity)
+    }
+}
+
+/// A planned query: ordered subqueries plus the plan's read footprint.
 #[derive(Debug, Clone)]
 pub struct Plan {
     /// Subqueries in feasible (most-selective-first) execution order.
     pub order: Vec<SubQuery>,
+    /// The components whose query-visible state this query's answer depends on (see
+    /// [`Plan::read_footprint`]).
+    pub footprint: ComponentSet,
 }
 
 impl Plan {
@@ -96,10 +113,64 @@ impl Plan {
 
         // Feasible order: ascending selectivity (most selective first). Stable so that
         // ties keep their declaration order, which keeps plans deterministic.
-        subs.sort_by(|a, b| {
-            a.selectivity.partial_cmp(&b.selectivity).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        Plan { order: subs }
+        subs.sort_by(SubQuery::selectivity_order);
+        Plan { order: subs, footprint: Plan::read_footprint(query) }
+    }
+
+    /// The **read footprint** of a query: the set of [`Component`]s whose
+    /// query-visible state its answer depends on.  A cached result for the query stays
+    /// valid across any publish whose dirty set is disjoint from this footprint —
+    /// this is what the query service's per-entry cache invalidation keys on.
+    ///
+    /// The footprint is *semantic*, not a trace of every data structure execution
+    /// touches.  A component may be omitted when every query-visible change to the
+    /// data read through it is always accompanied by a bump of a component that *is*
+    /// in the footprint (dirty sets are declared per mutation in `graphitti-core`):
+    ///
+    /// * **`Annotations` and `Referents` are in every footprint** — all result content
+    ///   (flat lists and result pages) is derived from the annotation and referent
+    ///   registries.  `Annotations` bumps on every annotation commit; `Referents`
+    ///   bumps only on commits that create new referents (a reuse-only commit leaves
+    ///   it alone), but every referent-registry change happens inside an annotation
+    ///   commit — which bumps `Annotations` — so with both components declared, an
+    ///   entry can never outlive a change to either registry.
+    /// * **`Agraph`, `NodeMaps` and `Indexes` are never in a footprint** — page
+    ///   building reads the a-graph and node maps and every seed/verify reads the
+    ///   inverted indexes, but each query-visible change to them (a new edge between
+    ///   witness nodes, a new posting) is annotation-mediated: it only happens inside
+    ///   an annotation commit, which bumps `Annotations` (and `Referents`).  The
+    ///   *non*-annotation writes to them — an object registration's edge-less a-graph
+    ///   node, its node-map entry, its type-index entry and statistics — cannot alter
+    ///   any answer: results only ever reach an object through its referents, and a
+    ///   freshly registered object has none.  (Statistics shifts can reorder a plan,
+    ///   but all orders of one canonical query produce byte-identical results — pinned
+    ///   by the pipeline-equivalence tests.)  This is precisely why a pure-ingest
+    ///   batch (dirty set: catalog, a-graph, node maps, objects, indexes) evicts no
+    ///   content-query entries.
+    /// * **Per-filter stores** join the footprint when a filter reads them: `Content`
+    ///   for content filters, `Ontology` for ontology filters (class expansion walks
+    ///   the ontology graph, which `ontology_mut` bumps independently of any
+    ///   annotation), and the marker index family / object registry per referent
+    ///   filter.  `OfType` includes `Objects` conservatively: it reads object
+    ///   metadata, which is immutable today, but the dependency is declared rather
+    ///   than assumed away.
+    pub fn read_footprint(query: &Query) -> ComponentSet {
+        let mut fp = ComponentSet::of([Component::Annotations, Component::Referents]);
+        if !query.content.is_empty() {
+            fp.insert(Component::Content);
+        }
+        if !query.ontology.is_empty() {
+            fp.insert(Component::Ontology);
+        }
+        for f in &query.referents {
+            match f {
+                ReferentFilter::OfType(_) => fp.insert(Component::Objects),
+                ReferentFilter::IntervalOverlaps { .. } => fp.insert(Component::Intervals),
+                ReferentFilter::RegionOverlaps { .. } => fp.insert(Component::Spatial),
+                ReferentFilter::BlockContains(_) => { /* block markers live in Referents */ }
+            }
+        }
+        fp
     }
 
     /// The kinds of the subqueries in execution order.
@@ -360,6 +431,39 @@ mod tests {
         let plan = Plan::build(&q, &sys);
         assert_eq!(plan.order[0].estimated_rows, 0);
         assert_eq!(plan.order[0].selectivity, 0.0);
+    }
+
+    #[test]
+    fn nan_selectivity_never_displaces_the_driver() {
+        let mk = |index: usize, selectivity: f64| SubQuery {
+            kind: SubQueryKind::Content,
+            index,
+            estimated_rows: 0,
+            selectivity,
+            description: format!("sub {index}"),
+        };
+        // Wherever the poisoned estimate sits, the finite minimum drives and the NaN
+        // sorts last.  (With the old `partial_cmp(..).unwrap_or(Equal)` rule, a NaN
+        // compared Equal to everything, so a leading NaN kept position 0 under the
+        // stable sort and became the driver.)
+        for nan_pos in 0..3 {
+            let mut subs = [mk(0, 0.4), mk(1, 0.1), mk(2, 0.9)];
+            subs[nan_pos].selectivity = f64::NAN;
+            let finite_min = subs
+                .iter()
+                .filter(|s| !s.selectivity.is_nan())
+                .min_by(|a, b| a.selectivity.total_cmp(&b.selectivity))
+                .unwrap()
+                .index;
+            subs.sort_by(SubQuery::selectivity_order);
+            assert_eq!(subs[0].index, finite_min, "NaN at {nan_pos} displaced the driver");
+            assert!(subs.last().unwrap().selectivity.is_nan(), "NaN must sort last");
+        }
+        // Exact ties still keep declaration order (the sort is stable), so plans stay
+        // deterministic for equal estimates.
+        let mut subs = [mk(0, 0.5), mk(1, 0.5), mk(2, 0.2)];
+        subs.sort_by(SubQuery::selectivity_order);
+        assert_eq!(subs.iter().map(|s| s.index).collect::<Vec<_>>(), vec![2, 0, 1]);
     }
 
     #[test]

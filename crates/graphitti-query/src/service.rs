@@ -13,11 +13,15 @@
 //!   [`Executor::with_verify_workers`]) — results stay byte-identical to the
 //!   sequential pass.
 //! * **A normalized-query result cache sits in front.**  Results are cached under the
-//!   query's canonical form ([`Query::cache_key`]) and are valid for exactly one
-//!   published snapshot (identity: epoch **and** view, never the bare number), so
-//!   semantically equal queries — different conjunct order, keyword case or
-//!   duplicate conjuncts — share one entry.  The cache is LRU-evicted at a fixed
-//!   capacity and invalidated wholesale when a new snapshot is published.
+//!   query's canonical form ([`Query::cache_key`]), so semantically equal queries —
+//!   different conjunct order, keyword case or duplicate conjuncts — share one entry.
+//!   Each entry carries its plan's **read footprint** ([`Plan::read_footprint`]: the
+//!   [`graphitti_core::Component`]s the answer depends on) and stays valid across any
+//!   publish whose dirty set is disjoint from that footprint — a publish evicts only
+//!   the entries it can actually have changed, per the snapshots' per-component
+//!   epoch vectors ([`Snapshot::component_epochs`]).  The cache is LRU-evicted at a
+//!   fixed capacity (an ordered recency structure, so at-capacity eviction is
+//!   `O(log n)`, not a scan).
 //!
 //! Writers keep mutating their [`graphitti_core::Graphitti`] as usual and make new
 //! state visible to the service explicitly via [`QueryService::publish`]; until then,
@@ -26,25 +30,44 @@
 //!
 //! **Sustained write streams** pair the service with the core's batched write API:
 //! the writer stages a burst of registers / annotates through
-//! [`Graphitti::batch`](graphitti_core::Graphitti::batch) (one epoch bump per batch),
-//! then publishes the post-batch snapshot once.  Because cache invalidation is
-//! epoch-keyed, the whole batch costs **one** cache invalidation (observable via
-//! [`ServiceMetrics::cache_invalidations`]) instead of one per call, and because the
-//! view is a tree of per-component `Arc`s, the writer's first post-publish commit
-//! copies only the components it touches — readers keep structurally sharing the
-//! rest.  That is what lets a register/annotate stream run concurrently with the
-//! worker pool at a bounded publish stall (measured by the `mixed_rw` bench).
+//! [`Graphitti::batch`](graphitti_core::Graphitti::batch) (one epoch bump per batch,
+//! one accumulated dirty set), then publishes the post-batch snapshot once.  The
+//! whole batch costs **one** cache invalidation (observable via
+//! [`ServiceMetrics::cache_invalidations`]) instead of one per call — and that one
+//! invalidation is *partial*: a pure-ingest batch (registers only) dirties no
+//! component any query footprint reads, so every cached entry survives it, which is
+//! what keeps the hit rate up under the paper's steady curator-write trickle
+//! (measured by the `mixed_rw` bench; force
+//! [`InvalidationPolicy::Full`] to reproduce the old clear-everything behaviour as a
+//! baseline).  Because the view is a tree of per-component `Arc`s, the writer's
+//! first post-publish commit also copies only the components it touches — readers
+//! keep structurally sharing the rest.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use graphitti_core::Snapshot;
+use graphitti_core::{ComponentSet, Snapshot};
 
-use crate::ast::Query;
+use crate::ast::{CacheKey, Query};
 use crate::exec::{Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
+use crate::plan::Plan;
 use crate::result::QueryResult;
+
+/// How the result cache treats entries when a changed snapshot is published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvalidationPolicy {
+    /// Evict only entries whose read footprint intersects the components dirtied
+    /// since the cache's snapshot (per the snapshots' epoch vectors) — entries a
+    /// publish provably cannot have changed survive it.
+    #[default]
+    Footprint,
+    /// Clear the whole cache on every changed publish (the pre-epoch-vector
+    /// behaviour).  Kept as a measurable baseline for the `mixed_rw` bench and as an
+    /// escape hatch; never needed for correctness.
+    Full,
+}
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -58,6 +81,8 @@ pub struct ServiceConfig {
     /// Candidate-count threshold above which a verify pass is chunked across
     /// `verify_workers` threads.
     pub parallel_threshold: usize,
+    /// Publish-time cache invalidation policy (default: per-footprint eviction).
+    pub invalidation: InvalidationPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +93,7 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             verify_workers: 1,
             parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            invalidation: InvalidationPolicy::Footprint,
         }
     }
 }
@@ -96,6 +122,12 @@ impl ServiceConfig {
         self.parallel_threshold = threshold.max(1);
         self
     }
+
+    /// Builder: set the publish-time cache invalidation policy.
+    pub fn with_invalidation(mut self, policy: InvalidationPolicy) -> Self {
+        self.invalidation = policy;
+        self
+    }
 }
 
 /// Counters describing what the service has done so far (all monotonic).
@@ -112,10 +144,23 @@ pub struct ServiceMetrics {
     pub cache_misses: u64,
     /// Snapshot publishes observed.
     pub publishes: u64,
-    /// Times the result cache was actually cleared for a newly published state.  A
+    /// Publishes of a genuinely changed state that the cache had to react to, however
+    /// cheaply (always `cache_partial_invalidations + cache_full_invalidations`).  A
     /// `CommitBatch` of any size followed by one publish costs exactly one
     /// invalidation; a cache-disabled service (capacity 0) counts none.
     pub cache_invalidations: u64,
+    /// Changed-state publishes that did **not** empty a previously non-empty cache:
+    /// footprint-scoped eviction where the batch's dirty set missed some entries
+    /// (including the ideal case of an ingest-only batch evicting nothing), or any
+    /// install that found the cache empty to begin with.
+    pub cache_partial_invalidations: u64,
+    /// Changed-state publishes that emptied a previously **non-empty** cache: a
+    /// wholesale clear (different system lineage, or [`InvalidationPolicy::Full`]),
+    /// or a dirty set intersecting every entry's footprint (e.g. an annotation
+    /// batch — every footprint reads the annotation registry).
+    pub cache_full_invalidations: u64,
+    /// Entries dropped by publish-time invalidation (not by LRU capacity eviction).
+    pub cache_entries_evicted: u64,
 }
 
 /// A handle to one submitted query's pending result.
@@ -216,49 +261,96 @@ struct Job {
 
 /// The normalized-query LRU result cache.
 ///
-/// Keys are canonical query renderings ([`Query::cache_key`]); every entry belongs to
-/// exactly one published snapshot.  Lookups and inserts carry the snapshot they were
-/// computed against, and validity is snapshot *identity* ([`Snapshot::same_epoch`]:
-/// epoch number **and** view pointer) — never the bare epoch number.  A rebuilt
-/// system's epochs restart low (a whole [`StudySnapshot`](graphitti_core::StudySnapshot)
-/// replay is one `CommitBatch`, so one bump), which means a worker still in flight on
-/// the old system holds a *numerically higher* epoch than the freshly published one;
-/// comparing numbers alone would let that worker advance the cache past the rebuilt
-/// system's epochs and later serve its stale result once the numbers collide.  With
-/// identity keying, a stale get or insert is a harmless miss / rejected write — it can
-/// never surface another state's result, regress the cache, or pin the old view alive.
+/// Keys are canonical query renderings ([`CacheKey`]); every entry additionally
+/// carries its plan's **read footprint** ([`Plan::read_footprint`]) and the cache as
+/// a whole tracks the published snapshot its entries were last validated against.
+/// Entry validity is *per footprint*: a lookup or insert carrying snapshot `s` is
+/// valid for an entry iff `s` and the cache's snapshot observe identical
+/// query-visible state through every component of the entry's footprint —
+/// [`Snapshot::agrees_on`]: same system lineage and agreeing per-component epochs
+/// (snapshot *identity*, [`Snapshot::same_epoch`], is the trivial case and is checked
+/// first).  Lineage is part of the test because a rebuilt system's epochs restart low
+/// (a whole [`StudySnapshot`](graphitti_core::StudySnapshot) replay is one
+/// `CommitBatch`, so one bump): a worker still in flight on the old system holds a
+/// *numerically higher* epoch than the freshly published one, and comparing numbers
+/// alone would let it later serve a stale result once the numbers collide.  A stale
+/// get or insert under these rules is either provably byte-identical (footprint
+/// untouched — serving it is correct, not a race won) or a harmless miss / rejected
+/// write.
 ///
 /// [`install`](ResultCache::install) is the only way `snap` moves, and it runs inside
 /// [`QueryService::publish`] *while the snapshot write lock is still held* — no reader
 /// can observe a published snapshot the cache has not been synced to, so "the cache
-/// serves the published state" is an invariant, not a lock race to win.  Lookups and
-/// inserts from in-flight stale snapshots are simply identity-rejected.
+/// serves the published state" is an invariant, not a lock race to win.  Install
+/// evicts exactly the entries whose footprint intersects the components dirtied since
+/// the previous snapshot (wholesale only across lineages or under
+/// [`InvalidationPolicy::Full`]).
+///
+/// Recency lives in a tick-keyed [`BTreeMap`] (tick → key) mirroring the entries:
+/// every touch re-keys the entry's tick, and at-capacity eviction pops the smallest
+/// tick — `O(log n)`, replacing the old full-map `min_by_key` scan that ran under the
+/// cache mutex on every at-capacity miss.
 struct ResultCache {
     capacity: usize,
-    /// The published snapshot this cache's entries were computed against.
+    policy: InvalidationPolicy,
+    /// The published snapshot this cache's entries were last validated against.
     snap: Snapshot,
     tick: u64,
-    /// Monotonic count of epoch-change clears (see
-    /// [`ServiceMetrics::cache_invalidations`]).
-    invalidations: u64,
-    map: HashMap<String, CacheEntry>,
+    /// Invalidation accounting (see the `cache_*` fields of [`ServiceMetrics`]).
+    partial_invalidations: u64,
+    full_invalidations: u64,
+    entries_evicted: u64,
+    map: HashMap<CacheKey, CacheEntry>,
+    /// Recency order: tick of last use → key.  Invariant: one entry here per `map`
+    /// entry, keyed by that entry's `last_used` (ticks are unique — every touch takes
+    /// a fresh one).
+    lru: BTreeMap<u64, CacheKey>,
 }
 
 struct CacheEntry {
     /// Shared with every ticket the entry has served, so a hit is an `Arc` bump under
     /// the lock, never a deep copy of the result pages.
     result: Arc<QueryResult>,
+    /// The components the result depends on ([`Plan::read_footprint`]).
+    footprint: ComponentSet,
     last_used: u64,
 }
 
 impl ResultCache {
-    fn new(capacity: usize, snap: Snapshot) -> Self {
-        ResultCache { capacity, snap, tick: 0, invalidations: 0, map: HashMap::new() }
+    fn new(capacity: usize, policy: InvalidationPolicy, snap: Snapshot) -> Self {
+        ResultCache {
+            capacity,
+            policy,
+            snap,
+            tick: 0,
+            partial_invalidations: 0,
+            full_invalidations: 0,
+            entries_evicted: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
     }
 
-    /// Move the cache onto `published`, discarding every entry — a no-op when it
-    /// already serves exactly this state (republishing an identical snapshot must not
-    /// discard its entries or count an invalidation).
+    /// Whether an entry computed against the cache's snapshot is (still) the correct
+    /// answer for `snap`, given the entry's read footprint.
+    fn valid_for(&self, snap: &Snapshot, footprint: ComponentSet) -> bool {
+        snap.same_epoch(&self.snap)
+            || (self.policy == InvalidationPolicy::Footprint
+                && snap.agrees_on(&self.snap, footprint))
+    }
+
+    /// Move the cache onto `published`, evicting exactly the entries the state change
+    /// can have affected — a no-op when the cache already serves this state
+    /// (republishing an identical snapshot must not discard entries or count an
+    /// invalidation).
+    ///
+    /// Within one system lineage the evicted set is the entries whose footprint
+    /// intersects the components dirtied since the cache's snapshot (per the two
+    /// snapshots' epoch vectors); an ingest-only batch therefore evicts nothing,
+    /// while an annotation batch still clears every entry (all footprints read the
+    /// annotation/referent registries).  Across lineages — a rebuilt or replaced
+    /// system, where epoch vectors are incomparable — the cache clears wholesale, as
+    /// it does under [`InvalidationPolicy::Full`].
     ///
     /// **Contract:** `published` must be the *currently published* snapshot, and the
     /// service's snapshot write lock must be held across this call (as
@@ -269,59 +361,98 @@ impl ResultCache {
     /// whichever epoch number is larger) would let a worker still in flight on a
     /// pre-rebuild system hijack the cache onto a superseded view.
     fn install(&mut self, published: &Snapshot) {
-        if !published.same_epoch(&self.snap) {
-            // Track the published snapshot even when caching is disabled — holding a
-            // superseded one would pin its whole view alive for the service's life.
-            self.snap = published.clone();
-            if self.capacity > 0 {
-                self.map.clear();
-                self.invalidations += 1;
+        if published.same_epoch(&self.snap) {
+            return;
+        }
+        // Track the published snapshot even when caching is disabled — holding a
+        // superseded one would pin its whole view alive for the service's life.
+        let prev = std::mem::replace(&mut self.snap, published.clone());
+        if self.capacity == 0 {
+            return;
+        }
+        if self.policy == InvalidationPolicy::Footprint && published.same_system(&prev) {
+            let dirty = published.changed_components(&prev);
+            if dirty.is_empty() {
+                // Identical state under a new view identity (`unshare_all`): every
+                // entry is still bit-exact for the published state.
+                return;
+            }
+            let before = self.map.len();
+            self.map.retain(|_, e| !e.footprint.intersects(dirty));
+            let map = &self.map;
+            self.lru.retain(|_, key| map.contains_key(key));
+            self.entries_evicted += (before - self.map.len()) as u64;
+            // "Full" means the install emptied a non-empty cache; an install racing
+            // ahead of the first inserts (nothing present yet) counts as partial, so
+            // the split is deterministic for concurrent tests and benches.
+            if before > 0 && self.map.is_empty() {
+                self.full_invalidations += 1;
+            } else {
+                self.partial_invalidations += 1;
+            }
+        } else {
+            let before = self.map.len();
+            self.entries_evicted += before as u64;
+            self.map.clear();
+            self.lru.clear();
+            if before > 0 {
+                self.full_invalidations += 1;
+            } else {
+                self.partial_invalidations += 1;
             }
         }
     }
 
-    /// Look up a canonical key computed against `snap`, refreshing its recency.  A
-    /// lookup from any snapshot that is not identical to the cache's — stale *or*
-    /// newer — misses without disturbing current entries; it never moves the cache
-    /// (only [`install`](Self::install) does).
-    fn get(&mut self, key: &str, snap: &Snapshot) -> Option<Arc<QueryResult>> {
+    /// Look up a canonical key for a query executing against `snap`, refreshing the
+    /// entry's recency on a hit.  A lookup from a snapshot the entry is not valid for
+    /// (its footprint moved, or another lineage) misses without disturbing current
+    /// entries; it never moves the cache (only [`install`](Self::install) does).
+    fn get(&mut self, key: &CacheKey, snap: &Snapshot) -> Option<Arc<QueryResult>> {
         if self.capacity == 0 {
             return None;
         }
-        if !snap.same_epoch(&self.snap) {
+        let footprint = self.map.get(key)?.footprint;
+        if !self.valid_for(snap, footprint) {
             return None;
         }
         self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|e| {
-            e.last_used = tick;
-            Arc::clone(&e.result)
-        })
+        let entry = self.map.get_mut(key).expect("entry present: looked up above");
+        self.lru.remove(&entry.last_used);
+        entry.last_used = self.tick;
+        self.lru.insert(self.tick, key.clone());
+        Some(Arc::clone(&entry.result))
     }
 
-    /// Insert a result computed against `snap`; rejected (harmlessly) unless the
-    /// cache currently serves exactly that state — by the time an insert's snapshot
-    /// mismatches, the result is stale by construction.  Evicts the
-    /// least-recently-used entry when full.
-    fn insert(&mut self, key: String, snap: &Snapshot, result: Arc<QueryResult>) {
-        if self.capacity == 0 {
-            return;
-        }
-        if !snap.same_epoch(&self.snap) {
+    /// Insert a result computed against `snap` for a plan reading `footprint`;
+    /// rejected (harmlessly) unless the result is still the correct answer for the
+    /// cache's current snapshot — which it is exactly when `snap` agrees with it on
+    /// the footprint, so an in-flight execution that straddled a footprint-disjoint
+    /// publish still lands.  Evicts the least-recently-used entry when full
+    /// (`O(log n)`: pop the smallest recency tick).
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        snap: &Snapshot,
+        footprint: ComponentSet,
+        result: Arc<QueryResult>,
+    ) {
+        if self.capacity == 0 || !self.valid_for(snap, footprint) {
             return;
         }
         self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(lru) =
-                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
-            {
-                self.map.remove(&lru);
+        if let Some(prev) = self.map.get(&key) {
+            self.lru.remove(&prev.last_used);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, lru_key)) = self.lru.pop_first() {
+                self.map.remove(&lru_key);
             }
         }
-        self.map.insert(key, CacheEntry { result, last_used: self.tick });
+        self.lru.insert(self.tick, key.clone());
+        self.map.insert(key, CacheEntry { result, footprint, last_used: self.tick });
     }
 
     fn len(&self) -> usize {
+        debug_assert_eq!(self.map.len(), self.lru.len(), "map/recency desync");
         self.map.len()
     }
 }
@@ -349,27 +480,38 @@ impl Inner {
     }
 
     /// Execute one query against the current snapshot, consulting the cache.  The
-    /// query is canonicalized exactly once: the canonical rendering is the cache key
-    /// and the canonical form is what the executor plans.
+    /// query is canonicalized exactly once: the canonical form is rendered once into
+    /// the [`CacheKey`] (an explicit stable format, not `Debug` output) and is also
+    /// what the executor plans, and its [`Plan::read_footprint`] is what the inserted
+    /// entry's validity is keyed on.
     fn execute(&self, query: &Query) -> Arc<QueryResult> {
         let canonical = query.canonicalize();
-        let key = format!("{canonical:?}");
+        let key = CacheKey::of_canonical(&canonical);
         let snap = self.current_snapshot();
         if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key, &snap) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Plan::build(&canonical, &snap);
+        let footprint = plan.footprint;
         let result = Arc::new(
             Executor::new(&snap)
                 .with_verify_workers(self.verify_workers)
                 .with_parallel_threshold(self.parallel_threshold)
-                .run_canonical(&canonical),
+                .run_plan(&canonical, &plan),
         );
-        // Accepted iff this execution's snapshot is still the published one — publish
-        // syncs the cache under the snapshot write lock, so the cache is never behind
-        // what any reader can observe and a stale insert is identity-rejected here.
-        self.cache.lock().expect("cache lock poisoned").insert(key, &snap, Arc::clone(&result));
+        // Accepted iff this execution's answer is still correct for the published
+        // state — publish syncs the cache under the snapshot write lock, so the cache
+        // is never behind what any reader can observe; an execution that straddled a
+        // publish lands anyway when its plan's footprint was untouched, and is
+        // harmlessly rejected otherwise.
+        self.cache.lock().expect("cache lock poisoned").insert(
+            key,
+            &snap,
+            footprint,
+            Arc::clone(&result),
+        );
         result
     }
 
@@ -414,7 +556,7 @@ pub struct QueryService {
 impl QueryService {
     /// Start a service over an initial snapshot with the given configuration.
     pub fn new(snapshot: Snapshot, config: ServiceConfig) -> Self {
-        let cache = ResultCache::new(config.cache_capacity, snapshot.clone());
+        let cache = ResultCache::new(config.cache_capacity, config.invalidation, snapshot.clone());
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
@@ -476,23 +618,26 @@ impl QueryService {
         Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone())
     }
 
-    /// Publish a new snapshot: all queries executed from now on observe it, and the
-    /// result cache is invalidated iff the published state actually changed.
-    /// In-flight queries finish against the snapshot they already captured (snapshot
-    /// isolation).
+    /// Publish a new snapshot: all queries executed from now on observe it, and —
+    /// iff the published state actually changed — the result cache evicts exactly
+    /// the entries whose read footprint intersects the components dirtied since the
+    /// previous publish (an ingest-only batch evicts nothing; see
+    /// [`ResultCache::install`] and [`InvalidationPolicy`]).  In-flight queries
+    /// finish against the snapshot they already captured (snapshot isolation).
     ///
     /// The cache is installed while the snapshot write lock is still held, so a
     /// reader can never observe a published snapshot the cache has not been synced
     /// to: there is no window in which fresh results are rejected or a stale cache
-    /// state lingers, and each published state costs exactly one invalidation.
-    /// (Workers hold the cache mutex only for O(1) map operations, so the writer's
-    /// wait under the lock is bounded.)
+    /// state lingers, and each published state costs exactly one (partial)
+    /// invalidation.  (Workers hold the cache mutex only for O(log n) map
+    /// operations, so the writer's wait under the lock is bounded.)
     ///
-    /// Entry validity is snapshot *identity* (epoch + view pointer), so publishing a
-    /// snapshot of a different or rebuilt system — even one whose epoch collides with
-    /// or regresses below the current one — both clears the cache and makes any
-    /// result a worker mid-flight on the old system later deposits unhittable: a
-    /// stale get or insert can cause a miss, never a wrong answer.
+    /// Entry validity is per-footprint epoch agreement *within one system lineage*,
+    /// so publishing a snapshot of a different or rebuilt system — even one whose
+    /// epoch collides with or regresses below the current one — both clears the
+    /// cache wholesale and makes any result a worker mid-flight on the old system
+    /// later deposits unhittable: a stale get or insert can cause a miss, never a
+    /// wrong answer.
     pub fn publish(&self, snapshot: Snapshot) {
         let mut current = self.inner.snapshot.write().expect("snapshot lock poisoned");
         *current = snapshot;
@@ -523,15 +668,20 @@ impl QueryService {
 
     /// A snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
-        let cache_invalidations =
-            self.inner.cache.lock().expect("cache lock poisoned").invalidations;
+        let (partial, full, evicted) = {
+            let cache = self.inner.cache.lock().expect("cache lock poisoned");
+            (cache.partial_invalidations, cache.full_invalidations, cache.entries_evicted)
+        };
         ServiceMetrics {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
             publishes: self.inner.publishes.load(Ordering::Relaxed),
-            cache_invalidations,
+            cache_invalidations: partial + full,
+            cache_partial_invalidations: partial,
+            cache_full_invalidations: full,
+            cache_entries_evicted: evicted,
         }
     }
 }
@@ -559,7 +709,23 @@ mod tests {
     use super::*;
     use crate::ast::{OntologyFilter, Target};
     use crate::reference::ReferenceExecutor;
-    use graphitti_core::{DataType, Graphitti, Marker};
+    use graphitti_core::{Component, DataType, Graphitti, Marker};
+
+    /// A distinct cache key per phrase (unit tests for the cache need keys only).
+    fn test_key(phrase: &str) -> CacheKey {
+        Query::new(Target::AnnotationContents).with_phrase(phrase).cache_key()
+    }
+
+    /// The footprint of a content (phrase/keyword) query.
+    fn content_fp() -> ComponentSet {
+        ComponentSet::of([Component::Annotations, Component::Referents, Component::Content])
+    }
+
+    /// A footprint that an object registration's dirty set intersects (an `OfType`
+    /// referent filter reads the object registry).
+    fn object_fp() -> ComponentSet {
+        ComponentSet::of([Component::Annotations, Component::Referents, Component::Objects])
+    }
 
     fn sample_system(n: u64) -> Graphitti {
         let mut sys = Graphitti::new();
@@ -693,6 +859,78 @@ mod tests {
         let m = service.metrics();
         assert_eq!(m.publishes, 1);
         assert_eq!(m.cache_invalidations, 1);
+        // the annotation batch dirtied every footprint's components: nothing survived
+        assert_eq!(m.cache_full_invalidations, 1);
+        assert_eq!(m.cache_entries_evicted, 1);
+    }
+
+    #[test]
+    fn ingest_only_publish_preserves_cache_entries() {
+        let mut sys = sample_system(12);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(1).with_cache_capacity(8),
+        );
+        let before = service.run(phrase_query()); // miss, populates the cache
+        assert!(service.run(phrase_query()) == before); // hit
+
+        // An ingest-only batch registers objects — its dirty set touches no component
+        // a phrase query reads, so the entry must survive the publish and keep
+        // serving hits.
+        let mut batch = sys.batch();
+        for i in 0..10 {
+            batch.register_sequence(format!("late-{i}"), DataType::DnaSequence, 500, "chr9");
+        }
+        batch.commit();
+        service.publish(sys.snapshot());
+        assert_eq!(service.cache_len(), 1, "ingest publish must not evict");
+        assert!(service.run(phrase_query()) == before); // still a hit
+        let m = service.metrics();
+        assert_eq!(m.cache_hits, 2);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_invalidations, 1);
+        assert_eq!(m.cache_partial_invalidations, 1);
+        assert_eq!(m.cache_full_invalidations, 0);
+        assert_eq!(m.cache_entries_evicted, 0);
+
+        // An annotation touching the phrase's footprint still evicts it.
+        let seq = sys.objects()[0].id;
+        sys.annotate()
+            .comment("protease motif, newly attached")
+            .mark(seq, Marker::interval(90_000, 90_100))
+            .commit()
+            .unwrap();
+        service.publish(sys.snapshot());
+        let after = service.run(phrase_query());
+        assert_eq!(after.annotations.len(), before.annotations.len() + 1);
+        let m = service.metrics();
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_entries_evicted, 1);
+        assert_eq!(m.cache_full_invalidations, 1);
+    }
+
+    #[test]
+    fn full_invalidation_policy_drops_entries_on_ingest_publish() {
+        // The measurable baseline: under `InvalidationPolicy::Full`, the same ingest
+        // publish that the footprint policy survives clears the cache.
+        let mut sys = sample_system(12);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(8)
+                .with_invalidation(InvalidationPolicy::Full),
+        );
+        service.run(phrase_query());
+        sys.register_sequence("late", DataType::DnaSequence, 500, "chr9");
+        service.publish(sys.snapshot());
+        assert_eq!(service.cache_len(), 0);
+        service.run(phrase_query());
+        let m = service.metrics();
+        assert_eq!(m.cache_hits, 0);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_full_invalidations, 1);
+        assert_eq!(m.cache_entries_evicted, 1);
     }
 
     fn empty_result() -> Arc<QueryResult> {
@@ -723,39 +961,76 @@ mod tests {
     fn lru_evicts_least_recently_used_entry() {
         let (sys, _) = system_with_epoch_snapshots(0);
         let snap = sys.snapshot();
-        let mut cache = ResultCache::new(2, snap.clone());
+        let mut cache = ResultCache::new(2, InvalidationPolicy::Footprint, snap.clone());
         let empty = empty_result();
-        cache.insert("a".into(), &snap, Arc::clone(&empty));
-        cache.insert("b".into(), &snap, Arc::clone(&empty));
-        assert!(cache.get("a", &snap).is_some()); // refresh a; b is now LRU
-        cache.insert("c".into(), &snap, empty.clone());
+        let (a, b, c) = (test_key("a"), test_key("b"), test_key("c"));
+        cache.insert(a.clone(), &snap, content_fp(), Arc::clone(&empty));
+        cache.insert(b.clone(), &snap, content_fp(), Arc::clone(&empty));
+        assert!(cache.get(&a, &snap).is_some()); // refresh a; b is now LRU
+        cache.insert(c.clone(), &snap, content_fp(), empty.clone());
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("b", &snap).is_none());
-        assert!(cache.get("a", &snap).is_some());
-        assert!(cache.get("c", &snap).is_some());
+        assert!(cache.get(&b, &snap).is_none());
+        assert!(cache.get(&a, &snap).is_some());
+        assert!(cache.get(&c, &snap).is_some());
+        // re-inserting an existing key is an update, not a capacity eviction
+        cache.insert(a.clone(), &snap, content_fp(), empty_result());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&c, &snap).is_some());
     }
 
     #[test]
-    fn cache_install_discards_entries_and_gates_stale_traffic() {
+    fn install_evicts_exactly_the_footprint_intersecting_entries() {
+        // The snapshots differ by object *registrations*, whose dirty set (catalog,
+        // a-graph, objects, node maps, indexes) intersects an object-reading
+        // footprint but not a content-reading one.
         let (_sys, snaps) = system_with_epoch_snapshots(2);
-        let mut cache = ResultCache::new(4, snaps[0].clone());
-        let empty = empty_result();
-        cache.insert("a".into(), &snaps[0], Arc::clone(&empty));
-        assert_eq!(cache.invalidations, 0);
-        // a publish of a newer snapshot clears the cache
+        let mut cache = ResultCache::new(4, InvalidationPolicy::Footprint, snaps[0].clone());
+        let (content_key, object_key) = (test_key("content"), test_key("object"));
+        cache.insert(content_key.clone(), &snaps[0], content_fp(), empty_result());
+        cache.insert(object_key.clone(), &snaps[0], object_fp(), empty_result());
+        assert_eq!(cache.partial_invalidations + cache.full_invalidations, 0);
+
+        cache.install(&snaps[2]);
+        // the object-footprint entry is gone, the content one survives
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.entries_evicted, 1);
+        assert_eq!(cache.partial_invalidations, 1);
+        assert_eq!(cache.full_invalidations, 0);
+        assert!(cache.get(&object_key, &snaps[2]).is_none());
+        assert!(cache.get(&content_key, &snaps[2]).is_some());
+        // re-installing an identical snapshot is a no-op
+        cache.install(&snaps[2]);
+        assert_eq!(cache.partial_invalidations, 1);
+
+        // A *stale* reader still in flight on snaps[1] agrees with the cache on the
+        // content footprint (registrations never moved it), so it legitimately hits —
+        // and its insert of a content-footprint result is accepted, because the
+        // answer is provably identical at the published state.
+        assert!(cache.get(&content_key, &snaps[1]).is_some());
+        cache.insert(test_key("late content"), &snaps[1], content_fp(), empty_result());
+        assert!(cache.get(&test_key("late content"), &snaps[2]).is_some());
+        // ...while the same stale reader's *object*-footprint traffic is refused
+        assert!(cache.get(&object_key, &snaps[1]).is_none());
+        cache.insert(test_key("late object"), &snaps[1], object_fp(), empty_result());
+        assert!(cache.get(&test_key("late object"), &snaps[2]).is_none());
+    }
+
+    #[test]
+    fn full_policy_clears_wholesale_on_any_changed_publish() {
+        let (_sys, snaps) = system_with_epoch_snapshots(2);
+        let mut cache = ResultCache::new(4, InvalidationPolicy::Full, snaps[0].clone());
+        let key = test_key("a");
+        cache.insert(key.clone(), &snaps[0], content_fp(), empty_result());
         cache.install(&snaps[2]);
         assert_eq!(cache.len(), 0);
-        assert_eq!(cache.invalidations, 1);
-        // re-publishing an identical snapshot is a no-op
-        cache.install(&snaps[2]);
-        assert_eq!(cache.invalidations, 1);
-        // stale lookups and inserts are rejected without moving the cache
-        assert!(cache.get("a", &snaps[1]).is_none());
-        cache.insert("stale".into(), &snaps[1], Arc::clone(&empty));
-        assert_eq!(cache.len(), 0);
-        // current-snapshot traffic works immediately
-        cache.insert("b".into(), &snaps[2], empty);
-        assert!(cache.get("b", &snaps[2]).is_some());
+        assert_eq!(cache.full_invalidations, 1);
+        assert_eq!(cache.entries_evicted, 1);
+        // under the full policy, stale traffic is identity-rejected even when the
+        // footprint would agree
+        cache.insert(key.clone(), &snaps[2], content_fp(), empty_result());
+        assert!(cache.get(&key, &snaps[1]).is_none());
+        cache.insert(test_key("stale"), &snaps[1], content_fp(), empty_result());
+        assert!(cache.get(&test_key("stale"), &snaps[2]).is_none());
     }
 
     #[test]
@@ -769,31 +1044,36 @@ mod tests {
         // collides with A's number.
         let (_sys_a, a_snaps) = system_with_epoch_snapshots(10);
         let a10 = &a_snaps[10];
-        let mut cache = ResultCache::new(4, a10.clone());
+        let mut cache = ResultCache::new(4, InvalidationPolicy::Footprint, a10.clone());
+        let q = test_key("q");
         let stale = empty_result();
-        cache.insert("q".into(), a10, Arc::clone(&stale));
-        assert!(cache.get("q", a10).is_some());
+        cache.insert(q.clone(), a10, content_fp(), Arc::clone(&stale));
+        assert!(cache.get(&q, a10).is_some());
 
-        // The rebuild publish installs B at epoch 2.
+        // The rebuild publish installs B at epoch 2 — another lineage, so the
+        // footprint policy must clear wholesale (epoch vectors are incomparable).
         let (_sys_b, b_snaps) = system_with_epoch_snapshots(10);
         cache.install(&b_snaps[2]);
+        assert_eq!(cache.full_invalidations, 1);
 
         // The stale worker finishes: its get misses (despite the numerically higher
-        // epoch), and its insert is rejected — the cache stays on B throughout.
-        assert!(cache.get("q", a10).is_none());
-        cache.insert("q".into(), a10, stale);
+        // epoch — and despite A's register-only history never touching the content
+        // footprint: lineage gates every epoch comparison), and its insert is
+        // rejected — the cache stays on B throughout.
+        assert!(cache.get(&q, a10).is_none());
+        cache.insert(q.clone(), a10, content_fp(), stale);
         assert_eq!(cache.len(), 0);
         for snap in &b_snaps {
             assert!(
-                cache.get("q", snap).is_none(),
+                cache.get(&q, snap).is_none(),
                 "B's epoch {} must never see A's entry",
                 snap.epoch()
             );
         }
 
         // ... and B's current snapshot is served normally, undisturbed.
-        cache.insert("q".into(), &b_snaps[2], empty_result());
-        assert!(cache.get("q", &b_snaps[2]).is_some());
+        cache.insert(q.clone(), &b_snaps[2], content_fp(), empty_result());
+        assert!(cache.get(&q, &b_snaps[2]).is_some());
     }
 
     #[test]

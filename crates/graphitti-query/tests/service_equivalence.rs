@@ -14,6 +14,13 @@
 //!    result a reader observes must be byte-identical to the [`ReferenceExecutor`]'s
 //!    answer at one published epoch, epochs observed in non-decreasing order, and the
 //!    cache invalidated once per batch — never once per commit.
+//! 4. **Partial invalidation** — batches whose dirty set is disjoint from the read
+//!    mix's footprints publish mid-flight: results stay byte-identical to the
+//!    reference at a published epoch *and* the cache entries survive every such
+//!    publish (zero evictions, bounded misses), while a footprint-intersecting batch
+//!    still evicts; plus a randomized invariant tying entry survival to per-component
+//!    structural sharing (`Arc::ptr_eq`) between the pre-batch snapshot and the
+//!    published view.
 
 mod common;
 
@@ -313,4 +320,265 @@ fn batched_publishes_interleave_with_inflight_queries() {
         result_bytes(&service.run(query.clone())),
         result_bytes(&ReferenceExecutor::new(&sys).run(&query))
     );
+}
+
+/// Footprint-disjoint (ingest-only) batches publish mid-flight while readers keep a
+/// content query and an ontology query hot.  Registrations dirty no component either
+/// footprint reads, so every observed result must stay byte-identical to the
+/// reference answer (which such publishes cannot change), the cache entries must
+/// survive every publish (zero evictions, misses bounded by the initial
+/// key-population races), and each publish must be accounted a *partial*
+/// invalidation.  A footprint-intersecting annotation commit afterwards must still
+/// evict and refresh.
+#[test]
+fn footprint_disjoint_batches_preserve_entries_mid_flight() {
+    let mut sys = Graphitti::new();
+    let seq = sys.register_sequence("s", graphitti_core::DataType::DnaSequence, 1_000_000, "chr1");
+    let term = sys.ontology_mut().add_concept("Motif");
+    for i in 0..10u64 {
+        sys.annotate()
+            .comment(format!("protease motif {i}"))
+            .mark(seq, Marker::interval(i * 100, i * 100 + 50))
+            .cite_term(term)
+            .commit()
+            .unwrap();
+    }
+
+    let phrase_query = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+    let term_query = Query::new(Target::AnnotationContents)
+        .with_ontology(graphitti_query::OntologyFilter::CitesTerm(term));
+    let workers = 3usize;
+    let service = Arc::new(QueryService::new(
+        sys.snapshot(),
+        ServiceConfig::default().with_workers(workers).with_cache_capacity(16),
+    ));
+
+    // Ingest-only publishes cannot change either answer, so the legal set is a
+    // single reference result per query for the whole run.
+    let expected_phrase = result_bytes(&ReferenceExecutor::new(&sys).run(&phrase_query));
+    let expected_term = result_bytes(&ReferenceExecutor::new(&sys).run(&term_query));
+
+    let publishes = 12u64;
+    let stop = AtomicBool::new(false);
+    let observed: u64 = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for r in 0..3 {
+            let service = Arc::clone(&service);
+            let phrase_query = phrase_query.clone();
+            let term_query = term_query.clone();
+            let (expected_phrase, expected_term) = (&expected_phrase, &expected_term);
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut count = 0u64;
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let (q, expected) = if i % 2 == 0 {
+                        (&phrase_query, expected_phrase)
+                    } else {
+                        (&term_query, expected_term)
+                    };
+                    assert_eq!(
+                        &result_bytes(&service.run(q.clone())),
+                        expected,
+                        "ingest-only publishes must never change a served answer"
+                    );
+                    count += 1;
+                    i += 1;
+                }
+                count
+            }));
+        }
+
+        for b in 0..publishes {
+            let mut batch = sys.batch();
+            for i in 0..5 {
+                batch.register_sequence(
+                    format!("ingest-{b}-{i}"),
+                    graphitti_core::DataType::DnaSequence,
+                    500,
+                    "chr2",
+                );
+            }
+            batch.commit();
+            service.publish(sys.snapshot());
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        readers.into_iter().map(|r| r.join().expect("reader panicked")).sum()
+    });
+
+    let m = service.metrics();
+    assert_eq!(m.publishes, publishes);
+    // Entries with footprints disjoint from every published dirty set survived: no
+    // publish evicted anything, and every publish was partial.
+    assert_eq!(m.cache_entries_evicted, 0, "ingest-only publishes must evict nothing");
+    assert_eq!(m.cache_partial_invalidations, publishes);
+    assert_eq!(m.cache_full_invalidations, 0);
+    assert_eq!(service.cache_len(), 2);
+    // Misses are bounded by the initial population races (each of the `workers` pool
+    // threads can at worst miss each of the two keys once before the first insert
+    // lands) — publishes add none on top.
+    assert!(m.cache_misses <= (workers as u64) * 2, "publishes must not force re-execution: {m:?}");
+    assert_eq!(m.cache_hits + m.cache_misses, observed);
+
+    // A footprint-intersecting commit still evicts both entries and refreshes.
+    sys.annotate()
+        .comment("protease motif late")
+        .mark(seq, Marker::interval(900_000, 900_050))
+        .commit()
+        .unwrap();
+    service.publish(sys.snapshot());
+    let m = service.metrics();
+    assert_eq!(m.cache_entries_evicted, 2);
+    assert_eq!(m.cache_full_invalidations, 1);
+    assert_eq!(
+        result_bytes(&service.run(phrase_query.clone())),
+        result_bytes(&ReferenceExecutor::new(&sys).run(&phrase_query))
+    );
+}
+mod partial_invalidation_props {
+    use super::*;
+    use graphitti_core::{Component, ComponentSet, DataType};
+    use graphitti_query::Plan;
+    use proptest::prelude::*;
+
+    /// The three batch kinds the randomized schedule draws from (sampled as `0..3`
+    /// — the proptest shim has no enum strategies).
+    #[derive(Debug, Clone, Copy)]
+    enum Kind {
+        Ingest,
+        Ontology,
+        Annotate,
+    }
+
+    impl Kind {
+        fn from_index(i: u8) -> Kind {
+            match i % 3 {
+                0 => Kind::Ingest,
+                1 => Kind::Ontology,
+                _ => Kind::Annotate,
+            }
+        }
+    }
+
+    /// The invariant body (a plain function so the `proptest!` macro stays thin):
+    /// for any schedule of homogeneous batches, an entry survives a publish iff its
+    /// footprint is disjoint from the batch's dirty set (observed via miss metrics
+    /// on a single-worker service), served results always match the reference, and
+    /// every footprint component of a *surviving* entry is `Arc::ptr_eq`-shared
+    /// between the pre-batch snapshot and the published view.
+    fn check(extra: u64, kinds: &[Kind]) {
+        let mut sys = Graphitti::new();
+        let seq = sys.register_sequence("s", DataType::DnaSequence, 1_000_000, "chr1");
+        let term = sys.ontology_mut().add_concept("Motif");
+        for i in 0..(3 + extra) {
+            sys.annotate()
+                .comment(format!("protease motif {i}"))
+                .mark(seq, Marker::interval(i * 100, i * 100 + 50))
+                .cite_term(term)
+                .commit()
+                .unwrap();
+        }
+
+        let phrase_query = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+        let term_query = Query::new(Target::AnnotationContents)
+            .with_ontology(graphitti_query::OntologyFilter::CitesTerm(term));
+        let cases = [&phrase_query, &term_query];
+        let footprints: Vec<ComponentSet> =
+            cases.iter().map(|q| Plan::read_footprint(&q.canonicalize())).collect();
+
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(1).with_cache_capacity(8),
+        );
+        for q in cases {
+            service.run(q.clone()); // populate one entry per query
+        }
+
+        let mut annotations = 0u64;
+        for (b, kind) in kinds.iter().enumerate() {
+            let before = sys.snapshot();
+            let mut batch = sys.batch();
+            match kind {
+                Kind::Ingest => {
+                    for i in 0..3 {
+                        batch.register_sequence(
+                            format!("ingest-{b}-{i}"),
+                            DataType::DnaSequence,
+                            500,
+                            "chr2",
+                        );
+                    }
+                }
+                Kind::Ontology => {
+                    batch.ontology_mut().add_concept(format!("term-{b}"));
+                }
+                Kind::Annotate => {
+                    batch
+                        .annotate()
+                        .comment(format!("protease motif batch {b}"))
+                        .mark(
+                            seq,
+                            Marker::interval(
+                                500_000 + annotations * 100,
+                                500_000 + annotations * 100 + 50,
+                            ),
+                        )
+                        .cite_term(term)
+                        .commit()
+                        .unwrap();
+                    annotations += 1;
+                }
+            }
+            batch.commit();
+            service.publish(sys.snapshot());
+            let published = sys.snapshot();
+            let dirty = published.changed_components(&before);
+            prop_assert!(!dirty.is_empty(), "every batch kind writes something");
+
+            for (q, fp) in cases.iter().zip(&footprints) {
+                let survives = !fp.intersects(dirty);
+                let misses_before = service.metrics().cache_misses;
+                let got = service.run((*q).clone());
+                let was_hit = service.metrics().cache_misses == misses_before;
+                prop_assert_eq!(
+                    was_hit,
+                    survives,
+                    "entry survival must equal footprint disjointness (dirty {:?}, fp {:?})",
+                    dirty,
+                    fp
+                );
+                // Served bytes always match the reference on the published state.
+                prop_assert_eq!(
+                    result_bytes(&got),
+                    result_bytes(&ReferenceExecutor::new(&sys).run(q))
+                );
+                if survives {
+                    // The entry's whole read footprint is structurally shared
+                    // between the pre-batch snapshot and the published view — the
+                    // proof the cached answer is still reading identical state.
+                    for c in Component::ALL.into_iter().filter(|&c| fp.contains(c)) {
+                        prop_assert!(
+                            published.view().shares_component(before.view(), c),
+                            "surviving entry's footprint component {:?} not shared",
+                            c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn surviving_entries_share_their_footprint_components(
+            extra in 0u64..8,
+            kind_indices in prop::collection::vec(0u8..3, 1..8),
+        ) {
+            let kinds: Vec<Kind> = kind_indices.iter().map(|&i| Kind::from_index(i)).collect();
+            check(extra, &kinds);
+        }
+    }
 }
