@@ -28,25 +28,39 @@
 //! picture — hit rate, partial vs full invalidation counts, entries evicted.
 //! Entries carry `qps`, so `bench_summary` routes them into `BENCH_throughput.json`.
 //!
+//! **Shards axis.** After the three unsharded modes the same drive runs against a
+//! hash-partitioned [`ShardedSystem`](graphitti_core::ShardedSystem) served by the
+//! scatter-gather [`ShardedQueryService`] at `shards ∈ {1, 2, 4}` (`--shards=` to
+//! override): the writer replays the *same* batch stream through the shard router
+//! (one logical batch → per-shard coalesced sub-batches → one published cut), the
+//! readers hammer the same mix — including an id-pinned query the executor prunes to
+//! its owning shard — and the final state is gated byte-for-byte against the
+//! single-threaded [`Executor`] on the equivalent **unsharded oracle**.  Entries
+//! carry a `shards` field (`0` = the unsharded service) so `BENCH_throughput.json`
+//! reports the axis; on a single-core container shard counts cannot show wall-clock
+//! wins (as with the worker sweep — see ROADMAP), so the row to watch is shards=1
+//! vs the unsharded baseline (routing/merge overhead) and the cache picture.
+//!
 //! Pass `--quick` (as CI does) for a smoke run that doubles as a correctness gate:
 //! small workload, every mix query's final answer asserted byte-identical to the
-//! single-threaded [`Executor`] after the full stream, plus a deterministic
-//! cache-metric sanity gate (ingest-only batches cost zero evictions; ontology
-//! batches evict exactly the ontology-footprint entry; full-dirty annotation batches
-//! still clear everything).
+//! single-threaded [`Executor`] after the full stream (for the shard matrix: to the
+//! executor on the unsharded oracle), plus a deterministic cache-metric sanity gate
+//! (ingest-only batches cost zero evictions; ontology batches evict exactly the
+//! ontology-footprint entry; full-dirty annotation batches still clear everything).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use bench::{percentile, table_header, table_row};
-use datagen::mixed::{self, MixedConfig, MixedWorkload};
+use datagen::mixed::{self, MixedConfig};
 use datagen::InfluenzaConfig;
-use graphitti_core::{DataType, Marker};
+use graphitti_core::{DataType, Marker, ObjectId};
 use graphitti_query::{
     Executor, InvalidationPolicy, OntologyFilter, Query, QueryService, ReferentFilter,
-    ServiceConfig, Target,
+    ServiceConfig, ShardedQueryService, ShardedServiceConfig, Target,
 };
 use interval_index::Interval;
+use ontology::ConceptId;
 
 /// How each batch's first write pays for the outstanding snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +99,9 @@ const MODES: [Mode; 3] = [
 
 /// One mode's measured outcome.
 struct Measurement {
-    mode: &'static str,
+    mode: String,
+    /// Shard count (`0` = the unsharded `QueryService` modes).
+    shards: usize,
     workers: usize,
     clients: usize,
     writes: usize,
@@ -125,12 +141,18 @@ impl Measurement {
 /// * per-type referent queries (object footprint — evicted by ingest batches too,
 ///   conservatively: registration moves the object registry);
 /// * an ontology-footprint term query (evicted by ontology / annotation batches).
-fn read_mix(workload: &MixedWorkload, segments: usize) -> Vec<Query> {
-    let mut mix: Vec<Query> = workload
-        .read_phrases
+fn read_mix(
+    read_phrases: &[&'static str],
+    read_term: Option<ConceptId>,
+    segments: usize,
+) -> Vec<Query> {
+    let mut mix: Vec<Query> = read_phrases
         .iter()
         .map(|phrase| Query::new(Target::AnnotationContents).with_phrase(*phrase))
         .collect();
+    // The id-bearing filter (object 0 is always a base sequence): under sharding the
+    // scatter-gather executor prunes its referent scan to the owning shard.
+    mix.push(Query::new(Target::Referents).with_referent(ReferentFilter::OnObject(ObjectId(0))));
     for seg in 0..segments.min(6) {
         for window in 0..4u64 {
             mix.push(Query::new(Target::Referents).with_referent(
@@ -144,7 +166,7 @@ fn read_mix(workload: &MixedWorkload, segments: usize) -> Vec<Query> {
     for ty in [DataType::DnaSequence, DataType::RnaSequence, DataType::ProteinSequence] {
         mix.push(Query::new(Target::Referents).with_referent(ReferentFilter::OfType(ty)));
     }
-    if let Some(term) = workload.read_term {
+    if let Some(term) = read_term {
         mix.push(
             Query::new(Target::AnnotationContents).with_ontology(OntologyFilter::CitesTerm(term)),
         );
@@ -170,7 +192,7 @@ fn drive(
     min_window: Duration,
 ) -> Measurement {
     let mut workload = mixed::build(config);
-    let mix = read_mix(&workload, config.base.segments);
+    let mix = read_mix(&workload.read_phrases, workload.read_term, config.base.segments);
     let service = QueryService::new(
         workload.system.snapshot(),
         ServiceConfig::default()
@@ -271,7 +293,8 @@ fn drive(
     let mut reads_sorted = read_latencies;
     reads_sorted.sort_unstable();
     let measurement = Measurement {
-        mode: mode.label,
+        mode: mode.label.to_string(),
+        shards: 0,
         workers,
         clients,
         writes,
@@ -309,6 +332,156 @@ fn drive(
     measurement
 }
 
+/// Drive the **sharded** serving path: same shape as [`drive`], but the writer
+/// replays the stream through a [`ShardedSystem`]'s router (each logical batch
+/// splits into per-shard coalesced sub-batches and publishes one consistent
+/// [`ShardCut`](graphitti_core::ShardCut)) while the readers hammer the same mix
+/// against a [`ShardedQueryService`] (per-footprint cut-cache invalidation; queries
+/// execute on the reader's own thread — the scatter is the per-query parallelism,
+/// the clients are the serving parallelism, so there is no worker pool to size).
+/// The oracle replays the identical stream *after* the measured window (it is not
+/// part of the sharded system's cost) and the final answers are gated byte-for-byte
+/// against the single-threaded [`Executor`] on it.
+fn drive_sharded(
+    config: &MixedConfig,
+    shards: usize,
+    clients: usize,
+    min_window: Duration,
+) -> Measurement {
+    let mut workload = mixed::build_sharded(config, shards);
+    let mix = read_mix(&workload.read_phrases, workload.read_term, config.base.segments);
+    let service = ShardedQueryService::new(
+        workload.sharded.capture_cut(),
+        ShardedServiceConfig::default().with_cache_capacity(256),
+    );
+
+    let mut first_write_ns: Vec<u64> = Vec::with_capacity(workload.write_batches.len());
+    let mut writes = 0usize;
+    let mut pads = 0u64;
+    let stop = AtomicBool::new(false);
+    let (read_latencies, write_wall, window) = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..clients)
+            .map(|client| {
+                let service = &service;
+                let mix = &mix;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut i = client; // stagger the replay order per client
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        std::hint::black_box(service.run(&mix[i % mix.len()]));
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        i += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        // The writer: one logical batch per stream batch, one published cut after
+        // each — so every batch's first write is a post-cut first write on its route
+        // shard (and on every shard for a replicated registration).
+        let write_start = Instant::now();
+        for ops in &workload.write_batches {
+            let t0 = Instant::now();
+            let mut batch = workload.sharded.batch();
+            let mut op_iter = ops.iter();
+            if let Some(first) = op_iter.next() {
+                writes += usize::from(first.apply_sharded(&mut batch));
+                first_write_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            for op in op_iter {
+                writes += usize::from(op.apply_sharded(&mut batch));
+            }
+            batch.commit();
+            service.publish(workload.sharded.capture_cut());
+        }
+        let write_wall = write_start.elapsed();
+
+        // The same ingest-pad trickle as the unsharded drive: each pad is a
+        // replicated registration, which moves no shard's annotation-path epochs —
+        // the cut cache keeps serving every non-object-footprint entry across it.
+        while write_start.elapsed() < min_window {
+            let deadline = Instant::now() + Duration::from_micros(300);
+            while Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            let mut batch = workload.sharded.batch();
+            batch.register_sequence(format!("pad-{pads}"), DataType::DnaSequence, 1000, "chr-pad");
+            pads += 1;
+            batch.commit();
+            service.publish(workload.sharded.capture_cut());
+        }
+        let window = write_start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+
+        let mut read_latencies = Vec::new();
+        for handle in readers {
+            read_latencies.extend(handle.join().expect("reader thread panicked"));
+        }
+        (read_latencies, write_wall, window)
+    });
+
+    // Capture the cache picture before the correctness gate below pollutes it.
+    let metrics = service.metrics();
+
+    // Bring the oracle level with everything the sharded writer applied (stream,
+    // then pads — identical op order means identical global ids and node ids).
+    for ops in &workload.write_batches {
+        let mut batch = workload.oracle.batch();
+        for op in ops {
+            op.apply(&mut batch);
+        }
+        batch.commit();
+    }
+    let mut batch = workload.oracle.batch();
+    for pad in 0..pads {
+        batch.register_sequence(format!("pad-{pad}"), DataType::DnaSequence, 1000, "chr-pad");
+    }
+    batch.commit();
+
+    first_write_ns.sort_unstable();
+    let mut reads_sorted = read_latencies;
+    reads_sorted.sort_unstable();
+    let measurement = Measurement {
+        mode: format!("sharded{shards}"),
+        shards,
+        workers: 0, // no pool: callers execute, the scatter is the per-query fan-out
+        clients,
+        writes,
+        write_qps: writes as f64 / write_wall.as_secs_f64(),
+        first_write_p50_ns: percentile(&first_write_ns, 50.0),
+        first_write_p95_ns: percentile(&first_write_ns, 95.0),
+        first_write_p99_ns: percentile(&first_write_ns, 99.0),
+        read_qps: reads_sorted.len() as f64 / window.as_secs_f64(),
+        read_p50_ns: percentile(&reads_sorted, 50.0),
+        read_p95_ns: percentile(&reads_sorted, 95.0),
+        read_p99_ns: percentile(&reads_sorted, 99.0),
+        reads: reads_sorted.len(),
+        cache_hits: metrics.cache_hits,
+        cache_misses: metrics.cache_misses,
+        partial_invalidations: metrics.cache_partial_invalidations,
+        full_invalidations: metrics.cache_full_invalidations,
+        entries_evicted: metrics.cache_entries_evicted,
+    };
+
+    // Correctness gate: every mix query served over the final cut must be
+    // byte-identical to the single-threaded executor on the unsharded oracle.
+    let exec = Executor::new(&workload.oracle);
+    for q in &mix {
+        let expected = exec.run(q);
+        let served = service.run(q);
+        assert_eq!(
+            served.to_json(),
+            expected.to_json(),
+            "sharded service diverged from the unsharded oracle on {q:?} at {shards} shard(s)",
+        );
+    }
+
+    measurement
+}
+
 /// Deterministic cache-metric sanity gate (quick mode): a single-threaded service is
 /// populated from the read mix, then each batch kind is published in isolation and
 /// the metrics deltas are asserted — an ingest batch costs zero content-footprint
@@ -317,7 +490,7 @@ fn drive(
 /// annotation batch still clears everything.
 fn cache_sanity_gate(config: &MixedConfig) {
     let mut workload = mixed::build(config);
-    let mix = read_mix(&workload, config.base.segments);
+    let mix = read_mix(&workload.read_phrases, workload.read_term, config.base.segments);
     assert!(workload.read_term.is_some(), "sanity gate needs the ontology read query");
     let of_type_entries = mix
         .iter()
@@ -422,6 +595,7 @@ fn write_json(measurements: &[Measurement], cores: usize) {
                 ("p99_ns", jsonlite::Json::u64(p99)),
                 ("clients", jsonlite::Json::u64(m.clients as u64)),
                 ("workers", jsonlite::Json::u64(m.workers as u64)),
+                ("shards", jsonlite::Json::u64(m.shards as u64)),
                 ("cache", jsonlite::Json::u64(256)),
                 ("queries", jsonlite::Json::u64(count as u64)),
                 ("cores", jsonlite::Json::u64(cores as u64)),
@@ -453,6 +627,15 @@ fn write_json(measurements: &[Measurement], cores: usize) {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // The shard matrix: `--shards=1,4` overrides (as the CI quick gate passes).
+    let shard_counts: Vec<usize> = std::env::args()
+        .find_map(|a| a.strip_prefix("--shards=").map(str::to_string))
+        .map(|csv| {
+            csv.split(',')
+                .map(|s| s.trim().parse().expect("--shards takes a comma-separated list"))
+                .collect()
+        })
+        .unwrap_or_else(|| if quick { vec![1, 4] } else { vec![1, 2, 4] });
     let (config, workers, clients, min_window) = if quick {
         (
             MixedConfig {
@@ -494,9 +677,7 @@ fn main() {
         ],
     );
 
-    let mut measurements = Vec::new();
-    for mode in MODES {
-        let m = drive(&config, mode, workers, clients, min_window);
+    let row = |m: &Measurement| {
         table_row(&[
             m.mode.to_string(),
             format!("{:.0}", m.write_qps),
@@ -508,6 +689,16 @@ fn main() {
             format!("{}/{}", m.partial_invalidations, m.full_invalidations),
             format!("{}", m.entries_evicted),
         ]);
+    };
+    let mut measurements = Vec::new();
+    for mode in MODES {
+        let m = drive(&config, mode, workers, clients, min_window);
+        row(&m);
+        measurements.push(m);
+    }
+    for &shards in &shard_counts {
+        let m = drive_sharded(&config, shards, clients, min_window);
+        row(&m);
         measurements.push(m);
     }
 
@@ -529,6 +720,17 @@ fn main() {
         full.entries_evicted,
         foot.entries_evicted,
     );
+    for m in measurements.iter().filter(|m| m.shards > 0) {
+        println!(
+            "mixed_rw: shards={} read qps {:.0} ({:.2}x unsharded per_component), write qps \
+             {:.0}, hit rate {:.1}%, zero divergences vs the unsharded oracle",
+            m.shards,
+            m.read_qps,
+            m.read_qps / foot.read_qps,
+            m.write_qps,
+            m.hit_rate() * 100.0,
+        );
+    }
 
     write_json(&measurements, cores);
     println!("mixed_rw: wrote {} measurements", measurements.len() * 2);

@@ -3,9 +3,15 @@
 //! N client threads replay the paper's example query mixes (fig3 connection-graph
 //! query + Q1 TP53 on the neuroscience workload; Q2 protease on the influenza
 //! workload) against a [`QueryService`], sweeping the worker-pool size and the result
-//! cache.  Reports queries/second and end-to-end p50/p95/p99 latency per
-//! configuration, and asserts every served result is byte-identical to the
-//! single-threaded pipelined [`Executor`] before any timing starts.
+//! cache, plus a **shards axis**: the same mixes against a hash-partitioned
+//! [`ShardedSystem`] served scatter-gather by a [`ShardedQueryService`] at
+//! `shards ∈ {1, 2, 4}` (rows carry a `shards` field; `0` = the unsharded pool).
+//! Reports queries/second and end-to-end p50/p95/p99 latency per configuration, and
+//! asserts every served result is byte-identical to the single-threaded pipelined
+//! [`Executor`] before any timing starts (for the shard sweep: the executor on the
+//! equivalent unsharded system).  The `shards=1` row vs `workers=1` isolates the
+//! routing/merge overhead; shard *scaling* is flat on the single-core CI container,
+//! exactly like the worker sweep (see the ROADMAP's multi-core re-measurement item).
 //!
 //! This bench owns its measurement loop (wall-clock over a fixed query count, not
 //! ns/iter sampling), so it bypasses the criterion shim's `Bencher` and writes its
@@ -19,9 +25,10 @@
 use std::time::Instant;
 
 use bench::{influenza_system, neuro_workload, percentile, table_header, table_row};
-use graphitti_core::Graphitti;
+use graphitti_core::{Graphitti, ShardedSystem};
 use graphitti_query::{
-    Executor, GraphConstraint, OntologyFilter, Query, QueryService, ServiceConfig, Target,
+    Executor, GraphConstraint, OntologyFilter, Query, QueryService, ServiceConfig,
+    ShardedQueryService, ShardedServiceConfig, Target,
 };
 use spatial_index::Rect;
 
@@ -36,6 +43,8 @@ struct Scenario {
 struct Measurement {
     scenario: &'static str,
     workers: usize,
+    /// Shard count of the scatter-gather sweep (`0` = the unsharded worker pool).
+    shards: usize,
     cache: usize,
     clients: usize,
     queries: usize,
@@ -77,23 +86,30 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
     ]
 }
 
-/// Replay the mix from `clients` threads for `rounds` rounds each; returns collected
+/// Replay the mix from `clients` threads for `rounds` rounds each — `run` executes
+/// one query against whichever serving layer is under test — and return collected
 /// end-to-end latencies and the wall-clock qps.
-fn drive(service: &QueryService, mix: &[Query], clients: usize, rounds: usize) -> (f64, Vec<u64>) {
+fn drive(
+    run: impl Fn(&Query) + Sync,
+    mix: &[Query],
+    clients: usize,
+    rounds: usize,
+) -> (f64, Vec<u64>) {
     let start = Instant::now();
     let mut latencies: Vec<u64> = Vec::with_capacity(clients * rounds * mix.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
+                let run = &run;
                 scope.spawn(move || {
                     let mut lat = Vec::with_capacity(rounds * mix.len());
                     for _ in 0..rounds {
                         // stagger the replay order per client so the pool sees an
                         // interleaved mix, not lockstep waves of one query
                         for i in 0..mix.len() {
-                            let q = mix[(i + client) % mix.len()].clone();
+                            let q = &mix[(i + client) % mix.len()];
                             let t0 = Instant::now();
-                            std::hint::black_box(service.run(q));
+                            run(q);
                             lat.push(t0.elapsed().as_nanos() as u64);
                         }
                     }
@@ -134,12 +150,71 @@ fn measure(
         );
     }
 
-    let (qps, mut latencies) = drive(&service, &scenario.mix, clients, rounds);
+    let (qps, mut latencies) = drive(
+        |q| drop(std::hint::black_box(service.run(q.clone()))),
+        &scenario.mix,
+        clients,
+        rounds,
+    );
     latencies.sort_unstable();
     let mean_ns = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
     Measurement {
         scenario: scenario.name,
         workers,
+        shards: 0,
+        cache,
+        clients,
+        queries: latencies.len(),
+        qps,
+        mean_ns,
+        p50_ns: percentile(&latencies, 50.0),
+        p95_ns: percentile(&latencies, 95.0),
+        p99_ns: percentile(&latencies, 99.0),
+    }
+}
+
+/// Measure the **scatter-gather** serving path: the scenario's system is
+/// re-materialised as an N-shard [`ShardedSystem`] from its study snapshot, served
+/// by a [`ShardedQueryService`] — queries execute on the calling client's thread, so
+/// there is no worker pool to size — and gated byte-for-byte against the
+/// single-threaded [`Executor`] on the **equivalent unsharded replay** of the same
+/// snapshot before timing.  (The unsharded oracle must be a replay too: a-graph node
+/// ids are assigned in construction order, and replay order deliberately matches the
+/// sharded replay, not the scenario builder's interleaving.)
+fn measure_sharded(
+    scenario: &Scenario,
+    shards: usize,
+    cache: usize,
+    clients: usize,
+    rounds: usize,
+) -> Measurement {
+    let study = scenario.system.study_snapshot();
+    let oracle = Graphitti::from_study_snapshot(&study).expect("oracle replay");
+    let sharded = ShardedSystem::from_study_snapshot(&study, shards)
+        .expect("sharded replay of the scenario system");
+    let service = ShardedQueryService::new(
+        sharded.capture_cut(),
+        ShardedServiceConfig::default().with_cache_capacity(cache),
+    );
+
+    let exec = Executor::new(&oracle);
+    for q in &scenario.mix {
+        assert_eq!(
+            service.run(q).to_json(),
+            exec.run(q).to_json(),
+            "sharded service diverged from Executor on {} at {shards} shard(s)",
+            scenario.name
+        );
+    }
+
+    let (qps, mut latencies) =
+        drive(|q| drop(std::hint::black_box(service.run(q))), &scenario.mix, clients, rounds);
+    latencies.sort_unstable();
+    let mean_ns = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
+    Measurement {
+        scenario: scenario.name,
+        workers: 0,
+        shards,
         cache,
         clients,
         queries: latencies.len(),
@@ -160,12 +235,21 @@ fn write_json(measurements: &[Measurement], cores: usize) {
                     ("bench", jsonlite::Json::str("throughput")),
                     (
                         "name",
-                        jsonlite::Json::str(format!(
-                            "T1_throughput/{}/workers={}/cache={}",
-                            m.scenario,
-                            m.workers,
-                            if m.cache > 0 { "on" } else { "off" }
-                        )),
+                        jsonlite::Json::str(if m.shards > 0 {
+                            format!(
+                                "T1_throughput/{}/shards={}/cache={}",
+                                m.scenario,
+                                m.shards,
+                                if m.cache > 0 { "on" } else { "off" }
+                            )
+                        } else {
+                            format!(
+                                "T1_throughput/{}/workers={}/cache={}",
+                                m.scenario,
+                                m.workers,
+                                if m.cache > 0 { "on" } else { "off" }
+                            )
+                        }),
                     ),
                     ("ns_per_iter", jsonlite::Json::Num(m.mean_ns)),
                     ("qps", jsonlite::Json::Num(m.qps)),
@@ -174,6 +258,7 @@ fn write_json(measurements: &[Measurement], cores: usize) {
                     ("p99_ns", jsonlite::Json::u64(m.p99_ns)),
                     ("clients", jsonlite::Json::u64(m.clients as u64)),
                     ("workers", jsonlite::Json::u64(m.workers as u64)),
+                    ("shards", jsonlite::Json::u64(m.shards as u64)),
                     ("cache", jsonlite::Json::u64(m.cache as u64)),
                     ("queries", jsonlite::Json::u64(m.queries as u64)),
                     ("cores", jsonlite::Json::u64(cores as u64)),
@@ -200,9 +285,10 @@ fn main() {
 
     table_header(
         &format!("T1: concurrent serving throughput ({cores} core(s))"),
-        &["scenario", "workers", "cache", "clients", "qps", "p50", "p95", "p99"],
+        &["scenario", "pool", "cache", "clients", "qps", "p50", "p95", "p99"],
     );
 
+    let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
     let mut measurements = Vec::new();
     for scenario in scenarios(quick) {
         // worker sweep with the cache off: isolates pool scaling
@@ -213,11 +299,17 @@ fn main() {
         // served-traffic fast path
         let max_workers = *worker_counts.last().expect("non-empty worker sweep");
         measurements.push(measure(&scenario, max_workers, 256, clients, rounds));
+        // scatter-gather sweep with the cache off: isolates routing/merge overhead
+        // (shards=1 vs workers=1 above) and shard scaling — flat on one core, like
+        // the worker sweep (see ROADMAP)
+        for &shards in shard_counts {
+            measurements.push(measure_sharded(&scenario, shards, 0, clients, rounds));
+        }
 
         for m in measurements.iter().filter(|m| m.scenario == scenario.name) {
             table_row(&[
                 m.scenario.to_string(),
-                m.workers.to_string(),
+                if m.shards > 0 { format!("{}sh", m.shards) } else { m.workers.to_string() },
                 if m.cache > 0 { "on".into() } else { "off".into() },
                 m.clients.to_string(),
                 format!("{:.0}", m.qps),

@@ -15,7 +15,8 @@ use std::path::Path;
 /// The extra per-entry fields a throughput measurement carries beyond
 /// `{bench, name, ns_per_iter}`.  The cache-picture fields (`hit_rate` through
 /// `entries_evicted`) are written by `mixed_rw` on its read-side entries, so the
-/// partial-invalidation before/after is visible in `BENCH_throughput.json`.
+/// partial-invalidation before/after is visible in `BENCH_throughput.json`;
+/// `shards` is the scatter-gather axis (`0` = the unsharded worker-pool service).
 const THROUGHPUT_FIELDS: &[&str] = &[
     "qps",
     "p50_ns",
@@ -23,6 +24,7 @@ const THROUGHPUT_FIELDS: &[&str] = &[
     "p99_ns",
     "clients",
     "workers",
+    "shards",
     "cache",
     "queries",
     "cores",

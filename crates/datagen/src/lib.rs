@@ -28,7 +28,7 @@ pub mod unified;
 pub mod workload;
 
 pub use influenza::InfluenzaConfig;
-pub use mixed::{MixedConfig, MixedWorkload, WriteOp};
+pub use mixed::{MixedConfig, MixedWorkload, ShardedMixedWorkload, WriteOp};
 pub use neuro::NeuroConfig;
 pub use unified::{UnifiedConfig, UnifiedWorkload};
 pub use workload::{Workload, WorkloadStats};

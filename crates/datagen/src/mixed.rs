@@ -19,7 +19,9 @@
 //! invalidation keeps all entries across ingest batches and all non-ontology entries
 //! across ontology batches; only annotation batches clear it.
 
-use graphitti_core::{CommitBatch, DataType, Graphitti, Marker, ObjectId};
+use graphitti_core::{
+    CommitBatch, DataType, Graphitti, Marker, ObjectId, ShardedBatch, ShardedSystem,
+};
 use ontology::ConceptId;
 
 use crate::influenza::{self, InfluenzaConfig};
@@ -161,6 +163,34 @@ impl WriteOp {
         }
     }
 
+    /// Apply this op inside a **sharded** write batch (same semantics as
+    /// [`apply`](Self::apply): registrations broadcast to every shard, annotations
+    /// route to the target object's hash shard, term definitions broadcast to every
+    /// shard's replicated ontology).  The streamed object ids are global, so the
+    /// very same op stream drives a [`ShardedSystem`] and its unsharded oracle.
+    pub fn apply_sharded(&self, batch: &mut ShardedBatch<'_>) -> bool {
+        match self {
+            WriteOp::Register { name, data_type, length, domain } => {
+                batch.register_sequence(name.clone(), *data_type, *length, domain.clone());
+                true
+            }
+            WriteOp::Annotate { object, start, len, comment, creator } => batch
+                .annotate()
+                .comment(comment.clone())
+                .creator(*creator)
+                .mark(*object, Marker::interval(*start, *start + *len))
+                .commit()
+                .is_ok(),
+            WriteOp::DefineTerm { name } => {
+                let name = name.clone();
+                batch.ontology_edit(move |o| {
+                    o.add_concept(name.clone());
+                });
+                true
+            }
+        }
+    }
+
     /// Whether this op registers a new object.
     pub fn is_register(&self) -> bool {
         matches!(self, WriteOp::Register { .. })
@@ -207,6 +237,62 @@ impl MixedWorkload {
             batch.commit();
         }
         applied
+    }
+}
+
+/// The shard-aware mixed workload: the same base corpus and write stream as
+/// [`build`], materialised as an N-shard [`ShardedSystem`] **and** its unsharded
+/// oracle.  Both are replayed from one study snapshot of the base (identical global
+/// ids and a-graph node ids by construction), so a bench or test can drive the
+/// sharded system with the stream while gating every served answer byte-for-byte
+/// against the oracle.
+pub struct ShardedMixedWorkload {
+    /// The N-shard system the writer mutates and the sharded service serves.
+    pub sharded: ShardedSystem,
+    /// The equivalent unsharded system (apply the same batches to keep it in step).
+    pub oracle: Graphitti,
+    /// The write stream, pre-grouped into batches (identical to the unsharded
+    /// workload's for the same config).
+    pub write_batches: Vec<Vec<WriteOp>>,
+    /// Phrases guaranteed to appear in both base and streamed annotations.
+    pub read_phrases: Vec<&'static str>,
+    /// A concept cited by base-system annotations (ontology-footprint read query).
+    pub read_term: Option<ConceptId>,
+}
+
+impl ShardedMixedWorkload {
+    /// Apply every batch to both the sharded system and the oracle (one logical
+    /// batch each per stream batch), returning the applied-op count.
+    pub fn apply_all(&mut self) -> usize {
+        let mut applied = 0;
+        for ops in &self.write_batches {
+            let mut sb = self.sharded.batch();
+            for op in ops {
+                applied += usize::from(op.apply_sharded(&mut sb));
+            }
+            sb.commit();
+            let mut ob = self.oracle.batch();
+            for op in ops {
+                op.apply(&mut ob);
+            }
+            ob.commit();
+        }
+        applied
+    }
+}
+
+/// Build the shard-aware mixed workload (see [`ShardedMixedWorkload`]).
+pub fn build_sharded(config: &MixedConfig, shards: usize) -> ShardedMixedWorkload {
+    let base = build(config);
+    let study = base.system.study_snapshot();
+    let oracle = Graphitti::from_study_snapshot(&study).expect("oracle replay");
+    let sharded = ShardedSystem::from_study_snapshot(&study, shards).expect("sharded replay");
+    ShardedMixedWorkload {
+        sharded,
+        oracle,
+        write_batches: base.write_batches,
+        read_phrases: base.read_phrases,
+        read_term: base.read_term,
     }
 }
 
@@ -354,6 +440,23 @@ mod tests {
         assert_eq!(w.system.annotation_count(), before_annotations + applied - registers - defines);
         assert_eq!(w.system.epoch(), before_epoch + cfg.batches as u64);
         assert!(w.system.verify_integrity().is_empty());
+    }
+
+    #[test]
+    fn sharded_workload_stays_in_lockstep_with_its_oracle() {
+        for shards in [1, 3] {
+            let mut w = build_sharded(&MixedConfig::small(), shards);
+            assert_eq!(w.sharded.annotation_count(), w.oracle.annotation_count());
+            let applied = w.apply_all();
+            assert_eq!(applied, w.write_batches.iter().map(Vec::len).sum::<usize>());
+            assert_eq!(w.sharded.object_count(), w.oracle.object_count());
+            assert_eq!(w.sharded.annotation_count(), w.oracle.annotation_count());
+            assert_eq!(w.sharded.referent_count(), w.oracle.referent_count());
+            assert_eq!(w.sharded.ontology().concept_count(), w.oracle.ontology().concept_count());
+            assert_eq!(w.sharded.agraph().node_count(), w.oracle.agraph().node_count());
+            assert_eq!(w.sharded.agraph().edge_count(), w.oracle.agraph().edge_count());
+            assert!(w.sharded.verify_integrity().is_empty(), "{:?}", w.sharded.verify_integrity());
+        }
     }
 
     #[test]

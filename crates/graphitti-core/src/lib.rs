@@ -29,6 +29,10 @@
 //! * [`epoch`] — per-component versioning: [`ComponentSet`] dirty sets / read
 //!   footprints and the [`EpochVector`] every snapshot carries, so downstream caches
 //!   can invalidate per dirtied component instead of wholesale;
+//! * [`shard`] — [`ShardedSystem`], hash-partitioned scale-out: N independent shards
+//!   (annotations / referents / content partitioned by anchor-object hash, object
+//!   metadata and the ontology replicated), a global-id router, the global collation
+//!   mirror, and [`ShardCut`], the consistent cross-shard read handle;
 //! * [`study`] — [`StudySnapshot`], the serialisable export / import format for saving
 //!   and reloading a study.
 //!
@@ -41,6 +45,7 @@ pub mod error;
 pub mod indexes;
 pub mod marker;
 pub mod referent;
+pub mod shard;
 pub mod snapshot;
 pub mod study;
 pub mod system;
@@ -53,6 +58,7 @@ pub use error::CoreError;
 pub use indexes::{Indexes, Stats};
 pub use marker::{Marker, SubX};
 pub use referent::{Referent, ReferentId};
+pub use shard::{ShardCut, ShardedBatch, ShardedSystem};
 pub use snapshot::Snapshot;
 pub use study::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, StudySnapshot};
 pub use system::{Component, Entity, Graphitti, ObjectId, ObjectInfo, SystemView};

@@ -1,0 +1,1281 @@
+//! [`ShardedSystem`] — hash-partitioned scale-out over N independent [`Graphitti`]
+//! shards, plus the [`ShardCut`] consistent-read handle the scatter-gather query path
+//! executes against.
+//!
+//! The ROADMAP's first scale-out lever is **sharding**: partition the corpus so that
+//! the write path, the copy-on-publish cost and the index structures are split across
+//! independent systems, while the read path fans a query out to every shard and merges
+//! the partial results.  The partitioning rule:
+//!
+//! * **Annotations, referents and annotation content are partitioned** by the hash of
+//!   their *anchor object* (the first object an annotation marks, or the owning object
+//!   of the first reused referent).  An annotation and all of its referents are always
+//!   co-located on one shard, so every shard-local a-graph neighbourhood
+//!   (content ↔ referent ↔ object) is complete.
+//! * **Object metadata and the ontology are replicated** to every shard (classic
+//!   catalog replication): any shard can validate markers against any object and
+//!   expand ontology classes locally, and global object / concept ids are identical
+//!   on every shard by construction — no translation on the hot path.
+//! * **Annotation / referent ids are global**: the router assigns each committed
+//!   annotation and each created referent the id the *equivalent unsharded system*
+//!   would have assigned (registration order), and keeps dense two-way translation
+//!   maps (global → (shard, local), local → global per shard).  Per-shard local id
+//!   order equals global order (both are creation order), so a translated per-shard
+//!   candidate set is already sorted — the scatter-gather merge is a k-way merge of
+//!   disjoint sorted runs.
+//!
+//! Besides the shards, the router maintains the **global collation mirror**: a real
+//! a-graph ([`MultiGraph`]) plus node ↔ entity maps over *global* ids, updated in
+//! lock-step with every routed write, in exactly the node/edge creation order of
+//! `system.rs` (per new referent: referent node then `part-of` edge; then the content
+//! node; then one `annotates` edge per linked referent; then per cited term: the term
+//! node on global first citation, then a `cites-term` edge).  Collation (page
+//! building, graph constraints) runs once, over this mirror — which is why a sharded
+//! query result is **byte-identical** to the same query on the equivalent unsharded
+//! system, result-page node ids included.  The randomized cross-shard equivalence
+//! battery (`graphitti-query/tests/sharded_equivalence.rs`) pins that contract
+//! against the unsharded `ReferenceExecutor` oracle; any drift between the mirror
+//! rules and `system.rs` fails it immediately.
+//!
+//! Writes are batched with [`ShardedBatch`] (from [`ShardedSystem::batch`]): one
+//! *logical* batch opens a coalesced-epoch batch on **every** shard (each shard takes
+//! its single bump lazily, only if the batch actually routes a write to it), so a
+//! heterogeneous logical batch publishes at most one new version per shard.  The
+//! batch exclusively borrows the system, so a [`ShardCut`] can never observe a
+//! mid-batch state.
+//!
+//! Known limits (documented, enforced with clear errors, and listed in the ROADMAP):
+//! an annotation whose *reused* referents live on two different shards is rejected
+//! (`CoreError::Graph`), and the global mirror is one copy-on-publish value — a
+//! post-cut batch deep-copies it wholesale, the same cost class as the heavyweight
+//! components an annotation batch already copies per shard.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use agraph::{EdgeLabel, MultiGraph, NodeId, NodeKind};
+use bytes::Bytes;
+use ontology::{ConceptId, Ontology};
+use relstore::Value;
+
+use crate::annotation::{AnnotationId, AnnotationSpec, PendingReferent};
+use crate::epoch::EpochVector;
+use crate::error::CoreError;
+use crate::marker::Marker;
+use crate::referent::{Referent, ReferentId};
+use crate::snapshot::Snapshot;
+use crate::study::StudySnapshot;
+use crate::system::{Entity, Graphitti, ObjectId};
+use crate::types::DataType;
+use crate::Result;
+
+/// Where a partitioned entity lives: its shard index and its shard-local id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Home {
+    /// The shard the entity is stored on.
+    pub shard: usize,
+    /// The entity's dense id *within* that shard.
+    pub local: u64,
+}
+
+/// Global ↔ local id translation for the partitioned entity kinds.
+///
+/// Objects need no maps (replicated: global id == local id everywhere).  The maps are
+/// dense on both sides, and both sides are in creation order, so translation preserves
+/// sort order.
+#[derive(Debug, Clone, Default)]
+struct IdMaps {
+    /// Global annotation id → home.
+    annotations: Vec<Home>,
+    /// Global referent id → home.
+    referents: Vec<Home>,
+    /// Per shard: local annotation id → global id.
+    ann_l2g: Vec<Vec<u64>>,
+    /// Per shard: local referent id → global id.
+    ref_l2g: Vec<Vec<u64>>,
+    /// Number of registered (replicated) objects.
+    objects: u64,
+    /// Per global object id: bitmask of the shards holding at least one of its
+    /// referents (shard counts are capped at 64).  The scatter-gather executor prunes
+    /// an id-pinned referent filter to exactly these shards.
+    object_ref_shards: Vec<u64>,
+}
+
+/// The global node ↔ entity maps of the collation mirror (global ids throughout).
+#[derive(Debug, Clone, Default)]
+struct GlobalNodes {
+    node_entity: HashMap<NodeId, Entity>,
+    object_node: Vec<NodeId>,
+    referent_node: Vec<NodeId>,
+    annotation_node: Vec<NodeId>,
+    term_node: HashMap<ConceptId, NodeId>,
+}
+
+/// A hash-partitioned Graphitti deployment: N independent shards (each a full
+/// [`Graphitti`] with its own epoch vector and copy-on-write commit path), the id
+/// router, and the global collation mirror.  See the [module docs](self) for the
+/// partitioning rule and the byte-identity contract.
+#[derive(Debug)]
+pub struct ShardedSystem {
+    shards: Vec<Graphitti>,
+    /// The collation mirror's a-graph (global node / edge ids, mirroring the
+    /// equivalent unsharded system exactly).
+    graph: Arc<MultiGraph>,
+    /// The mirror's node ↔ entity maps.
+    nodes: Arc<GlobalNodes>,
+    /// Global ↔ local id translation.
+    ids: Arc<IdMaps>,
+    /// Logical version: bumped once per [`ShardedBatch`] (lazily, on its first write
+    /// attempt) or once per unbatched write attempt.  Names published cuts; per-shard
+    /// epoch vectors carry the correctness story.
+    version: u64,
+    batching: bool,
+    batch_bumped: bool,
+}
+
+impl ShardedSystem {
+    /// Create an empty sharded system with `shards` partitions (1..=64).
+    pub fn new(shards: usize) -> ShardedSystem {
+        assert!((1..=64).contains(&shards), "shard count must be in 1..=64, got {shards}");
+        ShardedSystem {
+            shards: (0..shards).map(|_| Graphitti::new()).collect(),
+            graph: Arc::default(),
+            nodes: Arc::default(),
+            ids: Arc::new(IdMaps {
+                ann_l2g: vec![Vec::new(); shards],
+                ref_l2g: vec![Vec::new(); shards],
+                ..IdMaps::default()
+            }),
+            version: 0,
+            batching: false,
+            batch_bumped: false,
+        }
+    }
+
+    /// Rebuild a sharded system from a serialisable [`StudySnapshot`], replaying in
+    /// exactly the order [`Graphitti::from_study_snapshot`] uses (ontology, then all
+    /// registrations, then annotations with lazy referent materialisation) — so the
+    /// global ids *and mirror node ids* equal those of an unsharded replay of the same
+    /// snapshot.  The whole replay is one [`ShardedBatch`]: each touched shard takes
+    /// exactly one epoch bump.
+    pub fn from_study_snapshot(snapshot: &StudySnapshot, shards: usize) -> Result<ShardedSystem> {
+        let mut sys = ShardedSystem::new(shards);
+        let mut batch = sys.batch();
+        let onto = snapshot.ontology.clone();
+        batch.ontology_edit(move |o| *o = onto.clone());
+
+        let mut object_map: Vec<ObjectId> = Vec::with_capacity(snapshot.objects.len());
+        for obj in &snapshot.objects {
+            let id = batch.register_object(
+                obj.data_type,
+                obj.name.clone(),
+                obj.metadata.clone(),
+                Bytes::from(obj.payload.clone()),
+                obj.domain.clone(),
+            )?;
+            object_map.push(id);
+        }
+
+        let mut referent_map: Vec<Option<ReferentId>> = vec![None; snapshot.referents.len()];
+        for ann in &snapshot.annotations {
+            let mut builder = batch.annotate().with_content(ann.content.clone());
+            for &ref_idx in &ann.referents {
+                match referent_map[ref_idx] {
+                    Some(rid) => builder = builder.mark_existing(rid),
+                    None => {
+                        let snap = &snapshot.referents[ref_idx];
+                        builder = builder.mark(object_map[snap.object], snap.marker.clone());
+                    }
+                }
+            }
+            for &term in &ann.terms {
+                builder = builder.cite_term(term);
+            }
+            let aid = builder.commit()?;
+
+            // The committed referent list is in mark order, matching `ann.referents`.
+            let committed = batch.annotation_referents(aid).unwrap_or_default();
+            for (pos, &ref_idx) in ann.referents.iter().enumerate() {
+                if referent_map[ref_idx].is_none() {
+                    if let Some(&new_rid) = committed.get(pos) {
+                        referent_map[ref_idx] = Some(new_rid);
+                    }
+                }
+            }
+        }
+        batch.commit();
+        Ok(sys)
+    }
+
+    // --- topology ---
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard (its full [`SystemView`] API, via deref).
+    pub fn shard(&self, index: usize) -> &Graphitti {
+        &self.shards[index]
+    }
+
+    /// The shard a (hypothetical or registered) object's annotations are routed to:
+    /// a deterministic hash of the global object id.
+    pub fn shard_of_object(&self, object: ObjectId) -> usize {
+        shard_of(object, self.shards.len())
+    }
+
+    /// The current logical version (bumped once per batch / unbatched write attempt).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    // --- global counts and lookups ---
+
+    /// Number of registered (replicated) objects.
+    pub fn object_count(&self) -> usize {
+        self.ids.objects as usize
+    }
+
+    /// Number of committed annotations across all shards.
+    pub fn annotation_count(&self) -> usize {
+        self.ids.annotations.len()
+    }
+
+    /// Number of referents across all shards.
+    pub fn referent_count(&self) -> usize {
+        self.ids.referents.len()
+    }
+
+    /// The home (shard + local id) of a global annotation id.
+    pub fn annotation_home(&self, id: AnnotationId) -> Option<Home> {
+        self.ids.annotations.get(id.0 as usize).copied()
+    }
+
+    /// The home (shard + local id) of a global referent id.
+    pub fn referent_home(&self, id: ReferentId) -> Option<Home> {
+        self.ids.referents.get(id.0 as usize).copied()
+    }
+
+    /// The global referent ids an annotation links, in link order.
+    pub fn annotation_referents(&self, id: AnnotationId) -> Option<Vec<ReferentId>> {
+        let home = self.annotation_home(id)?;
+        let ann = self.shards[home.shard].annotation(AnnotationId(home.local))?;
+        let l2g = &self.ids.ref_l2g[home.shard];
+        Some(ann.referents.iter().map(|r| ReferentId(l2g[r.0 as usize])).collect())
+    }
+
+    /// The (replicated) ontology — identical on every shard; shard 0's copy.
+    pub fn ontology(&self) -> &Ontology {
+        self.shards[0].ontology()
+    }
+
+    /// The global collation mirror's a-graph.
+    pub fn agraph(&self) -> &MultiGraph {
+        &self.graph
+    }
+
+    // --- reads used by tests: cross-shard integrity ---
+
+    /// Check internal consistency: every shard's own integrity, the id maps'
+    /// bijectivity, the replicated stores' agreement, and the mirror's node maps.
+    pub fn verify_integrity(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for p in shard.verify_integrity() {
+                problems.push(format!("shard {i}: {p}"));
+            }
+            if shard.object_count() != self.object_count() {
+                problems.push(format!(
+                    "shard {i}: replicated object count {} != {}",
+                    shard.object_count(),
+                    self.object_count()
+                ));
+            }
+            if shard.ontology() != self.shards[0].ontology() {
+                problems.push(format!("shard {i}: replicated ontology diverged"));
+            }
+            if shard.annotation_count() != self.ids.ann_l2g[i].len() {
+                problems.push(format!("shard {i}: annotation l2g map out of sync"));
+            }
+            if shard.referent_count() != self.ids.ref_l2g[i].len() {
+                problems.push(format!("shard {i}: referent l2g map out of sync"));
+            }
+        }
+        for (g, home) in self.ids.annotations.iter().enumerate() {
+            if self.ids.ann_l2g[home.shard].get(home.local as usize) != Some(&(g as u64)) {
+                problems.push(format!("annotation {g}: g2l/l2g mismatch at {home:?}"));
+            }
+        }
+        for (g, home) in self.ids.referents.iter().enumerate() {
+            if self.ids.ref_l2g[home.shard].get(home.local as usize) != Some(&(g as u64)) {
+                problems.push(format!("referent {g}: g2l/l2g mismatch at {home:?}"));
+            }
+        }
+        if self.nodes.object_node.len() != self.object_count() {
+            problems.push("mirror object-node map out of sync".into());
+        }
+        if self.nodes.referent_node.len() != self.referent_count() {
+            problems.push("mirror referent-node map out of sync".into());
+        }
+        problems
+    }
+
+    // --- the consistent cut ---
+
+    /// Capture a [`ShardCut`]: one snapshot per shard plus the mirror, all taken
+    /// atomically (the exclusive borrow means no write can interleave), each an O(1)
+    /// `Arc` clone.  Hand the cut to the sharded query service's `publish`, which
+    /// installs it under its snapshot write lock — readers then observe either the
+    /// whole previous cut or the whole new one, never a torn mix.
+    pub fn capture_cut(&self) -> ShardCut {
+        ShardCut {
+            shards: Arc::from(
+                self.shards.iter().map(Graphitti::snapshot).collect::<Vec<Snapshot>>(),
+            ),
+            graph: Arc::clone(&self.graph),
+            nodes: Arc::clone(&self.nodes),
+            ids: Arc::clone(&self.ids),
+            version: self.version,
+        }
+    }
+
+    // --- writes ---
+
+    /// Bump the logical version for a write attempt (once per batch when batching).
+    fn touch_version(&mut self) {
+        if !self.batching {
+            self.version += 1;
+        } else if !self.batch_bumped {
+            self.version += 1;
+            self.batch_bumped = true;
+        }
+    }
+
+    /// Register a data object on **every** shard (object metadata is replicated), and
+    /// mirror its a-graph node.  The returned id is global *and* local everywhere.
+    pub fn register_object(
+        &mut self,
+        data_type: DataType,
+        name: impl Into<String>,
+        metadata: Vec<Value>,
+        payload: Bytes,
+        domain: impl Into<String>,
+    ) -> Result<ObjectId> {
+        self.touch_version();
+        let name = name.into();
+        let domain = domain.into();
+        let mut result: Option<Result<ObjectId>> = None;
+        for shard in &mut self.shards {
+            let r = shard.register_object(
+                data_type,
+                name.clone(),
+                metadata.clone(),
+                payload.clone(),
+                domain.clone(),
+            );
+            if let Some(prev) = &result {
+                debug_assert_eq!(prev, &r, "replicated registration diverged across shards");
+            }
+            result = Some(r);
+        }
+        let id = result.expect("at least one shard")?;
+        debug_assert_eq!(id.0, self.ids.objects, "replicated object ids must stay global");
+        let node =
+            Arc::make_mut(&mut self.graph).add_node(NodeKind::Object, format!("obj:{}", id.0));
+        let nodes = Arc::make_mut(&mut self.nodes);
+        nodes.node_entity.insert(node, Entity::Object(id));
+        nodes.object_node.push(node);
+        let ids = Arc::make_mut(&mut self.ids);
+        ids.objects += 1;
+        ids.object_ref_shards.push(0);
+        Ok(id)
+    }
+
+    /// Register a 1-D sequence object (see [`Graphitti::register_sequence`]).
+    pub fn register_sequence(
+        &mut self,
+        name: impl Into<String>,
+        data_type: DataType,
+        length: u64,
+        domain: impl Into<String>,
+    ) -> ObjectId {
+        assert!(data_type.is_linear(), "register_sequence needs a linear type");
+        let domain = domain.into();
+        let metadata = sequence_metadata(data_type, length, &domain);
+        self.register_object(data_type, name, metadata, Bytes::new(), domain)
+            .expect("sequence registration")
+    }
+
+    /// Register a 2-D image object (see [`Graphitti::register_image`]).
+    pub fn register_image(
+        &mut self,
+        name: impl Into<String>,
+        width: u64,
+        height: u64,
+        modality: impl Into<String>,
+        coordinate_system: impl Into<String>,
+    ) -> ObjectId {
+        let cs = coordinate_system.into();
+        self.register_object(
+            DataType::Image,
+            name,
+            vec![
+                Value::Int(width as i64),
+                Value::Int(height as i64),
+                Value::text(modality.into()),
+                Value::text(cs.clone()),
+            ],
+            Bytes::new(),
+            cs,
+        )
+        .expect("image registration")
+    }
+
+    /// Apply an edit to the (replicated) ontology on **every** shard.  The closure
+    /// must be deterministic — it runs once per shard and the replicas must stay
+    /// identical (freshly assigned [`ConceptId`]s then agree globally, because every
+    /// shard applies the same edit sequence).
+    pub fn ontology_edit(&mut self, edit: impl Fn(&mut Ontology)) {
+        self.touch_version();
+        for shard in &mut self.shards {
+            edit(shard.ontology_mut());
+        }
+    }
+
+    /// Begin building an annotation (global ids in, global ids out).
+    pub fn annotate(&mut self) -> ShardedAnnotationBuilder<'_> {
+        ShardedAnnotationBuilder { system: self, spec: AnnotationSpec::default() }
+    }
+
+    /// Begin a logical write batch: one coalesced epoch bump per *touched* shard, one
+    /// logical version bump, and (via the exclusive borrow) no cut capture until the
+    /// batch ends.
+    pub fn batch(&mut self) -> ShardedBatch<'_> {
+        for shard in &mut self.shards {
+            shard.begin_batch();
+        }
+        self.batching = true;
+        self.batch_bumped = false;
+        ShardedBatch { system: self, staged: 0 }
+    }
+
+    fn end_batch(&mut self) {
+        for shard in &mut self.shards {
+            shard.end_batch();
+        }
+        self.batching = false;
+        self.batch_bumped = false;
+    }
+
+    /// Route and commit one annotation spec carrying **global** ids.
+    ///
+    /// Routing: the home shard of the first *reused* referent when there is one, else
+    /// the hash shard of the first newly marked object, else (a terms-only
+    /// annotation) `next_global_annotation_id % shards`.  Every reused referent must
+    /// be co-located on the route shard — a cross-shard reuse is rejected with
+    /// [`CoreError::Graph`] before anything is written (the documented sharding
+    /// limit).  An *unknown* reused referent id is forwarded to the shard as an
+    /// unknown local id, so the failure point (and any partial effects of earlier
+    /// marks) matches the unsharded system exactly.
+    fn commit_annotation_global(&mut self, spec: AnnotationSpec) -> Result<AnnotationId> {
+        self.touch_version();
+        let shard_idx = self.route_annotation(&spec)?;
+
+        // Translate the spec to the route shard's local ids.  Objects are replicated
+        // (global == local); only reused referent ids need translation.
+        let local_spec = AnnotationSpec {
+            content: spec.content,
+            terms: spec.terms,
+            referents: spec
+                .referents
+                .into_iter()
+                .map(|p| match p {
+                    new @ PendingReferent::New { .. } => new,
+                    PendingReferent::Existing(grid) => {
+                        let local = self
+                            .ids
+                            .referents
+                            .get(grid.0 as usize)
+                            .map(|h| h.local)
+                            // Unknown global id: forward an id unknown to the shard
+                            // too, preserving the unsharded failure behaviour.
+                            .unwrap_or(u64::MAX);
+                        PendingReferent::Existing(ReferentId(local))
+                    }
+                })
+                .collect(),
+        };
+
+        let refs_before = self.shards[shard_idx].referent_count() as u64;
+        let result = self.shards[shard_idx].commit_annotation(local_spec);
+        self.mirror_new_referents(shard_idx, refs_before);
+
+        let local_aid = result?;
+        let ids = Arc::make_mut(&mut self.ids);
+        let gaid = ids.annotations.len() as u64;
+        debug_assert_eq!(local_aid.0, ids.ann_l2g[shard_idx].len() as u64);
+        ids.annotations.push(Home { shard: shard_idx, local: local_aid.0 });
+        ids.ann_l2g[shard_idx].push(gaid);
+
+        // Mirror: content node, annotates edges (link order), then term nodes (lazily,
+        // on global first citation) and cites-term edges — the `system.rs` order.
+        let ann = self.shards[shard_idx]
+            .annotation(local_aid)
+            .expect("committed annotation present on its shard");
+        let linked: Vec<u64> =
+            ann.referents.iter().map(|r| self.ids.ref_l2g[shard_idx][r.0 as usize]).collect();
+        let terms = ann.terms.clone();
+        let graph = Arc::make_mut(&mut self.graph);
+        let nodes = Arc::make_mut(&mut self.nodes);
+        let cnode = graph.add_node(NodeKind::Content, format!("ann:{gaid}"));
+        nodes.node_entity.insert(cnode, Entity::Annotation(AnnotationId(gaid)));
+        debug_assert_eq!(nodes.annotation_node.len() as u64, gaid);
+        nodes.annotation_node.push(cnode);
+        for grid in linked {
+            let rnode = nodes.referent_node[grid as usize];
+            graph
+                .add_edge(cnode, rnode, EdgeLabel::annotates())
+                .map_err(|e| CoreError::Graph(e.to_string()))?;
+        }
+        for term in terms {
+            let tnode = match nodes.term_node.get(&term) {
+                Some(&n) => n,
+                None => {
+                    let n = graph.add_node(NodeKind::OntologyTerm, format!("onto:{}", term.0));
+                    nodes.node_entity.insert(n, Entity::Term(term));
+                    nodes.term_node.insert(term, n);
+                    n
+                }
+            };
+            graph
+                .add_edge(cnode, tnode, EdgeLabel::cites_term())
+                .map_err(|e| CoreError::Graph(e.to_string()))?;
+        }
+        Ok(AnnotationId(gaid))
+    }
+
+    /// Decide an annotation spec's route shard and enforce reuse co-location.
+    fn route_annotation(&self, spec: &AnnotationSpec) -> Result<usize> {
+        let mut route: Option<usize> = None;
+        for pending in &spec.referents {
+            if let PendingReferent::Existing(grid) = pending {
+                if let Some(home) = self.ids.referents.get(grid.0 as usize) {
+                    match route {
+                        None => route = Some(home.shard),
+                        Some(r) if r != home.shard => {
+                            return Err(CoreError::Graph(format!(
+                                "cross-shard annotation: reused referents live on shards {r} \
+                                 and {} (co-locate reused referents or annotate them separately)",
+                                home.shard
+                            )));
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        if let Some(r) = route {
+            return Ok(r);
+        }
+        for pending in &spec.referents {
+            if let PendingReferent::New { object, .. } = pending {
+                return Ok(self.shard_of_object(*object));
+            }
+            // An unknown reused referent with no route: fall through to the default
+            // shard, whose local lookup will fail exactly like the unsharded system.
+        }
+        Ok(self.ids.annotations.len() % self.shards.len())
+    }
+
+    /// Record (ledger + mirror) every referent the route shard created since
+    /// `refs_before` — including the partial effects of a failed commit, which the
+    /// unsharded system keeps too.  Per referent, in creation order: the global id,
+    /// the mirror node, then its `part-of` edge — matching `add_referent`.
+    fn mirror_new_referents(&mut self, shard_idx: usize, refs_before: u64) {
+        let refs_after = self.shards[shard_idx].referent_count() as u64;
+        for local in refs_before..refs_after {
+            let (object, marker, ref_domain) = {
+                let r = self.shards[shard_idx]
+                    .referent(ReferentId(local))
+                    .expect("created referent present");
+                (r.object, r.marker.clone(), r.domain.clone())
+            };
+            let ids = Arc::make_mut(&mut self.ids);
+            let grid = ids.referents.len() as u64;
+            ids.referents.push(Home { shard: shard_idx, local });
+            ids.ref_l2g[shard_idx].push(grid);
+            ids.object_ref_shards[object.0 as usize] |= 1 << shard_idx;
+            let graph = Arc::make_mut(&mut self.graph);
+            let nodes = Arc::make_mut(&mut self.nodes);
+            let key = Referent::new(ReferentId(grid), object, marker, ref_domain).node_key();
+            let rnode = graph.add_node(NodeKind::Referent, key);
+            nodes.node_entity.insert(rnode, Entity::Referent(ReferentId(grid)));
+            nodes.referent_node.push(rnode);
+            let onode = nodes.object_node[object.0 as usize];
+            graph
+                .add_edge(rnode, onode, EdgeLabel::part_of())
+                .expect("mirror part-of edge between live nodes");
+        }
+    }
+}
+
+/// Derive the metadata row [`Graphitti::register_sequence`] builds, so the sharded
+/// convenience wrapper registers byte-identical rows on every shard.
+fn sequence_metadata(data_type: DataType, length: u64, domain: &str) -> Vec<Value> {
+    match data_type {
+        DataType::DnaSequence | DataType::RnaSequence => vec![
+            Value::Int(length as i64),
+            Value::text("unknown"),
+            Value::Float(0.5),
+            Value::text(domain),
+        ],
+        DataType::ProteinSequence => vec![
+            Value::Int(length as i64),
+            Value::text("unknown"),
+            Value::text("unknown"),
+            Value::text(domain),
+        ],
+        DataType::MultipleAlignment => {
+            vec![Value::Int(length as i64), Value::Int(1), Value::text(domain)]
+        }
+        _ => unreachable!("register_sequence only takes linear types"),
+    }
+}
+
+/// The deterministic object → shard hash (splitmix64 finalizer over the global id).
+/// A pure function of `(object, shards)`, so routing never depends on arrival order.
+pub fn shard_of(object: ObjectId, shards: usize) -> usize {
+    let mut z = object.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// A fluent builder for one sharded annotation, mirroring
+/// [`AnnotationBuilder`](crate::AnnotationBuilder) but speaking **global** ids.
+pub struct ShardedAnnotationBuilder<'a> {
+    system: &'a mut ShardedSystem,
+    spec: AnnotationSpec,
+}
+
+impl ShardedAnnotationBuilder<'_> {
+    /// Set the annotation title (`dc:title`).
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.spec.content = std::mem::take(&mut self.spec.content).title(title);
+        self
+    }
+
+    /// Set the annotation comment body (`dc:description`).
+    pub fn comment(mut self, comment: impl Into<String>) -> Self {
+        self.spec.content = std::mem::take(&mut self.spec.content).description(comment);
+        self
+    }
+
+    /// Set the annotation creator (`dc:creator`).
+    pub fn creator(mut self, creator: impl Into<String>) -> Self {
+        self.spec.content = std::mem::take(&mut self.spec.content).creator(creator);
+        self
+    }
+
+    /// Add a `dc:subject` keyword.
+    pub fn subject(mut self, subject: impl Into<String>) -> Self {
+        self.spec.content = std::mem::take(&mut self.spec.content).subject(subject);
+        self
+    }
+
+    /// Replace the content document wholesale (used by study replay).
+    pub fn with_content(mut self, content: xmlstore::DublinCore) -> Self {
+        self.spec.content = content;
+        self
+    }
+
+    /// Mark a substructure of a (global) object as a referent.
+    pub fn mark(mut self, object: ObjectId, marker: Marker) -> Self {
+        self.spec.referents.push(PendingReferent::New { object, marker });
+        self
+    }
+
+    /// Attach to an existing referent by its **global** id.  All reused referents of
+    /// one annotation must be co-located on one shard.
+    pub fn mark_existing(mut self, referent: ReferentId) -> Self {
+        self.spec.referents.push(PendingReferent::Existing(referent));
+        self
+    }
+
+    /// Add an ontology-term reference.
+    pub fn cite_term(mut self, concept: ConceptId) -> Self {
+        self.spec.terms.push(concept);
+        self
+    }
+
+    /// Route and commit the annotation, returning its **global** id.
+    pub fn commit(self) -> Result<AnnotationId> {
+        let ShardedAnnotationBuilder { system, spec } = self;
+        system.commit_annotation_global(spec)
+    }
+}
+
+/// A logical write batch over a [`ShardedSystem`]: splits into per-shard coalesced
+/// sub-batches (each touched shard takes exactly one epoch bump), under one logical
+/// version bump.  Ending the batch (commit or drop) returns every shard to
+/// per-mutation versioning; the exclusive borrow makes mid-batch cut capture
+/// impossible.
+#[derive(Debug)]
+pub struct ShardedBatch<'a> {
+    system: &'a mut ShardedSystem,
+    staged: u64,
+}
+
+impl ShardedBatch<'_> {
+    /// Register a data object on every shard (see [`ShardedSystem::register_object`]).
+    pub fn register_object(
+        &mut self,
+        data_type: DataType,
+        name: impl Into<String>,
+        metadata: Vec<Value>,
+        payload: Bytes,
+        domain: impl Into<String>,
+    ) -> Result<ObjectId> {
+        self.staged += 1;
+        self.system.register_object(data_type, name, metadata, payload, domain)
+    }
+
+    /// Register a 1-D sequence object.
+    pub fn register_sequence(
+        &mut self,
+        name: impl Into<String>,
+        data_type: DataType,
+        length: u64,
+        domain: impl Into<String>,
+    ) -> ObjectId {
+        self.staged += 1;
+        self.system.register_sequence(name, data_type, length, domain)
+    }
+
+    /// Register a 2-D image object.
+    pub fn register_image(
+        &mut self,
+        name: impl Into<String>,
+        width: u64,
+        height: u64,
+        modality: impl Into<String>,
+        coordinate_system: impl Into<String>,
+    ) -> ObjectId {
+        self.staged += 1;
+        self.system.register_image(name, width, height, modality, coordinate_system)
+    }
+
+    /// Apply a deterministic edit to the replicated ontology on every shard.
+    pub fn ontology_edit(&mut self, edit: impl Fn(&mut Ontology)) {
+        self.staged += 1;
+        self.system.ontology_edit(edit);
+    }
+
+    /// Begin building an annotation inside the batch.
+    pub fn annotate(&mut self) -> ShardedAnnotationBuilder<'_> {
+        self.staged += 1;
+        self.system.annotate()
+    }
+
+    /// The global referent ids an annotation links (readable mid-batch).
+    pub fn annotation_referents(&self, id: AnnotationId) -> Option<Vec<ReferentId>> {
+        self.system.annotation_referents(id)
+    }
+
+    /// Number of writes staged so far (staging calls, not successful commits).
+    pub fn staged(&self) -> u64 {
+        self.staged
+    }
+
+    /// Finish the batch, returning the number of staged writes.
+    pub fn commit(mut self) -> u64 {
+        std::mem::take(&mut self.staged)
+        // Drop runs next and ends batch mode on every shard.
+    }
+}
+
+impl Drop for ShardedBatch<'_> {
+    fn drop(&mut self) {
+        self.system.end_batch();
+    }
+}
+
+/// A consistent cross-shard read handle: one [`Snapshot`] per shard plus the global
+/// collation mirror, captured atomically by [`ShardedSystem::capture_cut`].  Clone is
+/// a handful of `Arc` bumps — hand one to every scatter-gather worker.
+///
+/// A reader holding a cut observes one frozen state of *every* shard: no shard can
+/// appear "ahead" of the cut, because the cut's snapshots are immutable for their
+/// whole life (per-shard copy-on-publish).  Per-shard epoch vectors carry the
+/// footprint-agreement validity test a cut-level result cache uses
+/// ([`ShardCut::agrees_on`]).
+#[derive(Debug, Clone)]
+pub struct ShardCut {
+    shards: Arc<[Snapshot]>,
+    graph: Arc<MultiGraph>,
+    nodes: Arc<GlobalNodes>,
+    ids: Arc<IdMaps>,
+    version: u64,
+}
+
+impl ShardCut {
+    /// Number of shards in the cut.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The snapshot of one shard.
+    pub fn shard(&self, index: usize) -> &Snapshot {
+        &self.shards[index]
+    }
+
+    /// All per-shard snapshots, in shard order.
+    pub fn shards(&self) -> &[Snapshot] {
+        &self.shards
+    }
+
+    /// The logical version this cut was captured at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether two cuts are views of the same published state (same version and the
+    /// identical snapshot on every shard).
+    pub fn same_cut(&self, other: &ShardCut) -> bool {
+        self.version == other.version
+            && self.shards.len() == other.shards.len()
+            && self.shards.iter().zip(other.shards.iter()).all(|(a, b)| a.same_epoch(b))
+    }
+
+    /// Whether the two cuts observe identical query-visible state through every
+    /// component of `footprint` **on every shard** — the cut-level result-cache
+    /// validity test (each shard's lineage and footprint epochs must agree).
+    pub fn agrees_on(&self, other: &ShardCut, footprint: crate::ComponentSet) -> bool {
+        self.shards.len() == other.shards.len()
+            && self.shards.iter().zip(other.shards.iter()).all(|(a, b)| a.agrees_on(b, footprint))
+    }
+
+    /// Per-shard lineage ids and epoch vectors — the lightweight version tag a
+    /// cut-level cache entry stores instead of pinning whole snapshots alive.
+    pub fn version_vector(&self) -> Vec<(u64, EpochVector)> {
+        self.shards.iter().map(|s| (s.system_id(), s.component_epochs())).collect()
+    }
+
+    // --- global reads (collation + translation) ---
+
+    /// Number of committed annotations across the cut.
+    pub fn annotation_count(&self) -> usize {
+        self.ids.annotations.len()
+    }
+
+    /// Number of referents across the cut.
+    pub fn referent_count(&self) -> usize {
+        self.ids.referents.len()
+    }
+
+    /// Number of registered objects.
+    pub fn object_count(&self) -> usize {
+        self.ids.objects as usize
+    }
+
+    /// The global collation mirror's a-graph.
+    pub fn agraph(&self) -> &MultiGraph {
+        &self.graph
+    }
+
+    /// Translate a shard's local annotation id to its global id.
+    pub fn annotation_global(&self, shard: usize, local: AnnotationId) -> AnnotationId {
+        AnnotationId(self.ids.ann_l2g[shard][local.0 as usize])
+    }
+
+    /// Translate a shard's local referent id to its global id.
+    pub fn referent_global(&self, shard: usize, local: ReferentId) -> ReferentId {
+        ReferentId(self.ids.ref_l2g[shard][local.0 as usize])
+    }
+
+    /// The bitmask of shards holding referents of an object (pruning an id-pinned
+    /// referent filter).  Unknown objects hold none.
+    pub fn object_referent_shards(&self, object: ObjectId) -> u64 {
+        self.ids.object_ref_shards.get(object.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// The global referent ids an annotation links, in link order.
+    pub fn annotation_referents(&self, id: AnnotationId) -> Option<Vec<ReferentId>> {
+        let home = self.ids.annotations.get(id.0 as usize)?;
+        let ann = self.shards[home.shard].annotation(AnnotationId(home.local))?;
+        let l2g = &self.ids.ref_l2g[home.shard];
+        Some(ann.referents.iter().map(|r| ReferentId(l2g[r.0 as usize])).collect())
+    }
+
+    /// The terms an annotation cites (concept ids are global already).
+    pub fn annotation_terms(&self, id: AnnotationId) -> Option<Vec<ConceptId>> {
+        let home = self.ids.annotations.get(id.0 as usize)?;
+        self.shards[home.shard].annotation(AnnotationId(home.local)).map(|a| a.terms.clone())
+    }
+
+    /// The (global) object a referent marks.
+    pub fn referent_object(&self, id: ReferentId) -> Option<ObjectId> {
+        let home = self.ids.referents.get(id.0 as usize)?;
+        self.shards[home.shard].referent(ReferentId(home.local)).map(|r| r.object)
+    }
+
+    /// The marker of a referent.
+    pub fn referent_marker(&self, id: ReferentId) -> Option<Marker> {
+        let home = self.ids.referents.get(id.0 as usize)?;
+        self.shards[home.shard].referent(ReferentId(home.local)).map(|r| r.marker.clone())
+    }
+
+    /// Every (global) referent of an object, across all shards, in ascending global
+    /// id order — which is creation order, matching the unsharded
+    /// `referents_of_object`.
+    pub fn referents_of_object(&self, object: ObjectId) -> Vec<ReferentId> {
+        let mask = self.object_referent_shards(object);
+        let mut out: Vec<ReferentId> = Vec::new();
+        for shard in 0..self.shards.len() {
+            if mask & (1 << shard) == 0 {
+                continue;
+            }
+            let l2g = &self.ids.ref_l2g[shard];
+            out.extend(
+                self.shards[shard]
+                    .referents_of_object(object)
+                    .iter()
+                    .map(|r| ReferentId(l2g[r.0 as usize])),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The (global) annotations linking a referent, ascending — a referent and all
+    /// its annotations are co-located, so this is one shard lookup plus translation.
+    pub fn annotations_of_referent(&self, id: ReferentId) -> Vec<AnnotationId> {
+        let Some(home) = self.ids.referents.get(id.0 as usize) else { return Vec::new() };
+        let l2g = &self.ids.ann_l2g[home.shard];
+        self.shards[home.shard]
+            .annotations_of_referent(ReferentId(home.local))
+            .into_iter()
+            .map(|a| AnnotationId(l2g[a.0 as usize]))
+            .collect()
+    }
+
+    /// The mirror node of an object.
+    pub fn object_node(&self, id: ObjectId) -> Option<NodeId> {
+        self.nodes.object_node.get(id.0 as usize).copied()
+    }
+
+    /// The mirror node of a referent.
+    pub fn referent_node(&self, id: ReferentId) -> Option<NodeId> {
+        self.nodes.referent_node.get(id.0 as usize).copied()
+    }
+
+    /// The mirror node of an annotation.
+    pub fn annotation_node(&self, id: AnnotationId) -> Option<NodeId> {
+        self.nodes.annotation_node.get(id.0 as usize).copied()
+    }
+
+    /// The mirror node of an ontology term, if cited.
+    pub fn term_node(&self, concept: ConceptId) -> Option<NodeId> {
+        self.nodes.term_node.get(&concept).copied()
+    }
+
+    /// The (global) entity a mirror node refers to.
+    pub fn entity_of(&self, node: NodeId) -> Option<Entity> {
+        self.nodes.node_entity.get(&node).copied()
+    }
+}
+
+// Cuts cross thread boundaries in the scatter-gather executor.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardCut>();
+    assert_send_sync::<ShardedSystem>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Component;
+
+    /// Interleaved registers + annotations applied identically to an unsharded oracle
+    /// and a sharded system; returns both.
+    fn parallel_build(shards: usize) -> (Graphitti, ShardedSystem) {
+        let mut oracle = Graphitti::new();
+        let mut sharded = ShardedSystem::new(shards);
+        let term = oracle.ontology_mut().add_concept("Motif");
+        sharded.ontology_edit(|o| {
+            o.add_concept("Motif");
+        });
+        for i in 0..6u64 {
+            let name = format!("seq-{i}");
+            let a = oracle.register_sequence(name.clone(), DataType::DnaSequence, 2_000, "chr1");
+            let b = sharded.register_sequence(name, DataType::DnaSequence, 2_000, "chr1");
+            assert_eq!(a, b, "replicated registration must assign the global id");
+        }
+        for i in 0..12u64 {
+            let obj = ObjectId(i % 6);
+            let marker = Marker::interval(i * 50, i * 50 + 25);
+            let ga = oracle
+                .annotate()
+                .comment(format!("note {i}"))
+                .mark(obj, marker.clone())
+                .cite_term(term)
+                .commit()
+                .unwrap();
+            let gb = sharded
+                .annotate()
+                .comment(format!("note {i}"))
+                .mark(obj, marker)
+                .cite_term(term)
+                .commit()
+                .unwrap();
+            assert_eq!(ga, gb, "router must assign the oracle's annotation id");
+        }
+        (oracle, sharded)
+    }
+
+    #[test]
+    fn mirror_matches_oracle_graph_exactly() {
+        for shards in [1, 2, 3, 5] {
+            let (oracle, sharded) = parallel_build(shards);
+            assert!(sharded.verify_integrity().is_empty(), "{:?}", sharded.verify_integrity());
+            assert_eq!(sharded.agraph().node_count(), oracle.agraph().node_count());
+            assert_eq!(sharded.agraph().edge_count(), oracle.agraph().edge_count());
+            // Same adjacency, node by node, edge record by edge record.
+            for node in oracle.agraph().nodes() {
+                assert_eq!(
+                    sharded.agraph().out_edges(node),
+                    oracle.agraph().out_edges(node),
+                    "out-edges diverge at {node:?} with {shards} shards"
+                );
+                for &e in oracle.agraph().out_edges(node) {
+                    let a = oracle.agraph().edge(e).unwrap();
+                    let b = sharded.agraph().edge(e).unwrap();
+                    assert_eq!((a.from, a.to), (b.from, b.to));
+                }
+            }
+            // Entity decoding matches too.
+            let cut = sharded.capture_cut();
+            for node in oracle.agraph().nodes() {
+                assert_eq!(cut.entity_of(node), oracle.entity_of(node));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_partition_and_translate_round_trip() {
+        let (_oracle, sharded) = parallel_build(3);
+        let cut = sharded.capture_cut();
+        assert_eq!(cut.annotation_count(), 12);
+        for g in 0..cut.annotation_count() as u64 {
+            let home = sharded.annotation_home(AnnotationId(g)).unwrap();
+            assert_eq!(
+                cut.annotation_global(home.shard, AnnotationId(home.local)),
+                AnnotationId(g)
+            );
+        }
+        for g in 0..cut.referent_count() as u64 {
+            let home = sharded.referent_home(ReferentId(g)).unwrap();
+            assert_eq!(cut.referent_global(home.shard, ReferentId(home.local)), ReferentId(g));
+        }
+        // Every annotation landed on its anchor object's hash shard.
+        for g in 0..cut.annotation_count() as u64 {
+            let refs = sharded.annotation_referents(AnnotationId(g)).unwrap();
+            let obj = cut.referent_object(refs[0]).unwrap();
+            assert_eq!(
+                sharded.annotation_home(AnnotationId(g)).unwrap().shard,
+                sharded.shard_of_object(obj)
+            );
+        }
+    }
+
+    #[test]
+    fn referents_of_object_merges_in_global_order() {
+        let (oracle, sharded) = parallel_build(4);
+        let cut = sharded.capture_cut();
+        for o in 0..oracle.object_count() as u64 {
+            assert_eq!(
+                cut.referents_of_object(ObjectId(o)),
+                oracle.referents_of_object(ObjectId(o)).to_vec(),
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_batch_bumps_each_touched_shard_once() {
+        let mut sharded = ShardedSystem::new(3);
+        let seq = sharded.register_sequence("s", DataType::DnaSequence, 2_000, "chr1");
+        let target = sharded.shard_of_object(seq);
+        let epochs_before: Vec<u64> = (0..3).map(|i| sharded.shard(i).epoch()).collect();
+        let version_before = sharded.version();
+
+        let mut batch = sharded.batch();
+        for i in 0..5u64 {
+            batch
+                .annotate()
+                .comment(format!("burst {i}"))
+                .mark(seq, Marker::interval(i * 10, i * 10 + 5))
+                .commit()
+                .unwrap();
+        }
+        assert_eq!(batch.commit(), 5);
+
+        assert_eq!(sharded.version(), version_before + 1, "one logical version per batch");
+        for (i, &before) in epochs_before.iter().enumerate() {
+            let expected = before + u64::from(i == target);
+            assert_eq!(sharded.shard(i).epoch(), expected, "shard {i} epoch");
+        }
+    }
+
+    #[test]
+    fn ingest_batch_leaves_annotation_components_clean_on_every_shard() {
+        let mut sharded = ShardedSystem::new(2);
+        sharded.register_sequence("seed", DataType::DnaSequence, 1_000, "chr1");
+        let cut_before = sharded.capture_cut();
+        let mut batch = sharded.batch();
+        for i in 0..4 {
+            batch.register_sequence(format!("late-{i}"), DataType::DnaSequence, 500, "chr2");
+        }
+        batch.commit();
+        let cut_after = sharded.capture_cut();
+        let content_fp = crate::ComponentSet::of([
+            Component::Content,
+            Component::Annotations,
+            Component::Referents,
+        ]);
+        assert!(
+            cut_after.agrees_on(&cut_before, content_fp),
+            "a replicated ingest batch must not move any shard's annotation-path epochs"
+        );
+        assert!(!cut_after.same_cut(&cut_before));
+    }
+
+    #[test]
+    fn cross_shard_referent_reuse_is_rejected() {
+        let mut sharded = ShardedSystem::new(2);
+        // Find two objects hashed to different shards.
+        let mut objs = Vec::new();
+        for i in 0..8u64 {
+            objs.push(sharded.register_sequence(
+                format!("s{i}"),
+                DataType::DnaSequence,
+                1_000,
+                "chr1",
+            ));
+        }
+        let a = *objs.iter().find(|o| sharded.shard_of_object(**o) == 0).expect("shard-0 object");
+        let b = *objs.iter().find(|o| sharded.shard_of_object(**o) == 1).expect("shard-1 object");
+        let ann_a =
+            sharded.annotate().comment("a").mark(a, Marker::interval(0, 10)).commit().unwrap();
+        let ann_b =
+            sharded.annotate().comment("b").mark(b, Marker::interval(0, 10)).commit().unwrap();
+        let ra = sharded.annotation_referents(ann_a).unwrap()[0];
+        let rb = sharded.annotation_referents(ann_b).unwrap()[0];
+        let err = sharded.annotate().comment("x").mark_existing(ra).mark_existing(rb).commit();
+        assert!(matches!(err, Err(CoreError::Graph(_))), "cross-shard reuse must be rejected");
+        // Co-located reuse still works, and a cross-shard *new* mark is fine (objects
+        // are replicated; the annotation follows its first reused referent's home).
+        sharded.annotate().comment("ok").mark_existing(ra).commit().unwrap();
+        sharded
+            .annotate()
+            .comment("ok2")
+            .mark_existing(ra)
+            .mark(b, Marker::interval(50, 60))
+            .commit()
+            .unwrap();
+        assert!(sharded.verify_integrity().is_empty());
+    }
+
+    #[test]
+    fn failed_commit_keeps_oracle_partial_effects() {
+        let (mut oracle, mut sharded) = parallel_build(3);
+        // A multi-mark annotation whose second mark references an unknown reused
+        // referent: both systems keep the first mark's referent and fail identically.
+        let obj = ObjectId(0);
+        let before = (oracle.referent_count(), sharded.referent_count());
+        assert_eq!(before.0, before.1);
+        let ea = oracle
+            .annotate()
+            .comment("partial")
+            .mark(obj, Marker::interval(900, 950))
+            .mark_existing(ReferentId(9_999))
+            .commit();
+        let eb = sharded
+            .annotate()
+            .comment("partial")
+            .mark(obj, Marker::interval(900, 950))
+            .mark_existing(ReferentId(9_999))
+            .commit();
+        assert!(ea.is_err() && eb.is_err());
+        assert_eq!(oracle.referent_count(), before.0 + 1, "oracle keeps the partial referent");
+        assert_eq!(sharded.referent_count(), before.1 + 1, "sharded must match");
+        assert_eq!(sharded.agraph().node_count(), oracle.agraph().node_count());
+        assert_eq!(sharded.agraph().edge_count(), oracle.agraph().edge_count());
+        // And both systems keep assigning identical ids afterwards.
+        let ga =
+            oracle.annotate().comment("after").mark(obj, Marker::interval(0, 5)).commit().unwrap();
+        let gb =
+            sharded.annotate().comment("after").mark(obj, Marker::interval(0, 5)).commit().unwrap();
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    fn study_replay_matches_unsharded_replay() {
+        let (oracle, _) = parallel_build(1);
+        let study = oracle.study_snapshot();
+        let replayed = Graphitti::from_study_snapshot(&study).unwrap();
+        for shards in [1, 2, 3] {
+            let sharded = ShardedSystem::from_study_snapshot(&study, shards).unwrap();
+            assert_eq!(sharded.annotation_count(), replayed.annotation_count());
+            assert_eq!(sharded.referent_count(), replayed.referent_count());
+            assert_eq!(sharded.object_count(), replayed.object_count());
+            assert_eq!(sharded.agraph().node_count(), replayed.agraph().node_count());
+            assert_eq!(sharded.agraph().edge_count(), replayed.agraph().edge_count());
+            for node in replayed.agraph().nodes() {
+                assert_eq!(sharded.agraph().out_edges(node), replayed.agraph().out_edges(node));
+            }
+            // Each touched shard replayed as one version (ontology broadcast touches
+            // every shard, so every shard bumped exactly once).
+            for i in 0..shards {
+                assert_eq!(sharded.shard(i).epoch(), 1, "shard {i} must replay as one batch");
+            }
+            assert!(sharded.verify_integrity().is_empty());
+        }
+    }
+
+    #[test]
+    fn cut_is_isolated_from_later_writes() {
+        let (_, mut sharded) = parallel_build(2);
+        let cut = sharded.capture_cut();
+        let (anns, refs) = (cut.annotation_count(), cut.referent_count());
+        sharded
+            .annotate()
+            .comment("late")
+            .mark(ObjectId(0), Marker::interval(0, 9))
+            .commit()
+            .unwrap();
+        sharded.register_sequence("late", DataType::DnaSequence, 100, "chr9");
+        assert_eq!(cut.annotation_count(), anns, "cut must not observe later commits");
+        assert_eq!(cut.referent_count(), refs);
+        let newer = sharded.capture_cut();
+        assert_eq!(newer.annotation_count(), anns + 1);
+        assert!(!newer.same_cut(&cut));
+        // No shard in the old cut is ahead of the shard's state at capture time.
+        for (i, snap) in cut.shards().iter().enumerate() {
+            assert!(snap.epoch() <= sharded.shard(i).epoch());
+        }
+    }
+
+    #[test]
+    fn shard_hash_is_deterministic_and_total() {
+        for shards in [1usize, 2, 3, 8, 64] {
+            for id in 0..200u64 {
+                let s = shard_of(ObjectId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ObjectId(id), shards), "routing must be deterministic");
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the sharded router: the partition is total and deterministic,
+//! id translation round-trips, the replicated stores agree, and the collation mirror
+//! stays in lock-step with an unsharded oracle under arbitrary interleaved write
+//! schedules (including failing commits and referent reuse).
+
+use graphitti_core::{
+    AnnotationId, DataType, Graphitti, Marker, ObjectId, ReferentId, ShardedSystem,
+};
+use proptest::prelude::*;
+
+/// One randomized write drawn from a compact encoding (the proptest shim has no enum
+/// strategies): `kind % 4` selects register / annotate / reuse-annotate / failing
+/// annotate, `pick` skews the target object.
+fn apply_op(oracle: &mut Graphitti, sharded: &mut ShardedSystem, kind: u8, pick: u8, step: usize) {
+    let objects = oracle.object_count() as u64;
+    match kind % 4 {
+        0 => {
+            let name = format!("obj-{step}");
+            let a = oracle.register_sequence(name.clone(), DataType::DnaSequence, 2_000, "chr1");
+            let b = sharded.register_sequence(name, DataType::DnaSequence, 2_000, "chr1");
+            assert_eq!(a, b);
+        }
+        1 => {
+            let obj = ObjectId(u64::from(pick) % objects.max(1));
+            let marker = Marker::interval(step as u64 * 10, step as u64 * 10 + 5);
+            let a = oracle
+                .annotate()
+                .comment(format!("note {step}"))
+                .mark(obj, marker.clone())
+                .commit();
+            let b = sharded.annotate().comment(format!("note {step}")).mark(obj, marker).commit();
+            assert_eq!(a.is_ok(), b.is_ok());
+            if let (Ok(a), Ok(b)) = (a, b) {
+                assert_eq!(a, b);
+            }
+        }
+        2 => {
+            // Reuse a committed referent when one exists (shared-referent routing).
+            let refs = oracle.referent_count() as u64;
+            if refs == 0 {
+                return;
+            }
+            let rid = ReferentId(u64::from(pick) % refs);
+            let a = oracle.annotate().comment(format!("reuse {step}")).mark_existing(rid).commit();
+            let b = sharded.annotate().comment(format!("reuse {step}")).mark_existing(rid).commit();
+            assert_eq!(a.is_ok(), b.is_ok());
+            if let (Ok(a), Ok(b)) = (a, b) {
+                assert_eq!(a, b);
+            }
+        }
+        _ => {
+            // A failing commit (unknown object) with a preceding valid mark: both
+            // systems must keep identical partial effects.
+            let obj = ObjectId(u64::from(pick) % objects.max(1));
+            let marker = Marker::interval(step as u64 * 10, step as u64 * 10 + 5);
+            let bad = ObjectId(9_999);
+            let a = oracle
+                .annotate()
+                .comment(format!("fail {step}"))
+                .mark(obj, marker.clone())
+                .mark(bad, Marker::interval(0, 1))
+                .commit();
+            let b = sharded
+                .annotate()
+                .comment(format!("fail {step}"))
+                .mark(obj, marker)
+                .mark(bad, Marker::interval(0, 1))
+                .commit();
+            assert_eq!(a.is_err(), b.is_err());
+        }
+    }
+}
+
+fn run_schedule(shards: usize, kinds: &[u8], picks: &[u8]) -> (Graphitti, ShardedSystem) {
+    let mut oracle = Graphitti::new();
+    let mut sharded = ShardedSystem::new(shards);
+    // Guarantee at least one object so annotate ops have a target.
+    oracle.register_sequence("seed", DataType::DnaSequence, 2_000, "chr1");
+    sharded.register_sequence("seed", DataType::DnaSequence, 2_000, "chr1");
+    for (step, (&kind, &pick)) in kinds.iter().zip(picks).enumerate() {
+        apply_op(&mut oracle, &mut sharded, kind, pick, step);
+    }
+    (oracle, sharded)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn router_partitions_totally_and_mirror_tracks_oracle(
+        shards in 1usize..9,
+        kinds in prop::collection::vec(any::<u8>(), 1..30),
+        picks in prop::collection::vec(any::<u8>(), 30),
+    ) {
+        let (oracle, sharded) = run_schedule(shards, &kinds, &picks);
+
+        // Global counts agree with the oracle; internal maps are bijective.
+        prop_assert_eq!(sharded.object_count(), oracle.object_count());
+        prop_assert_eq!(sharded.annotation_count(), oracle.annotation_count());
+        prop_assert_eq!(sharded.referent_count(), oracle.referent_count());
+        let problems = sharded.verify_integrity();
+        prop_assert!(problems.is_empty(), "{:?}", problems);
+
+        // Every entity lands on exactly one shard, and the per-shard totals add up
+        // (no duplicates, no drops, whatever the skew).
+        let mut per_shard_anns = 0usize;
+        let mut per_shard_refs = 0usize;
+        for i in 0..sharded.shard_count() {
+            per_shard_anns += sharded.shard(i).annotation_count();
+            per_shard_refs += sharded.shard(i).referent_count();
+        }
+        prop_assert_eq!(per_shard_anns, sharded.annotation_count());
+        prop_assert_eq!(per_shard_refs, sharded.referent_count());
+
+        // The collation mirror is in lock-step with the oracle's a-graph.
+        prop_assert_eq!(sharded.agraph().node_count(), oracle.agraph().node_count());
+        prop_assert_eq!(sharded.agraph().edge_count(), oracle.agraph().edge_count());
+        for node in oracle.agraph().nodes() {
+            prop_assert_eq!(sharded.agraph().out_edges(node), oracle.agraph().out_edges(node));
+        }
+
+        // Annotation link lists translate back to the oracle's exactly.
+        for g in 0..oracle.annotation_count() as u64 {
+            let expected = &oracle.annotation(AnnotationId(g)).unwrap().referents;
+            let got = sharded.annotation_referents(AnnotationId(g)).unwrap();
+            prop_assert_eq!(&got, expected, "annotation {} link list", g);
+        }
+    }
+
+    #[test]
+    fn rerouting_is_deterministic(
+        shards in 1usize..9,
+        kinds in prop::collection::vec(any::<u8>(), 1..20),
+        picks in prop::collection::vec(any::<u8>(), 20),
+    ) {
+        // Replaying the identical schedule yields identical homes for every entity.
+        let (_, a) = run_schedule(shards, &kinds, &picks);
+        let (_, b) = run_schedule(shards, &kinds, &picks);
+        prop_assert_eq!(a.annotation_count(), b.annotation_count());
+        for g in 0..a.annotation_count() as u64 {
+            prop_assert_eq!(
+                a.annotation_home(AnnotationId(g)),
+                b.annotation_home(AnnotationId(g))
+            );
+        }
+        for g in 0..a.referent_count() as u64 {
+            prop_assert_eq!(a.referent_home(ReferentId(g)), b.referent_home(ReferentId(g)));
+        }
+    }
+}

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use graphitti_core::DataType;
+use graphitti_core::{DataType, ObjectId};
 use interval_index::Interval;
 use ontology::{ConceptId, RelationType};
 use spatial_index::Rect;
@@ -40,6 +40,11 @@ pub enum ContentFilter {
 pub enum ReferentFilter {
     /// Referents of objects of this data type.
     OfType(DataType),
+    /// Referents of one specific registered object ("everything marked on this
+    /// sequence / image").  The only **id-bearing** referent filter: because objects
+    /// are the sharding key, a scatter-gather executor can prune this filter's
+    /// evaluation to exactly the shards holding the object's referents.
+    OnObject(ObjectId),
     /// Interval referents within a coordinate domain overlapping the query interval.
     IntervalOverlaps {
         /// Coordinate domain (chromosome, alignment id, …); `None` searches all.
@@ -396,6 +401,10 @@ fn render_referent(f: &ReferentFilter, out: &mut String) {
                 DataType::Image => "image",
                 DataType::ProteinModel => "model",
             });
+        }
+        ReferentFilter::OnObject(id) => {
+            out.push_str("onobj ");
+            num(out, id.0);
         }
         ReferentFilter::IntervalOverlaps { domain, interval } => {
             out.push_str("ival ");

@@ -37,10 +37,11 @@
 //! [`crate::reference::ReferenceExecutor`]; it is the correctness oracle for the
 //! randomized equivalence tests and the baseline for the index-ablation benchmarks.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
-use agraph::{NodeId, PathSearch, Subgraph};
-use graphitti_core::{AnnotationId, Entity, Marker, ObjectId, ReferentId, SystemView};
+use agraph::{MultiGraph, NodeId, PathSearch, Subgraph};
+use graphitti_core::{AnnotationId, Entity, Marker, ObjectId, ReferentId, ShardCut, SystemView};
 use interval_index::Interval;
 use ontology::{ConceptId, RelationType};
 
@@ -118,6 +119,22 @@ impl<'g> Executor<'g> {
     /// plan's [`read footprint`](Plan::read_footprint) — use this to avoid planning
     /// (and re-estimating selectivities) twice per execution.
     pub fn run_plan(&self, query: &Query, plan: &Plan) -> QueryResult {
+        let (ann_cands, constraint_anns) = self.annotation_candidates(query, plan);
+        let ref_cands = self.referent_candidates(query, plan);
+        Collator::new(self.system).collate(query, ann_cands, ref_cands, constraint_anns)
+    }
+
+    /// The **annotation family**'s candidate pipeline: run the content and ontology
+    /// subqueries in the plan's (per-family) selectivity order — the first seeds from
+    /// an index, later ones verify — returning `(ann_cands, constraint_anns)`.
+    /// `None` means the family is unconstrained.  The two families are independent
+    /// until collation, which is what lets a scatter-gather executor evaluate each
+    /// per shard and merge before collating globally.
+    pub(crate) fn annotation_candidates(
+        &self,
+        query: &Query,
+        plan: &Plan,
+    ) -> (Option<Vec<AnnotationId>>, Option<Vec<AnnotationId>>) {
         // The `MinRegionCount` constraint counts regions "annotated with term T" by the
         // *ontology* conditions alone; when the query also has content filters that set
         // differs from `ann_cands`, so keep each ontology filter's qualifying set as the
@@ -130,9 +147,8 @@ impl<'g> Executor<'g> {
                 .any(|c| matches!(c, GraphConstraint::MinRegionCount { .. }));
         let mut onto_sets: Vec<Option<Vec<AnnotationId>>> = vec![None; query.ontology.len()];
 
-        // Candidate sets, sorted and deduplicated. `None` = family unconstrained.
+        // Candidate set, sorted and deduplicated. `None` = family unconstrained.
         let mut ann_cands: Option<Vec<AnnotationId>> = None;
-        let mut ref_cands: Option<Vec<ReferentId>> = None;
 
         for sub in &plan.order {
             match sub.kind {
@@ -165,14 +181,7 @@ impl<'g> Executor<'g> {
                         }
                     });
                 }
-                SubQueryKind::Referent => {
-                    let f = &query.referents[sub.index];
-                    ref_cands = Some(match ref_cands.take() {
-                        None => self.seed_referents(f),
-                        Some(c) if c.is_empty() => c,
-                        Some(c) => self.verify_referents(c, f),
-                    });
-                }
+                SubQueryKind::Referent => {}
             }
         }
 
@@ -193,7 +202,30 @@ impl<'g> Executor<'g> {
             None
         };
 
-        Collator::new(self.system).collate(query, ann_cands, ref_cands, constraint_anns)
+        (ann_cands, constraint_anns)
+    }
+
+    /// The **referent family**'s candidate pipeline (see
+    /// [`annotation_candidates`](Self::annotation_candidates)): seed from the most
+    /// selective referent filter, verify with the rest.  `None` = unconstrained.
+    pub(crate) fn referent_candidates(
+        &self,
+        query: &Query,
+        plan: &Plan,
+    ) -> Option<Vec<ReferentId>> {
+        let mut ref_cands: Option<Vec<ReferentId>> = None;
+        for sub in &plan.order {
+            if sub.kind != SubQueryKind::Referent {
+                continue;
+            }
+            let f = &query.referents[sub.index];
+            ref_cands = Some(match ref_cands.take() {
+                None => self.seed_referents(f),
+                Some(c) if c.is_empty() => c,
+                Some(c) => self.verify_referents(c, f),
+            });
+        }
+        ref_cands
     }
 
     // --- seed: first subquery of a family, answered wholly from an index ---
@@ -239,6 +271,7 @@ impl<'g> Executor<'g> {
         let idx = self.system.indexes();
         let mut out: Vec<ReferentId> = match filter {
             ReferentFilter::OfType(t) => idx.referents_of_type(*t).to_vec(),
+            ReferentFilter::OnObject(id) => self.system.referents_of_object(*id).to_vec(),
             ReferentFilter::IntervalOverlaps { domain, interval } => match domain {
                 Some(d) => self.system.overlapping_intervals(d, *interval),
                 None => self
@@ -347,6 +380,7 @@ impl<'g> Executor<'g> {
             ReferentFilter::OfType(t) => {
                 self.system.object(r.object).map(|o| o.data_type == *t).unwrap_or(false)
             }
+            ReferentFilter::OnObject(id) => r.object == *id,
             ReferentFilter::IntervalOverlaps { domain, interval } => {
                 if domain.as_deref().is_some_and(|d| d != r.domain) {
                     return false;
@@ -367,17 +401,166 @@ impl<'g> Executor<'g> {
     }
 }
 
-/// Collation: the shared back half of query execution.  Takes the pruned candidate
-/// sets, narrows them against each other, applies graph constraints, and builds result
-/// pages by connecting the witnesses through the a-graph.  Used by both the pipelined
-/// [`Executor`] and the scan-all [`crate::reference::ReferenceExecutor`], so the two
-/// can only differ in how candidates are *found*, never in how they are collated.
-pub(crate) struct Collator<'g> {
-    system: &'g SystemView,
+/// The read surface collation needs, abstracted from storage layout.
+///
+/// [`SystemView`] implements it by borrowing its registries directly (the `Cow`s are
+/// all `Borrowed`, so the unsharded path pays nothing); [`ShardCut`] implements it by
+/// routing each lookup to the owning shard, translating local ids to global, and
+/// serving graph reads from the global collation mirror.  Because the [`Collator`] is
+/// generic over this trait, sharded and unsharded execution share one collation code
+/// path — page building and output ordering *cannot* diverge between them.
+///
+/// All ids are in the view's own id space (global ids for a [`ShardCut`]).
+pub trait CollateView {
+    /// Number of committed annotations (annotation ids are dense below this).
+    fn annotation_count(&self) -> usize;
+    /// The referents an annotation links, in link order; `None` for unknown ids.
+    fn annotation_referents(&self, id: AnnotationId) -> Option<Cow<'_, [ReferentId]>>;
+    /// The ontology terms an annotation cites, in citation order.
+    fn annotation_terms(&self, id: AnnotationId) -> Option<Cow<'_, [ConceptId]>>;
+    /// The object a referent marks.
+    fn referent_object(&self, id: ReferentId) -> Option<ObjectId>;
+    /// A referent's marker.
+    fn referent_marker(&self, id: ReferentId) -> Option<Marker>;
+    /// Every referent of an object, in creation (= ascending id) order.
+    fn referents_of_object(&self, object: ObjectId) -> Cow<'_, [ReferentId]>;
+    /// The annotations linking a referent, ascending.
+    fn annotations_of_referent(&self, id: ReferentId) -> Vec<AnnotationId>;
+    /// The a-graph node of an object.
+    fn object_node(&self, id: ObjectId) -> Option<NodeId>;
+    /// The a-graph node of a referent.
+    fn referent_node(&self, id: ReferentId) -> Option<NodeId>;
+    /// The a-graph node of an annotation.
+    fn annotation_node(&self, id: AnnotationId) -> Option<NodeId>;
+    /// The a-graph node of an ontology term, if cited.
+    fn term_node(&self, concept: ConceptId) -> Option<NodeId>;
+    /// The entity a node decodes to.
+    fn entity_of(&self, node: NodeId) -> Option<Entity>;
+    /// The a-graph the witness subgraphs are induced from.
+    fn agraph(&self) -> &MultiGraph;
 }
 
-impl<'g> Collator<'g> {
-    pub(crate) fn new(system: &'g SystemView) -> Self {
+impl CollateView for SystemView {
+    fn annotation_count(&self) -> usize {
+        SystemView::annotation_count(self)
+    }
+
+    fn annotation_referents(&self, id: AnnotationId) -> Option<Cow<'_, [ReferentId]>> {
+        self.annotation(id).map(|a| Cow::Borrowed(a.referents.as_slice()))
+    }
+
+    fn annotation_terms(&self, id: AnnotationId) -> Option<Cow<'_, [ConceptId]>> {
+        self.annotation(id).map(|a| Cow::Borrowed(a.terms.as_slice()))
+    }
+
+    fn referent_object(&self, id: ReferentId) -> Option<ObjectId> {
+        self.referent(id).map(|r| r.object)
+    }
+
+    fn referent_marker(&self, id: ReferentId) -> Option<Marker> {
+        self.referent(id).map(|r| r.marker.clone())
+    }
+
+    fn referents_of_object(&self, object: ObjectId) -> Cow<'_, [ReferentId]> {
+        Cow::Borrowed(SystemView::referents_of_object(self, object))
+    }
+
+    fn annotations_of_referent(&self, id: ReferentId) -> Vec<AnnotationId> {
+        SystemView::annotations_of_referent(self, id)
+    }
+
+    fn object_node(&self, id: ObjectId) -> Option<NodeId> {
+        SystemView::object_node(self, id)
+    }
+
+    fn referent_node(&self, id: ReferentId) -> Option<NodeId> {
+        SystemView::referent_node(self, id)
+    }
+
+    fn annotation_node(&self, id: AnnotationId) -> Option<NodeId> {
+        SystemView::annotation_node(self, id)
+    }
+
+    fn term_node(&self, concept: ConceptId) -> Option<NodeId> {
+        SystemView::term_node(self, concept)
+    }
+
+    fn entity_of(&self, node: NodeId) -> Option<Entity> {
+        SystemView::entity_of(self, node)
+    }
+
+    fn agraph(&self) -> &MultiGraph {
+        SystemView::agraph(self)
+    }
+}
+
+impl CollateView for ShardCut {
+    fn annotation_count(&self) -> usize {
+        ShardCut::annotation_count(self)
+    }
+
+    fn annotation_referents(&self, id: AnnotationId) -> Option<Cow<'_, [ReferentId]>> {
+        ShardCut::annotation_referents(self, id).map(Cow::Owned)
+    }
+
+    fn annotation_terms(&self, id: AnnotationId) -> Option<Cow<'_, [ConceptId]>> {
+        ShardCut::annotation_terms(self, id).map(Cow::Owned)
+    }
+
+    fn referent_object(&self, id: ReferentId) -> Option<ObjectId> {
+        ShardCut::referent_object(self, id)
+    }
+
+    fn referent_marker(&self, id: ReferentId) -> Option<Marker> {
+        ShardCut::referent_marker(self, id)
+    }
+
+    fn referents_of_object(&self, object: ObjectId) -> Cow<'_, [ReferentId]> {
+        Cow::Owned(ShardCut::referents_of_object(self, object))
+    }
+
+    fn annotations_of_referent(&self, id: ReferentId) -> Vec<AnnotationId> {
+        ShardCut::annotations_of_referent(self, id)
+    }
+
+    fn object_node(&self, id: ObjectId) -> Option<NodeId> {
+        ShardCut::object_node(self, id)
+    }
+
+    fn referent_node(&self, id: ReferentId) -> Option<NodeId> {
+        ShardCut::referent_node(self, id)
+    }
+
+    fn annotation_node(&self, id: AnnotationId) -> Option<NodeId> {
+        ShardCut::annotation_node(self, id)
+    }
+
+    fn term_node(&self, concept: ConceptId) -> Option<NodeId> {
+        ShardCut::term_node(self, concept)
+    }
+
+    fn entity_of(&self, node: NodeId) -> Option<Entity> {
+        ShardCut::entity_of(self, node)
+    }
+
+    fn agraph(&self) -> &MultiGraph {
+        ShardCut::agraph(self)
+    }
+}
+
+/// Collation: the shared back half of query execution.  Takes the pruned candidate
+/// sets, narrows them against each other, applies graph constraints, and builds result
+/// pages by connecting the witnesses through the a-graph.  Used by the pipelined
+/// [`Executor`], the scan-all [`crate::reference::ReferenceExecutor`] *and* the
+/// scatter-gather [`crate::sharded::ShardedExecutor`] (generic over [`CollateView`]),
+/// so the strategies can only differ in how candidates are *found*, never in how they
+/// are collated.
+pub(crate) struct Collator<'g, V: CollateView> {
+    system: &'g V,
+}
+
+impl<'g, V: CollateView> Collator<'g, V> {
+    pub(crate) fn new(system: &'g V) -> Self {
         Collator { system }
     }
 
@@ -413,8 +596,8 @@ impl<'g> Collator<'g> {
                 } else {
                     let mut out: Vec<ReferentId> = Vec::new();
                     for &aid in &annotations {
-                        if let Some(a) = self.system.annotation(aid) {
-                            for &rid in &a.referents {
+                        if let Some(refs) = self.system.annotation_referents(aid) {
+                            for &rid in refs.iter() {
                                 if setops::contains_sorted(set, &rid) {
                                     out.push(rid);
                                 }
@@ -429,8 +612,8 @@ impl<'g> Collator<'g> {
             None => {
                 let mut out: Vec<ReferentId> = Vec::new();
                 for &aid in &annotations {
-                    if let Some(a) = self.system.annotation(aid) {
-                        out.extend(a.referents.iter().copied());
+                    if let Some(refs) = self.system.annotation_referents(aid) {
+                        out.extend(refs.iter().copied());
                     }
                 }
                 out.sort_unstable();
@@ -442,8 +625,8 @@ impl<'g> Collator<'g> {
         // Objects involved.
         let mut objects: Vec<ObjectId> = Vec::new();
         for &rid in &referents {
-            if let Some(r) = self.system.referent(rid) {
-                objects.push(r.object);
+            if let Some(obj) = self.system.referent_object(rid) {
+                objects.push(obj);
             }
         }
         objects.sort_unstable();
@@ -493,12 +676,12 @@ impl<'g> Collator<'g> {
             .copied()
             .filter(|&aid| {
                 self.system
-                    .annotation(aid)
-                    .map(|a| {
-                        a.referents.iter().any(|&rid| {
+                    .annotation_referents(aid)
+                    .map(|refs| {
+                        refs.iter().any(|&rid| {
                             self.system
-                                .referent(rid)
-                                .map(|r| setops::contains_sorted(objects, &r.object))
+                                .referent_object(rid)
+                                .map(|obj| setops::contains_sorted(objects, &obj))
                                 .unwrap_or(false)
                         })
                     })
@@ -517,8 +700,8 @@ impl<'g> Collator<'g> {
             .copied()
             .filter(|&rid| {
                 self.system
-                    .referent(rid)
-                    .map(|r| setops::contains_sorted(objects, &r.object))
+                    .referent_object(rid)
+                    .map(|obj| setops::contains_sorted(objects, &obj))
                     .unwrap_or(false)
             })
             .collect()
@@ -573,7 +756,7 @@ impl<'g> Collator<'g> {
     ) -> bool {
         // collect qualifying interval referents on this object
         let mut intervals: Vec<Interval> = Vec::new();
-        for &rid in self.system.referents_of_object(object) {
+        for &rid in self.system.referents_of_object(object).iter() {
             if !ref_set.is_empty() && !setops::contains_sorted(ref_set, &rid) {
                 continue;
             }
@@ -586,10 +769,8 @@ impl<'g> Collator<'g> {
             if !annotated {
                 continue;
             }
-            if let Some(r) = self.system.referent(rid) {
-                if let Marker::Interval(iv) = r.marker {
-                    intervals.push(iv);
-                }
+            if let Some(Marker::Interval(iv)) = self.system.referent_marker(rid) {
+                intervals.push(iv);
             }
         }
         longest_consecutive_chain(&mut intervals, max_gap) >= count
@@ -603,7 +784,7 @@ impl<'g> Collator<'g> {
         ann_set: &[AnnotationId],
     ) -> usize {
         let mut count = 0;
-        for &rid in self.system.referents_of_object(object) {
+        for &rid in self.system.referents_of_object(object).iter() {
             let annotated = self
                 .system
                 .annotations_of_referent(rid)
@@ -612,11 +793,11 @@ impl<'g> Collator<'g> {
             if !annotated {
                 continue;
             }
-            if let Some(r) = self.system.referent(rid) {
-                if let Marker::Region(rect) | Marker::Volume(rect) = r.marker {
-                    if rect.if_overlap(&within) {
-                        count += 1;
-                    }
+            if let Some(Marker::Region(rect) | Marker::Volume(rect)) =
+                self.system.referent_marker(rid)
+            {
+                if rect.if_overlap(&within) {
+                    count += 1;
                 }
             }
         }
@@ -655,8 +836,8 @@ impl<'g> Collator<'g> {
                 true
             } else {
                 self.system
-                    .referent(rid)
-                    .map(|r| setops::contains_sorted(objects, &r.object))
+                    .referent_object(rid)
+                    .map(|obj| setops::contains_sorted(objects, &obj))
                     .unwrap_or(false)
             }
         };
@@ -667,15 +848,15 @@ impl<'g> Collator<'g> {
             let touches = objects.is_empty()
                 || self
                     .system
-                    .annotation(aid)
-                    .map(|a| a.referents.iter().any(|&r| keep_ref(r)))
+                    .annotation_referents(aid)
+                    .map(|refs| refs.iter().any(|&r| keep_ref(r)))
                     .unwrap_or(false);
             if touches {
                 if let Some(n) = self.system.annotation_node(aid) {
                     nodes.push(n);
                 }
-                if let Some(a) = self.system.annotation(aid) {
-                    for &t in &a.terms {
+                if let Some(terms) = self.system.annotation_terms(aid) {
+                    for &t in terms.iter() {
                         if let Some(tn) = self.system.term_node(t) {
                             nodes.push(tn);
                         }

@@ -26,6 +26,11 @@
 //!   pool executing independent queries in parallel against a published
 //!   [`graphitti_core::Snapshot`], with an LRU result cache keyed by the canonical
 //!   query form and invalidated on snapshot publish;
+//! * [`sharded`] — scatter-gather serving over a hash-partitioned
+//!   [`graphitti_core::ShardedSystem`]: per-shard candidate pipelines merged into a
+//!   global collation pass over a consistent [`graphitti_core::ShardCut`], plus
+//!   [`sharded::ShardedQueryService`] with a cut-level, per-shard-epoch-validated
+//!   result cache;
 //! * [`reference`] — the scan-and-intersect reference executor: the correctness oracle
 //!   for randomized equivalence tests and the index-free ablation baseline;
 //! * [`result`] — the result model: connection subgraphs organised into result pages;
@@ -42,13 +47,15 @@ pub mod reference;
 pub mod result;
 pub mod service;
 pub mod setops;
+pub mod sharded;
 
 pub use ast::{
     CacheKey, ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
 };
-pub use exec::Executor;
+pub use exec::{CollateView, Executor};
 pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};
 pub use reference::ReferenceExecutor;
 pub use result::{QueryResult, ResultPage};
 pub use service::{InvalidationPolicy, QueryService, ServiceConfig, ServiceMetrics, Ticket};
+pub use sharded::{ShardedExecutor, ShardedQueryService, ShardedServiceConfig};

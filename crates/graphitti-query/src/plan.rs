@@ -165,6 +165,10 @@ impl Plan {
         for f in &query.referents {
             match f {
                 ReferentFilter::OfType(_) => fp.insert(Component::Objects),
+                // Reads the object → referents map; it only ever moves together with
+                // the referent registry (already in every footprint), but the
+                // dependency is declared rather than assumed away.
+                ReferentFilter::OnObject(_) => fp.insert(Component::ObjectReferents),
                 ReferentFilter::IntervalOverlaps { .. } => fp.insert(Component::Intervals),
                 ReferentFilter::RegionOverlaps { .. } => fp.insert(Component::Spatial),
                 ReferentFilter::BlockContains(_) => { /* block markers live in Referents */ }
@@ -252,6 +256,9 @@ impl<'g> Estimator<'g> {
         let stats = self.system.stats();
         match f {
             ReferentFilter::OfType(t) => stats.type_count(*t),
+            // Exact, not an estimate: the object → referents map is the index this
+            // filter seeds from.
+            ReferentFilter::OnObject(id) => self.system.referents_of_object(*id).len(),
             ReferentFilter::IntervalOverlaps { domain, .. } => {
                 stats.interval_count(domain.as_deref())
             }
@@ -303,6 +310,7 @@ fn content_desc(f: &ContentFilter) -> String {
 fn referent_desc(f: &ReferentFilter) -> String {
     match f {
         ReferentFilter::OfType(t) => format!("referents of type {t:?}"),
+        ReferentFilter::OnObject(id) => format!("referents on object {id:?}"),
         ReferentFilter::IntervalOverlaps { domain, interval } => {
             format!("interval overlaps {interval} in domain {domain:?}")
         }

@@ -167,6 +167,13 @@ impl<'g> ReferenceExecutor<'g> {
                 .filter(|r| self.system.object(r.object).map(|o| o.data_type == *t).unwrap_or(false))
                 .map(|r| r.id)
                 .collect(),
+            ReferentFilter::OnObject(id) => self
+                .system
+                .referents()
+                .iter()
+                .filter(|r| r.object == *id)
+                .map(|r| r.id)
+                .collect(),
             ReferentFilter::IntervalOverlaps { domain, interval } => self
                 .system
                 .referents()

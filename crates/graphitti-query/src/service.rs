@@ -48,7 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use graphitti_core::{ComponentSet, Snapshot};
+use graphitti_core::{ComponentSet, EpochVector, Snapshot};
 
 use crate::ast::{CacheKey, Query};
 use crate::exec::{Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
@@ -262,14 +262,19 @@ struct Job {
 /// The normalized-query LRU result cache.
 ///
 /// Keys are canonical query renderings ([`CacheKey`]); every entry additionally
-/// carries its plan's **read footprint** ([`Plan::read_footprint`]) and the cache as
-/// a whole tracks the published snapshot its entries were last validated against.
-/// Entry validity is *per footprint*: a lookup or insert carrying snapshot `s` is
-/// valid for an entry iff `s` and the cache's snapshot observe identical
-/// query-visible state through every component of the entry's footprint —
-/// [`Snapshot::agrees_on`]: same system lineage and agreeing per-component epochs
-/// (snapshot *identity*, [`Snapshot::same_epoch`], is the trivial case and is checked
-/// first).  Lineage is part of the test because a rebuilt system's epochs restart low
+/// carries its plan's **read footprint** ([`Plan::read_footprint`]) and the lineage
+/// id + epoch vector of the snapshot it was **computed at** (its *birth* version),
+/// while the cache as a whole tracks the published snapshot.  Entry validity is *per
+/// footprint, against the entry's own birth version*: a lookup carrying snapshot `s`
+/// hits an entry iff `s` and the entry's birth snapshot observe identical
+/// query-visible state through every component of the entry's footprint (same
+/// system lineage and agreeing per-component epochs).  Storing the birth vector per
+/// entry — rather than validating everything against the cache's current snapshot —
+/// is what lets a **long-lived reader** still on an older snapshot keep getting
+/// cache service: an entry computed just before (or an insert landing just after) a
+/// publish stays servable to readers on the pre-publish snapshot, even when the
+/// publish moved the entry's footprint.  Lineage is part of every comparison
+/// because a rebuilt system's epochs restart low
 /// (a whole [`StudySnapshot`](graphitti_core::StudySnapshot) replay is one
 /// `CommitBatch`, so one bump): a worker still in flight on the old system holds a
 /// *numerically higher* epoch than the freshly published one, and comparing numbers
@@ -313,6 +318,14 @@ struct CacheEntry {
     result: Arc<QueryResult>,
     /// The components the result depends on ([`Plan::read_footprint`]).
     footprint: ComponentSet,
+    /// The lineage id of the snapshot this entry was computed against.
+    born_system: u64,
+    /// The epoch vector it was computed at.  Entry validity is agreement between
+    /// *this* vector and the reader's, on the entry's footprint — so an entry
+    /// computed just before (or inserted just after) a publish keeps serving readers
+    /// still on the older snapshot, instead of being keyed to whatever the cache's
+    /// current snapshot happens to be.
+    born_epochs: EpochVector,
     last_used: u64,
 }
 
@@ -331,12 +344,16 @@ impl ResultCache {
         }
     }
 
-    /// Whether an entry computed against the cache's snapshot is (still) the correct
-    /// answer for `snap`, given the entry's read footprint.
-    fn valid_for(&self, snap: &Snapshot, footprint: ComponentSet) -> bool {
-        snap.same_epoch(&self.snap)
-            || (self.policy == InvalidationPolicy::Footprint
-                && snap.agrees_on(&self.snap, footprint))
+    /// Whether an entry born at `(born_system, born_epochs)` is still the correct
+    /// answer for the **published** snapshot, given its footprint.
+    fn fresh_for_published(
+        &self,
+        born_system: u64,
+        born_epochs: EpochVector,
+        footprint: ComponentSet,
+    ) -> bool {
+        self.snap.system_id() == born_system
+            && born_epochs.agrees_on(self.snap.component_epochs(), footprint)
     }
 
     /// Move the cache onto `published`, evicting exactly the entries the state change
@@ -344,13 +361,15 @@ impl ResultCache {
     /// (republishing an identical snapshot must not discard entries or count an
     /// invalidation).
     ///
-    /// Within one system lineage the evicted set is the entries whose footprint
-    /// intersects the components dirtied since the cache's snapshot (per the two
-    /// snapshots' epoch vectors); an ingest-only batch therefore evicts nothing,
-    /// while an annotation batch still clears every entry (all footprints read the
-    /// annotation/referent registries).  Across lineages — a rebuilt or replaced
-    /// system, where epoch vectors are incomparable — the cache clears wholesale, as
-    /// it does under [`InvalidationPolicy::Full`].
+    /// Within one system lineage the evicted set is the entries whose **own** birth
+    /// epoch vector no longer agrees with the published one on their footprint; for
+    /// the common case — entries born at the cache's previous snapshot — that is
+    /// exactly "footprint intersects the components dirtied since the last publish",
+    /// so an ingest-only batch evicts nothing while an annotation batch still clears
+    /// every entry (all footprints read the annotation/referent registries).
+    /// Across lineages — a rebuilt or replaced system, where epoch vectors are
+    /// incomparable — the cache clears wholesale, as it does under
+    /// [`InvalidationPolicy::Full`].
     ///
     /// **Contract:** `published` must be the *currently published* snapshot, and the
     /// service's snapshot write lock must be held across this call (as
@@ -371,14 +390,16 @@ impl ResultCache {
             return;
         }
         if self.policy == InvalidationPolicy::Footprint && published.same_system(&prev) {
-            let dirty = published.changed_components(&prev);
-            if dirty.is_empty() {
+            if published.changed_components(&prev).is_empty() {
                 // Identical state under a new view identity (`unshare_all`): every
                 // entry is still bit-exact for the published state.
                 return;
             }
             let before = self.map.len();
-            self.map.retain(|_, e| !e.footprint.intersects(dirty));
+            let (sys, epochs) = (published.system_id(), published.component_epochs());
+            self.map.retain(|_, e| {
+                e.born_system == sys && e.born_epochs.agrees_on(epochs, e.footprint)
+            });
             let map = &self.map;
             self.lru.retain(|_, key| map.contains_key(key));
             self.entries_evicted += (before - self.map.len()) as u64;
@@ -404,15 +425,24 @@ impl ResultCache {
     }
 
     /// Look up a canonical key for a query executing against `snap`, refreshing the
-    /// entry's recency on a hit.  A lookup from a snapshot the entry is not valid for
-    /// (its footprint moved, or another lineage) misses without disturbing current
-    /// entries; it never moves the cache (only [`install`](Self::install) does).
+    /// entry's recency on a hit.  Validity is agreement between `snap` and the
+    /// **entry's own** birth epoch vector on the entry's footprint — so a long-lived
+    /// reader still on an older snapshot keeps hitting entries computed there, even
+    /// ones the published state has since moved past (until install evicts them).
+    /// A lookup never moves the cache (only [`install`](Self::install) does).
     fn get(&mut self, key: &CacheKey, snap: &Snapshot) -> Option<Arc<QueryResult>> {
         if self.capacity == 0 {
             return None;
         }
-        let footprint = self.map.get(key)?.footprint;
-        if !self.valid_for(snap, footprint) {
+        let entry = self.map.get(key)?;
+        let valid = match self.policy {
+            InvalidationPolicy::Full => snap.same_epoch(&self.snap),
+            InvalidationPolicy::Footprint => {
+                snap.system_id() == entry.born_system
+                    && snap.component_epochs().agrees_on(entry.born_epochs, entry.footprint)
+            }
+        };
+        if !valid {
             return None;
         }
         self.tick += 1;
@@ -423,12 +453,15 @@ impl ResultCache {
         Some(Arc::clone(&entry.result))
     }
 
-    /// Insert a result computed against `snap` for a plan reading `footprint`;
-    /// rejected (harmlessly) unless the result is still the correct answer for the
-    /// cache's current snapshot — which it is exactly when `snap` agrees with it on
-    /// the footprint, so an in-flight execution that straddled a footprint-disjoint
-    /// publish still lands.  Evicts the least-recently-used entry when full
-    /// (`O(log n)`: pop the smallest recency tick).
+    /// Insert a result computed against `snap` for a plan reading `footprint`,
+    /// tagged with `snap`'s epoch vector.  Same-lineage inserts are accepted even
+    /// when a footprint-intersecting publish has since moved the state — the entry
+    /// keeps serving readers still on the older snapshot — with one guard: an entry
+    /// the *published* snapshot can serve is never displaced by one it cannot.
+    /// Cross-lineage inserts (a worker still in flight on a replaced system) are
+    /// rejected outright; the cache serves the published lineage only.  Evicts the
+    /// least-recently-used entry when full (`O(log n)`: pop the smallest recency
+    /// tick).
     fn insert(
         &mut self,
         key: CacheKey,
@@ -436,8 +469,35 @@ impl ResultCache {
         footprint: ComponentSet,
         result: Arc<QueryResult>,
     ) {
-        if self.capacity == 0 || !self.valid_for(snap, footprint) {
+        if self.capacity == 0 {
             return;
+        }
+        match self.policy {
+            InvalidationPolicy::Full => {
+                if !snap.same_epoch(&self.snap) {
+                    return;
+                }
+            }
+            InvalidationPolicy::Footprint => {
+                if !snap.same_system(&self.snap) {
+                    return;
+                }
+                if let Some(prev) = self.map.get(&key) {
+                    let prev_fresh = self.fresh_for_published(
+                        prev.born_system,
+                        prev.born_epochs,
+                        prev.footprint,
+                    );
+                    let new_fresh = self.fresh_for_published(
+                        snap.system_id(),
+                        snap.component_epochs(),
+                        footprint,
+                    );
+                    if prev_fresh && !new_fresh {
+                        return;
+                    }
+                }
+            }
         }
         self.tick += 1;
         if let Some(prev) = self.map.get(&key) {
@@ -448,7 +508,16 @@ impl ResultCache {
             }
         }
         self.lru.insert(self.tick, key.clone());
-        self.map.insert(key, CacheEntry { result, footprint, last_used: self.tick });
+        self.map.insert(
+            key,
+            CacheEntry {
+                result,
+                footprint,
+                born_system: snap.system_id(),
+                born_epochs: snap.component_epochs(),
+                last_used: self.tick,
+            },
+        );
     }
 
     fn len(&self) -> usize {
@@ -1013,6 +1082,54 @@ mod tests {
         assert!(cache.get(&object_key, &snaps[1]).is_none());
         cache.insert(test_key("late object"), &snaps[1], object_fp(), empty_result());
         assert!(cache.get(&test_key("late object"), &snaps[2]).is_none());
+    }
+
+    #[test]
+    fn entry_born_before_disjoint_publish_serves_stale_and_fresh_readers() {
+        // The per-entry epoch vector pin (ROADMAP "per-entry epoch vectors"): an
+        // entry computed just before a footprint-disjoint publish is served both to
+        // a long-lived reader still on the old snapshot and to readers on the new
+        // one — its *birth* vector agrees with both on the content footprint.
+        let (_sys, snaps) = system_with_epoch_snapshots(2);
+        let mut cache = ResultCache::new(4, InvalidationPolicy::Footprint, snaps[0].clone());
+        let key = test_key("q");
+        cache.insert(key.clone(), &snaps[0], content_fp(), empty_result());
+        cache.install(&snaps[1]); // register-only publish: disjoint from content_fp
+        assert_eq!(cache.len(), 1, "disjoint publish must not evict");
+        assert!(cache.get(&key, &snaps[0]).is_some(), "stale reader must be served");
+        assert!(cache.get(&key, &snaps[1]).is_some(), "fresh reader must be served");
+    }
+
+    #[test]
+    fn stale_insert_after_intersecting_publish_serves_old_snapshot_readers() {
+        // The stronger consequence of per-entry vectors: a worker that computed at
+        // S0 with an *object* footprint lands its insert even after a publish that
+        // moved that footprint — tagged with its birth vector, so readers still on
+        // S0 hit it, readers on the published state miss it, and the next install
+        // evicts it (its birth vector no longer agrees with the published one).
+        let (_sys, snaps) = system_with_epoch_snapshots(3);
+        let mut cache = ResultCache::new(4, InvalidationPolicy::Footprint, snaps[0].clone());
+        cache.install(&snaps[2]); // registrations moved the object footprint past S0
+        let key = test_key("late");
+        cache.insert(key.clone(), &snaps[0], object_fp(), empty_result());
+        assert_eq!(cache.len(), 1, "same-lineage stale insert must land");
+        assert!(cache.get(&key, &snaps[0]).is_some(), "old-snapshot reader hits");
+        assert!(cache.get(&key, &snaps[2]).is_none(), "published-state reader misses");
+
+        // A fresh result for the same key must not be displaced by stale traffic.
+        cache.insert(key.clone(), &snaps[2], object_fp(), empty_result());
+        assert!(cache.get(&key, &snaps[2]).is_some());
+        cache.insert(key.clone(), &snaps[0], object_fp(), empty_result());
+        assert!(
+            cache.get(&key, &snaps[2]).is_some(),
+            "a published-servable entry must never be displaced by a stale one"
+        );
+
+        // The next changed publish evicts entries whose birth vector disagrees.
+        cache.insert(test_key("stale2"), &snaps[0], object_fp(), empty_result());
+        assert!(cache.get(&test_key("stale2"), &snaps[0]).is_some());
+        cache.install(&snaps[3]);
+        assert!(cache.get(&test_key("stale2"), &snaps[0]).is_none(), "evicted at install");
     }
 
     #[test]

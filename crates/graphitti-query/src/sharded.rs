@@ -1,0 +1,665 @@
+//! Scatter-gather query serving over a [`ShardedSystem`](graphitti_core::ShardedSystem).
+//!
+//! [`ShardedExecutor`] fans one canonical query out to every shard of a [`ShardCut`]:
+//! each shard plans the query against its *own* live statistics and runs the
+//! seed → verify candidate pipeline over its local inverted indexes (the two subquery
+//! families are independent until collation, so they scatter independently).  The
+//! per-shard candidate sets come back in shard-local ids, are translated to global
+//! ids (order-preserving — local and global id order are both creation order), and
+//! merged with [`setops::union_sorted`]: the per-shard sets are disjoint sorted runs,
+//! so the merge is exactly a k-way sorted union with no duplicates.  Collation —
+//! candidate narrowing, graph constraints, page building — then runs **once**,
+//! through the same generic [`Collator`](crate::exec) every other executor uses, over
+//! the cut's global collation mirror.  Output pages, ordering and node ids are
+//! therefore byte-identical to the unsharded path; the randomized cross-shard battery
+//! in `tests/sharded_equivalence.rs` pins this against the [`ReferenceExecutor`]
+//! oracle at shard counts {1, 2, 3, 8}.
+//!
+//! **Pruning.** The one id-bearing referent filter, [`ReferentFilter::OnObject`],
+//! pins its candidates to the shards actually holding that object's referents
+//! (usually exactly one — the object's hash shard).  The referent family is then
+//! scattered only to those shards; every other shard contributes an empty run
+//! without touching its indexes.  The *annotation* family still scatters to all
+//! shards: a `ConnectionGraphs` query's flat annotation list is not object-filtered,
+//! so content / ontology matches from other shards remain result-visible.
+//!
+//! [`ShardedQueryService`] is the serving wrapper: it holds the currently published
+//! cut behind a `RwLock` (a publish installs the whole cut atomically — readers see
+//! either all of the previous cut or all of the new one, never a torn mix), executes
+//! on the calling thread (the scatter is the parallelism; callers are the
+//! concurrency), and fronts execution with a cut-level result cache.  Cache entries
+//! carry their **own** per-shard `(lineage, epoch-vector)` tag and the plan's read
+//! footprint: an entry is served to a reader whose cut agrees with the entry's birth
+//! cut on the footprint's epochs *on every shard* — so a publish that only touched
+//! shard 2 with an ingest batch evicts nothing, and even a publish that did touch an
+//! entry's footprint keeps it servable to readers still on the older cut.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use graphitti_core::{AnnotationId, ComponentSet, EpochVector, ReferentId, ShardCut, Snapshot};
+
+use crate::ast::{CacheKey, Query, ReferentFilter};
+use crate::exec::{Collator, Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
+use crate::plan::Plan;
+use crate::result::QueryResult;
+use crate::service::ServiceMetrics;
+use crate::setops;
+
+/// The scatter-gather executor over one consistent [`ShardCut`].
+pub struct ShardedExecutor<'c> {
+    cut: &'c ShardCut,
+    shard_parallel: bool,
+    verify_workers: usize,
+    parallel_threshold: usize,
+    force_scatter: bool,
+}
+
+/// One shard's contribution: translated (global-id) candidate runs.
+struct ShardContribution {
+    ann: Option<Vec<AnnotationId>>,
+    constraint_anns: Option<Vec<AnnotationId>>,
+    refs: Option<Vec<ReferentId>>,
+}
+
+impl<'c> ShardedExecutor<'c> {
+    /// Create a sequential scatter-gather executor over a cut.
+    pub fn new(cut: &'c ShardCut) -> Self {
+        ShardedExecutor {
+            cut,
+            shard_parallel: false,
+            verify_workers: 1,
+            parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            force_scatter: false,
+        }
+    }
+
+    /// Run the per-shard candidate pipelines on scoped threads (one per shard)
+    /// instead of sequentially.  Results are merged in shard order either way, so
+    /// output is byte-identical.
+    pub fn with_shard_parallel(mut self, parallel: bool) -> Self {
+        self.shard_parallel = parallel;
+        self
+    }
+
+    /// Per-shard verify fan-out (see [`Executor::with_verify_workers`]).
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers.max(1);
+        self
+    }
+
+    /// Per-shard parallel-verify candidate threshold.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold.max(1);
+        self
+    }
+
+    /// Testing / benching knob: run the full scatter-gather-merge machinery even on
+    /// a single-shard cut, instead of the fast path that executes directly on the
+    /// lone shard (where global and local ids coincide by construction).
+    pub fn with_forced_scatter(mut self, force: bool) -> Self {
+        self.force_scatter = force;
+        self
+    }
+
+    /// Execute a query: canonicalize, scatter, merge, collate globally.
+    pub fn run(&self, query: &Query) -> QueryResult {
+        self.run_canonical(&query.canonicalize())
+    }
+
+    /// Execute a query **already in canonical form** (as the service does, after
+    /// rendering its cache key from the same canonical query).
+    pub fn run_canonical(&self, canonical: &Query) -> QueryResult {
+        if self.cut.shard_count() == 1 && !self.force_scatter {
+            // Single shard: ids are global by construction and the shard's own
+            // a-graph is the whole graph — the plain pipelined executor is exact.
+            return Executor::new(self.cut.shard(0))
+                .with_verify_workers(self.verify_workers)
+                .with_parallel_threshold(self.parallel_threshold)
+                .run_canonical(canonical);
+        }
+
+        let ref_mask = self.referent_shard_mask(canonical);
+        let shards = self.cut.shard_count();
+        let contributions: Vec<ShardContribution> = if self.shard_parallel && shards > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|i| scope.spawn(move || self.shard_candidates(canonical, i, ref_mask)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            })
+        } else {
+            (0..shards).map(|i| self.shard_candidates(canonical, i, ref_mask)).collect()
+        };
+
+        let ann = merge_family(contributions.iter().map(|c| c.ann.as_deref()));
+        let constraint_anns =
+            merge_family(contributions.iter().map(|c| c.constraint_anns.as_deref()));
+        let refs = merge_family(contributions.iter().map(|c| c.refs.as_deref()));
+        Collator::new(self.cut).collate(canonical, ann, refs, constraint_anns)
+    }
+
+    /// The bitmask of shards the referent family must visit: all shards, narrowed by
+    /// every id-bearing [`ReferentFilter::OnObject`] conjunct to the shards holding
+    /// that object's referents.
+    fn referent_shard_mask(&self, canonical: &Query) -> u64 {
+        let all =
+            if self.cut.shard_count() == 64 { u64::MAX } else { (1 << self.cut.shard_count()) - 1 };
+        canonical.referents.iter().fold(all, |mask, f| match f {
+            ReferentFilter::OnObject(id) => mask & self.cut.object_referent_shards(*id),
+            _ => mask,
+        })
+    }
+
+    /// Run both family pipelines on one shard and translate the results to global
+    /// ids.  A shard outside `ref_mask` contributes an empty referent run without
+    /// executing the referent family (its indexes hold no qualifying referent).
+    fn shard_candidates(
+        &self,
+        canonical: &Query,
+        shard: usize,
+        ref_mask: u64,
+    ) -> ShardContribution {
+        let snap: &Snapshot = self.cut.shard(shard);
+        let plan = Plan::build(canonical, snap);
+        let exec = Executor::new(snap)
+            .with_verify_workers(self.verify_workers)
+            .with_parallel_threshold(self.parallel_threshold);
+        let (ann, constraint_anns) = exec.annotation_candidates(canonical, &plan);
+        let refs = if canonical.referents.is_empty() {
+            None
+        } else if ref_mask & (1 << shard) == 0 {
+            Some(Vec::new())
+        } else {
+            exec.referent_candidates(canonical, &plan)
+        };
+        ShardContribution {
+            ann: ann.map(|v| v.into_iter().map(|a| self.cut.annotation_global(shard, a)).collect()),
+            constraint_anns: constraint_anns
+                .map(|v| v.into_iter().map(|a| self.cut.annotation_global(shard, a)).collect()),
+            refs: refs.map(|v| v.into_iter().map(|r| self.cut.referent_global(shard, r)).collect()),
+        }
+    }
+}
+
+/// Merge one candidate family across shards: `None` (family unconstrained) is
+/// uniform across shards because every shard evaluated the same canonical query;
+/// otherwise the translated per-shard runs are disjoint and sorted, and the union is
+/// their k-way sorted merge.
+fn merge_family<'a, T: Ord + Copy + 'a>(
+    per_shard: impl Iterator<Item = Option<&'a [T]>>,
+) -> Option<Vec<T>> {
+    let runs: Option<Vec<&[T]>> = per_shard.collect();
+    runs.map(|runs| setops::union_sorted(&runs))
+}
+
+/// Tuning knobs for a [`ShardedQueryService`].
+#[derive(Debug, Clone)]
+pub struct ShardedServiceConfig {
+    /// Cut-level result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Whether the scatter phase runs shards on scoped threads.
+    pub shard_parallel: bool,
+    /// Per-shard verify fan-out within one query.
+    pub verify_workers: usize,
+    /// Candidate-count threshold for the per-shard parallel verify.
+    pub parallel_threshold: usize,
+}
+
+impl Default for ShardedServiceConfig {
+    fn default() -> Self {
+        ShardedServiceConfig {
+            cache_capacity: 256,
+            shard_parallel: false,
+            verify_workers: 1,
+            parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+        }
+    }
+}
+
+impl ShardedServiceConfig {
+    /// Builder: set the result-cache capacity (`0` disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Builder: run the scatter phase on scoped threads.
+    pub fn with_shard_parallel(mut self, parallel: bool) -> Self {
+        self.shard_parallel = parallel;
+        self
+    }
+
+    /// Builder: set the per-shard verify fan-out.
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers.max(1);
+        self
+    }
+
+    /// Builder: set the per-shard parallel-verify threshold.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold.max(1);
+        self
+    }
+}
+
+/// One cut-cache entry: the shared result, its read footprint, and the per-shard
+/// `(lineage id, epoch vector)` tag of the cut it was computed against.
+struct CutEntry {
+    result: Arc<QueryResult>,
+    footprint: ComponentSet,
+    born: Vec<(u64, EpochVector)>,
+    last_used: u64,
+}
+
+/// The cut-level result cache (see the [module docs](self) for validity semantics).
+struct CutCache {
+    capacity: usize,
+    /// The currently published cut (tracked even when caching is disabled, so a
+    /// superseded cut is never pinned alive here).
+    cut: ShardCut,
+    tick: u64,
+    partial_invalidations: u64,
+    full_invalidations: u64,
+    entries_evicted: u64,
+    map: HashMap<CacheKey, CutEntry>,
+    /// Recency: tick of last use → key (same `O(log n)` LRU as the unsharded cache).
+    lru: BTreeMap<u64, CacheKey>,
+}
+
+impl CutCache {
+    fn new(capacity: usize, cut: ShardCut) -> Self {
+        CutCache {
+            capacity,
+            cut,
+            tick: 0,
+            partial_invalidations: 0,
+            full_invalidations: 0,
+            entries_evicted: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
+    }
+
+    /// Whether an entry's birth cut observes identical state through `footprint` as
+    /// `cut`, on **every** shard (same lineage + agreeing footprint epochs).
+    fn entry_valid_for(
+        born: &[(u64, EpochVector)],
+        footprint: ComponentSet,
+        cut: &ShardCut,
+    ) -> bool {
+        born.len() == cut.shard_count()
+            && born.iter().enumerate().all(|(i, (sys, epochs))| {
+                let snap = cut.shard(i);
+                *sys == snap.system_id() && epochs.agrees_on(snap.component_epochs(), footprint)
+            })
+    }
+
+    /// Move onto a newly published cut, evicting exactly the entries whose footprint
+    /// state the published cut no longer agrees with (per the entries' own birth
+    /// tags).  A shard-local footprint-disjoint publish therefore evicts nothing.
+    fn install(&mut self, published: &ShardCut) {
+        if published.same_cut(&self.cut) {
+            return;
+        }
+        self.cut = published.clone();
+        if self.capacity == 0 {
+            return;
+        }
+        let before = self.map.len();
+        self.map.retain(|_, e| Self::entry_valid_for(&e.born, e.footprint, published));
+        let map = &self.map;
+        self.lru.retain(|_, key| map.contains_key(key));
+        self.entries_evicted += (before - self.map.len()) as u64;
+        if before > 0 && self.map.is_empty() {
+            self.full_invalidations += 1;
+        } else {
+            self.partial_invalidations += 1;
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey, cut: &ShardCut) -> Option<Arc<QueryResult>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let entry = self.map.get(key)?;
+        if !Self::entry_valid_for(&entry.born, entry.footprint, cut) {
+            return None;
+        }
+        self.tick += 1;
+        let entry = self.map.get_mut(key).expect("entry present: looked up above");
+        self.lru.remove(&entry.last_used);
+        entry.last_used = self.tick;
+        self.lru.insert(self.tick, key.clone());
+        Some(Arc::clone(&entry.result))
+    }
+
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        cut: &ShardCut,
+        footprint: ComponentSet,
+        result: Arc<QueryResult>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        // Only results from the published lineages are cacheable (a rebuilt shard's
+        // epochs restart low; cross-lineage comparisons are refused everywhere).
+        if cut.shard_count() != self.cut.shard_count()
+            || (0..cut.shard_count())
+                .any(|i| cut.shard(i).system_id() != self.cut.shard(i).system_id())
+        {
+            return;
+        }
+        // Never displace an entry the *published* cut can serve with one it cannot.
+        if let Some(prev) = self.map.get(&key) {
+            let prev_fresh = Self::entry_valid_for(&prev.born, prev.footprint, &self.cut);
+            let new_fresh = cut.agrees_on(&self.cut, footprint);
+            if prev_fresh && !new_fresh {
+                return;
+            }
+        }
+        self.tick += 1;
+        if let Some(prev) = self.map.get(&key) {
+            self.lru.remove(&prev.last_used);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, lru_key)) = self.lru.pop_first() {
+                self.map.remove(&lru_key);
+            }
+        }
+        self.lru.insert(self.tick, key.clone());
+        self.map.insert(
+            key,
+            CutEntry { result, footprint, born: cut.version_vector(), last_used: self.tick },
+        );
+    }
+
+    fn len(&self) -> usize {
+        debug_assert_eq!(self.map.len(), self.lru.len(), "map/recency desync");
+        self.map.len()
+    }
+}
+
+/// The sharded query-serving layer: the currently published [`ShardCut`] behind a
+/// `RwLock`, a cut-level result cache, and a [`ShardedExecutor`] per query.  See the
+/// [module docs](self) for the consistency model.
+pub struct ShardedQueryService {
+    cut: RwLock<ShardCut>,
+    cache: Mutex<CutCache>,
+    config: ShardedServiceConfig,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    publishes: AtomicU64,
+}
+
+impl ShardedQueryService {
+    /// Start a service over an initial cut.
+    pub fn new(cut: ShardCut, config: ShardedServiceConfig) -> Self {
+        ShardedQueryService {
+            cache: Mutex::new(CutCache::new(config.cache_capacity, cut.clone())),
+            cut: RwLock::new(cut),
+            config,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// Start a service with the default configuration.
+    pub fn with_defaults(cut: ShardCut) -> Self {
+        ShardedQueryService::new(cut, ShardedServiceConfig::default())
+    }
+
+    /// Publish a new consistent cut: the whole cut is installed under the write
+    /// lock — with the cache synced before the lock is released — so no reader can
+    /// ever observe a published cut the cache is behind on, and no reader ever sees
+    /// some shards from the old cut and some from the new.
+    pub fn publish(&self, cut: ShardCut) {
+        let mut current = self.cut.write().expect("cut lock poisoned");
+        *current = cut;
+        self.cache.lock().expect("cache lock poisoned").install(&current);
+        drop(current);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A clone of the currently published cut.
+    pub fn cut(&self) -> ShardCut {
+        self.cut.read().expect("cut lock poisoned").clone()
+    }
+
+    /// The logical version of the currently published cut.
+    pub fn current_version(&self) -> u64 {
+        self.cut.read().expect("cut lock poisoned").version()
+    }
+
+    /// Execute one query against the published cut on the calling thread,
+    /// consulting the cut-level cache (the scatter phase supplies the per-query
+    /// parallelism; concurrent callers supply the serving parallelism).
+    pub fn run(&self, query: &Query) -> QueryResult {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let canonical = query.canonicalize();
+        let key = canonical.cache_key();
+        let cut = self.cut();
+        if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key, &cut) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            return (*hit).clone();
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let footprint = Plan::read_footprint(&canonical);
+        let result = Arc::new(
+            ShardedExecutor::new(&cut)
+                .with_shard_parallel(self.config.shard_parallel)
+                .with_verify_workers(self.config.verify_workers)
+                .with_parallel_threshold(self.config.parallel_threshold)
+                .run_canonical(&canonical),
+        );
+        self.cache.lock().expect("cache lock poisoned").insert(
+            key,
+            &cut,
+            footprint,
+            Arc::clone(&result),
+        );
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Number of live entries in the cut-level result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// A snapshot of the service counters (the `cache_*` invalidation fields follow
+    /// the same accounting as the unsharded service's).
+    pub fn metrics(&self) -> ServiceMetrics {
+        let (partial, full, evicted) = {
+            let cache = self.cache.lock().expect("cache lock poisoned");
+            (cache.partial_invalidations, cache.full_invalidations, cache.entries_evicted)
+        };
+        ServiceMetrics {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            cache_invalidations: partial + full,
+            cache_partial_invalidations: partial,
+            cache_full_invalidations: full,
+            cache_entries_evicted: evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Target;
+    use crate::reference::ReferenceExecutor;
+    use graphitti_core::{DataType, Graphitti, Marker, ObjectId, ShardedSystem};
+
+    /// Identical interleaved writes applied to an unsharded oracle and a sharded
+    /// system (global ids match by construction).
+    fn parallel_build(shards: usize) -> (Graphitti, ShardedSystem) {
+        let mut oracle = Graphitti::new();
+        let mut sharded = ShardedSystem::new(shards);
+        let term = oracle.ontology_mut().add_concept("Motif");
+        sharded.ontology_edit(|o| {
+            o.add_concept("Motif");
+        });
+        for i in 0..8u64 {
+            oracle.register_sequence(format!("seq-{i}"), DataType::DnaSequence, 2_000, "chr1");
+            sharded.register_sequence(format!("seq-{i}"), DataType::DnaSequence, 2_000, "chr1");
+        }
+        for i in 0..24u64 {
+            let obj = ObjectId(i % 8);
+            let comment =
+                if i % 3 == 0 { format!("protease motif {i}") } else { format!("quiet {i}") };
+            let marker = Marker::interval(i * 40, i * 40 + 25);
+            let mut a = oracle.annotate().comment(comment.clone()).mark(obj, marker.clone());
+            let mut b = sharded.annotate().comment(comment).mark(obj, marker);
+            if i % 2 == 0 {
+                a = a.cite_term(term);
+                b = b.cite_term(term);
+            }
+            a.commit().unwrap();
+            b.commit().unwrap();
+        }
+        (oracle, sharded)
+    }
+
+    fn phrase_query() -> Query {
+        Query::new(Target::AnnotationContents).with_phrase("protease motif")
+    }
+
+    #[test]
+    fn scatter_gather_matches_oracle_bytes() {
+        for shards in [1, 2, 3, 5] {
+            let (oracle, sharded) = parallel_build(shards);
+            let cut = sharded.capture_cut();
+            let queries = [
+                phrase_query(),
+                Query::new(Target::ConnectionGraphs).with_phrase("protease"),
+                Query::new(Target::Referents)
+                    .with_referent(ReferentFilter::OfType(DataType::DnaSequence)),
+                Query::new(Target::Referents).with_referent(ReferentFilter::OnObject(ObjectId(3))),
+                Query::new(Target::AnnotationContents), // unconstrained
+            ];
+            for q in queries {
+                let expected = ReferenceExecutor::new(&oracle).run(&q);
+                let sequential = ShardedExecutor::new(&cut).run(&q);
+                assert_eq!(sequential.to_json(), expected.to_json(), "{shards} shards: {q:?}");
+                let parallel = ShardedExecutor::new(&cut)
+                    .with_shard_parallel(true)
+                    .with_forced_scatter(true)
+                    .run(&q);
+                assert_eq!(parallel.to_json(), expected.to_json());
+            }
+        }
+    }
+
+    #[test]
+    fn on_object_prunes_to_owning_shard_only() {
+        let (_oracle, sharded) = parallel_build(4);
+        let cut = sharded.capture_cut();
+        let obj = ObjectId(3);
+        let mask = cut.object_referent_shards(obj);
+        assert_eq!(mask.count_ones(), 1, "single-object annotations live on one shard");
+        let q = Query::new(Target::Referents).with_referent(ReferentFilter::OnObject(obj));
+        let exec = ShardedExecutor::new(&cut);
+        assert_eq!(exec.referent_shard_mask(&q.canonicalize()), mask);
+        // Two different pinned objects on different shards: the mask empties and the
+        // conjunction is (correctly) empty.
+        let other = (0..8)
+            .map(ObjectId)
+            .find(|o| cut.object_referent_shards(*o) & mask == 0)
+            .expect("some object on another shard");
+        let q2 = Query::new(Target::Referents)
+            .with_referent(ReferentFilter::OnObject(obj))
+            .with_referent(ReferentFilter::OnObject(other));
+        assert_eq!(exec.referent_shard_mask(&q2.canonicalize()), 0);
+        assert!(exec.run(&q2).referents.is_empty());
+    }
+
+    #[test]
+    fn service_caches_and_publishes_cuts() {
+        let (mut oracle, mut sharded) = parallel_build(3);
+        let service = ShardedQueryService::new(
+            sharded.capture_cut(),
+            ShardedServiceConfig::default().with_cache_capacity(8),
+        );
+        let before = service.run(&phrase_query());
+        assert_eq!(
+            before.to_json(),
+            ReferenceExecutor::new(&oracle).run(&phrase_query()).to_json()
+        );
+        assert_eq!(service.run(&phrase_query()), before); // hit
+        let m = service.metrics();
+        assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
+
+        // A replicated ingest batch moves no annotation-path epochs on any shard:
+        // the entry survives the publish.
+        let mut batch = sharded.batch();
+        for i in 0..3 {
+            batch.register_sequence(format!("late-{i}"), DataType::DnaSequence, 500, "chr2");
+        }
+        batch.commit();
+        oracle.register_sequence("late-0", DataType::DnaSequence, 500, "chr2");
+        oracle.register_sequence("late-1", DataType::DnaSequence, 500, "chr2");
+        oracle.register_sequence("late-2", DataType::DnaSequence, 500, "chr2");
+        service.publish(sharded.capture_cut());
+        assert_eq!(service.run(&phrase_query()), before);
+        let m = service.metrics();
+        assert_eq!(m.cache_hits, 2);
+        assert_eq!(m.cache_entries_evicted, 0);
+        assert_eq!(m.cache_partial_invalidations, 1);
+
+        // An annotation commit on one shard evicts (every footprint reads the
+        // annotation registries of the cut).
+        sharded
+            .annotate()
+            .comment("protease motif late")
+            .mark(ObjectId(0), Marker::interval(900, 950))
+            .commit()
+            .unwrap();
+        oracle
+            .annotate()
+            .comment("protease motif late")
+            .mark(ObjectId(0), Marker::interval(900, 950))
+            .commit()
+            .unwrap();
+        service.publish(sharded.capture_cut());
+        let after = service.run(&phrase_query());
+        assert_eq!(after.to_json(), ReferenceExecutor::new(&oracle).run(&phrase_query()).to_json());
+        assert_eq!(after.annotations.len(), before.annotations.len() + 1);
+        let m = service.metrics();
+        assert_eq!(m.cache_entries_evicted, 1);
+    }
+
+    #[test]
+    fn stale_cut_reader_is_served_after_shard_local_disjoint_publish() {
+        let (_oracle, mut sharded) = parallel_build(2);
+        let service = ShardedQueryService::new(
+            sharded.capture_cut(),
+            ShardedServiceConfig::default().with_cache_capacity(8),
+        );
+        let stale_cut = service.cut();
+        let first = service.run(&phrase_query());
+
+        // Publish an ingest-only cut; the entry born on the old cut still agrees on
+        // the content footprint with both the old and the new cut.
+        sharded.register_sequence("pad", DataType::DnaSequence, 100, "chr9");
+        service.publish(sharded.capture_cut());
+        let mut cache = service.cache.lock().unwrap();
+        let key = phrase_query().cache_key();
+        assert!(cache.get(&key, &stale_cut).is_some(), "stale cut must still be served");
+        assert!(cache.get(&key, &service.cut.read().unwrap()).is_some());
+        drop(cache);
+        assert_eq!(service.run(&phrase_query()), first);
+    }
+}

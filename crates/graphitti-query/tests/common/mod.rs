@@ -3,7 +3,7 @@
 //! workloads.
 
 use datagen::rng::WorkloadRng;
-use graphitti_core::{DataType, Graphitti};
+use graphitti_core::{DataType, Graphitti, ObjectId};
 use graphitti_query::{GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
 use interval_index::Interval;
 use ontology::{ConceptId, RelationType};
@@ -56,8 +56,13 @@ pub fn random_query(rng: &mut WorkloadRng, sys: &Graphitti, domains: &[String]) 
     }
 
     for _ in 0..rng.range_u64(0, 3) {
-        let f = match rng.range_u64(0, 4) {
+        let f = match rng.range_u64(0, 5) {
             0 => ReferentFilter::OfType(TYPES[rng.range_usize(0, TYPES.len())]),
+            4 => {
+                // The id-bearing filter (sometimes an unknown object, which must
+                // match nothing).
+                ReferentFilter::OnObject(ObjectId(rng.range_u64(0, sys.object_count() as u64 + 2)))
+            }
             1 => {
                 let domain = if rng.chance(0.6) && !domains.is_empty() {
                     Some(domains[rng.range_usize(0, domains.len())].clone())

@@ -1,0 +1,499 @@
+//! The randomized cross-shard equivalence battery and the sharded concurrency tests.
+//!
+//! 1. **Cross-shard equivalence** — a [`ShardedSystem`] built by replaying the same
+//!    write stream as an unsharded oracle must serve **byte-identical** results
+//!    (serialized [`QueryResult`]s, result-page node ids included) for arbitrary
+//!    random queries, at shard counts {1, 2, 3, 8}, with the scatter sequential or
+//!    shard-parallel, the per-shard verify fan-out forced on, and the cut-level
+//!    cache on or off.  The oracle is the single-threaded [`ReferenceExecutor`] on
+//!    the equivalent unsharded system.
+//! 2. **Routing / merge invariants** — (proptest) every annotation and referent
+//!    lands on exactly one shard, re-routing is deterministic, and the
+//!    scatter-gather union of the disjoint per-shard runs preserves global id order
+//!    with no duplicates or drops under arbitrary partition skews.
+//! 3. **Concurrency** — per-shard publishes interleaved with in-flight
+//!    scatter-gather reads: every observed result is byte-identical to the
+//!    reference answer at one *published* cut (a consistent cut — never a mix of
+//!    shard states), observed cut versions are non-decreasing per reader, and
+//!    footprint-disjoint publishes evict nothing from the cut-level cache.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use common::{object_domains, random_query};
+use datagen::influenza::{self, InfluenzaConfig};
+use datagen::neuro::{self, NeuroConfig};
+use datagen::rng::WorkloadRng;
+use graphitti_core::{DataType, Graphitti, Marker, ObjectId, ShardedSystem};
+use graphitti_query::{
+    OntologyFilter, Query, QueryResult, ReferenceExecutor, ShardedExecutor, ShardedQueryService,
+    ShardedServiceConfig, Target,
+};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn result_bytes(result: &QueryResult) -> Vec<u8> {
+    serde_json::to_string(result).expect("result serializes").into_bytes()
+}
+
+/// Replay `base` into a fresh unsharded oracle and an N-shard system (both from the
+/// same study snapshot, so global ids *and a-graph node ids* coincide), then append
+/// a deterministic streamed tail of mixed writes to both.
+fn replayed_pair(base: &Graphitti, shards: usize, tail_seed: u64) -> (Graphitti, ShardedSystem) {
+    let study = base.study_snapshot();
+    let mut oracle = Graphitti::from_study_snapshot(&study).expect("oracle replay");
+    let mut sharded = ShardedSystem::from_study_snapshot(&study, shards).expect("sharded replay");
+
+    // A streamed tail: registers, annotations (some reusing committed referents) and
+    // an ontology term, applied identically to both systems.
+    let mut rng = WorkloadRng::new(tail_seed);
+    let objects = oracle.object_count() as u64;
+    let linear: Vec<ObjectId> =
+        oracle.objects().iter().filter(|o| o.data_type.is_linear()).map(|o| o.id).collect();
+    oracle.ontology_mut().add_concept("tail-term");
+    sharded.ontology_edit(|o| {
+        o.add_concept("tail-term");
+    });
+    for i in 0..8u64 {
+        let name = format!("tail-seq-{i}");
+        oracle.register_sequence(name.clone(), DataType::DnaSequence, 1_500, "tail-chr");
+        sharded.register_sequence(name, DataType::DnaSequence, 1_500, "tail-chr");
+    }
+    for i in 0..24u64 {
+        let obj = if rng.chance(0.5) && !linear.is_empty() {
+            *rng.choose(&linear)
+        } else {
+            ObjectId(objects + rng.range_u64(0, 8))
+        };
+        let start = rng.range_u64(0, 1_200);
+        let marker = Marker::interval(start, start + rng.range_u64(10, 80));
+        let comment = if rng.chance(0.4) {
+            format!("tail protease observation {i}")
+        } else {
+            format!("tail neutral note {i}")
+        };
+        let reuse = rng.chance(0.3) && oracle.referent_count() > 0;
+        if reuse {
+            let rid = graphitti_core::ReferentId(rng.range_u64(0, oracle.referent_count() as u64));
+            let a = oracle.annotate().comment(comment.clone()).mark_existing(rid).commit();
+            let b = sharded.annotate().comment(comment).mark_existing(rid).commit();
+            assert_eq!(a, b, "reuse commit outcome must match the oracle");
+        } else {
+            let a = oracle.annotate().comment(comment.clone()).mark(obj, marker.clone()).commit();
+            let b = sharded.annotate().comment(comment).mark(obj, marker).commit();
+            assert_eq!(a, b, "commit outcome must match the oracle");
+        }
+    }
+    assert!(sharded.verify_integrity().is_empty(), "{:?}", sharded.verify_integrity());
+    (oracle, sharded)
+}
+
+/// The battery core: random queries, every execution mode, byte comparison.
+fn assert_sharded_matches_reference(base: &Graphitti, seed: u64, queries: usize) {
+    for shards in SHARD_COUNTS {
+        let (oracle, sharded) = replayed_pair(base, shards, seed ^ 0xA11CE);
+        let reference = ReferenceExecutor::new(&oracle);
+        let domains = object_domains(&oracle);
+        let mut rng = WorkloadRng::new(seed);
+        let cases: Vec<(Query, Vec<u8>)> = (0..queries)
+            .map(|_| {
+                let q = random_query(&mut rng, &oracle, &domains);
+                let expected = result_bytes(&reference.run(&q));
+                (q, expected)
+            })
+            .collect();
+
+        let cut = sharded.capture_cut();
+        let cached = ShardedQueryService::new(
+            cut.clone(),
+            ShardedServiceConfig::default().with_cache_capacity(64).with_shard_parallel(true),
+        );
+        let uncached = ShardedQueryService::new(
+            cut.clone(),
+            ShardedServiceConfig::default()
+                .with_cache_capacity(0)
+                .with_verify_workers(2)
+                .with_parallel_threshold(1),
+        );
+        for (i, (q, expected)) in cases.iter().enumerate() {
+            let label = format!("shards={shards} query #{i}");
+            let sequential = ShardedExecutor::new(&cut).run(q);
+            assert_eq!(&result_bytes(&sequential), expected, "[{label}] sequential scatter");
+            let parallel = ShardedExecutor::new(&cut)
+                .with_shard_parallel(true)
+                .with_forced_scatter(true)
+                .with_verify_workers(3)
+                .with_parallel_threshold(1)
+                .run(q);
+            assert_eq!(&result_bytes(&parallel), expected, "[{label}] parallel scatter");
+            // Service with cache: first run misses, second must hit and stay equal.
+            assert_eq!(&result_bytes(&cached.run(q)), expected, "[{label}] cached miss");
+            assert_eq!(&result_bytes(&cached.run(q)), expected, "[{label}] cached hit");
+            assert_eq!(&result_bytes(&uncached.run(q)), expected, "[{label}] uncached");
+        }
+        assert!(
+            cached.metrics().cache_hits >= queries as u64,
+            "second pass must be served from the cut cache"
+        );
+    }
+}
+
+#[test]
+fn influenza_sharded_matches_reference() {
+    let base = influenza::build(&InfluenzaConfig::small().with_annotations(150));
+    assert_sharded_matches_reference(&base, 0x5A4D_0001, 30);
+}
+
+#[test]
+fn neuro_sharded_matches_reference() {
+    let w = neuro::build(&NeuroConfig {
+        seed: 11,
+        images: 24,
+        regions_per_image: 5,
+        coordinate_systems: 3,
+        dcn_prob: 0.4,
+        tp53_prob: 0.3,
+        canvas: 1_000.0,
+    });
+    assert_sharded_matches_reference(&w.system, 0x5A4D_0002, 30);
+}
+
+#[test]
+fn empty_sharded_system_matches_reference() {
+    // No corpus at all: every shard count must still agree with the oracle on
+    // arbitrary queries (all empty).
+    let mut rng = WorkloadRng::new(0x5A4D_0003);
+    let oracle = Graphitti::new();
+    let reference = ReferenceExecutor::new(&oracle);
+    for shards in SHARD_COUNTS {
+        let sharded = ShardedSystem::new(shards);
+        let cut = sharded.capture_cut();
+        for _ in 0..15 {
+            let q = random_query(&mut rng, &oracle, &[]);
+            assert_eq!(
+                result_bytes(&ShardedExecutor::new(&cut).with_forced_scatter(true).run(&q)),
+                result_bytes(&reference.run(&q)),
+            );
+        }
+    }
+}
+
+mod routing_and_merge_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Invariant body: for any schedule of annotations over a skewed object
+    /// population, every annotation/referent has exactly one home, re-routing is
+    /// deterministic (a second identical build produces identical homes), and the
+    /// merged global candidate runs are sorted, duplicate-free and complete.
+    fn check(shards: usize, object_picks: &[u8], protease_flags: &[bool]) {
+        let build = || {
+            let mut oracle = Graphitti::new();
+            let mut sharded = ShardedSystem::new(shards);
+            for i in 0..4u64 {
+                oracle.register_sequence(format!("s{i}"), DataType::DnaSequence, 2_000, "chr1");
+                sharded.register_sequence(format!("s{i}"), DataType::DnaSequence, 2_000, "chr1");
+            }
+            for (i, (&pick, &protease)) in object_picks.iter().zip(protease_flags).enumerate() {
+                // Arbitrary skew: `pick` concentrates annotations on few objects.
+                let obj = ObjectId(u64::from(pick % 4));
+                let comment =
+                    if protease { format!("protease motif {i}") } else { format!("quiet {i}") };
+                let marker = Marker::interval(i as u64 * 20, i as u64 * 20 + 10);
+                oracle
+                    .annotate()
+                    .comment(comment.clone())
+                    .mark(obj, marker.clone())
+                    .commit()
+                    .unwrap();
+                sharded.annotate().comment(comment).mark(obj, marker).commit().unwrap();
+            }
+            (oracle, sharded)
+        };
+        let (oracle, sharded) = build();
+        let (_, sharded2) = build();
+
+        // Exactly-one-home partition + deterministic re-routing.
+        prop_assert!(sharded.verify_integrity().is_empty());
+        let mut seen = vec![0usize; sharded.annotation_count()];
+        for g in 0..sharded.annotation_count() as u64 {
+            let home = sharded.annotation_home(graphitti_core::AnnotationId(g)).unwrap();
+            let home2 = sharded2.annotation_home(graphitti_core::AnnotationId(g)).unwrap();
+            prop_assert_eq!(home, home2, "re-routing must be deterministic");
+            prop_assert!(home.shard < shards);
+            seen[g as usize] += 1;
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1));
+
+        // Merged candidate runs: sorted ascending, no duplicates, no drops — equal
+        // to the oracle's candidate set whatever the partition skew.
+        let cut = sharded.capture_cut();
+        let q = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+        let merged = ShardedExecutor::new(&cut).with_forced_scatter(true).run(&q);
+        let expected = ReferenceExecutor::new(&oracle).run(&q);
+        prop_assert!(merged.annotations.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        prop_assert_eq!(&merged.annotations, &expected.annotations, "no drops, no extras");
+        prop_assert_eq!(result_bytes(&merged), result_bytes(&expected));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn partition_is_total_deterministic_and_merge_is_lossless(
+            shards in 1usize..9,
+            object_picks in prop::collection::vec(0u8..8, 1..24),
+            protease_flags in prop::collection::vec(any::<bool>(), 24),
+        ) {
+            check(shards, &object_picks, &protease_flags);
+        }
+    }
+}
+
+/// Per-shard publishes interleave with in-flight scatter-gather reads: every
+/// observed result must be byte-identical to the reference answer at one published
+/// cut (each batch appends exactly one matching annotation, so per-cut answers are
+/// pairwise distinct and a torn cross-shard read — some shards newer than others —
+/// can match no published answer), and versions must be non-decreasing per reader.
+#[test]
+fn scatter_gather_reads_observe_one_consistent_cut_under_publishes() {
+    let shards = 3usize;
+    let mut oracle = Graphitti::new();
+    let mut sharded = ShardedSystem::new(shards);
+    for i in 0..6u64 {
+        oracle.register_sequence(format!("s{i}"), DataType::DnaSequence, 1_000_000, "chr1");
+        sharded.register_sequence(format!("s{i}"), DataType::DnaSequence, 1_000_000, "chr1");
+    }
+    for i in 0..10u64 {
+        let obj = ObjectId(i % 6);
+        let marker = Marker::interval(i * 100, i * 100 + 50);
+        oracle
+            .annotate()
+            .comment(format!("protease motif {i}"))
+            .mark(obj, marker.clone())
+            .commit()
+            .unwrap();
+        sharded
+            .annotate()
+            .comment(format!("protease motif {i}"))
+            .mark(obj, marker)
+            .commit()
+            .unwrap();
+    }
+
+    let query = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+    let service = Arc::new(ShardedQueryService::new(
+        sharded.capture_cut(),
+        ShardedServiceConfig::default().with_cache_capacity(16).with_shard_parallel(true),
+    ));
+    let mut legal: Vec<Vec<u8>> = vec![result_bytes(&ReferenceExecutor::new(&oracle).run(&query))];
+
+    let publishes = 12u64;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let service = Arc::clone(&service);
+            let query = query.clone();
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    observed.push(result_bytes(&service.run(&query)));
+                }
+                observed
+            }));
+        }
+
+        for b in 0..publishes {
+            // Each batch routes its writes to whichever shard the target object
+            // hashes to — successive batches hit different shards, so the readers
+            // race against genuinely per-shard publishes.
+            let obj = ObjectId(b % 6);
+            let marker = Marker::interval(500_000 + b * 100, 500_000 + b * 100 + 50);
+            let mut ob = oracle.batch();
+            ob.annotate()
+                .comment(format!("protease motif late {b}"))
+                .mark(obj, marker.clone())
+                .commit()
+                .unwrap();
+            ob.annotate()
+                .comment(format!("noise {b}"))
+                .mark(obj, Marker::interval(700_000 + b * 70, 700_000 + b * 70 + 30))
+                .commit()
+                .unwrap();
+            ob.commit();
+            let mut sb = sharded.batch();
+            sb.annotate()
+                .comment(format!("protease motif late {b}"))
+                .mark(obj, marker)
+                .commit()
+                .unwrap();
+            sb.annotate()
+                .comment(format!("noise {b}"))
+                .mark(obj, Marker::interval(700_000 + b * 70, 700_000 + b * 70 + 30))
+                .commit()
+                .unwrap();
+            sb.commit();
+            service.publish(sharded.capture_cut());
+            legal.push(result_bytes(&ReferenceExecutor::new(&oracle).run(&query)));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        for reader in readers {
+            let observed = reader.join().expect("reader panicked");
+            assert!(!observed.is_empty());
+            let mut last_idx = 0usize;
+            for bytes in observed {
+                let idx = legal.iter().position(|l| l == &bytes).expect(
+                    "reader saw a result matching no published cut's reference answer \
+                     (a torn cross-shard read)",
+                );
+                assert!(idx >= last_idx, "reader went back in time: cut #{idx} after #{last_idx}");
+                last_idx = idx;
+            }
+        }
+    });
+    assert_eq!(service.metrics().publishes, publishes);
+    assert_eq!(service.current_version(), sharded.version());
+}
+
+/// Footprint-disjoint publishes (replicated ingest batches) land mid-flight while
+/// readers keep a content query and an ontology query hot: no entry is ever
+/// evicted, every publish is accounted partial, misses stay bounded by the initial
+/// population, and every served answer stays byte-identical to the (unchanged)
+/// reference.  A footprint-intersecting annotation afterwards still evicts.
+#[test]
+fn shard_local_disjoint_publishes_evict_nothing_mid_flight() {
+    let shards = 4usize;
+    let mut oracle = Graphitti::new();
+    let mut sharded = ShardedSystem::new(shards);
+    let term = oracle.ontology_mut().add_concept("Motif");
+    sharded.ontology_edit(|o| {
+        o.add_concept("Motif");
+    });
+    for i in 0..6u64 {
+        oracle.register_sequence(format!("s{i}"), DataType::DnaSequence, 1_000_000, "chr1");
+        sharded.register_sequence(format!("s{i}"), DataType::DnaSequence, 1_000_000, "chr1");
+    }
+    for i in 0..10u64 {
+        let obj = ObjectId(i % 6);
+        let marker = Marker::interval(i * 100, i * 100 + 50);
+        oracle
+            .annotate()
+            .comment(format!("protease motif {i}"))
+            .mark(obj, marker.clone())
+            .cite_term(term)
+            .commit()
+            .unwrap();
+        sharded
+            .annotate()
+            .comment(format!("protease motif {i}"))
+            .mark(obj, marker)
+            .cite_term(term)
+            .commit()
+            .unwrap();
+    }
+
+    let phrase_query = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+    let term_query =
+        Query::new(Target::AnnotationContents).with_ontology(OntologyFilter::CitesTerm(term));
+    let expected_phrase = result_bytes(&ReferenceExecutor::new(&oracle).run(&phrase_query));
+    let expected_term = result_bytes(&ReferenceExecutor::new(&oracle).run(&term_query));
+
+    let service = Arc::new(ShardedQueryService::new(
+        sharded.capture_cut(),
+        ShardedServiceConfig::default().with_cache_capacity(16),
+    ));
+    let publishes = 10u64;
+    let stop = AtomicBool::new(false);
+    let observed: u64 = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for r in 0..3usize {
+            let service = Arc::clone(&service);
+            let phrase_query = phrase_query.clone();
+            let term_query = term_query.clone();
+            let (expected_phrase, expected_term) = (&expected_phrase, &expected_term);
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut count = 0u64;
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let (q, expected) = if i % 2 == 0 {
+                        (&phrase_query, expected_phrase)
+                    } else {
+                        (&term_query, expected_term)
+                    };
+                    assert_eq!(
+                        &result_bytes(&service.run(q)),
+                        expected,
+                        "ingest publishes must never change a served answer"
+                    );
+                    count += 1;
+                    i += 1;
+                }
+                count
+            }));
+        }
+
+        for b in 0..publishes {
+            // Applied to the oracle too: registrations cannot change either answer
+            // (a fresh object has no referents), but they keep the oracle's a-graph
+            // node numbering aligned for the post-stream annotation comparison.
+            let mut batch = sharded.batch();
+            let mut ob = oracle.batch();
+            for i in 0..3 {
+                batch.register_sequence(
+                    format!("ingest-{b}-{i}"),
+                    DataType::DnaSequence,
+                    500,
+                    "chr2",
+                );
+                ob.register_sequence(format!("ingest-{b}-{i}"), DataType::DnaSequence, 500, "chr2");
+            }
+            ob.commit();
+            batch.commit();
+            service.publish(sharded.capture_cut());
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        readers.into_iter().map(|r| r.join().expect("reader panicked")).sum()
+    });
+
+    let m = service.metrics();
+    assert_eq!(m.publishes, publishes);
+    assert_eq!(m.cache_entries_evicted, 0, "ingest publishes must evict nothing: {m:?}");
+    assert_eq!(m.cache_partial_invalidations, publishes);
+    assert_eq!(m.cache_full_invalidations, 0);
+    assert_eq!(service.cache_len(), 2);
+    // The service executes on the caller thread, so each of the 3 readers can miss
+    // each of the two keys at most once before the first insert lands.
+    assert!(m.cache_misses <= 6, "publishes must not force re-execution: {m:?}");
+    assert_eq!(m.cache_hits + m.cache_misses, observed);
+
+    // A footprint-intersecting annotation commit still evicts both entries.
+    let obj = ObjectId(0);
+    oracle
+        .annotate()
+        .comment("protease motif late")
+        .mark(obj, Marker::interval(900_000, 900_050))
+        .cite_term(term)
+        .commit()
+        .unwrap();
+    sharded
+        .annotate()
+        .comment("protease motif late")
+        .mark(obj, Marker::interval(900_000, 900_050))
+        .cite_term(term)
+        .commit()
+        .unwrap();
+    service.publish(sharded.capture_cut());
+    assert_eq!(service.metrics().cache_entries_evicted, 2);
+    assert_eq!(
+        result_bytes(&service.run(&phrase_query)),
+        result_bytes(&ReferenceExecutor::new(&oracle).run(&phrase_query))
+    );
+}

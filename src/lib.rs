@@ -81,8 +81,21 @@
 //!   the canonical query form ([`query::Query::canonicalize`]) and invalidated on
 //!   snapshot publish.
 //!
+//! ## Sharding
+//!
+//! [`core::ShardedSystem`] hash-partitions annotations / referents / content across N
+//! independent shards by anchor-object hash (object metadata and the ontology are
+//! replicated; annotation/referent ids stay **global**), and
+//! [`query::ShardedQueryService`] serves scatter-gather over a consistent
+//! [`core::ShardCut`] — per-shard candidate pipelines merged by a k-way sorted union,
+//! one global collation pass, answers **byte-identical** to the equivalent unsharded
+//! system (the randomized cross-shard battery in
+//! `crates/graphitti-query/tests/sharded_equivalence.rs` pins this at shard counts
+//! {1, 2, 3, 8}).  See `examples/sharded_service.rs` and the "Sharding" section of
+//! `ARCHITECTURE.md`.
+//!
 //! Run `cargo bench -p bench --bench throughput` for queries/second and latency
-//! percentiles per worker/cache configuration (`BENCH_throughput.json`).
+//! percentiles per worker/cache/shards configuration (`BENCH_throughput.json`).
 
 pub use agraph;
 pub use baseline as baselines;
