@@ -17,6 +17,9 @@ use std::path::Path;
 /// `entries_evicted`) are written by `mixed_rw` on its read-side entries, so the
 /// partial-invalidation before/after is visible in `BENCH_throughput.json`;
 /// `shards` is the scatter-gather axis (`0` = the unsharded worker-pool service).
+/// The durability fields (`records` through `replayed`) are written by the
+/// `durability` bench: `batches_per_fsync` is the group-commit coalescing factor
+/// and `recovery_ms` the cold checkpoint-then-tail recovery time.
 const THROUGHPUT_FIELDS: &[&str] = &[
     "qps",
     "p50_ns",
@@ -34,6 +37,11 @@ const THROUGHPUT_FIELDS: &[&str] = &[
     "partial_invalidations",
     "full_invalidations",
     "entries_evicted",
+    "records",
+    "fsyncs",
+    "batches_per_fsync",
+    "recovery_ms",
+    "replayed",
 ];
 
 struct Entry {

@@ -91,6 +91,26 @@ impl ComponentSet {
     pub fn iter(self) -> impl Iterator<Item = Component> {
         Component::ALL.into_iter().filter(move |&c| self.contains(c))
     }
+
+    /// The raw bitmask — the stable wire form a WAL record's dirty set is persisted
+    /// as (bit `i` is `Component::ALL[i]`).
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Rebuild a set from a persisted bitmask; bits beyond the 12 components are
+    /// dropped, so any `u16` round-trips to a valid set.
+    pub fn from_bits(bits: u16) -> ComponentSet {
+        ComponentSet(bits) & ComponentSet::all()
+    }
+}
+
+impl std::ops::BitAnd for ComponentSet {
+    type Output = ComponentSet;
+
+    fn bitand(self, rhs: ComponentSet) -> ComponentSet {
+        ComponentSet(self.0 & rhs.0)
+    }
 }
 
 impl FromIterator<Component> for ComponentSet {

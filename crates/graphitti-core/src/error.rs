@@ -33,6 +33,18 @@ pub enum CoreError {
     Relational(String),
     /// An underlying a-graph error.
     Graph(String),
+    /// A sharded annotation reused committed referents that live on one shard while
+    /// its new marks (or other reused referents) pin it to a different shard.  An
+    /// annotation is a shard-local row, so all of its referents must share one home.
+    CrossShardReuse {
+        /// The shard the annotation was routed to.
+        home: usize,
+        /// The different shard a reused referent lives on.
+        reused: usize,
+    },
+    /// A durability-layer failure: the write-ahead log or checkpoint storage errored,
+    /// or recovery found the persisted state unusable (e.g. a corrupt checkpoint).
+    Durability(String),
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +62,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::Relational(m) => write!(f, "relational store error: {m}"),
             CoreError::Graph(m) => write!(f, "a-graph error: {m}"),
+            CoreError::CrossShardReuse { home, reused } => write!(
+                f,
+                "cross-shard annotation: a reused referent lives on shard {reused} but the \
+                 annotation is routed to shard {home} (co-locate reused referents or annotate \
+                 them separately)"
+            ),
+            CoreError::Durability(m) => write!(f, "durability error: {m}"),
         }
     }
 }
@@ -79,5 +98,8 @@ mod tests {
         assert!(re.to_string().contains("relational"));
         let ge: CoreError = agraph::GraphError::TooFewTerminals(1).into();
         assert!(ge.to_string().contains("a-graph"));
+        let cs = CoreError::CrossShardReuse { home: 2, reused: 5 }.to_string();
+        assert!(cs.contains("shard 5") && cs.contains("shard 2"), "{cs}");
+        assert!(CoreError::Durability("bad checkpoint".into()).to_string().contains("durability"));
     }
 }

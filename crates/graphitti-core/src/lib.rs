@@ -44,12 +44,14 @@ pub mod epoch;
 pub mod error;
 pub mod indexes;
 pub mod marker;
+pub mod recovery;
 pub mod referent;
 pub mod shard;
 pub mod snapshot;
 pub mod study;
 pub mod system;
 pub mod types;
+pub mod wal;
 
 pub use annotation::{Annotation, AnnotationBuilder, AnnotationId};
 pub use batch::CommitBatch;
@@ -57,12 +59,18 @@ pub use epoch::{ComponentSet, EpochVector};
 pub use error::CoreError;
 pub use indexes::{Indexes, Stats};
 pub use marker::{Marker, SubX};
+pub use recovery::{recover_sharded, recover_unsharded, RecoveryReport};
 pub use referent::{Referent, ReferentId};
 pub use shard::{ShardCut, ShardedBatch, ShardedSystem};
 pub use snapshot::Snapshot;
 pub use study::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, StudySnapshot};
 pub use system::{Component, Entity, Graphitti, ObjectId, ObjectInfo, SystemView};
 pub use types::{DataType, Dimensionality};
+pub use wal::{
+    Checkpoint, CrashImage, CrashPoint, DurabilityMode, DurableShardedSystem, DurableSystem,
+    FaultHandle, FaultStorage, FileStorage, LogOp, LogReferent, MemStorage, Wal, WalRecord,
+    WalStats, WalStorage,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -46,7 +46,8 @@
 //!
 //! Known limits (documented, enforced with clear errors, and listed in the ROADMAP):
 //! an annotation whose *reused* referents live on two different shards is rejected
-//! (`CoreError::Graph`), and the global mirror is one copy-on-publish value — a
+//! ([`CoreError::CrossShardReuse`], naming both shards), and the global mirror is one
+//! copy-on-publish value — a
 //! post-cut batch deep-copies it wholesale, the same cost class as the heavyweight
 //! components an annotation batch already copies per shard.
 
@@ -64,7 +65,7 @@ use crate::error::CoreError;
 use crate::marker::Marker;
 use crate::referent::{Referent, ReferentId};
 use crate::snapshot::Snapshot;
-use crate::study::StudySnapshot;
+use crate::study::{AnnotationSnapshot, ObjectSnapshot, ReferentSnapshot, StudySnapshot};
 use crate::system::{Entity, Graphitti, ObjectId};
 use crate::types::DataType;
 use crate::Result;
@@ -340,6 +341,64 @@ impl ShardedSystem {
         }
     }
 
+    /// Export the global state as a replayable [`StudySnapshot`] — the same flat
+    /// global-id-ordered form [`Graphitti::study_snapshot`] produces, so the export
+    /// replays into an unsharded system or any shard count with identical global
+    /// ids.  This is the durability layer's checkpoint body
+    /// ([`crate::wal::Checkpoint`]).
+    pub fn study_snapshot(&self) -> StudySnapshot {
+        // The catalog and ontology are replicated: shard 0 sees every object.
+        let reference = self.shard(0);
+        let objects = reference
+            .objects()
+            .iter()
+            .map(|info| {
+                let (metadata, payload) = reference
+                    .object_metadata(info.id)
+                    .unwrap_or_else(|| (Vec::new(), Bytes::new()));
+                ObjectSnapshot {
+                    data_type: info.data_type,
+                    name: info.name.clone(),
+                    domain: info.domain.clone(),
+                    metadata,
+                    payload: payload.to_vec(),
+                }
+            })
+            .collect();
+
+        // Global referent/annotation ids are dense and in commit order, so walking
+        // them in order reproduces the oracle's snapshot layout exactly.
+        let referents = (0..self.referent_count() as u64)
+            .map(|grid| {
+                let home = self.referent_home(ReferentId(grid)).expect("dense global id");
+                let r = self
+                    .shard(home.shard)
+                    .referent(ReferentId(home.local))
+                    .expect("referent on its home shard");
+                ReferentSnapshot { object: r.object.0 as usize, marker: r.marker.clone() }
+            })
+            .collect();
+
+        let annotations = (0..self.annotation_count() as u64)
+            .map(|gaid| {
+                let home = self.annotation_home(AnnotationId(gaid)).expect("dense global id");
+                let a = self
+                    .shard(home.shard)
+                    .annotation(AnnotationId(home.local))
+                    .expect("annotation on its home shard");
+                let referents = self
+                    .annotation_referents(AnnotationId(gaid))
+                    .expect("link list for a committed annotation")
+                    .iter()
+                    .map(|r| r.0 as usize)
+                    .collect();
+                AnnotationSnapshot { content: a.content.clone(), referents, terms: a.terms.clone() }
+            })
+            .collect();
+
+        StudySnapshot { objects, referents, annotations, ontology: self.ontology().clone() }
+    }
+
     // --- writes ---
 
     /// Bump the logical version for a write attempt (once per batch when batching).
@@ -474,7 +533,7 @@ impl ShardedSystem {
     /// the hash shard of the first newly marked object, else (a terms-only
     /// annotation) `next_global_annotation_id % shards`.  Every reused referent must
     /// be co-located on the route shard — a cross-shard reuse is rejected with
-    /// [`CoreError::Graph`] before anything is written (the documented sharding
+    /// [`CoreError::CrossShardReuse`] before anything is written (the documented sharding
     /// limit).  An *unknown* reused referent id is forwarded to the shard as an
     /// unknown local id, so the failure point (and any partial effects of earlier
     /// marks) matches the unsharded system exactly.
@@ -564,11 +623,7 @@ impl ShardedSystem {
                     match route {
                         None => route = Some(home.shard),
                         Some(r) if r != home.shard => {
-                            return Err(CoreError::Graph(format!(
-                                "cross-shard annotation: reused referents live on shards {r} \
-                                 and {} (co-locate reused referents or annotate them separately)",
-                                home.shard
-                            )));
+                            return Err(CoreError::CrossShardReuse { home: r, reused: home.shard });
                         }
                         Some(_) => {}
                     }
@@ -1174,7 +1229,10 @@ mod tests {
         let ra = sharded.annotation_referents(ann_a).unwrap()[0];
         let rb = sharded.annotation_referents(ann_b).unwrap()[0];
         let err = sharded.annotate().comment("x").mark_existing(ra).mark_existing(rb).commit();
-        assert!(matches!(err, Err(CoreError::Graph(_))), "cross-shard reuse must be rejected");
+        assert!(
+            matches!(err, Err(CoreError::CrossShardReuse { home: 0, reused: 1 })),
+            "cross-shard reuse must be rejected with the shard pair: {err:?}"
+        );
         // Co-located reuse still works, and a cross-shard *new* mark is fine (objects
         // are replicated; the annotation follows its first reused referent's home).
         sharded.annotate().comment("ok").mark_existing(ra).commit().unwrap();

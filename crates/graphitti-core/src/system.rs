@@ -1087,7 +1087,7 @@ impl Graphitti {
 /// or either marker index family — a registration creates an object with no referents
 /// and an edge-less a-graph node, so it is invisible to every query until an
 /// annotation links it (see the footprint rules in `graphitti_query::plan`).
-const REGISTER_DIRTY: ComponentSet = ComponentSet::of_const(&[
+pub(crate) const REGISTER_DIRTY: ComponentSet = ComponentSet::of_const(&[
     Component::Catalog,
     Component::Agraph,
     Component::Objects,

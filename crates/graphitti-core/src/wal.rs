@@ -1,0 +1,1282 @@
+//! Durability: the append-only write-ahead log, group commit, and checkpoints.
+//!
+//! The in-memory fabric publishes state in batch-sized steps — a [`CommitBatch`] /
+//! [`ShardedBatch`](crate::ShardedBatch) is one coalesced epoch bump, and PR 5's
+//! `ShardCut` already defines what a consistent published state *is*.  This module
+//! makes those steps survive a crash:
+//!
+//! * **Record = batch.**  A [`WalRecord`] is one published batch: its logical
+//!   version (batches since genesis), its dirty [`ComponentSet`] bitmask, and the
+//!   ordered [`LogOp`]s that were *attempted* (failed commits keep their partial
+//!   effects — deterministically, so replaying the same ops reproduces the same
+//!   state; `tests/prop_shard.rs` pins that invariant).  Records are serialized as
+//!   JSON and framed `[len: u32 LE][crc32: u32 LE][payload]`; the CRC is over the
+//!   payload, so a torn or bit-flipped tail is *detected*, never misdecoded
+//!   (`tests/prop_wal.rs`).
+//! * **Group commit.**  [`Wal::append_record`] under [`DurabilityMode::Sync`] uses a
+//!   leader/follower protocol: while one committer is inside `fsync`, every batch
+//!   submitted concurrently queues up and the next leader flushes them all with a
+//!   single write+fsync.  `batches per fsync` is observable via [`Wal::stats`].
+//! * **Checkpoint = study snapshot + truncation.**  [`Wal::write_checkpoint`]
+//!   persists a CRC-framed [`Checkpoint`] (a [`StudySnapshot`] plus the version and
+//!   shard count), fsyncs it, and only then truncates the log.  Recovery replays
+//!   checkpoint-then-tail, skipping tail records at or below the checkpoint version,
+//!   so a crash *between* the checkpoint write and the truncation is harmless (see
+//!   [`crate::recovery`]).
+//! * **Pluggable storage.**  [`WalStorage`] abstracts the byte layer: [`FileStorage`]
+//!   for real logs, [`MemStorage`] for tests, and [`FaultStorage`] — a deterministic
+//!   fault-injection backend that can tear an append mid-record, flip a byte, drop an
+//!   fsync, or power-cut between checkpoint and truncation at an enumerated
+//!   [`CrashPoint`], exposing the surviving bytes as a [`CrashImage`] for the
+//!   crash-recovery battery.
+//!
+//! [`DurableSystem`] / [`DurableShardedSystem`] wrap [`Graphitti`] /
+//! [`ShardedSystem`]: `apply` runs one batch of [`LogOp`]s and appends its record
+//! *before returning*, so by the time a caller publishes the resulting snapshot or
+//! cut to a query service the batch is durable (under `Sync`; `Async` defers the
+//! fsync to [`Wal::flush`], which the services' publish paths call — durable before
+//! visible either way).
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use bytes::Bytes;
+use ontology::ConceptId;
+use relstore::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::batch::CommitBatch;
+use crate::epoch::ComponentSet;
+use crate::marker::Marker;
+use crate::referent::ReferentId;
+use crate::shard::{ShardedBatch, ShardedSystem};
+use crate::study::StudySnapshot;
+use crate::system::{Component, Graphitti, ObjectId, REGISTER_DIRTY};
+use crate::types::DataType;
+use crate::{CoreError, Result};
+
+// --- CRC32 and framing ---
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of a byte slice (the checksum in every frame header).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Frame header size: `[len: u32 LE][crc32: u32 LE]`.
+pub const FRAME_HEADER: usize = 8;
+
+/// Frame a payload: length + CRC header followed by the payload bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// The result of scanning a log image: every validly framed payload in order, the
+/// byte length of that valid prefix, and whether scanning stopped at a torn or
+/// corrupt tail (as opposed to the clean end of the log).
+pub struct FrameScan {
+    /// The framed payloads, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Bytes of the log occupied by the valid frames (a truncation point).
+    pub valid_len: usize,
+    /// `true` if trailing bytes after `valid_len` were unreadable (torn header,
+    /// short payload, or CRC mismatch).
+    pub torn: bool,
+}
+
+/// Scan a log image into frames, stopping cleanly at the first torn or corrupt one.
+///
+/// This is the recovery-side prefix rule: everything before the first bad frame is
+/// trusted (its CRC matched), everything from it on is discarded.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let mut payloads = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= FRAME_HEADER {
+        let len_bytes: [u8; 4] = bytes[offset..offset + 4].try_into().expect("4 bytes");
+        let crc_bytes: [u8; 4] = bytes[offset + 4..offset + 8].try_into().expect("4 bytes");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        let expected_crc = u32::from_le_bytes(crc_bytes);
+        let start = offset + FRAME_HEADER;
+        let Some(end) = start.checked_add(len) else {
+            return FrameScan { payloads, valid_len: offset, torn: true };
+        };
+        if end > bytes.len() || crc32(&bytes[start..end]) != expected_crc {
+            return FrameScan { payloads, valid_len: offset, torn: true };
+        }
+        payloads.push(bytes[start..end].to_vec());
+        offset = end;
+    }
+    FrameScan { payloads, valid_len: offset, torn: offset < bytes.len() }
+}
+
+// --- the loggable write surface ---
+
+/// One durable write, as persisted in a [`WalRecord`].  The loggable surface mirrors
+/// the system's write API in *global* ids, so one op stream replays identically into
+/// an unsharded [`Graphitti`] or a [`ShardedSystem`] at any shard count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogOp {
+    /// Register an object (the general form; see [`LogOp::register_sequence`] for
+    /// the linear-object convenience that mirrors
+    /// [`Graphitti::register_sequence`]).
+    Register {
+        /// The object's data type.
+        data_type: DataType,
+        /// Its name / accession.
+        name: String,
+        /// The metadata columns between `name` and `payload`.
+        metadata: Vec<Value>,
+        /// The raw payload bytes.
+        payload: Vec<u8>,
+        /// Its coordinate domain / system.
+        domain: String,
+    },
+    /// Commit an annotation: content plus ordered referents (new marks or reused
+    /// committed referents, by global id) plus cited ontology terms.
+    Annotate {
+        /// The annotation's Dublin Core content.
+        content: xmlstore::DublinCore,
+        /// Its referents, in builder order.
+        referents: Vec<LogReferent>,
+        /// The ontology terms it cites.
+        terms: Vec<ConceptId>,
+    },
+    /// Define an ontology concept (vocabulary curation).
+    DefineTerm {
+        /// The concept's name.
+        name: String,
+    },
+}
+
+/// A serializable pending referent: a new mark on an object, or the reuse of a
+/// committed referent by its global id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogReferent {
+    /// Mark a new region of an object.
+    New {
+        /// The object being marked.
+        object: ObjectId,
+        /// Where on the object.
+        marker: Marker,
+    },
+    /// Link an already-committed referent.
+    Existing(ReferentId),
+}
+
+impl LogOp {
+    /// The sequence-registration convenience: builds the same metadata row as
+    /// [`Graphitti::register_sequence`], so the logged op replays to an identical
+    /// catalog entry.
+    pub fn register_sequence(
+        name: impl Into<String>,
+        data_type: DataType,
+        length: u64,
+        domain: impl Into<String>,
+    ) -> LogOp {
+        assert!(data_type.is_linear(), "register_sequence needs a linear type");
+        let domain = domain.into();
+        let metadata = match data_type {
+            DataType::DnaSequence | DataType::RnaSequence => vec![
+                Value::Int(length as i64),
+                Value::text("unknown"),
+                Value::Float(0.5),
+                Value::text(domain.clone()),
+            ],
+            DataType::ProteinSequence => vec![
+                Value::Int(length as i64),
+                Value::text("unknown"),
+                Value::text("unknown"),
+                Value::text(domain.clone()),
+            ],
+            DataType::MultipleAlignment => {
+                vec![Value::Int(length as i64), Value::Int(1), Value::text(domain.clone())]
+            }
+            _ => unreachable!("linear types handled above"),
+        };
+        LogOp::Register { data_type, name: name.into(), metadata, payload: Vec::new(), domain }
+    }
+
+    /// The components this op dirties (conservative, computed from the op alone so
+    /// sharded and unsharded logs of the same batch carry identical dirty sets; a
+    /// superset of what the batch actually copied).
+    pub fn dirty(&self) -> ComponentSet {
+        match self {
+            LogOp::Register { .. } => REGISTER_DIRTY,
+            LogOp::Annotate { referents, terms, .. } => {
+                let mut dirty = ComponentSet::of([
+                    Component::Content,
+                    Component::Agraph,
+                    Component::NodeMaps,
+                    Component::Annotations,
+                    Component::Indexes,
+                ]);
+                for referent in referents {
+                    if let LogReferent::New { marker, .. } = referent {
+                        dirty.insert(Component::Referents);
+                        dirty.insert(Component::ObjectReferents);
+                        match marker {
+                            Marker::Interval(_) => dirty.insert(Component::Intervals),
+                            Marker::Region(_) | Marker::Volume(_) => {
+                                dirty.insert(Component::Spatial)
+                            }
+                            Marker::BlockSet(_) => {}
+                        }
+                    }
+                }
+                if !terms.is_empty() {
+                    dirty.insert(Component::Ontology);
+                }
+                dirty
+            }
+            LogOp::DefineTerm { .. } => ComponentSet::of([Component::Ontology]),
+        }
+    }
+}
+
+/// The dirty union of a whole batch of ops.
+pub fn batch_dirty(ops: &[LogOp]) -> ComponentSet {
+    ops.iter().fold(ComponentSet::EMPTY, |acc, op| acc.union(op.dirty()))
+}
+
+/// One WAL record: a published batch with its logical version and dirty set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// The batch's logical version: 1 for the first batch after genesis (or after
+    /// the state the checkpoint captured), strictly increasing by 1.
+    pub version: u64,
+    /// The batch's dirty [`ComponentSet`] as a bitmask ([`ComponentSet::bits`]).
+    pub dirty: u16,
+    /// The attempted ops, in submission order.
+    pub ops: Vec<LogOp>,
+}
+
+impl WalRecord {
+    /// Serialize to a CRC-framed byte record.
+    pub fn encode(&self) -> Vec<u8> {
+        let json = serde_json::to_string(self).expect("WAL record serializes");
+        encode_frame(json.as_bytes())
+    }
+
+    /// Parse a record from one frame's payload.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| CoreError::Durability(format!("record is not UTF-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| CoreError::Durability(format!("record does not parse: {e}")))
+    }
+}
+
+/// A checkpoint: the full state at a logical version, persisted through the existing
+/// [`StudySnapshot`] machinery.  `shards == 0` marks an unsharded system's log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The logical version (batches since genesis) the snapshot captures.
+    pub version: u64,
+    /// Shard count of the logging system (`0` = unsharded).
+    pub shards: usize,
+    /// The replayable state.
+    pub snapshot: StudySnapshot,
+}
+
+impl Checkpoint {
+    /// Serialize to a CRC-framed byte blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let json = serde_json::to_string(self).expect("checkpoint serializes");
+        encode_frame(json.as_bytes())
+    }
+
+    /// Parse a checkpoint from its framed blob, verifying the CRC.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint> {
+        let scan = scan_frames(bytes);
+        let [payload] = scan.payloads.as_slice() else {
+            return Err(CoreError::Durability(format!(
+                "checkpoint blob is corrupt: {} valid frame(s), torn={}",
+                scan.payloads.len(),
+                scan.torn
+            )));
+        };
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| CoreError::Durability(format!("checkpoint is not UTF-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| CoreError::Durability(format!("checkpoint does not parse: {e}")))
+    }
+}
+
+// --- storage backends ---
+
+/// The byte layer under the WAL: an append-only log plus a single checkpoint slot.
+///
+/// The log contract is append + explicit durability barrier (`sync`); the checkpoint
+/// slot is replaced atomically (write-then-rename on [`FileStorage`]).  `read_*` see
+/// every written byte — *durability* (what survives a crash) is a property of the
+/// fault-injection backend's [`CrashImage`], not of reads on a live store.
+pub trait WalStorage: Send {
+    /// Append bytes to the log (buffered; durable only after [`sync`](Self::sync)).
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Durability barrier: everything appended so far survives a crash.
+    fn sync(&mut self) -> io::Result<()>;
+    /// The current log contents.
+    fn read_log(&self) -> io::Result<Vec<u8>>;
+    /// Drop all log bytes past `len` (recovery's torn-tail repair).
+    fn truncate_log_to(&mut self, len: usize) -> io::Result<()>;
+    /// Replace the checkpoint slot.
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// The checkpoint slot contents, if any.
+    fn read_checkpoint(&self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// Plain in-memory storage (tests, and the substrate a [`CrashImage`] is recovered
+/// from).
+#[derive(Default)]
+pub struct MemStorage {
+    log: Vec<u8>,
+    checkpoint: Option<Vec<u8>>,
+}
+
+impl MemStorage {
+    /// Empty storage.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// Storage pre-loaded with a crash's surviving bytes.
+    pub fn from_image(image: CrashImage) -> MemStorage {
+        MemStorage { log: image.log, checkpoint: image.checkpoint }
+    }
+}
+
+impl WalStorage for MemStorage {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.log.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn read_log(&self) -> io::Result<Vec<u8>> {
+        Ok(self.log.clone())
+    }
+
+    fn truncate_log_to(&mut self, len: usize) -> io::Result<()> {
+        self.log.truncate(len);
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.checkpoint = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn read_checkpoint(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.checkpoint.clone())
+    }
+}
+
+/// File-backed storage: `wal.log` (append-only) and `checkpoint.bin`
+/// (write-tmp-then-rename) under one directory.
+pub struct FileStorage {
+    dir: std::path::PathBuf,
+    log: std::fs::File,
+}
+
+impl FileStorage {
+    /// Open (creating if needed) the log directory.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> io::Result<FileStorage> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(dir.join("wal.log"))?;
+        Ok(FileStorage { dir, log })
+    }
+
+    fn log_path(&self) -> std::path::PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    fn checkpoint_path(&self) -> std::path::PathBuf {
+        self.dir.join("checkpoint.bin")
+    }
+}
+
+impl WalStorage for FileStorage {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.log.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.log.sync_data()
+    }
+
+    fn read_log(&self) -> io::Result<Vec<u8>> {
+        std::fs::read(self.log_path())
+    }
+
+    fn truncate_log_to(&mut self, len: usize) -> io::Result<()> {
+        self.log.set_len(len as u64)?;
+        self.log.sync_data()
+    }
+
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join("checkpoint.tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, self.checkpoint_path())
+    }
+
+    fn read_checkpoint(&self) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.checkpoint_path()) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// --- fault injection ---
+
+/// One enumerated crash point for the fault-injection harness.  Indices are 0-based
+/// counters over the storage's own operations, so a plan is deterministic for a
+/// deterministic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Power cut mid-append: only `keep` bytes of record-append number `record`
+    /// reach the platter (`keep` is taken modulo the record length, so any value is
+    /// a valid torn point).
+    TornAppend {
+        /// Which record append tears (0-based).
+        record: u64,
+        /// How many of its bytes survive.
+        keep: usize,
+    },
+    /// Record-append number `record` lands fully, but the byte at `offset` (modulo
+    /// the record length) is flipped with `xor` (forced non-zero); power cut after.
+    CorruptRecord {
+        /// Which record append is corrupted (0-based).
+        record: u64,
+        /// Byte offset within the record's frame.
+        offset: usize,
+        /// XOR mask applied to that byte.
+        xor: u8,
+    },
+    /// Sync number `sync` reports success without persisting anything, and the power
+    /// cut happens before the next real barrier: everything since the previous sync
+    /// is lost even though the writer was told otherwise.
+    LostSync {
+        /// Which sync call lies (0-based).
+        sync: u64,
+    },
+    /// Power cut after checkpoint number `checkpoint` is durably written but before
+    /// the log truncation that follows it: recovery sees the new checkpoint *and*
+    /// the full pre-checkpoint log, and must skip the already-checkpointed records.
+    CheckpointNoTruncate {
+        /// Which checkpoint write precedes the crash (0-based).
+        checkpoint: u64,
+    },
+}
+
+/// The bytes that survive a [`CrashPoint`]: what recovery gets to read.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrashImage {
+    /// Surviving log bytes.
+    pub log: Vec<u8>,
+    /// Surviving checkpoint slot.
+    pub checkpoint: Option<Vec<u8>>,
+}
+
+#[derive(Default)]
+struct FaultInner {
+    log: Vec<u8>,
+    /// Synced prefix of `log` (what a [`CrashPoint::LostSync`] power cut exposes).
+    durable_log: usize,
+    checkpoint: Option<Vec<u8>>,
+    durable_checkpoint: Option<Vec<u8>>,
+    plan: Option<CrashPoint>,
+    image: Option<CrashImage>,
+    appends: u64,
+    syncs: u64,
+    checkpoints: u64,
+}
+
+impl FaultInner {
+    fn crash(&mut self, image: CrashImage) {
+        if self.image.is_none() {
+            self.image = Some(image);
+        }
+    }
+}
+
+/// Deterministic fault-injection storage: behaves like [`MemStorage`] until its
+/// [`CrashPoint`] triggers, at which moment it freezes the surviving bytes as a
+/// [`CrashImage`] (all later writes are void, as after a power cut).  The harness
+/// keeps a [`FaultHandle`] to extract the image and recover from it.
+pub struct FaultStorage {
+    inner: Arc<Mutex<FaultInner>>,
+}
+
+/// The harness-side handle to a [`FaultStorage`]'s crash state.
+#[derive(Clone)]
+pub struct FaultHandle {
+    inner: Arc<Mutex<FaultInner>>,
+}
+
+impl FaultStorage {
+    /// A storage that will crash at `plan`, plus the handle to inspect it.
+    pub fn with_plan(plan: CrashPoint) -> (FaultStorage, FaultHandle) {
+        let inner = Arc::new(Mutex::new(FaultInner { plan: Some(plan), ..Default::default() }));
+        (FaultStorage { inner: Arc::clone(&inner) }, FaultHandle { inner })
+    }
+
+    /// A storage with no planned crash (behaves like [`MemStorage`]).
+    pub fn reliable() -> (FaultStorage, FaultHandle) {
+        let inner = Arc::new(Mutex::new(FaultInner::default()));
+        (FaultStorage { inner: Arc::clone(&inner) }, FaultHandle { inner })
+    }
+}
+
+impl FaultHandle {
+    /// The frozen crash image, if the plan triggered.
+    pub fn crash_image(&self) -> Option<CrashImage> {
+        self.inner.lock().expect("fault storage poisoned").image.clone()
+    }
+
+    /// The surviving bytes *now*: the crash image if the plan triggered, else the
+    /// durable state as of the last sync (i.e. an unplanned power cut right now).
+    pub fn image_now(&self) -> CrashImage {
+        let inner = self.inner.lock().expect("fault storage poisoned");
+        inner.image.clone().unwrap_or_else(|| CrashImage {
+            log: inner.log[..inner.durable_log].to_vec(),
+            checkpoint: inner.durable_checkpoint.clone(),
+        })
+    }
+
+    /// `(appends, syncs)` so far — the group-commit observables.
+    pub fn io_counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("fault storage poisoned");
+        (inner.appends, inner.syncs)
+    }
+}
+
+impl WalStorage for FaultStorage {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("fault storage poisoned");
+        if inner.image.is_some() {
+            return Ok(());
+        }
+        match inner.plan {
+            Some(CrashPoint::TornAppend { record, keep }) if record == inner.appends => {
+                let keep = keep % bytes.len().max(1);
+                inner.log.extend_from_slice(&bytes[..keep]);
+                // The torn tail may have hit the platter; everything before this
+                // append had already been written.
+                let image = CrashImage {
+                    log: inner.log.clone(),
+                    checkpoint: inner.durable_checkpoint.clone(),
+                };
+                inner.crash(image);
+            }
+            Some(CrashPoint::CorruptRecord { record, offset, xor }) if record == inner.appends => {
+                let start = inner.log.len();
+                inner.log.extend_from_slice(bytes);
+                let at = start + offset % bytes.len().max(1);
+                inner.log[at] ^= if xor == 0 { 0x01 } else { xor };
+                let image = CrashImage {
+                    log: inner.log.clone(),
+                    checkpoint: inner.durable_checkpoint.clone(),
+                };
+                inner.crash(image);
+            }
+            _ => inner.log.extend_from_slice(bytes),
+        }
+        inner.appends += 1;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("fault storage poisoned");
+        if inner.image.is_some() {
+            return Ok(());
+        }
+        if let Some(CrashPoint::LostSync { sync }) = inner.plan {
+            if sync == inner.syncs {
+                // The barrier lies, and the power cut lands before the next one:
+                // only the previously synced prefix survives.
+                let image = CrashImage {
+                    log: inner.log[..inner.durable_log].to_vec(),
+                    checkpoint: inner.durable_checkpoint.clone(),
+                };
+                inner.crash(image);
+                inner.syncs += 1;
+                return Ok(());
+            }
+        }
+        inner.durable_log = inner.log.len();
+        inner.durable_checkpoint = inner.checkpoint.clone();
+        inner.syncs += 1;
+        Ok(())
+    }
+
+    fn read_log(&self) -> io::Result<Vec<u8>> {
+        Ok(self.inner.lock().expect("fault storage poisoned").log.clone())
+    }
+
+    fn truncate_log_to(&mut self, len: usize) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("fault storage poisoned");
+        if inner.image.is_some() {
+            return Ok(());
+        }
+        if len == 0 {
+            if let Some(CrashPoint::CheckpointNoTruncate { checkpoint }) = inner.plan {
+                if checkpoint + 1 == inner.checkpoints {
+                    // The checkpoint is durable (the Wal synced it before asking for
+                    // truncation) but the truncation itself never lands.
+                    let image =
+                        CrashImage { log: inner.log.clone(), checkpoint: inner.checkpoint.clone() };
+                    inner.crash(image);
+                    return Ok(());
+                }
+            }
+        }
+        inner.log.truncate(len);
+        inner.durable_log = inner.durable_log.min(len);
+        Ok(())
+    }
+
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("fault storage poisoned");
+        if inner.image.is_some() {
+            return Ok(());
+        }
+        inner.checkpoint = Some(bytes.to_vec());
+        inner.checkpoints += 1;
+        Ok(())
+    }
+
+    fn read_checkpoint(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.inner.lock().expect("fault storage poisoned").checkpoint.clone())
+    }
+}
+
+// --- the WAL proper ---
+
+/// When a batch's record must be on stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// `apply` returns only after the record is fsynced (group-committed with any
+    /// concurrently submitted batches).
+    #[default]
+    Sync,
+    /// `apply` appends without waiting for the barrier; [`Wal::flush`] (called by
+    /// the query services' publish paths) makes everything appended durable before
+    /// the state becomes visible.
+    Async,
+    /// No logging at all (the pre-durability in-memory behaviour).
+    Off,
+}
+
+/// Counters describing the WAL's work so far (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended to the log.
+    pub records_appended: u64,
+    /// Fsync barriers issued; under `Sync` with concurrent committers,
+    /// `records_appended / fsyncs` is the group-commit coalescing factor.
+    pub fsyncs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Records replayed by the recovery that opened this log (0 for a fresh log).
+    pub recovery_replays: u64,
+}
+
+struct GroupState {
+    /// Ticket of the most recently enqueued record.
+    enqueued: u64,
+    /// Highest ticket known durable.
+    durable: u64,
+    /// Whether a leader is currently inside write+fsync.
+    flushing: bool,
+    /// Encoded frames waiting for the next leader.
+    queue: VecDeque<Vec<u8>>,
+}
+
+struct WalInner {
+    storage: Mutex<Box<dyn WalStorage>>,
+    group: Mutex<GroupState>,
+    group_done: Condvar,
+    mode: DurabilityMode,
+    records: AtomicU64,
+    fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
+    recovery_replays: AtomicU64,
+}
+
+/// The write-ahead log handle: sharable (`Clone` bumps an `Arc`), thread-safe, and
+/// group-committing under [`DurabilityMode::Sync`].
+#[derive(Clone)]
+pub struct Wal {
+    inner: Arc<WalInner>,
+}
+
+impl Wal {
+    /// Wrap a storage backend.
+    pub fn new(storage: Box<dyn WalStorage>, mode: DurabilityMode) -> Wal {
+        Wal {
+            inner: Arc::new(WalInner {
+                storage: Mutex::new(storage),
+                group: Mutex::new(GroupState {
+                    enqueued: 0,
+                    durable: 0,
+                    flushing: false,
+                    queue: VecDeque::new(),
+                }),
+                group_done: Condvar::new(),
+                mode,
+                records: AtomicU64::new(0),
+                fsyncs: AtomicU64::new(0),
+                checkpoints: AtomicU64::new(0),
+                recovery_replays: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.inner.mode
+    }
+
+    /// Append one record per the durability mode.  Under `Sync` this blocks until
+    /// the record is on stable storage; the leader/follower protocol batches every
+    /// concurrently waiting record into one write+fsync.
+    pub fn append_record(&self, record: &WalRecord) -> Result<()> {
+        let frame = record.encode();
+        match self.inner.mode {
+            DurabilityMode::Off => Ok(()),
+            DurabilityMode::Async => {
+                let mut storage = self.inner.storage.lock().expect("wal storage poisoned");
+                storage.append(&frame).map_err(wal_io)?;
+                self.inner.records.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            DurabilityMode::Sync => self.group_commit(frame),
+        }
+    }
+
+    fn group_commit(&self, frame: Vec<u8>) -> Result<()> {
+        let inner = &*self.inner;
+        let mut group = inner.group.lock().expect("wal group lock poisoned");
+        group.enqueued += 1;
+        let ticket = group.enqueued;
+        group.queue.push_back(frame);
+        self.inner.records.fetch_add(1, Ordering::Relaxed);
+        loop {
+            if group.durable >= ticket {
+                return Ok(());
+            }
+            if !group.flushing {
+                group.flushing = true;
+                let batch: Vec<Vec<u8>> = group.queue.drain(..).collect();
+                let high = group.enqueued;
+                drop(group);
+                let flush = (|| -> io::Result<()> {
+                    let mut storage = inner.storage.lock().expect("wal storage poisoned");
+                    for frame in &batch {
+                        storage.append(frame)?;
+                    }
+                    storage.sync()
+                })();
+                inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+                group = inner.group.lock().expect("wal group lock poisoned");
+                group.flushing = false;
+                if flush.is_ok() {
+                    group.durable = group.durable.max(high);
+                }
+                inner.group_done.notify_all();
+                flush.map_err(wal_io)?;
+            } else {
+                group = inner.group_done.wait(group).expect("wal group lock poisoned");
+            }
+        }
+    }
+
+    /// Durability barrier: everything appended so far (any mode) is made durable.
+    /// The services' publish paths call this so a published state is never more
+    /// recent than the log.
+    pub fn flush(&self) -> Result<()> {
+        if self.inner.mode == DurabilityMode::Off {
+            return Ok(());
+        }
+        let mut storage = self.inner.storage.lock().expect("wal storage poisoned");
+        storage.sync().map_err(wal_io)?;
+        self.inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Persist a checkpoint and truncate the log: write the framed blob, fsync it,
+    /// and only then drop the log records it covers.  A crash between the two steps
+    /// leaves the full log alongside the new checkpoint — recovery skips records at
+    /// or below the checkpoint version, so the order is always safe.
+    pub fn write_checkpoint(&self, checkpoint: &Checkpoint) -> Result<()> {
+        if self.inner.mode == DurabilityMode::Off {
+            return Ok(());
+        }
+        let blob = checkpoint.encode();
+        let mut storage = self.inner.storage.lock().expect("wal storage poisoned");
+        storage.write_checkpoint(&blob).map_err(wal_io)?;
+        storage.sync().map_err(wal_io)?;
+        storage.truncate_log_to(0).map_err(wal_io)?;
+        self.inner.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// A snapshot of the WAL counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            records_appended: self.inner.records.load(Ordering::Relaxed),
+            fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
+            checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
+            recovery_replays: self.inner.recovery_replays.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_recovery(&self, replayed: u64) {
+        self.inner.recovery_replays.store(replayed, Ordering::Relaxed);
+    }
+}
+
+fn wal_io(e: io::Error) -> CoreError {
+    CoreError::Durability(format!("log storage error: {e}"))
+}
+
+// --- applying logged ops ---
+
+/// Apply one op to an unsharded batch; a `false` return is a failed (but logged)
+/// commit whose partial effects are deliberately kept, exactly as a live caller's
+/// failed commit would.
+pub(crate) fn apply_op_unsharded(batch: &mut CommitBatch<'_>, op: &LogOp) -> bool {
+    match op {
+        LogOp::Register { data_type, name, metadata, payload, domain } => batch
+            .register_object(
+                *data_type,
+                name.clone(),
+                metadata.clone(),
+                Bytes::from(payload.clone()),
+                domain.clone(),
+            )
+            .is_ok(),
+        LogOp::Annotate { content, referents, terms } => {
+            let mut builder = batch.annotate().with_content(content.clone());
+            for referent in referents {
+                builder = match referent {
+                    LogReferent::New { object, marker } => builder.mark(*object, marker.clone()),
+                    LogReferent::Existing(id) => builder.mark_existing(*id),
+                };
+            }
+            for term in terms {
+                builder = builder.cite_term(*term);
+            }
+            builder.commit().is_ok()
+        }
+        LogOp::DefineTerm { name } => {
+            batch.ontology_mut().add_concept(name.clone());
+            true
+        }
+    }
+}
+
+/// Apply one op to a sharded batch (same contract as [`apply_op_unsharded`]).
+pub(crate) fn apply_op_sharded(batch: &mut ShardedBatch<'_>, op: &LogOp) -> bool {
+    match op {
+        LogOp::Register { data_type, name, metadata, payload, domain } => batch
+            .register_object(
+                *data_type,
+                name.clone(),
+                metadata.clone(),
+                Bytes::from(payload.clone()),
+                domain.clone(),
+            )
+            .is_ok(),
+        LogOp::Annotate { content, referents, terms } => {
+            let mut builder = batch.annotate().with_content(content.clone());
+            for referent in referents {
+                builder = match referent {
+                    LogReferent::New { object, marker } => builder.mark(*object, marker.clone()),
+                    LogReferent::Existing(id) => builder.mark_existing(*id),
+                };
+            }
+            for term in terms {
+                builder = builder.cite_term(*term);
+            }
+            builder.commit().is_ok()
+        }
+        LogOp::DefineTerm { name } => {
+            let name = name.clone();
+            batch.ontology_edit(move |o| {
+                o.add_concept(name.clone());
+            });
+            true
+        }
+    }
+}
+
+// --- durable wrappers ---
+
+/// A [`Graphitti`] whose batches are written ahead to a [`Wal`]: `apply` commits one
+/// batch of [`LogOp`]s and logs it before returning.
+pub struct DurableSystem {
+    system: Graphitti,
+    wal: Wal,
+    version: u64,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+}
+
+impl DurableSystem {
+    /// A fresh system over (assumed-empty) storage.
+    pub fn create(storage: Box<dyn WalStorage>, mode: DurabilityMode) -> DurableSystem {
+        DurableSystem {
+            system: Graphitti::new(),
+            wal: Wal::new(storage, mode),
+            version: 0,
+            checkpoint_every: 0,
+            since_checkpoint: 0,
+        }
+    }
+
+    /// Recover from existing storage (checkpoint-then-tail; see [`crate::recovery`])
+    /// and continue logging to it.  The torn tail, if any, is truncated away so new
+    /// records append after the last valid one.
+    pub fn open(
+        storage: Box<dyn WalStorage>,
+        mode: DurabilityMode,
+    ) -> Result<(DurableSystem, crate::recovery::RecoveryReport)> {
+        let (system, report) = crate::recovery::recover_unsharded(storage.as_ref())?;
+        let mut storage = storage;
+        storage.truncate_log_to(report.valid_log_len).map_err(wal_io)?;
+        let wal = Wal::new(storage, mode);
+        wal.note_recovery(report.replayed_records as u64);
+        let version = report.recovered_version;
+        Ok((
+            DurableSystem { system, wal, version, checkpoint_every: 0, since_checkpoint: 0 },
+            report,
+        ))
+    }
+
+    /// Builder: checkpoint automatically every `n` batches (`0` = manual only).
+    pub fn with_checkpoint_every(mut self, n: u64) -> DurableSystem {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &Graphitti {
+        &self.system
+    }
+
+    /// The durable logical version: batches applied since genesis.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A handle to the log (for attaching to a query service).
+    pub fn wal(&self) -> Wal {
+        self.wal.clone()
+    }
+
+    /// Commit one batch of ops and log it (write-ahead of any publish the caller
+    /// does with the returned state).  Failed ops keep their partial effects and are
+    /// still logged — replay reproduces them deterministically.
+    pub fn apply(&mut self, ops: &[LogOp]) -> Result<u64> {
+        {
+            let mut batch = self.system.batch();
+            for op in ops {
+                apply_op_unsharded(&mut batch, op);
+            }
+            batch.commit();
+        }
+        self.version += 1;
+        let record =
+            WalRecord { version: self.version, dirty: batch_dirty(ops).bits(), ops: ops.to_vec() };
+        self.wal.append_record(&record)?;
+        self.since_checkpoint += 1;
+        if self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(self.version)
+    }
+
+    /// Write a checkpoint of the current state and truncate the log.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let checkpoint =
+            Checkpoint { version: self.version, shards: 0, snapshot: self.system.study_snapshot() };
+        self.wal.write_checkpoint(&checkpoint)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// A [`ShardedSystem`] whose logical batches are written ahead to a [`Wal`] — one
+/// record per [`ShardedBatch`], global ids, so the same log recovers at the same
+/// shard count into the identical sharded state (or, unsharded, into the equivalent
+/// oracle).
+pub struct DurableShardedSystem {
+    system: ShardedSystem,
+    wal: Wal,
+    version: u64,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+}
+
+impl DurableShardedSystem {
+    /// A fresh sharded system over (assumed-empty) storage.
+    pub fn create(
+        storage: Box<dyn WalStorage>,
+        mode: DurabilityMode,
+        shards: usize,
+    ) -> DurableShardedSystem {
+        DurableShardedSystem {
+            system: ShardedSystem::new(shards),
+            wal: Wal::new(storage, mode),
+            version: 0,
+            checkpoint_every: 0,
+            since_checkpoint: 0,
+        }
+    }
+
+    /// Recover from existing storage and continue logging to it.  The shard count
+    /// comes from the checkpoint when there is one; `default_shards` is used for a
+    /// checkpoint-less log.
+    pub fn open(
+        storage: Box<dyn WalStorage>,
+        mode: DurabilityMode,
+        default_shards: usize,
+    ) -> Result<(DurableShardedSystem, crate::recovery::RecoveryReport)> {
+        let (system, report) = crate::recovery::recover_sharded(storage.as_ref(), default_shards)?;
+        let mut storage = storage;
+        storage.truncate_log_to(report.valid_log_len).map_err(wal_io)?;
+        let wal = Wal::new(storage, mode);
+        wal.note_recovery(report.replayed_records as u64);
+        let version = report.recovered_version;
+        Ok((
+            DurableShardedSystem { system, wal, version, checkpoint_every: 0, since_checkpoint: 0 },
+            report,
+        ))
+    }
+
+    /// Builder: checkpoint automatically every `n` batches (`0` = manual only).
+    pub fn with_checkpoint_every(mut self, n: u64) -> DurableShardedSystem {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// The wrapped sharded system.
+    pub fn system(&self) -> &ShardedSystem {
+        &self.system
+    }
+
+    /// The durable logical version: batches applied since genesis.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A handle to the log (for attaching to a sharded query service).
+    pub fn wal(&self) -> Wal {
+        self.wal.clone()
+    }
+
+    /// Commit one logical batch of ops across the shards and log it.
+    pub fn apply(&mut self, ops: &[LogOp]) -> Result<u64> {
+        {
+            let mut batch = self.system.batch();
+            for op in ops {
+                apply_op_sharded(&mut batch, op);
+            }
+            batch.commit();
+        }
+        self.version += 1;
+        let record =
+            WalRecord { version: self.version, dirty: batch_dirty(ops).bits(), ops: ops.to_vec() };
+        self.wal.append_record(&record)?;
+        self.since_checkpoint += 1;
+        if self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(self.version)
+    }
+
+    /// Write a checkpoint of the current state and truncate the log.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let checkpoint = Checkpoint {
+            version: self.version,
+            shards: self.system.shard_count(),
+            snapshot: self.system.study_snapshot(),
+        };
+        self.wal.write_checkpoint(&checkpoint)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops(step: u64) -> Vec<LogOp> {
+        vec![
+            LogOp::register_sequence(format!("seq-{step}"), DataType::DnaSequence, 2_000, "chr1"),
+            LogOp::Annotate {
+                content: xmlstore::DublinCore::new().field("description", format!("note {step}")),
+                referents: vec![LogReferent::New {
+                    object: ObjectId(step),
+                    marker: Marker::interval(step * 10, step * 10 + 5),
+                }],
+                terms: vec![],
+            },
+            LogOp::DefineTerm { name: format!("term-{step}") },
+        ]
+    }
+
+    #[test]
+    fn crc_detects_any_flip_in_a_sample() {
+        let payload = b"graphitti wal record";
+        let crc = crc32(payload);
+        for i in 0..payload.len() {
+            let mut copy = payload.to_vec();
+            copy[i] ^= 0x40;
+            assert_ne!(crc32(&copy), crc, "flip at byte {i} must change the CRC");
+        }
+    }
+
+    #[test]
+    fn frame_scan_round_trips_and_stops_at_torn_tail() {
+        let mut log = Vec::new();
+        for step in 0..4u64 {
+            let record = WalRecord { version: step + 1, dirty: 0, ops: sample_ops(step) };
+            log.extend_from_slice(&record.encode());
+        }
+        let clean = scan_frames(&log);
+        assert_eq!(clean.payloads.len(), 4);
+        assert!(!clean.torn);
+        assert_eq!(clean.valid_len, log.len());
+
+        // Tear the last frame: the first three survive, the scan reports the tear.
+        let torn_at = clean.valid_len - 3;
+        let torn = scan_frames(&log[..torn_at]);
+        assert_eq!(torn.payloads.len(), 3);
+        assert!(torn.torn);
+        let record = WalRecord::decode(&torn.payloads[2]).expect("valid frame decodes");
+        assert_eq!(record.version, 3);
+    }
+
+    #[test]
+    fn record_encode_decode_round_trip() {
+        let record =
+            WalRecord { version: 7, dirty: batch_dirty(&sample_ops(3)).bits(), ops: sample_ops(3) };
+        let frame = record.encode();
+        let scan = scan_frames(&frame);
+        assert_eq!(scan.payloads.len(), 1);
+        assert_eq!(WalRecord::decode(&scan.payloads[0]).expect("round trip"), record);
+    }
+
+    #[test]
+    fn op_dirty_covers_the_actual_batch_footprint() {
+        // The op-derived dirty set must be a superset of what the batch really
+        // copies, for every op shape — otherwise a recovery-side cache consumer
+        // could under-invalidate.
+        let mut system = Graphitti::new();
+        let ops = sample_ops(0);
+        for op in &ops {
+            let mut batch = system.batch();
+            apply_op_unsharded(&mut batch, op);
+            let actual = batch.dirty_components();
+            let declared = op.dirty();
+            assert_eq!(actual, declared & actual, "op {op:?} under-declares {actual:?}");
+        }
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_batches() {
+        let (storage, handle) = FaultStorage::reliable();
+        let wal = Wal::new(Box::new(storage), DurabilityMode::Sync);
+        let committers = 8;
+        let per_thread = 16;
+        std::thread::scope(|scope| {
+            for t in 0..committers {
+                let wal = wal.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let record = WalRecord {
+                            version: (t * per_thread + i) as u64 + 1,
+                            dirty: 0,
+                            ops: vec![LogOp::DefineTerm { name: format!("t{t}-{i}") }],
+                        };
+                        wal.append_record(&record).expect("append");
+                    }
+                });
+            }
+        });
+        let stats = wal.stats();
+        let (appends, syncs) = handle.io_counts();
+        assert_eq!(stats.records_appended, (committers * per_thread) as u64);
+        assert_eq!(appends, stats.records_appended);
+        assert_eq!(syncs, stats.fsyncs);
+        assert!(
+            stats.fsyncs <= stats.records_appended,
+            "group commit must never fsync more than once per record: {stats:?}"
+        );
+        // Every appended frame is intact and none were interleaved mid-frame.
+        let scan = scan_frames(&handle.image_now().log);
+        assert_eq!(scan.payloads.len(), committers * per_thread);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn file_storage_round_trips_log_and_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("graphitti-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut storage = FileStorage::open(&dir).expect("open");
+            storage.append(b"hello ").expect("append");
+            storage.append(b"wal").expect("append");
+            storage.sync().expect("sync");
+            storage.write_checkpoint(b"cp-bytes").expect("checkpoint");
+            assert_eq!(storage.read_log().expect("read"), b"hello wal");
+            storage.truncate_log_to(5).expect("truncate");
+        }
+        let storage = FileStorage::open(&dir).expect("reopen");
+        assert_eq!(storage.read_log().expect("read"), b"hello");
+        assert_eq!(storage.read_checkpoint().expect("read"), Some(b"cp-bytes".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,7 +4,7 @@
 //! schedules (including failing commits and referent reuse).
 
 use graphitti_core::{
-    AnnotationId, DataType, Graphitti, Marker, ObjectId, ReferentId, ShardedSystem,
+    AnnotationId, CoreError, DataType, Graphitti, Marker, ObjectId, ReferentId, ShardedSystem,
 };
 use proptest::prelude::*;
 
@@ -145,6 +145,46 @@ proptest! {
         }
         for g in 0..a.referent_count() as u64 {
             prop_assert_eq!(a.referent_home(ReferentId(g)), b.referent_home(ReferentId(g)));
+        }
+    }
+
+    #[test]
+    fn cross_shard_reuse_error_names_both_shards(
+        shards in 2usize..9,
+        kinds in prop::collection::vec(any::<u8>(), 10..30),
+        picks in prop::collection::vec(any::<u8>(), 30),
+        first in any::<u8>(),
+        second in any::<u8>(),
+    ) {
+        // Reusing two committed referents in one annotation must succeed exactly when
+        // they share a home shard; a rejection must be the dedicated
+        // `CoreError::CrossShardReuse` variant naming the routed shard (the first
+        // reused referent's home) and the conflicting shard, in that order.
+        let (_, mut sharded) = run_schedule(shards, &kinds, &picks);
+        let refs = sharded.referent_count() as u64;
+        if refs < 2 {
+            return;
+        }
+        let r1 = ReferentId(u64::from(first) % refs);
+        let r2 = ReferentId(u64::from(second) % refs);
+        let home1 = sharded.referent_home(r1).expect("committed referent has a home").shard;
+        let home2 = sharded.referent_home(r2).expect("committed referent has a home").shard;
+        let result = sharded
+            .annotate()
+            .comment("pair reuse")
+            .mark_existing(r1)
+            .mark_existing(r2)
+            .commit();
+        if home1 == home2 {
+            prop_assert!(result.is_ok(), "co-located reuse must commit: {:?}", result);
+        } else {
+            match result {
+                Err(CoreError::CrossShardReuse { home, reused }) => {
+                    prop_assert_eq!(home, home1, "routed shard is the first referent's home");
+                    prop_assert_eq!(reused, home2, "conflicting shard is the second's home");
+                }
+                other => prop_assert!(false, "expected CrossShardReuse, got {:?}", other),
+            }
         }
     }
 }

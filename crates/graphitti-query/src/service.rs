@@ -48,7 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use graphitti_core::{ComponentSet, EpochVector, Snapshot};
+use graphitti_core::{ComponentSet, EpochVector, Snapshot, Wal};
 
 use crate::ast::{CacheKey, Query};
 use crate::exec::{Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
@@ -161,6 +161,15 @@ pub struct ServiceMetrics {
     pub cache_full_invalidations: u64,
     /// Entries dropped by publish-time invalidation (not by LRU capacity eviction).
     pub cache_entries_evicted: u64,
+    /// WAL records appended by the attached log ([`QueryService::attach_wal`]); `0`
+    /// when no log is attached.
+    pub wal_records_appended: u64,
+    /// Fsync barriers the attached log issued; `wal_records_appended / wal_fsyncs`
+    /// is the group-commit coalescing factor.
+    pub wal_fsyncs: u64,
+    /// Records the recovery that opened the attached log replayed (`0` for a fresh
+    /// log or when no log is attached).
+    pub recovery_replays: u64,
 }
 
 /// A handle to one submitted query's pending result.
@@ -540,6 +549,7 @@ struct Inner {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     publishes: AtomicU64,
+    wal: RwLock<Option<Wal>>,
 }
 
 impl Inner {
@@ -639,6 +649,7 @@ impl QueryService {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
+            wal: RwLock::new(None),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -708,11 +719,25 @@ impl QueryService {
     /// later deposits unhittable: a stale get or insert can cause a miss, never a
     /// wrong answer.
     pub fn publish(&self, snapshot: Snapshot) {
+        // Durable before visible: with a WAL attached, every record appended so far
+        // (the batches this snapshot is made of) reaches stable storage before any
+        // reader can observe the new state.  Under `DurabilityMode::Sync` the flush
+        // is a cheap no-op barrier; under `Async` it is the deferred fsync.
+        if let Some(wal) = self.inner.wal.read().expect("wal slot poisoned").as_ref() {
+            wal.flush().expect("durable publish: WAL flush failed");
+        }
         let mut current = self.inner.snapshot.write().expect("snapshot lock poisoned");
         *current = snapshot;
         self.inner.cache.lock().expect("cache lock poisoned").install(&current);
         drop(current);
         self.inner.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attach a write-ahead log: [`publish`](Self::publish) will flush it before a
+    /// new snapshot becomes visible, and [`metrics`](Self::metrics) reports its
+    /// durability counters.
+    pub fn attach_wal(&self, wal: Wal) {
+        *self.inner.wal.write().expect("wal slot poisoned") = Some(wal);
     }
 
     /// The epoch of the currently published snapshot.
@@ -741,6 +766,14 @@ impl QueryService {
             let cache = self.inner.cache.lock().expect("cache lock poisoned");
             (cache.partial_invalidations, cache.full_invalidations, cache.entries_evicted)
         };
+        let wal_stats = self
+            .inner
+            .wal
+            .read()
+            .expect("wal slot poisoned")
+            .as_ref()
+            .map(|wal| wal.stats())
+            .unwrap_or_default();
         ServiceMetrics {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
@@ -751,6 +784,9 @@ impl QueryService {
             cache_partial_invalidations: partial,
             cache_full_invalidations: full,
             cache_entries_evicted: evicted,
+            wal_records_appended: wal_stats.records_appended,
+            wal_fsyncs: wal_stats.fsyncs,
+            recovery_replays: wal_stats.recovery_replays,
         }
     }
 }

@@ -38,7 +38,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use graphitti_core::{AnnotationId, ComponentSet, EpochVector, ReferentId, ShardCut, Snapshot};
+use graphitti_core::{
+    AnnotationId, ComponentSet, EpochVector, ReferentId, ShardCut, Snapshot, Wal,
+};
 
 use crate::ast::{CacheKey, Query, ReferentFilter};
 use crate::exec::{Collator, Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
@@ -394,6 +396,7 @@ pub struct ShardedQueryService {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     publishes: AtomicU64,
+    wal: RwLock<Option<Wal>>,
 }
 
 impl ShardedQueryService {
@@ -408,6 +411,7 @@ impl ShardedQueryService {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
+            wal: RwLock::new(None),
         }
     }
 
@@ -421,11 +425,23 @@ impl ShardedQueryService {
     /// ever observe a published cut the cache is behind on, and no reader ever sees
     /// some shards from the old cut and some from the new.
     pub fn publish(&self, cut: ShardCut) {
+        // Durable before visible: flush the attached WAL so every batch the cut is
+        // made of is on stable storage before any reader can observe it.
+        if let Some(wal) = self.wal.read().expect("wal slot poisoned").as_ref() {
+            wal.flush().expect("durable publish: WAL flush failed");
+        }
         let mut current = self.cut.write().expect("cut lock poisoned");
         *current = cut;
         self.cache.lock().expect("cache lock poisoned").install(&current);
         drop(current);
         self.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attach a write-ahead log: [`publish`](Self::publish) will flush it before a
+    /// new cut becomes visible, and [`metrics`](Self::metrics) reports its
+    /// durability counters.
+    pub fn attach_wal(&self, wal: Wal) {
+        *self.wal.write().expect("wal slot poisoned") = Some(wal);
     }
 
     /// A clone of the currently published cut.
@@ -482,6 +498,13 @@ impl ShardedQueryService {
             let cache = self.cache.lock().expect("cache lock poisoned");
             (cache.partial_invalidations, cache.full_invalidations, cache.entries_evicted)
         };
+        let wal_stats = self
+            .wal
+            .read()
+            .expect("wal slot poisoned")
+            .as_ref()
+            .map(|wal| wal.stats())
+            .unwrap_or_default();
         ServiceMetrics {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -492,6 +515,9 @@ impl ShardedQueryService {
             cache_partial_invalidations: partial,
             cache_full_invalidations: full,
             cache_entries_evicted: evicted,
+            wal_records_appended: wal_stats.records_appended,
+            wal_fsyncs: wal_stats.fsyncs,
+            recovery_replays: wal_stats.recovery_replays,
         }
     }
 }

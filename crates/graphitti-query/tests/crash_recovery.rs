@@ -1,0 +1,507 @@
+//! The crash-point fault-injection battery for the durability subsystem.
+//!
+//! Each scenario runs a deterministic op schedule through a durable system whose
+//! storage is a [`FaultStorage`] planned to fail at one enumerated [`CrashPoint`]
+//! (mid-record truncation, in-place corruption, a lying fsync, or a power cut
+//! between checkpoint and log truncation).  The frozen [`CrashImage`] — exactly the
+//! bytes a power cut would leave behind — is then recovered, and the battery
+//! asserts the durability contract:
+//!
+//! * **Prefix.**  The recovered state is the state after the first `v` published
+//!   batches for a known `v`: never torn mid-batch, never reordered, never a guess.
+//! * **Byte identity.**  Random queries against the recovered system (unsharded via
+//!   [`ReferenceExecutor`], sharded via [`ShardedExecutor`] over a captured cut)
+//!   answer byte-for-byte like a reference oracle replayed to version `v` through
+//!   the same checkpoint-then-tail structure, from independently fabricated bytes
+//!   (a genesis-derived checkpoint snapshot plus re-encoded tail records).
+//! * **Cut invariants.**  A recovered [`ShardedSystem`] passes `verify_integrity`,
+//!   and its captured [`ShardCut`] agrees with the oracle on every global count.
+//!
+//! The file also carries the checkpoint round-trip suite (checkpoint + empty tail
+//! is byte-identical; checkpoint + tail equals a full-log replay) and the bounded
+//! `crash_matrix_quick` subset the CI workflow gates on.
+
+mod common;
+
+use common::{object_domains, random_query};
+use datagen::rng::WorkloadRng;
+use graphitti_core::wal::batch_dirty;
+use graphitti_core::xmlstore::DublinCore;
+use graphitti_core::{
+    Checkpoint, CrashImage, CrashPoint, DataType, DurabilityMode, DurableShardedSystem,
+    DurableSystem, FaultStorage, LogOp, LogReferent, Marker, MemStorage, ObjectId, ReferentId,
+    WalRecord, WalStorage,
+};
+use graphitti_query::{QueryResult, ReferenceExecutor, ShardedExecutor};
+
+fn result_bytes(result: &QueryResult) -> Vec<u8> {
+    serde_json::to_string(result).expect("result serializes").into_bytes()
+}
+
+/// A deterministic schedule of published batches: registers, new-mark annotations,
+/// single-referent reuse (which routes identically sharded and unsharded), and
+/// ontology curation.  The same schedule drives the doomed run, the recovery
+/// oracle, and every shard count.
+fn schedule(seed: u64, batches: usize) -> Vec<Vec<LogOp>> {
+    let mut rng = WorkloadRng::new(seed);
+    let mut objects = 0u64;
+    let mut referents = 0u64;
+    let mut terms = 0u64;
+    let mut out = Vec::with_capacity(batches);
+    for step in 0..batches {
+        let mut ops = Vec::new();
+        if step == 0 {
+            // Guarantee an object and a term so every later op kind has a target.
+            ops.push(LogOp::register_sequence("seed-seq", DataType::DnaSequence, 2_000, "chr0"));
+            objects += 1;
+            ops.push(LogOp::DefineTerm { name: "seed-term".into() });
+            terms += 1;
+        }
+        for k in 0..1 + rng.range_u64(0, 3) {
+            match rng.range_u64(0, 8) {
+                0 => {
+                    ops.push(LogOp::register_sequence(
+                        format!("seq-{step}-{k}"),
+                        DataType::DnaSequence,
+                        2_000,
+                        format!("chr{}", rng.range_u64(0, 3)),
+                    ));
+                    objects += 1;
+                }
+                1 if referents > 0 => {
+                    ops.push(LogOp::Annotate {
+                        content: DublinCore::new()
+                            .field("description", format!("reuse note {step}-{k}")),
+                        referents: vec![LogReferent::Existing(ReferentId(
+                            rng.range_u64(0, referents),
+                        ))],
+                        terms: vec![],
+                    });
+                }
+                2 => {
+                    ops.push(LogOp::DefineTerm { name: format!("term-{step}-{k}") });
+                    terms += 1;
+                }
+                _ => {
+                    let start = rng.range_u64(0, 1_500);
+                    let cite = rng.chance(0.4);
+                    ops.push(LogOp::Annotate {
+                        content: DublinCore::new()
+                            .field("description", format!("protease observation {step}-{k}"))
+                            .user_tag("curator", format!("u{}", rng.range_u64(0, 3))),
+                        referents: vec![LogReferent::New {
+                            object: ObjectId(rng.range_u64(0, objects)),
+                            marker: Marker::interval(start, start + 5 + rng.range_u64(0, 60)),
+                        }],
+                        terms: if cite {
+                            vec![
+                                graphitti_core::ontology::ConceptId(rng.range_u64(0, terms) as u32),
+                            ]
+                        } else {
+                            vec![]
+                        },
+                    });
+                    referents += 1;
+                }
+            }
+        }
+        out.push(ops);
+    }
+    out
+}
+
+/// One crash-point scenario: the fault plan, the checkpoint cadence of the doomed
+/// run, and the exact logical version recovery must land on.
+struct Scenario {
+    name: &'static str,
+    plan: CrashPoint,
+    checkpoint_every: u64,
+    expected_version: u64,
+    expect_torn: bool,
+}
+
+/// The full matrix over an 8-batch schedule: every crash-point kind, with and
+/// without checkpoints in flight.
+fn full_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "torn append mid-record",
+            plan: CrashPoint::TornAppend { record: 5, keep: 21 },
+            checkpoint_every: 0,
+            expected_version: 5,
+            expect_torn: true,
+        },
+        Scenario {
+            name: "torn append after a checkpoint",
+            plan: CrashPoint::TornAppend { record: 4, keep: 33 },
+            checkpoint_every: 3,
+            expected_version: 4,
+            expect_torn: true,
+        },
+        Scenario {
+            name: "corrupted record",
+            plan: CrashPoint::CorruptRecord { record: 3, offset: 17, xor: 0x40 },
+            checkpoint_every: 0,
+            expected_version: 3,
+            expect_torn: true,
+        },
+        Scenario {
+            name: "corrupted record after a checkpoint",
+            plan: CrashPoint::CorruptRecord { record: 6, offset: 5, xor: 0x81 },
+            checkpoint_every: 4,
+            expected_version: 6,
+            expect_torn: true,
+        },
+        Scenario {
+            name: "lost fsync",
+            plan: CrashPoint::LostSync { sync: 6 },
+            checkpoint_every: 0,
+            expected_version: 6,
+            expect_torn: false,
+        },
+        Scenario {
+            name: "lost fsync after a checkpoint",
+            plan: CrashPoint::LostSync { sync: 4 },
+            checkpoint_every: 3,
+            expected_version: 3,
+            expect_torn: false,
+        },
+        Scenario {
+            name: "crash between checkpoint and truncation",
+            plan: CrashPoint::CheckpointNoTruncate { checkpoint: 1 },
+            checkpoint_every: 3,
+            expected_version: 6,
+            expect_torn: false,
+        },
+    ]
+}
+
+/// Drive the schedule into a doomed unsharded system and return what survives.
+fn doomed_unsharded(plan: CrashPoint, checkpoint_every: u64, batches: &[Vec<LogOp>]) -> CrashImage {
+    let (storage, handle) = FaultStorage::with_plan(plan);
+    let mut sys = DurableSystem::create(Box::new(storage), DurabilityMode::Sync)
+        .with_checkpoint_every(checkpoint_every);
+    for ops in batches {
+        sys.apply(ops).expect("apply never errors on fault storage");
+    }
+    handle.crash_image().expect("the planned crash point must trigger")
+}
+
+/// Drive the schedule into a doomed sharded system and return what survives.
+fn doomed_sharded(
+    plan: CrashPoint,
+    checkpoint_every: u64,
+    batches: &[Vec<LogOp>],
+    shards: usize,
+) -> CrashImage {
+    let (storage, handle) = FaultStorage::with_plan(plan);
+    let mut sys = DurableShardedSystem::create(Box::new(storage), DurabilityMode::Sync, shards)
+        .with_checkpoint_every(checkpoint_every);
+    for ops in batches {
+        sys.apply(ops).expect("apply never errors on fault storage");
+    }
+    handle.crash_image().expect("the planned crash point must trigger")
+}
+
+/// The semantic oracle: a fresh unsharded system with the first `version` batches
+/// applied through the identical replay path (no logging, no checkpoint).
+fn oracle_at(batches: &[Vec<LogOp>], version: u64) -> DurableSystem {
+    let mut oracle = DurableSystem::create(Box::new(MemStorage::new()), DurabilityMode::Off);
+    for ops in &batches[..version as usize] {
+        oracle.apply(ops).expect("oracle replay");
+    }
+    oracle
+}
+
+/// The byte-identity oracle: independently fabricated storage (a genesis-derived
+/// checkpoint at `checkpoint_version` plus re-encoded tail records) recovered
+/// unsharded.  Replaying through the same checkpoint-then-tail structure keeps the
+/// a-graph node ids comparable — `from_study_snapshot` registers checkpointed
+/// objects up front, so a genesis replay is state-equal but not node-id-equal.
+fn oracle_replayed(batches: &[Vec<LogOp>], checkpoint_version: u64, version: u64) -> DurableSystem {
+    let mut storage = MemStorage::new();
+    if checkpoint_version > 0 {
+        let base = oracle_at(batches, checkpoint_version);
+        let checkpoint = Checkpoint {
+            version: checkpoint_version,
+            shards: 0,
+            snapshot: base.system().study_snapshot(),
+        };
+        storage.write_checkpoint(&checkpoint.encode()).expect("oracle checkpoint");
+    }
+    for (i, ops) in batches[checkpoint_version as usize..version as usize].iter().enumerate() {
+        let record = WalRecord {
+            version: checkpoint_version + i as u64 + 1,
+            dirty: batch_dirty(ops).bits(),
+            ops: ops.clone(),
+        };
+        storage.append(&record.encode()).expect("oracle append");
+    }
+    let (oracle, report) =
+        DurableSystem::open(Box::new(storage), DurabilityMode::Off).expect("oracle recovery");
+    assert_eq!(report.recovered_version, version, "oracle must land on the target version");
+    oracle
+}
+
+/// Recover an unsharded crash image and hold it to the contract.
+fn verify_unsharded(scenario: &Scenario, batches: &[Vec<LogOp>], queries: usize) {
+    let image = doomed_unsharded(scenario.plan, scenario.checkpoint_every, batches);
+    let (mut recovered, report) =
+        DurableSystem::open(Box::new(MemStorage::from_image(image)), DurabilityMode::Sync)
+            .expect("recovery succeeds");
+    assert_eq!(
+        report.recovered_version, scenario.expected_version,
+        "{}: recovered version (report {report:?})",
+        scenario.name
+    );
+    assert_eq!(report.torn_tail, scenario.expect_torn, "{}: torn flag", scenario.name);
+    assert_eq!(recovered.version(), report.recovered_version);
+
+    let genesis = oracle_at(batches, report.recovered_version);
+    assert_eq!(
+        recovered.system().study_snapshot(),
+        genesis.system().study_snapshot(),
+        "{}: recovered state must equal the published prefix",
+        scenario.name
+    );
+    assert_eq!(recovered.system().to_json(), genesis.system().to_json(), "{}", scenario.name);
+
+    let oracle = oracle_replayed(batches, report.checkpoint_version, report.recovered_version);
+    let reference = ReferenceExecutor::new(oracle.system());
+    let replayed = ReferenceExecutor::new(recovered.system());
+    let domains = object_domains(oracle.system());
+    let mut rng = WorkloadRng::new(0xBEEF ^ scenario.expected_version);
+    for i in 0..queries {
+        let q = random_query(&mut rng, oracle.system(), &domains);
+        assert_eq!(
+            result_bytes(&replayed.run(&q)),
+            result_bytes(&reference.run(&q)),
+            "{}: query {i} diverged from the oracle",
+            scenario.name
+        );
+    }
+
+    // The recovered system keeps accepting and logging new batches.
+    let next = recovered.apply(&batches[0]).expect("post-recovery apply");
+    assert_eq!(next, report.recovered_version + 1, "{}", scenario.name);
+}
+
+/// Recover a sharded crash image and hold it to the contract (including the
+/// collation mirror and the captured cut's invariants).
+fn verify_sharded(scenario: &Scenario, batches: &[Vec<LogOp>], shards: usize, queries: usize) {
+    let image = doomed_sharded(scenario.plan, scenario.checkpoint_every, batches, shards);
+    let (mut recovered, report) = DurableShardedSystem::open(
+        Box::new(MemStorage::from_image(image)),
+        DurabilityMode::Sync,
+        shards,
+    )
+    .expect("recovery succeeds");
+    assert_eq!(
+        report.recovered_version, scenario.expected_version,
+        "{} @ {shards} shards: recovered version (report {report:?})",
+        scenario.name
+    );
+    assert_eq!(report.torn_tail, scenario.expect_torn, "{} @ {shards} shards", scenario.name);
+    assert_eq!(recovered.system().shard_count(), shards);
+
+    // Every shard and the collation mirror landed on the same consistent state as
+    // the unsharded oracle at the recovered version.
+    let genesis = oracle_at(batches, report.recovered_version);
+    assert_eq!(
+        recovered.system().study_snapshot(),
+        genesis.system().study_snapshot(),
+        "{} @ {shards} shards: recovered state must equal the published prefix",
+        scenario.name
+    );
+    let problems = recovered.system().verify_integrity();
+    assert!(problems.is_empty(), "{} @ {shards} shards: {problems:?}", scenario.name);
+
+    // ShardCut invariants: the captured cut is whole and agrees with the oracle on
+    // every global count.
+    let cut = recovered.system().capture_cut();
+    assert_eq!(cut.shard_count(), shards);
+    assert_eq!(cut.object_count(), genesis.system().object_count());
+    assert_eq!(cut.annotation_count(), genesis.system().annotation_count());
+    assert_eq!(cut.referent_count(), genesis.system().referent_count());
+    assert!(cut.same_cut(&recovered.system().capture_cut()), "quiescent recapture differs");
+
+    let oracle = oracle_replayed(batches, report.checkpoint_version, report.recovered_version);
+    let reference = ReferenceExecutor::new(oracle.system());
+    let domains = object_domains(oracle.system());
+    let mut rng = WorkloadRng::new(0xFACE ^ scenario.expected_version ^ shards as u64);
+    for i in 0..queries {
+        let q = random_query(&mut rng, oracle.system(), &domains);
+        assert_eq!(
+            result_bytes(&ShardedExecutor::new(&cut).run(&q)),
+            result_bytes(&reference.run(&q)),
+            "{} @ {shards} shards: query {i} diverged from the oracle",
+            scenario.name
+        );
+    }
+
+    // The recovered sharded system keeps accepting and logging new batches.
+    let next = recovered.apply(&batches[0]).expect("post-recovery apply");
+    assert_eq!(next, report.recovered_version + 1, "{} @ {shards} shards", scenario.name);
+}
+
+/// The full matrix: every crash point × unsharded + shards {1, 2, 4}.
+#[test]
+fn crash_matrix_full() {
+    let batches = schedule(0xD00D, 8);
+    for scenario in full_scenarios() {
+        verify_unsharded(&scenario, &batches, 6);
+        for shards in [1, 2, 4] {
+            verify_sharded(&scenario, &batches, shards, 6);
+        }
+    }
+}
+
+/// The bounded CI gate: one scenario per crash-point kind, shards {1, 4}.
+#[test]
+fn crash_matrix_quick() {
+    let batches = schedule(0xC1, 6);
+    let scenarios = vec![
+        Scenario {
+            name: "quick torn append",
+            plan: CrashPoint::TornAppend { record: 3, keep: 17 },
+            checkpoint_every: 0,
+            expected_version: 3,
+            expect_torn: true,
+        },
+        Scenario {
+            name: "quick corrupted record",
+            plan: CrashPoint::CorruptRecord { record: 2, offset: 11, xor: 0x20 },
+            checkpoint_every: 0,
+            expected_version: 2,
+            expect_torn: true,
+        },
+        Scenario {
+            name: "quick lost fsync",
+            plan: CrashPoint::LostSync { sync: 4 },
+            checkpoint_every: 0,
+            expected_version: 4,
+            expect_torn: false,
+        },
+        Scenario {
+            name: "quick checkpoint without truncation",
+            plan: CrashPoint::CheckpointNoTruncate { checkpoint: 0 },
+            checkpoint_every: 3,
+            expected_version: 3,
+            expect_torn: false,
+        },
+    ];
+    for scenario in scenarios {
+        for shards in [1, 4] {
+            verify_sharded(&scenario, &batches, shards, 3);
+        }
+    }
+}
+
+/// Randomized crash positions: truncate each record at pseudo-random byte offsets
+/// and corrupt pseudo-random bytes; recovery must always land exactly on the
+/// published prefix before the damaged record.
+#[test]
+fn randomized_crash_positions_always_recover_a_prefix() {
+    let batches = schedule(0x5EED, 6);
+    let mut rng = WorkloadRng::new(0x0FF5E7);
+    for case in 0..24u64 {
+        let record = rng.range_u64(0, batches.len() as u64);
+        let torn = rng.chance(0.5);
+        let plan = if torn {
+            CrashPoint::TornAppend { record, keep: rng.range_usize(1, 64) }
+        } else {
+            CrashPoint::CorruptRecord {
+                record,
+                offset: rng.range_usize(0, 4_096),
+                xor: 1 + rng.range_u64(0, 255) as u8,
+            }
+        };
+        let scenario = Scenario {
+            name: if torn { "random torn" } else { "random corrupt" },
+            plan,
+            checkpoint_every: 0,
+            expected_version: record,
+            expect_torn: true,
+        };
+        let shards = [1usize, 2, 4][case as usize % 3];
+        verify_sharded(&scenario, &batches, shards, 2);
+    }
+}
+
+/// Checkpoint + empty tail recovers byte-identically, at shards {1, 4}.
+#[test]
+fn checkpoint_with_empty_tail_round_trips() {
+    let batches = schedule(0xCAFE, 6);
+    for shards in [1usize, 4] {
+        let (storage, handle) = FaultStorage::reliable();
+        let mut sys = DurableShardedSystem::create(Box::new(storage), DurabilityMode::Sync, shards);
+        for ops in &batches {
+            sys.apply(ops).expect("apply");
+        }
+        sys.checkpoint().expect("checkpoint");
+        let image = handle.image_now();
+        assert!(image.log.is_empty(), "checkpoint must truncate the log");
+
+        let (recovered, report) = DurableShardedSystem::open(
+            Box::new(MemStorage::from_image(image)),
+            DurabilityMode::Sync,
+            shards,
+        )
+        .expect("recover");
+        assert_eq!(report.checkpoint_version, batches.len() as u64);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(report.recovered_version, batches.len() as u64);
+        assert_eq!(
+            recovered.system().study_snapshot(),
+            sys.system().study_snapshot(),
+            "{shards} shards: checkpoint round-trip must be byte-identical"
+        );
+        assert!(recovered.system().verify_integrity().is_empty());
+    }
+}
+
+/// Checkpoint + non-empty tail equals a full-log replay, at shards {1, 4}.
+#[test]
+fn checkpoint_plus_tail_equals_full_log_replay() {
+    let batches = schedule(0xF00D, 9);
+    for shards in [1usize, 4] {
+        let (storage, handle) = FaultStorage::reliable();
+        let mut sys = DurableShardedSystem::create(Box::new(storage), DurabilityMode::Sync, shards);
+        for ops in &batches[..6] {
+            sys.apply(ops).expect("apply");
+        }
+        sys.checkpoint().expect("checkpoint");
+        for ops in &batches[6..] {
+            sys.apply(ops).expect("apply");
+        }
+        let image = handle.image_now();
+        assert!(!image.log.is_empty(), "the tail must be on disk");
+
+        let (recovered, report) = DurableShardedSystem::open(
+            Box::new(MemStorage::from_image(image)),
+            DurabilityMode::Sync,
+            shards,
+        )
+        .expect("recover");
+        assert_eq!(report.checkpoint_version, 6);
+        assert_eq!(report.replayed_records, 3);
+        assert_eq!(report.recovered_version, 9);
+
+        // Equal to the same schedule replayed from an empty log, no checkpoint.
+        let mut full =
+            DurableShardedSystem::create(Box::new(MemStorage::new()), DurabilityMode::Off, shards);
+        for ops in &batches {
+            full.apply(ops).expect("full replay");
+        }
+        assert_eq!(
+            recovered.system().study_snapshot(),
+            full.system().study_snapshot(),
+            "{shards} shards: checkpoint+tail must equal the full-log replay"
+        );
+        assert_eq!(
+            recovered.system().study_snapshot(),
+            sys.system().study_snapshot(),
+            "{shards} shards: and both must equal the live system"
+        );
+    }
+}
