@@ -216,7 +216,7 @@ fn drive(
                     while !stop.load(Ordering::Relaxed) {
                         let q = mix[i % mix.len()].clone();
                         let t0 = Instant::now();
-                        std::hint::black_box(service.run(q));
+                        std::hint::black_box(service.run(q).unwrap());
                         lat.push(t0.elapsed().as_nanos() as u64);
                         i += 1;
                     }
@@ -247,7 +247,7 @@ fn drive(
                 writes += usize::from(op.apply(&mut batch));
             }
             batch.commit();
-            service.publish(workload.system.snapshot());
+            service.publish(workload.system.snapshot()).unwrap();
         }
         let write_wall = write_start.elapsed();
 
@@ -274,7 +274,7 @@ fn drive(
             batch.register_sequence(format!("pad-{pad}"), DataType::DnaSequence, 1000, "chr-pad");
             pad += 1;
             batch.commit();
-            service.publish(workload.system.snapshot());
+            service.publish(workload.system.snapshot()).unwrap();
         }
         let window = write_start.elapsed();
         stop.store(true, Ordering::Relaxed);
@@ -319,7 +319,7 @@ fn drive(
     let exec = Executor::new(&workload.system);
     for q in &mix {
         let expected = exec.run(q);
-        let served = service.run(q.clone());
+        let served = service.run(q.clone()).unwrap();
         assert_eq!(
             served.to_json(),
             expected.to_json(),
@@ -370,7 +370,7 @@ fn drive_sharded(
                     let mut i = client; // stagger the replay order per client
                     while !stop.load(Ordering::Relaxed) {
                         let t0 = Instant::now();
-                        std::hint::black_box(service.run(&mix[i % mix.len()]));
+                        std::hint::black_box(service.run(&mix[i % mix.len()]).unwrap());
                         lat.push(t0.elapsed().as_nanos() as u64);
                         i += 1;
                     }
@@ -395,7 +395,7 @@ fn drive_sharded(
                 writes += usize::from(op.apply_sharded(&mut batch));
             }
             batch.commit();
-            service.publish(workload.sharded.capture_cut());
+            service.publish(workload.sharded.capture_cut()).unwrap();
         }
         let write_wall = write_start.elapsed();
 
@@ -411,7 +411,7 @@ fn drive_sharded(
             batch.register_sequence(format!("pad-{pads}"), DataType::DnaSequence, 1000, "chr-pad");
             pads += 1;
             batch.commit();
-            service.publish(workload.sharded.capture_cut());
+            service.publish(workload.sharded.capture_cut()).unwrap();
         }
         let window = write_start.elapsed();
         stop.store(true, Ordering::Relaxed);
@@ -471,7 +471,7 @@ fn drive_sharded(
     let exec = Executor::new(&workload.oracle);
     for q in &mix {
         let expected = exec.run(q);
-        let served = service.run(q);
+        let served = service.run(q).unwrap();
         assert_eq!(
             served.to_json(),
             expected.to_json(),
@@ -501,7 +501,7 @@ fn cache_sanity_gate(config: &MixedConfig) {
         ServiceConfig::default().with_workers(1).with_cache_capacity(64),
     );
     for q in &mix {
-        service.run(q.clone());
+        service.run(q.clone()).unwrap();
     }
     let entries = service.cache_len();
     assert_eq!(entries, mix.len(), "each mix query must occupy one cache entry");
@@ -514,7 +514,7 @@ fn cache_sanity_gate(config: &MixedConfig) {
         batch.register_sequence(format!("sanity-seq-{i}"), DataType::DnaSequence, 1000, "chr-s");
     }
     batch.commit();
-    service.publish(workload.system.snapshot());
+    service.publish(workload.system.snapshot()).unwrap();
     let after_ingest = service.metrics();
     assert_eq!(
         after_ingest.cache_entries_evicted, of_type_entries as u64,
@@ -523,7 +523,7 @@ fn cache_sanity_gate(config: &MixedConfig) {
     assert_eq!(service.cache_len(), entries - of_type_entries);
     let misses_before = after_ingest.cache_misses;
     for q in &mix {
-        service.run(q.clone());
+        service.run(q.clone()).unwrap();
     }
     assert_eq!(
         service.metrics().cache_misses,
@@ -536,7 +536,7 @@ fn cache_sanity_gate(config: &MixedConfig) {
     let mut batch = workload.system.batch();
     batch.ontology_mut().add_concept("sanity-term");
     batch.commit();
-    service.publish(workload.system.snapshot());
+    service.publish(workload.system.snapshot()).unwrap();
     let after_onto = service.metrics();
     assert_eq!(
         after_onto.cache_entries_evicted,
@@ -549,7 +549,7 @@ fn cache_sanity_gate(config: &MixedConfig) {
 
     // Annotation batch: dirties what every footprint reads — the cache clears.
     for q in &mix {
-        service.run(q.clone()); // repopulate the evicted entries first
+        service.run(q.clone()).unwrap(); // repopulate the evicted entries first
     }
     assert_eq!(service.cache_len(), entries);
     let evicted_before = service.metrics().cache_entries_evicted;
@@ -562,7 +562,7 @@ fn cache_sanity_gate(config: &MixedConfig) {
         .commit()
         .unwrap();
     batch.commit();
-    service.publish(workload.system.snapshot());
+    service.publish(workload.system.snapshot()).unwrap();
     assert_eq!(service.cache_len(), 0, "annotation batch must clear every entry");
     let after_annotate = service.metrics();
     assert_eq!(after_annotate.cache_entries_evicted, evicted_before + entries as u64);

@@ -141,7 +141,7 @@ fn measure(
     let exec = Executor::new(&scenario.system);
     for q in &scenario.mix {
         let expected = exec.run(q);
-        let served = service.run(q.clone());
+        let served = service.run(q.clone()).unwrap();
         assert_eq!(
             served.to_json(),
             expected.to_json(),
@@ -151,7 +151,7 @@ fn measure(
     }
 
     let (qps, mut latencies) = drive(
-        |q| drop(std::hint::black_box(service.run(q.clone()))),
+        |q| drop(std::hint::black_box(service.run(q.clone()).unwrap())),
         &scenario.mix,
         clients,
         rounds,
@@ -200,15 +200,19 @@ fn measure_sharded(
     let exec = Executor::new(&oracle);
     for q in &scenario.mix {
         assert_eq!(
-            service.run(q).to_json(),
+            service.run(q).unwrap().to_json(),
             exec.run(q).to_json(),
             "sharded service diverged from Executor on {} at {shards} shard(s)",
             scenario.name
         );
     }
 
-    let (qps, mut latencies) =
-        drive(|q| drop(std::hint::black_box(service.run(q))), &scenario.mix, clients, rounds);
+    let (qps, mut latencies) = drive(
+        |q| drop(std::hint::black_box(service.run(q).unwrap())),
+        &scenario.mix,
+        clients,
+        rounds,
+    );
     latencies.sort_unstable();
     let mean_ns = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
     Measurement {

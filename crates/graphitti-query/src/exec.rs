@@ -47,6 +47,7 @@ use ontology::{ConceptId, RelationType};
 
 use crate::ast::{ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
 use crate::plan::{Plan, SubQueryKind};
+use crate::resilience::{CancelToken, Interrupt};
 use crate::result::{QueryResult, ResultPage};
 use crate::setops;
 
@@ -54,12 +55,24 @@ use crate::setops;
 /// sets costs more in thread spawns than the probes themselves.
 pub const DEFAULT_PARALLEL_VERIFY_THRESHOLD: usize = 4096;
 
+/// How many per-candidate probes a verify or collate loop runs between cooperative
+/// cancellation checkpoints.  Small enough that an expired query stops within
+/// microseconds of its deadline; large enough that the relaxed-load check (plus one
+/// `Instant::now()` when a deadline is set) is amortized to nothing.
+pub(crate) const CANCEL_STRIDE: usize = 1024;
+
+/// The annotation family's pipeline output: `(ann_cands, constraint_anns)` —
+/// the candidate annotations (`None` = family unconstrained) and, when a
+/// constraint needs it, the ontology-only qualifying set.
+pub(crate) type AnnotationCandidates = (Option<Vec<AnnotationId>>, Option<Vec<AnnotationId>>);
+
 /// The query executor, borrowing a [`SystemView`] immutably (pass `&Graphitti` or a
 /// `&Snapshot`; both deref coerce).
 pub struct Executor<'g> {
     system: &'g SystemView,
     verify_workers: usize,
     parallel_threshold: usize,
+    cancel: CancelToken,
 }
 
 impl<'g> Executor<'g> {
@@ -69,6 +82,7 @@ impl<'g> Executor<'g> {
             system,
             verify_workers: 1,
             parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            cancel: CancelToken::unbounded(),
         }
     }
 
@@ -83,6 +97,15 @@ impl<'g> Executor<'g> {
     /// across workers (useful for testing the parallel path on small corpora).
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold.max(1);
+        self
+    }
+
+    /// Attach a cancellation token: the seed/verify/collate loops check it at phase
+    /// and chunk boundaries, and the fallible entry points
+    /// ([`try_run`](Self::try_run) and friends) surface the [`Interrupt`].  The
+    /// infallible entry points must not be used with a token that can fire.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -110,7 +133,8 @@ impl<'g> Executor<'g> {
     /// cache key — use this to avoid paying the normalization twice.  Passing a
     /// non-canonical query gives the same results but an order-dependent plan.
     pub fn run_canonical(&self, query: &Query) -> QueryResult {
-        self.run_plan(query, &Plan::build(query, self.system))
+        self.try_run_canonical(query)
+            .expect("uninterruptible executor (no live CancelToken) cannot be interrupted")
     }
 
     /// Execute a canonical query along an **already built** [`Plan`] (as produced by
@@ -119,9 +143,33 @@ impl<'g> Executor<'g> {
     /// plan's [`read footprint`](Plan::read_footprint) — use this to avoid planning
     /// (and re-estimating selectivities) twice per execution.
     pub fn run_plan(&self, query: &Query, plan: &Plan) -> QueryResult {
-        let (ann_cands, constraint_anns) = self.annotation_candidates(query, plan);
-        let ref_cands = self.referent_candidates(query, plan);
-        Collator::new(self.system).collate(query, ann_cands, ref_cands, constraint_anns)
+        self.try_run_plan(query, plan)
+            .expect("uninterruptible executor (no live CancelToken) cannot be interrupted")
+    }
+
+    /// [`run`](Self::run), surfacing a cancellation or deadline [`Interrupt`] from
+    /// the attached [`CancelToken`](Self::with_cancel) instead of running to
+    /// completion.
+    pub fn try_run(&self, query: &Query) -> Result<QueryResult, Interrupt> {
+        self.try_run_canonical(&query.canonicalize())
+    }
+
+    /// Fallible [`run_canonical`](Self::run_canonical) (see [`try_run`](Self::try_run)).
+    pub fn try_run_canonical(&self, query: &Query) -> Result<QueryResult, Interrupt> {
+        self.try_run_plan(query, &Plan::build(query, self.system))
+    }
+
+    /// Fallible [`run_plan`](Self::run_plan): the seed → verify → collate pipeline
+    /// with the attached token checked at phase and chunk boundaries.
+    pub fn try_run_plan(&self, query: &Query, plan: &Plan) -> Result<QueryResult, Interrupt> {
+        let (ann_cands, constraint_anns) = self.annotation_candidates(query, plan)?;
+        let ref_cands = self.referent_candidates(query, plan)?;
+        Collator::new(self.system).with_cancel(self.cancel.clone()).try_collate(
+            query,
+            ann_cands,
+            ref_cands,
+            constraint_anns,
+        )
     }
 
     /// The **annotation family**'s candidate pipeline: run the content and ontology
@@ -134,7 +182,7 @@ impl<'g> Executor<'g> {
         &self,
         query: &Query,
         plan: &Plan,
-    ) -> (Option<Vec<AnnotationId>>, Option<Vec<AnnotationId>>) {
+    ) -> Result<AnnotationCandidates, Interrupt> {
         // The `MinRegionCount` constraint counts regions "annotated with term T" by the
         // *ontology* conditions alone; when the query also has content filters that set
         // differs from `ann_cands`, so keep each ontology filter's qualifying set as the
@@ -151,13 +199,15 @@ impl<'g> Executor<'g> {
         let mut ann_cands: Option<Vec<AnnotationId>> = None;
 
         for sub in &plan.order {
+            // Phase boundary: one checkpoint per subquery stage.
+            self.cancel.check()?;
             match sub.kind {
                 SubQueryKind::Content => {
                     let f = &query.content[sub.index];
                     ann_cands = Some(match ann_cands.take() {
                         None => self.seed_content(f),
                         Some(c) if c.is_empty() => c,
-                        Some(c) => self.verify_content(c, f),
+                        Some(c) => self.verify_content(c, f)?,
                     });
                 }
                 SubQueryKind::Ontology => {
@@ -202,7 +252,7 @@ impl<'g> Executor<'g> {
             None
         };
 
-        (ann_cands, constraint_anns)
+        Ok((ann_cands, constraint_anns))
     }
 
     /// The **referent family**'s candidate pipeline (see
@@ -212,20 +262,21 @@ impl<'g> Executor<'g> {
         &self,
         query: &Query,
         plan: &Plan,
-    ) -> Option<Vec<ReferentId>> {
+    ) -> Result<Option<Vec<ReferentId>>, Interrupt> {
         let mut ref_cands: Option<Vec<ReferentId>> = None;
         for sub in &plan.order {
             if sub.kind != SubQueryKind::Referent {
                 continue;
             }
+            self.cancel.check()?;
             let f = &query.referents[sub.index];
             ref_cands = Some(match ref_cands.take() {
                 None => self.seed_referents(f),
                 Some(c) if c.is_empty() => c,
-                Some(c) => self.verify_referents(c, f),
+                Some(c) => self.verify_referents(c, f)?,
             });
         }
-        ref_cands
+        Ok(ref_cands)
     }
 
     // --- seed: first subquery of a family, answered wholly from an index ---
@@ -311,7 +362,7 @@ impl<'g> Executor<'g> {
         &self,
         cands: Vec<AnnotationId>,
         filter: &ContentFilter,
-    ) -> Vec<AnnotationId> {
+    ) -> Result<Vec<AnnotationId>, Interrupt> {
         let keyword_refs: Vec<&str> = match filter {
             ContentFilter::Keywords(ks) => ks.iter().map(String::as_str).collect(),
             _ => Vec::new(),
@@ -337,7 +388,11 @@ impl<'g> Executor<'g> {
 
     /// Keep only the candidate referents satisfying the filter, using `O(1)` marker /
     /// domain checks per candidate.
-    fn verify_referents(&self, cands: Vec<ReferentId>, filter: &ReferentFilter) -> Vec<ReferentId> {
+    fn verify_referents(
+        &self,
+        cands: Vec<ReferentId>,
+        filter: &ReferentFilter,
+    ) -> Result<Vec<ReferentId>, Interrupt> {
         self.filter_candidates(cands, &|rid| self.referent_matches(rid, filter))
     }
 
@@ -345,12 +400,27 @@ impl<'g> Executor<'g> {
     /// predicate, fanning contiguous chunks across scoped worker threads when the set
     /// is large enough to repay the spawns.  Chunks are re-concatenated in order, so
     /// the surviving candidates come back in exactly the sequential pass's order.
-    fn filter_candidates<T>(&self, cands: Vec<T>, keep: &(dyn Fn(T) -> bool + Sync)) -> Vec<T>
+    /// The cancellation token is re-checked every [`CANCEL_STRIDE`] probes (and per
+    /// chunk on the parallel path); the first interrupt any chunk observes wins.
+    fn filter_candidates<T>(
+        &self,
+        cands: Vec<T>,
+        keep: &(dyn Fn(T) -> bool + Sync),
+    ) -> Result<Vec<T>, Interrupt>
     where
         T: Copy + Send + Sync,
     {
         if self.verify_workers <= 1 || cands.len() < self.parallel_threshold {
-            return cands.into_iter().filter(|&c| keep(c)).collect();
+            let mut out = Vec::with_capacity(cands.len());
+            for (i, &c) in cands.iter().enumerate() {
+                if i % CANCEL_STRIDE == 0 {
+                    self.cancel.check()?;
+                }
+                if keep(c) {
+                    out.push(c);
+                }
+            }
+            return Ok(out);
         }
         let workers = self.verify_workers.min(cands.len());
         let chunk = cands.len().div_ceil(workers);
@@ -359,16 +429,27 @@ impl<'g> Executor<'g> {
             let handles: Vec<_> = cands
                 .chunks(chunk)
                 .map(|part| {
+                    let cancel = &self.cancel;
                     scope.spawn(move || {
-                        part.iter().copied().filter(|&c| keep(c)).collect::<Vec<T>>()
+                        let mut kept = Vec::with_capacity(part.len());
+                        for (i, &c) in part.iter().enumerate() {
+                            if i % CANCEL_STRIDE == 0 {
+                                cancel.check()?;
+                            }
+                            if keep(c) {
+                                kept.push(c);
+                            }
+                        }
+                        Ok(kept)
                     })
                 })
                 .collect();
             for handle in handles {
-                out.extend(handle.join().expect("verify worker panicked"));
+                out.extend(handle.join().expect("verify worker panicked")?);
             }
-        });
-        out
+            Ok(())
+        })?;
+        Ok(out)
     }
 
     /// Whether one referent satisfies a referent filter.  Mirrors the semantics of the
@@ -557,11 +638,32 @@ impl CollateView for ShardCut {
 /// are collated.
 pub(crate) struct Collator<'g, V: CollateView> {
     system: &'g V,
+    cancel: CancelToken,
 }
 
 impl<'g, V: CollateView> Collator<'g, V> {
     pub(crate) fn new(system: &'g V) -> Self {
-        Collator { system }
+        Collator { system, cancel: CancelToken::unbounded() }
+    }
+
+    /// Attach a cancellation token, checked at collation phase boundaries and every
+    /// [`CANCEL_STRIDE`] iterations of the narrowing / page-building loops.
+    pub(crate) fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Infallible [`try_collate`](Self::try_collate) for callers without a live
+    /// token (the reference executor, plain `run` paths).
+    pub(crate) fn collate(
+        &self,
+        query: &Query,
+        ann_cands: Option<Vec<AnnotationId>>,
+        ref_cands: Option<Vec<ReferentId>>,
+        constraint_anns: Option<Vec<AnnotationId>>,
+    ) -> QueryResult {
+        self.try_collate(query, ann_cands, ref_cands, constraint_anns)
+            .expect("uninterruptible collator (no live CancelToken) cannot be interrupted")
     }
 
     /// Collate candidate sets into a [`QueryResult`].
@@ -572,13 +674,14 @@ impl<'g, V: CollateView> Collator<'g, V> {
     /// * `constraint_anns` — sorted annotations satisfying the *ontology* filters only,
     ///   used by constraints like "N regions annotated with term T"; `None` means the
     ///   resolved annotation set already has that meaning.
-    pub(crate) fn collate(
+    pub(crate) fn try_collate(
         &self,
         query: &Query,
         ann_cands: Option<Vec<AnnotationId>>,
         ref_cands: Option<Vec<ReferentId>>,
         constraint_anns: Option<Vec<AnnotationId>>,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, Interrupt> {
+        self.cancel.check()?;
         // Resolve the effective annotation set.
         let annotations: Vec<AnnotationId> = match ann_cands {
             Some(set) => set,
@@ -595,7 +698,10 @@ impl<'g, V: CollateView> Collator<'g, V> {
                     set.clone()
                 } else {
                     let mut out: Vec<ReferentId> = Vec::new();
-                    for &aid in &annotations {
+                    for (i, &aid) in annotations.iter().enumerate() {
+                        if i % CANCEL_STRIDE == 0 {
+                            self.cancel.check()?;
+                        }
                         if let Some(refs) = self.system.annotation_referents(aid) {
                             for &rid in refs.iter() {
                                 if setops::contains_sorted(set, &rid) {
@@ -611,7 +717,10 @@ impl<'g, V: CollateView> Collator<'g, V> {
             }
             None => {
                 let mut out: Vec<ReferentId> = Vec::new();
-                for &aid in &annotations {
+                for (i, &aid) in annotations.iter().enumerate() {
+                    if i % CANCEL_STRIDE == 0 {
+                        self.cancel.check()?;
+                    }
                     if let Some(refs) = self.system.annotation_referents(aid) {
                         out.extend(refs.iter().copied());
                     }
@@ -637,14 +746,17 @@ impl<'g, V: CollateView> Collator<'g, V> {
             None => annotations.clone(),
         };
 
-        // Apply graph constraints, narrowing objects.
+        // Apply graph constraints, narrowing objects (one checkpoint per constraint —
+        // a phase boundary; constraints are per-object probes of bounded cost).
         for c in &query.constraints {
+            self.cancel.check()?;
             objects =
                 self.apply_constraint(c, &objects, &annotations, &constraint_anns, &referents);
         }
 
         // Build result pages: one connection subgraph per connected witness component.
-        let pages = self.build_pages(&annotations, &referents, &objects);
+        self.cancel.check()?;
+        let pages = self.build_pages(&annotations, &referents, &objects)?;
 
         // Flat result lists depend on the target.
         let (flat_anns, flat_refs, flat_objs) = match query.target {
@@ -659,7 +771,13 @@ impl<'g, V: CollateView> Collator<'g, V> {
             Target::ConnectionGraphs => (annotations.clone(), referents.clone(), objects.clone()),
         };
 
-        QueryResult { pages, annotations: flat_anns, referents: flat_refs, objects: flat_objs }
+        Ok(QueryResult {
+            pages,
+            annotations: flat_anns,
+            referents: flat_refs,
+            objects: flat_objs,
+            missing_shards: Vec::new(),
+        })
     }
 
     fn annotations_touching_objects(
@@ -825,7 +943,7 @@ impl<'g, V: CollateView> Collator<'g, V> {
         annotations: &[AnnotationId],
         referents: &[ReferentId],
         objects: &[ObjectId],
-    ) -> Vec<ResultPage> {
+    ) -> Result<Vec<ResultPage>, Interrupt> {
         // Gather all witness node ids.
         let mut nodes: Vec<NodeId> = Vec::new();
 
@@ -842,7 +960,10 @@ impl<'g, V: CollateView> Collator<'g, V> {
             }
         };
 
-        for &aid in annotations {
+        for (i, &aid) in annotations.iter().enumerate() {
+            if i % CANCEL_STRIDE == 0 {
+                self.cancel.check()?;
+            }
             // include the annotation only if it touches a surviving object (or no object
             // constraint is active)
             let touches = objects.is_empty()
@@ -880,8 +1001,9 @@ impl<'g, V: CollateView> Collator<'g, V> {
         nodes.dedup();
         nodes.retain(|&n| self.system.agraph().node_alive(n));
         if nodes.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        self.cancel.check()?;
 
         // Induce the witness subgraph ONCE: an edge is internal when both endpoints are
         // witness nodes (binary search on the sorted node list — no hashing).  Union
@@ -923,7 +1045,7 @@ impl<'g, V: CollateView> Collator<'g, V> {
             comp_edges[node_comp[i]].push(e);
         }
 
-        comp_nodes
+        Ok(comp_nodes
             .into_iter()
             .zip(comp_edges)
             .map(|(nodes, mut edges)| {
@@ -931,7 +1053,7 @@ impl<'g, V: CollateView> Collator<'g, V> {
                 edges.dedup();
                 self.page_from_component(nodes, edges)
             })
-            .collect()
+            .collect())
     }
 
     /// Assemble one result page from a connected component's (sorted) nodes and its

@@ -31,6 +31,12 @@
 //!   global collation pass over a consistent [`graphitti_core::ShardCut`], plus
 //!   [`sharded::ShardedQueryService`] with a cut-level, per-shard-epoch-validated
 //!   result cache;
+//! * [`resilience`] — the overload-resilience substrate: typed
+//!   [`resilience::ServiceError`]s, per-query [`resilience::QueryBudget`]s threaded as
+//!   cooperative [`resilience::CancelToken`]s through every execution loop, bounded
+//!   retry with decorrelated-jitter backoff for the sharded scatter, and the
+//!   [`resilience::ChaosConfig`] read-path fault-injection layer behind the chaos
+//!   battery in `tests/chaos_resilience.rs`;
 //! * [`reference`] — the scan-and-intersect reference executor: the correctness oracle
 //!   for randomized equivalence tests and the index-free ablation baseline;
 //! * [`result`] — the result model: connection subgraphs organised into result pages;
@@ -44,6 +50,7 @@ pub mod exec;
 pub mod parse;
 pub mod plan;
 pub mod reference;
+pub mod resilience;
 pub mod result;
 pub mod service;
 pub mod setops;
@@ -56,6 +63,7 @@ pub use exec::{CollateView, Executor};
 pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};
 pub use reference::ReferenceExecutor;
-pub use result::{QueryResult, ResultPage};
+pub use resilience::{CancelToken, ChaosConfig, Interrupt, QueryBudget, RetryPolicy, ServiceError};
+pub use result::{Completeness, QueryResult, ResultPage};
 pub use service::{InvalidationPolicy, QueryService, ServiceConfig, ServiceMetrics, Ticket};
 pub use sharded::{ShardedExecutor, ShardedQueryService, ShardedServiceConfig};

@@ -43,6 +43,20 @@ impl ResultPage {
     }
 }
 
+/// Whether a result is the complete answer or a marked shard-degraded subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every shard contributed: the result is the full answer.
+    Complete,
+    /// The listed shards were unresponsive and contributed nothing; the result is
+    /// byte-identical to the answer computed without their candidate
+    /// contributions — an exact, marked subset of the complete answer.
+    Degraded {
+        /// The shards that did not contribute, ascending.
+        missing_shards: Vec<usize>,
+    },
+}
+
 /// The result of running a query.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct QueryResult {
@@ -54,6 +68,10 @@ pub struct QueryResult {
     pub referents: Vec<ReferentId>,
     /// Flat object list (objects selected by the query).
     pub objects: Vec<ObjectId>,
+    /// Shards that failed to contribute (ascending; empty = complete answer).
+    /// Only the sharded path under `allow_partial` ever populates this — see
+    /// [`Completeness`] for the exact-subset contract.
+    pub missing_shards: Vec<usize>,
 }
 
 impl QueryResult {
@@ -65,6 +83,20 @@ impl QueryResult {
     /// Number of result pages.
     pub fn page_count(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Whether this is a shard-degraded partial answer.
+    pub fn is_degraded(&self) -> bool {
+        !self.missing_shards.is_empty()
+    }
+
+    /// The result's completeness tag.
+    pub fn completeness(&self) -> Completeness {
+        if self.missing_shards.is_empty() {
+            Completeness::Complete
+        } else {
+            Completeness::Degraded { missing_shards: self.missing_shards.clone() }
+        }
     }
 
     /// Whether the result is empty (no pages and no flat results).
@@ -134,6 +166,17 @@ mod tests {
         assert!(r.pages[0].contains_object(ObjectId(5)));
         assert!(r.pages[0].contains_annotation(AnnotationId(0)));
         assert_eq!(r.pages[0].size(), 2);
+    }
+
+    #[test]
+    fn completeness_tag_tracks_missing_shards() {
+        let mut r = QueryResult::empty();
+        assert!(!r.is_degraded());
+        assert_eq!(r.completeness(), Completeness::Complete);
+        r.missing_shards = vec![1, 3];
+        assert!(r.is_degraded());
+        assert_eq!(r.completeness(), Completeness::Degraded { missing_shards: vec![1, 3] });
+        assert!(r.to_json().contains("missing_shards"));
     }
 
     #[test]

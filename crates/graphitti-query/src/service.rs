@@ -53,6 +53,8 @@ use graphitti_core::{ComponentSet, EpochVector, Snapshot, Wal};
 use crate::ast::{CacheKey, Query};
 use crate::exec::{Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
 use crate::plan::Plan;
+use crate::resilience::{cooperative_sleep, SleepInterrupt};
+use crate::resilience::{CancelToken, ChaosConfig, ChaosExec, QueryBudget, ServiceError};
 use crate::result::QueryResult;
 
 /// How the result cache treats entries when a changed snapshot is published.
@@ -83,6 +85,12 @@ pub struct ServiceConfig {
     pub parallel_threshold: usize,
     /// Publish-time cache invalidation policy (default: per-footprint eviction).
     pub invalidation: InvalidationPolicy,
+    /// Admission-control bound on the submission queue: a submit finding this many
+    /// jobs already queued is shed with [`ServiceError::Overloaded`] instead of
+    /// enqueued.  `usize::MAX` (the default) disables shedding.
+    pub queue_capacity: usize,
+    /// Read-path fault injection for tests and benches (`None` in production).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +102,8 @@ impl Default for ServiceConfig {
             verify_workers: 1,
             parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
             invalidation: InvalidationPolicy::Footprint,
+            queue_capacity: usize::MAX,
+            chaos: None,
         }
     }
 }
@@ -128,6 +138,21 @@ impl ServiceConfig {
         self.invalidation = policy;
         self
     }
+
+    /// Builder: bound the submission queue — a submit finding `capacity` jobs
+    /// already queued is shed with [`ServiceError::Overloaded`] (admission
+    /// control, so overload degrades into fast typed rejections instead of an
+    /// unboundedly growing queue).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder: inject read-path chaos faults (tests and benches only).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
 }
 
 /// Counters describing what the service has done so far (all monotonic).
@@ -138,6 +163,29 @@ pub struct ServiceMetrics {
     pub submitted: u64,
     /// Queries completed (result delivered).
     pub completed: u64,
+    /// Queries shed at admission ([`ServiceError::Overloaded`]).  Invariant once
+    /// the queue is drained: `shed + completed + failed == submitted`.
+    pub shed: u64,
+    /// Queries that ended in a typed error after admission (deadline, cancellation,
+    /// worker panic, shard unavailability).
+    pub failed: u64,
+    /// Failed queries whose budget deadline expired (at dequeue or mid-execution).
+    pub deadline_misses: u64,
+    /// Failed queries cancelled via their ticket / token.
+    pub cancelled: u64,
+    /// Worker panics observed while executing queries (each fails that query with
+    /// [`ServiceError::WorkerPanicked`]; the pool never shrinks).
+    pub worker_panics: u64,
+    /// Worker threads respawned after dying to a panic that escaped the job catch
+    /// — the pool-size invariant in action.
+    pub workers_respawned: u64,
+    /// Degraded (shard-subset) results served; always `0` for the unsharded
+    /// service.
+    pub degraded: u64,
+    /// Publish-time WAL flushes that failed (each also failed its publish with
+    /// [`ServiceError::WalFlush`] *without* installing the snapshot, preserving
+    /// durable-before-visible).
+    pub wal_flush_failures: u64,
     /// Queries answered from the result cache.
     pub cache_hits: u64,
     /// Queries executed because the cache had no valid entry.
@@ -175,9 +223,14 @@ pub struct ServiceMetrics {
 /// A handle to one submitted query's pending result.
 ///
 /// Obtained from [`QueryService::submit`]; redeem it with [`Ticket::wait`].
+/// Every outcome is a typed [`ServiceError`] — a redeemed ticket never panics and
+/// never hangs: worker death, deadline expiry, cancellation and double redemption
+/// all come back as `Err`.  Dropping an unredeemed ticket cancels its query, so an
+/// abandoned submission stops burning a worker at the next cancellation checkpoint.
 #[derive(Debug)]
 pub struct Ticket {
     cell: Arc<TicketCell>,
+    cancel: CancelToken,
 }
 
 #[derive(Debug, Default)]
@@ -187,11 +240,12 @@ enum SlotState {
     Pending,
     /// Result delivered (shared with the cache when it was a hit).
     Ready(Arc<QueryResult>),
-    /// The result was already redeemed by [`Ticket::try_take`]; redeeming again is a
-    /// caller bug and panics rather than hanging on a result that will never arrive.
+    /// The query failed with a typed error (worker panic, deadline, cancellation).
+    Failed(ServiceError),
+    /// The outcome was already redeemed; redeeming again yields
+    /// [`ServiceError::AlreadyTaken`] rather than hanging on a result that will
+    /// never arrive again.
     Taken,
-    /// The executing worker panicked; redeeming the ticket propagates the panic.
-    Poisoned,
 }
 
 #[derive(Debug, Default)]
@@ -201,12 +255,9 @@ struct TicketCell {
 }
 
 impl Ticket {
-    /// Block until the query has been executed and take its result.
-    ///
-    /// # Panics
-    /// Panics if the worker executing this query panicked (the panic is propagated to
-    /// the submitter rather than deadlocking it).
-    pub fn wait(self) -> QueryResult {
+    /// Block until the query resolves and take its outcome: the result, or the
+    /// typed error it failed with.
+    pub fn wait(self) -> Result<QueryResult, ServiceError> {
         let mut slot = self.cell.slot.lock().expect("ticket lock poisoned");
         loop {
             match std::mem::replace(&mut *slot, SlotState::Taken) {
@@ -215,35 +266,58 @@ impl Ticket {
                     slot = self.cell.ready.wait(slot).expect("ticket lock poisoned");
                 }
                 SlotState::Ready(result) => {
-                    return Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone());
+                    return Ok(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()));
                 }
-                SlotState::Taken => panic!("ticket result already taken"),
-                SlotState::Poisoned => {
-                    *slot = SlotState::Poisoned;
-                    panic!("query worker panicked executing this query");
+                SlotState::Failed(err) => {
+                    // Failure is sticky: every observer gets the typed error.
+                    *slot = SlotState::Failed(err.clone());
+                    return Err(err);
                 }
+                SlotState::Taken => return Err(ServiceError::AlreadyTaken),
             }
         }
     }
 
-    /// Take the result if it is already available, without blocking.  Panics like
-    /// [`Ticket::wait`] if the executing worker panicked, or if the result was
-    /// already taken by an earlier `try_take`.
-    pub fn try_take(&self) -> Option<QueryResult> {
+    /// Take the outcome if the query has already resolved, without blocking:
+    /// `Ok(None)` while still pending, `Ok(Some(result))` or the query's typed
+    /// error once resolved, [`ServiceError::AlreadyTaken`] after an earlier
+    /// redemption.
+    pub fn try_take(&self) -> Result<Option<QueryResult>, ServiceError> {
         let mut slot = self.cell.slot.lock().expect("ticket lock poisoned");
         match std::mem::replace(&mut *slot, SlotState::Taken) {
             SlotState::Pending => {
                 *slot = SlotState::Pending;
-                None
+                Ok(None)
             }
             SlotState::Ready(result) => {
-                Some(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()))
+                Ok(Some(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone())))
             }
-            SlotState::Taken => panic!("ticket result already taken"),
-            SlotState::Poisoned => {
-                *slot = SlotState::Poisoned;
-                panic!("query worker panicked executing this query");
+            SlotState::Failed(err) => {
+                // Failure is sticky: every observer gets the typed error.
+                *slot = SlotState::Failed(err.clone());
+                Err(err)
             }
+            SlotState::Taken => Err(ServiceError::AlreadyTaken),
+        }
+    }
+
+    /// Cancel the query: if it has not resolved yet it fails with
+    /// [`ServiceError::Cancelled`] at its next cooperative checkpoint (or
+    /// immediately, if still queued).  A result that already landed stays
+    /// redeemable.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+}
+
+impl Drop for Ticket {
+    /// An abandoned ticket cancels its query — nobody will redeem the result, so
+    /// the worker should stop computing it at the next checkpoint.
+    fn drop(&mut self) {
+        let still_pending =
+            matches!(*self.cell.slot.lock().expect("ticket lock poisoned"), SlotState::Pending);
+        if still_pending {
+            self.cancel.cancel();
         }
     }
 }
@@ -255,17 +329,23 @@ impl TicketCell {
         self.ready.notify_all();
     }
 
-    fn poison(&self) {
+    fn fail(&self, err: ServiceError) {
         let mut slot = self.slot.lock().expect("ticket lock poisoned");
-        *slot = SlotState::Poisoned;
-        self.ready.notify_all();
+        // Never clobber an outcome that already landed (the abort guard fires on
+        // the worker's way out even after a normal delivery attempt).
+        if matches!(*slot, SlotState::Pending) {
+            *slot = SlotState::Failed(err);
+            self.ready.notify_all();
+        }
     }
 }
 
-/// One queued unit of work: a query plus the ticket cell to deliver into.
+/// One queued unit of work: a query, the ticket cell to deliver into, and the
+/// submission's cancellation token.
 struct Job {
     query: Query,
     cell: Arc<TicketCell>,
+    cancel: CancelToken,
 }
 
 /// The normalized-query LRU result cache.
@@ -544,8 +624,21 @@ struct Inner {
     shutdown: AtomicBool,
     verify_workers: usize,
     parallel_threshold: usize,
+    queue_capacity: usize,
+    chaos: Option<ChaosConfig>,
+    /// Live worker handles — in `Inner` (not the service handle) so a dying
+    /// worker's respawn guard can register its replacement; `Drop` joins until
+    /// this is empty.
+    handles: Mutex<Vec<JoinHandle<()>>>,
     submitted: AtomicU64,
     completed: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    deadline_misses: AtomicU64,
+    cancelled: AtomicU64,
+    worker_panics: AtomicU64,
+    workers_respawned: AtomicU64,
+    wal_flush_failures: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     publishes: AtomicU64,
@@ -562,14 +655,34 @@ impl Inner {
     /// query is canonicalized exactly once: the canonical form is rendered once into
     /// the [`CacheKey`] (an explicit stable format, not `Debug` output) and is also
     /// what the executor plans, and its [`Plan::read_footprint`] is what the inserted
-    /// entry's validity is keyed on.
-    fn execute(&self, query: &Query) -> Arc<QueryResult> {
+    /// entry's validity is keyed on.  `cancel` is checked up front (a job whose
+    /// deadline expired while queued is failed without executing) and at every phase
+    /// and chunk boundary inside the executor.
+    fn execute(
+        &self,
+        query: &Query,
+        cancel: &CancelToken,
+        chaos: ChaosExec,
+    ) -> Result<Arc<QueryResult>, ServiceError> {
+        cancel.check()?;
+        match chaos {
+            ChaosExec::Stuck(delay) => match cooperative_sleep(delay, cancel, None) {
+                Ok(()) => {}
+                Err(SleepInterrupt::Query(i)) => return Err(i.into()),
+                Err(SleepInterrupt::AttemptTimeout) => {
+                    unreachable!("no attempt deadline on a stuck-query stall")
+                }
+            },
+            ChaosExec::Panic => panic!("chaos: injected worker panic during execution"),
+            // Abort is handled in `work` (it must escape the catch); None is a no-op.
+            ChaosExec::Abort | ChaosExec::None => {}
+        }
         let canonical = query.canonicalize();
         let key = CacheKey::of_canonical(&canonical);
         let snap = self.current_snapshot();
         if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key, &snap) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Plan::build(&canonical, &snap);
@@ -578,7 +691,9 @@ impl Inner {
             Executor::new(&snap)
                 .with_verify_workers(self.verify_workers)
                 .with_parallel_threshold(self.parallel_threshold)
-                .run_plan(&canonical, &plan),
+                .with_cancel(cancel.clone())
+                .try_run_plan(&canonical, &plan)
+                .map_err(ServiceError::from)?,
         );
         // Accepted iff this execution's answer is still correct for the published
         // state — publish syncs the cache under the snapshot write lock, so the cache
@@ -591,14 +706,33 @@ impl Inner {
             footprint,
             Arc::clone(&result),
         );
-        result
+        Ok(result)
+    }
+
+    /// Count one post-admission failure in the metric breakdown.
+    fn note_failure(&self, err: &ServiceError) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        match err {
+            ServiceError::DeadlineExceeded => {
+                self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            ServiceError::Cancelled => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            ServiceError::WorkerPanicked => {
+                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
     }
 
     /// The worker loop: drain the queue until shutdown *and* the queue is empty, so
-    /// every accepted ticket is always redeemed.  A panic during execution poisons
-    /// that job's ticket (propagating the panic to the submitter) but never kills the
-    /// worker — the pool keeps its size and the queue keeps draining.
-    fn work(&self) {
+    /// every accepted ticket is always resolved.  A panic during execution fails
+    /// that job's ticket with [`ServiceError::WorkerPanicked`] but never kills the
+    /// worker; a panic that *escapes* the catch (chaos abort) kills the thread, and
+    /// the respawn guard both resolves the in-flight ticket and replaces the worker
+    /// — the pool keeps its size and the queue keeps draining either way.
+    fn work(self: &Arc<Self>) {
         loop {
             let job = {
                 let mut queue = self.queue.lock().expect("queue lock poisoned");
@@ -612,14 +746,80 @@ impl Inner {
                     queue = self.queue_ready.wait(queue).expect("queue lock poisoned");
                 }
             };
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(&job.query)));
+            let chaos_exec =
+                self.chaos.as_ref().map(|c| c.next_execution()).unwrap_or(ChaosExec::None);
+            if chaos_exec == ChaosExec::Abort {
+                // The panic below escapes the catch and unwinds the worker thread:
+                // the job guard fails the in-flight ticket, the respawn guard (in
+                // `spawn_worker`) replaces the thread.
+                let _job_guard = JobGuard { inner: self, cell: &job.cell };
+                panic!("chaos: injected worker abort");
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute(&job.query, &job.cancel, chaos_exec)
+            }));
             match outcome {
-                Ok(result) => {
-                    job.cell.deliver(result);
+                Ok(Ok(result)) => {
+                    // Count before resolving the ticket, so a waiter that reads the
+                    // metrics right after `wait` returns sees this completion.
                     self.completed.fetch_add(1, Ordering::Relaxed);
+                    job.cell.deliver(result);
                 }
-                Err(_) => job.cell.poison(),
+                Ok(Err(err)) => {
+                    self.note_failure(&err);
+                    job.cell.fail(err);
+                }
+                Err(_) => {
+                    let err = ServiceError::WorkerPanicked;
+                    self.note_failure(&err);
+                    job.cell.fail(err);
+                }
+            }
+        }
+    }
+}
+
+/// Spawn (or respawn) one pool worker.  The respawn guard restores the pool-size
+/// invariant: if the worker thread dies to a panic that escaped the job catch, a
+/// replacement is spawned and registered before the dying thread exits — unless
+/// the service is already shutting down.
+fn spawn_worker(inner: &Arc<Inner>, idx: usize) -> std::io::Result<JoinHandle<()>> {
+    let worker = Arc::clone(inner);
+    std::thread::Builder::new().name(format!("graphitti-query-{idx}")).spawn(move || {
+        let _respawn = RespawnGuard { inner: Arc::clone(&worker), idx };
+        worker.work();
+    })
+}
+
+/// Fails the in-flight job's ticket if the worker unwinds while holding it (the
+/// one way a ticket could otherwise be abandoned: a panic escaping the job catch).
+struct JobGuard<'a> {
+    inner: &'a Inner,
+    cell: &'a Arc<TicketCell>,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let err = ServiceError::WorkerPanicked;
+            self.inner.note_failure(&err);
+            self.cell.fail(err);
+        }
+    }
+}
+
+/// Restores the pool size when a worker thread dies to an escaped panic.
+struct RespawnGuard {
+    inner: Arc<Inner>,
+    idx: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.inner.shutdown.load(Ordering::Acquire) {
+            if let Ok(handle) = spawn_worker(&self.inner, self.idx) {
+                self.inner.workers_respawned.fetch_add(1, Ordering::Relaxed);
+                self.inner.handles.lock().expect("handle registry poisoned").push(handle);
             }
         }
     }
@@ -629,7 +829,7 @@ impl Inner {
 /// [`Snapshot`].  See the [module docs](self) for the concurrency model.
 pub struct QueryService {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    workers: usize,
 }
 
 impl QueryService {
@@ -644,22 +844,30 @@ impl QueryService {
             shutdown: AtomicBool::new(false),
             verify_workers: config.verify_workers.max(1),
             parallel_threshold: config.parallel_threshold.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            chaos: config.chaos,
+            handles: Mutex::new(Vec::new()),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            wal_flush_failures: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
             wal: RwLock::new(None),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("graphitti-query-{i}"))
-                    .spawn(move || inner.work())
-                    .expect("spawn query worker")
-            })
-            .collect();
+        let workers = config.workers.max(1);
+        {
+            let mut handles = inner.handles.lock().expect("handle registry poisoned");
+            for i in 0..workers {
+                handles.push(spawn_worker(&inner, i).expect("spawn query worker"));
+            }
+        }
         QueryService { inner, workers }
     }
 
@@ -669,33 +877,69 @@ impl QueryService {
     }
 
     /// Enqueue a query for execution on the pool; returns immediately with a
-    /// [`Ticket`] redeemable for the result.
-    pub fn submit(&self, query: Query) -> Ticket {
+    /// [`Ticket`] redeemable for the result, or sheds the query with
+    /// [`ServiceError::Overloaded`] when the submission queue is at capacity.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
+        self.submit_with_budget(query, QueryBudget::unbounded())
+    }
+
+    /// [`submit`](Self::submit) with a per-query [`QueryBudget`]: the deadline is
+    /// carried into the worker as a cooperative cancellation token checked at every
+    /// phase and chunk boundary, so an expired (or explicitly
+    /// [cancelled](Ticket::cancel)) query stops burning its worker mid-flight.
+    pub fn submit_with_budget(
+        &self,
+        query: Query,
+        budget: QueryBudget,
+    ) -> Result<Ticket, ServiceError> {
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::for_budget(&budget);
         let cell = Arc::new(TicketCell::default());
         {
             let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
-            queue.push_back(Job { query, cell: Arc::clone(&cell) });
+            let depth = queue.len();
+            if depth >= self.inner.queue_capacity {
+                drop(queue);
+                self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded { depth });
+            }
+            queue.push_back(Job { query, cell: Arc::clone(&cell), cancel: cancel.clone() });
         }
         self.inner.queue_ready.notify_one();
-        Ticket { cell }
+        Ok(Ticket { cell, cancel })
     }
 
     /// Submit a query and block for its result (convenience over
     /// [`submit`](Self::submit) + [`Ticket::wait`]).
-    pub fn run(&self, query: Query) -> QueryResult {
-        self.submit(query).wait()
+    pub fn run(&self, query: Query) -> Result<QueryResult, ServiceError> {
+        self.submit(query)?.wait()
+    }
+
+    /// [`run`](Self::run) under a per-query [`QueryBudget`].
+    pub fn run_with_budget(
+        &self,
+        query: Query,
+        budget: QueryBudget,
+    ) -> Result<QueryResult, ServiceError> {
+        self.submit_with_budget(query, budget)?.wait()
     }
 
     /// Execute a query synchronously *on the calling thread* — cache-aware and with
-    /// the service's verify fan-out, but bypassing the submission queue.  Use this for
-    /// one latency-critical large query whose verify phase should use the machine,
-    /// rather than for throughput.
-    pub fn run_now(&self, query: &Query) -> QueryResult {
+    /// the service's verify fan-out, but bypassing the submission queue (and so also
+    /// admission control and chaos injection).  Use this for one latency-critical
+    /// large query whose verify phase should use the machine, rather than for
+    /// throughput.
+    pub fn run_now(&self, query: &Query) -> Result<QueryResult, ServiceError> {
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-        let result = self.inner.execute(query);
+        let result = match self.inner.execute(query, &CancelToken::unbounded(), ChaosExec::None) {
+            Ok(result) => result,
+            Err(err) => {
+                self.inner.note_failure(&err);
+                return Err(err);
+            }
+        };
         self.inner.completed.fetch_add(1, Ordering::Relaxed);
-        Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone())
+        Ok(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Publish a new snapshot: all queries executed from now on observe it, and —
@@ -718,19 +962,28 @@ impl QueryService {
     /// cache wholesale and makes any result a worker mid-flight on the old system
     /// later deposits unhittable: a stale get or insert can cause a miss, never a
     /// wrong answer.
-    pub fn publish(&self, snapshot: Snapshot) {
+    ///
+    /// With a WAL attached, a failed flush aborts the publish *before* the snapshot
+    /// becomes visible (durable-before-visible is preserved): the error is surfaced
+    /// as [`ServiceError::WalFlush`] and counted in
+    /// [`ServiceMetrics::wal_flush_failures`], and the caller may retry the publish.
+    pub fn publish(&self, snapshot: Snapshot) -> Result<(), ServiceError> {
         // Durable before visible: with a WAL attached, every record appended so far
         // (the batches this snapshot is made of) reaches stable storage before any
         // reader can observe the new state.  Under `DurabilityMode::Sync` the flush
         // is a cheap no-op barrier; under `Async` it is the deferred fsync.
         if let Some(wal) = self.inner.wal.read().expect("wal slot poisoned").as_ref() {
-            wal.flush().expect("durable publish: WAL flush failed");
+            if let Err(err) = wal.flush() {
+                self.inner.wal_flush_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::WalFlush(err.to_string()));
+            }
         }
         let mut current = self.inner.snapshot.write().expect("snapshot lock poisoned");
         *current = snapshot;
         self.inner.cache.lock().expect("cache lock poisoned").install(&current);
         drop(current);
         self.inner.publishes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Attach a write-ahead log: [`publish`](Self::publish) will flush it before a
@@ -750,9 +1003,22 @@ impl QueryService {
         self.inner.current_snapshot()
     }
 
-    /// Number of worker threads in the pool.
+    /// Number of worker threads in the pool (the pool-size invariant: respawns
+    /// keep the live thread count at this value).
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.workers
+    }
+
+    /// Number of live worker threads.  Finished handles (aborted workers whose
+    /// replacement is already registered — the respawn guard pushes the new handle
+    /// *before* the dying thread exits) are pruned on read; dropping a finished
+    /// handle detaches an already-dead thread, so nothing is leaked.  May briefly
+    /// exceed [`worker_count`](Self::worker_count) while a dying thread is still
+    /// unwinding past its replacement's registration.
+    pub fn live_workers(&self) -> usize {
+        let mut handles = self.inner.handles.lock().expect("handle registry poisoned");
+        handles.retain(|h| !h.is_finished());
+        handles.len()
     }
 
     /// Number of live entries in the result cache.
@@ -777,6 +1043,14 @@ impl QueryService {
         ServiceMetrics {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            deadline_misses: self.inner.deadline_misses.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            worker_panics: self.inner.worker_panics.load(Ordering::Relaxed),
+            workers_respawned: self.inner.workers_respawned.load(Ordering::Relaxed),
+            degraded: 0,
+            wal_flush_failures: self.inner.wal_flush_failures.load(Ordering::Relaxed),
             cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.inner.cache_misses.load(Ordering::Relaxed),
             publishes: self.inner.publishes.load(Ordering::Relaxed),
@@ -803,8 +1077,17 @@ impl Drop for QueryService {
             self.inner.shutdown.store(true, Ordering::Release);
         }
         self.inner.queue_ready.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // Pop-until-empty (not a single drain): a worker dying to an injected abort
+        // registers its replacement's handle *before* the dying thread exits, so new
+        // handles can appear while we join.
+        loop {
+            let handle = self.inner.handles.lock().expect("handle registry poisoned").pop();
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -815,6 +1098,7 @@ mod tests {
     use crate::ast::{OntologyFilter, Target};
     use crate::reference::ReferenceExecutor;
     use graphitti_core::{Component, DataType, Graphitti, Marker};
+    use std::time::Duration;
 
     /// A distinct cache key per phrase (unit tests for the cache need keys only).
     fn test_key(phrase: &str) -> CacheKey {
@@ -858,9 +1142,10 @@ mod tests {
         let sys = sample_system(30);
         let service = QueryService::new(sys.snapshot(), ServiceConfig::default().with_workers(3));
         let expected = Executor::new(&sys).run(&phrase_query());
-        let tickets: Vec<Ticket> = (0..8).map(|_| service.submit(phrase_query())).collect();
+        let tickets: Vec<Ticket> =
+            (0..8).map(|_| service.submit(phrase_query()).expect("queue unbounded")).collect();
         for t in tickets {
-            assert_eq!(t.wait(), expected);
+            assert_eq!(t.wait().expect("query completes"), expected);
         }
         let m = service.metrics();
         assert_eq!(m.submitted, 8);
@@ -876,8 +1161,8 @@ mod tests {
         );
         let a = Query::new(Target::AnnotationContents).with_keywords(["Protease", "motif"]);
         let b = Query::new(Target::AnnotationContents).with_keywords(["motif", "protease"]);
-        let ra = service.run(a);
-        let rb = service.run(b);
+        let ra = service.run(a).unwrap();
+        let rb = service.run(b).unwrap();
         assert_eq!(ra, rb);
         let m = service.metrics();
         assert_eq!(m.cache_misses, 1);
@@ -892,12 +1177,12 @@ mod tests {
             sys.snapshot(),
             ServiceConfig::default().with_workers(1).with_cache_capacity(0),
         );
-        service.run(phrase_query());
-        service.run(phrase_query());
+        service.run(phrase_query()).unwrap();
+        service.run(phrase_query()).unwrap();
         // a publish on a disabled cache must not report phantom invalidations
         sys.register_sequence("t", DataType::DnaSequence, 10, "chr2");
-        service.publish(sys.snapshot());
-        service.run(phrase_query());
+        service.publish(sys.snapshot()).unwrap();
+        service.run(phrase_query()).unwrap();
         let m = service.metrics();
         assert_eq!(m.cache_hits, 0);
         assert_eq!(m.cache_misses, 3);
@@ -912,7 +1197,7 @@ mod tests {
             sys.snapshot(),
             ServiceConfig::default().with_workers(2).with_cache_capacity(8),
         );
-        let before = service.run(phrase_query());
+        let before = service.run(phrase_query()).unwrap();
 
         // Writer commits a new matching annotation and publishes.
         let seq = sys.objects()[0].id;
@@ -921,9 +1206,9 @@ mod tests {
             .mark(seq, Marker::interval(90_000, 90_100))
             .commit()
             .unwrap();
-        service.publish(sys.snapshot());
+        service.publish(sys.snapshot()).unwrap();
 
-        let after = service.run(phrase_query());
+        let after = service.run(phrase_query()).unwrap();
         assert_eq!(after.annotations.len(), before.annotations.len() + 1);
         assert_eq!(service.current_epoch(), sys.epoch());
         let m = service.metrics();
@@ -939,7 +1224,7 @@ mod tests {
             sys.snapshot(),
             ServiceConfig::default().with_workers(1).with_cache_capacity(8),
         );
-        let before = service.run(phrase_query());
+        let before = service.run(phrase_query()).unwrap();
         assert_eq!(service.metrics().cache_invalidations, 0);
 
         // A burst of 20 matching commits staged as one batch: one epoch, one publish,
@@ -957,9 +1242,9 @@ mod tests {
         }
         assert_eq!(batch.commit(), 20);
         assert_eq!(sys.epoch(), epoch_before + 1);
-        service.publish(sys.snapshot());
+        service.publish(sys.snapshot()).unwrap();
 
-        let after = service.run(phrase_query());
+        let after = service.run(phrase_query()).unwrap();
         assert_eq!(after.annotations.len(), before.annotations.len() + 20);
         let m = service.metrics();
         assert_eq!(m.publishes, 1);
@@ -976,8 +1261,8 @@ mod tests {
             sys.snapshot(),
             ServiceConfig::default().with_workers(1).with_cache_capacity(8),
         );
-        let before = service.run(phrase_query()); // miss, populates the cache
-        assert!(service.run(phrase_query()) == before); // hit
+        let before = service.run(phrase_query()).unwrap(); // miss, populates the cache
+        assert!(service.run(phrase_query()).unwrap() == before); // hit
 
         // An ingest-only batch registers objects — its dirty set touches no component
         // a phrase query reads, so the entry must survive the publish and keep
@@ -987,9 +1272,9 @@ mod tests {
             batch.register_sequence(format!("late-{i}"), DataType::DnaSequence, 500, "chr9");
         }
         batch.commit();
-        service.publish(sys.snapshot());
+        service.publish(sys.snapshot()).unwrap();
         assert_eq!(service.cache_len(), 1, "ingest publish must not evict");
-        assert!(service.run(phrase_query()) == before); // still a hit
+        assert!(service.run(phrase_query()).unwrap() == before); // still a hit
         let m = service.metrics();
         assert_eq!(m.cache_hits, 2);
         assert_eq!(m.cache_misses, 1);
@@ -1005,8 +1290,8 @@ mod tests {
             .mark(seq, Marker::interval(90_000, 90_100))
             .commit()
             .unwrap();
-        service.publish(sys.snapshot());
-        let after = service.run(phrase_query());
+        service.publish(sys.snapshot()).unwrap();
+        let after = service.run(phrase_query()).unwrap();
         assert_eq!(after.annotations.len(), before.annotations.len() + 1);
         let m = service.metrics();
         assert_eq!(m.cache_misses, 2);
@@ -1026,11 +1311,11 @@ mod tests {
                 .with_cache_capacity(8)
                 .with_invalidation(InvalidationPolicy::Full),
         );
-        service.run(phrase_query());
+        service.run(phrase_query()).unwrap();
         sys.register_sequence("late", DataType::DnaSequence, 500, "chr9");
-        service.publish(sys.snapshot());
+        service.publish(sys.snapshot()).unwrap();
         assert_eq!(service.cache_len(), 0);
-        service.run(phrase_query());
+        service.run(phrase_query()).unwrap();
         let m = service.metrics();
         assert_eq!(m.cache_hits, 0);
         assert_eq!(m.cache_misses, 2);
@@ -1044,6 +1329,7 @@ mod tests {
             annotations: Vec::new(),
             referents: Vec::new(),
             objects: Vec::new(),
+            missing_shards: Vec::new(),
         })
     }
 
@@ -1230,26 +1516,34 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_ticket_propagates_worker_panic() {
+    fn failed_ticket_surfaces_typed_error_instead_of_panicking() {
         let cell = Arc::new(TicketCell::default());
-        cell.poison();
-        let ticket = Ticket { cell: Arc::clone(&cell) };
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait()));
-        assert!(caught.is_err(), "wait on a poisoned ticket must panic, not hang");
-        let ticket = Ticket { cell };
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.try_take()));
-        assert!(caught.is_err());
+        cell.fail(ServiceError::WorkerPanicked);
+        let ticket = Ticket { cell: Arc::clone(&cell), cancel: CancelToken::unbounded() };
+        assert_eq!(ticket.try_take(), Err(ServiceError::WorkerPanicked));
+        let ticket = Ticket { cell, cancel: CancelToken::unbounded() };
+        assert_eq!(ticket.wait(), Err(ServiceError::WorkerPanicked));
     }
 
     #[test]
-    fn redeeming_a_ticket_twice_panics_instead_of_hanging() {
+    fn redeeming_a_ticket_twice_is_a_typed_error_not_a_hang() {
         let cell = Arc::new(TicketCell::default());
         cell.deliver(empty_result());
-        let ticket = Ticket { cell };
-        assert!(ticket.try_take().is_some());
+        let ticket = Ticket { cell, cancel: CancelToken::unbounded() };
+        assert!(ticket.try_take().unwrap().is_some());
         // a second redemption is a caller bug: it must fail fast, not block forever
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.try_take()));
-        assert!(caught.is_err());
+        assert_eq!(ticket.try_take(), Err(ServiceError::AlreadyTaken));
+    }
+
+    #[test]
+    fn failure_never_clobbers_a_delivered_result() {
+        // The abort path's job guard may fire after the worker already delivered
+        // (panic between deliver and loop top): the resolved slot must win.
+        let cell = Arc::new(TicketCell::default());
+        cell.deliver(empty_result());
+        cell.fail(ServiceError::WorkerPanicked);
+        let ticket = Ticket { cell, cancel: CancelToken::unbounded() };
+        assert_eq!(ticket.wait().unwrap(), *empty_result());
     }
 
     #[test]
@@ -1274,11 +1568,11 @@ mod tests {
             sys_a.snapshot(),
             ServiceConfig::default().with_workers(1).with_cache_capacity(8),
         );
-        let from_a = service.run(phrase_query());
+        let from_a = service.run(phrase_query()).unwrap();
         assert_eq!(from_a, Executor::new(&sys_a).run(&phrase_query()));
 
-        service.publish(sys_b.snapshot());
-        let from_b = service.run(phrase_query());
+        service.publish(sys_b.snapshot()).unwrap();
+        let from_b = service.run(phrase_query()).unwrap();
         assert_eq!(from_b, Executor::new(&sys_b).run(&phrase_query()));
         assert_ne!(from_a, from_b);
         assert_eq!(service.metrics().cache_hits, 0);
@@ -1296,8 +1590,8 @@ mod tests {
                 .with_parallel_threshold(1)
                 .with_cache_capacity(0),
         );
-        assert_eq!(service.run(phrase_query()), expected);
-        assert_eq!(service.run_now(&phrase_query()), expected);
+        assert_eq!(service.run(phrase_query()).unwrap(), expected);
+        assert_eq!(service.run_now(&phrase_query()).unwrap(), expected);
     }
 
     #[test]
@@ -1320,9 +1614,9 @@ mod tests {
                 scope.spawn(move || {
                     for round in 0..10 {
                         if (client + round) % 2 == 0 {
-                            assert_eq!(&service.run(phrase_query()), expected_phrase);
+                            assert_eq!(&service.run(phrase_query()).unwrap(), expected_phrase);
                         } else {
-                            assert_eq!(&service.run(term_query.clone()), expected_term);
+                            assert_eq!(&service.run(term_query.clone()).unwrap(), expected_term);
                         }
                     }
                 });
@@ -1339,10 +1633,133 @@ mod tests {
     fn drop_completes_queued_work() {
         let sys = sample_system(15);
         let service = QueryService::new(sys.snapshot(), ServiceConfig::default().with_workers(1));
-        let tickets: Vec<Ticket> = (0..5).map(|_| service.submit(phrase_query())).collect();
+        let tickets: Vec<Ticket> =
+            (0..5).map(|_| service.submit(phrase_query()).expect("queue unbounded")).collect();
         drop(service); // graceful: queued jobs still complete
         for t in tickets {
-            assert!(t.try_take().is_some());
+            assert!(t.try_take().unwrap().is_some());
         }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded_error() {
+        let sys = sample_system(10);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(1).with_queue_capacity(1).with_chaos(
+                // Stall the first execution so the queue stays occupied deterministically.
+                ChaosConfig::default().with_stuck_query_on(1, Duration::from_millis(200)),
+            ),
+        );
+        let first = service.submit(phrase_query()).expect("first submission admitted");
+        // Keep submitting until the stalled worker has dequeued the first job and the
+        // bounded queue is occupied by a second — the third concurrent submission in
+        // flight then must shed.
+        let mut admitted = vec![first];
+        let shed_err = loop {
+            match service.submit(phrase_query()) {
+                Ok(t) => admitted.push(t),
+                Err(err) => break err,
+            }
+            assert!(admitted.len() < 64, "queue of capacity 1 admitted 64 jobs");
+        };
+        assert!(matches!(shed_err, ServiceError::Overloaded { depth: 1 }), "got {shed_err:?}");
+        for t in admitted {
+            t.wait().expect("admitted tickets all resolve");
+        }
+        let m = service.metrics();
+        assert!(m.shed >= 1);
+        assert_eq!(m.shed + m.completed + m.failed, m.submitted);
+    }
+
+    #[test]
+    fn expired_deadline_fails_with_deadline_exceeded() {
+        let sys = sample_system(10);
+        let service = QueryService::new(sys.snapshot(), ServiceConfig::default().with_workers(1));
+        // An already-expired budget: the worker sheds it at dequeue without executing.
+        let budget = QueryBudget::unbounded().with_deadline(Duration::from_nanos(0));
+        let err = service.run_with_budget(phrase_query(), budget).unwrap_err();
+        assert_eq!(err, ServiceError::DeadlineExceeded);
+        let m = service.metrics();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.deadline_misses, 1);
+        assert_eq!(m.shed + m.completed + m.failed, m.submitted);
+    }
+
+    #[test]
+    fn cancelled_ticket_fails_with_cancelled() {
+        let sys = sample_system(10);
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default().with_workers(1).with_chaos(
+                ChaosConfig::default().with_stuck_query_on(1, Duration::from_millis(500)),
+            ),
+        );
+        let ticket = service.submit(phrase_query()).unwrap();
+        ticket.cancel();
+        // The stuck-query stall observes the token cooperatively and aborts early.
+        assert_eq!(ticket.wait(), Err(ServiceError::Cancelled));
+        let m = service.metrics();
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.shed + m.completed + m.failed, m.submitted);
+    }
+
+    #[test]
+    fn pool_survives_injected_panics_and_keeps_serving() {
+        let sys = sample_system(20);
+        let expected = Executor::new(&sys).run(&phrase_query());
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_cache_capacity(0)
+                .with_chaos(ChaosConfig::default().with_worker_panic_on(2)),
+        );
+        let tickets: Vec<Ticket> =
+            (0..6).map(|_| service.submit(phrase_query()).unwrap()).collect();
+        let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let panicked = outcomes.iter().filter(|o| **o == Err(ServiceError::WorkerPanicked)).count();
+        assert_eq!(panicked, 1, "exactly the injected execution fails: {outcomes:?}");
+        for ok in outcomes.into_iter().filter_map(Result::ok) {
+            assert_eq!(ok, expected);
+        }
+        let m = service.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.workers_respawned, 0, "caught panic must not cost a thread");
+        assert_eq!(m.completed, 5);
+        assert_eq!(m.shed + m.completed + m.failed, m.submitted);
+    }
+
+    #[test]
+    fn pool_respawns_after_worker_abort() {
+        let sys = sample_system(20);
+        let expected = Executor::new(&sys).run(&phrase_query());
+        let service = QueryService::new(
+            sys.snapshot(),
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_cache_capacity(0)
+                .with_chaos(ChaosConfig::default().with_worker_abort_on(2)),
+        );
+        let tickets: Vec<Ticket> =
+            (0..6).map(|_| service.submit(phrase_query()).unwrap()).collect();
+        let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let aborted = outcomes.iter().filter(|o| **o == Err(ServiceError::WorkerPanicked)).count();
+        assert_eq!(aborted, 1, "exactly the aborted execution fails: {outcomes:?}");
+        for ok in outcomes.into_iter().filter_map(Result::ok) {
+            assert_eq!(ok, expected);
+        }
+        // The job guard resolves the failed ticket *before* the dying thread's
+        // respawn guard runs, so give the respawn a moment to register.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.metrics().workers_respawned == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let m = service.metrics();
+        assert_eq!(m.workers_respawned, 1, "the dead thread must be replaced");
+        assert_eq!(m.completed, 5);
+        assert_eq!(m.shed + m.completed + m.failed, m.submitted);
+        // The replacement still serves after the originals drained everything.
+        assert_eq!(service.run(phrase_query()).unwrap(), expected);
     }
 }

@@ -37,14 +37,17 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use graphitti_core::{
     AnnotationId, ComponentSet, EpochVector, ReferentId, ShardCut, Snapshot, Wal,
 };
 
-use crate::ast::{CacheKey, Query, ReferentFilter};
+use crate::ast::{CacheKey, GraphConstraint, Query, ReferentFilter};
 use crate::exec::{Collator, Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
 use crate::plan::Plan;
+use crate::resilience::{cooperative_sleep, ChaosConfig, ShardFault, SleepInterrupt};
+use crate::resilience::{CancelToken, Interrupt, QueryBudget, RetryPolicy, ServiceError};
 use crate::result::QueryResult;
 use crate::service::ServiceMetrics;
 use crate::setops;
@@ -56,6 +59,18 @@ pub struct ShardedExecutor<'c> {
     verify_workers: usize,
     parallel_threshold: usize,
     force_scatter: bool,
+    cancel: CancelToken,
+    /// Per-attempt bound on how long one shard's scatter may stall (`None` = no
+    /// bound).  Cooperative: it preempts injected stalls and is checked between
+    /// retry attempts, not inside the shard's candidate pipeline.
+    shard_timeout: Option<Duration>,
+    retry: RetryPolicy,
+    chaos: Option<ChaosConfig>,
+    allow_partial: bool,
+    /// Availability mask for tests and oracles: shards whose bit is clear are
+    /// treated as down without consuming retry attempts, so a no-chaos masked run
+    /// is the deterministic reference for a chaos-degraded one.
+    shard_mask: u64,
 }
 
 /// One shard's contribution: translated (global-id) candidate runs.
@@ -63,6 +78,12 @@ struct ShardContribution {
     ann: Option<Vec<AnnotationId>>,
     constraint_anns: Option<Vec<AnnotationId>>,
     refs: Option<Vec<ReferentId>>,
+}
+
+/// The result of gathering one shard, retries included.
+enum ShardOutcome {
+    Up(ShardContribution),
+    Down { attempts: u32 },
 }
 
 impl<'c> ShardedExecutor<'c> {
@@ -74,6 +95,12 @@ impl<'c> ShardedExecutor<'c> {
             verify_workers: 1,
             parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
             force_scatter: false,
+            cancel: CancelToken::unbounded(),
+            shard_timeout: None,
+            retry: RetryPolicy::none(),
+            chaos: None,
+            allow_partial: false,
+            shard_mask: u64::MAX,
         }
     }
 
@@ -105,6 +132,49 @@ impl<'c> ShardedExecutor<'c> {
         self
     }
 
+    /// Attach a cooperative cancellation token (see [`CancelToken`]): the scatter,
+    /// retry backoffs and the global collation all observe it.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Bound each per-shard scatter attempt (injected stalls are preempted at this
+    /// bound and the attempt counts as a transient failure).
+    pub fn with_shard_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// Retry policy for transiently failing shards (decorrelated-jitter backoff
+    /// between attempts).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Read-path fault injection (tests and benches only).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Degrade instead of failing: when shards stay down past their retry budget,
+    /// return the exact answer restricted to the responsive shards, tagged with
+    /// [`QueryResult::missing_shards`], instead of
+    /// [`ServiceError::ShardUnavailable`].
+    pub fn with_allow_partial(mut self, allow: bool) -> Self {
+        self.allow_partial = allow;
+        self
+    }
+
+    /// Availability mask: shards whose bit is clear are treated as down (no retry
+    /// attempts consumed).  The deterministic oracle for chaos-degraded runs.
+    pub fn with_shard_mask(mut self, mask: u64) -> Self {
+        self.shard_mask = mask;
+        self
+    }
+
     /// Execute a query: canonicalize, scatter, merge, collate globally.
     pub fn run(&self, query: &Query) -> QueryResult {
         self.run_canonical(&query.canonicalize())
@@ -113,33 +183,171 @@ impl<'c> ShardedExecutor<'c> {
     /// Execute a query **already in canonical form** (as the service does, after
     /// rendering its cache key from the same canonical query).
     pub fn run_canonical(&self, canonical: &Query) -> QueryResult {
-        if self.cut.shard_count() == 1 && !self.force_scatter {
-            // Single shard: ids are global by construction and the shard's own
-            // a-graph is the whole graph — the plain pipelined executor is exact.
+        self.try_run_canonical(canonical)
+            .expect("plain scatter-gather (no deadline, chaos, mask or partiality) cannot fail")
+    }
+
+    /// Fallible [`run_canonical`](Self::run_canonical): deadlines, cancellation,
+    /// shard outages and retries surface as typed [`ServiceError`]s, and — under
+    /// [`with_allow_partial`](Self::with_allow_partial) — unresponsive shards
+    /// degrade the result instead of failing it.
+    pub fn try_run_canonical(&self, canonical: &Query) -> Result<QueryResult, ServiceError> {
+        if self.cut.shard_count() == 1
+            && !self.force_scatter
+            && self.chaos.is_none()
+            && self.shard_mask & 1 != 0
+        {
+            // Single healthy shard: ids are global by construction and the shard's
+            // own a-graph is the whole graph — the plain pipelined executor is exact.
             return Executor::new(self.cut.shard(0))
                 .with_verify_workers(self.verify_workers)
                 .with_parallel_threshold(self.parallel_threshold)
-                .run_canonical(canonical);
+                .with_cancel(self.cancel.clone())
+                .try_run_canonical(canonical)
+                .map_err(ServiceError::from);
         }
 
         let ref_mask = self.referent_shard_mask(canonical);
         let shards = self.cut.shard_count();
-        let contributions: Vec<ShardContribution> = if self.shard_parallel && shards > 1 {
+        let outcomes: Vec<Result<ShardOutcome, ServiceError>> = if self.shard_parallel && shards > 1
+        {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..shards)
-                    .map(|i| scope.spawn(move || self.shard_candidates(canonical, i, ref_mask)))
+                    .map(|i| scope.spawn(move || self.gather_shard(canonical, i, ref_mask)))
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
             })
         } else {
-            (0..shards).map(|i| self.shard_candidates(canonical, i, ref_mask)).collect()
+            (0..shards).map(|i| self.gather_shard(canonical, i, ref_mask)).collect()
+        };
+        let outcomes: Vec<ShardOutcome> = outcomes.into_iter().collect::<Result<_, _>>()?;
+
+        let mut missing: Vec<usize> = Vec::new();
+        let mut first_down_attempts = 0u32;
+        let mut gathered: Vec<Option<ShardContribution>> = Vec::with_capacity(shards);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                ShardOutcome::Up(c) => gathered.push(Some(c)),
+                ShardOutcome::Down { attempts } => {
+                    if missing.is_empty() {
+                        first_down_attempts = attempts;
+                    }
+                    missing.push(i);
+                    gathered.push(None);
+                }
+            }
+        }
+        if !missing.is_empty() && !self.allow_partial {
+            return Err(ServiceError::ShardUnavailable {
+                shard: missing[0],
+                attempts: first_down_attempts,
+            });
+        }
+
+        let contributions: Vec<ShardContribution> = if missing.is_empty() {
+            gathered.into_iter().map(|c| c.expect("no shard is missing")).collect()
+        } else {
+            // Degraded: every family must be *explicitly* restricted to the
+            // responsive shards, including families the query leaves unconstrained
+            // (a `None` run would make the global collator enumerate the whole cut
+            // — missing shards included — and silently un-degrade the answer).
+            gathered
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| match c {
+                    Some(c) => self.pin_unconstrained_families(i, c),
+                    None => empty_contribution(canonical),
+                })
+                .collect()
         };
 
         let ann = merge_family(contributions.iter().map(|c| c.ann.as_deref()));
         let constraint_anns =
             merge_family(contributions.iter().map(|c| c.constraint_anns.as_deref()));
         let refs = merge_family(contributions.iter().map(|c| c.refs.as_deref()));
-        Collator::new(self.cut).collate(canonical, ann, refs, constraint_anns)
+        let mut result = Collator::new(self.cut)
+            .with_cancel(self.cancel.clone())
+            .try_collate(canonical, ann, refs, constraint_anns)
+            .map_err(ServiceError::from)?;
+        result.missing_shards = missing;
+        Ok(result)
+    }
+
+    /// Gather one shard with the retry policy: an injected stall is slept through
+    /// cooperatively (bounded by the shard timeout), an injected failure or a
+    /// timed-out stall counts as a transient attempt, and attempts are separated by
+    /// decorrelated-jitter backoff.  Query-level interrupts (deadline /
+    /// cancellation) always take priority over shard-level outcomes.
+    fn gather_shard(
+        &self,
+        canonical: &Query,
+        shard: usize,
+        ref_mask: u64,
+    ) -> Result<ShardOutcome, ServiceError> {
+        if self.shard_mask & (1 << shard) == 0 {
+            return Ok(ShardOutcome::Down { attempts: 0 });
+        }
+        let attempts = self.retry.max_attempts.max(1);
+        // Deterministic per-shard jitter stream (the backoff spread matters, not
+        // the entropy source).
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((shard as u64) << 17) ^ (attempts as u64);
+        let mut prev = self.retry.base_delay;
+        for attempt in 1..=attempts {
+            self.cancel.check().map_err(ServiceError::from)?;
+            let attempt_deadline = self.shard_timeout.map(|t| Instant::now() + t);
+            let fault = match &self.chaos {
+                Some(chaos) => chaos.shard_attempt(shard),
+                None => ShardFault::default(),
+            };
+            let mut transient = fault.fail;
+            if let Some(delay) = fault.delay {
+                match cooperative_sleep(delay, &self.cancel, attempt_deadline) {
+                    Ok(()) => {}
+                    Err(SleepInterrupt::Query(i)) => return Err(i.into()),
+                    Err(SleepInterrupt::AttemptTimeout) => transient = true,
+                }
+            }
+            if !transient {
+                return match self.shard_candidates(canonical, shard, ref_mask) {
+                    Ok(c) => Ok(ShardOutcome::Up(c)),
+                    Err(i) => Err(i.into()),
+                };
+            }
+            if attempt == attempts {
+                return Ok(ShardOutcome::Down { attempts });
+            }
+            prev = self.retry.next_backoff(prev, &mut rng);
+            match cooperative_sleep(prev, &self.cancel, None) {
+                Ok(()) => {}
+                Err(SleepInterrupt::Query(i)) => return Err(i.into()),
+                Err(SleepInterrupt::AttemptTimeout) => {
+                    unreachable!("backoff sleeps carry no attempt deadline")
+                }
+            }
+        }
+        unreachable!("the attempt loop always returns")
+    }
+
+    /// In a degraded gather, replace a responsive shard's *unconstrained*
+    /// annotation run (`None`) with its explicit full enumeration, translated to
+    /// global ids — so the merged set spans exactly the responsive shards.  (The
+    /// referent family needs no pinning: an unconstrained referent set is derived
+    /// from the annotation set, and a shard's referents are colocated with its
+    /// annotations.)
+    fn pin_unconstrained_families(
+        &self,
+        shard: usize,
+        mut c: ShardContribution,
+    ) -> ShardContribution {
+        if c.ann.is_none() {
+            let snap: &Snapshot = self.cut.shard(shard);
+            c.ann = Some(
+                (0..snap.annotation_count() as u64)
+                    .map(|a| self.cut.annotation_global(shard, AnnotationId(a)))
+                    .collect(),
+            );
+        }
+        c
     }
 
     /// The bitmask of shards the referent family must visit: all shards, narrowed by
@@ -162,26 +370,49 @@ impl<'c> ShardedExecutor<'c> {
         canonical: &Query,
         shard: usize,
         ref_mask: u64,
-    ) -> ShardContribution {
+    ) -> Result<ShardContribution, Interrupt> {
         let snap: &Snapshot = self.cut.shard(shard);
         let plan = Plan::build(canonical, snap);
         let exec = Executor::new(snap)
             .with_verify_workers(self.verify_workers)
-            .with_parallel_threshold(self.parallel_threshold);
-        let (ann, constraint_anns) = exec.annotation_candidates(canonical, &plan);
+            .with_parallel_threshold(self.parallel_threshold)
+            .with_cancel(self.cancel.clone());
+        let (ann, constraint_anns) = exec.annotation_candidates(canonical, &plan)?;
         let refs = if canonical.referents.is_empty() {
             None
         } else if ref_mask & (1 << shard) == 0 {
             Some(Vec::new())
         } else {
-            exec.referent_candidates(canonical, &plan)
+            exec.referent_candidates(canonical, &plan)?
         };
-        ShardContribution {
+        Ok(ShardContribution {
             ann: ann.map(|v| v.into_iter().map(|a| self.cut.annotation_global(shard, a)).collect()),
             constraint_anns: constraint_anns
                 .map(|v| v.into_iter().map(|a| self.cut.annotation_global(shard, a)).collect()),
             refs: refs.map(|v| v.into_iter().map(|r| self.cut.referent_global(shard, r)).collect()),
-        }
+        })
+    }
+}
+
+/// A down shard's contribution: nothing, in every family — with each family's
+/// `Some`/`None` shape matched to how responsive shards report it in a degraded
+/// gather, so [`merge_family`]'s uniformity invariant holds.  The annotation
+/// family is always explicit there (see
+/// [`ShardedExecutor::pin_unconstrained_families`]); `constraint_anns` is `Some`
+/// exactly when the pipeline computes an ontology-only set (the
+/// `MinRegionCount`-with-mixed-filters case); the referent family is `Some`
+/// exactly when referent filters exist.
+fn empty_contribution(canonical: &Query) -> ShardContribution {
+    let needs_onto_only = !canonical.ontology.is_empty()
+        && !canonical.content.is_empty()
+        && canonical
+            .constraints
+            .iter()
+            .any(|c| matches!(c, GraphConstraint::MinRegionCount { .. }));
+    ShardContribution {
+        ann: Some(Vec::new()),
+        constraint_anns: needs_onto_only.then(Vec::new),
+        refs: (!canonical.referents.is_empty()).then(Vec::new),
     }
 }
 
@@ -207,6 +438,12 @@ pub struct ShardedServiceConfig {
     pub verify_workers: usize,
     /// Candidate-count threshold for the per-shard parallel verify.
     pub parallel_threshold: usize,
+    /// Per-attempt scatter bound for one shard (`None` = unbounded).
+    pub shard_timeout: Option<Duration>,
+    /// Retry policy for transiently failing shards.
+    pub retry: RetryPolicy,
+    /// Read-path fault injection for tests and benches (`None` in production).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ShardedServiceConfig {
@@ -216,6 +453,9 @@ impl Default for ShardedServiceConfig {
             shard_parallel: false,
             verify_workers: 1,
             parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            shard_timeout: None,
+            retry: RetryPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -242,6 +482,24 @@ impl ShardedServiceConfig {
     /// Builder: set the per-shard parallel-verify threshold.
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_threshold = threshold.max(1);
+        self
+    }
+
+    /// Builder: bound each per-shard scatter attempt.
+    pub fn with_shard_timeout(mut self, timeout: Duration) -> Self {
+        self.shard_timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: set the shard retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: attach read-path fault injection.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -393,6 +651,11 @@ pub struct ShardedQueryService {
     config: ShardedServiceConfig,
     submitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
+    deadline_misses: AtomicU64,
+    cancelled: AtomicU64,
+    degraded: AtomicU64,
+    wal_flush_failures: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     publishes: AtomicU64,
@@ -408,6 +671,11 @@ impl ShardedQueryService {
             config,
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            wal_flush_failures: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
@@ -424,17 +692,26 @@ impl ShardedQueryService {
     /// lock — with the cache synced before the lock is released — so no reader can
     /// ever observe a published cut the cache is behind on, and no reader ever sees
     /// some shards from the old cut and some from the new.
-    pub fn publish(&self, cut: ShardCut) {
+    ///
+    /// A failed WAL flush aborts the publish *before* the cut becomes visible
+    /// (durable-before-visible is preserved), surfacing as
+    /// [`ServiceError::WalFlush`] and counted in
+    /// [`ServiceMetrics::wal_flush_failures`]; the caller may retry.
+    pub fn publish(&self, cut: ShardCut) -> Result<(), ServiceError> {
         // Durable before visible: flush the attached WAL so every batch the cut is
         // made of is on stable storage before any reader can observe it.
         if let Some(wal) = self.wal.read().expect("wal slot poisoned").as_ref() {
-            wal.flush().expect("durable publish: WAL flush failed");
+            if let Err(err) = wal.flush() {
+                self.wal_flush_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::WalFlush(err.to_string()));
+            }
         }
         let mut current = self.cut.write().expect("cut lock poisoned");
         *current = cut;
         self.cache.lock().expect("cache lock poisoned").install(&current);
         drop(current);
         self.publishes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Attach a write-ahead log: [`publish`](Self::publish) will flush it before a
@@ -457,33 +734,81 @@ impl ShardedQueryService {
     /// Execute one query against the published cut on the calling thread,
     /// consulting the cut-level cache (the scatter phase supplies the per-query
     /// parallelism; concurrent callers supply the serving parallelism).
-    pub fn run(&self, query: &Query) -> QueryResult {
+    pub fn run(&self, query: &Query) -> Result<QueryResult, ServiceError> {
+        self.run_with_budget(query, QueryBudget::unbounded())
+    }
+
+    /// [`run`](Self::run) under a per-query [`QueryBudget`]: the deadline is
+    /// observed cooperatively through the scatter, retries and global collation,
+    /// and `allow_partial` turns exhausted-shard outages into a marked
+    /// [degraded](QueryResult::is_degraded) subset instead of
+    /// [`ServiceError::ShardUnavailable`].
+    pub fn run_with_budget(
+        &self,
+        query: &Query,
+        budget: QueryBudget,
+    ) -> Result<QueryResult, ServiceError> {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        match self.execute(query, &budget) {
+            Ok(result) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(result)
+            }
+            Err(err) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                match err {
+                    ServiceError::DeadlineExceeded => {
+                        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServiceError::Cancelled => {
+                        self.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn execute(&self, query: &Query, budget: &QueryBudget) -> Result<QueryResult, ServiceError> {
+        let cancel = CancelToken::for_budget(budget);
+        cancel.check()?;
         let canonical = query.canonicalize();
         let key = canonical.cache_key();
         let cut = self.cut();
         if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key, &cut) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.completed.fetch_add(1, Ordering::Relaxed);
-            return (*hit).clone();
+            return Ok((*hit).clone());
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let footprint = Plan::read_footprint(&canonical);
-        let result = Arc::new(
-            ShardedExecutor::new(&cut)
-                .with_shard_parallel(self.config.shard_parallel)
-                .with_verify_workers(self.config.verify_workers)
-                .with_parallel_threshold(self.config.parallel_threshold)
-                .run_canonical(&canonical),
-        );
-        self.cache.lock().expect("cache lock poisoned").insert(
-            key,
-            &cut,
-            footprint,
-            Arc::clone(&result),
-        );
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone())
+        let mut exec = ShardedExecutor::new(&cut)
+            .with_shard_parallel(self.config.shard_parallel)
+            .with_verify_workers(self.config.verify_workers)
+            .with_parallel_threshold(self.config.parallel_threshold)
+            .with_cancel(cancel)
+            .with_retry(self.config.retry)
+            .with_allow_partial(budget.allow_partial);
+        if let Some(timeout) = self.config.shard_timeout {
+            exec = exec.with_shard_timeout(timeout);
+        }
+        if let Some(chaos) = &self.config.chaos {
+            exec = exec.with_chaos(chaos.clone());
+        }
+        let result = Arc::new(exec.try_run_canonical(&canonical)?);
+        if result.is_degraded() {
+            // A degraded answer is never cached: it is correct only for this
+            // outage, and the next gather may reach more shards.
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache.lock().expect("cache lock poisoned").insert(
+                key,
+                &cut,
+                footprint,
+                Arc::clone(&result),
+            );
+        }
+        Ok(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Number of live entries in the cut-level result cache.
@@ -508,6 +833,16 @@ impl ShardedQueryService {
         ServiceMetrics {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            // Calling-thread execution: there is no submission queue to shed from,
+            // and worker-pool counters never move here.
+            shed: 0,
+            failed: self.failed.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            worker_panics: 0,
+            workers_respawned: 0,
+            degraded: self.degraded.load(Ordering::Relaxed),
+            wal_flush_failures: self.wal_flush_failures.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             publishes: self.publishes.load(Ordering::Relaxed),
@@ -619,12 +954,12 @@ mod tests {
             sharded.capture_cut(),
             ShardedServiceConfig::default().with_cache_capacity(8),
         );
-        let before = service.run(&phrase_query());
+        let before = service.run(&phrase_query()).unwrap();
         assert_eq!(
             before.to_json(),
             ReferenceExecutor::new(&oracle).run(&phrase_query()).to_json()
         );
-        assert_eq!(service.run(&phrase_query()), before); // hit
+        assert_eq!(service.run(&phrase_query()).unwrap(), before); // hit
         let m = service.metrics();
         assert_eq!((m.cache_hits, m.cache_misses), (1, 1));
 
@@ -638,8 +973,8 @@ mod tests {
         oracle.register_sequence("late-0", DataType::DnaSequence, 500, "chr2");
         oracle.register_sequence("late-1", DataType::DnaSequence, 500, "chr2");
         oracle.register_sequence("late-2", DataType::DnaSequence, 500, "chr2");
-        service.publish(sharded.capture_cut());
-        assert_eq!(service.run(&phrase_query()), before);
+        service.publish(sharded.capture_cut()).unwrap();
+        assert_eq!(service.run(&phrase_query()).unwrap(), before);
         let m = service.metrics();
         assert_eq!(m.cache_hits, 2);
         assert_eq!(m.cache_entries_evicted, 0);
@@ -659,8 +994,8 @@ mod tests {
             .mark(ObjectId(0), Marker::interval(900, 950))
             .commit()
             .unwrap();
-        service.publish(sharded.capture_cut());
-        let after = service.run(&phrase_query());
+        service.publish(sharded.capture_cut()).unwrap();
+        let after = service.run(&phrase_query()).unwrap();
         assert_eq!(after.to_json(), ReferenceExecutor::new(&oracle).run(&phrase_query()).to_json());
         assert_eq!(after.annotations.len(), before.annotations.len() + 1);
         let m = service.metrics();
@@ -675,17 +1010,124 @@ mod tests {
             ShardedServiceConfig::default().with_cache_capacity(8),
         );
         let stale_cut = service.cut();
-        let first = service.run(&phrase_query());
+        let first = service.run(&phrase_query()).unwrap();
 
         // Publish an ingest-only cut; the entry born on the old cut still agrees on
         // the content footprint with both the old and the new cut.
         sharded.register_sequence("pad", DataType::DnaSequence, 100, "chr9");
-        service.publish(sharded.capture_cut());
+        service.publish(sharded.capture_cut()).unwrap();
         let mut cache = service.cache.lock().unwrap();
         let key = phrase_query().cache_key();
         assert!(cache.get(&key, &stale_cut).is_some(), "stale cut must still be served");
         assert!(cache.get(&key, &service.cut.read().unwrap()).is_some());
         drop(cache);
-        assert_eq!(service.run(&phrase_query()), first);
+        assert_eq!(service.run(&phrase_query()).unwrap(), first);
+    }
+
+    /// The degraded-result contract: with chaos keeping one shard down past its
+    /// retry budget, an `allow_partial` run returns byte-identically what a
+    /// no-chaos run with that shard masked out returns — the exact answer
+    /// restricted to the responsive shards — and tags it.
+    #[test]
+    fn degraded_result_is_byte_identical_to_masked_reference() {
+        let (_oracle, sharded) = parallel_build(4);
+        let cut = sharded.capture_cut();
+        let queries = [
+            phrase_query(),
+            Query::new(Target::ConnectionGraphs).with_phrase("protease"),
+            Query::new(Target::Referents)
+                .with_referent(ReferentFilter::OfType(DataType::DnaSequence)),
+            Query::new(Target::AnnotationContents), // unconstrained family
+        ];
+        for down in [1usize, 3] {
+            for q in &queries {
+                let reference = ShardedExecutor::new(&cut)
+                    .with_allow_partial(true)
+                    .with_shard_mask(!(1 << down))
+                    .try_run_canonical(&q.canonicalize())
+                    .unwrap();
+                assert_eq!(reference.missing_shards, vec![down]);
+                let chaos = ChaosConfig::new().with_shard_outage(down, u64::MAX);
+                let degraded = ShardedExecutor::new(&cut)
+                    .with_allow_partial(true)
+                    .with_retry(RetryPolicy::default().with_base_delay(Duration::from_micros(50)))
+                    .with_chaos(chaos.clone())
+                    .try_run_canonical(&q.canonicalize())
+                    .unwrap();
+                assert!(degraded.is_degraded());
+                assert_eq!(degraded.to_json(), reference.to_json(), "shard {down}: {q:?}");
+                assert_eq!(chaos.attempts_against(down), 3, "retry budget fully spent");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_outage_without_allow_partial_fails_fast() {
+        let (_oracle, sharded) = parallel_build(3);
+        let cut = sharded.capture_cut();
+        let err = ShardedExecutor::new(&cut)
+            .with_retry(RetryPolicy::default().with_base_delay(Duration::from_micros(50)))
+            .with_chaos(ChaosConfig::new().with_shard_outage(2, u64::MAX))
+            .try_run_canonical(&phrase_query().canonicalize())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::ShardUnavailable { shard: 2, attempts: 3 });
+    }
+
+    /// A shard that is merely slow — not down — survives its stall (or a retry)
+    /// and the result is complete and exact.
+    #[test]
+    fn slow_shard_recovers_within_retry_budget() {
+        let (oracle, sharded) = parallel_build(3);
+        let cut = sharded.capture_cut();
+        let expected = ReferenceExecutor::new(&oracle).run(&phrase_query());
+        // Slow on the first attempt only: the timeout preempts the stall, the
+        // retry goes through cleanly.
+        let chaos = ChaosConfig::new().with_slow_shard(1, Duration::from_millis(400), 1);
+        let got = ShardedExecutor::new(&cut)
+            .with_shard_timeout(Duration::from_millis(30))
+            .with_retry(RetryPolicy::default().with_base_delay(Duration::from_micros(50)))
+            .with_chaos(chaos.clone())
+            .try_run_canonical(&phrase_query().canonicalize())
+            .unwrap();
+        assert_eq!(got.to_json(), expected.to_json());
+        assert!(!got.is_degraded());
+        assert_eq!(chaos.attempts_against(1), 2, "one stalled attempt, one clean retry");
+    }
+
+    #[test]
+    fn expired_budget_fails_sharded_run_with_deadline_exceeded() {
+        let (_oracle, sharded) = parallel_build(2);
+        let service = ShardedQueryService::with_defaults(sharded.capture_cut());
+        let budget = QueryBudget::unbounded().with_deadline(Duration::from_nanos(0));
+        assert_eq!(
+            service.run_with_budget(&phrase_query(), budget),
+            Err(ServiceError::DeadlineExceeded)
+        );
+        let m = service.metrics();
+        assert_eq!((m.failed, m.deadline_misses), (1, 1));
+    }
+
+    #[test]
+    fn degraded_results_are_never_cached() {
+        let (_oracle, sharded) = parallel_build(3);
+        let service = ShardedQueryService::new(
+            sharded.capture_cut(),
+            ShardedServiceConfig::default()
+                .with_cache_capacity(8)
+                .with_retry(RetryPolicy::default().with_base_delay(Duration::from_micros(50)))
+                .with_chaos(ChaosConfig::new().with_shard_outage(1, 3)),
+        );
+        // Outage budget 3 = exactly one query's retry budget: the first run
+        // degrades, the second reaches every shard.
+        let partial = QueryBudget::unbounded().with_allow_partial(true);
+        let first = service.run_with_budget(&phrase_query(), partial).unwrap();
+        assert_eq!(first.missing_shards, vec![1]);
+        assert_eq!(service.cache_len(), 0, "degraded results must not be cached");
+        let second = service.run_with_budget(&phrase_query(), partial).unwrap();
+        assert!(!second.is_degraded());
+        assert_eq!(service.cache_len(), 1);
+        let m = service.metrics();
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.completed, 2);
     }
 }

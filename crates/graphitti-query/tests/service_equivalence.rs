@@ -88,11 +88,11 @@ fn assert_service_matches_reference(sys: &Graphitti, seed: u64, queries: usize) 
             .iter()
             .enumerate()
             .flat_map(|(i, (q, _))| {
-                [(i, service.submit(q.clone())), (i, service.submit(q.clone()))]
+                [(i, service.submit(q.clone()).unwrap()), (i, service.submit(q.clone()).unwrap())]
             })
             .collect();
         for (i, ticket) in tickets {
-            let got = ticket.wait();
+            let got = ticket.wait().unwrap();
             let (q, expected) = &cases[i];
             assert_eq!(&got, expected, "[{label}] diverged on query #{i}: {q:#?}");
             assert_eq!(
@@ -167,7 +167,7 @@ fn readers_see_consistent_epochs_while_writer_publishes() {
             readers.push(scope.spawn(move || {
                 let mut observed = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    observed.push(service.run(query.clone()));
+                    observed.push(service.run(query.clone()).unwrap());
                 }
                 observed
             }));
@@ -179,7 +179,7 @@ fn readers_see_consistent_epochs_while_writer_publishes() {
                 .mark(seq, Marker::interval(500_000 + i * 100, 500_000 + i * 100 + 50))
                 .commit()
                 .unwrap();
-            service.publish(sys.snapshot());
+            service.publish(sys.snapshot()).unwrap();
             legal.push(Executor::new(&sys).run(&query));
             std::thread::yield_now();
         }
@@ -253,7 +253,7 @@ fn batched_publishes_interleave_with_inflight_queries() {
             readers.push(scope.spawn(move || {
                 let mut observed = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    observed.push(result_bytes(&service.run(query.clone())));
+                    observed.push(result_bytes(&service.run(query.clone()).unwrap()));
                 }
                 observed
             }));
@@ -286,7 +286,7 @@ fn batched_publishes_interleave_with_inflight_queries() {
             // the whole batch is one version...
             assert_eq!(sys.epoch(), epoch_before + 1);
             // ...published once
-            service.publish(sys.snapshot());
+            service.publish(sys.snapshot()).unwrap();
             legal.push(result_bytes(&ReferenceExecutor::new(&sys).run(&query)));
             std::thread::yield_now();
         }
@@ -317,7 +317,7 @@ fn batched_publishes_interleave_with_inflight_queries() {
     assert_eq!(service.current_epoch(), sys.epoch());
     // final state still serves byte-identical to the reference
     assert_eq!(
-        result_bytes(&service.run(query.clone())),
+        result_bytes(&service.run(query.clone()).unwrap()),
         result_bytes(&ReferenceExecutor::new(&sys).run(&query))
     );
 }
@@ -378,7 +378,7 @@ fn footprint_disjoint_batches_preserve_entries_mid_flight() {
                         (&term_query, expected_term)
                     };
                     assert_eq!(
-                        &result_bytes(&service.run(q.clone())),
+                        &result_bytes(&service.run(q.clone()).unwrap()),
                         expected,
                         "ingest-only publishes must never change a served answer"
                     );
@@ -400,7 +400,7 @@ fn footprint_disjoint_batches_preserve_entries_mid_flight() {
                 );
             }
             batch.commit();
-            service.publish(sys.snapshot());
+            service.publish(sys.snapshot()).unwrap();
             std::thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
@@ -427,12 +427,12 @@ fn footprint_disjoint_batches_preserve_entries_mid_flight() {
         .mark(seq, Marker::interval(900_000, 900_050))
         .commit()
         .unwrap();
-    service.publish(sys.snapshot());
+    service.publish(sys.snapshot()).unwrap();
     let m = service.metrics();
     assert_eq!(m.cache_entries_evicted, 2);
     assert_eq!(m.cache_full_invalidations, 1);
     assert_eq!(
-        result_bytes(&service.run(phrase_query.clone())),
+        result_bytes(&service.run(phrase_query.clone()).unwrap()),
         result_bytes(&ReferenceExecutor::new(&sys).run(&phrase_query))
     );
 }
@@ -492,7 +492,7 @@ mod partial_invalidation_props {
             ServiceConfig::default().with_workers(1).with_cache_capacity(8),
         );
         for q in cases {
-            service.run(q.clone()); // populate one entry per query
+            service.run(q.clone()).unwrap(); // populate one entry per query
         }
 
         let mut annotations = 0u64;
@@ -531,7 +531,7 @@ mod partial_invalidation_props {
                 }
             }
             batch.commit();
-            service.publish(sys.snapshot());
+            service.publish(sys.snapshot()).unwrap();
             let published = sys.snapshot();
             let dirty = published.changed_components(&before);
             prop_assert!(!dirty.is_empty(), "every batch kind writes something");
@@ -539,7 +539,7 @@ mod partial_invalidation_props {
             for (q, fp) in cases.iter().zip(&footprints) {
                 let survives = !fp.intersects(dirty);
                 let misses_before = service.metrics().cache_misses;
-                let got = service.run((*q).clone());
+                let got = service.run((*q).clone()).unwrap();
                 let was_hit = service.metrics().cache_misses == misses_before;
                 prop_assert_eq!(
                     was_hit,

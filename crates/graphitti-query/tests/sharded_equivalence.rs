@@ -129,9 +129,9 @@ fn assert_sharded_matches_reference(base: &Graphitti, seed: u64, queries: usize)
                 .run(q);
             assert_eq!(&result_bytes(&parallel), expected, "[{label}] parallel scatter");
             // Service with cache: first run misses, second must hit and stay equal.
-            assert_eq!(&result_bytes(&cached.run(q)), expected, "[{label}] cached miss");
-            assert_eq!(&result_bytes(&cached.run(q)), expected, "[{label}] cached hit");
-            assert_eq!(&result_bytes(&uncached.run(q)), expected, "[{label}] uncached");
+            assert_eq!(&result_bytes(&cached.run(q).unwrap()), expected, "[{label}] cached miss");
+            assert_eq!(&result_bytes(&cached.run(q).unwrap()), expected, "[{label}] cached hit");
+            assert_eq!(&result_bytes(&uncached.run(q).unwrap()), expected, "[{label}] uncached");
         }
         assert!(
             cached.metrics().cache_hits >= queries as u64,
@@ -301,7 +301,7 @@ fn scatter_gather_reads_observe_one_consistent_cut_under_publishes() {
             readers.push(scope.spawn(move || {
                 let mut observed = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    observed.push(result_bytes(&service.run(&query)));
+                    observed.push(result_bytes(&service.run(&query).unwrap()));
                 }
                 observed
             }));
@@ -337,7 +337,7 @@ fn scatter_gather_reads_observe_one_consistent_cut_under_publishes() {
                 .commit()
                 .unwrap();
             sb.commit();
-            service.publish(sharded.capture_cut());
+            service.publish(sharded.capture_cut()).unwrap();
             legal.push(result_bytes(&ReferenceExecutor::new(&oracle).run(&query)));
             std::thread::yield_now();
         }
@@ -428,7 +428,7 @@ fn shard_local_disjoint_publishes_evict_nothing_mid_flight() {
                         (&term_query, expected_term)
                     };
                     assert_eq!(
-                        &result_bytes(&service.run(q)),
+                        &result_bytes(&service.run(q).unwrap()),
                         expected,
                         "ingest publishes must never change a served answer"
                     );
@@ -456,7 +456,7 @@ fn shard_local_disjoint_publishes_evict_nothing_mid_flight() {
             }
             ob.commit();
             batch.commit();
-            service.publish(sharded.capture_cut());
+            service.publish(sharded.capture_cut()).unwrap();
             std::thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
@@ -490,10 +490,10 @@ fn shard_local_disjoint_publishes_evict_nothing_mid_flight() {
         .cite_term(term)
         .commit()
         .unwrap();
-    service.publish(sharded.capture_cut());
+    service.publish(sharded.capture_cut()).unwrap();
     assert_eq!(service.metrics().cache_entries_evicted, 2);
     assert_eq!(
-        result_bytes(&service.run(&phrase_query)),
+        result_bytes(&service.run(&phrase_query).unwrap()),
         result_bytes(&ReferenceExecutor::new(&oracle).run(&phrase_query))
     );
 }

@@ -54,7 +54,7 @@ fn main() {
             scope.spawn(move || {
                 for round in 0..40 {
                     let q = mix[(client + round) % mix.len()].clone();
-                    let result = service.run(q);
+                    let result = service.run(q).unwrap();
                     std::hint::black_box(result);
                 }
             });
@@ -72,11 +72,11 @@ fn main() {
                 .cite_term(dcn)
                 .commit()
                 .expect("annotation commits");
-            service.publish(workload.system.snapshot());
+            service.publish(workload.system.snapshot()).unwrap();
         }
     });
 
-    let final_result = service.run(tp53_a);
+    let final_result = service.run(tp53_a).unwrap();
     let metrics = service.metrics();
     println!(
         "served {} queries: {} cache hits, {} misses, {} publishes",

@@ -94,7 +94,7 @@ fn main() {
     service.attach_wal(recovered.wal());
 
     let phrase = Query::new(Target::AnnotationContents).with_phrase("cleavage");
-    let before = service.run_now(&phrase);
+    let before = service.run_now(&phrase).unwrap();
     println!(
         "\nquery \"cleavage\": {} annotations from the recovered prefix",
         before.annotations.len()
@@ -106,8 +106,8 @@ fn main() {
     for step in 6..8 {
         recovered.apply(&batch(step)).expect("redo lost batch");
     }
-    service.publish(recovered.system().snapshot());
-    let after = service.run_now(&phrase);
+    service.publish(recovered.system().snapshot()).unwrap();
+    let after = service.run_now(&phrase).unwrap();
     assert_eq!(after.annotations.len(), before.annotations.len() + 2);
 
     let metrics = service.metrics();
