@@ -4,11 +4,22 @@
 //! `intersect`, ontology `CI` / `CRI` / `CmRI` / `mCmRI` / `SubTree` / subtree
 //! difference, and a-graph `path` / `connect`. These establish the per-operation cost
 //! floor the higher-level experiments build on.
+//!
+//! The `M1_set_ops` group sweeps candidate-set intersection and union across density
+//! regimes (selectivity 10⁻⁴ … 0.5 over a 2²⁰ universe), pitting the compressed
+//! bitmap kernels against the sorted-`Vec` galloping merges they replace on the
+//! executor's hot path.  Both sides measure the pure kernel over pre-materialized
+//! operands — the representations are built once outside the timing loop, mirroring
+//! how the executor holds candidates in one representation across pipeline stages.
+
+use std::collections::BTreeSet;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use agraph::{EdgeLabel, MultiGraph, NodeKind};
 use datagen::ontology_gen;
+use graphitti_query::bitmap::Bitmap;
+use graphitti_query::setops;
 use interval_index::{Interval, IntervalTree};
 use ontology::RelationType;
 use spatial_index::{RTree, Rect};
@@ -94,5 +105,53 @@ fn bench_operators(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_operators);
+/// Deterministic sorted id set of `universe * density` elements drawn uniformly
+/// from `0..universe`.
+fn random_ids(seed: u64, universe: u64, density: f64) -> Vec<u64> {
+    let target = (universe as f64 * density) as usize;
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut set: BTreeSet<u64> = BTreeSet::new();
+    while set.len() < target {
+        set.insert(next() % universe);
+    }
+    set.into_iter().collect()
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    const UNIVERSE: u64 = 1 << 20;
+    let mut group = c.benchmark_group("M1_set_ops");
+    for (label, density) in
+        [("1e-4", 1e-4), ("1e-3", 1e-3), ("1e-2", 1e-2), ("1e-1", 1e-1), ("5e-1", 0.5)]
+    {
+        let a = random_ids(7, UNIVERSE, density);
+        let b = random_ids(1009, UNIVERSE, density);
+        let (ba, bb) = (Bitmap::from_sorted_slice(&a), Bitmap::from_sorted_slice(&b));
+
+        group.bench_function(format!("intersect_vec_sel_{label}"), |bch| {
+            bch.iter(|| setops::intersect_sorted(&a, &b).len())
+        });
+        group.bench_function(format!("intersect_bitmap_sel_{label}"), |bch| {
+            bch.iter(|| ba.and(&bb).len())
+        });
+        group.bench_function(format!("union_vec_sel_{label}"), |bch| {
+            bch.iter(|| setops::union_sorted(&[&a, &b]).len())
+        });
+        group.bench_function(format!("union_bitmap_sel_{label}"), |bch| {
+            bch.iter(|| ba.or(&bb).len())
+        });
+    }
+    // Posting → bitmap materialization cost at a representative density (the
+    // executor pays this once per seed, then reuses the containers across stages).
+    let posting = random_ids(13, UNIVERSE, 1e-2);
+    group.bench_function("materialize_bitmap_sel_1e-2", |bch| {
+        bch.iter(|| Bitmap::from_sorted_slice(&posting).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_set_ops);
 criterion_main!(benches);

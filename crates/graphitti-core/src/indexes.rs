@@ -15,9 +15,13 @@
 //! plus [`Stats`], the per-term / per-type / per-domain counts the planner uses to
 //! estimate subquery selectivity from real data instead of hard-coded guesses.
 //!
-//! Every posting list is a **sorted `Vec`** (ids are dense and allocated in increasing
-//! order, so appends preserve order), which lets the executor intersect candidate sets
-//! by galloping merge and probe membership by binary search.
+//! Every posting list is a **strictly ascending, deduplicated `Vec`** (ids are dense
+//! and allocated in increasing order, so appends preserve order — the maintenance
+//! paths below `debug_assert!` it).  The executor relies on this invariant twice: to
+//! intersect candidate sets by galloping merge / probe membership by binary search,
+//! and to materialize a posting directly into a compressed candidate bitmap
+//! (`graphitti_query::bitmap`) **without re-sorting** — the posting is consumed as a
+//! pre-sorted run and packed chunk-by-chunk into containers.
 
 use std::collections::HashMap;
 
@@ -135,13 +139,20 @@ impl Indexes {
 
     /// Record a newly registered object.
     pub(crate) fn on_object_registered(&mut self, id: ObjectId, data_type: DataType) {
-        self.type_objects.entry(data_type).or_default().push(id);
+        let postings = self.type_objects.entry(data_type).or_default();
+        debug_assert!(postings.last().is_none_or(|&last| last < id), "object posting out of order");
+        postings.push(id);
         self.stats.objects += 1;
     }
 
     /// Record a newly created referent (`data_type` is its owning object's type).
     pub(crate) fn on_referent_added(&mut self, referent: &Referent, data_type: DataType) {
-        self.type_referents.entry(data_type).or_default().push(referent.id);
+        let postings = self.type_referents.entry(data_type).or_default();
+        debug_assert!(
+            postings.last().is_none_or(|&last| last < referent.id),
+            "type posting out of order"
+        );
+        postings.push(referent.id);
         *self.stats.referents_by_type.entry(data_type).or_insert(0) += 1;
         self.stats.referents += 1;
         match &referent.marker {
@@ -162,7 +173,12 @@ impl Indexes {
             Marker::BlockSet(ids) => {
                 self.stats.block_referents += 1;
                 for &id in ids {
-                    self.block_referents.entry(id).or_default().push(referent.id);
+                    let postings = self.block_referents.entry(id).or_default();
+                    debug_assert!(
+                        postings.last().is_none_or(|&last| last < referent.id),
+                        "block posting out of order"
+                    );
+                    postings.push(referent.id);
                 }
             }
         }
@@ -182,12 +198,21 @@ impl Indexes {
         for &term in terms {
             let postings = self.term_postings.entry(term).or_default();
             if postings.last() != Some(&annotation) {
+                debug_assert!(
+                    postings.last().is_none_or(|&last| last < annotation),
+                    "term posting out of order"
+                );
                 postings.push(annotation);
                 *self.stats.term_citations.entry(term).or_insert(0) += 1;
             }
         }
         for &rid in referents {
-            self.referent_annotations.entry(rid).or_default().push(annotation);
+            let postings = self.referent_annotations.entry(rid).or_default();
+            debug_assert!(
+                postings.last().is_none_or(|&last| last < annotation),
+                "referent-annotation posting out of order"
+            );
+            postings.push(annotation);
         }
     }
 }

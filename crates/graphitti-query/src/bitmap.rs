@@ -1,0 +1,866 @@
+//! Compressed candidate bitmaps with block-wise kernels.
+//!
+//! A [`Bitmap`] is a roaring-style two-level structure over dense `u64`
+//! ids: the id space is split into 65536-wide chunks keyed by `id >> 16`,
+//! and each non-empty chunk is stored as either an **array container**
+//! (sorted `Vec<u16>` of low bits, for sparse chunks) or a **bits
+//! container** (1024×`u64` fixed bitmap, for dense chunks). Containers
+//! promote to bits / demote back to arrays at the [`ARRAY_MAX`] = 4096
+//! element threshold, so every container holds the cheaper of the two
+//! encodings and structural equality implies set equality.
+//!
+//! The AND/OR/ANDNOT kernels skip non-overlapping chunks by merging the
+//! sorted key lists and, for bits×bits pairs, run as plain `u64`-word
+//! loops over the 1024-word blocks — branch-free bodies the compiler
+//! autovectorizes. Iteration is always in ascending id order, which is
+//! what makes the bitmap a drop-in for sorted-`Vec` candidate runs: any
+//! pipeline that consumes candidates in order produces byte-identical
+//! results under either representation.
+//!
+//! [`CandidateSet`] wraps the choice of representation behind one enum so
+//! the executor can be switched (per [`CandidateRepr`]) between bitmap
+//! kernels and the legacy sorted-`Vec` galloping merges for ablation.
+
+use graphitti_core::annotation::AnnotationId;
+use graphitti_core::referent::ReferentId;
+use graphitti_core::system::ObjectId;
+
+/// Chunk width: ids sharing `id >> CHUNK_SHIFT` live in one container.
+const CHUNK_SHIFT: u32 = 16;
+/// Words per bits container (`2^16` bits / 64 bits per word).
+const BITMAP_WORDS: usize = 1 << (CHUNK_SHIFT - 6);
+/// Container promotion threshold: an array container never holds more
+/// than this many elements; a bits container never holds fewer. 4096
+/// `u16`s occupy exactly the 8 KiB a bits container does, so promotion
+/// never increases memory.
+pub const ARRAY_MAX: usize = 4096;
+
+fn chunk_key(id: u64) -> u64 {
+    id >> CHUNK_SHIFT
+}
+
+fn low_bits(id: u64) -> u16 {
+    (id & 0xFFFF) as u16
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Container {
+    /// Sorted, deduplicated low bits of every id in the chunk.
+    Array(Vec<u16>),
+    /// Fixed 65536-bit bitmap plus a maintained population count.
+    Bits { words: Box<[u64; BITMAP_WORDS]>, len: u32 },
+}
+
+fn empty_words() -> Box<[u64; BITMAP_WORDS]> {
+    vec![0u64; BITMAP_WORDS].into_boxed_slice().try_into().expect("BITMAP_WORDS-sized box")
+}
+
+fn test_bit(words: &[u64; BITMAP_WORDS], low: u16) -> bool {
+    words[(low >> 6) as usize] & (1u64 << (low & 63)) != 0
+}
+
+impl Container {
+    fn len(&self) -> usize {
+        match self {
+            Container::Array(a) => a.len(),
+            Container::Bits { len, .. } => *len as usize,
+        }
+    }
+
+    fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(a) => a.binary_search(&low).is_ok(),
+            Container::Bits { words, .. } => test_bit(words, low),
+        }
+    }
+
+    /// Number of elements `<= low`.
+    fn rank(&self, low: u16) -> usize {
+        match self {
+            Container::Array(a) => a.partition_point(|&v| v <= low),
+            Container::Bits { words, .. } => {
+                let word = (low >> 6) as usize;
+                let mut r: u32 = words[..word].iter().map(|w| w.count_ones()).sum();
+                let keep = 64 - (low & 63) as u32 - 1;
+                r += (words[word] << keep).count_ones();
+                r as usize
+            }
+        }
+    }
+
+    /// Build the cheaper encoding for a sorted, deduplicated run of lows.
+    fn from_lows(lows: Vec<u16>) -> Container {
+        if lows.len() > ARRAY_MAX {
+            let mut words = empty_words();
+            for &v in &lows {
+                words[(v >> 6) as usize] |= 1u64 << (v & 63);
+            }
+            Container::Bits { words, len: lows.len() as u32 }
+        } else {
+            Container::Array(lows)
+        }
+    }
+
+    /// Re-establish the encoding invariant after an operation, returning
+    /// `None` for the empty container.
+    fn normalize(self) -> Option<Container> {
+        match self {
+            Container::Array(a) if a.is_empty() => None,
+            Container::Array(a) if a.len() > ARRAY_MAX => Some(Container::from_lows(a)),
+            c @ Container::Array(_) => Some(c),
+            Container::Bits { len: 0, .. } => None,
+            Container::Bits { words, len } if (len as usize) <= ARRAY_MAX => {
+                let mut lows = Vec::with_capacity(len as usize);
+                for (wi, &w) in words.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        let bit = w.trailing_zeros();
+                        lows.push(((wi as u32) << 6 | bit) as u16);
+                        w &= w - 1;
+                    }
+                }
+                Some(Container::Array(lows))
+            }
+            c @ Container::Bits { .. } => Some(c),
+        }
+    }
+
+    fn push_ids(&self, key: u64, out: &mut Vec<u64>) {
+        let base = key << CHUNK_SHIFT;
+        match self {
+            Container::Array(a) => out.extend(a.iter().map(|&v| base | u64::from(v))),
+            Container::Bits { words, .. } => {
+                for (wi, &w) in words.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        let bit = w.trailing_zeros();
+                        out.push(base | (wi as u64) << 6 | u64::from(bit));
+                        w &= w - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn intersect_lows(a: &[u16], b: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn and_containers(a: &Container, b: &Container) -> Option<Container> {
+    let out = match (a, b) {
+        (Container::Array(x), Container::Array(y)) => Container::Array(intersect_lows(x, y)),
+        (Container::Array(x), Container::Bits { words, .. })
+        | (Container::Bits { words, .. }, Container::Array(x)) => {
+            Container::Array(x.iter().copied().filter(|&v| test_bit(words, v)).collect())
+        }
+        (Container::Bits { words: wa, .. }, Container::Bits { words: wb, .. }) => {
+            let mut words = empty_words();
+            let mut len = 0u32;
+            for i in 0..BITMAP_WORDS {
+                let w = wa[i] & wb[i];
+                words[i] = w;
+                len += w.count_ones();
+            }
+            Container::Bits { words, len }
+        }
+    };
+    out.normalize()
+}
+
+fn or_containers(a: &Container, b: &Container) -> Option<Container> {
+    let out = match (a, b) {
+        (Container::Array(x), Container::Array(y)) => {
+            let mut merged = Vec::with_capacity(x.len() + y.len());
+            let (mut i, mut j) = (0, 0);
+            while i < x.len() && j < y.len() {
+                match x[i].cmp(&y[j]) {
+                    std::cmp::Ordering::Less => {
+                        merged.push(x[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(y[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(x[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend_from_slice(&x[i..]);
+            merged.extend_from_slice(&y[j..]);
+            Container::from_lows(merged)
+        }
+        (Container::Array(x), Container::Bits { words, len })
+        | (Container::Bits { words, len }, Container::Array(x)) => {
+            let mut words = words.clone();
+            let mut len = *len;
+            for &v in x {
+                let (wi, mask) = ((v >> 6) as usize, 1u64 << (v & 63));
+                if words[wi] & mask == 0 {
+                    words[wi] |= mask;
+                    len += 1;
+                }
+            }
+            Container::Bits { words, len }
+        }
+        (Container::Bits { words: wa, .. }, Container::Bits { words: wb, .. }) => {
+            let mut words = empty_words();
+            let mut len = 0u32;
+            for i in 0..BITMAP_WORDS {
+                let w = wa[i] | wb[i];
+                words[i] = w;
+                len += w.count_ones();
+            }
+            Container::Bits { words, len }
+        }
+    };
+    out.normalize()
+}
+
+fn and_not_containers(a: &Container, b: &Container) -> Option<Container> {
+    let out = match (a, b) {
+        (Container::Array(x), Container::Array(y)) => {
+            let mut kept = Vec::with_capacity(x.len());
+            let mut j = 0;
+            for &v in x {
+                while j < y.len() && y[j] < v {
+                    j += 1;
+                }
+                if j >= y.len() || y[j] != v {
+                    kept.push(v);
+                }
+            }
+            Container::Array(kept)
+        }
+        (Container::Array(x), Container::Bits { words, .. }) => {
+            Container::Array(x.iter().copied().filter(|&v| !test_bit(words, v)).collect())
+        }
+        (Container::Bits { words, len }, Container::Array(y)) => {
+            let mut words = words.clone();
+            let mut len = *len;
+            for &v in y {
+                let (wi, mask) = ((v >> 6) as usize, 1u64 << (v & 63));
+                if words[wi] & mask != 0 {
+                    words[wi] &= !mask;
+                    len -= 1;
+                }
+            }
+            Container::Bits { words, len }
+        }
+        (Container::Bits { words: wa, .. }, Container::Bits { words: wb, .. }) => {
+            let mut words = empty_words();
+            let mut len = 0u32;
+            for i in 0..BITMAP_WORDS {
+                let w = wa[i] & !wb[i];
+                words[i] = w;
+                len += w.count_ones();
+            }
+            Container::Bits { words, len }
+        }
+    };
+    out.normalize()
+}
+
+/// Roaring-style compressed set of `u64` ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    /// Sorted chunk keys (`id >> 16`), parallel to `containers`.
+    keys: Vec<u64>,
+    containers: Vec<Container>,
+    len: u64,
+}
+
+impl Bitmap {
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of resident containers (exposed for tests/benches).
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        match self.keys.binary_search(&chunk_key(id)) {
+            Ok(pos) => self.containers[pos].contains(low_bits(id)),
+            Err(_) => false,
+        }
+    }
+
+    /// Rank-style cardinality: number of ids `<= id`.
+    pub fn rank(&self, id: u64) -> u64 {
+        let key = chunk_key(id);
+        let pos = self.keys.partition_point(|&k| k < key);
+        let below: u64 = self.containers[..pos].iter().map(|c| c.len() as u64).sum();
+        if self.keys.get(pos) == Some(&key) {
+            below + self.containers[pos].rank(low_bits(id)) as u64
+        } else {
+            below
+        }
+    }
+
+    /// Build from a strictly ascending id sequence (sorted + deduplicated).
+    pub fn from_sorted_iter(iter: impl IntoIterator<Item = u64>) -> Bitmap {
+        let mut bm = Bitmap::new();
+        let mut cur_key = 0u64;
+        let mut lows: Vec<u16> = Vec::new();
+        for id in iter {
+            let key = chunk_key(id);
+            if key != cur_key && !lows.is_empty() {
+                bm.flush_chunk(cur_key, std::mem::take(&mut lows));
+            }
+            cur_key = key;
+            debug_assert!(
+                lows.last().is_none_or(|&l| l < low_bits(id)),
+                "from_sorted_iter requires strictly ascending ids"
+            );
+            lows.push(low_bits(id));
+        }
+        if !lows.is_empty() {
+            bm.flush_chunk(cur_key, lows);
+        }
+        bm
+    }
+
+    /// Build from a sorted, deduplicated slice of ids without re-sorting.
+    pub fn from_sorted_slice(ids: &[u64]) -> Bitmap {
+        Bitmap::from_sorted_iter(ids.iter().copied())
+    }
+
+    fn flush_chunk(&mut self, key: u64, lows: Vec<u16>) {
+        debug_assert!(self.keys.last().is_none_or(|&k| k < key));
+        self.len += lows.len() as u64;
+        self.keys.push(key);
+        self.containers.push(Container::from_lows(lows));
+    }
+
+    /// Intersection, skipping chunks absent from either side.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        self.and_with_checkpoints(other, &mut || Ok::<(), std::convert::Infallible>(()))
+            .unwrap_or_else(|e| match e {})
+    }
+
+    /// Intersection with a cooperative-cancellation checkpoint invoked at
+    /// every container-pair boundary; an `Err` from the checkpoint aborts
+    /// the kernel and propagates.
+    pub fn and_with_checkpoints<E>(
+        &self,
+        other: &Bitmap,
+        checkpoint: &mut impl FnMut() -> Result<(), E>,
+    ) -> Result<Bitmap, E> {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() && j < other.keys.len() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    checkpoint()?;
+                    if let Some(c) = and_containers(&self.containers[i], &other.containers[j]) {
+                        out.len += c.len() as u64;
+                        out.keys.push(self.keys[i]);
+                        out.containers.push(c);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Union.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() || j < other.keys.len() {
+            let (key, c) = if j >= other.keys.len()
+                || (i < self.keys.len() && self.keys[i] < other.keys[j])
+            {
+                let pair = (self.keys[i], Some(self.containers[i].clone()));
+                i += 1;
+                pair
+            } else if i >= self.keys.len() || other.keys[j] < self.keys[i] {
+                let pair = (other.keys[j], Some(other.containers[j].clone()));
+                j += 1;
+                pair
+            } else {
+                let pair = (self.keys[i], or_containers(&self.containers[i], &other.containers[j]));
+                i += 1;
+                j += 1;
+                pair
+            };
+            if let Some(c) = c {
+                out.len += c.len() as u64;
+                out.keys.push(key);
+                out.containers.push(c);
+            }
+        }
+        out
+    }
+
+    /// Difference: ids in `self` but not in `other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new();
+        let mut j = 0;
+        for (i, &key) in self.keys.iter().enumerate() {
+            while j < other.keys.len() && other.keys[j] < key {
+                j += 1;
+            }
+            let c = if j < other.keys.len() && other.keys[j] == key {
+                and_not_containers(&self.containers[i], &other.containers[j])
+            } else {
+                Some(self.containers[i].clone())
+            };
+            if let Some(c) = c {
+                out.len += c.len() as u64;
+                out.keys.push(key);
+                out.containers.push(c);
+            }
+        }
+        out
+    }
+
+    /// Ascending-order iteration over all ids.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter {
+            bm: self,
+            ci: 0,
+            array_idx: 0,
+            word_idx: 0,
+            word: match self.containers.first() {
+                Some(Container::Bits { words, .. }) => words[0],
+                _ => 0,
+            },
+        }
+    }
+
+    /// Materialize to a sorted `Vec` of ids.
+    pub fn to_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for (key, c) in self.keys.iter().zip(&self.containers) {
+            c.push_ids(*key, &mut out);
+        }
+        out
+    }
+
+    /// Verify structural invariants (testing support): keys strictly
+    /// ascending, container encodings on the correct side of
+    /// [`ARRAY_MAX`], array containers strictly sorted, `len` consistent.
+    #[doc(hidden)]
+    pub fn invariants_ok(&self) -> bool {
+        if self.keys.len() != self.containers.len() {
+            return false;
+        }
+        if !self.keys.windows(2).all(|w| w[0] < w[1]) {
+            return false;
+        }
+        let mut total = 0u64;
+        for c in &self.containers {
+            total += c.len() as u64;
+            match c {
+                Container::Array(a) => {
+                    if a.is_empty() || a.len() > ARRAY_MAX || !a.windows(2).all(|w| w[0] < w[1]) {
+                        return false;
+                    }
+                }
+                Container::Bits { words, len } => {
+                    if (*len as usize) <= ARRAY_MAX {
+                        return false;
+                    }
+                    let pop: u32 = words.iter().map(|w| w.count_ones()).sum();
+                    if pop != *len {
+                        return false;
+                    }
+                }
+            }
+        }
+        total == self.len
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitmap {
+    type Item = u64;
+    type IntoIter = BitmapIter<'a>;
+    fn into_iter(self) -> BitmapIter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over the ids of a [`Bitmap`].
+pub struct BitmapIter<'a> {
+    bm: &'a Bitmap,
+    ci: usize,
+    array_idx: usize,
+    word_idx: usize,
+    word: u64,
+}
+
+impl BitmapIter<'_> {
+    fn advance_container(&mut self) {
+        self.ci += 1;
+        self.array_idx = 0;
+        self.word_idx = 0;
+        self.word = match self.bm.containers.get(self.ci) {
+            Some(Container::Bits { words, .. }) => words[0],
+            _ => 0,
+        };
+    }
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            let base = *self.bm.keys.get(self.ci)? << CHUNK_SHIFT;
+            match &self.bm.containers[self.ci] {
+                Container::Array(a) => {
+                    if let Some(&v) = a.get(self.array_idx) {
+                        self.array_idx += 1;
+                        return Some(base | u64::from(v));
+                    }
+                    self.advance_container();
+                }
+                Container::Bits { words, .. } => {
+                    while self.word == 0 && self.word_idx + 1 < BITMAP_WORDS {
+                        self.word_idx += 1;
+                        self.word = words[self.word_idx];
+                    }
+                    if self.word != 0 {
+                        let bit = self.word.trailing_zeros();
+                        self.word &= self.word - 1;
+                        return Some(base | (self.word_idx as u64) << 6 | u64::from(bit));
+                    }
+                    self.advance_container();
+                }
+            }
+        }
+    }
+}
+
+/// Ids that map losslessly to a dense `u64` key, so candidate sets over
+/// them can be stored in a [`Bitmap`].
+pub trait DenseId: Copy + Ord {
+    fn dense(self) -> u64;
+    fn from_dense(raw: u64) -> Self;
+}
+
+impl DenseId for u64 {
+    fn dense(self) -> u64 {
+        self
+    }
+    fn from_dense(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl DenseId for AnnotationId {
+    fn dense(self) -> u64 {
+        self.0
+    }
+    fn from_dense(raw: u64) -> AnnotationId {
+        AnnotationId(raw)
+    }
+}
+
+impl DenseId for ReferentId {
+    fn dense(self) -> u64 {
+        self.0
+    }
+    fn from_dense(raw: u64) -> ReferentId {
+        ReferentId(raw)
+    }
+}
+
+impl DenseId for ObjectId {
+    fn dense(self) -> u64 {
+        self.0
+    }
+    fn from_dense(raw: u64) -> ObjectId {
+        ObjectId(raw)
+    }
+}
+
+/// Which physical representation the executor uses for candidate sets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CandidateRepr {
+    /// Compressed bitmap containers with block-wise kernels (default).
+    #[default]
+    Bitmap,
+    /// Legacy sorted-`Vec` runs with galloping merges (ablation baseline).
+    SortedVec,
+}
+
+/// A candidate set in one of the two representations. All operations
+/// preserve ascending id order, so downstream consumers see identical
+/// sequences regardless of representation.
+#[derive(Clone, Debug)]
+pub enum CandidateSet<T> {
+    Sorted(Vec<T>),
+    Bits(Bitmap),
+}
+
+impl<T: DenseId> CandidateSet<T> {
+    pub fn empty(repr: CandidateRepr) -> CandidateSet<T> {
+        match repr {
+            CandidateRepr::Bitmap => CandidateSet::Bits(Bitmap::new()),
+            CandidateRepr::SortedVec => CandidateSet::Sorted(Vec::new()),
+        }
+    }
+
+    /// Wrap an already-sorted, deduplicated vec (no re-sort).
+    pub fn from_sorted_vec(repr: CandidateRepr, ids: Vec<T>) -> CandidateSet<T> {
+        match repr {
+            CandidateRepr::Bitmap => {
+                CandidateSet::Bits(Bitmap::from_sorted_iter(ids.iter().map(|id| id.dense())))
+            }
+            CandidateRepr::SortedVec => CandidateSet::Sorted(ids),
+        }
+    }
+
+    /// Materialize an index posting (sorted, deduplicated) without re-sorting.
+    pub fn from_posting(repr: CandidateRepr, posting: &[T]) -> CandidateSet<T> {
+        match repr {
+            CandidateRepr::Bitmap => {
+                CandidateSet::Bits(Bitmap::from_sorted_iter(posting.iter().map(|id| id.dense())))
+            }
+            CandidateRepr::SortedVec => CandidateSet::Sorted(posting.to_vec()),
+        }
+    }
+
+    /// Union of several postings (each sorted + deduplicated). Under the
+    /// bitmap repr this is a container-wise OR; under the vec repr it is
+    /// the k-way galloping merge in `setops`.
+    pub fn union_postings(repr: CandidateRepr, postings: &[&[T]]) -> CandidateSet<T> {
+        match repr {
+            CandidateRepr::Bitmap => {
+                let mut acc = Bitmap::new();
+                for p in postings {
+                    let next = Bitmap::from_sorted_iter(p.iter().map(|id| id.dense()));
+                    acc = if acc.is_empty() { next } else { acc.or(&next) };
+                }
+                CandidateSet::Bits(acc)
+            }
+            CandidateRepr::SortedVec => CandidateSet::Sorted(crate::setops::union_sorted(postings)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            CandidateSet::Sorted(v) => v.len(),
+            CandidateSet::Bits(b) => b.len() as usize,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn repr(&self) -> CandidateRepr {
+        match self {
+            CandidateSet::Sorted(_) => CandidateRepr::SortedVec,
+            CandidateSet::Bits(_) => CandidateRepr::Bitmap,
+        }
+    }
+
+    pub fn contains(&self, id: T) -> bool {
+        match self {
+            CandidateSet::Sorted(v) => v.binary_search(&id).is_ok(),
+            CandidateSet::Bits(b) => b.contains(id.dense()),
+        }
+    }
+
+    /// Intersect with a sorted, deduplicated posting, invoking
+    /// `checkpoint` at container-batch boundaries (bitmap repr) or once
+    /// up front (vec repr) for cooperative cancellation.
+    pub fn intersect_posting<E>(
+        self,
+        posting: &[T],
+        checkpoint: &mut impl FnMut() -> Result<(), E>,
+    ) -> Result<CandidateSet<T>, E> {
+        match self {
+            CandidateSet::Sorted(v) => {
+                checkpoint()?;
+                Ok(CandidateSet::Sorted(crate::setops::intersect_sorted(&v, posting)))
+            }
+            CandidateSet::Bits(b) => {
+                let other = Bitmap::from_sorted_iter(posting.iter().map(|id| id.dense()));
+                Ok(CandidateSet::Bits(b.and_with_checkpoints(&other, checkpoint)?))
+            }
+        }
+    }
+
+    /// Intersect two candidate sets (same or mixed representation),
+    /// with cancellation checkpoints as in [`Self::intersect_posting`].
+    pub fn intersect<E>(
+        self,
+        other: &CandidateSet<T>,
+        checkpoint: &mut impl FnMut() -> Result<(), E>,
+    ) -> Result<CandidateSet<T>, E> {
+        match (self, other) {
+            (CandidateSet::Sorted(a), CandidateSet::Sorted(b)) => {
+                checkpoint()?;
+                Ok(CandidateSet::Sorted(crate::setops::intersect_sorted(&a, b)))
+            }
+            (CandidateSet::Bits(a), CandidateSet::Bits(b)) => {
+                Ok(CandidateSet::Bits(a.and_with_checkpoints(b, checkpoint)?))
+            }
+            (CandidateSet::Sorted(a), CandidateSet::Bits(b)) => {
+                checkpoint()?;
+                Ok(CandidateSet::Sorted(
+                    a.into_iter().filter(|id| b.contains(id.dense())).collect(),
+                ))
+            }
+            (CandidateSet::Bits(a), CandidateSet::Sorted(b)) => {
+                let other = Bitmap::from_sorted_iter(b.iter().map(|id| id.dense()));
+                Ok(CandidateSet::Bits(a.and_with_checkpoints(&other, checkpoint)?))
+            }
+        }
+    }
+
+    /// Materialize to a sorted `Vec` of typed ids.
+    pub fn into_sorted_vec(self) -> Vec<T> {
+        match self {
+            CandidateSet::Sorted(v) => v,
+            CandidateSet::Bits(b) => b.iter().map(T::from_dense).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<u64> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn round_trip_sparse_and_dense() {
+        let sparse: Vec<u64> = (0..100).map(|i| i * 977).collect();
+        let dense: Vec<u64> = (0..20_000).map(|i| i * 3).collect();
+        for set in [&sparse, &dense] {
+            let bm = Bitmap::from_sorted_slice(set);
+            assert!(bm.invariants_ok());
+            assert_eq!(bm.len() as usize, set.len());
+            assert_eq!(bm.to_vec(), **set);
+            assert_eq!(bm.iter().collect::<Vec<_>>(), **set);
+        }
+    }
+
+    #[test]
+    fn promotion_boundary() {
+        // Exactly ARRAY_MAX stays an array; one more promotes to bits.
+        let at: Vec<u64> = (0..ARRAY_MAX as u64).collect();
+        let over: Vec<u64> = (0..ARRAY_MAX as u64 + 1).collect();
+        assert!(matches!(Bitmap::from_sorted_slice(&at).containers[0], Container::Array(_)));
+        assert!(matches!(Bitmap::from_sorted_slice(&over).containers[0], Container::Bits { .. }));
+        assert_eq!(Bitmap::from_sorted_slice(&over).to_vec(), over);
+    }
+
+    #[test]
+    fn demotion_after_and() {
+        // Two dense chunks whose intersection is sparse must demote.
+        let a: Vec<u64> = (0..30_000).collect();
+        let b: Vec<u64> = (0..30_000).map(|i| i * 7).collect();
+        let out = Bitmap::from_sorted_slice(&a).and(&Bitmap::from_sorted_slice(&b));
+        assert!(out.invariants_ok());
+        let expect: Vec<u64> = b.iter().copied().filter(|&v| v < 30_000).collect();
+        assert_eq!(out.to_vec(), expect);
+    }
+
+    #[test]
+    fn and_or_andnot_match_vec_oracle() {
+        let a: Vec<u64> = (0..5_000)
+            .map(|i| i * 13 % 200_000)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let b: Vec<u64> = (0..5_000)
+            .map(|i| i * 17 % 200_000)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let (ba, bb) = (Bitmap::from_sorted_slice(&a), Bitmap::from_sorted_slice(&b));
+        let sa: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        let sb: std::collections::BTreeSet<u64> = b.iter().copied().collect();
+        assert_eq!(ba.and(&bb).to_vec(), sa.intersection(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(ba.or(&bb).to_vec(), sa.union(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(ba.and_not(&bb).to_vec(), sa.difference(&sb).copied().collect::<Vec<_>>());
+        for bm in [&ba.and(&bb), &ba.or(&bb), &ba.and_not(&bb)] {
+            assert!(bm.invariants_ok());
+        }
+    }
+
+    #[test]
+    fn contains_and_rank() {
+        let set = ids(&[3, 70_000, 70_002, 1_000_000]);
+        let bm = Bitmap::from_sorted_slice(&set);
+        for &v in &set {
+            assert!(bm.contains(v));
+        }
+        assert!(!bm.contains(4));
+        assert!(!bm.contains(70_001));
+        assert_eq!(bm.rank(2), 0);
+        assert_eq!(bm.rank(3), 1);
+        assert_eq!(bm.rank(70_001), 2);
+        assert_eq!(bm.rank(u64::MAX), 4);
+    }
+
+    #[test]
+    fn checkpoint_propagates_error() {
+        let a = Bitmap::from_sorted_slice(&(0..200_000).collect::<Vec<_>>());
+        let mut calls = 0usize;
+        let r = a.and_with_checkpoints(&a.clone(), &mut || {
+            calls += 1;
+            if calls > 1 {
+                Err("cancelled")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r, Err("cancelled"));
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn candidate_set_reprs_agree() {
+        let posting: Vec<AnnotationId> = (0..3_000).map(|i| AnnotationId(i * 5)).collect();
+        let other: Vec<AnnotationId> = (0..3_000).map(|i| AnnotationId(i * 7)).collect();
+        let mut ok = || Ok::<(), std::convert::Infallible>(());
+        for repr in [CandidateRepr::Bitmap, CandidateRepr::SortedVec] {
+            let set = CandidateSet::from_posting(repr, &posting);
+            let out = set.intersect_posting(&other, &mut ok).unwrap_or_else(|e| match e {});
+            let expect: Vec<AnnotationId> =
+                posting.iter().copied().filter(|id| other.binary_search(id).is_ok()).collect();
+            assert_eq!(out.into_sorted_vec(), expect);
+        }
+    }
+}

@@ -46,6 +46,7 @@ use interval_index::Interval;
 use ontology::{ConceptId, RelationType};
 
 use crate::ast::{ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
+use crate::bitmap::{CandidateRepr, CandidateSet};
 use crate::plan::{Plan, SubQueryKind};
 use crate::resilience::{CancelToken, Interrupt};
 use crate::result::{QueryResult, ResultPage};
@@ -63,8 +64,10 @@ pub(crate) const CANCEL_STRIDE: usize = 1024;
 
 /// The annotation family's pipeline output: `(ann_cands, constraint_anns)` —
 /// the candidate annotations (`None` = family unconstrained) and, when a
-/// constraint needs it, the ontology-only qualifying set.
-pub(crate) type AnnotationCandidates = (Option<Vec<AnnotationId>>, Option<Vec<AnnotationId>>);
+/// constraint needs it, the ontology-only qualifying set (materialized for the
+/// collator's membership probes).
+pub(crate) type AnnotationCandidates =
+    (Option<CandidateSet<AnnotationId>>, Option<Vec<AnnotationId>>);
 
 /// The query executor, borrowing a [`SystemView`] immutably (pass `&Graphitti` or a
 /// `&Snapshot`; both deref coerce).
@@ -73,6 +76,7 @@ pub struct Executor<'g> {
     verify_workers: usize,
     parallel_threshold: usize,
     cancel: CancelToken,
+    repr: CandidateRepr,
 }
 
 impl<'g> Executor<'g> {
@@ -83,7 +87,17 @@ impl<'g> Executor<'g> {
             verify_workers: 1,
             parallel_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
             cancel: CancelToken::unbounded(),
+            repr: CandidateRepr::default(),
         }
+    }
+
+    /// Select the physical candidate-set representation: compressed bitmaps
+    /// (default) or the legacy sorted-`Vec` runs. Results are byte-identical
+    /// either way — both representations iterate in ascending id order — so
+    /// this knob exists for ablation benchmarks and equivalence tests.
+    pub fn with_candidate_repr(mut self, repr: CandidateRepr) -> Self {
+        self.repr = repr;
+        self
     }
 
     /// Fan the verify phase of large queries across up to `workers` scoped threads.
@@ -166,8 +180,8 @@ impl<'g> Executor<'g> {
         let ref_cands = self.referent_candidates(query, plan)?;
         Collator::new(self.system).with_cancel(self.cancel.clone()).try_collate(
             query,
-            ann_cands,
-            ref_cands,
+            ann_cands.map(CandidateSet::into_sorted_vec),
+            ref_cands.map(CandidateSet::into_sorted_vec),
             constraint_anns,
         )
     }
@@ -193,21 +207,29 @@ impl<'g> Executor<'g> {
                 .constraints
                 .iter()
                 .any(|c| matches!(c, GraphConstraint::MinRegionCount { .. }));
-        let mut onto_sets: Vec<Option<Vec<AnnotationId>>> = vec![None; query.ontology.len()];
+        let mut onto_sets: Vec<Option<CandidateSet<AnnotationId>>> =
+            vec![None; query.ontology.len()];
 
-        // Candidate set, sorted and deduplicated. `None` = family unconstrained.
-        let mut ann_cands: Option<Vec<AnnotationId>> = None;
+        // Candidate set (ascending id order under either representation).
+        // `None` = family unconstrained.
+        let mut ann_cands: Option<CandidateSet<AnnotationId>> = None;
 
         for sub in &plan.order {
-            // Phase boundary: one checkpoint per subquery stage.
+            // Phase boundary: one checkpoint per subquery stage; the bitmap
+            // kernels re-check at every container-batch boundary.
             self.cancel.check()?;
             match sub.kind {
                 SubQueryKind::Content => {
                     let f = &query.content[sub.index];
                     ann_cands = Some(match ann_cands.take() {
-                        None => self.seed_content(f),
+                        None => CandidateSet::from_sorted_vec(self.repr, self.seed_content(f)),
                         Some(c) if c.is_empty() => c,
-                        Some(c) => self.verify_content(c, f)?,
+                        Some(c) => {
+                            // Content filters have no precomputable posting: fall
+                            // back to per-id predicate probes over the sorted run.
+                            let kept = self.verify_content(c.into_sorted_vec(), f)?;
+                            CandidateSet::from_sorted_vec(self.repr, kept)
+                        }
                     });
                 }
                 SubQueryKind::Ontology => {
@@ -222,8 +244,11 @@ impl<'g> Executor<'g> {
                         }
                         Some(c) if c.is_empty() => c,
                         Some(c) => {
+                            // Verify against the filter's posting set: a
+                            // block-skipping AND under the bitmap repr, a
+                            // galloping merge under the vec repr.
                             let set = self.qualifying_annotations(f);
-                            let narrowed = setops::intersect_sorted(&c, &set);
+                            let narrowed = c.intersect(&set, &mut || self.cancel.check())?;
                             if needs_onto_only {
                                 onto_sets[sub.index] = Some(set);
                             }
@@ -239,15 +264,15 @@ impl<'g> Executor<'g> {
         // filters the pipeline short-circuited past (empty candidates) are filled in
         // from their postings here.
         let constraint_anns: Option<Vec<AnnotationId>> = if needs_onto_only {
-            let mut acc: Option<Vec<AnnotationId>> = None;
+            let mut acc: Option<CandidateSet<AnnotationId>> = None;
             for (i, f) in query.ontology.iter().enumerate() {
                 let set = onto_sets[i].take().unwrap_or_else(|| self.qualifying_annotations(f));
                 acc = Some(match acc {
                     None => set,
-                    Some(prev) => setops::intersect_sorted(&prev, &set),
+                    Some(prev) => prev.intersect(&set, &mut || self.cancel.check())?,
                 });
             }
-            acc
+            acc.map(CandidateSet::into_sorted_vec)
         } else {
             None
         };
@@ -262,8 +287,8 @@ impl<'g> Executor<'g> {
         &self,
         query: &Query,
         plan: &Plan,
-    ) -> Result<Option<Vec<ReferentId>>, Interrupt> {
-        let mut ref_cands: Option<Vec<ReferentId>> = None;
+    ) -> Result<Option<CandidateSet<ReferentId>>, Interrupt> {
+        let mut ref_cands: Option<CandidateSet<ReferentId>> = None;
         for sub in &plan.order {
             if sub.kind != SubQueryKind::Referent {
                 continue;
@@ -301,27 +326,41 @@ impl<'g> Executor<'g> {
         anns
     }
 
-    /// The sorted set of annotations citing any concept qualifying under an ontology
-    /// filter — a union of term posting lists.
-    fn qualifying_annotations(&self, filter: &OntologyFilter) -> Vec<AnnotationId> {
+    /// The set of annotations citing any concept qualifying under an ontology filter —
+    /// index postings are already ascending and deduplicated
+    /// ([`graphitti_core::Indexes`] appends in commit order), so they materialize into
+    /// either representation without re-sorting; `InClass` is a union of term postings
+    /// (container-wise OR under the bitmap repr, k-way galloping merge otherwise).
+    fn qualifying_annotations(&self, filter: &OntologyFilter) -> CandidateSet<AnnotationId> {
         let idx = self.system.indexes();
         match filter {
-            OntologyFilter::CitesTerm(c) => idx.annotations_citing(*c).to_vec(),
+            OntologyFilter::CitesTerm(c) => {
+                CandidateSet::from_posting(self.repr, idx.annotations_citing(*c))
+            }
             OntologyFilter::InClass { concept, relations } => {
                 let concepts = expand_class(self.system.ontology(), *concept, relations);
                 let postings: Vec<&[AnnotationId]> =
                     concepts.iter().map(|&c| idx.annotations_citing(c)).collect();
-                setops::union_sorted(&postings)
+                CandidateSet::union_postings(self.repr, &postings)
             }
         }
     }
 
     /// Referents matching a filter, answered from the matching index: type postings,
-    /// interval tree, R-tree or block postings.
-    fn seed_referents(&self, filter: &ReferentFilter) -> Vec<ReferentId> {
+    /// interval tree, R-tree or block postings.  Index postings convert without
+    /// re-sorting; tree hits (and the per-object lists, which carry no order
+    /// guarantee) are sorted + deduplicated first.
+    fn seed_referents(&self, filter: &ReferentFilter) -> CandidateSet<ReferentId> {
         let idx = self.system.indexes();
-        let mut out: Vec<ReferentId> = match filter {
-            ReferentFilter::OfType(t) => idx.referents_of_type(*t).to_vec(),
+        let unordered: Vec<ReferentId> = match filter {
+            ReferentFilter::OfType(t) => {
+                return CandidateSet::from_posting(self.repr, idx.referents_of_type(*t));
+            }
+            ReferentFilter::BlockContains(ids) => {
+                let postings: Vec<&[ReferentId]> =
+                    ids.iter().map(|&id| idx.referents_with_block(id)).collect();
+                return CandidateSet::union_postings(self.repr, &postings);
+            }
             ReferentFilter::OnObject(id) => self.system.referents_of_object(*id).to_vec(),
             ReferentFilter::IntervalOverlaps { domain, interval } => match domain {
                 Some(d) => self.system.overlapping_intervals(d, *interval),
@@ -343,15 +382,11 @@ impl<'g> Executor<'g> {
                     .map(|(_, e)| ReferentId(e.payload))
                     .collect(),
             },
-            ReferentFilter::BlockContains(ids) => {
-                let postings: Vec<&[ReferentId]> =
-                    ids.iter().map(|&id| idx.referents_with_block(id)).collect();
-                setops::union_sorted(&postings)
-            }
         };
+        let mut out = unordered;
         out.sort_unstable();
         out.dedup();
-        out
+        CandidateSet::from_sorted_vec(self.repr, out)
     }
 
     // --- verify: later subqueries probe surviving candidates in place ---
@@ -386,14 +421,34 @@ impl<'g> Executor<'g> {
         }
     }
 
-    /// Keep only the candidate referents satisfying the filter, using `O(1)` marker /
-    /// domain checks per candidate.
+    /// Keep only the candidate referents satisfying the filter.  Filters with a
+    /// precomputable posting (`OfType`, `BlockContains`) verify as a set
+    /// intersection against the posting — a block-skipping bitmap AND under the
+    /// bitmap repr — with cancellation checkpoints at container-batch boundaries;
+    /// the rest fall back to `O(1)` per-candidate marker / domain probes.
     fn verify_referents(
         &self,
-        cands: Vec<ReferentId>,
+        cands: CandidateSet<ReferentId>,
         filter: &ReferentFilter,
-    ) -> Result<Vec<ReferentId>, Interrupt> {
-        self.filter_candidates(cands, &|rid| self.referent_matches(rid, filter))
+    ) -> Result<CandidateSet<ReferentId>, Interrupt> {
+        let idx = self.system.indexes();
+        match filter {
+            ReferentFilter::OfType(t) => {
+                cands.intersect_posting(idx.referents_of_type(*t), &mut || self.cancel.check())
+            }
+            ReferentFilter::BlockContains(ids) => {
+                let postings: Vec<&[ReferentId]> =
+                    ids.iter().map(|&id| idx.referents_with_block(id)).collect();
+                let set = CandidateSet::union_postings(self.repr, &postings);
+                cands.intersect(&set, &mut || self.cancel.check())
+            }
+            _ => {
+                let kept = self.filter_candidates(cands.into_sorted_vec(), &|rid| {
+                    self.referent_matches(rid, filter)
+                })?;
+                Ok(CandidateSet::from_sorted_vec(self.repr, kept))
+            }
+        }
     }
 
     /// Shared verify driver: filter a sorted candidate vector by a per-candidate

@@ -21,7 +21,11 @@
 //!   survivors by membership probes, and collation connects the pruned set through the
 //!   a-graph;
 //! * [`setops`] — sorted candidate-set operations (galloping intersection, membership
-//!   probes, posting-list union);
+//!   probes, k-way posting-list union);
+//! * [`bitmap`] — roaring-style compressed candidate bitmaps (array/bits containers,
+//!   block-skipping AND/OR/ANDNOT kernels) behind the [`bitmap::CandidateSet`]
+//!   abstraction, with [`bitmap::CandidateRepr`] selecting bitmap vs sorted-`Vec`
+//!   representation for ablation;
 //! * [`service`] — the concurrent serving layer: a [`service::QueryService`] worker
 //!   pool executing independent queries in parallel against a published
 //!   [`graphitti_core::Snapshot`], with an LRU result cache keyed by the canonical
@@ -46,6 +50,7 @@
 //! the two worked example queries from the paper.
 
 pub mod ast;
+pub mod bitmap;
 pub mod exec;
 pub mod parse;
 pub mod plan;
@@ -59,6 +64,7 @@ pub mod sharded;
 pub use ast::{
     CacheKey, ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target,
 };
+pub use bitmap::{Bitmap, CandidateRepr, CandidateSet};
 pub use exec::{CollateView, Executor};
 pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};

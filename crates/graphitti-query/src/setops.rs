@@ -70,14 +70,88 @@ pub fn contains_sorted<T: Ord>(hay: &[T], x: &T) -> bool {
     hay.binary_search(x).is_ok()
 }
 
-/// Union several sorted posting lists into one sorted, deduplicated `Vec`.
+/// Union several sorted, deduplicated posting lists into one sorted, deduplicated `Vec`.
+///
+/// Two fast paths, then a general k-way merge:
+///
+/// * **Disjoint runs** (common for scatter-merge of shard-partitioned ids and for
+///   postings over non-overlapping id ranges): when the runs, ordered by first element,
+///   never overlap, the union is their concatenation — `O(n)` with bulk copies and no
+///   comparisons beyond the boundary check.
+/// * **General case**: a binary reduction of two-way *galloping* merges. Each two-way
+///   merge gallops through whichever side currently holds the run of smaller elements
+///   and bulk-copies it, so a merge of runs with long non-interleaved stretches costs
+///   `O(m log(n/m))` comparisons instead of the old collect-sort-dedup's
+///   `O((m+n) log(m+n))`.
 pub fn union_sorted<T: Ord + Copy>(lists: &[&[T]]) -> Vec<T> {
-    let mut out: Vec<T> = Vec::with_capacity(lists.iter().map(|l| l.len()).sum());
-    for l in lists {
-        out.extend_from_slice(l);
+    let mut runs: Vec<&[T]> = lists.iter().copied().filter(|l| !l.is_empty()).collect();
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs[0].to_vec(),
+        _ => {}
     }
-    out.sort_unstable();
-    out.dedup();
+    runs.sort_by_key(|r| r[0]);
+    if runs.windows(2).all(|w| w[0].last().expect("non-empty run") < &w[1][0]) {
+        let mut out = Vec::with_capacity(runs.iter().map(|r| r.len()).sum());
+        for r in &runs {
+            out.extend_from_slice(r);
+        }
+        return out;
+    }
+    let mut round: Vec<Vec<T>> = {
+        let mut first = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.chunks(2);
+        for pair in &mut it {
+            match pair {
+                [a, b] => first.push(union_two(a, b)),
+                [a] => first.push(a.to_vec()),
+                _ => unreachable!("chunks(2)"),
+            }
+        }
+        first
+    };
+    while round.len() > 1 {
+        let mut next = Vec::with_capacity(round.len().div_ceil(2));
+        let mut it = round.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(union_two(&a, &b)),
+                None => next.push(a),
+            }
+        }
+        round = next;
+    }
+    round.pop().expect("at least one run")
+}
+
+/// Union two sorted, deduplicated runs with galloping bulk copies: locate how far the
+/// current side stays below the other side's head by exponential probe + binary search,
+/// then `extend_from_slice` the whole stretch at once.
+fn union_two<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            // Copy everything in `a` strictly below b[j] in one gallop + memcpy.
+            let end = match gallop(a, i, b[j]) {
+                Ok(pos) | Err(pos) => pos,
+            };
+            out.extend_from_slice(&a[i..end]);
+            i = end;
+        } else if b[j] < a[i] {
+            let end = match gallop(b, j, a[i]) {
+                Ok(pos) | Err(pos) => pos,
+            };
+            out.extend_from_slice(&b[j..end]);
+            j = end;
+        } else {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
     out
 }
 
@@ -135,5 +209,58 @@ mod tests {
     fn union_dedups_and_sorts() {
         let out = union_sorted(&[&[3u64, 5][..], &[1, 3, 9][..], &[][..]]);
         assert_eq!(out, vec![1, 3, 5, 9]);
+    }
+
+    /// The pre-rewrite implementation, kept as the test oracle.
+    fn union_sorted_old<T: Ord + Copy>(lists: &[&[T]]) -> Vec<T> {
+        let mut out: Vec<T> = Vec::with_capacity(lists.iter().map(|l| l.len()).sum());
+        for l in lists {
+            out.extend_from_slice(l);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn union_disjoint_fast_path_matches_old() {
+        // Runs presented out of order, pairwise disjoint: concatenation path.
+        let a: Vec<u64> = (100..200).collect();
+        let b: Vec<u64> = (0..50).collect();
+        let c: Vec<u64> = (500..900).step_by(3).collect();
+        let lists: Vec<&[u64]> = vec![&a, &b, &c];
+        assert_eq!(union_sorted(&lists), union_sorted_old(&lists));
+    }
+
+    #[test]
+    fn union_overlapping_matches_old_on_random_runs() {
+        let mut s = 7u64;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        for round in 0..60 {
+            let k = 1 + (next() % 6) as usize;
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|_| {
+                    let mut r: Vec<u64> = (0..(next() % 80)).map(|_| next() % 300).collect();
+                    r.sort_unstable();
+                    r.dedup();
+                    r
+                })
+                .collect();
+            let lists: Vec<&[u64]> = runs.iter().map(|r| r.as_slice()).collect();
+            assert_eq!(union_sorted(&lists), union_sorted_old(&lists), "round {round}");
+        }
+    }
+
+    #[test]
+    fn union_boundary_duplicates_cross_runs() {
+        // Shared boundary values defeat the disjoint check and must be deduplicated.
+        let lists: Vec<&[u64]> = vec![&[1, 5, 9], &[9, 10], &[10, 11]];
+        assert_eq!(union_sorted(&lists), vec![1, 5, 9, 10, 11]);
+        // Identical runs collapse to one.
+        let lists: Vec<&[u64]> = vec![&[2, 4, 6]; 5];
+        assert_eq!(union_sorted(&lists), vec![2, 4, 6]);
     }
 }

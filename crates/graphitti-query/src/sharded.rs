@@ -6,8 +6,11 @@
 //! families are independent until collation, so they scatter independently).  The
 //! per-shard candidate sets come back in shard-local ids, are translated to global
 //! ids (order-preserving — local and global id order are both creation order), and
-//! merged with [`setops::union_sorted`]: the per-shard sets are disjoint sorted runs,
-//! so the merge is exactly a k-way sorted union with no duplicates.  Collation —
+//! merged as a [`CandidateSet`] union: under the default bitmap representation the
+//! pre-sorted translated runs materialize into compressed containers and the global
+//! merge is a container-wise OR; under the sorted-`Vec` ablation representation it
+//! is [`union_sorted`](crate::setops::union_sorted)'s k-way galloping merge, whose disjoint-runs fast
+//! path fires because the per-shard sets never overlap.  Collation —
 //! candidate narrowing, graph constraints, page building — then runs **once**,
 //! through the same generic [`Collator`](crate::exec) every other executor uses, over
 //! the cut's global collation mirror.  Output pages, ordering and node ids are
@@ -44,13 +47,13 @@ use graphitti_core::{
 };
 
 use crate::ast::{CacheKey, GraphConstraint, Query, ReferentFilter};
+use crate::bitmap::{CandidateRepr, CandidateSet, DenseId};
 use crate::exec::{Collator, Executor, DEFAULT_PARALLEL_VERIFY_THRESHOLD};
 use crate::plan::Plan;
 use crate::resilience::{cooperative_sleep, ChaosConfig, ShardFault, SleepInterrupt};
 use crate::resilience::{CancelToken, Interrupt, QueryBudget, RetryPolicy, ServiceError};
 use crate::result::QueryResult;
 use crate::service::ServiceMetrics;
-use crate::setops;
 
 /// The scatter-gather executor over one consistent [`ShardCut`].
 pub struct ShardedExecutor<'c> {
@@ -71,6 +74,7 @@ pub struct ShardedExecutor<'c> {
     /// treated as down without consuming retry attempts, so a no-chaos masked run
     /// is the deterministic reference for a chaos-degraded one.
     shard_mask: u64,
+    repr: CandidateRepr,
 }
 
 /// One shard's contribution: translated (global-id) candidate runs.
@@ -101,7 +105,16 @@ impl<'c> ShardedExecutor<'c> {
             chaos: None,
             allow_partial: false,
             shard_mask: u64::MAX,
+            repr: CandidateRepr::default(),
         }
+    }
+
+    /// Select the candidate-set representation for the per-shard pipelines and the
+    /// scatter-merge (see [`Executor::with_candidate_repr`]).  Byte-identical
+    /// results either way; the sorted-`Vec` repr is the ablation baseline.
+    pub fn with_candidate_repr(mut self, repr: CandidateRepr) -> Self {
+        self.repr = repr;
+        self
     }
 
     /// Run the per-shard candidate pipelines on scoped threads (one per shard)
@@ -203,6 +216,7 @@ impl<'c> ShardedExecutor<'c> {
                 .with_verify_workers(self.verify_workers)
                 .with_parallel_threshold(self.parallel_threshold)
                 .with_cancel(self.cancel.clone())
+                .with_candidate_repr(self.repr)
                 .try_run_canonical(canonical)
                 .map_err(ServiceError::from);
         }
@@ -261,10 +275,10 @@ impl<'c> ShardedExecutor<'c> {
                 .collect()
         };
 
-        let ann = merge_family(contributions.iter().map(|c| c.ann.as_deref()));
+        let ann = merge_family(self.repr, contributions.iter().map(|c| c.ann.as_deref()));
         let constraint_anns =
-            merge_family(contributions.iter().map(|c| c.constraint_anns.as_deref()));
-        let refs = merge_family(contributions.iter().map(|c| c.refs.as_deref()));
+            merge_family(self.repr, contributions.iter().map(|c| c.constraint_anns.as_deref()));
+        let refs = merge_family(self.repr, contributions.iter().map(|c| c.refs.as_deref()));
         let mut result = Collator::new(self.cut)
             .with_cancel(self.cancel.clone())
             .try_collate(canonical, ann, refs, constraint_anns)
@@ -376,17 +390,23 @@ impl<'c> ShardedExecutor<'c> {
         let exec = Executor::new(snap)
             .with_verify_workers(self.verify_workers)
             .with_parallel_threshold(self.parallel_threshold)
-            .with_cancel(self.cancel.clone());
+            .with_cancel(self.cancel.clone())
+            .with_candidate_repr(self.repr);
         let (ann, constraint_anns) = exec.annotation_candidates(canonical, &plan)?;
         let refs = if canonical.referents.is_empty() {
             None
         } else if ref_mask & (1 << shard) == 0 {
             Some(Vec::new())
         } else {
-            exec.referent_candidates(canonical, &plan)?
+            exec.referent_candidates(canonical, &plan)?.map(CandidateSet::into_sorted_vec)
         };
         Ok(ShardContribution {
-            ann: ann.map(|v| v.into_iter().map(|a| self.cut.annotation_global(shard, a)).collect()),
+            ann: ann.map(|s| {
+                s.into_sorted_vec()
+                    .into_iter()
+                    .map(|a| self.cut.annotation_global(shard, a))
+                    .collect()
+            }),
             constraint_anns: constraint_anns
                 .map(|v| v.into_iter().map(|a| self.cut.annotation_global(shard, a)).collect()),
             refs: refs.map(|v| v.into_iter().map(|r| self.cut.referent_global(shard, r)).collect()),
@@ -418,13 +438,15 @@ fn empty_contribution(canonical: &Query) -> ShardContribution {
 
 /// Merge one candidate family across shards: `None` (family unconstrained) is
 /// uniform across shards because every shard evaluated the same canonical query;
-/// otherwise the translated per-shard runs are disjoint and sorted, and the union is
-/// their k-way sorted merge.
-fn merge_family<'a, T: Ord + Copy + 'a>(
+/// otherwise the translated per-shard runs are disjoint and sorted, and the union
+/// is a container-wise bitmap OR (default repr) or [`union_sorted`](crate::setops::union_sorted)'s
+/// k-way merge (ablation repr) — identical output either way.
+fn merge_family<'a, T: DenseId + 'a>(
+    repr: CandidateRepr,
     per_shard: impl Iterator<Item = Option<&'a [T]>>,
 ) -> Option<Vec<T>> {
     let runs: Option<Vec<&[T]>> = per_shard.collect();
-    runs.map(|runs| setops::union_sorted(&runs))
+    runs.map(|runs| CandidateSet::union_postings(repr, &runs).into_sorted_vec())
 }
 
 /// Tuning knobs for a [`ShardedQueryService`].

@@ -1,0 +1,152 @@
+//! Property battery for the compressed candidate bitmaps: every kernel must be
+//! byte-identical to the sorted-`Vec` oracle at sparse, dense and mixed densities,
+//! container promotion/demotion must round-trip, and `from_sorted_slice ∘ to_vec`
+//! must be the identity.
+
+use std::collections::BTreeSet;
+
+use graphitti_core::AnnotationId;
+use graphitti_query::bitmap::{Bitmap, CandidateRepr, CandidateSet, ARRAY_MAX};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random sorted id set. `density_sel` picks the regime:
+/// 0 = sparse scatter over a wide universe, 1 = dense contiguous-ish block
+/// (well past the promotion threshold), 2 = mixed (a dense chunk plus sparse
+/// spill across several chunks).
+fn gen_ids(seed: u64, density_sel: u8) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(99991);
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut set: BTreeSet<u64> = BTreeSet::new();
+    match density_sel % 3 {
+        0 => {
+            // Sparse: ~200 ids over a ~2^21 universe (every chunk an array).
+            let n = 50 + (next() % 150) as usize;
+            for _ in 0..n {
+                set.insert(next() % (1 << 21));
+            }
+        }
+        1 => {
+            // Dense: a stride-1..3 run crossing the ARRAY_MAX promotion
+            // threshold inside one or two chunks.
+            let base = next() % (1 << 18);
+            let n = ARRAY_MAX + 1000 + (next() % 4000) as usize;
+            let mut v = base;
+            for _ in 0..n {
+                set.insert(v);
+                v += 1 + next() % 3;
+            }
+        }
+        _ => {
+            // Mixed: one dense chunk plus a sparse tail over later chunks.
+            let base = (next() % 8) << 16;
+            for i in 0..(ARRAY_MAX as u64 + 512) {
+                set.insert(base + i * 2 % 65536 + (i / 32768) * 65536);
+            }
+            let n = (next() % 300) as usize;
+            for _ in 0..n {
+                set.insert((1 << 20) + next() % (1 << 20));
+            }
+        }
+    }
+    set.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn from_sorted_slice_to_vec_is_identity(seed in any::<u64>(), d in 0u8..3) {
+        let ids = gen_ids(seed, d);
+        let bm = Bitmap::from_sorted_slice(&ids);
+        prop_assert!(bm.invariants_ok());
+        prop_assert_eq!(bm.len() as usize, ids.len());
+        prop_assert_eq!(bm.to_vec(), ids);
+    }
+
+    #[test]
+    fn iteration_matches_sorted_vec(seed in any::<u64>(), d in 0u8..3) {
+        let ids = gen_ids(seed, d);
+        let bm = Bitmap::from_sorted_slice(&ids);
+        let via_iter: Vec<u64> = bm.iter().collect();
+        prop_assert_eq!(via_iter, ids);
+    }
+
+    #[test]
+    fn kernels_match_set_oracle(seed in any::<u64>(), da in 0u8..3, db in 0u8..3) {
+        let a = gen_ids(seed, da);
+        let b = gen_ids(seed.wrapping_add(0x9e3779b97f4a7c15), db);
+        let (ba, bb) = (Bitmap::from_sorted_slice(&a), Bitmap::from_sorted_slice(&b));
+        let sa: BTreeSet<u64> = a.iter().copied().collect();
+        let sb: BTreeSet<u64> = b.iter().copied().collect();
+        let and = ba.and(&bb);
+        let or = ba.or(&bb);
+        let and_not = ba.and_not(&bb);
+        prop_assert!(and.invariants_ok());
+        prop_assert!(or.invariants_ok());
+        prop_assert!(and_not.invariants_ok());
+        prop_assert_eq!(and.to_vec(), sa.intersection(&sb).copied().collect::<Vec<u64>>());
+        prop_assert_eq!(or.to_vec(), sa.union(&sb).copied().collect::<Vec<u64>>());
+        prop_assert_eq!(and_not.to_vec(), sa.difference(&sb).copied().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn contains_and_rank_match_oracle(seed in any::<u64>(), d in 0u8..3) {
+        let ids = gen_ids(seed, d);
+        let bm = Bitmap::from_sorted_slice(&ids);
+        // Probe every member plus a deterministic sample of non-members.
+        let mut state = seed ^ 0xdead_beef;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for &v in ids.iter().take(512) {
+            prop_assert!(bm.contains(v));
+        }
+        for _ in 0..256 {
+            let probe = next() % (1 << 22);
+            prop_assert_eq!(bm.contains(probe), ids.binary_search(&probe).is_ok());
+            let expect_rank = ids.partition_point(|&x| x <= probe) as u64;
+            prop_assert_eq!(bm.rank(probe), expect_rank);
+        }
+    }
+
+    #[test]
+    fn promotion_demotion_round_trips(seed in any::<u64>()) {
+        // A dense set (bits containers) ANDed with a sparse one demotes back to
+        // arrays; OR of the demoted result with the dense set re-promotes.
+        let dense = gen_ids(seed, 1);
+        let sparse = gen_ids(seed.wrapping_add(1), 0);
+        let (bd, bs) = (Bitmap::from_sorted_slice(&dense), Bitmap::from_sorted_slice(&sparse));
+        let narrowed = bd.and(&bs);
+        prop_assert!(narrowed.invariants_ok());
+        let widened = narrowed.or(&bd);
+        prop_assert!(widened.invariants_ok());
+        // Round trip: narrowing then re-widening with the dense set restores it.
+        prop_assert_eq!(widened.to_vec(), dense);
+        // Structural equality follows from the normalize invariant.
+        prop_assert_eq!(widened, bd);
+    }
+
+    #[test]
+    fn candidate_set_reprs_byte_identical(seed in any::<u64>(), da in 0u8..3, db in 0u8..3) {
+        let a: Vec<AnnotationId> = gen_ids(seed, da).into_iter().map(AnnotationId).collect();
+        let b: Vec<AnnotationId> =
+            gen_ids(seed.wrapping_add(7), db).into_iter().map(AnnotationId).collect();
+        let mut ok = || Ok::<(), ()>(());
+        let mut outs: Vec<Vec<AnnotationId>> = Vec::new();
+        let mut unions: Vec<Vec<AnnotationId>> = Vec::new();
+        for repr in [CandidateRepr::Bitmap, CandidateRepr::SortedVec] {
+            let set = CandidateSet::from_posting(repr, &a);
+            prop_assert_eq!(set.len(), a.len());
+            let narrowed = set.intersect_posting(&b, &mut ok).unwrap();
+            outs.push(narrowed.into_sorted_vec());
+            let union = CandidateSet::union_postings(repr, &[&a[..], &b[..]]);
+            unions.push(union.into_sorted_vec());
+        }
+        prop_assert_eq!(&outs[0], &outs[1]);
+        prop_assert_eq!(&unions[0], &unions[1]);
+    }
+}

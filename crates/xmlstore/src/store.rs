@@ -26,6 +26,12 @@ pub struct ContentStore {
     docs: BTreeMap<DocId, Document>,
     keyword_index: HashMap<String, BTreeSet<DocId>>,
     element_index: HashMap<String, BTreeSet<DocId>>,
+    /// Lowercased full text of every document, maintained on insert / remove /
+    /// update.  Phrase search verifies keyword-index candidates by substring
+    /// probe; without this cache every probe re-walks the document tree and
+    /// re-lowercases its text — the dominant allocation cost of the
+    /// seed-content phase on phrase-heavy query mixes.
+    lowered_text: BTreeMap<DocId, String>,
     next_id: u64,
 }
 
@@ -55,6 +61,7 @@ impl ContentStore {
         for element in doc.root.descendants() {
             self.element_index.entry(element.name.clone()).or_default().insert(id);
         }
+        self.lowered_text.insert(id, doc.root.deep_text().to_lowercase());
         self.docs.insert(id, doc);
         id
     }
@@ -78,6 +85,7 @@ impl ContentStore {
                 }
             }
         }
+        self.lowered_text.remove(&id);
         Some(doc)
     }
 
@@ -100,6 +108,7 @@ impl ContentStore {
         for element in doc.root.descendants() {
             self.element_index.entry(element.name.clone()).or_default().insert(id);
         }
+        self.lowered_text.insert(id, doc.root.deep_text().to_lowercase());
         self.docs.insert(id, doc);
         true
     }
@@ -145,7 +154,7 @@ impl ContentStore {
             if tokens.is_empty() { self.ids() } else { self.with_all_keywords(&tokens) };
         candidates
             .into_iter()
-            .filter(|id| self.docs[id].root.deep_text().to_lowercase().contains(&lowered))
+            .filter(|id| self.lowered_text.get(id).is_some_and(|t| t.contains(&lowered)))
             .collect()
     }
 
@@ -231,10 +240,7 @@ impl ContentStore {
         if !tokens.iter().all(|t| self.doc_has_keyword(id, t)) {
             return false;
         }
-        match self.docs.get(&id) {
-            Some(doc) => doc.root.deep_text().to_lowercase().contains(&lowered),
-            None => false,
-        }
+        self.lowered_text.get(&id).is_some_and(|t| t.contains(&lowered))
     }
 
     /// Whether document `id` matches a path expression.
@@ -354,6 +360,24 @@ mod tests {
         assert!(s.with_keyword("tp53").is_empty());
         assert_eq!(s.with_keyword("kinases"), vec![a]);
         assert!(!s.update(DocId(999), DublinCore::new().to_document()));
+    }
+
+    #[test]
+    fn phrase_cache_tracks_update_and_remove() {
+        let (mut s, a, b, _) = store();
+        assert_eq!(s.containing_phrase("protein TP53"), vec![a]);
+        assert!(s.doc_contains_phrase(a, "protein TP53"));
+        // Update replaces the cached lowered text along with the indexes.
+        let new_doc =
+            DublinCore::new().title("now about protein TP53 binding kinetics").to_document();
+        assert!(s.update(b, new_doc));
+        assert_eq!(s.containing_phrase("protein TP53"), vec![a, b]);
+        assert!(s.doc_contains_phrase(b, "protein tp53 binding"));
+        assert!(!s.doc_contains_phrase(b, "protease cleavage"));
+        // Remove drops the cache entry: the doc stops matching any phrase.
+        s.remove(a);
+        assert_eq!(s.containing_phrase("protein TP53"), vec![b]);
+        assert!(!s.doc_contains_phrase(a, "protein TP53"));
     }
 
     #[test]
