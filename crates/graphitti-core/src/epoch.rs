@@ -87,6 +87,12 @@ impl ComponentSet {
         self.0 & other.0 != 0
     }
 
+    /// Whether every component of `other` is in `self` — the dirty-set-soundness
+    /// test: a declared dirty set must `contains_all` of the copy-on-write footprint.
+    pub fn contains_all(self, other: ComponentSet) -> bool {
+        other.0 & !self.0 == 0
+    }
+
     /// The components in the set, in [`Component::ALL`] order.
     pub fn iter(self) -> impl Iterator<Item = Component> {
         Component::ALL.into_iter().filter(move |&c| self.contains(c))

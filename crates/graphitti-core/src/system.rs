@@ -170,6 +170,13 @@ pub struct SystemView {
     nodes: Arc<NodeMaps>,
     /// Secondary index: object → its referents, so exploration is O(k) not O(all
     /// referents).
+    ///
+    /// **Ordering contract:** each per-object list is strictly ascending by
+    /// [`ReferentId`] — referent ids are allocated monotonically and each referent
+    /// is appended to exactly one object's list at creation, so mark order and id
+    /// order coincide.  [`SystemView::referents_of_object`] returns the slice
+    /// as-is; candidate pipelines feed it to `CandidateSet::from_posting`, which
+    /// requires strict ascent (debug-asserted at both ends).
     object_referents: Arc<HashMap<ObjectId, Vec<ReferentId>>>,
     /// Inverted secondary indexes + workload statistics, maintained incrementally at
     /// register / annotate time (never rebuilt per query).
@@ -503,7 +510,13 @@ impl SystemView {
         // referent -> object (part-of)
         Arc::make_mut(&mut self.agraph).add_edge(rnode, info.node, EdgeLabel::part_of())?;
 
-        Arc::make_mut(&mut self.object_referents).entry(object).or_default().push(rid);
+        let per_object = Arc::make_mut(&mut self.object_referents).entry(object).or_default();
+        debug_assert!(
+            per_object.last().is_none_or(|&prev| prev < rid),
+            "object_referents ordering contract: new {rid:?} must exceed {:?}",
+            per_object.last()
+        );
+        per_object.push(rid);
         Arc::make_mut(&mut self.indexes).on_referent_added(&referent, info.data_type);
         Arc::make_mut(&mut self.referents).push(referent);
         Ok(rid)
@@ -834,6 +847,11 @@ pub struct Graphitti {
     batch_bumped: bool,
     /// The union of the current batch's writes' dirty sets (empty outside a batch).
     batch_dirty: ComponentSet,
+    /// Debug-build twin of the lint's dirty-set-soundness rule: the shared view as
+    /// of `begin_batch`, diffed against the post-batch view at `end_batch` to prove
+    /// the accumulated dirty set covers every component the batch actually copied.
+    #[cfg(debug_assertions)]
+    batch_base: Option<SystemView>,
 }
 
 impl Default for Graphitti {
@@ -848,6 +866,8 @@ impl Default for Graphitti {
             batched: false,
             batch_bumped: false,
             batch_dirty: ComponentSet::EMPTY,
+            #[cfg(debug_assertions)]
+            batch_base: None,
         }
     }
 }
@@ -961,10 +981,33 @@ impl Graphitti {
         self.batched = true;
         self.batch_bumped = false;
         self.batch_dirty = ComponentSet::EMPTY;
+        #[cfg(debug_assertions)]
+        {
+            // Shallow clone: one Arc bump per component, the same cost as a snapshot.
+            self.batch_base = Some((*self.view).clone());
+        }
     }
 
     /// Leave batch mode: versioning returns to one epoch bump per mutation.
+    ///
+    /// In debug builds this is the runtime twin of `graphitti-lint`'s
+    /// dirty-set-soundness rule: the components whose storage was actually un-shared
+    /// over the batch (the copy-on-write footprint) must all have been declared in
+    /// the accumulated dirty set, or a downstream footprint-keyed cache would keep
+    /// entries the batch invalidated.
     pub(crate) fn end_batch(&mut self) {
+        #[cfg(debug_assertions)]
+        if let Some(base) = self.batch_base.take() {
+            let copied = ComponentSet::of(
+                Component::ALL.into_iter().filter(|&c| !self.view.shares_component(&base, c)),
+            );
+            debug_assert!(
+                self.batch_dirty.contains_all(copied),
+                "batch copied {:?} but declared only {:?} dirty",
+                copied,
+                self.batch_dirty
+            );
+        }
         self.batched = false;
         self.batch_bumped = false;
         self.batch_dirty = ComponentSet::EMPTY;

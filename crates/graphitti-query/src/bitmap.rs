@@ -627,6 +627,16 @@ pub enum CandidateSet<T> {
     Bits(Bitmap),
 }
 
+/// Debug twin of the "postings are sorted + deduplicated" contract both reprs lean
+/// on: `Bitmap::from_sorted_iter` would build a wrong bitmap from an unsorted run,
+/// and the vec repr's galloping merges assume strict ascent.
+fn debug_assert_strictly_ascending<T: DenseId>(ids: &[T]) {
+    debug_assert!(
+        ids.windows(2).all(|w| w[0].dense() < w[1].dense()),
+        "posting is not strictly ascending"
+    );
+}
+
 impl<T: DenseId> CandidateSet<T> {
     pub fn empty(repr: CandidateRepr) -> CandidateSet<T> {
         match repr {
@@ -637,6 +647,7 @@ impl<T: DenseId> CandidateSet<T> {
 
     /// Wrap an already-sorted, deduplicated vec (no re-sort).
     pub fn from_sorted_vec(repr: CandidateRepr, ids: Vec<T>) -> CandidateSet<T> {
+        debug_assert_strictly_ascending(&ids);
         match repr {
             CandidateRepr::Bitmap => {
                 CandidateSet::Bits(Bitmap::from_sorted_iter(ids.iter().map(|id| id.dense())))
@@ -647,6 +658,7 @@ impl<T: DenseId> CandidateSet<T> {
 
     /// Materialize an index posting (sorted, deduplicated) without re-sorting.
     pub fn from_posting(repr: CandidateRepr, posting: &[T]) -> CandidateSet<T> {
+        debug_assert_strictly_ascending(posting);
         match repr {
             CandidateRepr::Bitmap => {
                 CandidateSet::Bits(Bitmap::from_sorted_iter(posting.iter().map(|id| id.dense())))

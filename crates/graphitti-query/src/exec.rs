@@ -148,6 +148,7 @@ impl<'g> Executor<'g> {
     /// non-canonical query gives the same results but an order-dependent plan.
     pub fn run_canonical(&self, query: &Query) -> QueryResult {
         self.try_run_canonical(query)
+            // lint: allow(no-panic-serving) -- the cancel-free entry point attaches no CancelToken, so Interrupt is unreachable
             .expect("uninterruptible executor (no live CancelToken) cannot be interrupted")
     }
 
@@ -158,6 +159,7 @@ impl<'g> Executor<'g> {
     /// (and re-estimating selectivities) twice per execution.
     pub fn run_plan(&self, query: &Query, plan: &Plan) -> QueryResult {
         self.try_run_plan(query, plan)
+            // lint: allow(no-panic-serving) -- the cancel-free entry point attaches no CancelToken, so Interrupt is unreachable
             .expect("uninterruptible executor (no live CancelToken) cannot be interrupted")
     }
 
@@ -220,6 +222,7 @@ impl<'g> Executor<'g> {
             self.cancel.check()?;
             match sub.kind {
                 SubQueryKind::Content => {
+                    // lint: allow(no-panic-serving) -- Plan::build emits each subquery index exactly once
                     let f = &query.content[sub.index];
                     ann_cands = Some(match ann_cands.take() {
                         None => CandidateSet::from_sorted_vec(self.repr, self.seed_content(f)),
@@ -233,11 +236,13 @@ impl<'g> Executor<'g> {
                     });
                 }
                 SubQueryKind::Ontology => {
+                    // lint: allow(no-panic-serving) -- Plan::build emits each subquery index exactly once
                     let f = &query.ontology[sub.index];
                     ann_cands = Some(match ann_cands.take() {
                         None => {
                             let set = self.qualifying_annotations(f);
                             if needs_onto_only {
+                                // lint: allow(no-panic-serving) -- Plan::build emits each subquery index exactly once
                                 onto_sets[sub.index] = Some(set.clone());
                             }
                             set
@@ -250,6 +255,7 @@ impl<'g> Executor<'g> {
                             let set = self.qualifying_annotations(f);
                             let narrowed = c.intersect(&set, &mut || self.cancel.check())?;
                             if needs_onto_only {
+                                // lint: allow(no-panic-serving) -- Plan::build emits each subquery index exactly once
                                 onto_sets[sub.index] = Some(set);
                             }
                             narrowed
@@ -266,6 +272,7 @@ impl<'g> Executor<'g> {
         let constraint_anns: Option<Vec<AnnotationId>> = if needs_onto_only {
             let mut acc: Option<CandidateSet<AnnotationId>> = None;
             for (i, f) in query.ontology.iter().enumerate() {
+                // lint: allow(no-panic-serving) -- onto_sets was sized to query.ontology.len() above
                 let set = onto_sets[i].take().unwrap_or_else(|| self.qualifying_annotations(f));
                 acc = Some(match acc {
                     None => set,
@@ -294,6 +301,7 @@ impl<'g> Executor<'g> {
                 continue;
             }
             self.cancel.check()?;
+            // lint: allow(no-panic-serving) -- Plan::build emits each subquery index exactly once
             let f = &query.referents[sub.index];
             ref_cands = Some(match ref_cands.take() {
                 None => self.seed_referents(f),
@@ -400,7 +408,7 @@ impl<'g> Executor<'g> {
     ) -> Result<Vec<AnnotationId>, Interrupt> {
         let keyword_refs: Vec<&str> = match filter {
             ContentFilter::Keywords(ks) => ks.iter().map(String::as_str).collect(),
-            _ => Vec::new(),
+            ContentFilter::Phrase(_) | ContentFilter::Path(_) => Vec::new(),
         };
         self.filter_candidates(cands, &|aid| self.content_matches(aid, filter, &keyword_refs))
     }
@@ -442,7 +450,9 @@ impl<'g> Executor<'g> {
                 let set = CandidateSet::union_postings(self.repr, &postings);
                 cands.intersect(&set, &mut || self.cancel.check())
             }
-            _ => {
+            ReferentFilter::OnObject(_)
+            | ReferentFilter::IntervalOverlaps { .. }
+            | ReferentFilter::RegionOverlaps { .. } => {
                 let kept = self.filter_candidates(cands.into_sorted_vec(), &|rid| {
                     self.referent_matches(rid, filter)
                 })?;
@@ -500,6 +510,7 @@ impl<'g> Executor<'g> {
                 })
                 .collect();
             for handle in handles {
+                // lint: allow(no-panic-serving) -- join only errs if the scoped worker panicked; re-raising its panic is the honest report
                 out.extend(handle.join().expect("verify worker panicked")?);
             }
             Ok(())
@@ -718,6 +729,7 @@ impl<'g, V: CollateView> Collator<'g, V> {
         constraint_anns: Option<Vec<AnnotationId>>,
     ) -> QueryResult {
         self.try_collate(query, ann_cands, ref_cands, constraint_anns)
+            // lint: allow(no-panic-serving) -- the cancel-free entry point attaches no CancelToken, so Interrupt is unreachable
             .expect("uninterruptible collator (no live CancelToken) cannot be interrupted")
     }
 
@@ -1092,11 +1104,14 @@ impl<'g, V: CollateView> Collator<'g, V> {
                 comp_nodes.push(Vec::new());
                 comp_nodes.len() - 1
             });
+            // lint: allow(no-panic-serving) -- c was just minted by pushing onto comp_nodes
             comp_nodes[c].push(n);
+            // lint: allow(no-panic-serving) -- node_comp was sized to nodes.len(), i enumerates nodes
             node_comp[i] = c;
         }
         let mut comp_edges: Vec<Vec<agraph::EdgeId>> = vec![Vec::new(); comp_nodes.len()];
         for (e, i, _) in edges {
+            // lint: allow(no-panic-serving) -- edge endpoints index nodes; comp_edges spans every component
             comp_edges[node_comp[i]].push(e);
         }
 
@@ -1152,9 +1167,15 @@ impl Dsu {
         Dsu { parent: (0..n as u32).collect(), size: vec![1; n] }
     }
 
+    // Dense union-find: callers only pass indices < n (the node-list positions the
+    // structure was built over), and parents always store such indices, so every
+    // subscript below stays in bounds by construction.
     fn find(&mut self, mut x: usize) -> usize {
+        // lint: allow(no-panic-serving) -- dense DSU indices < n by construction
         while self.parent[x] as usize != x {
+            // lint: allow(no-panic-serving) -- dense DSU indices < n by construction
             let gp = self.parent[self.parent[x] as usize];
+            // lint: allow(no-panic-serving) -- dense DSU indices < n by construction
             self.parent[x] = gp;
             x = gp as usize;
         }
@@ -1166,10 +1187,13 @@ impl Dsu {
         if ra == rb {
             return;
         }
+        // lint: allow(no-panic-serving) -- dense DSU indices < n by construction
         if self.size[ra] < self.size[rb] {
             std::mem::swap(&mut ra, &mut rb);
         }
+        // lint: allow(no-panic-serving) -- dense DSU indices < n by construction
         self.parent[rb] = ra as u32;
+        // lint: allow(no-panic-serving) -- dense DSU indices < n by construction
         self.size[ra] += self.size[rb];
     }
 }
@@ -1209,6 +1233,7 @@ pub(crate) fn longest_consecutive_chain(intervals: &mut [Interval], max_gap: u64
     // Try starting the chain from each interval to be safe for the gap constraint.
     for start_idx in 0..intervals.len() {
         let mut chain = 1usize;
+        // lint: allow(no-panic-serving) -- start_idx ranges over 0..intervals.len()
         let mut last = intervals[start_idx];
         for cand in intervals.iter().skip(start_idx + 1) {
             if cand.start >= last.end && cand.start - last.end <= max_gap {

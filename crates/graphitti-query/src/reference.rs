@@ -20,7 +20,7 @@ use std::collections::HashSet;
 use graphitti_core::{AnnotationId, Marker, ReferentId, SystemView};
 use ontology::ConceptId;
 
-use crate::ast::{ContentFilter, OntologyFilter, Query, ReferentFilter};
+use crate::ast::{ContentFilter, GraphConstraint, OntologyFilter, Query, ReferentFilter, Target};
 use crate::exec::Collator;
 use crate::result::QueryResult;
 
@@ -38,6 +38,7 @@ impl<'g> ReferenceExecutor<'g> {
 
     /// Execute a query by scan-and-intersect and return its result.
     pub fn run(&self, query: &Query) -> QueryResult {
+        collation_owned_shapes(query);
         let content_anns = self.eval_content(query);
         let (onto_anns, _) = self.eval_ontology(query);
 
@@ -210,6 +211,26 @@ impl<'g> ReferenceExecutor<'g> {
                     .map(|r| r.id)
                     .collect()
             }
+        }
+    }
+}
+
+/// Compile-time pin for the AST shapes this oracle does **not** evaluate itself:
+/// targets and graph constraints are collation concerns, shared with the pipelined
+/// executor through [`Collator`] (see the module docs).  These exhaustive matches
+/// compile to nothing, but a newly added `Target` or `GraphConstraint` variant
+/// breaks compilation *here*, so the sharing gets revisited instead of silently
+/// inherited — the same contract `graphitti-lint`'s footprint-exhaustiveness rule
+/// enforces by name for the evaluated shapes.
+fn collation_owned_shapes(query: &Query) {
+    match query.target {
+        Target::AnnotationContents | Target::Referents | Target::ConnectionGraphs => {}
+    }
+    for constraint in &query.constraints {
+        match constraint {
+            GraphConstraint::ConsecutiveIntervals { .. }
+            | GraphConstraint::MinRegionCount { .. }
+            | GraphConstraint::PathExists { .. } => {}
         }
     }
 }

@@ -254,16 +254,30 @@ struct TicketCell {
     ready: Condvar,
 }
 
+impl TicketCell {
+    /// Lock the slot, recovering from poisoning: the state machine only moves in
+    /// single-assignment steps, so a worker that panicked while holding the lock
+    /// (chaos injection does this deliberately) leaves a coherent slot — and the
+    /// abort guard will still mark it `Failed` on the worker's way out.
+    fn slot_guard(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 impl Ticket {
     /// Block until the query resolves and take its outcome: the result, or the
     /// typed error it failed with.
     pub fn wait(self) -> Result<QueryResult, ServiceError> {
-        let mut slot = self.cell.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.cell.slot_guard();
         loop {
             match std::mem::replace(&mut *slot, SlotState::Taken) {
                 SlotState::Pending => {
                     *slot = SlotState::Pending;
-                    slot = self.cell.ready.wait(slot).expect("ticket lock poisoned");
+                    slot = self
+                        .cell
+                        .ready
+                        .wait(slot)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 SlotState::Ready(result) => {
                     return Ok(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()));
@@ -283,7 +297,7 @@ impl Ticket {
     /// error once resolved, [`ServiceError::AlreadyTaken`] after an earlier
     /// redemption.
     pub fn try_take(&self) -> Result<Option<QueryResult>, ServiceError> {
-        let mut slot = self.cell.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.cell.slot_guard();
         match std::mem::replace(&mut *slot, SlotState::Taken) {
             SlotState::Pending => {
                 *slot = SlotState::Pending;
@@ -314,8 +328,7 @@ impl Drop for Ticket {
     /// An abandoned ticket cancels its query — nobody will redeem the result, so
     /// the worker should stop computing it at the next checkpoint.
     fn drop(&mut self) {
-        let still_pending =
-            matches!(*self.cell.slot.lock().expect("ticket lock poisoned"), SlotState::Pending);
+        let still_pending = matches!(*self.cell.slot_guard(), SlotState::Pending);
         if still_pending {
             self.cancel.cancel();
         }
@@ -324,13 +337,13 @@ impl Drop for Ticket {
 
 impl TicketCell {
     fn deliver(&self, result: Arc<QueryResult>) {
-        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.slot_guard();
         *slot = SlotState::Ready(result);
         self.ready.notify_all();
     }
 
     fn fail(&self, err: ServiceError) {
-        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.slot_guard();
         // Never clobber an outcome that already landed (the abort guard fires on
         // the worker's way out even after a normal delivery attempt).
         if matches!(*slot, SlotState::Pending) {
@@ -523,9 +536,10 @@ impl ResultCache {
         if self.capacity == 0 {
             return None;
         }
-        let entry = self.map.get(key)?;
+        let full_valid = snap.same_epoch(&self.snap);
+        let entry = self.map.get_mut(key)?;
         let valid = match self.policy {
-            InvalidationPolicy::Full => snap.same_epoch(&self.snap),
+            InvalidationPolicy::Full => full_valid,
             InvalidationPolicy::Footprint => {
                 snap.system_id() == entry.born_system
                     && snap.component_epochs().agrees_on(entry.born_epochs, entry.footprint)
@@ -535,7 +549,6 @@ impl ResultCache {
             return None;
         }
         self.tick += 1;
-        let entry = self.map.get_mut(key).expect("entry present: looked up above");
         self.lru.remove(&entry.last_used);
         entry.last_used = self.tick;
         self.lru.insert(self.tick, key.clone());
@@ -646,9 +659,31 @@ struct Inner {
 }
 
 impl Inner {
+    // The service locks recover from poisoning instead of panicking: every guarded
+    // section moves its structure in exception-safe steps (queue pushes/pops, cache
+    // map + LRU updates, whole-value snapshot/WAL swaps, handle pushes), so after a
+    // worker panic — which chaos injection makes a first-class event — the state is
+    // still coherent, and the surviving workers keep serving rather than cascading
+    // the panic through every later lock acquisition.
+
+    /// Lock the submission queue (poison-recovering; see above).
+    fn queue_guard(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Lock the result cache (poison-recovering; see above).
+    fn cache_guard(&self) -> std::sync::MutexGuard<'_, ResultCache> {
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Lock the worker-handle registry (poison-recovering; see above).
+    fn handles_guard(&self) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+        self.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The current published snapshot (an `Arc` bump under a read lock).
     fn current_snapshot(&self) -> Snapshot {
-        self.snapshot.read().expect("snapshot lock poisoned").clone()
+        self.snapshot.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// Execute one query against the current snapshot, consulting the cache.  The
@@ -670,9 +705,11 @@ impl Inner {
                 Ok(()) => {}
                 Err(SleepInterrupt::Query(i)) => return Err(i.into()),
                 Err(SleepInterrupt::AttemptTimeout) => {
+                    // lint: allow(no-panic-serving) -- stuck-query chaos passes no attempt deadline to the sleep
                     unreachable!("no attempt deadline on a stuck-query stall")
                 }
             },
+            // lint: allow(no-panic-serving) -- chaos injection IS a panic by design; the job catch absorbs it
             ChaosExec::Panic => panic!("chaos: injected worker panic during execution"),
             // Abort is handled in `work` (it must escape the catch); None is a no-op.
             ChaosExec::Abort | ChaosExec::None => {}
@@ -680,7 +717,7 @@ impl Inner {
         let canonical = query.canonicalize();
         let key = CacheKey::of_canonical(&canonical);
         let snap = self.current_snapshot();
-        if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key, &snap) {
+        if let Some(hit) = self.cache_guard().get(&key, &snap) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
@@ -700,12 +737,7 @@ impl Inner {
         // is never behind what any reader can observe; an execution that straddled a
         // publish lands anyway when its plan's footprint was untouched, and is
         // harmlessly rejected otherwise.
-        self.cache.lock().expect("cache lock poisoned").insert(
-            key,
-            &snap,
-            footprint,
-            Arc::clone(&result),
-        );
+        self.cache_guard().insert(key, &snap, footprint, Arc::clone(&result));
         Ok(result)
     }
 
@@ -735,7 +767,7 @@ impl Inner {
     fn work(self: &Arc<Self>) {
         loop {
             let job = {
-                let mut queue = self.queue.lock().expect("queue lock poisoned");
+                let mut queue = self.queue_guard();
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break job;
@@ -743,7 +775,10 @@ impl Inner {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    queue = self.queue_ready.wait(queue).expect("queue lock poisoned");
+                    queue = self
+                        .queue_ready
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
             let chaos_exec =
@@ -753,6 +788,7 @@ impl Inner {
                 // the job guard fails the in-flight ticket, the respawn guard (in
                 // `spawn_worker`) replaces the thread.
                 let _job_guard = JobGuard { inner: self, cell: &job.cell };
+                // lint: allow(no-panic-serving) -- chaos abort must escape the catch to kill the worker; the guards resolve the ticket and respawn
                 panic!("chaos: injected worker abort");
             }
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -819,7 +855,7 @@ impl Drop for RespawnGuard {
         if std::thread::panicking() && !self.inner.shutdown.load(Ordering::Acquire) {
             if let Ok(handle) = spawn_worker(&self.inner, self.idx) {
                 self.inner.workers_respawned.fetch_add(1, Ordering::Relaxed);
-                self.inner.handles.lock().expect("handle registry poisoned").push(handle);
+                self.inner.handles_guard().push(handle);
             }
         }
     }
@@ -863,8 +899,9 @@ impl QueryService {
         });
         let workers = config.workers.max(1);
         {
-            let mut handles = inner.handles.lock().expect("handle registry poisoned");
+            let mut handles = inner.handles_guard();
             for i in 0..workers {
+                // lint: allow(no-panic-serving) -- pool construction: failing to spawn the initial workers is a startup error, not a serving-path state
                 handles.push(spawn_worker(&inner, i).expect("spawn query worker"));
             }
         }
@@ -896,7 +933,7 @@ impl QueryService {
         let cancel = CancelToken::for_budget(&budget);
         let cell = Arc::new(TicketCell::default());
         {
-            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            let mut queue = self.inner.queue_guard();
             let depth = queue.len();
             if depth >= self.inner.queue_capacity {
                 drop(queue);
@@ -972,15 +1009,35 @@ impl QueryService {
         // (the batches this snapshot is made of) reaches stable storage before any
         // reader can observe the new state.  Under `DurabilityMode::Sync` the flush
         // is a cheap no-op barrier; under `Async` it is the deferred fsync.
-        if let Some(wal) = self.inner.wal.read().expect("wal slot poisoned").as_ref() {
+        if let Some(wal) =
+            self.inner.wal.read().unwrap_or_else(std::sync::PoisonError::into_inner).as_ref()
+        {
             if let Err(err) = wal.flush() {
                 self.inner.wal_flush_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::WalFlush(err.to_string()));
             }
         }
-        let mut current = self.inner.snapshot.write().expect("snapshot lock poisoned");
+        let mut current =
+            self.inner.snapshot.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Debug twin of the lint's dirty-set-soundness rule, at the serving
+        // boundary: within one lineage, any component whose storage was replaced
+        // since the outgoing snapshot must have moved its epoch — otherwise the
+        // footprint-keyed cache would keep entries this publish invalidated.
+        #[cfg(debug_assertions)]
+        if current.system_id() == snapshot.system_id() {
+            let moved = snapshot.component_epochs().changed(current.component_epochs());
+            for c in graphitti_core::Component::ALL {
+                debug_assert!(
+                    snapshot.view().shares_component(current.view(), c) || moved.contains(c),
+                    "publish: {c:?} storage was replaced but its epoch never moved"
+                );
+            }
+        }
         *current = snapshot;
-        self.inner.cache.lock().expect("cache lock poisoned").install(&current);
+        // Documented order: snapshot before cache — publish is the only place both
+        // guards are held, and workers take them one at a time, so no inversion.
+        // lint: allow(lock-discipline) -- fixed snapshot-then-cache order, single nesting site
+        self.inner.cache_guard().install(&current);
         drop(current);
         self.inner.publishes.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -990,7 +1047,7 @@ impl QueryService {
     /// new snapshot becomes visible, and [`metrics`](Self::metrics) reports its
     /// durability counters.
     pub fn attach_wal(&self, wal: Wal) {
-        *self.inner.wal.write().expect("wal slot poisoned") = Some(wal);
+        *self.inner.wal.write().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(wal);
     }
 
     /// The epoch of the currently published snapshot.
@@ -1016,27 +1073,27 @@ impl QueryService {
     /// exceed [`worker_count`](Self::worker_count) while a dying thread is still
     /// unwinding past its replacement's registration.
     pub fn live_workers(&self) -> usize {
-        let mut handles = self.inner.handles.lock().expect("handle registry poisoned");
+        let mut handles = self.inner.handles_guard();
         handles.retain(|h| !h.is_finished());
         handles.len()
     }
 
     /// Number of live entries in the result cache.
     pub fn cache_len(&self) -> usize {
-        self.inner.cache.lock().expect("cache lock poisoned").len()
+        self.inner.cache_guard().len()
     }
 
     /// A snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
         let (partial, full, evicted) = {
-            let cache = self.inner.cache.lock().expect("cache lock poisoned");
+            let cache = self.inner.cache_guard();
             (cache.partial_invalidations, cache.full_invalidations, cache.entries_evicted)
         };
         let wal_stats = self
             .inner
             .wal
             .read()
-            .expect("wal slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_ref()
             .map(|wal| wal.stats())
             .unwrap_or_default();
@@ -1073,7 +1130,7 @@ impl Drop for QueryService {
         // shutdown check and `Condvar::wait` when the flag flips — otherwise the
         // notify below could be lost and the join would deadlock.
         {
-            let _guard = self.inner.queue.lock().expect("queue lock poisoned");
+            let _guard = self.inner.queue_guard();
             self.inner.shutdown.store(true, Ordering::Release);
         }
         self.inner.queue_ready.notify_all();
@@ -1081,7 +1138,7 @@ impl Drop for QueryService {
         // registers its replacement's handle *before* the dying thread exits, so new
         // handles can appear while we join.
         loop {
-            let handle = self.inner.handles.lock().expect("handle registry poisoned").pop();
+            let handle = self.inner.handles_guard().pop();
             match handle {
                 Some(handle) => {
                     let _ = handle.join();

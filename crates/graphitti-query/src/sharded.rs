@@ -197,6 +197,7 @@ impl<'c> ShardedExecutor<'c> {
     /// rendering its cache key from the same canonical query).
     pub fn run_canonical(&self, canonical: &Query) -> QueryResult {
         self.try_run_canonical(canonical)
+            // lint: allow(no-panic-serving) -- with no deadline, chaos, mask or partiality configured, no fallible path is reachable
             .expect("plain scatter-gather (no deadline, chaos, mask or partiality) cannot fail")
     }
 
@@ -229,6 +230,7 @@ impl<'c> ShardedExecutor<'c> {
                 let handles: Vec<_> = (0..shards)
                     .map(|i| scope.spawn(move || self.gather_shard(canonical, i, ref_mask)))
                     .collect();
+                // lint: allow(no-panic-serving) -- join only errs if the scoped worker panicked; re-raising its panic is the honest report
                 handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
             })
         } else {
@@ -251,15 +253,18 @@ impl<'c> ShardedExecutor<'c> {
                 }
             }
         }
-        if !missing.is_empty() && !self.allow_partial {
-            return Err(ServiceError::ShardUnavailable {
-                shard: missing[0],
-                attempts: first_down_attempts,
-            });
+        if !self.allow_partial {
+            if let Some(&shard) = missing.first() {
+                return Err(ServiceError::ShardUnavailable {
+                    shard,
+                    attempts: first_down_attempts,
+                });
+            }
         }
 
         let contributions: Vec<ShardContribution> = if missing.is_empty() {
-            gathered.into_iter().map(|c| c.expect("no shard is missing")).collect()
+            // With no shard missing every slot is `Some`; flatten keeps them all.
+            gathered.into_iter().flatten().collect()
         } else {
             // Degraded: every family must be *explicitly* restricted to the
             // responsive shards, including families the query leaves unconstrained
@@ -335,10 +340,12 @@ impl<'c> ShardedExecutor<'c> {
                 Ok(()) => {}
                 Err(SleepInterrupt::Query(i)) => return Err(i.into()),
                 Err(SleepInterrupt::AttemptTimeout) => {
+                    // lint: allow(no-panic-serving) -- backoff sleeps pass no attempt deadline to cooperative_sleep
                     unreachable!("backoff sleeps carry no attempt deadline")
                 }
             }
         }
+        // lint: allow(no-panic-serving) -- the final attempt returns Down; the 1..=attempts loop cannot fall through
         unreachable!("the attempt loop always returns")
     }
 
@@ -605,12 +612,11 @@ impl CutCache {
         if self.capacity == 0 {
             return None;
         }
-        let entry = self.map.get(key)?;
+        let entry = self.map.get_mut(key)?;
         if !Self::entry_valid_for(&entry.born, entry.footprint, cut) {
             return None;
         }
         self.tick += 1;
-        let entry = self.map.get_mut(key).expect("entry present: looked up above");
         self.lru.remove(&entry.last_used);
         entry.last_used = self.tick;
         self.lru.insert(self.tick, key.clone());
@@ -685,6 +691,13 @@ pub struct ShardedQueryService {
 }
 
 impl ShardedQueryService {
+    /// Lock the cut-level result cache, recovering from poisoning: the cache moves
+    /// in exception-safe map/LRU steps, so the state stays coherent across a
+    /// caller's panic and the surviving callers keep serving.
+    fn cache_guard(&self) -> std::sync::MutexGuard<'_, CutCache> {
+        self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Start a service over an initial cut.
     pub fn new(cut: ShardCut, config: ShardedServiceConfig) -> Self {
         ShardedQueryService {
@@ -722,15 +735,20 @@ impl ShardedQueryService {
     pub fn publish(&self, cut: ShardCut) -> Result<(), ServiceError> {
         // Durable before visible: flush the attached WAL so every batch the cut is
         // made of is on stable storage before any reader can observe it.
-        if let Some(wal) = self.wal.read().expect("wal slot poisoned").as_ref() {
+        if let Some(wal) =
+            self.wal.read().unwrap_or_else(std::sync::PoisonError::into_inner).as_ref()
+        {
             if let Err(err) = wal.flush() {
                 self.wal_flush_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::WalFlush(err.to_string()));
             }
         }
-        let mut current = self.cut.write().expect("cut lock poisoned");
+        let mut current = self.cut.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         *current = cut;
-        self.cache.lock().expect("cache lock poisoned").install(&current);
+        // Documented order: cut before cache — publish is the only place both guards
+        // are held, and execute takes them one at a time, so no inversion.
+        // lint: allow(lock-discipline) -- fixed cut-then-cache order, single nesting site
+        self.cache_guard().install(&current);
         drop(current);
         self.publishes.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -740,17 +758,17 @@ impl ShardedQueryService {
     /// new cut becomes visible, and [`metrics`](Self::metrics) reports its
     /// durability counters.
     pub fn attach_wal(&self, wal: Wal) {
-        *self.wal.write().expect("wal slot poisoned") = Some(wal);
+        *self.wal.write().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(wal);
     }
 
     /// A clone of the currently published cut.
     pub fn cut(&self) -> ShardCut {
-        self.cut.read().expect("cut lock poisoned").clone()
+        self.cut.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// The logical version of the currently published cut.
     pub fn current_version(&self) -> u64 {
-        self.cut.read().expect("cut lock poisoned").version()
+        self.cut.read().unwrap_or_else(std::sync::PoisonError::into_inner).version()
     }
 
     /// Execute one query against the published cut on the calling thread,
@@ -798,7 +816,7 @@ impl ShardedQueryService {
         let canonical = query.canonicalize();
         let key = canonical.cache_key();
         let cut = self.cut();
-        if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key, &cut) {
+        if let Some(hit) = self.cache_guard().get(&key, &cut) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((*hit).clone());
         }
@@ -823,32 +841,27 @@ impl ShardedQueryService {
             // outage, and the next gather may reach more shards.
             self.degraded.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.cache.lock().expect("cache lock poisoned").insert(
-                key,
-                &cut,
-                footprint,
-                Arc::clone(&result),
-            );
+            self.cache_guard().insert(key, &cut, footprint, Arc::clone(&result));
         }
         Ok(Arc::try_unwrap(result).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Number of live entries in the cut-level result cache.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").len()
+        self.cache_guard().len()
     }
 
     /// A snapshot of the service counters (the `cache_*` invalidation fields follow
     /// the same accounting as the unsharded service's).
     pub fn metrics(&self) -> ServiceMetrics {
         let (partial, full, evicted) = {
-            let cache = self.cache.lock().expect("cache lock poisoned");
+            let cache = self.cache_guard();
             (cache.partial_invalidations, cache.full_invalidations, cache.entries_evicted)
         };
         let wal_stats = self
             .wal
             .read()
-            .expect("wal slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .as_ref()
             .map(|wal| wal.stats())
             .unwrap_or_default();

@@ -1,0 +1,466 @@
+//! A small Rust-source lexer: comments, strings and char literals are stripped
+//! into side tables, `#[cfg(test)]` items are flagged rather than dropped, and the
+//! remaining token stream keeps line numbers so findings point at real code.
+//!
+//! This is deliberately not a full Rust lexer — it only has to be exact about the
+//! features the rules read: identifier/punct streams, the handful of multi-char
+//! operators the rules match on (`::`, `..=`, `=>`, …), and where comments sit
+//! relative to code (for the `// lint: allow(<rule>) -- <reason>` suppression
+//! contract).
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer or float literal.
+    Number,
+    /// Operator / delimiter (possibly multi-char: `::`, `..=`, `=>`, …).
+    Punct,
+    /// String / byte-string literal (contents dropped).
+    Str,
+    /// Char literal or lifetime (contents dropped).
+    Char,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether the token sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+impl Token {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+}
+
+/// What kind of comment a [`Comment`] record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    /// `//` (incl. the `// lint:` suppression carrier).
+    Line,
+    /// `///` or `//!` — shim-hostile inside `proptest!` bodies (R6).
+    Doc,
+    /// `/* … */`.
+    Block,
+}
+
+/// One comment, preserved for the rules that read comments (R6, suppressions).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub kind: CommentKind,
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// One parsed `// lint: allow(<rule>) -- <reason>` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    /// 1-based line the annotation sits on.  It suppresses findings on this line
+    /// and on the next line (trailing and directly-above placements).
+    pub line: u32,
+    pub has_reason: bool,
+}
+
+/// A fully lexed source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Multi-char operators, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex `source` into tokens + comments + suppressions.
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (and their doc variants).
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            let text = &source[start..i];
+            let kind = if text.starts_with("///") || text.starts_with("//!") {
+                CommentKind::Doc
+            } else {
+                CommentKind::Line
+            };
+            comments.push(Comment { kind, text: text.to_string(), line });
+            continue;
+        }
+        // Block comments (nested).
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                kind: CommentKind::Block,
+                text: source[start..i].to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw / byte string literals: r"…", r#"…"#, b"…", br#"…"#.
+        if let Some((len, newlines)) = raw_string_len(&source[i..]) {
+            tokens.push(Token { kind: TokenKind::Str, text: String::new(), line, in_test: false });
+            line += newlines;
+            i += len;
+            continue;
+        }
+        // Plain string literals (and b"…" handled above; b'…' below).
+        if c == '"' {
+            let (len, newlines) = quoted_len(&source[i..], '"');
+            tokens.push(Token { kind: TokenKind::Str, text: String::new(), line, in_test: false });
+            line += newlines;
+            i += len;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_lifetime(&source[i..]) {
+                // Consume the quote + identifier; emit nothing (rules ignore lifetimes).
+                i += 1;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+            } else {
+                let (len, newlines) = quoted_len(&source[i..], '\'');
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: String::new(),
+                    line,
+                    in_test: false,
+                });
+                line += newlines;
+                i += len;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                i += 1;
+            }
+            let text = &source[start..i];
+            // `b'x'` / `b"…"` prefixes reach here only when not already consumed as
+            // raw strings; treat a lone `b` followed by a quote as the literal prefix.
+            if (text == "b" || text == "r" || text == "br")
+                && i < bytes.len()
+                && (bytes[i] == b'"' || bytes[i] == b'\'')
+            {
+                let quote = bytes[i] as char;
+                let (len, newlines) = quoted_len(&source[i..], quote);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line,
+                    in_test: false,
+                });
+                line += newlines;
+                i += len;
+                continue;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: text.to_string(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (is_ident_char(bytes[i] as char)) {
+                i += 1;
+            }
+            // A float's fractional part: `.` followed by a digit (but `0..9` is a
+            // range — the second `.` must not be consumed).
+            if i + 1 < bytes.len()
+                && bytes[i] == b'.'
+                && bytes[i + 1].is_ascii_digit()
+                && !(i + 1 < bytes.len() && bytes[i + 1] == b'.')
+            {
+                i += 1;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: source[start..i].to_string(),
+                line,
+                in_test: false,
+            });
+            continue;
+        }
+        // Multi-char then single-char puncts.
+        let rest = &source[i..];
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: (*p).to_string(),
+                line,
+                in_test: false,
+            });
+            i += p.len();
+            continue;
+        }
+        tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line, in_test: false });
+        i += c.len_utf8();
+    }
+    mark_cfg_test(&mut tokens);
+    let suppressions = parse_suppressions(&comments);
+    LexedFile { tokens, comments, suppressions }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// `'a` lifetime vs `'a'` char literal: a lifetime is a quote + ident chars with no
+/// closing quote right after the identifier.
+fn is_lifetime(s: &str) -> bool {
+    let b = s.as_bytes();
+    if b.len() < 2 || !is_ident_start(b[1] as char) {
+        return false;
+    }
+    let mut j = 1;
+    while j < b.len() && is_ident_char(b[j] as char) {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'')
+}
+
+/// Length (and newline count) of a raw/byte-raw string starting at `s`, if any.
+fn raw_string_len(s: &str) -> Option<(usize, u32)> {
+    let after_prefix = s.strip_prefix("br").or_else(|| s.strip_prefix('r'));
+    let (prefix_len, rest) = match after_prefix {
+        Some(rest) if s.starts_with("br") => (2, rest),
+        Some(rest) => (1, rest),
+        None => return None,
+    };
+    let hashes = rest.bytes().take_while(|&b| b == b'#').count();
+    let rest = &rest[hashes..];
+    if !rest.starts_with('"') {
+        return None;
+    }
+    let closer = format!("\"{}", "#".repeat(hashes));
+    let body = &rest[1..];
+    let end = body.find(&closer)?;
+    let total = prefix_len + hashes + 1 + end + closer.len();
+    let newlines = s[..total].bytes().filter(|&b| b == b'\n').count() as u32;
+    Some((total, newlines))
+}
+
+/// Length (and newline count) of a quoted literal starting at `s[0] == quote`,
+/// honouring backslash escapes.
+fn quoted_len(s: &str, quote: char) -> (usize, u32) {
+    let bytes = s.as_bytes();
+    let mut j = 1usize;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b if b == quote as u8 => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// Mark every token inside a `#[cfg(test)]`-gated item (or `#[test]` fn) with
+/// `in_test`.  The item is the next `{ … }` block (or, for semicolon items like
+/// `#[cfg(test)] use …;`, up to the `;`).
+fn mark_cfg_test(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = cfg_test_attr_end(tokens, i) {
+            // Find the gated item's extent: scan past any further attributes, then
+            // either a `;` (semicolon item) or the matching `}` of the first `{`.
+            let mut j = attr_end;
+            let mut end = None;
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    ";" if depth == 0 => {
+                        end = Some(j + 1);
+                        break;
+                    }
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(j + 1);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = end.unwrap_or(tokens.len());
+            for t in &mut tokens[i..end] {
+                t.in_test = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// If a `#[cfg(test)]`-style attribute (or `#[test]`) starts at `i`, return the
+/// index just past its closing `]`.
+fn cfg_test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens[i].is("#") || i + 1 >= tokens.len() || !tokens[i + 1].is("[") {
+        return None;
+    }
+    // Balanced scan to the matching `]`; `#[cfg(test)]`, `#[cfg(any(test, …))]`
+    // and bare `#[test]` all reduce to: the attribute mentions `test`.
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return if saw_test { Some(j + 1) } else { None };
+                }
+            }
+            "test" => saw_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse `// lint: allow(<rule>)[ -- <reason>]` annotations out of line comments.
+fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.kind != CommentKind::Line {
+            continue;
+        }
+        let body = c.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:") else { continue };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow(") else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim();
+        let has_reason = tail.strip_prefix("--").map(|r| !r.trim().is_empty()).unwrap_or(false);
+        out.push(Suppression { rule, line: c.line, has_reason });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_lines_and_multichar_puncts() {
+        let lexed = lex("fn f() {\n  let x = 0..=10;\n}\n");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["fn", "f", "(", ")", "{", "let", "x", "=", "0", "..=", "10", ";", "}"]);
+        assert_eq!(lexed.tokens[7].line, 2);
+    }
+
+    #[test]
+    fn strings_chars_lifetimes_and_comments_are_stripped() {
+        let src = "impl<'a> X<'a> { fn f(&'a self) -> char { /* c */ 'x' } } // tail\n";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Ident || t.text != "c"));
+        assert_eq!(lexed.comments.len(), 2);
+        let s = lex("let s = \"a // not a comment [i]\"; s.len()");
+        assert_eq!(s.comments.len(), 0);
+        assert_eq!(s.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_flagged() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        let lexed = lex(src);
+        let unwrap = lexed.tokens.iter().find(|t| t.is("unwrap")).unwrap();
+        assert!(unwrap.in_test);
+        let live = lexed.tokens.iter().find(|t| t.is("live")).unwrap();
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn suppressions_parse_with_and_without_reasons() {
+        let src =
+            "// lint: allow(no-panic-serving) -- checked above\n// lint: allow(lock-discipline)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 2);
+        assert!(lexed.suppressions[0].has_reason);
+        assert_eq!(lexed.suppressions[0].rule, "no-panic-serving");
+        assert!(!lexed.suppressions[1].has_reason);
+    }
+
+    #[test]
+    fn raw_strings_and_doc_comments() {
+        let lexed = lex("/// doc\nlet r = r#\"raw \"x\" body\"#;\n");
+        assert_eq!(lexed.comments[0].kind, CommentKind::Doc);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+}

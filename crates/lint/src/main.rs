@@ -1,0 +1,64 @@
+//! CLI: scan the workspace sources and fail on any unsuppressed finding.
+//!
+//! Usage: `cargo run -p graphitti-lint --release [workspace-root]` (defaults to
+//! the current directory).  Exit code 1 on findings, 2 on I/O problems.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned: shim crates (theirs, not ours to lint), the
+/// lint crate itself (its fixtures are seeded violations), bench harnesses, and
+/// build output.
+const SKIP_DIRS: &[&str] = &["shims", "lint", "fixtures", "target", "bench", "benches"];
+
+fn main() {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        eprintln!("graphitti-lint: no crates/ directory under {}", root.display());
+        std::process::exit(2);
+    }
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect(&crates, &mut paths);
+    paths.sort();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        match fs::read_to_string(path) {
+            Ok(text) => sources.push((relative(path, &root), text)),
+            Err(err) => {
+                eprintln!("graphitti-lint: cannot read {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let findings = graphitti_lint::analyze_sources(&sources);
+    if findings.is_empty() {
+        println!("graphitti-lint: {} files scanned, no findings", sources.len());
+        return;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    eprintln!("graphitti-lint: {} finding(s)", findings.len());
+    std::process::exit(1);
+}
+
+/// Recursively collect `.rs` files, skipping [`SKIP_DIRS`].
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}

@@ -1,0 +1,1187 @@
+//! The six repo-invariant rules.
+//!
+//! Every rule works on the lexed token stream (comments/strings stripped,
+//! `#[cfg(test)]` flagged) plus a little shared structure: function items and
+//! balanced-delimiter matching.  The rules deliberately hardcode repo facts —
+//! the `SystemView` field → `Component` map, the AST enum names, the serving-path
+//! file list, the service lock names — and each hardcoded table has a staleness
+//! guard that fires when the source grows past what the table knows.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::lexer::{CommentKind, Token, TokenKind};
+use crate::{Finding, SourceFile};
+
+pub const R1: &str = "dirty-set-soundness";
+pub const R2: &str = "footprint-exhaustiveness";
+pub const R3: &str = "no-panic-serving";
+pub const R4: &str = "lock-discipline";
+pub const R5: &str = "metrics-conservation";
+pub const R6: &str = "shim-compat";
+
+/// Every suppressible rule id.
+pub const RULES: &[&str] = &[R1, R2, R3, R4, R5, R6];
+
+// ---------------------------------------------------------------------------
+// Shared token-stream structure
+// ---------------------------------------------------------------------------
+
+/// One `fn` item: name, parameter and body token ranges (file-token indices).
+struct FnItem {
+    name: String,
+    line: u32,
+    is_test: bool,
+    /// `None` for bodiless declarations (trait methods).
+    body: Option<(usize, usize)>,
+}
+
+/// Index of the token closing the delimiter opened at `open` (`(`/`[`/`{`), or
+/// `tokens.len()` if unbalanced.
+fn matching(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return tokens.len(),
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is(o) {
+            depth += 1;
+        } else if tokens[i].is(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Extract every `fn` item (including ones nested in `#[cfg(test)]` modules,
+/// flagged via `is_test`).
+fn fn_items(tokens: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if !(tokens[i].is("fn") && tokens[i + 1].kind == TokenKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name = tokens[i + 1].text.clone();
+        let line = tokens[i].line;
+        let is_test = tokens[i].in_test;
+        let mut j = i + 2;
+        // Skip generic parameters between the name and the parameter list.
+        if j < tokens.len() && tokens[j].is("<") {
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if angle <= 0 {
+                    break;
+                }
+            }
+        }
+        if j >= tokens.len() || !tokens[j].is("(") {
+            i += 1;
+            continue;
+        }
+        let close_p = matching(tokens, j);
+        if close_p >= tokens.len() {
+            break;
+        }
+        // Return type / where clause carry no braces; the first `{` is the body.
+        let mut k = close_p + 1;
+        while k < tokens.len() && !tokens[k].is("{") && !tokens[k].is(";") {
+            k += 1;
+        }
+        let body = if k < tokens.len() && tokens[k].is("{") {
+            let close_b = matching(tokens, k);
+            Some((k + 1, close_b.min(tokens.len())))
+        } else {
+            None
+        };
+        out.push(FnItem { name, line, is_test, body });
+        i = k + 1;
+    }
+    out
+}
+
+fn file_with_suffix<'a>(files: &'a [SourceFile], suffix: &str) -> Option<&'a SourceFile> {
+    files.iter().find(|f| f.path.ends_with(suffix))
+}
+
+// ---------------------------------------------------------------------------
+// R1 · dirty-set-soundness
+// ---------------------------------------------------------------------------
+
+/// `SystemView` field → `Component` variant.  `nodes` maps to `NodeMaps` (the one
+/// name mismatch); `view` is the whole-view `Arc` inside `view_mut` itself, not a
+/// component.
+const FIELD_COMPONENTS: &[(&str, &str)] = &[
+    ("catalog", "Catalog"),
+    ("content", "Content"),
+    ("intervals", "Intervals"),
+    ("spatial", "Spatial"),
+    ("ontology", "Ontology"),
+    ("agraph", "Agraph"),
+    ("objects", "Objects"),
+    ("referents", "Referents"),
+    ("annotations", "Annotations"),
+    ("nodes", "NodeMaps"),
+    ("object_referents", "ObjectReferents"),
+    ("indexes", "Indexes"),
+];
+
+/// Fields that hold `Arc`s but are not components.
+const FIELD_WHITELIST: &[&str] = &["view"];
+
+const COMPONENTS: &[&str] = &[
+    "Catalog",
+    "Content",
+    "Intervals",
+    "Spatial",
+    "Ontology",
+    "Agraph",
+    "Objects",
+    "Referents",
+    "Annotations",
+    "NodeMaps",
+    "ObjectReferents",
+    "Indexes",
+];
+
+/// Collect `Component::X` mentions (known variants only) in a token range.
+fn components_in(tokens: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is("Component")
+            && tokens[i + 1].is("::")
+            && COMPONENTS.contains(&tokens[i + 2].text.as_str())
+        {
+            out.insert(tokens[i + 2].text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Every `(field, token-index)` of an `Arc::make_mut(&mut self.<field>)` in a range.
+fn make_mut_fields(tokens: &[Token]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 8 < tokens.len() {
+        let pat = ["Arc", "::", "make_mut", "(", "&", "mut", "self", "."];
+        if pat.iter().enumerate().all(|(k, p)| tokens[i + k].is(p))
+            && tokens[i + 8].kind == TokenKind::Ident
+        {
+            out.push((tokens[i + 8].text.clone(), i + 8));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Rule R1: every `view_mut(dirty)` call's declared `ComponentSet` must cover every
+/// component the invoked method (transitively, within the file) `Arc::make_mut`s.
+pub fn dirty_set_soundness(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for suffix in ["graphitti-core/src/system.rs", "graphitti-core/src/batch.rs"] {
+        let Some(file) = file_with_suffix(files, suffix) else { continue };
+        findings.extend(check_dirty_sets(file));
+    }
+    findings
+}
+
+fn check_dirty_sets(file: &SourceFile) -> Vec<Finding> {
+    let tokens = &file.lexed.tokens;
+    let mut findings = Vec::new();
+    let fns = fn_items(tokens);
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(idx);
+    }
+
+    // Staleness guard A: every make_mut'd SystemView field must be in the map.
+    for f in &fns {
+        let Some((b0, b1)) = f.body else { continue };
+        for (field, tok) in make_mut_fields(&tokens[b0..b1]) {
+            let known = FIELD_COMPONENTS.iter().any(|(name, _)| *name == field)
+                || FIELD_WHITELIST.contains(&field.as_str());
+            if !known {
+                findings.push(Finding {
+                    rule: R1,
+                    path: file.path.clone(),
+                    line: tokens[b0 + tok].line,
+                    message: format!(
+                        "Arc::make_mut on unmapped SystemView field `{field}` — add it to the \
+                         lint's field→Component map and to the dirty-set declarations"
+                    ),
+                });
+            }
+        }
+    }
+    // Staleness guard B: unknown `Component::X` variant mentions (outside tests).
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is("Component") && tokens[i + 1].is("::") && !tokens[i].in_test {
+            let name = tokens[i + 2].text.as_str();
+            let camel = name.starts_with(|c: char| c.is_ascii_uppercase())
+                && name.contains(|c: char| c.is_ascii_lowercase());
+            if camel && !COMPONENTS.contains(&name) {
+                findings.push(Finding {
+                    rule: R1,
+                    path: file.path.clone(),
+                    line: tokens[i + 2].line,
+                    message: format!(
+                        "unknown Component variant `{name}` — update the lint's component table"
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+
+    // Per-fn direct make_mut components, then the transitive closure over the
+    // file-local call graph (by name; same-name definitions union).
+    let direct: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| {
+            let Some((b0, b1)) = f.body else { return BTreeSet::new() };
+            make_mut_fields(&tokens[b0..b1])
+                .into_iter()
+                .filter_map(|(field, _)| {
+                    FIELD_COMPONENTS
+                        .iter()
+                        .find(|(name, _)| *name == field)
+                        .map(|(_, c)| (*c).to_string())
+                })
+                .collect()
+        })
+        .collect();
+    let callees: Vec<BTreeSet<&str>> = fns
+        .iter()
+        .map(|f| {
+            let mut out = BTreeSet::new();
+            let Some((b0, b1)) = f.body else { return out };
+            let body = &tokens[b0..b1];
+            let mut j = 0usize;
+            while j + 1 < body.len() {
+                if body[j].kind == TokenKind::Ident
+                    && body[j + 1].is("(")
+                    && by_name.contains_key(body[j].text.as_str())
+                {
+                    let (name, _) = by_name.get_key_value(body[j].text.as_str()).unwrap();
+                    out.insert(*name);
+                }
+                j += 1;
+            }
+            out
+        })
+        .collect();
+    let closure = |entry: &str| -> BTreeSet<String> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut stack = vec![entry];
+        let mut components = BTreeSet::new();
+        while let Some(name) = stack.pop() {
+            if !seen.insert(name) {
+                continue;
+            }
+            for &idx in by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[]) {
+                components.extend(direct[idx].iter().cloned());
+                stack.extend(callees[idx].iter().copied());
+            }
+        }
+        components
+    };
+
+    // The view_mut call sites themselves.
+    for f in &fns {
+        if f.is_test || f.name == "view_mut" {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let mut j = b0;
+        while j + 1 < b1 {
+            if !(tokens[j].is("view_mut") && tokens[j + 1].is("(")) {
+                j += 1;
+                continue;
+            }
+            let line = tokens[j].line;
+            let open = j + 1;
+            let close = matching(tokens, open);
+            if close >= b1 {
+                break;
+            }
+            let declared = declared_components(tokens, open + 1, close, (b0, b1), &fns, &by_name);
+            let Some(declared) = declared else {
+                findings.push(Finding {
+                    rule: R1,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{}`: cannot statically resolve the ComponentSet passed to view_mut — \
+                         use an inline `ComponentSet::of([...])`, a file-level const, or a local \
+                         `let` bound to one",
+                        f.name
+                    ),
+                });
+                j = close + 1;
+                continue;
+            };
+            // The method invoked on the returned view.
+            if close + 2 >= b1 || !tokens[close + 1].is(".") {
+                findings.push(Finding {
+                    rule: R1,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{}`: view_mut's result must be consumed by a direct method call so the \
+                         lint can trace which components the mutation touches",
+                        f.name
+                    ),
+                });
+                j = close + 1;
+                continue;
+            }
+            let entry = tokens[close + 2].text.clone();
+            if !by_name.contains_key(entry.as_str()) {
+                findings.push(Finding {
+                    rule: R1,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{}`: view_mut target method `{entry}` is not defined in this file — \
+                         the lint cannot trace its component accesses",
+                        f.name
+                    ),
+                });
+                j = close + 1;
+                continue;
+            }
+            let accessed = closure(&entry);
+            let missing: Vec<&str> =
+                accessed.iter().filter(|c| !declared.contains(*c)).map(|s| s.as_str()).collect();
+            if !missing.is_empty() {
+                findings.push(Finding {
+                    rule: R1,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "`{}` declares dirty set {{{}}} but `{entry}` transitively \
+                         Arc::make_muts {{{}}} — undeclared: {{{}}}",
+                        f.name,
+                        join(&declared),
+                        join(&accessed),
+                        missing.join(", ")
+                    ),
+                });
+            }
+            j = close + 1;
+        }
+    }
+    findings
+}
+
+fn join(set: &BTreeSet<String>) -> String {
+    set.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+}
+
+/// Resolve the `ComponentSet` expression in `tokens[start..end]` (the view_mut
+/// argument): inline `Component::X` mentions, file-level consts, local `let`
+/// bindings (whose right-hand side may call a file-local helper such as
+/// `annotation_dirty`), and direct helper calls.  `None` when nothing resolves.
+fn declared_components(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    enclosing_body: (usize, usize),
+    fns: &[FnItem],
+    by_name: &HashMap<&str, Vec<usize>>,
+) -> Option<BTreeSet<String>> {
+    let mut declared = components_in(&tokens[start..end]);
+    let expand_calls = |range: &[Token], declared: &mut BTreeSet<String>| {
+        let mut j = 0usize;
+        while j + 1 < range.len() {
+            if range[j].kind == TokenKind::Ident && range[j + 1].is("(") {
+                if let Some(idxs) = by_name.get(range[j].text.as_str()) {
+                    for &idx in idxs {
+                        if let Some((b0, b1)) = fns[idx].body {
+                            declared.extend(components_in(&tokens[b0..b1]));
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+    };
+    expand_calls(&tokens[start..end], &mut declared);
+    // Bare identifiers: a file-level const or a local `let`.
+    let mut j = start;
+    while j < end {
+        if tokens[j].kind == TokenKind::Ident && (j + 1 >= end || !tokens[j + 1].is("(")) {
+            let name = tokens[j].text.as_str();
+            if let Some(range) = const_init(tokens, name) {
+                declared.extend(components_in(&tokens[range.0..range.1]));
+            } else if let Some(range) = let_init(tokens, enclosing_body, name) {
+                declared.extend(components_in(&tokens[range.0..range.1]));
+                expand_calls(&tokens[range.0..range.1], &mut declared);
+            }
+        }
+        j += 1;
+    }
+    if declared.is_empty() {
+        None
+    } else {
+        Some(declared)
+    }
+}
+
+/// Token range of `const NAME ... = <init>;`'s initializer, anywhere in the file.
+fn const_init(tokens: &[Token], name: &str) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is("const") && tokens[i + 1].text == name {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is("=") {
+                j += 1;
+            }
+            let start = j + 1;
+            let mut k = start;
+            while k < tokens.len() && !tokens[k].is(";") {
+                k += 1;
+            }
+            return Some((start, k));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Token range of `let [mut] NAME = <init>;`'s initializer within a body.
+fn let_init(tokens: &[Token], body: (usize, usize), name: &str) -> Option<(usize, usize)> {
+    let mut i = body.0;
+    while i + 2 < body.1 {
+        if tokens[i].is("let") {
+            let mut j = i + 1;
+            if tokens[j].is("mut") {
+                j += 1;
+            }
+            if tokens[j].text == name && j + 1 < body.1 && tokens[j + 1].is("=") {
+                let start = j + 2;
+                let mut k = start;
+                while k < body.1 && !tokens[k].is(";") {
+                    k += 1;
+                }
+                return Some((start, k));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R2 · footprint-exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// The AST enums whose variants must be handled exhaustively downstream.
+const AST_ENUMS: &[&str] =
+    &["Target", "ContentFilter", "ReferentFilter", "OntologyFilter", "GraphConstraint"];
+
+/// Parse `pub enum NAME { ... }` variant names out of a token stream.
+fn enum_variants(tokens: &[Token], name: &str) -> Vec<String> {
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is("enum") && tokens[i + 1].text == name && tokens[i + 2].is("{") {
+            let close = matching(tokens, i + 2);
+            let mut variants = Vec::new();
+            let mut j = i + 3;
+            while j < close {
+                // Skip attributes on the variant.
+                if tokens[j].is("#") && j + 1 < close && tokens[j + 1].is("[") {
+                    j = matching(tokens, j + 1) + 1;
+                    continue;
+                }
+                if tokens[j].kind == TokenKind::Ident {
+                    variants.push(tokens[j].text.clone());
+                    j += 1;
+                    // Skip the variant's payload, then the separating comma.
+                    if j < close && (tokens[j].is("(") || tokens[j].is("{")) {
+                        j = matching(tokens, j) + 1;
+                    }
+                    if j < close && tokens[j].is("=") {
+                        // Discriminant: skip to the comma.
+                        while j < close && !tokens[j].is(",") {
+                            j += 1;
+                        }
+                    }
+                    if j < close && tokens[j].is(",") {
+                        j += 1;
+                    }
+                    continue;
+                }
+                j += 1;
+            }
+            return variants;
+        }
+        i += 1;
+    }
+    Vec::new()
+}
+
+/// Rule R2: every AST variant must appear by name in `Plan::read_footprint`
+/// (referent filters), in the `ReferenceExecutor`, and in the plan executor; and
+/// no match over an AST enum in those files may hide variants behind `_`.
+pub fn footprint_exhaustiveness(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(ast) = file_with_suffix(files, "graphitti-query/src/ast.rs") else {
+        return findings;
+    };
+    let mut enums: Vec<(&str, Vec<String>)> = Vec::new();
+    for name in AST_ENUMS {
+        enums.push((name, enum_variants(&ast.lexed.tokens, name)));
+    }
+
+    // Requirement A: read_footprint names every ReferentFilter variant.
+    if let Some(plan) = file_with_suffix(files, "graphitti-query/src/plan.rs") {
+        let fns = fn_items(&plan.lexed.tokens);
+        let rf: Vec<&FnItem> = fns.iter().filter(|f| f.name == "read_footprint").collect();
+        let referent_variants =
+            enums.iter().find(|(n, _)| *n == "ReferentFilter").map(|(_, v)| v.clone());
+        if let Some(variants) = referent_variants {
+            if rf.is_empty() && !variants.is_empty() {
+                findings.push(Finding {
+                    rule: R2,
+                    path: plan.path.clone(),
+                    line: 1,
+                    message: "no `read_footprint` function found — the lint cannot check \
+                              footprint exhaustiveness"
+                        .to_string(),
+                });
+            }
+            for v in &variants {
+                let named = rf.iter().any(|f| {
+                    f.body.is_some_and(|(b0, b1)| {
+                        plan.lexed.tokens[b0..b1].iter().any(|t| t.text == *v)
+                    })
+                });
+                if !named {
+                    if let Some(f) = rf.first() {
+                        findings.push(Finding {
+                            rule: R2,
+                            path: plan.path.clone(),
+                            line: f.line,
+                            message: format!(
+                                "ReferentFilter::{v} has no arm in Plan::read_footprint — a \
+                                 query using it would invalidate (and cache) unsoundly"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        findings.extend(wildcard_arms(plan, &enums));
+    }
+
+    // Requirement B: the reference executor and the plan executor each mention
+    // every variant of every AST enum somewhere in a function body.
+    for suffix in ["graphitti-query/src/reference.rs", "graphitti-query/src/exec.rs"] {
+        let Some(file) = file_with_suffix(files, suffix) else { continue };
+        let fns = fn_items(&file.lexed.tokens);
+        for (enum_name, variants) in &enums {
+            for v in variants {
+                let named = fns.iter().any(|f| {
+                    !f.is_test
+                        && f.body.is_some_and(|(b0, b1)| {
+                            file.lexed.tokens[b0..b1].iter().any(|t| t.text == *v)
+                        })
+                });
+                if !named {
+                    findings.push(Finding {
+                        rule: R2,
+                        path: file.path.clone(),
+                        line: 1,
+                        message: format!(
+                            "{enum_name}::{v} is never handled by name in this executor — \
+                             add an arm (wildcards don't count) or the variant silently \
+                             falls through"
+                        ),
+                    });
+                }
+            }
+        }
+        findings.extend(wildcard_arms(file, &enums));
+    }
+    findings
+}
+
+/// Flag `_` arms in matches whose sibling patterns name an AST enum (outside tests).
+fn wildcard_arms(file: &SourceFile, enums: &[(&str, Vec<String>)]) -> Vec<Finding> {
+    let tokens = &file.lexed.tokens;
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is("match") && tokens[i].kind == TokenKind::Ident && !tokens[i].in_test) {
+            i += 1;
+            continue;
+        }
+        // Scrutinee: up to the `{` at zero paren/bracket depth.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= tokens.len() {
+            break;
+        }
+        let body_close = matching(tokens, j);
+        // Split arms: pattern tokens up to `=>` at depth 1.
+        let mut arm_patterns: Vec<(usize, usize)> = Vec::new();
+        let mut k = j + 1;
+        while k < body_close {
+            let pat_start = k;
+            let mut d = 0i32;
+            while k < body_close {
+                match tokens[k].text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "=>" if d == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k >= body_close {
+                break;
+            }
+            arm_patterns.push((pat_start, k));
+            // Skip the arm value: a block, or an expression up to `,` at depth 0.
+            k += 1;
+            if k < body_close && tokens[k].is("{") {
+                k = matching(tokens, k) + 1;
+            } else {
+                let mut d = 0i32;
+                while k < body_close {
+                    match tokens[k].text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "," if d == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            if k < body_close && tokens[k].is(",") {
+                k += 1;
+            }
+        }
+        let names_ast_enum = arm_patterns.iter().any(|&(s, e)| {
+            let mut m = s;
+            while m + 1 < e {
+                if tokens[m + 1].is("::") && enums.iter().any(|(n, _)| tokens[m].text == **n) {
+                    return true;
+                }
+                m += 1;
+            }
+            false
+        });
+        if names_ast_enum {
+            for &(s, e) in &arm_patterns {
+                if e - s == 1 && tokens[s].is("_") {
+                    findings.push(Finding {
+                        rule: R2,
+                        path: file.path.clone(),
+                        line: tokens[s].line,
+                        message: "wildcard `_` arm in a match over an AST enum — a newly added \
+                                  variant would silently fall through; spell the variants out"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        i = j + 1;
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// R3 · no-panic-serving
+// ---------------------------------------------------------------------------
+
+/// The serving path: code on these files must not panic.
+const SERVING_FILES: &[&str] = &[
+    "graphitti-query/src/exec.rs",
+    "graphitti-query/src/service.rs",
+    "graphitti-query/src/sharded.rs",
+    "graphitti-query/src/resilience.rs",
+    "graphitti-core/src/wal.rs",
+    "graphitti-core/src/recovery.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede `[` without it being an indexing expression.
+const NON_INDEX_PREV: &[&str] = &[
+    "if", "else", "match", "return", "in", "mut", "ref", "move", "loop", "while", "for", "break",
+    "continue", "as", "dyn", "impl", "where", "let", "static", "const", "crate", "pub", "use",
+    "fn", "enum", "struct", "trait", "type", "mod", "unsafe", "await", "async", "box", "yield",
+];
+
+/// Rule R3: no `unwrap`/`expect`/panic macros/slice indexing in serving-path files
+/// outside `#[cfg(test)]`.
+pub fn no_panic_serving(file: &SourceFile) -> Vec<Finding> {
+    if !SERVING_FILES.iter().any(|s| file.path.ends_with(s)) {
+        return Vec::new();
+    }
+    let tokens = &file.lexed.tokens;
+    let mut findings = Vec::new();
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding { rule: R3, path: file.path.clone(), line, message });
+    };
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].in_test {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        if t.is(".")
+            && i + 2 < tokens.len()
+            && (tokens[i + 1].is("unwrap") || tokens[i + 1].is("expect"))
+            && tokens[i + 2].is("(")
+        {
+            push(
+                tokens[i + 1].line,
+                format!(
+                    "`.{}()` on the serving path — return a typed error instead, or annotate \
+                     the invariant that makes it unreachable",
+                    tokens[i + 1].text
+                ),
+            );
+            i += 2;
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is("!")
+        {
+            push(t.line, format!("`{}!` on the serving path", t.text));
+            i += 2;
+            continue;
+        }
+        if t.is("[") && i > 0 {
+            let prev = &tokens[i - 1];
+            let indexing = prev.is(")")
+                || prev.is("]")
+                || (prev.kind == TokenKind::Ident && !NON_INDEX_PREV.contains(&prev.text.as_str()));
+            if indexing {
+                push(
+                    t.line,
+                    "slice/array indexing on the serving path can panic — use `.get()` or \
+                     annotate the bound that holds"
+                        .to_string(),
+                );
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// R4 · lock-discipline
+// ---------------------------------------------------------------------------
+
+/// The named service locks whose nesting we track.
+const LOCK_NAMES: &[&str] = &["queue", "cache", "snapshot", "cut", "wal", "handles", "slot"];
+
+struct Acquisition {
+    idx: usize,
+    name: String,
+    line: u32,
+    /// Token index (within the body) past which the guard is dead.
+    end: usize,
+}
+
+/// Rule R4: flag acquiring one named service lock while another's guard is live in
+/// the same scope, and `thread::sleep` outside tests/benches.
+pub fn lock_discipline(file: &SourceFile) -> Vec<Finding> {
+    let relevant =
+        file.path.contains("graphitti-query/src/") || file.path.contains("graphitti-core/src/");
+    if !relevant {
+        return Vec::new();
+    }
+    let tokens = &file.lexed.tokens;
+    let mut findings = Vec::new();
+    // thread::sleep in non-test code.
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is("thread")
+            && tokens[i + 1].is("::")
+            && tokens[i + 2].is("sleep")
+            && !tokens[i].in_test
+        {
+            findings.push(Finding {
+                rule: R4,
+                path: file.path.clone(),
+                line: tokens[i].line,
+                message: "`thread::sleep` in non-bench library code stalls a worker — use the \
+                          condvar/deadline machinery, or annotate why a real sleep is required"
+                    .to_string(),
+            });
+        }
+        i += 1;
+    }
+    for f in fn_items(tokens) {
+        if f.is_test {
+            continue;
+        }
+        let Some((b0, b1)) = f.body else { continue };
+        let body = &tokens[b0..b1];
+        let acqs = acquisitions(body);
+        for a in 0..acqs.len() {
+            for b in &acqs[a + 1..] {
+                let a = &acqs[a];
+                if b.idx < a.end && b.name != a.name {
+                    findings.push(Finding {
+                        rule: R4,
+                        path: file.path.clone(),
+                        line: b.line,
+                        message: format!(
+                            "acquiring `{}` while the `{}` guard from line {} is live — nested \
+                             service locks deadlock unless the order is documented",
+                            b.name, a.name, a.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Every named-lock acquisition in a fn body, with a conservative guard lifetime.
+fn acquisitions(body: &[Token]) -> Vec<Acquisition> {
+    // Brace depth before each token.
+    let mut depth = vec![0i32; body.len()];
+    let mut d = 0i32;
+    for (i, t) in body.iter().enumerate() {
+        if t.is("}") {
+            d -= 1;
+        }
+        depth[i] = d;
+        if t.is("{") {
+            d += 1;
+        }
+    }
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let acq = lock_acquisition_at(body, i);
+        let Some(name) = acq else {
+            i += 1;
+            continue;
+        };
+        out.push(Acquisition { idx: i, name, line: body[i].line, end: guard_end(body, &depth, i) });
+        i += 1;
+    }
+    out
+}
+
+/// If tokens at `i` start a named-lock acquisition, its lock name.
+fn lock_acquisition_at(body: &[Token], i: usize) -> Option<String> {
+    let t = &body[i];
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    // `<name>.lock()` / `.read()` / `.write()`
+    if LOCK_NAMES.contains(&t.text.as_str())
+        && i + 3 < body.len()
+        && body[i + 1].is(".")
+        && (body[i + 2].is("lock") || body[i + 2].is("read") || body[i + 2].is("write"))
+        && body[i + 3].is("(")
+    {
+        return Some(t.text.clone());
+    }
+    // `<name>_guard()` / `<name>_guard_mut()` helper calls.
+    if i + 1 < body.len() && body[i + 1].is("(") {
+        let stem = t.text.strip_suffix("_guard_mut").or_else(|| t.text.strip_suffix("_guard"));
+        if let Some(stem) = stem {
+            if LOCK_NAMES.contains(&stem) {
+                return Some(stem.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// First body index past which the guard acquired at `i` is dead.
+fn guard_end(body: &[Token], depth: &[i32], i: usize) -> usize {
+    let d = depth[i];
+    // Statement context: scan back to the nearest `;` / `{` / `}`.
+    let mut s = i;
+    let mut binder: Option<String> = None;
+    let mut cond = false;
+    while s > 0 {
+        let t = &body[s - 1];
+        if t.is(";") || t.is("{") || t.is("}") {
+            break;
+        }
+        match t.text.as_str() {
+            "if" | "while" | "match" | "for" => cond = true,
+            "let" => {
+                let mut b = s; // token after `let`
+                if b < body.len() && body[b].is("mut") {
+                    b += 1;
+                }
+                if b < body.len() && body[b].kind == TokenKind::Ident {
+                    binder = Some(body[b].text.clone());
+                }
+            }
+            _ => {}
+        }
+        s -= 1;
+    }
+    if cond {
+        // Guard lives through the block attached to the if/while/match.
+        let mut k = i;
+        while k < body.len() && !(body[k].is("{") && depth[k] == d) {
+            k += 1;
+        }
+        if k < body.len() {
+            let mut bd = 0i32;
+            while k < body.len() {
+                if body[k].is("{") {
+                    bd += 1;
+                } else if body[k].is("}") {
+                    bd -= 1;
+                    if bd == 0 {
+                        return k;
+                    }
+                }
+                k += 1;
+            }
+        }
+        return body.len();
+    }
+    if let Some(binder) = binder {
+        // Let-bound guard: lives until its scope closes or an explicit drop.
+        let mut k = i + 1;
+        while k < body.len() {
+            if depth[k] < d {
+                return k;
+            }
+            if body[k].is("drop")
+                && k + 2 < body.len()
+                && body[k + 1].is("(")
+                && body[k + 2].text == binder
+            {
+                return k;
+            }
+            k += 1;
+        }
+        return body.len();
+    }
+    // Temporary guard: dead at the end of the statement.
+    let mut k = i + 1;
+    while k < body.len() {
+        if body[k].is(";") && depth[k] == d {
+            return k;
+        }
+        if depth[k] < d {
+            return k;
+        }
+        k += 1;
+    }
+    body.len()
+}
+
+// ---------------------------------------------------------------------------
+// R5 · metrics-conservation
+// ---------------------------------------------------------------------------
+
+const CONSERVED: &[&str] = &["submitted", "completed", "shed", "failed"];
+
+/// Rule R5: any counter updated alongside submission accounting (in a fn that also
+/// bumps submitted/completed/shed/failed) must be referenced from at least one
+/// conservation assertion site (a test asserting `shed + completed + failed ==
+/// submitted`), so new outcome counters can't silently leak submissions.
+pub fn metrics_conservation(files: &[SourceFile]) -> Vec<Finding> {
+    let mut accounting: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for suffix in ["graphitti-query/src/service.rs", "graphitti-query/src/sharded.rs"] {
+        let Some(file) = file_with_suffix(files, suffix) else { continue };
+        for f in fn_items(&file.lexed.tokens) {
+            if f.is_test {
+                continue;
+            }
+            let Some((b0, b1)) = f.body else { continue };
+            let counters = fetch_add_counters(&file.lexed.tokens[b0..b1]);
+            if !counters.iter().any(|(c, _)| CONSERVED.contains(&c.as_str())) {
+                continue;
+            }
+            for (c, line) in counters {
+                accounting.entry(c).or_insert((file.path.clone(), line));
+            }
+        }
+    }
+    if accounting.is_empty() {
+        return Vec::new();
+    }
+    // Conservation sites: test fns anywhere asserting the sum identity.
+    let mut site_idents: Vec<HashSet<String>> = Vec::new();
+    for file in files {
+        for f in fn_items(&file.lexed.tokens) {
+            let Some((b0, b1)) = f.body else { continue };
+            let in_test_file = file.path.contains("/tests/");
+            if !(f.is_test || in_test_file) {
+                continue;
+            }
+            let body = &file.lexed.tokens[b0..b1];
+            if is_conservation_site(body) {
+                site_idents.push(body.iter().map(|t| t.text.clone()).collect());
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    if site_idents.is_empty() {
+        let (path, line) = accounting.values().next().cloned().unwrap_or_default();
+        findings.push(Finding {
+            rule: R5,
+            path,
+            line,
+            message: "submission accounting exists but no conservation assertion site \
+                      (`shed + completed + failed == submitted`) was found in any test"
+                .to_string(),
+        });
+        return findings;
+    }
+    for (counter, (path, line)) in accounting {
+        let referenced = site_idents.iter().any(|s| s.contains(&counter));
+        if !referenced {
+            findings.push(Finding {
+                rule: R5,
+                path,
+                line,
+                message: format!(
+                    "counter `{counter}` is updated alongside submission accounting but no \
+                     conservation assertion site references it — extend the \
+                     shed+completed+failed==submitted checks"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// `(counter, line)` for every `<counter>.fetch_add(...)` in a range.
+fn fetch_add_counters(body: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < body.len() {
+        if body[i].kind == TokenKind::Ident && body[i + 1].is(".") && body[i + 2].is("fetch_add") {
+            out.push((body[i].text.clone(), body[i].line));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A ~30-token window naming all four conserved counters with at least two `+`s.
+fn is_conservation_site(body: &[Token]) -> bool {
+    let n = body.len();
+    for start in 0..n {
+        let window = &body[start..(start + 30).min(n)];
+        let has = |s: &str| window.iter().any(|t| t.text == s);
+        if has("shed")
+            && has("completed")
+            && has("failed")
+            && has("submitted")
+            && window.iter().filter(|t| t.is("+")).count() >= 2
+        {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// R6 · shim-compat
+// ---------------------------------------------------------------------------
+
+/// Rule R6: inside `proptest!` bodies, forbid doc comments (the shim's macro
+/// parser chokes on `///`) and inclusive-range strategies in parameter position
+/// (the shim only implements half-open sampling).
+pub fn shim_compat(file: &SourceFile) -> Vec<Finding> {
+    let tokens = &file.lexed.tokens;
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if !(tokens[i].is("proptest") && tokens[i + 1].is("!") && tokens[i + 2].is("{")) {
+            i += 1;
+            continue;
+        }
+        let open = i + 2;
+        let close = matching(tokens, open);
+        let (start_line, end_line) = (tokens[open].line, tokens[close.min(tokens.len() - 1)].line);
+        for c in &file.lexed.comments {
+            if c.kind == CommentKind::Doc && c.line >= start_line && c.line <= end_line {
+                findings.push(Finding {
+                    rule: R6,
+                    path: file.path.clone(),
+                    line: c.line,
+                    message: "doc comment inside a `proptest!` body breaks the proptest shim's \
+                              macro parser — use `//`"
+                        .to_string(),
+                });
+            }
+        }
+        // Inclusive ranges in strategy position: inside fn parameter lists.
+        let mut j = open + 1;
+        while j + 2 < close {
+            if tokens[j].is("fn") && tokens[j + 1].kind == TokenKind::Ident {
+                let mut p = j + 2;
+                while p < close && !tokens[p].is("(") {
+                    p += 1;
+                }
+                if p < close {
+                    let close_p = matching(tokens, p);
+                    let mut q = p;
+                    while q < close_p {
+                        if tokens[q].is("..=") {
+                            findings.push(Finding {
+                                rule: R6,
+                                path: file.path.clone(),
+                                line: tokens[q].line,
+                                message: "inclusive range strategy in a `proptest!` parameter — \
+                                          the shim only samples half-open ranges; use `a..b+1`"
+                                    .to_string(),
+                            });
+                        }
+                        q += 1;
+                    }
+                    j = close_p;
+                }
+            }
+            j += 1;
+        }
+        i = close + 1;
+    }
+    findings
+}

@@ -1,0 +1,14 @@
+//! R1 fixture: same undeclared copy, carrying a reasoned suppression.
+
+use std::sync::Arc;
+
+impl Graphitti {
+    fn touch_content(&mut self) {
+        Arc::make_mut(&mut self.content).push(1);
+    }
+
+    pub fn rewrite_content(&mut self) {
+        // lint: allow(dirty-set-soundness) -- fixture: the Content copy is deliberate here
+        self.view_mut(ComponentSet::of([Component::Catalog])).touch_content();
+    }
+}

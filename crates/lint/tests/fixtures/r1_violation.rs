@@ -1,0 +1,13 @@
+//! R1 fixture: the declared dirty set misses a component the mutation copies.
+
+use std::sync::Arc;
+
+impl Graphitti {
+    fn touch_content(&mut self) {
+        Arc::make_mut(&mut self.content).push(1);
+    }
+
+    pub fn rewrite_content(&mut self) {
+        self.view_mut(ComponentSet::of([Component::Catalog])).touch_content();
+    }
+}

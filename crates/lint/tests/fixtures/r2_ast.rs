@@ -1,0 +1,6 @@
+//! R2 fixture AST: two referent filter variants for the plan to cover.
+
+pub enum ReferentFilter {
+    ByObject(u32),
+    ByKind(u16),
+}

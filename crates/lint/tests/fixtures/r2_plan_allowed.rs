@@ -1,0 +1,10 @@
+//! R2 fixture plan: the missing arm is suppressed with a reason.
+
+impl Plan {
+    // lint: allow(footprint-exhaustiveness) -- fixture: ByKind is routed elsewhere
+    pub fn read_footprint(filter: &ReferentFilter) -> ComponentSet {
+        match filter {
+            ReferentFilter::ByObject(_) => ComponentSet::of([Component::Referents]),
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! R2 fixture plan: `read_footprint` forgets `ReferentFilter::ByKind`.
+
+impl Plan {
+    pub fn read_footprint(filter: &ReferentFilter) -> ComponentSet {
+        match filter {
+            ReferentFilter::ByObject(_) => ComponentSet::of([Component::Referents]),
+        }
+    }
+}

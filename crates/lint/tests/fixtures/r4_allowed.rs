@@ -1,0 +1,11 @@
+//! R4 fixture: the same nesting, with the lock order documented.
+
+impl Inner {
+    fn publish(&self) {
+        let snap = self.snapshot.write();
+        // lint: allow(lock-discipline) -- fixture: snapshot-then-cache order, single site
+        let entries = self.cache.lock();
+        drop(entries);
+        drop(snap);
+    }
+}

@@ -1,0 +1,7 @@
+//! R5 fixture: a conservation assertion site naming the four conserved counters.
+
+#[test]
+fn conservation_holds() {
+    let (shed, completed, failed, submitted) = totals();
+    assert_eq!(shed + completed + failed, submitted);
+}

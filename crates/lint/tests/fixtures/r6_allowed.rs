@@ -1,0 +1,11 @@
+//! R6 fixture: the same constructs, each carrying a reasoned suppression.
+
+proptest! {
+    // lint: allow(shim-compat) -- fixture: documenting the shim hazard itself
+    /// Doc comments break the shim's macro parser.
+    #[test]
+    // lint: allow(shim-compat) -- fixture: the inclusive range is the subject under test
+    fn prop_roundtrip(a in 0..10u32, b in 0..=5u32) {
+        let _ = (a, b);
+    }
+}

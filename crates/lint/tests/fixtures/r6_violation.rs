@@ -1,0 +1,9 @@
+//! R6 fixture: shim-hostile constructs inside a `proptest!` body.
+
+proptest! {
+    /// Doc comments break the shim's macro parser.
+    #[test]
+    fn prop_roundtrip(a in 0..10u32, b in 0..=5u32) {
+        let _ = (a, b);
+    }
+}
