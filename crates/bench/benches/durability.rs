@@ -178,6 +178,7 @@ fn measure_recovery(shards: usize, batches: u64) -> Measurement {
 }
 
 fn write_json(measurements: &[Measurement]) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let entries = jsonlite::Json::Arr(
         measurements
             .iter()
@@ -201,6 +202,7 @@ fn write_json(measurements: &[Measurement]) {
                     ("shards", jsonlite::Json::u64(m.shards as u64)),
                     ("recovery_ms", jsonlite::Json::Num(m.recovery_ms)),
                     ("replayed", jsonlite::Json::u64(m.replayed)),
+                    ("cores", jsonlite::Json::u64(cores as u64)),
                 ])
             })
             .collect(),

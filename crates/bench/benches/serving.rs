@@ -1,0 +1,399 @@
+//! Experiment NET — client-replay serving over the network tier.
+//!
+//! Stands a [`NetServer`] up on an ephemeral loopback port in front of a
+//! worker-pool [`QueryService`] and replays the influenza protease mix as DSL
+//! text through real [`Client`] connections, across four traffic shapes:
+//!
+//! * `steady`   — N persistent connections replaying the mix;
+//! * `churn`    — every query on a fresh connection (connect + query + drop),
+//!   so the row prices the acceptor and per-connection thread setup;
+//! * `slow_reader` — one stalled client parks pipelined responses while brisk
+//!   clients replay; the row measures the brisk clients (the stall must not
+//!   leak into their latency), and the stalled client's parked responses are
+//!   verified intact once it finally reads;
+//! * `overload_2x` — a single-worker, single-slot-queue backend behind a
+//!   stuck first query, blasted with 2× more pipelined requests than it can
+//!   admit: completed answers stay byte-identical, the rest shed **typed**
+//!   over the wire, and the row records goodput vs shed.
+//!
+//! Every scenario gates correctness before timing (each mix query over the
+//! wire must be byte-identical under `to_json` to the single-threaded
+//! [`Executor`]) and asserts the wire conservation invariant after draining:
+//! `shed + completed + failed == submitted` on [`NetMetrics`].
+//!
+//! Rows land in the same JSON shape as the throughput bench (`qps`,
+//! percentiles, `cores`) so `bench_summary` routes them into
+//! `BENCH_throughput.json`.  Pass `--quick` (as CI does) for a smoke run.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{influenza_system, percentile, table_header, table_row};
+use graphitti_net::{Backend, Client, NetError, NetMetrics, NetServer, ServerConfig, WireBudget};
+use graphitti_query::{
+    parse_query, ChaosConfig, Executor, QueryService, ServiceConfig, ServiceError,
+};
+
+/// The replayed mix, as wire-format DSL text.
+fn dsl_mix() -> Vec<&'static str> {
+    vec![
+        r#"SELECT contents WHERE content contains "protease cleavage""#,
+        "SELECT referents WHERE content keywords protease AND constraint consecutive 4 2000",
+        r#"SELECT graphs WHERE content contains "protease""#,
+    ]
+}
+
+struct Measurement {
+    scenario: &'static str,
+    clients: usize,
+    workers: usize,
+    queries: usize,
+    qps: f64,
+    mean_ns: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    wire: NetMetrics,
+}
+
+fn poll_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "not reached within 10s: {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Gate: every mix query served over the wire is byte-identical to the
+/// single-threaded executor's answer.  Also warms the pool.
+fn correctness_gate(server: &NetServer, sys: &graphitti_core::Graphitti, mix: &[&str]) {
+    let exec = Executor::new(sys);
+    let mut client = Client::connect(server.local_addr()).expect("gate connect");
+    for text in mix {
+        let over_wire = client.query(text, &WireBudget::unbounded()).expect("gate query");
+        let expected = exec.run(&parse_query(text).expect("mix parses"));
+        assert_eq!(
+            over_wire.to_json(),
+            expected.to_json(),
+            "wire answer diverged from Executor on {text}"
+        );
+    }
+}
+
+/// Drain check: all connections retired and the wire counters conserve.
+fn assert_conserved(scenario: &str, server: &NetServer) -> NetMetrics {
+    poll_until("connections retired", || server.live_connections() == 0);
+    let m = server.metrics();
+    assert_eq!(
+        m.shed + m.completed + m.failed,
+        m.submitted,
+        "{scenario}: wire conservation violated: {m:?}"
+    );
+    m
+}
+
+fn summarize(
+    scenario: &'static str,
+    clients: usize,
+    workers: usize,
+    qps: f64,
+    mut latencies: Vec<u64>,
+    wire: NetMetrics,
+) -> Measurement {
+    latencies.sort_unstable();
+    let mean_ns = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
+    Measurement {
+        scenario,
+        clients,
+        workers,
+        queries: latencies.len(),
+        qps,
+        mean_ns,
+        p50_ns: percentile(&latencies, 50.0),
+        p95_ns: percentile(&latencies, 95.0),
+        p99_ns: percentile(&latencies, 99.0),
+        wire,
+    }
+}
+
+/// `steady` and `churn`: replay the mix from `clients` threads; `fresh_conn`
+/// decides whether each query rides a persistent connection or its own.
+fn replay(
+    sys: &graphitti_core::Graphitti,
+    workers: usize,
+    clients: usize,
+    rounds: usize,
+    fresh_conn: bool,
+) -> Measurement {
+    let backend = Backend::Pool(Arc::new(QueryService::new(
+        sys.snapshot(),
+        ServiceConfig::default().with_workers(workers).with_cache_capacity(0),
+    )));
+    let server = NetServer::bind("127.0.0.1:0", backend, ServerConfig::default())
+        .expect("bind ephemeral port");
+    let mix = dsl_mix();
+    correctness_gate(&server, sys, &mix);
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * rounds * mix.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_idx| {
+                let mix = &mix;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds * mix.len());
+                    let mut persistent =
+                        (!fresh_conn).then(|| Client::connect(addr).expect("client connect"));
+                    for _ in 0..rounds {
+                        for i in 0..mix.len() {
+                            // stagger per client so the server sees an interleaved mix
+                            let text = mix[(i + client_idx) % mix.len()];
+                            let t0 = Instant::now();
+                            match &mut persistent {
+                                Some(client) => {
+                                    client
+                                        .query(text, &WireBudget::unbounded())
+                                        .expect("steady query");
+                                }
+                                None => {
+                                    let mut client = Client::connect(addr).expect("churn connect");
+                                    client
+                                        .query(text, &WireBudget::unbounded())
+                                        .expect("churn query");
+                                }
+                            }
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread panicked"));
+        }
+    });
+    let qps = latencies.len() as f64 / start.elapsed().as_secs_f64();
+    let name = if fresh_conn { "churn" } else { "steady" };
+    let wire = assert_conserved(name, &server);
+    summarize(name, clients, workers, qps, latencies, wire)
+}
+
+/// `slow_reader`: one client pipelines a burst and stalls; brisk clients
+/// replay the mix concurrently and are what the row measures.  The stalled
+/// client's parked responses are verified intact afterwards.
+fn slow_reader(
+    sys: &graphitti_core::Graphitti,
+    workers: usize,
+    clients: usize,
+    rounds: usize,
+) -> Measurement {
+    let backend = Backend::Pool(Arc::new(QueryService::new(
+        sys.snapshot(),
+        ServiceConfig::default().with_workers(workers).with_cache_capacity(0),
+    )));
+    let server = NetServer::bind("127.0.0.1:0", backend, ServerConfig::default().with_window(2))
+        .expect("bind ephemeral port");
+    let mix = dsl_mix();
+    correctness_gate(&server, sys, &mix);
+    let addr = server.local_addr();
+
+    // Park a burst behind a reader that won't read until the brisk replay ends.
+    let heavy = "SELECT contents";
+    let burst = 6usize;
+    let mut stalled = Client::connect(addr).expect("stalled connect");
+    for _ in 0..burst {
+        stalled.send(heavy, &WireBudget::unbounded()).expect("stalled send");
+    }
+
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * rounds * mix.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_idx| {
+                let mix = &mix;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds * mix.len());
+                    let mut client = Client::connect(addr).expect("brisk connect");
+                    for _ in 0..rounds {
+                        for i in 0..mix.len() {
+                            let text = mix[(i + client_idx) % mix.len()];
+                            let t0 = Instant::now();
+                            client.query(text, &WireBudget::unbounded()).expect("brisk query");
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("brisk thread panicked"));
+        }
+    });
+    let qps = latencies.len() as f64 / start.elapsed().as_secs_f64();
+
+    // The stall ends: every parked response must arrive intact, in order.
+    let expected = Executor::new(sys).run(&parse_query(heavy).expect("parses")).to_json();
+    for i in 0..burst {
+        let got = stalled.recv().unwrap_or_else(|e| panic!("parked response #{i} lost: {e}"));
+        assert_eq!(got.to_json(), expected, "parked response #{i} corrupted behind the stall");
+    }
+    drop(stalled);
+    let wire = assert_conserved("slow_reader", &server);
+    summarize("slow_reader", clients, workers, qps, latencies, wire)
+}
+
+/// `overload_2x`: a single worker with a single-slot queue, wedged on its
+/// first execution, blasted with 2× more pipelined requests than admission can
+/// hold.  Completed answers stay correct; the excess sheds typed over the
+/// wire; the row's qps is **goodput** (completed only).
+fn overload_2x(sys: &graphitti_core::Graphitti, clients: usize, burst: usize) -> Measurement {
+    let queue = 1usize;
+    let backend = Backend::Pool(Arc::new(QueryService::new(
+        sys.snapshot(),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(queue)
+            .with_cache_capacity(0)
+            .with_chaos(ChaosConfig::new().with_stuck_query_on(1, Duration::from_millis(60))),
+    )));
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        backend,
+        ServerConfig::default().with_window(2 * burst.max(1)),
+    )
+    .expect("bind ephemeral port");
+    let text = r#"SELECT contents WHERE content contains "protease cleavage""#;
+    let expected = Executor::new(sys).run(&parse_query(text).expect("parses")).to_json();
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut shed_seen = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("overload connect");
+                    for _ in 0..burst {
+                        client.send(text, &WireBudget::unbounded()).expect("overload send");
+                    }
+                    let mut lat = Vec::new();
+                    let mut shed = 0u64;
+                    for i in 0..burst {
+                        let t0 = Instant::now();
+                        match client.recv() {
+                            Ok(result) => {
+                                assert_eq!(
+                                    result.to_json(),
+                                    *expected,
+                                    "overloaded response #{i} diverged"
+                                );
+                                lat.push(t0.elapsed().as_nanos() as u64);
+                            }
+                            Err(NetError::Service(ServiceError::Overloaded { .. })) => shed += 1,
+                            Err(e) => panic!("response #{i}: expected Ok or Overloaded: {e}"),
+                        }
+                    }
+                    (lat, shed)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, shed) = h.join().expect("overload client panicked");
+            latencies.extend(lat);
+            shed_seen += shed;
+        }
+    });
+    let qps = latencies.len() as f64 / start.elapsed().as_secs_f64();
+    let wire = assert_conserved("overload_2x", &server);
+    assert!(wire.shed >= 1, "2× overload against a single-slot queue must shed: {wire:?}");
+    assert_eq!(wire.shed, shed_seen, "every shed arrived typed at a client");
+    summarize("overload_2x", clients, 1, qps, latencies, wire)
+}
+
+fn write_json(measurements: &[Measurement], cores: usize) {
+    let entries = jsonlite::Json::Arr(
+        measurements
+            .iter()
+            .map(|m| {
+                jsonlite::Json::obj([
+                    ("bench", jsonlite::Json::str("serving")),
+                    (
+                        "name",
+                        jsonlite::Json::str(format!(
+                            "NET_serving/{}/clients={}",
+                            m.scenario, m.clients
+                        )),
+                    ),
+                    ("ns_per_iter", jsonlite::Json::Num(m.mean_ns)),
+                    ("qps", jsonlite::Json::Num(m.qps)),
+                    ("p50_ns", jsonlite::Json::u64(m.p50_ns)),
+                    ("p95_ns", jsonlite::Json::u64(m.p95_ns)),
+                    ("p99_ns", jsonlite::Json::u64(m.p99_ns)),
+                    ("clients", jsonlite::Json::u64(m.clients as u64)),
+                    ("workers", jsonlite::Json::u64(m.workers as u64)),
+                    ("shards", jsonlite::Json::u64(0)),
+                    ("cache", jsonlite::Json::u64(0)),
+                    ("queries", jsonlite::Json::u64(m.queries as u64)),
+                    ("wire_submitted", jsonlite::Json::u64(m.wire.submitted)),
+                    ("wire_completed", jsonlite::Json::u64(m.wire.completed)),
+                    ("wire_shed", jsonlite::Json::u64(m.wire.shed)),
+                    ("wire_failed", jsonlite::Json::u64(m.wire.failed)),
+                    ("cores", jsonlite::Json::u64(cores as u64)),
+                ])
+            })
+            .collect(),
+    );
+    let path = std::env::var("BENCH_JSON").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        let dir = criterion::workspace_root().join("target").join("criterion-json");
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join("serving.json")
+    });
+    if let Err(e) = std::fs::write(&path, entries.pretty() + "\n") {
+        eprintln!("serving: cannot write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let annotations = if quick { 400 } else { 2_000 };
+    let workers = 2usize;
+    let clients = if quick { 2 } else { 4 };
+    let rounds = if quick { 10 } else { 60 };
+    let sys = influenza_system(annotations, 2008);
+
+    table_header(
+        &format!("NET: client-replay serving over TCP ({cores} core(s))"),
+        &["scenario", "clients", "qps", "p50", "p95", "p99", "shed"],
+    );
+
+    let measurements = vec![
+        replay(&sys, workers, clients, rounds, false),
+        replay(&sys, workers, clients, rounds.div_ceil(2), true),
+        slow_reader(&sys, workers, clients, rounds.div_ceil(2)),
+        overload_2x(&sys, clients, if quick { 6 } else { 12 }),
+    ];
+
+    for m in &measurements {
+        table_row(&[
+            m.scenario.to_string(),
+            m.clients.to_string(),
+            format!("{:.0}", m.qps),
+            format!("{:.1}µs", m.p50_ns as f64 / 1_000.0),
+            format!("{:.1}µs", m.p95_ns as f64 / 1_000.0),
+            format!("{:.1}µs", m.p99_ns as f64 / 1_000.0),
+            m.wire.shed.to_string(),
+        ]);
+    }
+
+    write_json(&measurements, cores);
+    println!(
+        "\nserving: wrote {} measurements (wire books balanced in every scenario)",
+        measurements.len()
+    );
+}

@@ -168,6 +168,31 @@ fn main() {
             "bench_summary: no throughput entries found (run `cargo bench -p bench --bench throughput`)"
         );
     } else {
+        flag_single_core_sweeps(&throughput);
         write_summary(&throughput, &throughput_output.display().to_string());
+    }
+}
+
+/// Warn about worker/shard/client sweeps measured on one core (or with no `cores`
+/// stamp at all): their flat scaling curves say nothing about the algorithms —
+/// only that the container had no parallelism to give — and must not be read as
+/// genuine no-scaling (the standing ROADMAP caveat).
+fn flag_single_core_sweeps(throughput: &[&Entry]) {
+    let cores_of = |e: &Entry| e.throughput.iter().find(|(k, _)| *k == "cores").map(|&(_, v)| v);
+    let mut flagged: Vec<String> = Vec::new();
+    for e in throughput {
+        let single = match cores_of(e) {
+            Some(c) => c <= 1.0,
+            None => true,
+        };
+        if single && !flagged.contains(&e.bench) {
+            flagged.push(e.bench.clone());
+        }
+    }
+    for bench in &flagged {
+        eprintln!(
+            "bench_summary: WARNING: `{bench}` sweep ran with cores <= 1 (or unstamped) — \
+             flat worker/shard scaling in its rows reflects the container, not the system"
+        );
     }
 }

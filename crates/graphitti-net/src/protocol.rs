@@ -1,0 +1,618 @@
+//! The wire protocol: WAL-style CRC frames carrying a tagged binary payload.
+//!
+//! Every frame is `[len u32 LE][crc32 u32 LE][payload]` — the same header and the
+//! same [`crc32`] as the WAL's on-disk format, so a torn or corrupted frame is
+//! detected before a single payload byte is interpreted.  The first payload byte
+//! is the frame kind:
+//!
+//! | kind | frame | body |
+//! |------|-------|------|
+//! | 1 | request | `deadline_ms u64` (`u64::MAX` = unbounded) · `flags u8` (bit 0 = `allow_partial`) · query DSL text |
+//! | 2 | page | one binary-encoded [`ResultPage`] |
+//! | 3 | tail | page count + the flat annotation/referent/object lists + `missing_shards` |
+//! | 4 | error | a typed [`ServiceError`] / parse / shed error |
+//!
+//! A response is a stream: zero or more page frames followed by exactly one tail
+//! frame, or one error frame.  Ids are plain `u64`/`u32` newtypes end to end, so
+//! the page codec is a deterministic length-prefixed integer layout — two
+//! faithful endpoints reassemble a [`QueryResult`](graphitti_query::QueryResult)
+//! byte-identical under `to_json`.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use agraph::{ConnectionSubgraph, EdgeId, NodeId, Subgraph};
+use graphitti_core::wal::crc32;
+use graphitti_core::{AnnotationId, ObjectId, ReferentId};
+use graphitti_query::resilience::ServiceError;
+use graphitti_query::result::{ResultPage, ResultTail};
+use ontology::ConceptId;
+
+/// Frame header: payload length + CRC, both little-endian u32 (the WAL's layout).
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame payload — a decode-side guard so a corrupt or
+/// hostile length prefix cannot ask either endpoint to allocate unboundedly.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Frame kind tags (first payload byte).
+pub const KIND_REQUEST: u8 = 1;
+/// One streamed result page.
+pub const KIND_PAGE: u8 = 2;
+/// End of a successful response stream.
+pub const KIND_TAIL: u8 = 3;
+/// Typed failure, terminal for its request.
+pub const KIND_ERROR: u8 = 4;
+
+/// Wire error codes (first byte of an error frame body).
+const ERR_OVERLOADED: u8 = 1;
+const ERR_DEADLINE: u8 = 2;
+const ERR_CANCELLED: u8 = 3;
+const ERR_WORKER_PANICKED: u8 = 4;
+const ERR_SHARD_UNAVAILABLE: u8 = 5;
+const ERR_ALREADY_TAKEN: u8 = 6;
+const ERR_WAL_FLUSH: u8 = 7;
+const ERR_BAD_QUERY: u8 = 8;
+const ERR_CONNECTION_SHED: u8 = 9;
+
+/// A protocol violation observed while decoding: bad CRC, truncated payload,
+/// oversized length prefix, unknown tag.  Always terminal for the connection —
+/// after a framing error there is no trustworthy resynchronisation point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol violation: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn truncated(what: &str) -> WireError {
+    WireError(format!("truncated {what}"))
+}
+
+/// The request side of a [`QueryBudget`](graphitti_query::QueryBudget), carried
+/// relative on the wire: the server rebuilds the absolute deadline at decode
+/// time, so clocks never need to agree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireBudget {
+    /// Time allowed from server-side decode, `None` = unbounded.
+    pub deadline: Option<Duration>,
+    /// Accept shard-degraded partial answers (the sharded backend's opt-in).
+    pub allow_partial: bool,
+}
+
+impl WireBudget {
+    /// Unbounded, complete-answer budget.
+    pub fn unbounded() -> Self {
+        WireBudget::default()
+    }
+
+    /// Builder: allow `timeout` from server-side decode.
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
+        self
+    }
+
+    /// Builder: accept shard-degraded partial answers.
+    pub fn with_allow_partial(mut self, allow: bool) -> Self {
+        self.allow_partial = allow;
+        self
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The query, as DSL text (parsed server-side by `graphitti_query::parse`).
+    pub query: String,
+    /// The budget to execute it under.
+    pub budget: WireBudget,
+}
+
+/// An error frame's decoded content: a typed service error, a query-text
+/// rejection, or transport-level connection shedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFailure {
+    /// A [`ServiceError`] from the backend, round-tripped losslessly.
+    Service(ServiceError),
+    /// The server could not parse the query DSL text.
+    BadQuery(String),
+    /// The acceptor refused the connection: the house is full (`live`
+    /// connections at the configured ceiling) — the transport-level analogue of
+    /// [`ServiceError::Overloaded`].
+    ConnectionShed {
+        /// Live connections observed at refusal.
+        live: u64,
+    },
+}
+
+// --- primitive codec -------------------------------------------------------
+
+/// Append-only payload builder (little-endian integers, length-prefixed lists).
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Start a payload with its kind tag.
+    pub fn tagged(kind: u8) -> Self {
+        WireWriter { buf: vec![kind] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn u64_list(&mut self, items: impl ExactSizeIterator<Item = u64>) {
+        self.u32(items.len() as u32);
+        for v in items {
+            self.u64(v);
+        }
+    }
+
+    fn u32_list(&mut self, items: impl ExactSizeIterator<Item = u32>) {
+        self.u32(items.len() as u32);
+        for v in items {
+            self.u32(v);
+        }
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over a received payload; every read is bounds-checked into a
+/// [`WireError`] — a truncated or lying frame can never panic an endpoint.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| truncated(what))?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| truncated(what))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        let b = self.take(1, what)?;
+        b.first().copied().ok_or_else(|| truncated(what))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().map_err(|_| truncated(what))?))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().map_err(|_| truncated(what))?))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError(format!("non-UTF-8 {what}")))
+    }
+
+    fn list_len(&mut self, what: &str) -> Result<usize, WireError> {
+        let len = self.u32(what)? as usize;
+        // A list cannot be longer than the bytes remaining in the frame — reject
+        // before reserving, so a lying count cannot drive a huge allocation.
+        if len > self.buf.len().saturating_sub(self.pos) {
+            return Err(WireError(format!("{what} count exceeds frame")));
+        }
+        Ok(len)
+    }
+
+    fn u64_list<T>(&mut self, what: &str, wrap: impl Fn(u64) -> T) -> Result<Vec<T>, WireError> {
+        let len = self.list_len(what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(wrap(self.u64(what)?));
+        }
+        Ok(out)
+    }
+
+    fn u32_list<T>(&mut self, what: &str, wrap: impl Fn(u32) -> T) -> Result<Vec<T>, WireError> {
+        let len = self.list_len(what)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(wrap(self.u32(what)?));
+        }
+        Ok(out)
+    }
+
+    /// Whether every payload byte was consumed (a well-formed frame leaves none).
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// --- framing ---------------------------------------------------------------
+
+/// Write one CRC frame around `payload` (header + body in one vectored buffer,
+/// one `write_all` — the transport never observes a torn header).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)
+}
+
+/// Read one CRC frame; `Ok(None)` on clean EOF at a frame boundary.  CRC or
+/// length violations come back as [`WireError`] via `io::ErrorKind::InvalidData`
+/// — see [`wire_error_of`] to recover the typed form.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER];
+    match read_full(r, &mut header) {
+        Ok(true) => {}
+        Ok(false) => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let (len_bytes, crc_bytes) = header.split_at(4);
+    let len = u32::from_le_bytes(len_bytes.try_into().map_err(|_| short_header())?);
+    let expect_crc = u32::from_le_bytes(crc_bytes.try_into().map_err(|_| short_header())?);
+    if len > max_len {
+        return Err(invalid(WireError(format!("frame length {len} exceeds cap {max_len}"))));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_full(r, &mut payload)? {
+        return Err(invalid(truncated("frame payload")));
+    }
+    if crc32(&payload) != expect_crc {
+        return Err(invalid(WireError("frame CRC mismatch".to_string())));
+    }
+    Ok(Some(payload))
+}
+
+fn short_header() -> io::Error {
+    invalid(truncated("frame header"))
+}
+
+fn invalid(err: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err)
+}
+
+/// The [`WireError`] carried by an `InvalidData` io error from this module.
+pub fn wire_error_of(err: &io::Error) -> Option<WireError> {
+    if err.kind() != io::ErrorKind::InvalidData {
+        return None;
+    }
+    err.get_ref().and_then(|e| e.downcast_ref::<WireError>()).cloned()
+}
+
+/// Fill `buf` completely; `Ok(false)` on EOF before the first byte.  Unlike
+/// `read_exact`, a timeout-induced partial read resumes where it left off, so a
+/// socket read timeout (the server's shutdown poll) never tears a frame.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let Some(rest) = buf.get_mut(filled..) else {
+            return Ok(true);
+        };
+        match r.read(rest) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(invalid(truncated("frame (mid-read EOF)")));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+// --- request ---------------------------------------------------------------
+
+/// Encode a request payload (frame it with [`write_frame`]).
+pub fn encode_request(query: &str, budget: &WireBudget) -> Vec<u8> {
+    let mut w = WireWriter::tagged(KIND_REQUEST);
+    let deadline_ms = match budget.deadline {
+        Some(d) => (d.as_millis() as u64).min(u64::MAX - 1),
+        None => u64::MAX,
+    };
+    w.u64(deadline_ms);
+    w.u8(u8::from(budget.allow_partial));
+    w.str(query);
+    w.finish()
+}
+
+/// Decode a request payload (tag byte included).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = WireReader::new(payload);
+    expect_tag(&mut r, KIND_REQUEST, "request")?;
+    let deadline_ms = r.u64("request deadline")?;
+    let flags = r.u8("request flags")?;
+    let query = r.str("request query")?;
+    let deadline =
+        if deadline_ms == u64::MAX { None } else { Some(Duration::from_millis(deadline_ms)) };
+    Ok(Request { query, budget: WireBudget { deadline, allow_partial: flags & 1 != 0 } })
+}
+
+fn expect_tag(r: &mut WireReader<'_>, want: u8, what: &str) -> Result<(), WireError> {
+    let tag = r.u8(what)?;
+    if tag != want {
+        return Err(WireError(format!("expected {what} frame (kind {want}), got kind {tag}")));
+    }
+    Ok(())
+}
+
+// --- pages & tail ----------------------------------------------------------
+
+/// Encode one result page as a page frame payload.
+pub fn encode_page(page: &ResultPage) -> Vec<u8> {
+    let mut w = WireWriter::tagged(KIND_PAGE);
+    w.u64_list(page.subgraph.terminals.iter().map(|n| n.0));
+    w.u64_list(page.subgraph.subgraph.nodes.iter().map(|n| n.0));
+    w.u64_list(page.subgraph.subgraph.edges.iter().map(|e| e.0));
+    w.u64_list(page.annotations.iter().map(|a| a.0));
+    w.u64_list(page.referents.iter().map(|r| r.0));
+    w.u64_list(page.objects.iter().map(|o| o.0));
+    w.u32_list(page.terms.iter().map(|t| t.0));
+    w.finish()
+}
+
+/// Decode a page frame payload.
+pub fn decode_page(payload: &[u8]) -> Result<ResultPage, WireError> {
+    let mut r = WireReader::new(payload);
+    expect_tag(&mut r, KIND_PAGE, "page")?;
+    let terminals = r.u64_list("page terminals", NodeId)?;
+    let nodes = r.u64_list("page nodes", NodeId)?;
+    let edges = r.u64_list("page edges", EdgeId)?;
+    let annotations = r.u64_list("page annotations", AnnotationId)?;
+    let referents = r.u64_list("page referents", ReferentId)?;
+    let objects = r.u64_list("page objects", ObjectId)?;
+    let terms = r.u32_list("page terms", ConceptId)?;
+    if !r.exhausted() {
+        return Err(WireError("trailing bytes after page".to_string()));
+    }
+    Ok(ResultPage {
+        subgraph: ConnectionSubgraph { terminals, subgraph: Subgraph { nodes, edges } },
+        annotations,
+        referents,
+        objects,
+        terms,
+    })
+}
+
+/// Encode the response tail: the page count the client must have seen, plus the
+/// flat lists of the [`ResultTail`].
+pub fn encode_tail(pages_streamed: u32, tail: &ResultTail) -> Vec<u8> {
+    let mut w = WireWriter::tagged(KIND_TAIL);
+    w.u32(pages_streamed);
+    w.u64_list(tail.annotations.iter().map(|a| a.0));
+    w.u64_list(tail.referents.iter().map(|r| r.0));
+    w.u64_list(tail.objects.iter().map(|o| o.0));
+    w.u64_list(tail.missing_shards.iter().map(|&s| s as u64));
+    w.finish()
+}
+
+/// Decode a tail frame payload into `(expected page count, tail)`.
+pub fn decode_tail(payload: &[u8]) -> Result<(u32, ResultTail), WireError> {
+    let mut r = WireReader::new(payload);
+    expect_tag(&mut r, KIND_TAIL, "tail")?;
+    let pages = r.u32("tail page count")?;
+    let annotations = r.u64_list("tail annotations", AnnotationId)?;
+    let referents = r.u64_list("tail referents", ReferentId)?;
+    let objects = r.u64_list("tail objects", ObjectId)?;
+    let missing_shards = r.u64_list("tail missing shards", |v| v as usize)?;
+    if !r.exhausted() {
+        return Err(WireError("trailing bytes after tail".to_string()));
+    }
+    Ok((pages, ResultTail { annotations, referents, objects, missing_shards }))
+}
+
+// --- errors ----------------------------------------------------------------
+
+/// Encode a failure as an error frame payload.
+pub fn encode_failure(failure: &WireFailure) -> Vec<u8> {
+    let mut w = WireWriter::tagged(KIND_ERROR);
+    match failure {
+        WireFailure::Service(err) => match err {
+            ServiceError::Overloaded { depth } => {
+                w.u8(ERR_OVERLOADED);
+                w.u64(*depth as u64);
+            }
+            ServiceError::DeadlineExceeded => w.u8(ERR_DEADLINE),
+            ServiceError::Cancelled => w.u8(ERR_CANCELLED),
+            ServiceError::WorkerPanicked => w.u8(ERR_WORKER_PANICKED),
+            ServiceError::ShardUnavailable { shard, attempts } => {
+                w.u8(ERR_SHARD_UNAVAILABLE);
+                w.u64(*shard as u64);
+                w.u64(u64::from(*attempts));
+            }
+            ServiceError::AlreadyTaken => w.u8(ERR_ALREADY_TAKEN),
+            ServiceError::WalFlush(msg) => {
+                w.u8(ERR_WAL_FLUSH);
+                w.str(msg);
+            }
+        },
+        WireFailure::BadQuery(msg) => {
+            w.u8(ERR_BAD_QUERY);
+            w.str(msg);
+        }
+        WireFailure::ConnectionShed { live } => {
+            w.u8(ERR_CONNECTION_SHED);
+            w.u64(*live);
+        }
+    }
+    w.finish()
+}
+
+/// Decode an error frame payload.
+pub fn decode_failure(payload: &[u8]) -> Result<WireFailure, WireError> {
+    let mut r = WireReader::new(payload);
+    expect_tag(&mut r, KIND_ERROR, "error")?;
+    let code = r.u8("error code")?;
+    let failure = match code {
+        ERR_OVERLOADED => WireFailure::Service(ServiceError::Overloaded {
+            depth: r.u64("overloaded depth")? as usize,
+        }),
+        ERR_DEADLINE => WireFailure::Service(ServiceError::DeadlineExceeded),
+        ERR_CANCELLED => WireFailure::Service(ServiceError::Cancelled),
+        ERR_WORKER_PANICKED => WireFailure::Service(ServiceError::WorkerPanicked),
+        ERR_SHARD_UNAVAILABLE => {
+            let shard = r.u64("shard index")? as usize;
+            let attempts = r.u64("shard attempts")? as u32;
+            WireFailure::Service(ServiceError::ShardUnavailable { shard, attempts })
+        }
+        ERR_ALREADY_TAKEN => WireFailure::Service(ServiceError::AlreadyTaken),
+        ERR_WAL_FLUSH => WireFailure::Service(ServiceError::WalFlush(r.str("wal message")?)),
+        ERR_BAD_QUERY => WireFailure::BadQuery(r.str("parse message")?),
+        ERR_CONNECTION_SHED => WireFailure::ConnectionShed { live: r.u64("live connections")? },
+        other => return Err(WireError(format!("unknown error code {other}"))),
+    };
+    Ok(failure)
+}
+
+/// The kind tag of a received payload (its first byte).
+pub fn frame_kind(payload: &[u8]) -> Result<u8, WireError> {
+    payload.first().copied().ok_or_else(|| truncated("frame kind"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_page() -> ResultPage {
+        ResultPage {
+            subgraph: ConnectionSubgraph {
+                terminals: vec![NodeId(4), NodeId(9)],
+                subgraph: Subgraph {
+                    nodes: vec![NodeId(4), NodeId(7), NodeId(9)],
+                    edges: vec![EdgeId(1), EdgeId(2)],
+                },
+            },
+            annotations: vec![AnnotationId(11)],
+            referents: vec![ReferentId(3), ReferentId(5)],
+            objects: vec![ObjectId(0)],
+            terms: vec![ConceptId(2)],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for budget in [
+            WireBudget::unbounded(),
+            WireBudget::unbounded().with_deadline(Duration::from_millis(250)),
+            WireBudget::unbounded().with_allow_partial(true),
+        ] {
+            let payload = encode_request("SELECT referents WHERE phrase \"x\"", &budget);
+            let req = decode_request(&payload).unwrap();
+            assert_eq!(req.query, "SELECT referents WHERE phrase \"x\"");
+            assert_eq!(req.budget, budget);
+        }
+    }
+
+    #[test]
+    fn page_and_tail_roundtrip() {
+        let page = sample_page();
+        assert_eq!(decode_page(&encode_page(&page)).unwrap(), page);
+        let tail = ResultTail {
+            annotations: vec![AnnotationId(1), AnnotationId(2)],
+            referents: vec![ReferentId(9)],
+            objects: vec![],
+            missing_shards: vec![1, 3],
+        };
+        let (pages, decoded) = decode_tail(&encode_tail(7, &tail)).unwrap();
+        assert_eq!(pages, 7);
+        assert_eq!(decoded, tail);
+    }
+
+    #[test]
+    fn every_failure_roundtrips() {
+        let failures = [
+            WireFailure::Service(ServiceError::Overloaded { depth: 12 }),
+            WireFailure::Service(ServiceError::DeadlineExceeded),
+            WireFailure::Service(ServiceError::Cancelled),
+            WireFailure::Service(ServiceError::WorkerPanicked),
+            WireFailure::Service(ServiceError::ShardUnavailable { shard: 3, attempts: 2 }),
+            WireFailure::Service(ServiceError::AlreadyTaken),
+            WireFailure::Service(ServiceError::WalFlush("disk gone".to_string())),
+            WireFailure::BadQuery("expected SELECT".to_string()),
+            WireFailure::ConnectionShed { live: 64 },
+        ];
+        for f in failures {
+            assert_eq!(decode_failure(&encode_failure(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn framing_roundtrips_and_rejects_corruption() {
+        let payload = encode_page(&sample_page());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = io::Cursor::new(buf.clone());
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME_LEN).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME_LEN).unwrap(), None, "clean EOF");
+
+        // Flip one payload byte: the CRC catches it, typed.
+        let mut corrupt = buf.clone();
+        *corrupt.last_mut().unwrap() ^= 0x40;
+        let mut cursor = io::Cursor::new(corrupt);
+        let _first = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap();
+        let err = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap_err();
+        assert!(wire_error_of(&err).unwrap().0.contains("CRC"));
+
+        // A lying length prefix is rejected before allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        hostile.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(hostile), MAX_FRAME_LEN).unwrap_err();
+        assert!(wire_error_of(&err).unwrap().0.contains("exceeds cap"));
+
+        // Truncation mid-payload is typed, not a hang or a panic.
+        let cut = buf.get(..buf.len() - 3).unwrap().to_vec();
+        let mut cursor = io::Cursor::new(cut);
+        let _first = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap();
+        let err = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap_err();
+        assert!(wire_error_of(&err).is_some());
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_typed_errors() {
+        let page = encode_page(&sample_page());
+        for cut in 0..page.len() {
+            let sliced = page.get(..cut).unwrap();
+            assert!(decode_page(sliced).is_err(), "cut at {cut} must not decode");
+        }
+        // A lying list count inside a frame is rejected before allocation.
+        let mut w = WireWriter::tagged(KIND_PAGE);
+        w.u32(u32::MAX);
+        assert!(decode_page(&w.finish()).is_err());
+    }
+}

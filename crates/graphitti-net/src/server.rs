@@ -1,0 +1,604 @@
+//! The TCP front door: acceptor, per-connection pipeline, health endpoint.
+//!
+//! One OS thread pair per connection: a **reader** decodes request frames and
+//! feeds the backend, a **writer** streams response frames back.  Between them
+//! sits a bounded channel of at most [`ServerConfig::window`] in-flight
+//! responses — the whole backpressure story:
+//!
+//! * a slow reader stalls the writer inside the socket `write_all`, the full
+//!   channel then stalls the reader, and the client's own send buffer fills —
+//!   per-connection memory is bounded by `window` materialised results, and no
+//!   snapshot is ever held open for a stalled socket (results are fully
+//!   materialised by the backend *before* the write path touches them);
+//! * the acceptor sheds whole connections past
+//!   [`ServerConfig::max_connections`] with a typed error frame, extending the
+//!   admission-control `Overloaded` path to the transport;
+//! * every request decoded off the wire resolves to exactly one of
+//!   completed / shed / failed in [`NetMetrics`] — the same conservation
+//!   invariant the in-process services keep.
+//!
+//! A second listener serves plaintext `GET /health` and `GET /metrics`
+//! (the backend's [`ServiceMetrics`] plus the wire counters) for probes that
+//! speak HTTP, not the binary protocol.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use graphitti_query::parse_query;
+use graphitti_query::resilience::{QueryBudget, ServiceError};
+use graphitti_query::result::QueryResult;
+use graphitti_query::service::{QueryService, ServiceMetrics, Ticket};
+use graphitti_query::sharded::ShardedQueryService;
+
+use crate::protocol::{
+    decode_request, encode_failure, encode_page, encode_tail, frame_kind, read_frame, write_frame,
+    WireBudget, WireFailure, KIND_REQUEST, MAX_FRAME_LEN,
+};
+
+/// Which in-process serving layer the front door feeds.
+#[derive(Clone)]
+pub enum Backend {
+    /// The unsharded worker pool: requests are submitted as tickets, so one
+    /// connection's queries execute concurrently across the pool.
+    Pool(Arc<QueryService>),
+    /// Scatter-gather over a shard cut: queries execute on the connection's
+    /// reader thread (the service's calling-thread contract).
+    Sharded(Arc<ShardedQueryService>),
+}
+
+impl Backend {
+    /// The backend's own serving metrics (dumped by `/metrics`).
+    pub fn service_metrics(&self) -> ServiceMetrics {
+        match self {
+            Backend::Pool(service) => service.metrics(),
+            Backend::Sharded(service) => service.metrics(),
+        }
+    }
+}
+
+/// Tunables for [`NetServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Connection ceiling: the acceptor sheds past this with a typed error frame.
+    pub max_connections: usize,
+    /// Per-connection in-flight response window (bounded channel capacity).
+    pub window: usize,
+    /// Largest frame payload either direction will accept.
+    pub max_frame_len: u32,
+    /// Socket read-timeout slice: how often a blocked reader rechecks shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            window: 4,
+            max_frame_len: MAX_FRAME_LEN,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Builder: set the connection ceiling (min 1).
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Builder: set the per-connection in-flight window (min 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Builder: set the largest accepted frame payload.
+    pub fn with_max_frame_len(mut self, len: u32) -> Self {
+        self.max_frame_len = len;
+        self
+    }
+}
+
+/// Snapshot of the wire-level counters.  The request counters keep the serving
+/// conservation invariant: once every connection has drained,
+/// `shed + completed + failed == submitted`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Request frames decoded off the wire.
+    pub submitted: u64,
+    /// Responses fully streamed (pages + tail flushed).
+    pub completed: u64,
+    /// Requests refused by backend admission control (`Overloaded`), reported
+    /// to the client as a typed error frame.
+    pub shed: u64,
+    /// Requests that ended in any other typed error frame, could not be parsed,
+    /// or whose response could not be delivered (client gone mid-stream).
+    pub failed: u64,
+    /// Connections the acceptor admitted.
+    pub connections_accepted: u64,
+    /// Connections refused at the ceiling with a `ConnectionShed` error frame.
+    pub connections_shed: u64,
+    /// Page frames streamed to clients.
+    pub pages_streamed: u64,
+    /// Connections killed by a framing violation (bad CRC, oversized frame,
+    /// unknown kind).
+    pub bad_frames: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_shed: AtomicU64,
+    pages_streamed: AtomicU64,
+    bad_frames: AtomicU64,
+}
+
+impl Counters {
+    fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_connection_shed(&self) {
+        self.connections_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_page_streamed(&self) {
+        self.pages_streamed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_bad_frame(&self) {
+        self.bad_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> NetMetrics {
+        NetMetrics {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            pages_streamed: self.pages_streamed.load(Ordering::Relaxed),
+            bad_frames: self.bad_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    backend: Backend,
+    config: ServerConfig,
+    counters: Counters,
+    live: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// One request's resolution handle, queued from reader to writer.  The result
+/// is (or will be) fully materialised by the backend — the writer only moves
+/// bytes, so a stalled socket holds at most `window` of these, never a snapshot.
+enum Pending {
+    /// Sharded execution (or an admission error): already resolved.
+    Done(Result<QueryResult, ServiceError>),
+    /// Pool execution in flight; the writer redeems the ticket in order.
+    Pool(Ticket),
+    /// The query text did not parse.
+    Bad(String),
+}
+
+/// The network front door: a listening acceptor plus a health listener.
+/// Dropping the server stops accepting and wakes both listeners; established
+/// connections finish on their own threads.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    health_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind the protocol listener on `addr` (use port 0 for an ephemeral port)
+    /// and the health listener on the same interface, then start accepting.
+    pub fn bind(addr: &str, backend: Backend, config: ServerConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let health_listener = TcpListener::bind(SocketAddr::new(local_addr.ip(), 0))?;
+        let health_addr = health_listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            backend,
+            config,
+            counters: Counters::default(),
+            live: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("graphitti-net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("graphitti-net-health".to_string())
+                .spawn(move || health_loop(&health_listener, &shared))?
+        };
+        Ok(NetServer {
+            shared,
+            local_addr,
+            health_addr,
+            acceptor: Some(acceptor),
+            health: Some(health),
+        })
+    }
+
+    /// The protocol endpoint clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The plaintext `/health` + `/metrics` endpoint.
+    pub fn health_addr(&self) -> SocketAddr {
+        self.health_addr
+    }
+
+    /// Snapshot of the wire-level counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.shared.counters.snapshot()
+    }
+
+    /// The backend's own serving metrics.
+    pub fn backend_metrics(&self) -> ServiceMetrics {
+        self.shared.backend.service_metrics()
+    }
+
+    /// Live protocol connections right now.
+    pub fn live_connections(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and wake both listeners.  Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Poke both blocking accept loops so they observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = TcpStream::connect(self.health_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.health.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// --- acceptor --------------------------------------------------------------
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for incoming in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = incoming else { continue };
+        let live = shared.live.load(Ordering::Relaxed);
+        if live >= shared.config.max_connections {
+            // Connection-level shedding: a typed error frame, then close — the
+            // transport analogue of `ServiceError::Overloaded`.
+            shared.counters.note_connection_shed();
+            let shed = WireFailure::ConnectionShed { live: live as u64 };
+            let _ = write_frame(&mut &stream, &encode_failure(&shed));
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        if spawn_connection(stream, shared).is_err() {
+            shared.counters.note_connection_shed();
+        }
+    }
+}
+
+fn spawn_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    // The reader polls this timeout slice so shutdown is always observed.
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    // Request-response traffic: Nagle + delayed ACK would stall every
+    // multi-frame response ~40ms waiting for the previous segment's ACK.
+    stream.set_nodelay(true)?;
+    let reader_stream = stream.try_clone()?;
+    shared.live.fetch_add(1, Ordering::Relaxed);
+    shared.counters.note_connection_accepted();
+    let conn_shared = Arc::clone(shared);
+    let spawned =
+        std::thread::Builder::new().name("graphitti-net-conn".to_string()).spawn(move || {
+            let (tx, rx) = mpsc::sync_channel::<Pending>(conn_shared.config.window);
+            let reader = {
+                let shared = Arc::clone(&conn_shared);
+                std::thread::Builder::new()
+                    .name("graphitti-net-read".to_string())
+                    .spawn(move || read_loop(&reader_stream, &shared, &tx))
+            };
+            write_loop(&stream, &conn_shared, &rx);
+            // Force the reader off its socket, then account the connection done.
+            let _ = stream.shutdown(Shutdown::Both);
+            if let Ok(handle) = reader {
+                let _ = handle.join();
+            }
+            conn_shared.live.fetch_sub(1, Ordering::Relaxed);
+        });
+    match spawned {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            // Roll the admission back: the connection never ran.
+            shared.live.fetch_sub(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
+}
+
+// --- per-connection reader -------------------------------------------------
+
+/// `Read` adapter that rides out read-timeout ticks (rechecking shutdown) so
+/// the framing layer never observes a torn frame across a poll boundary.
+struct PatientReader<'a> {
+    stream: &'a TcpStream,
+    shared: &'a Shared,
+}
+
+impl Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match (&mut &*self.stream).read(buf) {
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if self.shared.shutdown.load(Ordering::Relaxed) {
+                        return Err(e);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn read_loop(stream: &TcpStream, shared: &Arc<Shared>, tx: &mpsc::SyncSender<Pending>) {
+    let mut reader = PatientReader { stream, shared };
+    loop {
+        let payload = match read_frame(&mut reader, shared.config.max_frame_len) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF at a frame boundary: the client is done.
+            Ok(None) => return,
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    shared.counters.note_bad_frame();
+                }
+                return;
+            }
+        };
+        let pending = match frame_kind(&payload).map(|k| k == KIND_REQUEST) {
+            Ok(true) => match decode_request(&payload) {
+                Ok(request) => {
+                    shared.counters.note_submitted();
+                    dispatch(shared, request.query, &request.budget)
+                }
+                Err(_) => {
+                    shared.counters.note_bad_frame();
+                    return;
+                }
+            },
+            _ => {
+                shared.counters.note_bad_frame();
+                return;
+            }
+        };
+        // Backpressure: a full window blocks here, which stops reading, which
+        // fills the client's send buffer.  `Err` means the writer is gone.
+        if tx.send(pending).is_err() {
+            return;
+        }
+    }
+}
+
+/// Parse and hand one request to the backend.  Pool submissions pipeline (the
+/// ticket resolves on a worker); sharded execution runs here, on the
+/// connection's reader thread — its calling-thread contract.
+fn dispatch(shared: &Arc<Shared>, query_text: String, wire: &WireBudget) -> Pending {
+    let query = match parse_query(&query_text) {
+        Ok(query) => query,
+        Err(e) => return Pending::Bad(e.to_string()),
+    };
+    let mut budget = QueryBudget::unbounded().with_allow_partial(wire.allow_partial);
+    if let Some(deadline) = wire.deadline {
+        budget = budget.with_deadline(deadline);
+    }
+    match &shared.backend {
+        Backend::Pool(service) => match service.submit_with_budget(query, budget) {
+            Ok(ticket) => Pending::Pool(ticket),
+            Err(e) => Pending::Done(Err(e)),
+        },
+        Backend::Sharded(service) => Pending::Done(service.run_with_budget(&query, budget)),
+    }
+}
+
+// --- per-connection writer -------------------------------------------------
+
+fn write_loop(stream: &TcpStream, shared: &Arc<Shared>, rx: &mpsc::Receiver<Pending>) {
+    while let Ok(pending) = rx.recv() {
+        if respond(&mut &*stream, shared, pending).is_err() {
+            // The socket is gone: stop reading new requests, then drain what the
+            // reader already queued — every decoded request must still land on
+            // exactly one outcome counter (here: failed, delivery impossible).
+            let _ = stream.shutdown(Shutdown::Both);
+            while let Ok(undeliverable) = rx.recv() {
+                abandon(shared, undeliverable);
+            }
+            return;
+        }
+    }
+}
+
+/// Resolve one pending request and stream its response: page frames in result
+/// order, then the tail — or one typed error frame.  `Err` only for transport
+/// failures (the request itself is always accounted before returning).
+fn respond(w: &mut impl Write, shared: &Arc<Shared>, pending: Pending) -> io::Result<()> {
+    let resolved = match pending {
+        Pending::Bad(message) => {
+            shared.counters.note_failed();
+            let frame = encode_failure(&WireFailure::BadQuery(message));
+            write_frame(w, &frame)?;
+            return w.flush();
+        }
+        Pending::Done(resolved) => resolved,
+        Pending::Pool(ticket) => ticket.wait(),
+    };
+    match resolved {
+        Err(error) => {
+            // Admission-control refusals are sheds, every other error failed.
+            if matches!(error, ServiceError::Overloaded { .. }) {
+                shared.counters.note_shed();
+            } else {
+                shared.counters.note_failed();
+            }
+            let frame = encode_failure(&WireFailure::Service(error));
+            write_frame(w, &frame)?;
+            w.flush()
+        }
+        Ok(result) => {
+            let (pages, tail) = result.into_stream();
+            let mut streamed = 0u32;
+            let deliver = || -> io::Result<()> {
+                for page in pages {
+                    write_frame(w, &encode_page(&page))?;
+                    shared.counters.note_page_streamed();
+                    streamed += 1;
+                }
+                write_frame(w, &encode_tail(streamed, &tail))?;
+                w.flush()
+            };
+            match deliver() {
+                Ok(()) => {
+                    shared.counters.note_completed();
+                    Ok(())
+                }
+                Err(e) => {
+                    // The backend answered but the client never got it.
+                    shared.counters.note_failed();
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// Account a queued request whose connection died before its response could be
+/// written.  Pool tickets are cancelled so an abandoned query stops burning its
+/// worker; the wire outcome is uniformly `failed` (delivery was impossible).
+fn abandon(shared: &Arc<Shared>, pending: Pending) {
+    if let Pending::Pool(ticket) = &pending {
+        ticket.cancel();
+    }
+    shared.counters.note_failed();
+}
+
+// --- health / metrics endpoint ---------------------------------------------
+
+fn health_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for incoming in listener.incoming() {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = incoming else { continue };
+        let _ = serve_health(&stream, shared);
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn serve_health(stream: &TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    let mut request = [0u8; 512];
+    let n = (&mut &*stream).read(&mut request)?;
+    let text = String::from_utf8_lossy(request.get(..n).unwrap_or_default());
+    let path = text.split_whitespace().nth(1).unwrap_or("").to_string();
+    let (status, body) = match path.as_str() {
+        "/health" => ("200 OK", "ok\n".to_string()),
+        "/metrics" => ("200 OK", metrics_text(shared)),
+        _ => ("404 Not Found", "unknown path (try /health or /metrics)\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    (&mut &*stream).write_all(response.as_bytes())?;
+    (&mut &*stream).flush()
+}
+
+/// `/metrics` body: `name value` lines — the wire counters (`net_` prefix) and
+/// the backend's full [`ServiceMetrics`] (`service_` prefix).
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    let n = shared.counters.snapshot();
+    let s = shared.backend.service_metrics();
+    let mut out = String::new();
+    let mut line = |name: &str, value: u64| {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    };
+    line("net_submitted", n.submitted);
+    line("net_completed", n.completed);
+    line("net_shed", n.shed);
+    line("net_failed", n.failed);
+    line("net_connections_accepted", n.connections_accepted);
+    line("net_connections_shed", n.connections_shed);
+    line("net_pages_streamed", n.pages_streamed);
+    line("net_bad_frames", n.bad_frames);
+    line("service_submitted", s.submitted);
+    line("service_completed", s.completed);
+    line("service_shed", s.shed);
+    line("service_failed", s.failed);
+    line("service_deadline_misses", s.deadline_misses);
+    line("service_cancelled", s.cancelled);
+    line("service_worker_panics", s.worker_panics);
+    line("service_workers_respawned", s.workers_respawned);
+    line("service_degraded", s.degraded);
+    line("service_wal_flush_failures", s.wal_flush_failures);
+    line("service_cache_hits", s.cache_hits);
+    line("service_cache_misses", s.cache_misses);
+    line("service_publishes", s.publishes);
+    line("service_cache_invalidations", s.cache_invalidations);
+    line("service_cache_partial_invalidations", s.cache_partial_invalidations);
+    line("service_cache_full_invalidations", s.cache_full_invalidations);
+    line("service_cache_entries_evicted", s.cache_entries_evicted);
+    line("service_wal_records_appended", s.wal_records_appended);
+    line("service_wal_fsyncs", s.wal_fsyncs);
+    line("service_recovery_replays", s.recovery_replays);
+    out
+}

@@ -1,0 +1,401 @@
+//! End-to-end battery for the network tier: a real [`NetServer`] on an
+//! ephemeral loopback port, real [`Client`] connections, and the serving
+//! contract asserted across the wire:
+//!
+//! * **Correctness** — streamed pages reassembled client-side are byte-identical
+//!   (under the result's JSON form) to the in-process [`ReferenceExecutor`]
+//!   answer, on the unsharded pool backend and on sharded cuts at 1 and 4
+//!   shards — including under connection churn and behind a slow reader.
+//! * **Liveness** — a stalled reader never wedges the server: concurrent
+//!   clients keep completing, per-connection decoded-but-unresolved requests
+//!   stay bounded by the in-flight window, and the stalled client still gets
+//!   every response intact when it finally reads.
+//! * **Typed failure** — backend overload, unparseable queries, and
+//!   connection-ceiling refusals all arrive as typed error frames, never as a
+//!   hang or a torn stream; framing violations kill only their own connection.
+//! * **Conservation** — once connections drain, the wire counters satisfy
+//!   `shed + completed + failed == submitted`, mirroring the in-process
+//!   serving invariant.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphitti_core::{DataType, Graphitti, Marker, ObjectId, ShardedSystem};
+use graphitti_net::{Backend, Client, NetError, NetServer, ServerConfig, WireBudget};
+use graphitti_query::{
+    parse_query, ChaosConfig, QueryResult, QueryService, ReferenceExecutor, ServiceConfig,
+    ServiceError, ShardedQueryService, ShardedServiceConfig,
+};
+
+fn result_bytes(result: &QueryResult) -> Vec<u8> {
+    serde_json::to_string(result).expect("result serializes").into_bytes()
+}
+
+/// The same corpus built into an unsharded oracle and an N-shard system by
+/// identical incremental replay (ids coincide — see the sharded equivalence
+/// battery).  Returns the ontology term id for DSL queries.
+fn dual_corpus(shards: usize, n: u64) -> (Graphitti, ShardedSystem, u32) {
+    let mut oracle = Graphitti::new();
+    let mut sharded = ShardedSystem::new(shards);
+    let term = oracle.ontology_mut().add_concept("Motif");
+    sharded.ontology_edit(|o| {
+        o.add_concept("Motif");
+    });
+    for i in 0..6u64 {
+        oracle.register_sequence(format!("s{i}"), DataType::DnaSequence, 100_000, "chr1");
+        sharded.register_sequence(format!("s{i}"), DataType::DnaSequence, 100_000, "chr1");
+    }
+    for i in 0..n {
+        let obj = ObjectId(i % 6);
+        let marker = Marker::interval(i * 90, i * 90 + 40);
+        let comment = if i % 2 == 0 {
+            format!("protease motif {i}")
+        } else {
+            format!("quiet background note {i}")
+        };
+        let mut a = oracle.annotate().comment(comment.clone()).mark(obj, marker.clone());
+        let mut b = sharded.annotate().comment(comment).mark(obj, marker);
+        if i % 3 == 0 {
+            a = a.cite_term(term);
+            b = b.cite_term(term);
+        }
+        a.commit().unwrap();
+        b.commit().unwrap();
+    }
+    (oracle, sharded, term.0)
+}
+
+/// A representative DSL mix: every target, content/referent/ontology clauses,
+/// and a graph constraint.
+fn query_mix(term: u32) -> Vec<String> {
+    vec![
+        "SELECT contents".to_string(),
+        r#"SELECT contents WHERE content contains "protease motif""#.to_string(),
+        "SELECT referents WHERE content keywords quiet background".to_string(),
+        format!("SELECT graphs WHERE ontology term {term}"),
+        "SELECT referents WHERE referent interval chr1 0 5000".to_string(),
+        r#"SELECT graphs WHERE content contains "protease" AND constraint path 3"#.to_string(),
+    ]
+}
+
+fn pool_backend(sys: &Graphitti, workers: usize) -> Backend {
+    Backend::Pool(Arc::new(QueryService::new(
+        sys.snapshot(),
+        ServiceConfig::default().with_workers(workers).with_cache_capacity(0),
+    )))
+}
+
+fn start_server(backend: Backend, config: ServerConfig) -> NetServer {
+    NetServer::bind("127.0.0.1:0", backend, config).expect("bind ephemeral loopback")
+}
+
+fn poll_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "not reached within 5s: {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Streamed pages reassembled by the client are byte-identical to the
+/// [`ReferenceExecutor`] answer — over the pool backend and over sharded cuts
+/// at 1 and 4 shards.
+#[test]
+fn streamed_pages_reassemble_byte_identical_to_reference() {
+    let (oracle, _, term) = dual_corpus(1, 30);
+    let reference = ReferenceExecutor::new(&oracle);
+
+    // Unsharded pool backend.
+    let server = start_server(pool_backend(&oracle, 2), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for text in query_mix(term) {
+        let over_wire = client.query(&text, &WireBudget::unbounded()).expect("query completes");
+        let in_process = reference.run(&parse_query(&text).expect("mix parses"));
+        assert_eq!(result_bytes(&over_wire), result_bytes(&in_process), "pool: {text}");
+    }
+    drop(client);
+
+    // Sharded backends: the clean scatter-gather answer equals the oracle's.
+    for shards in [1usize, 4] {
+        let (oracle, sharded, term) = dual_corpus(shards, 30);
+        let reference = ReferenceExecutor::new(&oracle);
+        let backend = Backend::Sharded(Arc::new(ShardedQueryService::new(
+            sharded.capture_cut(),
+            ShardedServiceConfig::default().with_cache_capacity(0),
+        )));
+        let server = start_server(backend, ServerConfig::default());
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for text in query_mix(term) {
+            let over_wire = client.query(&text, &WireBudget::unbounded()).expect("query completes");
+            assert!(over_wire.missing_shards.is_empty(), "clean run never degrades");
+            let in_process = reference.run(&parse_query(&text).expect("mix parses"));
+            assert_eq!(
+                result_bytes(&over_wire),
+                result_bytes(&in_process),
+                "shards={shards}: {text}"
+            );
+        }
+    }
+}
+
+/// Connection churn: many short-lived connections, overlapping across threads,
+/// every response reference-exact — and after the dust settles the wire
+/// counters conserve: `shed + completed + failed == submitted`.
+#[test]
+fn connection_churn_conserves_and_stays_reference_exact() {
+    let (oracle, _, term) = dual_corpus(1, 30);
+    let reference = ReferenceExecutor::new(&oracle);
+    let mix = query_mix(term);
+    let expected: Vec<Vec<u8>> = mix
+        .iter()
+        .map(|text| result_bytes(&reference.run(&parse_query(text).expect("mix parses"))))
+        .collect();
+
+    let server = start_server(pool_backend(&oracle, 2), ServerConfig::default());
+    let addr = server.local_addr();
+    let threads = 4usize;
+    let connections_each = 6usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mix = &mix;
+            let expected = &expected;
+            scope.spawn(move || {
+                for c in 0..connections_each {
+                    let mut client = Client::connect(addr).expect("connect");
+                    // Each connection runs a rotating slice of the mix, then drops.
+                    for k in 0..3 {
+                        let i = (t + c + k) % mix.len();
+                        let got = client
+                            .query(&mix[i], &WireBudget::unbounded())
+                            .expect("churned query completes");
+                        assert_eq!(result_bytes(&got), expected[i], "thread {t} conn {c}");
+                    }
+                }
+            });
+        }
+    });
+
+    let total_connections = (threads * connections_each) as u64;
+    let total_queries = total_connections * 3;
+    poll_until("all connections retired", || server.live_connections() == 0);
+    let m = server.metrics();
+    assert_eq!(m.connections_accepted, total_connections);
+    assert_eq!(m.completed, total_queries);
+    assert_eq!(m.shed + m.completed + m.failed, m.submitted, "wire conservation after churn");
+    assert_eq!(m.submitted, total_queries);
+}
+
+/// A slow reader throttles only itself: while it stalls with responses parked,
+/// (a) its decoded-but-unresolved requests stay bounded by the in-flight
+/// window, (b) a concurrent client keeps completing, and (c) when it finally
+/// reads, every parked response arrives byte-identical.
+#[test]
+fn slow_reader_bounded_and_concurrent_clients_unaffected() {
+    let (oracle, _, term) = dual_corpus(1, 200);
+    let reference = ReferenceExecutor::new(&oracle);
+    let window = 2usize;
+    let server =
+        start_server(pool_backend(&oracle, 2), ServerConfig::default().with_window(window));
+
+    // The slow reader: pipeline a burst of requests, read nothing yet.
+    let heavy = "SELECT contents";
+    let heavy_expected = result_bytes(&reference.run(&parse_query(heavy).expect("parses")));
+    let burst = 8usize;
+    let mut slow = Client::connect(server.local_addr()).expect("connect slow");
+    for _ in 0..burst {
+        slow.send(heavy, &WireBudget::unbounded()).expect("pipelined send");
+    }
+
+    // Give the server time to drain what it can into the socket, then check the
+    // bound: whatever is decoded but not yet resolved fits the window (+1 in
+    // the writer's hand, +1 decoded in the reader's hand).
+    std::thread::sleep(Duration::from_millis(150));
+    let m = server.metrics();
+    let unresolved = m.submitted - (m.completed + m.shed + m.failed);
+    assert!(
+        unresolved <= (window + 2) as u64,
+        "slow reader must not queue unboundedly: {unresolved} unresolved > window {window} + 2"
+    );
+
+    // Liveness: a concurrent client is not behind the stalled one.
+    let mut brisk = Client::connect(server.local_addr()).expect("connect brisk");
+    for text in query_mix(term) {
+        let got = brisk.query(&text, &WireBudget::unbounded()).expect("brisk query completes");
+        let want = result_bytes(&reference.run(&parse_query(&text).expect("parses")));
+        assert_eq!(result_bytes(&got), want, "brisk client behind a slow reader: {text}");
+    }
+    drop(brisk);
+
+    // The slow reader finally reads: every parked response intact, in order.
+    for i in 0..burst {
+        let got = slow.recv().unwrap_or_else(|e| panic!("parked response #{i} lost: {e}"));
+        assert_eq!(result_bytes(&got), heavy_expected, "parked response #{i}");
+    }
+    drop(slow);
+
+    poll_until("all connections retired", || server.live_connections() == 0);
+    let m = server.metrics();
+    assert_eq!(m.completed, m.submitted, "everything sent was ultimately served");
+    assert_eq!(m.shed + m.completed + m.failed, m.submitted, "wire conservation");
+}
+
+/// Backend overload surfaces on the wire as a typed [`ServiceError::Overloaded`]
+/// error frame among otherwise-correct responses — and the wire counters
+/// account every request as exactly one of completed / shed / failed.
+#[test]
+fn overload_arrives_typed_and_wire_counters_conserve() {
+    let (oracle, _, _) = dual_corpus(1, 24);
+    let q = r#"SELECT contents WHERE content contains "protease motif""#;
+    let expected =
+        result_bytes(&ReferenceExecutor::new(&oracle).run(&parse_query(q).expect("parses")));
+    // One worker, one queue slot, first execution stuck: admission must shed.
+    let backend = Backend::Pool(Arc::new(QueryService::new(
+        oracle.snapshot(),
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_cache_capacity(0)
+            .with_chaos(ChaosConfig::new().with_stuck_query_on(1, Duration::from_millis(150))),
+    )));
+    let burst = 10usize;
+    let server = start_server(backend, ServerConfig::default().with_window(burst));
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for _ in 0..burst {
+        client.send(q, &WireBudget::unbounded()).expect("pipelined send");
+    }
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for i in 0..burst {
+        match client.recv() {
+            Ok(result) => {
+                assert_eq!(result_bytes(&result), expected, "response #{i}");
+                completed += 1;
+            }
+            Err(NetError::Service(ServiceError::Overloaded { depth })) => {
+                assert_eq!(depth, 1, "shed depth is the full queue");
+                shed += 1;
+            }
+            Err(e) => panic!("response #{i}: expected Ok or typed Overloaded, got {e}"),
+        }
+    }
+    assert!(shed >= 1, "the stuck single-slot queue must have shed at least once");
+    assert_eq!(completed + shed, burst as u64);
+    drop(client);
+
+    poll_until("all connections retired", || server.live_connections() == 0);
+    let m = server.metrics();
+    assert_eq!(m.completed, completed);
+    assert_eq!(m.shed, shed);
+    assert_eq!(m.failed, 0);
+    assert_eq!(m.shed + m.completed + m.failed, m.submitted, "wire conservation under overload");
+}
+
+/// The acceptor's connection ceiling: a full house is refused with a typed
+/// `ConnectionShed` error frame before any request is read, and capacity
+/// freed by a departing client is immediately reusable.
+#[test]
+fn connection_ceiling_sheds_typed_and_recovers() {
+    let (oracle, _, term) = dual_corpus(1, 24);
+    let server =
+        start_server(pool_backend(&oracle, 1), ServerConfig::default().with_max_connections(1));
+    let mix = query_mix(term);
+    let first = mix.first().expect("non-empty mix");
+
+    let mut resident = Client::connect(server.local_addr()).expect("connect resident");
+    resident.query(first, &WireBudget::unbounded()).expect("resident query completes");
+
+    // The house is full: the next connection gets a typed refusal.
+    let mut refused = Client::connect(server.local_addr()).expect("tcp connect still succeeds");
+    match refused.recv() {
+        Err(NetError::ConnectionShed { live }) => assert_eq!(live, 1),
+        other => panic!("expected a typed ConnectionShed frame, got {other:?}"),
+    }
+
+    // Capacity frees when the resident leaves, and a newcomer is served.
+    drop(resident);
+    poll_until("resident connection retired", || server.live_connections() == 0);
+    let mut newcomer = Client::connect(server.local_addr()).expect("connect newcomer");
+    newcomer.query(first, &WireBudget::unbounded()).expect("newcomer query completes");
+    drop(newcomer);
+
+    poll_until("all connections retired", || server.live_connections() == 0);
+    let m = server.metrics();
+    assert_eq!(m.connections_accepted, 2);
+    assert!(m.connections_shed >= 1, "the ceiling must have refused at least once");
+    assert_eq!(m.shed + m.completed + m.failed, m.submitted, "wire conservation at the ceiling");
+}
+
+/// Unparseable query text comes back as a typed `BadQuery` error frame and the
+/// connection stays usable; a corrupted frame (bad CRC) kills only its own
+/// connection and is counted, never crashing the server.
+#[test]
+fn bad_queries_and_bad_frames_fail_typed_without_collateral() {
+    let (oracle, _, term) = dual_corpus(1, 24);
+    let server = start_server(pool_backend(&oracle, 1), ServerConfig::default());
+    let reference = ReferenceExecutor::new(&oracle);
+    let mix = query_mix(term);
+    let good = mix.first().expect("non-empty mix");
+
+    // A bad query is a typed per-request failure, not a connection failure.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    match client.query("SELECT nonsense", &WireBudget::unbounded()) {
+        Err(NetError::BadQuery(message)) => {
+            assert!(message.contains("unknown target"), "parser detail travels: {message}")
+        }
+        other => panic!("expected a typed BadQuery frame, got {other:?}"),
+    }
+    let got = client.query(good, &WireBudget::unbounded()).expect("connection survives BadQuery");
+    let want = result_bytes(&reference.run(&parse_query(good).expect("parses")));
+    assert_eq!(result_bytes(&got), want);
+    drop(client);
+
+    // A frame with a corrupt CRC kills that connection (typed at the metrics
+    // level), while the server keeps serving everyone else.
+    {
+        use std::io::Write as _;
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+        let garbage = [4u8, 0, 0, 0, 0xEF, 0xBE, 0xAD, 0xDE, 1, 2, 3, 4];
+        raw.write_all(&garbage).expect("write corrupt frame");
+        raw.flush().expect("flush");
+    }
+    poll_until("corrupt frame counted", || server.metrics().bad_frames >= 1);
+    let mut after = Client::connect(server.local_addr()).expect("connect after corruption");
+    after.query(good, &WireBudget::unbounded()).expect("server survives a corrupt frame");
+    drop(after);
+
+    poll_until("all connections retired", || server.live_connections() == 0);
+    let m = server.metrics();
+    assert_eq!(m.shed + m.completed + m.failed, m.submitted, "wire conservation with bad input");
+    assert_eq!(m.failed, 1, "exactly the BadQuery request failed");
+}
+
+/// The plaintext health endpoint: `/health` answers ok, `/metrics` dumps both
+/// the wire counters and the backend's [`ServiceMetrics`], unknown paths 404.
+#[test]
+fn health_and_metrics_endpoints_respond() {
+    let (oracle, _, term) = dual_corpus(1, 24);
+    let server = start_server(pool_backend(&oracle, 1), ServerConfig::default());
+    let mix = query_mix(term);
+    let first = mix.first().expect("non-empty mix");
+
+    assert_eq!(
+        graphitti_net::http_get(server.health_addr(), "/health").expect("health answers"),
+        "ok\n"
+    );
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.query(first, &WireBudget::unbounded()).expect("query completes");
+    let metrics = graphitti_net::http_get(server.health_addr(), "/metrics").expect("metrics");
+    for line in ["net_submitted 1", "net_completed 1", "net_connections_accepted 1"] {
+        assert!(metrics.contains(line), "metrics dump missing `{line}`:\n{metrics}");
+    }
+    assert!(
+        metrics.contains("service_submitted"),
+        "backend ServiceMetrics must be dumped too:\n{metrics}"
+    );
+
+    match graphitti_net::http_get(server.health_addr(), "/nope") {
+        Err(NetError::Protocol(what)) => assert!(what.contains("404"), "status travels: {what}"),
+        other => panic!("expected a 404 protocol error, got {other:?}"),
+    }
+}

@@ -355,9 +355,10 @@ impl<'g> Executor<'g> {
     }
 
     /// Referents matching a filter, answered from the matching index: type postings,
-    /// interval tree, R-tree or block postings.  Index postings convert without
-    /// re-sorting; tree hits (and the per-object lists, which carry no order
-    /// guarantee) are sorted + deduplicated first.
+    /// interval tree, R-tree or block postings.  Index postings — including the
+    /// per-object lists, strictly ascending by the `object_referents` ordering
+    /// contract — convert without re-sorting; tree hits carry no order guarantee
+    /// and are sorted + deduplicated first.
     fn seed_referents(&self, filter: &ReferentFilter) -> CandidateSet<ReferentId> {
         let idx = self.system.indexes();
         let unordered: Vec<ReferentId> = match filter {
@@ -369,7 +370,12 @@ impl<'g> Executor<'g> {
                     ids.iter().map(|&id| idx.referents_with_block(id)).collect();
                 return CandidateSet::union_postings(self.repr, &postings);
             }
-            ReferentFilter::OnObject(id) => self.system.referents_of_object(*id).to_vec(),
+            ReferentFilter::OnObject(id) => {
+                // Strictly ascending at both ends of the contract (insertion
+                // debug_asserts it, `from_posting` re-asserts it): bridge without
+                // the redundant sort + dedup the tree-hit arms below need.
+                return CandidateSet::from_posting(self.repr, self.system.referents_of_object(*id));
+            }
             ReferentFilter::IntervalOverlaps { domain, interval } => match domain {
                 Some(d) => self.system.overlapping_intervals(d, *interval),
                 None => self

@@ -70,6 +70,6 @@ pub use parse::{parse_query, ParseError};
 pub use plan::{Plan, SubQuery, SubQueryKind};
 pub use reference::ReferenceExecutor;
 pub use resilience::{CancelToken, ChaosConfig, Interrupt, QueryBudget, RetryPolicy, ServiceError};
-pub use result::{Completeness, QueryResult, ResultPage};
+pub use result::{Completeness, QueryResult, ResultPage, ResultTail};
 pub use service::{InvalidationPolicy, QueryService, ServiceConfig, ServiceMetrics, Ticket};
 pub use sharded::{ShardedExecutor, ShardedQueryService, ShardedServiceConfig};

@@ -57,6 +57,21 @@ pub enum Completeness {
     },
 }
 
+/// The non-page remainder of a [`QueryResult`], for streaming transports: what a
+/// server sends *after* the page frames so a client can reassemble the exact
+/// result without either side ever materialising a second whole-result buffer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultTail {
+    /// Flat annotation list (for `AnnotationContents` target).
+    pub annotations: Vec<AnnotationId>,
+    /// Flat referent list (for `Referents` target).
+    pub referents: Vec<ReferentId>,
+    /// Flat object list (objects selected by the query).
+    pub objects: Vec<ObjectId>,
+    /// Shards that failed to contribute (ascending; empty = complete answer).
+    pub missing_shards: Vec<usize>,
+}
+
 /// The result of running a query.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct QueryResult {
@@ -115,6 +130,30 @@ impl QueryResult {
     /// Serialise the result to JSON (the query tab's result export).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("query result serialises")
+    }
+
+    /// Decompose the result for page-at-a-time streaming: an iterator over the
+    /// result pages (sent first, one frame each) and the flat [`ResultTail`]
+    /// (sent last).  [`from_stream`](Self::from_stream) is the exact inverse —
+    /// `from_stream(pages, tail)` rebuilds a result equal to the original, so a
+    /// streamed transfer reassembles byte-identical under
+    /// [`to_json`](Self::to_json).
+    pub fn into_stream(self) -> (std::vec::IntoIter<ResultPage>, ResultTail) {
+        let QueryResult { pages, annotations, referents, objects, missing_shards } = self;
+        (pages.into_iter(), ResultTail { annotations, referents, objects, missing_shards })
+    }
+
+    /// Reassemble a result from a page stream and its tail — the inverse of
+    /// [`into_stream`](Self::into_stream).
+    pub fn from_stream(pages: impl IntoIterator<Item = ResultPage>, tail: ResultTail) -> Self {
+        let ResultTail { annotations, referents, objects, missing_shards } = tail;
+        QueryResult {
+            pages: pages.into_iter().collect(),
+            annotations,
+            referents,
+            objects,
+            missing_shards,
+        }
     }
 
     /// All node ids appearing anywhere in the result pages (deduplicated).
@@ -177,6 +216,22 @@ mod tests {
         assert!(r.is_degraded());
         assert_eq!(r.completeness(), Completeness::Degraded { missing_shards: vec![1, 3] });
         assert!(r.to_json().contains("missing_shards"));
+    }
+
+    #[test]
+    fn stream_decomposition_roundtrips_byte_identical() {
+        let mut r = QueryResult::empty();
+        r.pages.push(page(vec![ObjectId(5)]));
+        r.pages.push(page(vec![ObjectId(7), ObjectId(9)]));
+        r.objects = vec![ObjectId(5), ObjectId(7), ObjectId(9)];
+        r.annotations = vec![AnnotationId(0), AnnotationId(3)];
+        r.missing_shards = vec![2];
+        let expected = r.to_json();
+        let (pages, tail) = r.into_stream();
+        assert_eq!(tail.missing_shards, vec![2]);
+        let rebuilt = QueryResult::from_stream(pages, tail);
+        assert_eq!(rebuilt.to_json(), expected);
+        assert_eq!(rebuilt.page_count(), 2);
     }
 
     #[test]

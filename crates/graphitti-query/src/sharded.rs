@@ -295,8 +295,11 @@ impl<'c> ShardedExecutor<'c> {
     /// Gather one shard with the retry policy: an injected stall is slept through
     /// cooperatively (bounded by the shard timeout), an injected failure or a
     /// timed-out stall counts as a transient attempt, and attempts are separated by
-    /// decorrelated-jitter backoff.  Query-level interrupts (deadline /
-    /// cancellation) always take priority over shard-level outcomes.
+    /// decorrelated-jitter backoff — clamped so a nap never spends budget the next
+    /// attempt would need (a shard that cannot fit another attempt reports `Down`
+    /// immediately rather than sleeping into `DeadlineExceeded`).  Query-level
+    /// interrupts (deadline / cancellation) always take priority over shard-level
+    /// outcomes.
     fn gather_shard(
         &self,
         canonical: &Query,
@@ -313,7 +316,8 @@ impl<'c> ShardedExecutor<'c> {
         let mut prev = self.retry.base_delay;
         for attempt in 1..=attempts {
             self.cancel.check().map_err(ServiceError::from)?;
-            let attempt_deadline = self.shard_timeout.map(|t| Instant::now() + t);
+            let attempt_start = Instant::now();
+            let attempt_deadline = self.shard_timeout.map(|t| attempt_start + t);
             let fault = match &self.chaos {
                 Some(chaos) => chaos.shard_attempt(shard),
                 None => ShardFault::default(),
@@ -336,7 +340,26 @@ impl<'c> ShardedExecutor<'c> {
                 return Ok(ShardOutcome::Down { attempts });
             }
             prev = self.retry.next_backoff(prev, &mut rng);
-            match cooperative_sleep(prev, &self.cancel, None) {
+            // Never let the backoff nap eat the query budget: under a deadline,
+            // cap the nap so at least one more attempt — estimated at the shard
+            // timeout, or at what the attempt just measured — still fits.  When
+            // even a zero-length nap leaves no room, the shard is out of retry
+            // budget *now*: report it down (degrading or failing typed as
+            // `ShardUnavailable`, consistently with an exhausted retry loop)
+            // instead of sleeping into a guaranteed `DeadlineExceeded`.
+            let mut nap = prev;
+            if let Some(deadline) = self.cancel.deadline() {
+                let attempt_cost = self
+                    .shard_timeout
+                    .unwrap_or_else(|| attempt_start.elapsed())
+                    .max(Duration::from_millis(1));
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match remaining.checked_sub(attempt_cost) {
+                    Some(room) if room > Duration::ZERO => nap = nap.min(room),
+                    _ => return Ok(ShardOutcome::Down { attempts: attempt }),
+                }
+            }
+            match cooperative_sleep(nap, &self.cancel, None) {
                 Ok(()) => {}
                 Err(SleepInterrupt::Query(i)) => return Err(i.into()),
                 Err(SleepInterrupt::AttemptTimeout) => {

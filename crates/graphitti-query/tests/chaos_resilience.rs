@@ -199,6 +199,91 @@ fn chaos_quick_slow_shard_times_out_retries_and_recovers() {
     }
 }
 
+/// Regression (retry-nap budget clamp): the backoff must never nap the query
+/// budget away.  Unclamped, the 600–700ms decorrelated-jitter naps below would
+/// sleep straight past the 1.2s deadline before the third attempt (≥1.2s of
+/// accumulated backoff), converting a recoverable outage into
+/// [`ServiceError::DeadlineExceeded`] with a retry still owed.  Clamped, the
+/// final nap is pegged to `remaining - estimated attempt cost`, so the tight
+/// deadline still gets every configured attempt and the query completes.
+#[test]
+fn tight_deadline_retry_schedule_gets_all_configured_attempts() {
+    for shards in [1usize, 4] {
+        let (oracle, sharded) = dual_corpus(shards, 24);
+        let cut = sharded.capture_cut();
+        let q = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+        let expected = result_bytes(&ReferenceExecutor::new(&oracle).run(&q));
+        let down = shards - 1;
+        let chaos = ChaosConfig::new().with_shard_outage(down, 2);
+        let service = ShardedQueryService::new(
+            cut,
+            ShardedServiceConfig::default()
+                .with_cache_capacity(0)
+                .with_shard_timeout(Duration::from_millis(200))
+                .with_retry(
+                    RetryPolicy::default()
+                        .with_max_attempts(3)
+                        .with_base_delay(Duration::from_millis(600))
+                        .with_max_delay(Duration::from_millis(700)),
+                )
+                .with_chaos(chaos.clone()),
+        );
+        let budget = QueryBudget::unbounded().with_deadline(Duration::from_millis(1_200));
+        let r = service
+            .run_with_budget(&q, budget)
+            .expect("clamped backoffs leave room for the recovering third attempt");
+        assert!(!r.is_degraded(), "shards={shards}");
+        assert_eq!(result_bytes(&r), expected, "shards={shards}");
+        assert_eq!(chaos.attempts_against(down), 3, "two outages + one clean retry");
+    }
+}
+
+/// Regression (retry-nap budget clamp, the other edge): when the remaining
+/// budget cannot fit even one more attempt, the retry loop reports the shard
+/// down *now* — the consistent typed [`ServiceError::ShardUnavailable`] (or a
+/// marked degraded subset under `allow_partial`) — instead of sleeping out the
+/// budget and surfacing [`ServiceError::DeadlineExceeded`].
+#[test]
+fn exhausted_retry_budget_fails_fast_and_typed() {
+    let (_oracle, sharded) = dual_corpus(2, 24);
+    let cut = sharded.capture_cut();
+    let q = Query::new(Target::AnnotationContents).with_phrase("protease motif");
+    let config = ShardedServiceConfig::default()
+        .with_cache_capacity(0)
+        // The attempt-cost estimate (the shard timeout) exceeds the whole 300ms
+        // budget: after the first failure there is provably no room for a
+        // retry, so the loop must give up on the shard immediately.
+        .with_shard_timeout(Duration::from_millis(500))
+        .with_retry(quick_retry(3))
+        .with_chaos(ChaosConfig::new().with_shard_outage(1, u64::MAX));
+    let service = ShardedQueryService::new(cut.clone(), config);
+    let started = Instant::now();
+    let strict_budget = QueryBudget::unbounded().with_deadline(Duration::from_millis(300));
+    match service.run_with_budget(&q, strict_budget) {
+        Err(ServiceError::ShardUnavailable { shard, attempts }) => {
+            assert_eq!(shard, 1);
+            assert_eq!(attempts, 1, "no room for a retry: exactly the attempt that fit");
+        }
+        other => panic!("expected a fast typed shard failure, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(300),
+        "fail fast — before the deadline, not by deadline-ing out"
+    );
+    let partial = service
+        .run_with_budget(
+            &q,
+            QueryBudget::unbounded()
+                .with_deadline(Duration::from_millis(300))
+                .with_allow_partial(true),
+        )
+        .expect("opted-in callers get the marked subset, not an error");
+    assert_eq!(partial.missing_shards, vec![1]);
+    let masked =
+        ShardedExecutor::new(&cut).with_allow_partial(true).with_shard_mask(!(1u64 << 1)).run(&q);
+    assert_eq!(result_bytes(&partial), result_bytes(&masked));
+}
+
 /// An injected worker panic (inside the catch) and an injected worker abort
 /// (escaping it) each fail exactly one query with a typed error; the pool keeps
 /// serving reference-exact answers and keeps its size — respawning iff the

@@ -732,6 +732,9 @@ const SERVING_FILES: &[&str] = &[
     "graphitti-query/src/resilience.rs",
     "graphitti-core/src/wal.rs",
     "graphitti-core/src/recovery.rs",
+    "graphitti-net/src/protocol.rs",
+    "graphitti-net/src/server.rs",
+    "graphitti-net/src/client.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
@@ -823,8 +826,9 @@ struct Acquisition {
 /// Rule R4: flag acquiring one named service lock while another's guard is live in
 /// the same scope, and `thread::sleep` outside tests/benches.
 pub fn lock_discipline(file: &SourceFile) -> Vec<Finding> {
-    let relevant =
-        file.path.contains("graphitti-query/src/") || file.path.contains("graphitti-core/src/");
+    let relevant = file.path.contains("graphitti-query/src/")
+        || file.path.contains("graphitti-core/src/")
+        || file.path.contains("graphitti-net/src/");
     if !relevant {
         return Vec::new();
     }
@@ -1025,7 +1029,11 @@ const CONSERVED: &[&str] = &["submitted", "completed", "shed", "failed"];
 /// submitted`), so new outcome counters can't silently leak submissions.
 pub fn metrics_conservation(files: &[SourceFile]) -> Vec<Finding> {
     let mut accounting: BTreeMap<String, (String, u32)> = BTreeMap::new();
-    for suffix in ["graphitti-query/src/service.rs", "graphitti-query/src/sharded.rs"] {
+    for suffix in [
+        "graphitti-query/src/service.rs",
+        "graphitti-query/src/sharded.rs",
+        "graphitti-net/src/server.rs",
+    ] {
         let Some(file) = file_with_suffix(files, suffix) else { continue };
         for f in fn_items(&file.lexed.tokens) {
             if f.is_test {

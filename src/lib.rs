@@ -96,11 +96,21 @@
 //!
 //! Run `cargo bench -p bench --bench throughput` for queries/second and latency
 //! percentiles per worker/cache/shards configuration (`BENCH_throughput.json`).
+//!
+//! ## Network tier
+//!
+//! [`net::NetServer`] puts either serving layer behind a TCP endpoint speaking a
+//! CRC-framed binary protocol (query DSL + budget in, **streamed result pages**
+//! out, typed [`query::ServiceError`]s as wire error frames), with per-connection
+//! backpressure, connection-level shedding, and a plaintext `/health` +
+//! `/metrics` endpoint.  See the "Network tier" section of `ARCHITECTURE.md`,
+//! `examples/network_service.rs`, and `cargo bench -p bench --bench serving`.
 
 pub use agraph;
 pub use baseline as baselines;
 pub use datagen as workloads;
 pub use graphitti_core as core;
+pub use graphitti_net as net;
 pub use graphitti_query as query;
 pub use interval_index as intervals;
 pub use ontology as onto;
